@@ -1,0 +1,296 @@
+//! Bilevel-to-single-level rewriting — MetaOpt's core trick.
+//!
+//! MetaOpt "solves a bi-level optimization" (§2): the outer level picks the
+//! adversarial input, the inner level *is* the heuristic (and benchmark)
+//! reacting optimally to it. The gap `OPT(d) − HEUR(d)` is maximized by:
+//!
+//! * **benchmark side** — appears with positive sign, so primal
+//!   feasibility suffices: the outer maximization drives it to optimality
+//!   on its own;
+//! * **heuristic side** — appears with negative sign, so mere feasibility
+//!   would let the outer problem *under-drive* the heuristic and inflate
+//!   the gap. Its inner LP must be pinned to optimality: primal
+//!   feasibility + dual feasibility + complementary slackness, the latter
+//!   linearized with big-M indicator binaries.
+//!
+//! This module encodes that optimality certificate for an inner LP of the
+//! form `max c'f s.t. A f <= b(outer), f >= 0`, where each row's
+//! right-hand side may be an affine expression over *outer* variables
+//! (that is how DP's big-M pinning constraints enter the inner problem).
+
+use xplain_lp::{Cmp, LinExpr, Model, VarId, VarType};
+
+/// One inner-LP row: `Σ coeffs · f <= rhs`, with `rhs` affine in outer
+/// variables.
+#[derive(Debug, Clone)]
+pub struct InnerRow {
+    pub name: String,
+    pub coeffs: Vec<(VarId, f64)>,
+    pub rhs: LinExpr,
+}
+
+/// An inner LP: `max Σ objective · f` over `vars >= 0` subject to `rows`.
+#[derive(Debug, Clone)]
+pub struct InnerLp {
+    pub vars: Vec<VarId>,
+    /// Objective coefficient per entry of `vars` (same order).
+    pub objective: Vec<f64>,
+    pub rows: Vec<InnerRow>,
+}
+
+/// Big-M parameters for the optimality encoding.
+#[derive(Debug, Clone, Copy)]
+pub struct KktParams {
+    /// Bound on dual variables.
+    pub dual_bound: f64,
+    /// Bound on primal row slack (must exceed the largest achievable
+    /// slack, including any big-M terms inside `rhs`).
+    pub slack_bound: f64,
+    /// Bound on primal variable values.
+    pub primal_bound: f64,
+}
+
+impl Default for KktParams {
+    fn default() -> Self {
+        KktParams {
+            dual_bound: 1e3,
+            slack_bound: 1e5,
+            primal_bound: 1e4,
+        }
+    }
+}
+
+/// Variables created by the optimality encoding (exposed for debugging and
+/// tests).
+#[derive(Debug, Clone)]
+pub struct KktEncoding {
+    /// One dual multiplier per row.
+    pub duals: Vec<VarId>,
+    /// `z[i] = 1` allows `dual[i] > 0` (row `i` active).
+    pub row_active: Vec<VarId>,
+    /// `w[j] = 1` allows `f[j] > 0` (dual constraint `j` tight).
+    pub var_positive: Vec<VarId>,
+}
+
+/// Add the optimality certificate of `inner` to `model`.
+///
+/// After this call, any feasible assignment of `model` has the inner
+/// variables at an **optimal** solution of the inner LP given the outer
+/// variables — the bilevel problem has been flattened.
+pub fn encode_inner_optimality(
+    model: &mut Model,
+    tag: &str,
+    inner: &InnerLp,
+    params: KktParams,
+) -> KktEncoding {
+    let n = inner.vars.len();
+    let m_rows = inner.rows.len();
+    assert_eq!(
+        inner.objective.len(),
+        n,
+        "objective length must match inner vars"
+    );
+
+    // Primal feasibility: Σ coeffs f - rhs <= 0.
+    for (i, row) in inner.rows.iter().enumerate() {
+        let mut e = LinExpr::new();
+        for &(v, c) in &row.coeffs {
+            e.add_term(v, c);
+        }
+        let expr = e - row.rhs.clone();
+        model.add_constr(format!("kkt_pf[{tag}/{i}/{}]", row.name), expr, Cmp::Le, 0.0);
+    }
+
+    // Duals.
+    let duals: Vec<VarId> = (0..m_rows)
+        .map(|i| {
+            model.add_var(
+                format!("dual[{tag}/{i}]"),
+                VarType::Continuous,
+                0.0,
+                params.dual_bound,
+            )
+        })
+        .collect();
+
+    // Dual feasibility: for each f_j, Σ_i λ_i a_ij >= c_j.
+    // Collect columns.
+    let mut col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let var_pos: std::collections::BTreeMap<VarId, usize> = inner
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| (v, j))
+        .collect();
+    for (i, row) in inner.rows.iter().enumerate() {
+        for &(v, c) in &row.coeffs {
+            if let Some(&j) = var_pos.get(&v) {
+                col[j].push((i, c));
+            }
+        }
+    }
+    for j in 0..n {
+        let mut e = LinExpr::new();
+        for &(i, c) in &col[j] {
+            e.add_term(duals[i], c);
+        }
+        model.add_constr(
+            format!("kkt_df[{tag}/{j}]"),
+            e,
+            Cmp::Ge,
+            inner.objective[j],
+        );
+    }
+
+    // Complementary slackness with indicator binaries.
+    let mut row_active = Vec::with_capacity(m_rows);
+    for (i, row) in inner.rows.iter().enumerate() {
+        let z = model.add_binary(format!("kkt_z[{tag}/{i}]"));
+        // λ_i <= dual_bound * z_i
+        model.add_constr(
+            format!("kkt_cs_dual[{tag}/{i}]"),
+            LinExpr::term(duals[i], 1.0) - LinExpr::term(z, params.dual_bound),
+            Cmp::Le,
+            0.0,
+        );
+        // slack_i = rhs - Σ a f <= slack_bound * (1 - z_i)
+        let mut af = LinExpr::new();
+        for &(v, c) in &row.coeffs {
+            af.add_term(v, c);
+        }
+        let slack = row.rhs.clone() - af;
+        model.add_constr(
+            format!("kkt_cs_slack[{tag}/{i}]"),
+            slack + LinExpr::term(z, params.slack_bound),
+            Cmp::Le,
+            params.slack_bound,
+        );
+        row_active.push(z);
+    }
+
+    let mut var_positive = Vec::with_capacity(n);
+    for j in 0..n {
+        let w = model.add_binary(format!("kkt_w[{tag}/{j}]"));
+        // f_j <= primal_bound * w_j
+        model.add_constr(
+            format!("kkt_cs_var[{tag}/{j}]"),
+            LinExpr::term(inner.vars[j], 1.0) - LinExpr::term(w, params.primal_bound),
+            Cmp::Le,
+            0.0,
+        );
+        // reduced cost (Σ λ a - c) <= dual_bound' * (1 - w_j)
+        let mut e = LinExpr::new();
+        for &(i, c) in &col[j] {
+            e.add_term(duals[i], c);
+        }
+        let rc_bound = params.dual_bound * (col[j].len().max(1) as f64) * 4.0;
+        model.add_constr(
+            format!("kkt_cs_rc[{tag}/{j}]"),
+            e + LinExpr::term(w, rc_bound),
+            Cmp::Le,
+            inner.objective[j] + rc_bound,
+        );
+        var_positive.push(w);
+    }
+
+    KktEncoding {
+        duals,
+        row_active,
+        var_positive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xplain_lp::{Model, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "{a} != {b}");
+    }
+
+    /// Inner LP: max f s.t. f <= d. Outer picks d in [0, 10] to *minimize*
+    /// f — without the optimality certificate it could report f = 0; with
+    /// it, f must equal d, so the best the outer can do is d = 0.
+    #[test]
+    fn inner_optimality_enforced() {
+        let mut m = Model::new(Sense::Maximize);
+        let d = m.add_var("d", VarType::Continuous, 0.0, 10.0);
+        let f = m.add_var("f", VarType::Continuous, 0.0, 100.0);
+        let inner = InnerLp {
+            vars: vec![f],
+            objective: vec![1.0],
+            rows: vec![InnerRow {
+                name: "cap".into(),
+                coeffs: vec![(f, 1.0)],
+                rhs: LinExpr::term(d, 1.0),
+            }],
+        };
+        encode_inner_optimality(&mut m, "t", &inner, KktParams::default());
+        // Outer objective: d - f. Without KKT the optimum would be 10
+        // (d = 10, f = 0); with KKT f = d always, so the optimum is 0.
+        m.set_objective(LinExpr::term(d, 1.0) - LinExpr::term(f, 1.0));
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective, 0.0);
+        assert_close(sol.value(f), sol.value(d));
+    }
+
+    /// Two-variable inner LP with a shared capacity: the inner optimum
+    /// always saturates the capacity; the outer tries to keep total flow
+    /// low but cannot.
+    #[test]
+    fn shared_capacity_saturated() {
+        let mut m = Model::new(Sense::Maximize);
+        let cap = m.add_var("cap", VarType::Continuous, 2.0, 8.0);
+        let f1 = m.add_var("f1", VarType::Continuous, 0.0, 100.0);
+        let f2 = m.add_var("f2", VarType::Continuous, 0.0, 100.0);
+        let inner = InnerLp {
+            vars: vec![f1, f2],
+            objective: vec![1.0, 1.0],
+            rows: vec![
+                InnerRow {
+                    name: "share".into(),
+                    coeffs: vec![(f1, 1.0), (f2, 1.0)],
+                    rhs: LinExpr::term(cap, 1.0),
+                },
+                InnerRow {
+                    name: "f1cap".into(),
+                    coeffs: vec![(f1, 1.0)],
+                    rhs: LinExpr::constant(3.0),
+                },
+            ],
+        };
+        encode_inner_optimality(&mut m, "t", &inner, KktParams::default());
+        // Outer: minimize f1 + f2 (i.e. maximize its negation) while
+        // choosing cap. Inner forces f1 + f2 = cap, so best is cap = 2.
+        m.set_objective(-(LinExpr::term(f1, 1.0) + LinExpr::term(f2, 1.0)));
+        let sol = m.solve().unwrap();
+        assert_close(sol.value(f1) + sol.value(f2), sol.value(cap));
+        assert_close(sol.value(cap), 2.0);
+    }
+
+    /// The inner optimum must pick the *better* of two variables when only
+    /// one can be served (objective weights differ).
+    #[test]
+    fn inner_prefers_higher_weight() {
+        let mut m = Model::new(Sense::Maximize);
+        let f1 = m.add_var("f1", VarType::Continuous, 0.0, 100.0);
+        let f2 = m.add_var("f2", VarType::Continuous, 0.0, 100.0);
+        let inner = InnerLp {
+            vars: vec![f1, f2],
+            objective: vec![1.0, 2.0],
+            rows: vec![InnerRow {
+                name: "share".into(),
+                coeffs: vec![(f1, 1.0), (f2, 1.0)],
+                rhs: LinExpr::constant(5.0),
+            }],
+        };
+        encode_inner_optimality(&mut m, "t", &inner, KktParams::default());
+        // Outer would love f2 = 0 (maximize f1 - f2), but the inner's
+        // optimality forces f2 = 5, f1 = 0 (weight 2 beats weight 1).
+        m.set_objective(LinExpr::term(f1, 1.0) - LinExpr::term(f2, 1.0));
+        let sol = m.solve().unwrap();
+        assert_close(sol.value(f1), 0.0);
+        assert_close(sol.value(f2), 5.0);
+    }
+}

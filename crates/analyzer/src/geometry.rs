@@ -1,0 +1,189 @@
+//! Input-space geometry: half-spaces, polytopes, and boxes.
+//!
+//! Adversarial subspaces are reported exactly in the paper's Fig. 5c form:
+//! a box `A x <= C` (with `A = [I; -I]`) intersected with the regression
+//! tree's path predicates `T x <= V`. Both pieces are just half-space
+//! systems, so one [`Polytope`] type carries them through the pipeline —
+//! and doubles as the exclusion region handed back to the analyzer for
+//! step (3) of §5.2.
+
+use serde::{Deserialize, Serialize};
+
+/// A single half-space `coeffs · x <= rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Halfspace {
+    pub coeffs: Vec<f64>,
+    pub rhs: f64,
+}
+
+impl Halfspace {
+    /// `x_dim <= rhs`
+    pub fn upper(dims: usize, dim: usize, rhs: f64) -> Self {
+        let mut coeffs = vec![0.0; dims];
+        coeffs[dim] = 1.0;
+        Halfspace { coeffs, rhs }
+    }
+
+    /// `x_dim >= lo`, stored as `-x_dim <= -lo`.
+    pub fn lower(dims: usize, dim: usize, lo: f64) -> Self {
+        let mut coeffs = vec![0.0; dims];
+        coeffs[dim] = -1.0;
+        Halfspace { coeffs, rhs: -lo }
+    }
+
+    /// Does `x` satisfy the half-space (within `tol`)?
+    pub fn contains(&self, x: &[f64], tol: f64) -> bool {
+        let lhs: f64 = self
+            .coeffs
+            .iter()
+            .zip(x)
+            .map(|(c, v)| c * v)
+            .sum();
+        lhs <= self.rhs + tol
+    }
+}
+
+/// An intersection of half-spaces.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Polytope {
+    pub halfspaces: Vec<Halfspace>,
+}
+
+impl Polytope {
+    /// The axis-aligned box `[lo_i, hi_i]` as `[I; -I] x <= [hi; -lo]`
+    /// (exactly Fig. 5c's `A` matrix layout: uppers first, then lowers).
+    pub fn from_box(lo: &[f64], hi: &[f64]) -> Self {
+        let dims = lo.len();
+        let mut halfspaces = Vec::with_capacity(2 * dims);
+        for d in 0..dims {
+            halfspaces.push(Halfspace::upper(dims, d, hi[d]));
+        }
+        for d in 0..dims {
+            halfspaces.push(Halfspace::lower(dims, d, lo[d]));
+        }
+        Polytope { halfspaces }
+    }
+
+    /// Add a half-space in place.
+    pub fn intersect(&mut self, h: Halfspace) {
+        self.halfspaces.push(h);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: &[f64], tol: f64) -> bool {
+        self.halfspaces.iter().all(|h| h.contains(x, tol))
+    }
+
+    /// The tightest axis-aligned bounding box implied by the *axis-aligned*
+    /// half-spaces (general half-spaces are ignored for the bound).
+    /// Returns `(lo, hi)` clipped to the provided outer bounds.
+    pub fn bounding_box(&self, outer_lo: &[f64], outer_hi: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let dims = outer_lo.len();
+        let mut lo = outer_lo.to_vec();
+        let mut hi = outer_hi.to_vec();
+        for h in &self.halfspaces {
+            let nonzero: Vec<usize> = (0..h.coeffs.len().min(dims))
+                .filter(|&d| h.coeffs[d].abs() > 1e-12)
+                .collect();
+            if nonzero.len() != 1 {
+                continue;
+            }
+            let d = nonzero[0];
+            let c = h.coeffs[d];
+            if c > 0.0 {
+                hi[d] = hi[d].min(h.rhs / c);
+            } else {
+                lo[d] = lo[d].max(h.rhs / c);
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Pretty-print in the `A x <= c` style of Fig. 5c.
+    pub fn render(&self, names: &[String]) -> String {
+        let mut out = String::new();
+        for h in &self.halfspaces {
+            let mut terms: Vec<String> = Vec::new();
+            for (d, &c) in h.coeffs.iter().enumerate() {
+                if c.abs() < 1e-12 {
+                    continue;
+                }
+                let name = names
+                    .get(d)
+                    .cloned()
+                    .unwrap_or_else(|| format!("x{d}"));
+                if (c - 1.0).abs() < 1e-12 {
+                    terms.push(name);
+                } else if (c + 1.0).abs() < 1e-12 {
+                    terms.push(format!("-{name}"));
+                } else {
+                    terms.push(format!("{c:.4}*{name}"));
+                }
+            }
+            let lhs = if terms.is_empty() {
+                "0".to_string()
+            } else {
+                terms.join(" + ")
+            };
+            // Normalize -0.0 so rendered bounds read naturally.
+            let rhs = if h.rhs == 0.0 { 0.0 } else { h.rhs };
+            out.push_str(&format!("  {lhs} <= {rhs:.4}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_membership() {
+        let p = Polytope::from_box(&[0.0, 1.0], &[2.0, 3.0]);
+        assert!(p.contains(&[1.0, 2.0], 0.0));
+        assert!(p.contains(&[0.0, 1.0], 0.0)); // corner
+        assert!(!p.contains(&[2.5, 2.0], 0.0));
+        assert!(!p.contains(&[1.0, 0.5], 0.0));
+    }
+
+    #[test]
+    fn general_halfspace() {
+        // x + y <= 1.5 inside the unit box.
+        let mut p = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+        p.intersect(Halfspace {
+            coeffs: vec![1.0, 1.0],
+            rhs: 1.5,
+        });
+        assert!(p.contains(&[0.7, 0.7], 0.0));
+        assert!(!p.contains(&[0.9, 0.9], 0.0));
+    }
+
+    #[test]
+    fn bounding_box_from_mixed_halfspaces() {
+        let mut p = Polytope::from_box(&[0.0, 0.0], &[10.0, 10.0]);
+        p.intersect(Halfspace::upper(2, 0, 4.0));
+        p.intersect(Halfspace::lower(2, 1, 2.0));
+        p.intersect(Halfspace {
+            coeffs: vec![1.0, 1.0],
+            rhs: 100.0,
+        }); // non-axis-aligned: ignored by the bound
+        let (lo, hi) = p.bounding_box(&[0.0, 0.0], &[10.0, 10.0]);
+        assert_eq!(lo, vec![0.0, 2.0]);
+        assert_eq!(hi, vec![4.0, 10.0]);
+    }
+
+    #[test]
+    fn render_uses_names() {
+        let p = Polytope::from_box(&[0.0], &[1.0]);
+        let s = p.render(&["B0".to_string()]);
+        assert!(s.contains("B0 <= 1.0000"), "{s}");
+        assert!(s.contains("-B0 <= 0.0000"), "{s}");
+    }
+
+    #[test]
+    fn tolerance_respected() {
+        let p = Polytope::from_box(&[0.0], &[1.0]);
+        assert!(p.contains(&[1.0 + 1e-9], 1e-6));
+        assert!(!p.contains(&[1.0 + 1e-3], 1e-6));
+    }
+}

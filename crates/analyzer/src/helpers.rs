@@ -1,0 +1,408 @@
+//! MetaOpt-style modeling helpers.
+//!
+//! §2 notes that MetaOpt "provided a number of helper functions that allow
+//! operators to model \[heuristics\] more easily" — Fig. 1b/1c use
+//! `ForceToZeroIfLeq`, `AllLeq`, `AllEq`, `AND` and `IfThenElse`. These are
+//! the standard big-M indicator gadgets; implementing them verbatim lets
+//! the hand-written DP/FF encodings in this crate mirror the paper's
+//! figures line by line (and gives E6 its "hand-written MetaOpt model"
+//! baseline).
+
+use xplain_lp::{Cmp, LinExpr, Model, VarId};
+
+/// Tolerances for indicator gadgets.
+#[derive(Debug, Clone, Copy)]
+pub struct GadgetParams {
+    /// Strictness margin: `b = 0` forces `expr >= rhs + eps`.
+    pub eps: f64,
+    /// Big-M used to relax the inactive side.
+    pub big_m: f64,
+}
+
+impl Default for GadgetParams {
+    fn default() -> Self {
+        GadgetParams {
+            eps: 1e-3,
+            big_m: 1e4,
+        }
+    }
+}
+
+/// Binary `b = 1[expr <= rhs]`.
+///
+/// `b = 1 -> expr <= rhs` and `b = 0 -> expr >= rhs + eps`; inputs in the
+/// open gap `(rhs, rhs + eps)` may take either value — pick `eps` below the
+/// problem's input granularity.
+pub fn indicator_leq(
+    m: &mut Model,
+    name: impl Into<String>,
+    expr: LinExpr,
+    rhs: f64,
+    p: GadgetParams,
+) -> VarId {
+    let name = name.into();
+    let b = m.add_binary(format!("ind[{name}]"));
+    // expr <= rhs + M(1 - b)
+    m.add_constr(
+        format!("ind_up[{name}]"),
+        expr.clone() + LinExpr::term(b, p.big_m),
+        Cmp::Le,
+        rhs + p.big_m,
+    );
+    // expr >= rhs + eps - M b
+    m.add_constr(
+        format!("ind_dn[{name}]"),
+        expr + LinExpr::term(b, p.big_m),
+        Cmp::Ge,
+        rhs + p.eps,
+    );
+    b
+}
+
+/// Binary `b = 1[expr >= rhs]` (mirror of [`indicator_leq`]).
+pub fn indicator_geq(
+    m: &mut Model,
+    name: impl Into<String>,
+    expr: LinExpr,
+    rhs: f64,
+    p: GadgetParams,
+) -> VarId {
+    indicator_leq(m, name, -expr, -rhs, p)
+}
+
+/// `ForceToZeroIfLeq(zero_expr, cond_expr, threshold)` (Fig. 1b): when
+/// `cond_expr <= threshold`, force `zero_expr = 0`. Returns the condition
+/// indicator binary (DP's "pinned" flag).
+pub fn force_to_zero_if_leq(
+    m: &mut Model,
+    name: impl Into<String>,
+    zero_expr: LinExpr,
+    cond_expr: LinExpr,
+    threshold: f64,
+    p: GadgetParams,
+) -> VarId {
+    let name = name.into();
+    let b = indicator_leq(m, format!("cond[{name}]"), cond_expr, threshold, p);
+    // b = 1 -> zero_expr in [-M(1-b), M(1-b)] = [0, 0].
+    m.add_constr(
+        format!("zero_up[{name}]"),
+        zero_expr.clone() + LinExpr::term(b, p.big_m),
+        Cmp::Le,
+        p.big_m,
+    );
+    m.add_constr(
+        format!("zero_dn[{name}]"),
+        zero_expr - LinExpr::term(b, p.big_m),
+        Cmp::Ge,
+        -p.big_m,
+    );
+    b
+}
+
+/// `AND` of binaries: `b = min(bits)`.
+pub fn and(m: &mut Model, name: impl Into<String>, bits: &[VarId]) -> VarId {
+    let name = name.into();
+    let b = m.add_binary(format!("and[{name}]"));
+    for (i, &bit) in bits.iter().enumerate() {
+        m.add_constr(
+            format!("and_le[{name}/{i}]"),
+            LinExpr::term(b, 1.0) - bit,
+            Cmp::Le,
+            0.0,
+        );
+    }
+    let mut sum = LinExpr::term(b, -1.0);
+    for &bit in bits {
+        sum.add_term(bit, 1.0);
+    }
+    // b >= sum(bits) - (n - 1)
+    m.add_constr(
+        format!("and_ge[{name}]"),
+        sum,
+        Cmp::Le,
+        bits.len().saturating_sub(1) as f64,
+    );
+    b
+}
+
+/// `OR` of binaries: `b = max(bits)`.
+pub fn or(m: &mut Model, name: impl Into<String>, bits: &[VarId]) -> VarId {
+    let name = name.into();
+    let b = m.add_binary(format!("or[{name}]"));
+    for (i, &bit) in bits.iter().enumerate() {
+        m.add_constr(
+            format!("or_ge[{name}/{i}]"),
+            LinExpr::term(bit, 1.0) - b,
+            Cmp::Le,
+            0.0,
+        );
+    }
+    let mut sum = LinExpr::term(b, 1.0);
+    for &bit in bits {
+        sum.add_term(bit, -1.0);
+    }
+    m.add_constr(format!("or_le[{name}]"), sum, Cmp::Le, 0.0);
+    b
+}
+
+/// `AllLeq(exprs, rhs)` (Fig. 1c): binary that is 1 iff **every**
+/// expression is `<= rhs`.
+pub fn all_leq(
+    m: &mut Model,
+    name: impl Into<String>,
+    exprs: &[LinExpr],
+    rhs: f64,
+    p: GadgetParams,
+) -> VarId {
+    let name = name.into();
+    if exprs.is_empty() {
+        // Vacuously true: a binary fixed to 1.
+        let b = m.add_binary(format!("true[{name}]"));
+        m.fix(format!("fix_true[{name}]"), b, 1.0);
+        return b;
+    }
+    let bits: Vec<VarId> = exprs
+        .iter()
+        .enumerate()
+        .map(|(i, e)| indicator_leq(m, format!("{name}/{i}"), e.clone(), rhs, p))
+        .collect();
+    and(m, name, &bits)
+}
+
+/// `AllEq(exprs, rhs)` (Fig. 1c): binary that is 1 iff every expression
+/// equals `rhs` (within the gadget tolerance).
+pub fn all_eq(
+    m: &mut Model,
+    name: impl Into<String>,
+    exprs: &[LinExpr],
+    rhs: f64,
+    p: GadgetParams,
+) -> VarId {
+    let name = name.into();
+    if exprs.is_empty() {
+        let b = m.add_binary(format!("true[{name}]"));
+        m.fix(format!("fix_true[{name}]"), b, 1.0);
+        return b;
+    }
+    let mut bits = Vec::with_capacity(exprs.len() * 2);
+    for (i, e) in exprs.iter().enumerate() {
+        bits.push(indicator_leq(m, format!("{name}/le{i}"), e.clone(), rhs, p));
+        bits.push(indicator_geq(m, format!("{name}/ge{i}"), e.clone(), rhs, p));
+    }
+    and(m, name, &bits)
+}
+
+/// `IfThenElse(cond, [(var, then)], [(var, else)])` (Fig. 1c): when `cond`
+/// is 1 each `var` equals its `then` expression, otherwise its `else`
+/// expression.
+pub fn if_then_else(
+    m: &mut Model,
+    name: impl Into<String>,
+    cond: VarId,
+    then_bindings: &[(VarId, LinExpr)],
+    else_bindings: &[(VarId, LinExpr)],
+    p: GadgetParams,
+) {
+    let name = name.into();
+    for (i, (var, expr)) in then_bindings.iter().enumerate() {
+        // cond = 1 -> var = expr  (|var - expr| <= M(1 - cond))
+        let diff = LinExpr::term(*var, 1.0) - expr.clone();
+        m.add_constr(
+            format!("ite_t_up[{name}/{i}]"),
+            diff.clone() + LinExpr::term(cond, p.big_m),
+            Cmp::Le,
+            p.big_m,
+        );
+        m.add_constr(
+            format!("ite_t_dn[{name}/{i}]"),
+            diff - LinExpr::term(cond, p.big_m),
+            Cmp::Ge,
+            -p.big_m,
+        );
+    }
+    for (i, (var, expr)) in else_bindings.iter().enumerate() {
+        // cond = 0 -> var = expr  (|var - expr| <= M cond)
+        let diff = LinExpr::term(*var, 1.0) - expr.clone();
+        m.add_constr(
+            format!("ite_e_up[{name}/{i}]"),
+            diff.clone() - LinExpr::term(cond, p.big_m),
+            Cmp::Le,
+            0.0,
+        );
+        m.add_constr(
+            format!("ite_e_dn[{name}/{i}]"),
+            diff + LinExpr::term(cond, p.big_m),
+            Cmp::Ge,
+            0.0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xplain_lp::{Model, Sense, VarType};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    const P: GadgetParams = GadgetParams {
+        eps: 1e-3,
+        big_m: 1e3,
+    };
+
+    #[test]
+    fn indicator_leq_tracks_condition() {
+        // x fixed below threshold -> b must be 1; above -> 0.
+        for (x_val, expect) in [(2.0, 1.0), (7.0, 0.0)] {
+            let mut m = Model::new(Sense::Maximize);
+            let x = m.add_var("x", VarType::Continuous, x_val, x_val);
+            let b = indicator_leq(&mut m, "t", LinExpr::term(x, 1.0), 5.0, P);
+            // Maximize b to probe the upper feasibility; minimize via -b too.
+            m.set_objective(LinExpr::term(b, 1.0));
+            let hi = m.solve().unwrap().value(b);
+            m.set_objective(LinExpr::term(b, -1.0));
+            let lo = m.solve().unwrap().value(b);
+            assert_close(hi, expect);
+            assert_close(lo, expect);
+        }
+    }
+
+    #[test]
+    fn force_to_zero_pins_when_leq() {
+        // d = 3 <= T = 5: zero_expr = d - f must be 0 -> f = 3.
+        let mut m = Model::new(Sense::Maximize);
+        let d = m.add_var("d", VarType::Continuous, 3.0, 3.0);
+        let f = m.add_var("f", VarType::Continuous, 0.0, 10.0);
+        force_to_zero_if_leq(&mut m, "pin", d - f, LinExpr::term(d, 1.0), 5.0, P);
+        m.set_objective(LinExpr::term(f, -1.0)); // try to keep f at 0
+        let sol = m.solve().unwrap();
+        assert_close(sol.value(f), 3.0);
+    }
+
+    #[test]
+    fn force_to_zero_releases_when_above() {
+        let mut m = Model::new(Sense::Maximize);
+        let d = m.add_var("d", VarType::Continuous, 8.0, 8.0);
+        let f = m.add_var("f", VarType::Continuous, 0.0, 10.0);
+        force_to_zero_if_leq(&mut m, "pin", d - f, LinExpr::term(d, 1.0), 5.0, P);
+        m.set_objective(LinExpr::term(f, -1.0));
+        let sol = m.solve().unwrap();
+        assert_close(sol.value(f), 0.0); // free to stay at zero
+    }
+
+    #[test]
+    fn and_or_truth_tables() {
+        for bits in [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] {
+            let mut m = Model::new(Sense::Maximize);
+            let a = m.add_var("a", VarType::Binary, bits[0], bits[0]);
+            let b = m.add_var("b", VarType::Binary, bits[1], bits[1]);
+            let c_and = and(&mut m, "c", &[a, b]);
+            let c_or = or(&mut m, "d", &[a, b]);
+            m.set_objective(LinExpr::term(c_and, 1.0) + LinExpr::term(c_or, 1.0));
+            let sol = m.solve().unwrap();
+            assert_close(sol.value(c_and), bits[0].min(bits[1]));
+            assert_close(sol.value(c_or), bits[0].max(bits[1]));
+        }
+    }
+
+    #[test]
+    fn all_leq_detects_violation() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 2.0, 2.0);
+        let y = m.add_var("y", VarType::Continuous, 9.0, 9.0);
+        let b = all_leq(
+            &mut m,
+            "t",
+            &[LinExpr::term(x, 1.0), LinExpr::term(y, 1.0)],
+            5.0,
+            P,
+        );
+        m.set_objective(LinExpr::term(b, 1.0));
+        assert_close(m.solve().unwrap().value(b), 0.0);
+    }
+
+    #[test]
+    fn all_leq_empty_is_true() {
+        let mut m = Model::new(Sense::Maximize);
+        let b = all_leq(&mut m, "t", &[], 0.0, P);
+        m.set_objective(LinExpr::term(b, -1.0));
+        assert_close(m.solve().unwrap().value(b), 1.0);
+    }
+
+    #[test]
+    fn all_eq_two_sided() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 0.0);
+        let y = m.add_var("y", VarType::Continuous, 0.5, 0.5);
+        let b_eq = all_eq(&mut m, "e1", &[LinExpr::term(x, 1.0)], 0.0, P);
+        let b_ne = all_eq(&mut m, "e2", &[LinExpr::term(y, 1.0)], 0.0, P);
+        m.set_objective(LinExpr::term(b_eq, 1.0) + LinExpr::term(b_ne, 1.0));
+        let sol = m.solve().unwrap();
+        assert_close(sol.value(b_eq), 1.0);
+        assert_close(sol.value(b_ne), 0.0);
+    }
+
+    #[test]
+    fn if_then_else_binds_both_branches() {
+        for cond_val in [0.0, 1.0] {
+            let mut m = Model::new(Sense::Maximize);
+            let c = m.add_var("c", VarType::Binary, cond_val, cond_val);
+            let y = m.add_var("y", VarType::Continuous, 0.0, 100.0);
+            if_then_else(
+                &mut m,
+                "t",
+                c,
+                &[(y, LinExpr::constant(7.0))],
+                &[(y, LinExpr::constant(2.0))],
+                P,
+            );
+            m.set_objective(LinExpr::term(y, 1.0));
+            let sol = m.solve().unwrap();
+            assert_close(sol.value(y), if cond_val > 0.5 { 7.0 } else { 2.0 });
+        }
+    }
+
+    #[test]
+    fn fig1c_style_first_fit_single_ball() {
+        // One ball, two bins, size fixed at 0.6: alpha_00 must be 1 and
+        // x_00 = 0.6 (the Fig. 1c encoding in miniature).
+        let p = GadgetParams {
+            eps: 1e-3,
+            big_m: 10.0,
+        };
+        let mut m = Model::new(Sense::Maximize);
+        let y = m.add_var("Y0", VarType::Continuous, 0.6, 0.6);
+        let x00 = m.add_var("x00", VarType::Continuous, 0.0, 1.0);
+        let x01 = m.add_var("x01", VarType::Continuous, 0.0, 1.0);
+        // r_00 = 1 - Y0; fits f_00 = 1[Y0 - 1 <= 0]
+        let f00 = all_leq(&mut m, "f00", &[LinExpr::term(y, 1.0) - 1.0], 0.0, p);
+        let g00 = all_eq(&mut m, "g00", &[], 0.0, p); // no earlier bins
+        let a00 = and(&mut m, "a00", &[f00, g00]);
+        if_then_else(
+            &mut m,
+            "place00",
+            a00,
+            &[(x00, LinExpr::term(y, 1.0))],
+            &[(x00, LinExpr::constant(0.0))],
+            p,
+        );
+        // Bin 1: gamma_01 = 1[x00 = 0]; alpha_01 = f_01 AND gamma_01.
+        let f01 = all_leq(&mut m, "f01", &[LinExpr::term(y, 1.0) - 1.0], 0.0, p);
+        let g01 = all_eq(&mut m, "g01", &[LinExpr::term(x00, 1.0)], 0.0, p);
+        let a01 = and(&mut m, "a01", &[f01, g01]);
+        if_then_else(
+            &mut m,
+            "place01",
+            a01,
+            &[(x01, LinExpr::term(y, 1.0))],
+            &[(x01, LinExpr::constant(0.0))],
+            p,
+        );
+        m.set_objective(LinExpr::term(x01, 1.0)); // try to cheat into bin 1
+        let sol = m.solve().unwrap();
+        assert_close(sol.value(x00), 0.6);
+        assert_close(sol.value(x01), 0.0);
+    }
+}

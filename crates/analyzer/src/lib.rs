@@ -1,0 +1,33 @@
+//! # xplain-analyzer
+//!
+//! The heuristic analyzer XPlain builds on — a from-scratch MetaOpt
+//! (Namyar et al., NSDI'24) substitute:
+//!
+//! * [`helpers`] — the modeling combinators of Fig. 1b/1c
+//!   (`ForceToZeroIfLeq`, `AllLeq`, `AllEq`, `AND`, `IfThenElse`) as big-M
+//!   gadgets over `xplain-lp` models;
+//! * [`bilevel`] — bilevel → single-level flattening via KKT/complementary
+//!   slackness for inner LPs (MetaOpt's core rewriting);
+//! * [`dp_metaopt`] / [`ff_metaopt`] — exact adversarial-input MILPs for
+//!   Demand Pinning and first-fit bin packing, including exclusion-region
+//!   support for XPlain's iterate-and-exclude loop (§5.2);
+//! * [`search`] — a multi-start pattern-search analyzer for instances too
+//!   large for the exact route (the documented substitution; DESIGN.md §2);
+//! * [`oracle`] — the black-box gap interface shared by both;
+//! * [`geometry`] — half-space / polytope machinery for subspaces and
+//!   exclusions (the `A x <= C` form of Fig. 5c).
+
+pub mod bilevel;
+pub mod dp_metaopt;
+pub mod ff_metaopt;
+pub mod geometry;
+pub mod helpers;
+pub mod oracle;
+pub mod search;
+
+pub use dp_metaopt::DpMetaOpt;
+pub use ff_metaopt::FfMetaOpt;
+pub use geometry::{Halfspace, Polytope};
+pub use helpers::GadgetParams;
+pub use oracle::{DpOracle, FfOracle, GapOracle};
+pub use search::{dp_seeds, ff_seeds, find_adversarial, Adversarial, SearchOptions};

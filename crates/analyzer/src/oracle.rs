@@ -1,0 +1,157 @@
+//! The analyzer's view of a heuristic-analysis problem: a black-box *gap
+//! oracle* over a box-shaped input space.
+//!
+//! Both the exact MILP analyzers and the search analyzer expose the same
+//! downstream interface, so the XPlain pipeline (subspace generation,
+//! significance checking, explanation) is agnostic to how adversarial
+//! inputs are found — exactly the role MetaOpt plays in the paper's Fig. 3.
+
+use xplain_domains::te::{DemandPinning, TeProblem};
+use xplain_domains::vbp::{first_fit, optimal, VbpInstance};
+
+/// A heuristic-vs-benchmark gap function over a box input space.
+pub trait GapOracle: Sync {
+    /// Input dimensionality.
+    fn dims(&self) -> usize;
+
+    /// Per-dimension `[lo, hi]` bounds of the input space.
+    fn bounds(&self) -> Vec<(f64, f64)>;
+
+    /// `benchmark(x) - heuristic(x)` (larger = worse for the heuristic).
+    /// Implementations must be total on the box; invalid points should
+    /// return `f64::NEG_INFINITY` rather than panic.
+    fn gap(&self, x: &[f64]) -> f64;
+
+    /// Human-readable dimension names (defaults to `x0..`).
+    fn dim_names(&self) -> Vec<String> {
+        (0..self.dims()).map(|d| format!("x{d}")).collect()
+    }
+}
+
+/// Demand Pinning gap oracle: input = demand volumes, gap = OPT − DP.
+pub struct DpOracle {
+    pub problem: TeProblem,
+    pub heuristic: DemandPinning,
+}
+
+impl DpOracle {
+    pub fn new(problem: TeProblem, threshold: f64) -> Self {
+        DpOracle {
+            problem,
+            heuristic: DemandPinning::new(threshold),
+        }
+    }
+}
+
+impl GapOracle for DpOracle {
+    fn dims(&self) -> usize {
+        self.problem.num_demands()
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(0.0, self.problem.demand_cap); self.dims()]
+    }
+
+    fn gap(&self, x: &[f64]) -> f64 {
+        self.heuristic
+            .gap(&self.problem, x)
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+
+    fn dim_names(&self) -> Vec<String> {
+        (0..self.dims())
+            .map(|k| format!("d[{}]", self.problem.demand_name(k)))
+            .collect()
+    }
+}
+
+/// First-fit bin packing gap oracle: input = ball sizes, gap = FF bins −
+/// OPT bins (integer-valued).
+pub struct FfOracle {
+    pub n_balls: usize,
+    pub bin_capacity: f64,
+    /// Smallest admissible ball (the paper's examples use ≥ 1% of the bin).
+    pub min_size: f64,
+}
+
+impl FfOracle {
+    pub fn new(n_balls: usize) -> Self {
+        FfOracle {
+            n_balls,
+            bin_capacity: 1.0,
+            min_size: 0.01,
+        }
+    }
+}
+
+impl GapOracle for FfOracle {
+    fn dims(&self) -> usize {
+        self.n_balls
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(self.min_size, self.bin_capacity); self.n_balls]
+    }
+
+    fn gap(&self, x: &[f64]) -> f64 {
+        if x.len() != self.n_balls
+            || x.iter()
+                .any(|&s| !s.is_finite() || s < 0.0 || s > self.bin_capacity + 1e-12)
+        {
+            return f64::NEG_INFINITY;
+        }
+        let inst = VbpInstance {
+            bin_capacity: vec![self.bin_capacity],
+            balls: x.iter().map(|&s| vec![s]).collect(),
+        };
+        let ff = first_fit(&inst).bins_used as f64;
+        let opt = optimal(&inst).bins_used as f64;
+        ff - opt
+    }
+
+    fn dim_names(&self) -> Vec<String> {
+        (0..self.n_balls).map(|i| format!("B{i}")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_oracle_fig1a_point() {
+        let oracle = DpOracle::new(TeProblem::fig1a(), 50.0);
+        assert_eq!(oracle.dims(), 3);
+        assert_eq!(oracle.bounds()[0], (0.0, 100.0));
+        let g = oracle.gap(&[50.0, 100.0, 100.0]);
+        assert!((g - 100.0).abs() < 1e-6, "{g}");
+        assert_eq!(oracle.dim_names()[0], "d[1~3]");
+    }
+
+    #[test]
+    fn dp_oracle_zero_point() {
+        let oracle = DpOracle::new(TeProblem::fig1a(), 50.0);
+        assert!(oracle.gap(&[0.0, 0.0, 0.0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ff_oracle_sec2_point() {
+        let oracle = FfOracle::new(4);
+        let g = oracle.gap(&[0.01, 0.49, 0.51, 0.51]);
+        assert_eq!(g, 1.0);
+    }
+
+    #[test]
+    fn ff_oracle_benign_point() {
+        let oracle = FfOracle::new(4);
+        assert_eq!(oracle.gap(&[0.5, 0.5, 0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn ff_oracle_rejects_invalid() {
+        let oracle = FfOracle::new(2);
+        assert_eq!(oracle.gap(&[0.5]), f64::NEG_INFINITY);
+        assert_eq!(oracle.gap(&[0.5, 1.5]), f64::NEG_INFINITY);
+        assert_eq!(oracle.gap(&[0.5, f64::NAN]), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,296 @@
+//! Search-based adversarial input finder.
+//!
+//! This is the documented substitution for MetaOpt's Gurobi-backed bilevel
+//! solver on instances too large for the exact MILP route (DESIGN.md §2):
+//! multi-start compass (pattern) search over the gap oracle, with support
+//! for the exclusion regions that XPlain's iterate-and-exclude loop
+//! (§5.2 step 3) feeds back. The exact MILP analyzers
+//! ([`crate::dp_metaopt`], [`crate::ff_metaopt`]) cross-validate it on
+//! paper-scale instances.
+
+use crate::geometry::Polytope;
+use crate::oracle::GapOracle;
+use rand::Rng;
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Independent random restarts.
+    pub restarts: usize,
+    /// Evaluation budget per restart.
+    pub evals_per_restart: usize,
+    /// Initial pattern step as a fraction of each dimension's range.
+    pub init_step_frac: f64,
+    /// Stop shrinking below this fraction.
+    pub min_step_frac: f64,
+    /// Structured seed points probed before random restarts (corners,
+    /// threshold-straddling points...). Invalid/excluded entries are
+    /// skipped silently.
+    pub seeds: Vec<Vec<f64>>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            restarts: 24,
+            evals_per_restart: 400,
+            init_step_frac: 0.25,
+            min_step_frac: 1e-3,
+            seeds: Vec::new(),
+        }
+    }
+}
+
+/// An adversarial input and its gap.
+#[derive(Debug, Clone)]
+pub struct Adversarial {
+    pub input: Vec<f64>,
+    pub gap: f64,
+}
+
+/// Find an input maximizing the oracle's gap, avoiding `excluded` regions.
+///
+/// Returns `None` when no valid (finite-gap, non-excluded) point with a
+/// strictly positive gap is found within budget — the signal that the
+/// iterate-and-exclude loop has exhausted the space.
+pub fn find_adversarial(
+    oracle: &dyn GapOracle,
+    excluded: &[Polytope],
+    opts: &SearchOptions,
+    rng: &mut impl Rng,
+) -> Option<Adversarial> {
+    let bounds = oracle.bounds();
+    let dims = bounds.len();
+    let ranges: Vec<f64> = bounds.iter().map(|(lo, hi)| hi - lo).collect();
+    let is_excluded = |x: &[f64]| excluded.iter().any(|p| p.contains(x, 1e-9));
+
+    let eval = |x: &[f64]| -> f64 {
+        if is_excluded(x) {
+            f64::NEG_INFINITY
+        } else {
+            oracle.gap(x)
+        }
+    };
+
+    let mut best: Option<Adversarial> = None;
+    let consider = |x: &[f64], g: f64, best: &mut Option<Adversarial>| {
+        if g.is_finite() && g > 0.0 && best.as_ref().map_or(true, |b| g > b.gap) {
+            *best = Some(Adversarial {
+                input: x.to_vec(),
+                gap: g,
+            });
+        }
+    };
+
+    // Structured seeds first.
+    let mut starts: Vec<Vec<f64>> = opts
+        .seeds
+        .iter()
+        .filter(|s| s.len() == dims)
+        .cloned()
+        .collect();
+    for _ in 0..opts.restarts {
+        starts.push(
+            bounds
+                .iter()
+                .map(|(lo, hi)| rng.gen_range(*lo..=*hi))
+                .collect(),
+        );
+    }
+
+    for start in starts {
+        let mut x = clamp(&start, &bounds);
+        let mut fx = eval(&x);
+        let mut evals = 1usize;
+        // Re-draw excluded/invalid starts a few times.
+        let mut tries = 0;
+        while !fx.is_finite() && tries < 20 && evals < opts.evals_per_restart {
+            x = bounds
+                .iter()
+                .map(|(lo, hi)| rng.gen_range(*lo..=*hi))
+                .collect();
+            fx = eval(&x);
+            evals += 1;
+            tries += 1;
+        }
+        if !fx.is_finite() {
+            continue;
+        }
+        consider(&x, fx, &mut best);
+
+        let mut step = opts.init_step_frac;
+        while step >= opts.min_step_frac && evals < opts.evals_per_restart {
+            let mut improved = false;
+            for d in 0..dims {
+                for sign in [1.0, -1.0] {
+                    if evals >= opts.evals_per_restart {
+                        break;
+                    }
+                    let mut cand = x.clone();
+                    cand[d] = (cand[d] + sign * step * ranges[d])
+                        .clamp(bounds[d].0, bounds[d].1);
+                    if (cand[d] - x[d]).abs() < 1e-15 {
+                        continue;
+                    }
+                    let fc = eval(&cand);
+                    evals += 1;
+                    if fc > fx + 1e-12 {
+                        x = cand;
+                        fx = fc;
+                        consider(&x, fx, &mut best);
+                        improved = true;
+                        break;
+                    }
+                }
+                if improved {
+                    break;
+                }
+            }
+            if !improved {
+                step *= 0.5;
+            }
+        }
+    }
+
+    best
+}
+
+fn clamp(x: &[f64], bounds: &[(f64, f64)]) -> Vec<f64> {
+    x.iter()
+        .zip(bounds)
+        .map(|(v, (lo, hi))| v.clamp(*lo, *hi))
+        .collect()
+}
+
+/// Structured seed points for a DP-style oracle: demands straddling the
+/// pinning threshold. Covers the "one pinnable demand + saturating
+/// neighbors" patterns that make DP underperform.
+pub fn dp_seeds(dims: usize, threshold: f64, cap: f64) -> Vec<Vec<f64>> {
+    let mut seeds = Vec::new();
+    let pin = threshold; // pinnable (d <= T)
+    for k in 0..dims {
+        let mut all_big = vec![cap; dims];
+        all_big[k] = pin;
+        seeds.push(all_big);
+        let mut one_hot = vec![0.0; dims];
+        one_hot[k] = pin;
+        seeds.push(one_hot);
+    }
+    seeds.push(vec![pin; dims]);
+    seeds.push(vec![cap; dims]);
+    seeds
+}
+
+/// Structured seeds for an FF oracle: the classic "small filler + balls
+/// just over half" patterns.
+pub fn ff_seeds(dims: usize, cap: f64, min_size: f64) -> Vec<Vec<f64>> {
+    let mut seeds = Vec::new();
+    let just_under = 0.49 * cap;
+    let just_over = 0.51 * cap;
+    let mut s1 = vec![just_over; dims];
+    s1[0] = min_size.max(0.01 * cap);
+    if dims > 1 {
+        s1[1] = just_under;
+    }
+    seeds.push(s1);
+    seeds.push(vec![just_over; dims]);
+    let mut s3 = Vec::with_capacity(dims);
+    for i in 0..dims {
+        s3.push(if i % 2 == 0 { 0.3 * cap } else { 0.8 * cap });
+    }
+    seeds.push(s3);
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{DpOracle, FfOracle};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xplain_domains::te::TeProblem;
+
+    #[test]
+    fn finds_dp_gap_on_fig1a() {
+        let oracle = DpOracle::new(TeProblem::fig1a(), 50.0);
+        let opts = SearchOptions {
+            seeds: dp_seeds(3, 50.0, 100.0),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let adv = find_adversarial(&oracle, &[], &opts, &mut rng).expect("gap exists");
+        // The true maximum gap is 100 (Fig. 1a); the search must get close.
+        assert!(adv.gap >= 90.0, "found only {}", adv.gap);
+        // The pinnable demand must be at/below the threshold.
+        assert!(adv.input[0] <= 50.0 + 1e-9);
+    }
+
+    #[test]
+    fn finds_ff_gap_with_four_balls() {
+        let oracle = FfOracle::new(4);
+        let opts = SearchOptions {
+            seeds: ff_seeds(4, 1.0, 0.01),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let adv = find_adversarial(&oracle, &[], &opts, &mut rng).expect("gap exists");
+        assert!(adv.gap >= 1.0, "found only {}", adv.gap);
+    }
+
+    #[test]
+    fn respects_exclusions() {
+        let oracle = DpOracle::new(TeProblem::fig1a(), 50.0);
+        // Exclude the whole box: nothing to find.
+        let all = Polytope::from_box(&[0.0, 0.0, 0.0], &[100.0, 100.0, 100.0]);
+        let opts = SearchOptions {
+            restarts: 4,
+            evals_per_restart: 50,
+            seeds: dp_seeds(3, 50.0, 100.0),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(find_adversarial(&oracle, &[all], &opts, &mut rng).is_none());
+    }
+
+    #[test]
+    fn exclusion_moves_the_answer() {
+        let oracle = DpOracle::new(TeProblem::fig1a(), 50.0);
+        let opts = SearchOptions {
+            seeds: dp_seeds(3, 50.0, 100.0),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let first = find_adversarial(&oracle, &[], &opts, &mut rng).unwrap();
+        // Exclude a box around the first answer.
+        let lo: Vec<f64> = first.input.iter().map(|v| (v - 10.0).max(0.0)).collect();
+        let hi: Vec<f64> = first.input.iter().map(|v| (v + 10.0).min(100.0)).collect();
+        let excl = Polytope::from_box(&lo, &hi);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        if let Some(second) = find_adversarial(&oracle, &[excl.clone()], &opts, &mut rng2) {
+            assert!(!excl.contains(&second.input, 1e-9));
+        }
+    }
+
+    #[test]
+    fn zero_gap_oracle_returns_none() {
+        struct Flat;
+        impl GapOracle for Flat {
+            fn dims(&self) -> usize {
+                2
+            }
+            fn bounds(&self) -> Vec<(f64, f64)> {
+                vec![(0.0, 1.0); 2]
+            }
+            fn gap(&self, _x: &[f64]) -> f64 {
+                0.0
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let opts = SearchOptions {
+            restarts: 3,
+            evals_per_restart: 30,
+            ..Default::default()
+        };
+        assert!(find_adversarial(&Flat, &[], &opts, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,96 @@
+//! E6 timing bench — the §5.1 compiled-DSL claim: raw vs
+//! redundancy-eliminated compilation and solve for the DP (Fig. 4a) and
+//! FF (Fig. 4b) networks. Expected shape: elimination pays off on DP
+//! (paper: 4.3×) and does nothing for FF (paper: "no run-time gains").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use xplain_domains::te::{TeDsl, TeProblem};
+use xplain_domains::vbp::VbpDsl;
+use xplain_flownet::CompileOptions;
+
+fn bench_dp_compile_solve(c: &mut Criterion) {
+    let problem = TeProblem::fig4a();
+    let dsl = TeDsl::build(&problem);
+    let volumes = [35.0, 45.0, 20.0, 30.0, 80.0, 25.0, 40.0, 30.0];
+
+    let mut group = c.benchmark_group("e6_dp_analyze");
+    group.sample_size(30);
+    for (label, eliminate) in [("raw", false), ("eliminated", true)] {
+        let opts = CompileOptions {
+            eliminate,
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let compiled = dsl.net.compile(&opts).expect("compiles");
+                let mut pins = BTreeMap::new();
+                for (k, &node) in dsl.demand_nodes.iter().enumerate() {
+                    pins.insert(node, volumes[k]);
+                }
+                let model = compiled.with_source_values(&pins).expect("pins");
+                black_box(model.solve().expect("solves"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ff_compile_solve(c: &mut Criterion) {
+    let dsl = VbpDsl::build(4, 3, 1.0);
+    let sizes = [0.2, 0.35, 0.3, 0.4];
+
+    let mut group = c.benchmark_group("e6_ff_analyze");
+    group.sample_size(20);
+    for (label, eliminate) in [("raw", false), ("eliminated", true)] {
+        let opts = CompileOptions {
+            eliminate,
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let compiled = dsl.net.compile(&opts).expect("compiles");
+                let mut pins = BTreeMap::new();
+                for (i, &node) in dsl.ball_nodes.iter().enumerate() {
+                    pins.insert(node, sizes[i]);
+                }
+                let model = compiled.with_source_values(&pins).expect("pins");
+                black_box(model.solve().expect("solves"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_appendix_a_overhead(c: &mut Criterion) {
+    // E9 timing: direct solve vs Theorem A.1 flow-encoded solve.
+    use xplain_flownet::encode_lp::encode;
+    use xplain_lp::{Cmp, Model, Sense, VarType};
+
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+    let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+    m.add_constr("c1", x + y, Cmp::Le, 4.0);
+    m.add_constr("c2", x + y * 3.0, Cmp::Le, 6.0);
+    m.set_objective(x * 3.0 + y * 2.0);
+
+    let mut group = c.benchmark_group("e9_encoding_overhead");
+    group.sample_size(30);
+    group.bench_function("direct", |b| {
+        b.iter(|| black_box(m.solve().expect("solves")));
+    });
+    let encoded = encode(&m).expect("encodes");
+    group.bench_function("via_flow_network", |b| {
+        b.iter(|| black_box(encoded.solve(&CompileOptions::default()).expect("solves")));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp_compile_solve,
+    bench_ff_compile_solve,
+    bench_appendix_a_overhead
+);
+criterion_main!(benches);

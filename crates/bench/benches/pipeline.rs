@@ -1,0 +1,123 @@
+//! E7 timing bench — XPlain pipeline stages: subspace growth,
+//! significance checking, and the 3000-sample explainer (the figure
+//! caption's "20 minutes per figure" in the paper's setup).
+//!
+//! Sample counts are scaled down so `cargo bench` completes in minutes;
+//! `repro pipeline-time` runs the full-size configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use xplain_analyzer::geometry::Polytope;
+use xplain_analyzer::oracle::{DpOracle, GapOracle};
+use xplain_analyzer::search::{dp_seeds, find_adversarial, Adversarial, SearchOptions};
+use xplain_core::explainer::{explain, DpDslMapper, ExplainerParams};
+use xplain_core::features::FeatureMap;
+use xplain_core::significance::{check_significance, SignificanceParams};
+use xplain_core::subspace::{grow_subspace, Subspace, SubspaceParams};
+use xplain_domains::te::TeProblem;
+
+fn dp_seed_subspace() -> Subspace {
+    let lo = vec![30.0, 80.0, 80.0];
+    let hi = vec![50.0, 100.0, 100.0];
+    Subspace {
+        polytope: Polytope::from_box(&lo, &hi),
+        rough_lo: lo,
+        rough_hi: hi,
+        seed: vec![50.0, 100.0, 100.0],
+        seed_gap: 100.0,
+        predicate_descriptions: Vec::new(),
+        leaf_mean_gap: 100.0,
+        leaf_samples: 0,
+        evaluations: 0,
+    }
+}
+
+fn bench_analyzer_search(c: &mut Criterion) {
+    let oracle = DpOracle::new(TeProblem::fig1a(), 50.0);
+    let opts = SearchOptions {
+        restarts: 6,
+        evals_per_restart: 120,
+        seeds: dp_seeds(3, 50.0, 100.0),
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(10);
+    group.bench_function("analyzer_search_dp", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(find_adversarial(&oracle, &[], &opts, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn bench_subspace_growth(c: &mut Criterion) {
+    let oracle = DpOracle::new(TeProblem::fig1a(), 50.0);
+    let seed = Adversarial {
+        input: vec![50.0, 100.0, 100.0],
+        gap: 100.0,
+    };
+    let features = FeatureMap::identity_with_sum(3, &oracle.dim_names());
+    let params = SubspaceParams {
+        dkw_eps: 0.25,
+        dkw_delta: 0.25,
+        max_expansions: 6,
+        tree_sample_factor: 2,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(10);
+    group.bench_function("subspace_growth_dp", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(grow_subspace(&oracle, &seed, &features, &params, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn bench_significance(c: &mut Criterion) {
+    let oracle = DpOracle::new(TeProblem::fig1a(), 50.0);
+    let sub = dp_seed_subspace();
+    let params = SignificanceParams {
+        pairs: 60,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(10);
+    group.bench_function("significance_check_dp", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(check_significance(&oracle, &sub, &params, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn bench_explainer(c: &mut Criterion) {
+    let mapper = DpDslMapper::new(TeProblem::fig1a(), 50.0);
+    let sub = dp_seed_subspace();
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(10);
+    for samples in [100usize, 500] {
+        let params = ExplainerParams {
+            samples,
+            ..Default::default()
+        };
+        group.bench_function(format!("explainer_dp_{samples}_samples"), |b| {
+            b.iter(|| black_box(explain(&mapper, &sub, &params, 4)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_analyzer_search,
+    bench_subspace_growth,
+    bench_significance,
+    bench_explainer
+);
+criterion_main!(benches);

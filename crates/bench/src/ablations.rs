@@ -1,0 +1,236 @@
+//! Ablations of XPlain's design choices (DESIGN.md §5), quantified with
+//! the risk-surface coverage metric of `xplain-core::coverage`:
+//!
+//! * **A1 — regression-tree refinement** (§5.2 / Fig. 5b): rough cube vs
+//!   tree-refined polytope. The paper motivates the tree as reducing
+//!   false positives; precision should rise with it.
+//! * **A2 — DKW slice sampling**: looser ε means fewer samples per slice
+//!   and cheaper growth but noisier boundaries.
+//! * **A3 — density threshold**: how aggressively slices keep expanding.
+//! * **A4 — heuristic comparison**: first-fit vs best-fit vs
+//!   first-fit-decreasing gap profiles over a common instance family
+//!   (the §2 remark that FF's siblings are "harder still" to reason
+//!   about, made measurable).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xplain_analyzer::oracle::{DpOracle, FfOracle, GapOracle};
+use xplain_analyzer::search::Adversarial;
+use xplain_core::coverage::{estimate_coverage, CoverageReport};
+use xplain_core::features::FeatureMap;
+use xplain_core::subspace::{grow_subspace, SubspaceParams};
+use xplain_domains::te::TeProblem;
+use xplain_domains::vbp::{best_fit, first_fit, first_fit_decreasing, optimal, VbpInstance};
+
+/// One ablation configuration's outcome.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    pub label: String,
+    pub coverage: CoverageReport,
+    pub evaluations: usize,
+    pub halfspaces: usize,
+}
+
+/// A1 + A2 + A3 on the DP subspace around the Fig. 1a adversarial point.
+pub fn run_subspace_ablations() -> Vec<AblationRow> {
+    let oracle = DpOracle::new(TeProblem::fig1a(), 50.0);
+    let seed = Adversarial {
+        input: vec![50.0, 100.0, 100.0],
+        gap: 100.0,
+    };
+    let features = FeatureMap::identity_with_sum(3, &oracle.dim_names());
+
+    let variants: Vec<(String, SubspaceParams)> = vec![
+        ("baseline (tree, eps=.15)".into(), SubspaceParams::default()),
+        (
+            "no tree refinement".into(),
+            SubspaceParams {
+                refine_with_tree: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "loose DKW (eps=.3)".into(),
+            SubspaceParams {
+                dkw_eps: 0.3,
+                dkw_delta: 0.3,
+                ..Default::default()
+            },
+        ),
+        (
+            "tight DKW (eps=.08)".into(),
+            SubspaceParams {
+                dkw_eps: 0.08,
+                dkw_delta: 0.05,
+                ..Default::default()
+            },
+        ),
+        (
+            "greedy expansion (density=.25)".into(),
+            SubspaceParams {
+                density_threshold: 0.25,
+                ..Default::default()
+            },
+        ),
+        (
+            "cautious expansion (density=.75)".into(),
+            SubspaceParams {
+                density_threshold: 0.75,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, params) in variants {
+        let mut rng = StdRng::seed_from_u64(0xAB1);
+        let sub = grow_subspace(&oracle, &seed, &features, &params, &mut rng);
+        let coverage = estimate_coverage(&oracle, &[sub.clone()], 20.0, 3000, &mut rng);
+        rows.push(AblationRow {
+            label,
+            coverage,
+            evaluations: sub.evaluations,
+            halfspaces: sub.polytope.halfspaces.len(),
+        });
+    }
+    rows
+}
+
+/// A4: gap distribution of the three heuristics over a shared family.
+#[derive(Debug, Clone)]
+pub struct HeuristicRow {
+    pub heuristic: String,
+    pub mean_gap: f64,
+    pub max_gap: f64,
+    pub nonzero_frac: f64,
+}
+
+pub fn run_heuristic_comparison(instances: usize, n_balls: usize) -> Vec<HeuristicRow> {
+    let mut rng = StdRng::seed_from_u64(0xAB4);
+    let mut gaps: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for _ in 0..instances {
+        let sizes: Vec<f64> = (0..n_balls).map(|_| rng.gen_range(0.05..0.95)).collect();
+        let inst = VbpInstance::one_dim(&sizes);
+        let opt = optimal(&inst).bins_used as f64;
+        gaps[0].push(first_fit(&inst).bins_used as f64 - opt);
+        gaps[1].push(best_fit(&inst).bins_used as f64 - opt);
+        gaps[2].push(first_fit_decreasing(&inst).bins_used as f64 - opt);
+    }
+    ["first-fit", "best-fit", "first-fit-decreasing"]
+        .iter()
+        .zip(gaps)
+        .map(|(name, g)| HeuristicRow {
+            heuristic: name.to_string(),
+            mean_gap: g.iter().sum::<f64>() / g.len().max(1) as f64,
+            max_gap: g.iter().copied().fold(0.0, f64::max),
+            nonzero_frac: g.iter().filter(|v| **v > 0.5).count() as f64 / g.len().max(1) as f64,
+        })
+        .collect()
+}
+
+/// The FF oracle as a fourth sanity row: the §2 subspace's gap threshold.
+pub fn ff_probe() -> f64 {
+    FfOracle::new(4).gap(&[0.01, 0.49, 0.51, 0.51])
+}
+
+pub fn render(subspace_rows: &[AblationRow], heuristic_rows: &[HeuristicRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Ablations — design choices of the subspace generator (DP, Fig. 1a)\n");
+    out.push_str(&format!(
+        "  {:<34} {:>7} {:>10} {:>10} {:>8} {:>6}\n",
+        "variant", "evals", "recall", "precision", "volume", "faces"
+    ));
+    for r in subspace_rows {
+        out.push_str(&format!(
+            "  {:<34} {:>7} {:>9.1}% {:>9.1}% {:>7.1}% {:>6}\n",
+            r.label,
+            r.evaluations,
+            r.coverage.risk_recall * 100.0,
+            r.coverage.risk_precision * 100.0,
+            r.coverage.volume_fraction * 100.0,
+            r.halfspaces
+        ));
+    }
+    out.push('\n');
+    out.push_str("Heuristic comparison — FF vs BF vs FFD (random 12-ball instances)\n");
+    out.push_str(&format!(
+        "  {:<24} {:>9} {:>8} {:>12}\n",
+        "heuristic", "mean gap", "max gap", "gap>0 share"
+    ));
+    for r in heuristic_rows {
+        out.push_str(&format!(
+            "  {:<24} {:>9.3} {:>8.0} {:>11.1}%\n",
+            r.heuristic,
+            r.mean_gap,
+            r.max_gap,
+            r.nonzero_frac * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_refinement_improves_precision() {
+        let rows = run_subspace_ablations();
+        let baseline = &rows[0];
+        let no_tree = &rows[1];
+        assert!(
+            baseline.coverage.risk_precision >= no_tree.coverage.risk_precision - 0.05,
+            "tree {:.3} vs no-tree {:.3}",
+            baseline.coverage.risk_precision,
+            no_tree.coverage.risk_precision
+        );
+        // The tree adds predicates (faces) beyond the box's 2n.
+        assert!(baseline.halfspaces >= no_tree.halfspaces);
+    }
+
+    #[test]
+    fn tighter_dkw_costs_more_evaluations() {
+        let rows = run_subspace_ablations();
+        let loose = rows.iter().find(|r| r.label.contains("loose")).unwrap();
+        let tight = rows.iter().find(|r| r.label.contains("tight")).unwrap();
+        assert!(
+            tight.evaluations > loose.evaluations,
+            "tight {} <= loose {}",
+            tight.evaluations,
+            loose.evaluations
+        );
+    }
+
+    #[test]
+    fn all_variants_find_meaningful_regions() {
+        for r in run_subspace_ablations() {
+            assert!(
+                r.coverage.risk_precision > 0.3,
+                "{}: precision {:.3}",
+                r.label,
+                r.coverage.risk_precision
+            );
+        }
+    }
+
+    #[test]
+    fn ffd_dominates_ff_on_average() {
+        let rows = run_heuristic_comparison(60, 12);
+        let ff = rows.iter().find(|r| r.heuristic == "first-fit").unwrap();
+        let ffd = rows
+            .iter()
+            .find(|r| r.heuristic == "first-fit-decreasing")
+            .unwrap();
+        assert!(
+            ffd.mean_gap <= ff.mean_gap + 1e-9,
+            "ffd {} vs ff {}",
+            ffd.mean_gap,
+            ff.mean_gap
+        );
+    }
+
+    #[test]
+    fn probe_point_still_adversarial() {
+        assert_eq!(ff_probe(), 1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! `repro` — regenerate every table and figure of the XPlain paper.
+//!
+//! ```text
+//! repro <experiment> [--fast]
+//!
+//! experiments:
+//!   fig1           E1: the Fig. 1a Demand Pinning table
+//!   sec2-vbp       E2: adversarial VBP sizes via the exact MILP
+//!   fig2           E3: the 17-ball first-fit instance
+//!   fig4           E4: explainer heat-maps (writes DOT next to stdout)
+//!   fig5           E5: adversarial subspaces + significance p-values
+//!   speedup        E6: compiled-DSL redundancy-elimination speedup
+//!   pipeline-time  E7: end-to-end pipeline wall-clock
+//!   generalizer    E8: Type-3 trends (increasing(P))
+//!   appendix-a     E9: Theorem A.1 battery
+//!   ablations      design-choice ablations (tree, DKW, thresholds, heuristics)
+//!   all            everything above, in order
+//!
+//! `--fast` shrinks sample counts (CI-friendly); default sizes match the
+//! paper (3000 explainer samples etc.).
+//! ```
+
+use std::io::Write;
+use xplain_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let explainer_samples = if fast { 300 } else { 3000 };
+    let sig_pairs = if fast { 120 } else { 400 };
+    let speedup_trials = if fast { 10 } else { 60 };
+
+    let run_one = |name: &str| match name {
+        "fig1" => print!("{}", fig1::render(&fig1::run())),
+        "sec2-vbp" => print!("{}", vbp_examples::render_sec2(&vbp_examples::run_sec2())),
+        "fig2" => print!("{}", vbp_examples::render_fig2(&vbp_examples::run_fig2(true))),
+        "fig4" => {
+            let dp = fig4::run_dp(explainer_samples);
+            let ff = fig4::run_ff(explainer_samples);
+            print!("{}", fig4::render(&dp, &ff));
+            for (path, dot) in [("fig4a_dp.dot", &dp.dot), ("fig4b_ff.dot", &ff.dot)] {
+                if let Ok(mut f) = std::fs::File::create(path) {
+                    let _ = f.write_all(dot.as_bytes());
+                    println!("  wrote {path}");
+                }
+            }
+        }
+        "fig5" => print!("{}", fig5::render(&fig5::run(sig_pairs))),
+        "speedup" => print!("{}", speedup::render(&speedup::run(speedup_trials))),
+        "pipeline-time" => print!(
+            "{}",
+            pipeline_time::render(&pipeline_time::run(explainer_samples))
+        ),
+        "generalizer" => print!("{}", generalize::render(&generalize::run())),
+        "appendix-a" => print!("{}", appendix_a::render(&appendix_a::run())),
+        "ablations" => print!(
+            "{}",
+            ablations::render(
+                &ablations::run_subspace_ablations(),
+                &ablations::run_heuristic_comparison(if fast { 30 } else { 100 }, 12),
+            )
+        ),
+        other => {
+            eprintln!("unknown experiment '{other}'; see --help in the module docs");
+            std::process::exit(2);
+        }
+    };
+
+    if which == "all" {
+        for name in [
+            "fig1",
+            "sec2-vbp",
+            "fig2",
+            "fig4",
+            "fig5",
+            "speedup",
+            "pipeline-time",
+            "generalizer",
+            "appendix-a",
+            "ablations",
+        ] {
+            run_one(name);
+            println!();
+        }
+    } else {
+        run_one(which);
+    }
+}

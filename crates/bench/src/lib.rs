@@ -1,0 +1,33 @@
+//! # xplain-bench
+//!
+//! The reproduction harness: one module per table/figure/claim in the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index):
+//!
+//! | id | module | paper artifact |
+//! |----|--------|----------------|
+//! | E1 | [`fig1`] | Fig. 1a table (DP 150 vs OPT 250) |
+//! | E2 | [`vbp_examples`] | §2 adversarial VBP sizes (1/49/51/51) |
+//! | E3 | [`vbp_examples`] | Fig. 2 (FF 9 vs OPT 8 on 17 balls) |
+//! | E4 | [`fig4`] | Fig. 4 heat-maps (3000 samples) |
+//! | E5 | [`fig5`] | Fig. 5 subspaces + p-values (2e-60 / 8e-11) |
+//! | E6 | [`speedup`] | §5.1 compiled-DSL 4.3× speedup |
+//! | E7 | [`pipeline_time`] | Fig. 4 caption (20 min/figure) |
+//! | E8 | [`generalize`] | §5.4 `increasing(P)` |
+//! | E9 | [`appendix_a`] | Theorem A.1 executed |
+//!
+//! Beyond the paper, [`ablations`] quantifies the design choices
+//! DESIGN.md §5 documents (tree refinement, DKW sizing, expansion
+//! thresholds, heuristic variants).
+//!
+//! `cargo run -p xplain-bench --release --bin repro -- all` regenerates
+//! everything; `cargo bench` runs the Criterion timing benches.
+
+pub mod ablations;
+pub mod appendix_a;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod generalize;
+pub mod pipeline_time;
+pub mod speedup;
+pub mod vbp_examples;

@@ -1,0 +1,178 @@
+//! E2 — §2's MetaOpt-found adversarial VBP instance (4 balls, 3 bins:
+//! sizes ≈ 1%, 49%, 51%, 51%; FF 3 bins vs OPT 2), and
+//! E3 — Fig. 2's 17-ball instance (FF 9 bins vs OPT 8).
+
+use xplain_analyzer::ff_metaopt::FfMetaOpt;
+use rand::SeedableRng;
+use xplain_analyzer::oracle::FfOracle;
+use xplain_analyzer::search::{ff_seeds, find_adversarial, SearchOptions};
+use xplain_domains::vbp::{first_fit, optimal, VbpInstance};
+
+/// E2 result: the analyzer's adversarial sizes and both bin counts.
+#[derive(Debug, Clone)]
+pub struct Sec2Result {
+    pub sizes: Vec<f64>,
+    pub ff_bins: usize,
+    pub opt_bins: usize,
+    pub gap: f64,
+    /// Whether the exact MILP analyzer (vs the search fallback) produced
+    /// the instance.
+    pub exact: bool,
+}
+
+/// Reproduce E2 with the exact Fig. 1c MILP; fall back to search if the
+/// MILP fails (it should not).
+pub fn run_sec2() -> Sec2Result {
+    let analyzer = FfMetaOpt::sec2();
+    let (sizes, exact) = match analyzer.find_adversarial(&[]) {
+        Ok(adv) => (adv.input, true),
+        Err(_) => {
+            let oracle = FfOracle::new(4);
+            let opts = SearchOptions {
+                seeds: ff_seeds(4, 1.0, 0.01),
+                ..Default::default()
+            };
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            let adv = find_adversarial(&oracle, &[], &opts, &mut rng)
+                .expect("search must find the known gap");
+            (adv.input, false)
+        }
+    };
+    let inst = VbpInstance::one_dim(&sizes);
+    let ff = first_fit(&inst).bins_used;
+    let opt = optimal(&inst).bins_used;
+    Sec2Result {
+        sizes,
+        ff_bins: ff,
+        opt_bins: opt,
+        gap: ff as f64 - opt as f64,
+        exact,
+    }
+}
+
+/// E3 result: the Fig. 2 instance replayed, plus a search-found instance
+/// of the same size.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    pub paper_sizes: Vec<f64>,
+    pub paper_ff_bins: usize,
+    pub paper_opt_bins: usize,
+    pub searched_gap: Option<f64>,
+    pub searched_sizes: Option<Vec<f64>>,
+}
+
+/// Reproduce E3.
+pub fn run_fig2(search_gap_at_17: bool) -> Fig2Result {
+    let inst = VbpInstance::fig2_example();
+    let ff = first_fit(&inst).bins_used;
+    let opt = optimal(&inst).bins_used;
+
+    let (searched_gap, searched_sizes) = if search_gap_at_17 {
+        let oracle = FfOracle::new(17);
+        let opts = SearchOptions {
+            seeds: ff_seeds(17, 1.0, 0.01),
+            restarts: 12,
+            evals_per_restart: 200,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        match find_adversarial(&oracle, &[], &opts, &mut rng) {
+            Some(adv) => (Some(adv.gap), Some(adv.input)),
+            None => (None, None),
+        }
+    } else {
+        (None, None)
+    };
+
+    Fig2Result {
+        paper_sizes: inst.balls.iter().map(|b| b[0]).collect(),
+        paper_ff_bins: ff,
+        paper_opt_bins: opt,
+        searched_gap,
+        searched_sizes,
+    }
+}
+
+pub fn render_sec2(r: &Sec2Result) -> String {
+    let mut out = String::new();
+    out.push_str("E2 / §2 — adversarial VBP instance (4 balls, 3 bins)\n");
+    out.push_str(&format!(
+        "  analyzer: {}\n",
+        if r.exact {
+            "exact Fig. 1c MILP"
+        } else {
+            "pattern search (fallback)"
+        }
+    ));
+    out.push_str(&format!(
+        "  sizes (% of bin): [{}]   (paper: [1, 49, 51, 51])\n",
+        r.sizes
+            .iter()
+            .map(|s| format!("{:.0}", s * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  FF bins = {} (paper: 3)   OPT bins = {} (paper: 2)   gap = {:.0} (paper: 1)\n",
+        r.ff_bins, r.opt_bins, r.gap
+    ));
+    out
+}
+
+pub fn render_fig2(r: &Fig2Result) -> String {
+    let mut out = String::new();
+    out.push_str("E3 / Fig. 2 — 17-ball first-fit instance\n");
+    out.push_str(&format!(
+        "  ball sizes: [{}]\n",
+        r.paper_sizes
+            .iter()
+            .map(|s| format!("{s:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  FF bins = {} (paper: 9)   OPT bins = {} (paper: 8)\n",
+        r.paper_ff_bins, r.paper_opt_bins
+    ));
+    if let Some(g) = r.searched_gap {
+        out.push_str(&format!(
+            "  search analyzer at n = 17 found gap {g:.0} independently\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_matches_paper() {
+        let r = run_fig2(false);
+        assert_eq!(r.paper_ff_bins, 9);
+        assert_eq!(r.paper_opt_bins, 8);
+        assert_eq!(r.paper_sizes.len(), 17);
+    }
+
+    #[test]
+    fn fig2_search_finds_gap() {
+        let r = run_fig2(true);
+        assert!(r.searched_gap.unwrap_or(0.0) >= 1.0);
+    }
+
+    #[test]
+    fn render_fig2_mentions_counts() {
+        let text = render_fig2(&run_fig2(false));
+        assert!(text.contains("FF bins = 9"));
+        assert!(text.contains("OPT bins = 8"));
+    }
+
+    // The exact-MILP E2 test lives in xplain-analyzer (sec2_gap_of_one_bin);
+    // here we only check the fallback path wiring via the oracle.
+    #[test]
+    fn sec2_known_point_has_gap_one() {
+        let inst = VbpInstance::sec2_example();
+        assert_eq!(first_fit(&inst).bins_used, 3);
+        assert_eq!(optimal(&inst).bins_used, 2);
+    }
+}

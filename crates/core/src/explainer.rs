@@ -1,0 +1,458 @@
+//! The explainer (§5.3): why does the heuristic underperform in a
+//! subspace?
+//!
+//! "We run samples from within each contiguous subspace through the DSL
+//! and score edges based on if: (1) both the benchmark and the heuristic
+//! send flow on that edge (score = 0); (2) only the benchmark sends flow
+//! (score = 1); or (3) only the heuristic sends flow (score = -1). Such a
+//! 'heatmap' of the differences … shows how inputs in the subspace
+//! interfere with the heuristic."
+//!
+//! Sampling is fanned out over threads with `crossbeam` — evaluating a
+//! sample means running both the heuristic and an exact benchmark, which
+//! is pure CPU work.
+
+use crate::subspace::Subspace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use xplain_flownet::FlowNet;
+
+/// Domain adapter: maps a concrete input to heuristic/benchmark edge
+/// flows over a shared DSL graph.
+pub trait DslMapper: Sync {
+    fn net(&self) -> &FlowNet;
+
+    /// Heuristic edge flows at `x` (`None` when the input cannot be
+    /// mapped, e.g. the packing needs more bins than the graph has).
+    fn heuristic_flows(&self, x: &[f64]) -> Option<Vec<f64>>;
+
+    /// Benchmark (optimal) edge flows at `x`.
+    fn benchmark_flows(&self, x: &[f64]) -> Option<Vec<f64>>;
+}
+
+/// Per-edge aggregate of the heat-map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeScore {
+    pub edge_index: usize,
+    pub label: String,
+    /// Mean of per-sample scores in `[-1, 1]`: negative = heuristic-only
+    /// (red), positive = benchmark-only (blue).
+    pub score: f64,
+    /// Fraction of samples where the heuristic sends flow on this edge.
+    pub heuristic_frac: f64,
+    /// Fraction of samples where the benchmark sends flow on this edge.
+    pub benchmark_frac: f64,
+    /// Mean flow the heuristic routes on this edge.
+    pub heuristic_mean_flow: f64,
+    /// Mean flow the benchmark routes on this edge.
+    pub benchmark_mean_flow: f64,
+    /// Mean of `benchmark_flow - heuristic_flow` — §5.3's open question
+    /// ("the heuristic and benchmark also differ in how much flow they
+    /// route on each edge") answered with the obvious statistic.
+    pub mean_flow_delta: f64,
+}
+
+/// The heat-map for one subspace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Explanation {
+    pub edges: Vec<EdgeScore>,
+    pub samples_used: usize,
+}
+
+impl Explanation {
+    /// Scores aligned with the DSL's edge ids (for DOT export).
+    pub fn score_vector(&self) -> Vec<f64> {
+        self.edges.iter().map(|e| e.score).collect()
+    }
+
+    /// Edges sorted by how strongly the two algorithms disagree.
+    pub fn strongest_disagreements(&self, top: usize) -> Vec<&EdgeScore> {
+        let mut refs: Vec<&EdgeScore> = self.edges.iter().collect();
+        refs.sort_by(|a, b| {
+            b.score
+                .abs()
+                .partial_cmp(&a.score.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        refs.truncate(top);
+        refs
+    }
+}
+
+/// Explainer configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplainerParams {
+    /// Samples per subspace (the paper's figures use 3000).
+    pub samples: usize,
+    /// Flow below this is "not using the edge".
+    pub flow_tol: f64,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+}
+
+impl Default for ExplainerParams {
+    fn default() -> Self {
+        ExplainerParams {
+            samples: 3000,
+            flow_tol: 1e-6,
+            threads: 0,
+        }
+    }
+}
+
+/// Produce the heat-map for a subspace.
+pub fn explain(
+    mapper: &dyn DslMapper,
+    subspace: &Subspace,
+    params: &ExplainerParams,
+    seed: u64,
+) -> Explanation {
+    let n_edges = mapper.net().num_edges();
+    let threads = if params.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    } else {
+        params.threads
+    };
+    let per_thread = params.samples.div_ceil(threads);
+
+    struct Acc {
+        score_sum: Vec<f64>,
+        h_used: Vec<usize>,
+        b_used: Vec<usize>,
+        h_flow: Vec<f64>,
+        b_flow: Vec<f64>,
+        samples: usize,
+    }
+
+    let accumulate = |tid: usize| -> Acc {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(tid as u64 * 0x9E3779B9));
+        let mut acc = Acc {
+            score_sum: vec![0.0; n_edges],
+            h_used: vec![0; n_edges],
+            b_used: vec![0; n_edges],
+            h_flow: vec![0.0; n_edges],
+            b_flow: vec![0.0; n_edges],
+            samples: 0,
+        };
+        let lo = &subspace.rough_lo;
+        let hi = &subspace.rough_hi;
+        let dims = lo.len();
+        let mut produced = 0usize;
+        let mut attempts = 0usize;
+        while produced < per_thread && attempts < per_thread * 40 {
+            attempts += 1;
+            let x: Vec<f64> = (0..dims)
+                .map(|d| rng.gen_range(lo[d]..=hi[d]))
+                .collect();
+            if !subspace.contains(&x) {
+                continue;
+            }
+            let (Some(hf), Some(bf)) = (mapper.heuristic_flows(&x), mapper.benchmark_flows(&x))
+            else {
+                continue;
+            };
+            for e in 0..n_edges {
+                let h = hf[e] > params.flow_tol;
+                let b = bf[e] > params.flow_tol;
+                if h {
+                    acc.h_used[e] += 1;
+                }
+                if b {
+                    acc.b_used[e] += 1;
+                }
+                acc.h_flow[e] += hf[e];
+                acc.b_flow[e] += bf[e];
+                acc.score_sum[e] += match (h, b) {
+                    (true, false) => -1.0,
+                    (false, true) => 1.0,
+                    _ => 0.0,
+                };
+            }
+            acc.samples += 1;
+            produced += 1;
+        }
+        acc
+    };
+
+    let accs: Vec<Acc> = if threads <= 1 {
+        vec![accumulate(0)]
+    } else {
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| scope.spawn(move |_| accumulate(tid)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("explainer worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope")
+    };
+
+    let mut score_sum = vec![0.0; n_edges];
+    let mut h_used = vec![0usize; n_edges];
+    let mut b_used = vec![0usize; n_edges];
+    let mut h_flow = vec![0.0; n_edges];
+    let mut b_flow = vec![0.0; n_edges];
+    let mut total = 0usize;
+    for acc in accs {
+        for e in 0..n_edges {
+            score_sum[e] += acc.score_sum[e];
+            h_used[e] += acc.h_used[e];
+            b_used[e] += acc.b_used[e];
+            h_flow[e] += acc.h_flow[e];
+            b_flow[e] += acc.b_flow[e];
+        }
+        total += acc.samples;
+    }
+
+    let denom = total.max(1) as f64;
+    let edges = (0..n_edges)
+        .map(|e| EdgeScore {
+            edge_index: e,
+            label: mapper.net().edges()[e].label.clone(),
+            score: score_sum[e] / denom,
+            heuristic_frac: h_used[e] as f64 / denom,
+            benchmark_frac: b_used[e] as f64 / denom,
+            heuristic_mean_flow: h_flow[e] / denom,
+            benchmark_mean_flow: b_flow[e] / denom,
+            mean_flow_delta: (b_flow[e] - h_flow[e]) / denom,
+        })
+        .collect();
+
+    Explanation {
+        edges,
+        samples_used: total,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Domain adapters
+// ---------------------------------------------------------------------
+
+/// DSL mapper for Demand Pinning on a TE problem (Fig. 4a).
+pub struct DpDslMapper {
+    pub problem: xplain_domains::te::TeProblem,
+    pub heuristic: xplain_domains::te::DemandPinning,
+    pub dsl: xplain_domains::te::TeDsl,
+}
+
+impl DpDslMapper {
+    pub fn new(problem: xplain_domains::te::TeProblem, threshold: f64) -> Self {
+        let dsl = xplain_domains::te::TeDsl::build(&problem);
+        DpDslMapper {
+            heuristic: xplain_domains::te::DemandPinning::new(threshold),
+            problem,
+            dsl,
+        }
+    }
+}
+
+impl DslMapper for DpDslMapper {
+    fn net(&self) -> &FlowNet {
+        &self.dsl.net
+    }
+
+    fn heuristic_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
+        let alloc = self.heuristic.solve(&self.problem, x).ok()?;
+        Some(self.dsl.assignment(x, &alloc))
+    }
+
+    fn benchmark_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
+        let alloc = self.problem.optimal(x).ok()?;
+        Some(self.dsl.assignment(x, &alloc))
+    }
+}
+
+/// DSL mapper for first-fit bin packing (Fig. 4b).
+pub struct FfDslMapper {
+    pub n_balls: usize,
+    pub n_bins: usize,
+    pub capacity: f64,
+    pub dsl: xplain_domains::vbp::VbpDsl,
+}
+
+impl FfDslMapper {
+    pub fn new(n_balls: usize, n_bins: usize, capacity: f64) -> Self {
+        FfDslMapper {
+            n_balls,
+            n_bins,
+            capacity,
+            dsl: xplain_domains::vbp::VbpDsl::build(n_balls, n_bins, capacity),
+        }
+    }
+
+    fn instance(&self, x: &[f64]) -> Option<xplain_domains::vbp::VbpInstance> {
+        if x.len() != self.n_balls {
+            return None;
+        }
+        Some(xplain_domains::vbp::VbpInstance {
+            bin_capacity: vec![self.capacity],
+            balls: x.iter().map(|&s| vec![s]).collect(),
+        })
+    }
+}
+
+impl DslMapper for FfDslMapper {
+    fn net(&self) -> &FlowNet {
+        &self.dsl.net
+    }
+
+    fn heuristic_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
+        let inst = self.instance(x)?;
+        let packing = xplain_domains::vbp::first_fit(&inst);
+        self.dsl.assignment(&inst, &packing)
+    }
+
+    fn benchmark_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
+        let inst = self.instance(x)?;
+        let packing = xplain_domains::vbp::optimal(&inst);
+        self.dsl.assignment(&inst, &packing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subspace::Subspace;
+    use xplain_analyzer::geometry::Polytope;
+
+    /// A hand-built subspace (skip the generator for unit tests).
+    fn box_subspace(lo: Vec<f64>, hi: Vec<f64>, seed: Vec<f64>, gap: f64) -> Subspace {
+        Subspace {
+            polytope: Polytope::from_box(&lo, &hi),
+            rough_lo: lo,
+            rough_hi: hi,
+            seed_gap: gap,
+            seed,
+            predicate_descriptions: Vec::new(),
+            leaf_mean_gap: gap,
+            leaf_samples: 0,
+            evaluations: 0,
+        }
+    }
+
+    /// The Fig. 4a claim: inside the DP adversarial subspace, the
+    /// heuristic-only edges are the pinned demand's shortest path and the
+    /// benchmark-only edges are the long path.
+    #[test]
+    fn dp_heatmap_matches_fig4a() {
+        let mapper = DpDslMapper::new(xplain_domains::te::TeProblem::fig1a(), 50.0);
+        // Subspace: pinnable 1⇝3 near the threshold, other demands large.
+        let sub = box_subspace(
+            vec![35.0, 85.0, 85.0],
+            vec![50.0, 100.0, 100.0],
+            vec![50.0, 100.0, 100.0],
+            100.0,
+        );
+        let params = ExplainerParams {
+            samples: 250,
+            threads: 2,
+            ..Default::default()
+        };
+        let ex = explain(&mapper, &sub, &params, 42);
+        assert!(ex.samples_used >= 200, "{}", ex.samples_used);
+
+        let find = |label: &str| -> &EdgeScore {
+            ex.edges
+                .iter()
+                .find(|e| e.label == label)
+                .unwrap_or_else(|| panic!("edge {label} missing"))
+        };
+        // Heuristic-only (red): pinned demand on its shortest path.
+        let short = find("1~3->1-2-3");
+        assert!(short.score < -0.9, "short path score {}", short.score);
+        // Benchmark-only (blue): the optimal reroutes over 1-4-5-3.
+        let long = find("1~3->1-4-5-3");
+        assert!(long.score > 0.9, "long path score {}", long.score);
+        // Both route the other demands on their single paths: score ~ 0.
+        let d12 = find("1~2->1-2");
+        assert!(d12.score.abs() < 0.2, "1~2 score {}", d12.score);
+    }
+
+    /// Fig. 4b in miniature: in the §2 subspace FF places the filler+ball
+    /// differently from the optimal.
+    #[test]
+    fn ff_heatmap_shows_bin_disagreement() {
+        let mapper = FfDslMapper::new(4, 3, 1.0);
+        let sub = box_subspace(
+            vec![0.01, 0.45, 0.51, 0.51],
+            vec![0.05, 0.49, 0.55, 0.55],
+            vec![0.01, 0.49, 0.51, 0.51],
+            1.0,
+        );
+        let params = ExplainerParams {
+            samples: 200,
+            threads: 2,
+            ..Default::default()
+        };
+        let ex = explain(&mapper, &sub, &params, 7);
+        assert!(ex.samples_used >= 150);
+        // FF always places B0 (the filler) in Bin0: heuristic uses
+        // B0->Bin0 in every sample.
+        let b0bin0 = ex
+            .edges
+            .iter()
+            .find(|e| e.label == "B0->Bin0")
+            .unwrap();
+        assert!(
+            b0bin0.heuristic_frac > 0.99,
+            "B0->Bin0 heuristic frac {}",
+            b0bin0.heuristic_frac
+        );
+        // Some edge must show strong disagreement (|score| large).
+        let strongest = ex.strongest_disagreements(1)[0];
+        assert!(
+            strongest.score.abs() > 0.5,
+            "strongest disagreement only {}",
+            strongest.score
+        );
+    }
+
+    #[test]
+    fn single_thread_deterministic() {
+        let mapper = FfDslMapper::new(3, 3, 1.0);
+        let sub = box_subspace(
+            vec![0.3, 0.3, 0.3],
+            vec![0.6, 0.6, 0.6],
+            vec![0.5, 0.5, 0.5],
+            1.0,
+        );
+        let params = ExplainerParams {
+            samples: 50,
+            threads: 1,
+            ..Default::default()
+        };
+        let a = explain(&mapper, &sub, &params, 99);
+        let b = explain(&mapper, &sub, &params, 99);
+        assert_eq!(a.samples_used, b.samples_used);
+        for (ea, eb) in a.edges.iter().zip(&b.edges) {
+            assert_eq!(ea.score, eb.score);
+        }
+    }
+
+    #[test]
+    fn unmappable_samples_skipped() {
+        // DSL with 2 bins but instances that may need 3: those samples are
+        // skipped, not fatal.
+        let mapper = FfDslMapper::new(3, 2, 1.0);
+        let sub = box_subspace(
+            vec![0.6, 0.6, 0.6],
+            vec![0.9, 0.9, 0.9],
+            vec![0.7, 0.7, 0.7],
+            0.0,
+        );
+        let params = ExplainerParams {
+            samples: 30,
+            threads: 1,
+            ..Default::default()
+        };
+        let ex = explain(&mapper, &sub, &params, 5);
+        // Every ball needs its own bin here (all > 0.5): 3 bins > 2.
+        assert_eq!(ex.samples_used, 0);
+    }
+}

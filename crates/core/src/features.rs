@@ -1,0 +1,141 @@
+//! Feature maps `F(I)` over the input space.
+//!
+//! §5.2's open question — "we need to define functions F(I) of the input I
+//! that allow us to describe these subspaces efficiently" — is answered
+//! here for the linear case: a feature is a linear functional of the input
+//! vector, so every regression-tree predicate `F(I) <= t` converts *exactly*
+//! into a half-space `a·x <= t` of the Fig. 5c polytope. Raw coordinates
+//! (identity features), sums (Fig. 5b's `Σ B_n <= 1.5`), and arbitrary
+//! user-supplied linear combinations all fit.
+
+use serde::{Deserialize, Serialize};
+use xplain_analyzer::geometry::Halfspace;
+
+/// One linear feature: `value(x) = coeffs · x`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearFeature {
+    pub name: String,
+    pub coeffs: Vec<f64>,
+}
+
+impl LinearFeature {
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.coeffs.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// The half-space `feature <= t` (or `> t` flipped to `-a·x <= -t`
+    /// *exclusive* boundaries are approximated by the closed complement,
+    /// consistent with how the tree partitions samples).
+    pub fn halfspace(&self, threshold: f64, leq: bool) -> Halfspace {
+        if leq {
+            Halfspace {
+                coeffs: self.coeffs.clone(),
+                rhs: threshold,
+            }
+        } else {
+            Halfspace {
+                coeffs: self.coeffs.iter().map(|c| -c).collect(),
+                rhs: -threshold,
+            }
+        }
+    }
+}
+
+/// A set of features over a `dims`-dimensional input space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMap {
+    pub dims: usize,
+    pub features: Vec<LinearFeature>,
+}
+
+impl FeatureMap {
+    /// Identity features: one per raw input dimension.
+    pub fn identity(dims: usize, names: &[String]) -> Self {
+        let features = (0..dims)
+            .map(|d| {
+                let mut coeffs = vec![0.0; dims];
+                coeffs[d] = 1.0;
+                LinearFeature {
+                    name: names.get(d).cloned().unwrap_or_else(|| format!("x{d}")),
+                    coeffs,
+                }
+            })
+            .collect();
+        FeatureMap { dims, features }
+    }
+
+    /// Identity features plus the total-sum feature (Fig. 5b's `Σ B_n`).
+    pub fn identity_with_sum(dims: usize, names: &[String]) -> Self {
+        let mut fm = Self::identity(dims, names);
+        fm.features.push(LinearFeature {
+            name: "sum".into(),
+            coeffs: vec![1.0; dims],
+        });
+        fm
+    }
+
+    /// Evaluate all features at `x`.
+    pub fn eval(&self, x: &[f64]) -> Vec<f64> {
+        self.features.iter().map(|f| f.eval(x)).collect()
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        self.features.iter().map(|f| f.name.clone()).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_evaluates_to_input() {
+        let fm = FeatureMap::identity(3, &[]);
+        assert_eq!(fm.eval(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(fm.names(), vec!["x0", "x1", "x2"]);
+    }
+
+    #[test]
+    fn sum_feature() {
+        let fm = FeatureMap::identity_with_sum(3, &[]);
+        let vals = fm.eval(&[1.0, 2.0, 3.0]);
+        assert_eq!(vals[3], 6.0);
+        assert_eq!(fm.names()[3], "sum");
+    }
+
+    #[test]
+    fn halfspace_conversion_leq() {
+        let f = LinearFeature {
+            name: "sum".into(),
+            coeffs: vec![1.0, 1.0],
+        };
+        let h = f.halfspace(1.5, true);
+        assert!(h.contains(&[0.7, 0.7], 0.0));
+        assert!(!h.contains(&[0.9, 0.9], 0.0));
+    }
+
+    #[test]
+    fn halfspace_conversion_gt() {
+        let f = LinearFeature {
+            name: "x0".into(),
+            coeffs: vec![1.0, 0.0],
+        };
+        let h = f.halfspace(0.5, false); // x0 > 0.5
+        assert!(h.contains(&[0.9, 0.0], 0.0));
+        assert!(!h.contains(&[0.1, 0.0], 0.0));
+    }
+
+    #[test]
+    fn custom_names_used() {
+        let fm = FeatureMap::identity(2, &["d[1~3]".to_string(), "d[1~2]".to_string()]);
+        assert_eq!(fm.names()[0], "d[1~3]");
+    }
+}

@@ -1,0 +1,215 @@
+//! The generalizer (§5.4): from instance-based explanations to
+//! instance-agnostic ones (Type 3).
+//!
+//! The paper sketches a grammar over instance features, e.g.
+//!
+//! ```text
+//! increasing(P): ∀a,b ∈ P, |a| >= |b| -> gap(a) >= gap(b)
+//! ```
+//!
+//! and imagines checking which predicates "are statistically significant"
+//! across instances produced by the instance generator. We realize the
+//! monotone fragment of that grammar: `increasing(f)` / `decreasing(f)`
+//! over named instance features, validated with Kendall's τ (tie-adjusted,
+//! one-sided) at the same α = 0.05 bar the subspace checker uses.
+
+use serde::{Deserialize, Serialize};
+use xplain_stats::rank::kendall_tau;
+use xplain_stats::wilcoxon::Alternative;
+
+/// One instance's worth of evidence: named features plus the measured gap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Observation {
+    pub features: Vec<(String, f64)>,
+    pub gap: f64,
+}
+
+/// A grammar predicate that held with significance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Trend {
+    Increasing,
+    Decreasing,
+}
+
+/// A validated Type-3 finding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Finding {
+    pub feature: String,
+    pub trend: Trend,
+    /// Kendall's τ-b between the feature and the gap.
+    pub tau: f64,
+    pub p_value: f64,
+    pub n: usize,
+}
+
+impl Finding {
+    /// Grammar-style rendering: `increasing(pinned_path_length)`.
+    pub fn render(&self) -> String {
+        let verb = match self.trend {
+            Trend::Increasing => "increasing",
+            Trend::Decreasing => "decreasing",
+        };
+        format!(
+            "{verb}({}) [tau = {:.3}, p = {:.2e}, n = {}]",
+            self.feature, self.tau, self.p_value, self.n
+        )
+    }
+}
+
+/// Generalizer configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneralizerParams {
+    pub alpha: f64,
+    /// Require at least this many observations per feature.
+    pub min_observations: usize,
+}
+
+impl Default for GeneralizerParams {
+    fn default() -> Self {
+        GeneralizerParams {
+            alpha: 0.05,
+            min_observations: 5,
+        }
+    }
+}
+
+/// Check every feature for significant monotone association with the gap.
+pub fn generalize(observations: &[Observation], params: &GeneralizerParams) -> Vec<Finding> {
+    // Collect feature names preserving first-seen order.
+    let mut names: Vec<String> = Vec::new();
+    for obs in observations {
+        for (name, _) in &obs.features {
+            if !names.contains(name) {
+                names.push(name.clone());
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for name in &names {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for obs in observations {
+            if let Some((_, v)) = obs.features.iter().find(|(n, _)| n == name) {
+                xs.push(*v);
+                ys.push(obs.gap);
+            }
+        }
+        if xs.len() < params.min_observations {
+            continue;
+        }
+        let Ok(inc) = kendall_tau(&xs, &ys, Alternative::Greater) else {
+            continue;
+        };
+        if inc.p_value < params.alpha {
+            findings.push(Finding {
+                feature: name.clone(),
+                trend: Trend::Increasing,
+                tau: inc.statistic,
+                p_value: inc.p_value,
+                n: inc.n,
+            });
+            continue;
+        }
+        let Ok(dec) = kendall_tau(&xs, &ys, Alternative::Less) else {
+            continue;
+        };
+        if dec.p_value < params.alpha {
+            findings.push(Finding {
+                feature: name.clone(),
+                trend: Trend::Decreasing,
+                tau: dec.statistic,
+                p_value: dec.p_value,
+                n: dec.n,
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(feature: &str, v: f64, gap: f64) -> Observation {
+        Observation {
+            features: vec![(feature.to_string(), v)],
+            gap,
+        }
+    }
+
+    #[test]
+    fn detects_increasing_trend() {
+        let observations: Vec<Observation> = (1..=12)
+            .map(|i| obs("pinned_path_length", i as f64, 10.0 * i as f64))
+            .collect();
+        let findings = generalize(&observations, &GeneralizerParams::default());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].trend, Trend::Increasing);
+        assert!(findings[0].render().contains("increasing(pinned_path_length)"));
+    }
+
+    #[test]
+    fn detects_decreasing_trend() {
+        let observations: Vec<Observation> = (1..=12)
+            .map(|i| obs("min_capacity", i as f64, 100.0 / i as f64))
+            .collect();
+        let findings = generalize(&observations, &GeneralizerParams::default());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].trend, Trend::Decreasing);
+    }
+
+    #[test]
+    fn noise_produces_no_finding() {
+        let vals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let gaps = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0, 1.0, 8.0];
+        let observations: Vec<Observation> = vals
+            .iter()
+            .zip(&gaps)
+            .map(|(&v, &g)| obs("noise", v, g))
+            .collect();
+        let findings = generalize(&observations, &GeneralizerParams::default());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn multiple_features_handled_independently() {
+        let observations: Vec<Observation> = (1..=10)
+            .map(|i| Observation {
+                features: vec![
+                    ("grows".to_string(), i as f64),
+                    ("shrinks".to_string(), -(i as f64)),
+                ],
+                gap: i as f64,
+            })
+            .collect();
+        let findings = generalize(&observations, &GeneralizerParams::default());
+        assert_eq!(findings.len(), 2);
+        let grows = findings.iter().find(|f| f.feature == "grows").unwrap();
+        assert_eq!(grows.trend, Trend::Increasing);
+        let shrinks = findings.iter().find(|f| f.feature == "shrinks").unwrap();
+        assert_eq!(shrinks.trend, Trend::Decreasing);
+    }
+
+    #[test]
+    fn too_few_observations_skipped() {
+        let observations: Vec<Observation> =
+            (1..=3).map(|i| obs("f", i as f64, i as f64)).collect();
+        let findings = generalize(&observations, &GeneralizerParams::default());
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn missing_features_tolerated() {
+        // Feature present in only some observations.
+        let mut observations: Vec<Observation> =
+            (1..=10).map(|i| obs("a", i as f64, i as f64)).collect();
+        observations.push(Observation {
+            features: vec![("b".to_string(), 1.0)],
+            gap: 1.0,
+        });
+        let findings = generalize(&observations, &GeneralizerParams::default());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].feature, "a");
+    }
+}

@@ -1,0 +1,277 @@
+//! The instance generator (§5.4): diverse problem instances whose
+//! subspace/explainer outputs feed the generalizer.
+//!
+//! "To discover patterns, we need to consider a diverse set of instances
+//! and identify trends … We build an instance generator that uses the
+//! problem description in the DSL to create such instances and feeds them
+//! into the pipeline."
+//!
+//! Two families are provided, one per running example:
+//!
+//! * **DP**: Fig. 1a generalized — chains of varying length with an
+//!   end-to-end bypass. The features expose exactly the properties the
+//!   paper's Type-3 sketch names: the pinned demand's shortest-path
+//!   length and the capacity along it.
+//! * **FF**: random ball-size vectors whose features count the
+//!   structural suspects (balls just over half a bin, small fillers).
+
+use crate::generalizer::Observation;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use xplain_domains::te::{DemandPair, DemandPinning, TeProblem, Topology};
+use xplain_domains::vbp::{first_fit, optimal, VbpInstance};
+
+/// Parameters of the DP instance family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DpFamily {
+    /// Chain lengths (pinned-path lengths) to generate.
+    pub lengths: Vec<usize>,
+    pub chain_cap: f64,
+    pub bypass_cap: f64,
+    pub threshold: f64,
+    /// Random capacity jitter (fraction of the base capacity).
+    pub cap_jitter: f64,
+}
+
+impl Default for DpFamily {
+    fn default() -> Self {
+        DpFamily {
+            // Lengths start at 2: with a single hop the per-hop demand is
+            // the end-to-end pair itself and can escape over the bypass,
+            // so the gap degenerates to zero.
+            lengths: (2..=7).collect(),
+            chain_cap: 100.0,
+            bypass_cap: 60.0,
+            threshold: 50.0,
+            cap_jitter: 0.0,
+        }
+    }
+}
+
+/// A generated DP instance with its adversarial input and features.
+#[derive(Debug, Clone)]
+pub struct DpInstance {
+    pub problem: TeProblem,
+    pub threshold: f64,
+    /// The structured adversarial input (pinnable end-to-end demand at the
+    /// threshold, per-hop demands saturating).
+    pub adversarial_input: Vec<f64>,
+    pub observation: Observation,
+}
+
+/// Generate the DP family: one instance per requested chain length.
+///
+/// Instance `L`: chain of `L` hops (capacity `chain_cap`) with an
+/// end-to-end bypass of `L + 1` hops (capacity `bypass_cap`); demands are
+/// the pinnable end-to-end pair plus one per-hop demand. At the structured
+/// adversarial input the gap is `L * T` — growing with the pinned path
+/// length, which is what the generalizer should discover.
+pub fn generate_dp_instances(family: &DpFamily, rng: &mut impl Rng) -> Vec<DpInstance> {
+    let mut out = Vec::with_capacity(family.lengths.len());
+    for &len in &family.lengths {
+        let mut jitter = |base: f64| -> f64 {
+            if family.cap_jitter > 0.0 {
+                base * (1.0 + family.cap_jitter * rng.gen_range(-1.0..1.0))
+            } else {
+                base
+            }
+        };
+        let chain_cap = jitter(family.chain_cap);
+        let bypass_cap = jitter(family.bypass_cap).max(family.threshold + 1.0);
+        let topo = Topology::chain_with_long_bypass(len, chain_cap, bypass_cap);
+
+        let mut demands = vec![DemandPair { src: 0, dst: len }];
+        for i in 0..len {
+            demands.push(DemandPair { src: i, dst: i + 1 });
+        }
+        let problem = TeProblem::new(topo, demands, 2 * len + 2, chain_cap.max(bypass_cap))
+            .expect("chain instance is well-formed");
+
+        // Structured adversarial input: pinnable demand at the threshold,
+        // hop demands saturating their direct links.
+        let mut input = vec![family.threshold];
+        input.extend(std::iter::repeat(chain_cap).take(len));
+
+        let dp = DemandPinning::new(family.threshold);
+        let gap = dp.gap(&problem, &input).unwrap_or(0.0);
+
+        let pinned_path = &problem.paths[0][0];
+        let min_cap = pinned_path.min_capacity(&problem.topology);
+        let observation = Observation {
+            features: vec![
+                ("pinned_path_length".to_string(), pinned_path.len() as f64),
+                ("pinned_path_min_capacity".to_string(), min_cap),
+                ("num_demands".to_string(), problem.num_demands() as f64),
+            ],
+            gap,
+        };
+
+        out.push(DpInstance {
+            problem,
+            threshold: family.threshold,
+            adversarial_input: input,
+            observation,
+        });
+    }
+    out
+}
+
+/// Parameters of the FF instance family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FfFamily {
+    /// Number of random size-vectors to generate.
+    pub instances: usize,
+    pub n_balls: usize,
+    pub capacity: f64,
+    pub min_size: f64,
+}
+
+impl Default for FfFamily {
+    fn default() -> Self {
+        FfFamily {
+            instances: 40,
+            n_balls: 12,
+            capacity: 1.0,
+            min_size: 0.01,
+        }
+    }
+}
+
+/// A generated FF instance (a concrete ball-size vector) plus features.
+#[derive(Debug, Clone)]
+pub struct FfInstance {
+    pub sizes: Vec<f64>,
+    pub observation: Observation,
+}
+
+/// Generate random FF instances and their structural features.
+///
+/// Features: the count of balls over half a bin, the count of small
+/// fillers, and the total volume. The Type-3 trends the generalizer
+/// discovers on this family: *more small fillers → larger gap* (FF
+/// strands them in early bins that over-half balls can no longer join)
+/// and *more over-half balls → smaller gap* (they cost FF and the
+/// optimal the same bin each).
+pub fn generate_ff_instances(family: &FfFamily, rng: &mut impl Rng) -> Vec<FfInstance> {
+    let cap = family.capacity;
+    let mut out = Vec::with_capacity(family.instances);
+    for _ in 0..family.instances {
+        // Mix of size classes so the over-half count varies by instance.
+        let over_half = rng.gen_range(0..=family.n_balls / 2 * 2);
+        let sizes: Vec<f64> = (0..family.n_balls)
+            .map(|i| {
+                if i < over_half {
+                    rng.gen_range(0.51 * cap..0.60 * cap)
+                } else {
+                    rng.gen_range(family.min_size..0.45 * cap)
+                }
+            })
+            .collect();
+        let inst = VbpInstance {
+            bin_capacity: vec![cap],
+            balls: sizes.iter().map(|&s| vec![s]).collect(),
+        };
+        let gap = first_fit(&inst).bins_used as f64 - optimal(&inst).bins_used as f64;
+        let count_over = sizes.iter().filter(|&&s| s > 0.5 * cap).count() as f64;
+        let count_small = sizes.iter().filter(|&&s| s < 0.25 * cap).count() as f64;
+        let total: f64 = sizes.iter().sum();
+        out.push(FfInstance {
+            observation: Observation {
+                features: vec![
+                    ("balls_over_half".to_string(), count_over),
+                    ("small_fillers".to_string(), count_small),
+                    ("total_volume".to_string(), total),
+                ],
+                gap,
+            },
+            sizes,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generalizer::{generalize, GeneralizerParams, Trend};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dp_family_gap_grows_linearly_with_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let family = DpFamily::default();
+        let instances = generate_dp_instances(&family, &mut rng);
+        assert_eq!(instances.len(), 6);
+        for (ix, inst) in instances.iter().enumerate() {
+            let len = (ix + 2) as f64;
+            // Gap = L * T (chain pinning starves every hop demand by T).
+            let expect = len * family.threshold;
+            assert!(
+                (inst.observation.gap - expect).abs() < 1e-4,
+                "L = {len}: gap {} != {expect}",
+                inst.observation.gap
+            );
+        }
+    }
+
+    #[test]
+    fn dp_family_features_present() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let instances = generate_dp_instances(&DpFamily::default(), &mut rng);
+        let names: Vec<&str> = instances[0]
+            .observation
+            .features
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert!(names.contains(&"pinned_path_length"));
+        assert!(names.contains(&"pinned_path_min_capacity"));
+    }
+
+    /// The paper's E8 headline: the generalizer emits `increasing(P)` for
+    /// the pinned-path-length feature.
+    #[test]
+    fn generalizer_discovers_increasing_pinned_path_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let instances = generate_dp_instances(&DpFamily::default(), &mut rng);
+        let observations: Vec<Observation> =
+            instances.iter().map(|i| i.observation.clone()).collect();
+        let findings = generalize(&observations, &GeneralizerParams::default());
+        let f = findings
+            .iter()
+            .find(|f| f.feature == "pinned_path_length")
+            .expect("increasing(pinned_path_length) must be discovered");
+        assert_eq!(f.trend, Trend::Increasing);
+        assert!(f.p_value < 0.05);
+    }
+
+    #[test]
+    fn ff_family_gap_correlates_with_over_half_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let family = FfFamily {
+            instances: 60,
+            ..Default::default()
+        };
+        let instances = generate_ff_instances(&family, &mut rng);
+        assert_eq!(instances.len(), 60);
+        let observations: Vec<Observation> =
+            instances.iter().map(|i| i.observation.clone()).collect();
+        let findings = generalize(&observations, &GeneralizerParams::default());
+        // The over-half count should show up as an increasing trend.
+        let f = findings.iter().find(|f| f.feature == "balls_over_half");
+        assert!(f.is_some(), "findings: {findings:?}");
+    }
+
+    #[test]
+    fn ff_instances_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let family = FfFamily::default();
+        for inst in generate_ff_instances(&family, &mut rng) {
+            for &s in &inst.sizes {
+                assert!(s >= family.min_size - 1e-12 && s <= family.capacity);
+            }
+            assert!(inst.observation.gap >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! The XPlain pipeline (Fig. 3): analyzer → adversarial subspace
+//! generator → significance checker → explainer, iterating with
+//! exclusions until the input space holds no further adversarial regions.
+
+use crate::coverage::{estimate_coverage, CoverageReport};
+use crate::explainer::{explain, DpDslMapper, DslMapper, Explanation, ExplainerParams, FfDslMapper};
+use crate::features::FeatureMap;
+use crate::significance::{check_significance, SignificanceParams, SignificanceReport};
+use crate::subspace::{grow_subspace, Subspace, SubspaceParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use xplain_analyzer::geometry::Polytope;
+use xplain_analyzer::oracle::{DpOracle, FfOracle, GapOracle};
+use xplain_analyzer::search::{
+    dp_seeds, ff_seeds, find_adversarial, Adversarial, SearchOptions,
+};
+use xplain_domains::te::TeProblem;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Stop after this many subspaces.
+    pub max_subspaces: usize,
+    /// Stop when a newly found gap drops below this fraction of the first
+    /// (largest) gap.
+    pub min_gap_frac: f64,
+    pub subspace: SubspaceParams,
+    pub significance: SignificanceParams,
+    pub explainer: ExplainerParams,
+    pub seed: u64,
+    /// Re-examination budget for regions that fail the significance test
+    /// (the paper: "they need to include the number of times they are
+    /// willing to re-examine an area to avoid an infinite cycle").
+    pub max_insignificant_retries: usize,
+    /// Samples for the final risk-surface coverage estimate (0 disables).
+    pub coverage_samples: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            max_subspaces: 8,
+            min_gap_frac: 0.2,
+            subspace: SubspaceParams::default(),
+            significance: SignificanceParams::default(),
+            explainer: ExplainerParams::default(),
+            seed: 0xD5,
+            max_insignificant_retries: 2,
+            coverage_samples: 2000,
+        }
+    }
+}
+
+/// One discovered subspace with its companion analyses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubspaceFinding {
+    pub subspace: Subspace,
+    pub significance: Option<SignificanceReport>,
+    pub explanation: Option<Explanation>,
+}
+
+/// Full pipeline output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineResult {
+    /// Statistically significant subspaces, in discovery order (Type 1 +
+    /// Type 2 outputs).
+    pub findings: Vec<SubspaceFinding>,
+    /// Regions found but rejected by the significance checker.
+    pub rejected: usize,
+    /// Analyzer invocations.
+    pub analyzer_calls: usize,
+    /// Monte-Carlo risk-surface coverage of the discovered subspaces
+    /// (how much of §3's "full risk surface" was found).
+    pub coverage: Option<CoverageReport>,
+    /// Total gap-oracle evaluations across all phases.
+    pub oracle_evaluations: usize,
+    pub wall_time_ms: u128,
+}
+
+/// A pluggable adversarial-input finder (exact MILP or search).
+pub type Finder<'a> = dyn Fn(&[Polytope], &mut StdRng) -> Option<Adversarial> + 'a;
+
+/// Run the full loop against an oracle.
+///
+/// `mapper` enables the explainer stage when provided; `features` controls
+/// the tree-refinement space (identity(+sum) is the paper's default).
+pub fn run_pipeline(
+    oracle: &dyn GapOracle,
+    mapper: Option<&dyn DslMapper>,
+    features: &FeatureMap,
+    finder: &Finder<'_>,
+    config: &PipelineConfig,
+) -> PipelineResult {
+    let start = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut exclusions: Vec<Polytope> = Vec::new();
+    let mut findings: Vec<SubspaceFinding> = Vec::new();
+    let mut rejected = 0usize;
+    let mut analyzer_calls = 0usize;
+    let mut oracle_evaluations = 0usize;
+    let mut first_gap: Option<f64> = None;
+    let mut insignificant_strikes = 0usize;
+
+    while findings.len() < config.max_subspaces {
+        analyzer_calls += 1;
+        let Some(adv) = finder(&exclusions, &mut rng) else {
+            break; // no adversarial input left outside the exclusions
+        };
+        let reference = *first_gap.get_or_insert(adv.gap);
+        if adv.gap < config.min_gap_frac * reference {
+            break; // remaining regions are below the interest threshold
+        }
+
+        let subspace = grow_subspace(oracle, &adv, features, &config.subspace, &mut rng);
+        oracle_evaluations += subspace.evaluations;
+
+        let significance =
+            check_significance(oracle, &subspace, &config.significance, &mut rng).ok();
+        oracle_evaluations += config.significance.pairs * 2;
+
+        let significant = significance.as_ref().is_some_and(|r| r.significant);
+
+        // Exclude the region either way so the finder moves on; track the
+        // re-examination budget for insignificant ones.
+        exclusions.push(subspace.polytope.clone());
+
+        if significant {
+            insignificant_strikes = 0;
+            let explanation = mapper.map(|m| {
+                explain(
+                    m,
+                    &subspace,
+                    &config.explainer,
+                    config.seed ^ (findings.len() as u64 + 1),
+                )
+            });
+            if let Some(e) = &explanation {
+                oracle_evaluations += e.samples_used * 2;
+            }
+            findings.push(SubspaceFinding {
+                subspace,
+                significance,
+                explanation,
+            });
+        } else {
+            rejected += 1;
+            insignificant_strikes += 1;
+            if insignificant_strikes > config.max_insignificant_retries {
+                break;
+            }
+        }
+    }
+
+    // Final Type-1 quality metric: how much of the risk surface did the
+    // discovered subspaces capture?
+    let coverage = if config.coverage_samples > 0 && !findings.is_empty() {
+        let threshold = config.min_gap_frac * first_gap.unwrap_or(0.0);
+        let subspaces: Vec<Subspace> = findings
+            .iter()
+            .map(|f| f.subspace.clone())
+            .collect();
+        let report = estimate_coverage(
+            oracle,
+            &subspaces,
+            threshold.max(1e-9),
+            config.coverage_samples,
+            &mut rng,
+        );
+        oracle_evaluations += report.samples;
+        Some(report)
+    } else {
+        None
+    };
+
+    PipelineResult {
+        findings,
+        rejected,
+        analyzer_calls,
+        coverage,
+        oracle_evaluations,
+        wall_time_ms: start.elapsed().as_millis(),
+    }
+}
+
+/// Convenience: run the full pipeline for Demand Pinning on a TE problem,
+/// using the pattern-search analyzer with DP-specific seeds.
+pub fn run_dp_pipeline(
+    problem: &TeProblem,
+    threshold: f64,
+    config: &PipelineConfig,
+) -> PipelineResult {
+    let oracle = DpOracle::new(problem.clone(), threshold);
+    let mapper = DpDslMapper::new(problem.clone(), threshold);
+    let names = oracle.dim_names();
+    let features = FeatureMap::identity_with_sum(oracle.dims(), &names);
+    let search = SearchOptions {
+        seeds: dp_seeds(oracle.dims(), threshold, problem.demand_cap),
+        ..Default::default()
+    };
+    let finder = move |excl: &[Polytope], rng: &mut StdRng| {
+        find_adversarial(&oracle, excl, &search, rng)
+    };
+    let oracle2 = DpOracle::new(problem.clone(), threshold);
+    run_pipeline(&oracle2, Some(&mapper), &features, &finder, config)
+}
+
+/// Convenience: run the full pipeline for first-fit bin packing.
+pub fn run_ff_pipeline(n_balls: usize, n_bins: usize, config: &PipelineConfig) -> PipelineResult {
+    let oracle = FfOracle::new(n_balls);
+    let mapper = FfDslMapper::new(n_balls, n_bins, oracle.bin_capacity);
+    let names = oracle.dim_names();
+    let features = FeatureMap::identity_with_sum(n_balls, &names);
+    let search = SearchOptions {
+        seeds: ff_seeds(n_balls, oracle.bin_capacity, oracle.min_size),
+        ..Default::default()
+    };
+    let inner_oracle = FfOracle::new(n_balls);
+    let finder = move |excl: &[Polytope], rng: &mut StdRng| {
+        find_adversarial(&inner_oracle, excl, &search, rng)
+    };
+    run_pipeline(&oracle, Some(&mapper), &features, &finder, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> PipelineConfig {
+        PipelineConfig {
+            max_subspaces: 2,
+            subspace: SubspaceParams {
+                dkw_eps: 0.25,
+                dkw_delta: 0.25,
+                max_expansions: 6,
+                tree_sample_factor: 3,
+                ..Default::default()
+            },
+            significance: SignificanceParams {
+                pairs: 60,
+                ..Default::default()
+            },
+            explainer: ExplainerParams {
+                samples: 150,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dp_pipeline_end_to_end() {
+        let result = run_dp_pipeline(&TeProblem::fig1a(), 50.0, &fast_config());
+        assert!(
+            !result.findings.is_empty(),
+            "pipeline found no significant subspace (rejected {})",
+            result.rejected
+        );
+        let f = &result.findings[0];
+        // The seed gap should be near the true maximum of 100.
+        assert!(f.subspace.seed_gap > 80.0, "{}", f.subspace.seed_gap);
+        // Significance at the paper's bar.
+        let sig = f.significance.as_ref().unwrap();
+        assert!(sig.significant);
+        assert!(sig.test.p_value < 0.05);
+        // Type-2 explanation present and pointing at the right edges.
+        let ex = f.explanation.as_ref().unwrap();
+        let short = ex
+            .edges
+            .iter()
+            .find(|e| e.label == "1~3->1-2-3")
+            .unwrap();
+        let long = ex
+            .edges
+            .iter()
+            .find(|e| e.label == "1~3->1-4-5-3")
+            .unwrap();
+        assert!(short.score < -0.5, "short score {}", short.score);
+        assert!(long.score > 0.5, "long score {}", long.score);
+    }
+
+    #[test]
+    fn ff_pipeline_end_to_end() {
+        let result = run_ff_pipeline(4, 3, &fast_config());
+        assert!(
+            !result.findings.is_empty(),
+            "pipeline found no significant subspace (rejected {})",
+            result.rejected
+        );
+        let f = &result.findings[0];
+        assert!(f.subspace.seed_gap >= 1.0);
+        assert!(f.significance.as_ref().unwrap().significant);
+    }
+
+    #[test]
+    fn exclusions_accumulate() {
+        let config = PipelineConfig {
+            max_subspaces: 3,
+            ..fast_config()
+        };
+        let result = run_dp_pipeline(&TeProblem::fig1a(), 50.0, &config);
+        // Later findings must not overlap the first subspace's seed.
+        if result.findings.len() >= 2 {
+            let first = &result.findings[0].subspace;
+            for later in &result.findings[1..] {
+                assert!(
+                    !first.contains(&later.subspace.seed),
+                    "later seed inside earlier subspace"
+                );
+            }
+        }
+        assert!(result.analyzer_calls >= result.findings.len());
+        assert!(result.oracle_evaluations > 0);
+    }
+}

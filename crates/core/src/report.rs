@@ -1,0 +1,205 @@
+//! Human-readable rendering of XPlain's outputs: Type-1 subspaces in the
+//! Fig. 5c polytope form, Type-2 heat-maps as tables and DOT, Type-3
+//! grammar findings, and a pipeline summary.
+
+use crate::explainer::Explanation;
+use crate::generalizer::Finding;
+use crate::pipeline::PipelineResult;
+use crate::subspace::Subspace;
+use xplain_flownet::dot::to_dot_with_scores;
+use xplain_flownet::FlowNet;
+
+/// Render a subspace as Fig. 5c does: the box `A x <= C` plus the tree
+/// path `T x <= V`.
+pub fn render_subspace(s: &Subspace, dim_names: &[String], index: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Subspace D{index}  (seed gap = {:.4}, leaf mean gap = {:.4}, leaf n = {})\n",
+        s.seed_gap, s.leaf_mean_gap, s.leaf_samples
+    ));
+    out.push_str(&format!(
+        "  seed: [{}]\n",
+        s.seed
+            .iter()
+            .map(|v| format!("{v:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  box constraints (A x <= C):\n");
+    for (d, name) in dim_names.iter().enumerate().take(s.rough_lo.len()) {
+        out.push_str(&format!(
+            "    {:.4} <= {name} <= {:.4}\n",
+            s.rough_lo[d], s.rough_hi[d]
+        ));
+    }
+    if !s.predicate_descriptions.is_empty() {
+        out.push_str("  tree refinement (T x <= V):\n");
+        for p in &s.predicate_descriptions {
+            out.push_str(&format!("    {p}\n"));
+        }
+    }
+    out
+}
+
+/// Render a heat-map as a sorted table (strongest disagreements first).
+///
+/// Scores follow the paper's convention: negative = only the heuristic
+/// uses the edge (red), positive = only the benchmark does (blue).
+pub fn render_explanation(e: &Explanation, top: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Explainer heat-map ({} samples)\n",
+        e.samples_used
+    ));
+    out.push_str(&format!(
+        "  {:<34} {:>8} {:>10} {:>10} {:>10}\n",
+        "edge", "score", "heur-use", "bench-use", "flow-delta"
+    ));
+    for row in e.strongest_disagreements(top) {
+        let tag = if row.score < -0.25 {
+            " [heuristic-only]"
+        } else if row.score > 0.25 {
+            " [benchmark-only]"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  {:<34} {:>8.3} {:>10.3} {:>10.3} {:>10.3}{tag}\n",
+            row.label, row.score, row.heuristic_frac, row.benchmark_frac, row.mean_flow_delta
+        ));
+    }
+    out
+}
+
+/// DOT rendering of the heat-map over the DSL graph (Fig. 4 style).
+pub fn explanation_dot(net: &FlowNet, e: &Explanation) -> String {
+    to_dot_with_scores(net, Some(&e.score_vector()))
+}
+
+/// Render Type-3 findings.
+pub fn render_findings(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return "no statistically significant trends\n".to_string();
+    }
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!("  {}\n", f.render()));
+    }
+    out
+}
+
+/// Render the pipeline summary.
+pub fn render_pipeline(result: &PipelineResult, dim_names: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "XPlain pipeline: {} significant subspace(s), {} rejected, {} analyzer call(s), {} oracle evaluations, {} ms\n\n",
+        result.findings.len(),
+        result.rejected,
+        result.analyzer_calls,
+        result.oracle_evaluations,
+        result.wall_time_ms
+    ));
+    if let Some(cov) = &result.coverage {
+        out.push_str(&format!(
+            "risk-surface coverage (gap >= {:.3}): recall {:.1}%, precision {:.1}%, {:.1}% of the input box ({} samples)\n\n",
+            cov.gap_threshold,
+            cov.risk_recall * 100.0,
+            cov.risk_precision * 100.0,
+            cov.volume_fraction * 100.0,
+            cov.samples
+        ));
+    }
+    for (i, f) in result.findings.iter().enumerate() {
+        out.push_str(&render_subspace(&f.subspace, dim_names, i));
+        if let Some(sig) = &f.significance {
+            out.push_str(&format!(
+                "  significance: p = {:.3e} ({} pairs; inside mean {:.4} vs outside {:.4})\n",
+                sig.test.p_value, sig.pairs_used, sig.mean_inside, sig.mean_outside
+            ));
+        }
+        if let Some(ex) = &f.explanation {
+            out.push_str(&render_explanation(ex, 8));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explainer::EdgeScore;
+    use xplain_analyzer::geometry::Polytope;
+
+    fn sample_subspace() -> Subspace {
+        Subspace {
+            seed: vec![50.0, 100.0],
+            seed_gap: 100.0,
+            rough_lo: vec![40.0, 90.0],
+            rough_hi: vec![50.0, 100.0],
+            predicate_descriptions: vec!["sum <= 150.0".to_string()],
+            polytope: Polytope::from_box(&[40.0, 90.0], &[50.0, 100.0]),
+            leaf_mean_gap: 80.0,
+            leaf_samples: 120,
+            evaluations: 500,
+        }
+    }
+
+    #[test]
+    fn subspace_rendering_contains_bounds_and_predicates() {
+        let s = sample_subspace();
+        let text = render_subspace(&s, &["d1".into(), "d2".into()], 0);
+        assert!(text.contains("Subspace D0"));
+        assert!(text.contains("40.0000 <= d1 <= 50.0000"));
+        assert!(text.contains("sum <= 150.0"));
+    }
+
+    #[test]
+    fn explanation_rendering_sorts_by_magnitude() {
+        let e = Explanation {
+            edges: vec![
+                EdgeScore {
+                    edge_index: 0,
+                    label: "weak".into(),
+                    score: 0.1,
+                    heuristic_frac: 0.5,
+                    benchmark_frac: 0.6,
+                    heuristic_mean_flow: 1.0,
+                    benchmark_mean_flow: 1.1,
+                    mean_flow_delta: 0.1,
+                },
+                EdgeScore {
+                    edge_index: 1,
+                    label: "strong".into(),
+                    score: -0.9,
+                    heuristic_frac: 0.9,
+                    benchmark_frac: 0.0,
+                    heuristic_mean_flow: 2.0,
+                    benchmark_mean_flow: 0.0,
+                    mean_flow_delta: -2.0,
+                },
+            ],
+            samples_used: 100,
+        };
+        let text = render_explanation(&e, 2);
+        let strong_pos = text.find("strong").unwrap();
+        let weak_pos = text.find("weak").unwrap();
+        assert!(strong_pos < weak_pos);
+        assert!(text.contains("[heuristic-only]"));
+    }
+
+    #[test]
+    fn findings_rendering() {
+        use crate::generalizer::{Finding, Trend};
+        let f = vec![Finding {
+            feature: "pinned_path_length".into(),
+            trend: Trend::Increasing,
+            tau: 1.0,
+            p_value: 1e-4,
+            n: 6,
+        }];
+        let text = render_findings(&f);
+        assert!(text.contains("increasing(pinned_path_length)"));
+        assert_eq!(render_findings(&[]), "no statistically significant trends\n");
+    }
+}

@@ -1,0 +1,257 @@
+//! The significance checker (§5.2).
+//!
+//! "The significance checker ensures the subspaces we find are
+//! statistically significant: the points in a subspace cause a higher
+//! performance gap compared to those immediately outside it. We only
+//! report those subspaces with a low p-value (less than 0.05) as
+//! adversarial. We use the Wilcoxon signed-rank test, which allows for
+//! dependent samples."
+//!
+//! Dependence is by construction: each inside sample is paired with its
+//! **mirror** — the same point reflected through the nearest face of the
+//! rough box to just outside the subspace. The subspace fully determines
+//! which member of the pair is in and which is out.
+
+use crate::subspace::Subspace;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use xplain_analyzer::oracle::GapOracle;
+use xplain_stats::wilcoxon::{wilcoxon_signed_rank, Alternative, WilcoxonResult};
+use xplain_stats::StatsError;
+
+/// Significance-checking configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SignificanceParams {
+    /// Number of inside/outside pairs.
+    pub pairs: usize,
+    /// Report threshold (the paper uses 0.05).
+    pub alpha: f64,
+    /// How far beyond the boundary the mirror lands, as a fraction of the
+    /// box width in the reflected dimension.
+    pub margin_frac: f64,
+}
+
+impl Default for SignificanceParams {
+    fn default() -> Self {
+        SignificanceParams {
+            pairs: 200,
+            alpha: 0.05,
+            margin_frac: 0.25,
+        }
+    }
+}
+
+/// Outcome of a significance check.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SignificanceReport {
+    pub test: WilcoxonResult,
+    pub mean_inside: f64,
+    pub mean_outside: f64,
+    pub pairs_used: usize,
+    pub significant: bool,
+}
+
+/// Check that gaps inside `subspace` stochastically dominate gaps just
+/// outside it (one-sided Wilcoxon signed-rank on mirrored pairs).
+pub fn check_significance(
+    oracle: &dyn GapOracle,
+    subspace: &Subspace,
+    params: &SignificanceParams,
+    rng: &mut impl Rng,
+) -> Result<SignificanceReport, StatsError> {
+    let bounds = oracle.bounds();
+    let dims = bounds.len();
+    let lo = &subspace.rough_lo;
+    let hi = &subspace.rough_hi;
+
+    let mut inside_gaps = Vec::with_capacity(params.pairs);
+    let mut outside_gaps = Vec::with_capacity(params.pairs);
+    let mut attempts = 0usize;
+    let max_attempts = params.pairs * 30;
+
+    while inside_gaps.len() < params.pairs && attempts < max_attempts {
+        attempts += 1;
+        // Draw inside the polytope (rejection-sample the rough box).
+        let x: Vec<f64> = (0..dims)
+            .map(|d| rng.gen_range(lo[d]..=hi[d]))
+            .collect();
+        if !subspace.contains(&x) {
+            continue;
+        }
+
+        // Mirror: push the point just past the nearest box face, trying
+        // dimensions in order of proximity until the result leaves the
+        // subspace but stays in the domain.
+        let mut dims_by_proximity: Vec<(f64, usize, bool)> = (0..dims)
+            .flat_map(|d| {
+                let width = (hi[d] - lo[d]).max(1e-12);
+                [
+                    ((x[d] - lo[d]) / width, d, false), // near the low face
+                    ((hi[d] - x[d]) / width, d, true),  // near the high face
+                ]
+            })
+            .collect();
+        dims_by_proximity
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut mirror: Option<Vec<f64>> = None;
+        for &(_, d, high_face) in &dims_by_proximity {
+            let width = (hi[d] - lo[d]).max(1e-12);
+            let offset = params.margin_frac * width * (0.5 + rng.gen::<f64>());
+            let mut y = x.clone();
+            y[d] = if high_face {
+                hi[d] + offset
+            } else {
+                lo[d] - offset
+            };
+            if y[d] < bounds[d].0 || y[d] > bounds[d].1 {
+                continue; // would leave the domain
+            }
+            if subspace.contains(&y) {
+                continue; // still inside (tree-carved regions)
+            }
+            mirror = Some(y);
+            break;
+        }
+        let Some(y) = mirror else {
+            continue;
+        };
+
+        let gi = oracle.gap(&x);
+        let go = oracle.gap(&y);
+        if gi.is_finite() && go.is_finite() {
+            inside_gaps.push(gi);
+            outside_gaps.push(go);
+        }
+    }
+
+    if inside_gaps.is_empty() {
+        return Err(StatsError::NoData);
+    }
+
+    let test = wilcoxon_signed_rank(&inside_gaps, &outside_gaps, Alternative::Greater)?;
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    Ok(SignificanceReport {
+        significant: test.p_value < params.alpha,
+        mean_inside: mean(&inside_gaps),
+        mean_outside: mean(&outside_gaps),
+        pairs_used: inside_gaps.len(),
+        test,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureMap;
+    use crate::subspace::{grow_subspace, SubspaceParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xplain_analyzer::search::Adversarial;
+
+    struct BoxOracle;
+    impl GapOracle for BoxOracle {
+        fn dims(&self) -> usize {
+            2
+        }
+        fn bounds(&self) -> Vec<(f64, f64)> {
+            vec![(0.0, 1.0); 2]
+        }
+        fn gap(&self, x: &[f64]) -> f64 {
+            if x[0] >= 0.6 && x[0] <= 0.9 && x[1] >= 0.1 && x[1] <= 0.4 {
+                10.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    fn grown_subspace(seed_val: u64) -> Subspace {
+        let seed = Adversarial {
+            input: vec![0.75, 0.25],
+            gap: 10.0,
+        };
+        let mut rng = StdRng::seed_from_u64(seed_val);
+        let fm = FeatureMap::identity(2, &[]);
+        let params = SubspaceParams {
+            dkw_eps: 0.2,
+            dkw_delta: 0.2,
+            ..Default::default()
+        };
+        grow_subspace(&BoxOracle, &seed, &fm, &params, &mut rng)
+    }
+
+    #[test]
+    fn true_subspace_is_significant() {
+        let s = grown_subspace(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let report =
+            check_significance(&BoxOracle, &s, &SignificanceParams::default(), &mut rng)
+                .unwrap();
+        assert!(report.significant, "p = {}", report.test.p_value);
+        assert!(report.test.p_value < 1e-6);
+        assert!(report.mean_inside > report.mean_outside);
+    }
+
+    #[test]
+    fn flat_oracle_not_significant() {
+        struct Flat;
+        impl GapOracle for Flat {
+            fn dims(&self) -> usize {
+                2
+            }
+            fn bounds(&self) -> Vec<(f64, f64)> {
+                vec![(0.0, 1.0); 2]
+            }
+            fn gap(&self, _: &[f64]) -> f64 {
+                1.0 // same gap everywhere: no contrast
+            }
+        }
+        let s = grown_subspace(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        // All paired differences are zero -> NoData (no evidence), which
+        // the pipeline treats as not significant.
+        let r = check_significance(&Flat, &s, &SignificanceParams::default(), &mut rng);
+        assert!(matches!(r, Err(StatsError::NoData)));
+    }
+
+    #[test]
+    fn anti_subspace_is_not_significant() {
+        // Gap is higher OUTSIDE the box: the one-sided test must not fire.
+        struct Inverted;
+        impl GapOracle for Inverted {
+            fn dims(&self) -> usize {
+                2
+            }
+            fn bounds(&self) -> Vec<(f64, f64)> {
+                vec![(0.0, 1.0); 2]
+            }
+            fn gap(&self, x: &[f64]) -> f64 {
+                if x[0] >= 0.6 && x[0] <= 0.9 && x[1] >= 0.1 && x[1] <= 0.4 {
+                    0.0
+                } else {
+                    10.0
+                }
+            }
+        }
+        let s = grown_subspace(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let report =
+            check_significance(&Inverted, &s, &SignificanceParams::default(), &mut rng)
+                .unwrap();
+        assert!(!report.significant, "p = {}", report.test.p_value);
+    }
+
+    #[test]
+    fn pair_count_respected() {
+        let s = grown_subspace(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let params = SignificanceParams {
+            pairs: 50,
+            ..Default::default()
+        };
+        let report = check_significance(&BoxOracle, &s, &params, &mut rng).unwrap();
+        assert!(report.pairs_used <= 50);
+        assert!(report.pairs_used >= 30, "{}", report.pairs_used);
+    }
+}

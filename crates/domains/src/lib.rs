@@ -1,0 +1,16 @@
+//! # xplain-domains
+//!
+//! The two problem domains the XPlain paper evaluates on:
+//!
+//! * [`te`] — wide-area traffic engineering with the **Demand Pinning**
+//!   heuristic against the optimal multi-commodity max-flow (Fig. 1a/1b);
+//! * [`vbp`] — **vector bin packing** with first-fit (plus best-fit and
+//!   first-fit-decreasing) against an exact branch-and-bound optimum
+//!   (Fig. 1c, Fig. 2).
+//!
+//! Each domain also ships its Fig. 4 DSL encoding ([`te::TeDsl`],
+//! [`vbp::VbpDsl`]) so the explainer can diff heuristic and benchmark
+//! decisions edge by edge.
+
+pub mod te;
+pub mod vbp;

@@ -1,0 +1,179 @@
+//! Simple-path enumeration for the path-based traffic-engineering
+//! formulation.
+//!
+//! MetaOpt's DP encoding (Fig. 1b) takes the path set `P_k` per demand as
+//! *input*; we enumerate all simple paths with a DFS (the paper's
+//! topologies are small) and order them by hop count so `paths[0]` is the
+//! shortest path `p̂_k` that Demand Pinning pins to.
+
+use crate::te::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A path: node sequence plus the link indices it traverses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    pub nodes: Vec<usize>,
+    pub links: Vec<usize>,
+}
+
+impl Path {
+    /// Hop count.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// `"1-2-3"`-style rendering using topology node names.
+    pub fn name(&self, topo: &Topology) -> String {
+        self.nodes
+            .iter()
+            .map(|&n| topo.node_names[n].clone())
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+
+    /// Minimum capacity along the path.
+    pub fn min_capacity(&self, topo: &Topology) -> f64 {
+        self.links
+            .iter()
+            .map(|&l| topo.links[l].capacity)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Enumerate all simple paths from `src` to `dst` with at most `max_hops`
+/// links, ordered by (hop count, discovery order). `k = 0` means "all".
+pub fn k_shortest_paths(
+    topo: &Topology,
+    src: usize,
+    dst: usize,
+    max_hops: usize,
+    k: usize,
+) -> Vec<Path> {
+    let mut result: Vec<Path> = Vec::new();
+    let mut visited = vec![false; topo.num_nodes()];
+    let mut node_stack = vec![src];
+    let mut link_stack: Vec<usize> = Vec::new();
+    visited[src] = true;
+
+    // Adjacency list once.
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); topo.num_nodes()];
+    for (i, l) in topo.links.iter().enumerate() {
+        adj[l.from].push((l.to, i));
+    }
+
+    fn dfs(
+        cur: usize,
+        dst: usize,
+        max_hops: usize,
+        adj: &[Vec<(usize, usize)>],
+        visited: &mut [bool],
+        node_stack: &mut Vec<usize>,
+        link_stack: &mut Vec<usize>,
+        result: &mut Vec<Path>,
+    ) {
+        if cur == dst {
+            result.push(Path {
+                nodes: node_stack.clone(),
+                links: link_stack.clone(),
+            });
+            return;
+        }
+        if link_stack.len() >= max_hops {
+            return;
+        }
+        for &(next, link) in &adj[cur] {
+            if visited[next] {
+                continue;
+            }
+            visited[next] = true;
+            node_stack.push(next);
+            link_stack.push(link);
+            dfs(next, dst, max_hops, adj, visited, node_stack, link_stack, result);
+            link_stack.pop();
+            node_stack.pop();
+            visited[next] = false;
+        }
+    }
+
+    dfs(
+        src,
+        dst,
+        max_hops,
+        &adj,
+        &mut visited,
+        &mut node_stack,
+        &mut link_stack,
+        &mut result,
+    );
+
+    result.sort_by_key(|p| p.len());
+    if k > 0 {
+        result.truncate(k);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_paths_for_1_to_3() {
+        let t = Topology::fig1a();
+        let paths = k_shortest_paths(&t, 0, 2, 8, 0);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].name(&t), "1-2-3"); // shortest first
+        assert_eq!(paths[1].name(&t), "1-4-5-3");
+        assert_eq!(paths[0].min_capacity(&t), 100.0);
+        assert_eq!(paths[1].min_capacity(&t), 50.0);
+    }
+
+    #[test]
+    fn single_path_demands() {
+        let t = Topology::fig1a();
+        let p12 = k_shortest_paths(&t, 0, 1, 8, 0);
+        assert_eq!(p12.len(), 1);
+        assert_eq!(p12[0].name(&t), "1-2");
+        let p23 = k_shortest_paths(&t, 1, 2, 8, 0);
+        assert_eq!(p23.len(), 1);
+    }
+
+    #[test]
+    fn no_path_when_disconnected() {
+        let t = Topology::fig1a();
+        // Node 3 (id 2) has no outgoing links; 3 -> 1 unreachable.
+        assert!(k_shortest_paths(&t, 2, 0, 8, 0).is_empty());
+    }
+
+    #[test]
+    fn hop_limit_prunes() {
+        let t = Topology::fig1a();
+        let paths = k_shortest_paths(&t, 0, 2, 2, 0);
+        assert_eq!(paths.len(), 1); // only 1-2-3 within 2 hops
+    }
+
+    #[test]
+    fn k_truncates() {
+        let t = Topology::fig1a();
+        let paths = k_shortest_paths(&t, 0, 2, 8, 1);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].name(&t), "1-2-3");
+    }
+
+    #[test]
+    fn simple_paths_only() {
+        // Diamond with a back edge: paths must not revisit nodes.
+        let mut t = Topology::with_nodes(4);
+        t.add_link(0, 1, 1.0);
+        t.add_link(1, 2, 1.0);
+        t.add_link(2, 1, 1.0); // back edge
+        t.add_link(2, 3, 1.0);
+        let paths = k_shortest_paths(&t, 0, 3, 10, 0);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes, vec![0, 1, 2, 3]);
+    }
+}

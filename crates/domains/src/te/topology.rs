@@ -1,0 +1,176 @@
+//! Network topologies for the traffic-engineering domain.
+
+use serde::{Deserialize, Serialize};
+
+/// A directed link with capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    pub from: usize,
+    pub to: usize,
+    pub capacity: f64,
+}
+
+/// A directed capacitated network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    pub node_names: Vec<String>,
+    pub links: Vec<Link>,
+}
+
+impl Topology {
+    /// Create a topology with `n` nodes named `"1".."n"`.
+    pub fn with_nodes(n: usize) -> Self {
+        Topology {
+            node_names: (1..=n).map(|i| i.to_string()).collect(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Add a directed link; returns its index.
+    pub fn add_link(&mut self, from: usize, to: usize, capacity: f64) -> usize {
+        self.links.push(Link { from, to, capacity });
+        self.links.len() - 1
+    }
+
+    /// Add links in both directions with the same capacity.
+    pub fn add_bidirectional(&mut self, a: usize, b: usize, capacity: f64) -> (usize, usize) {
+        (self.add_link(a, b, capacity), self.add_link(b, a, capacity))
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Find the link index from `a` to `b`, if present.
+    pub fn link_between(&self, a: usize, b: usize) -> Option<usize> {
+        self.links.iter().position(|l| l.from == a && l.to == b)
+    }
+
+    /// Human-readable link name like `"1->2"`.
+    pub fn link_name(&self, ix: usize) -> String {
+        let l = &self.links[ix];
+        format!("{}->{}", self.node_names[l.from], self.node_names[l.to])
+    }
+
+    /// Sanity checks: endpoints in range, positive finite capacities.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, l) in self.links.iter().enumerate() {
+            if l.from >= self.num_nodes() || l.to >= self.num_nodes() {
+                return Err(format!("link {i} endpoint out of range"));
+            }
+            if l.from == l.to {
+                return Err(format!("link {i} is a self-loop"));
+            }
+            if !l.capacity.is_finite() || l.capacity < 0.0 {
+                return Err(format!("link {i} capacity {}", l.capacity));
+            }
+        }
+        Ok(())
+    }
+
+    /// The Fig. 1a topology: nodes 1..5; links 1→2 (100), 2→3 (100),
+    /// 1→4 (50), 4→5 (50), 5→3 (50).
+    ///
+    /// Node ids are zero-based (node "1" is id 0).
+    pub fn fig1a() -> Self {
+        let mut t = Topology::with_nodes(5);
+        t.add_link(0, 1, 100.0); // 1->2
+        t.add_link(1, 2, 100.0); // 2->3
+        t.add_link(0, 3, 50.0); // 1->4
+        t.add_link(3, 4, 50.0); // 4->5
+        t.add_link(4, 2, 50.0); // 5->3
+        t
+    }
+
+    /// A chain `0 -> 1 -> ... -> len` with a parallel two-hop bypass per
+    /// chain hop. Used by the instance generator to vary the pinned path
+    /// length for Type-3 analysis (§5.4).
+    ///
+    /// Chain links have capacity `chain_cap`; bypass links `bypass_cap`.
+    pub fn chain_with_bypass(len: usize, chain_cap: f64, bypass_cap: f64) -> Self {
+        let mut t = Topology::with_nodes(len + 1 + len); // chain nodes + one bypass node per hop
+        for i in 0..len {
+            t.add_link(i, i + 1, chain_cap);
+            let via = len + 1 + i;
+            t.add_link(i, via, bypass_cap);
+            t.add_link(via, i + 1, bypass_cap);
+        }
+        t
+    }
+
+    /// A chain `0 -> 1 -> ... -> len` plus one **end-to-end** bypass of
+    /// length `len + 1` (one hop longer than the chain, so the chain stays
+    /// the shortest path). This is Fig. 1a generalized to arbitrary pinned
+    /// path length: a pinnable end-to-end demand shares every chain link
+    /// with the per-hop demands, while the optimal can escape over the
+    /// bypass. Used for the §5.4 `increasing(P)` experiment.
+    pub fn chain_with_long_bypass(len: usize, chain_cap: f64, bypass_cap: f64) -> Self {
+        assert!(len >= 1, "chain needs at least one hop");
+        // Nodes: 0..=len are the chain; len+1..=2len are bypass relays.
+        let mut t = Topology::with_nodes(2 * len + 1);
+        for i in 0..len {
+            t.add_link(i, i + 1, chain_cap);
+        }
+        let mut prev = 0;
+        for r in 0..len {
+            let relay = len + 1 + r;
+            t.add_link(prev, relay, bypass_cap);
+            prev = relay;
+        }
+        t.add_link(prev, len, bypass_cap);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_shape() {
+        let t = Topology::fig1a();
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_links(), 5);
+        assert_eq!(t.link_between(0, 1), Some(0));
+        assert_eq!(t.links[0].capacity, 100.0);
+        assert_eq!(t.link_between(4, 2), Some(4));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn link_names() {
+        let t = Topology::fig1a();
+        assert_eq!(t.link_name(0), "1->2");
+        assert_eq!(t.link_name(4), "5->3");
+    }
+
+    #[test]
+    fn bidirectional_adds_two() {
+        let mut t = Topology::with_nodes(2);
+        let (a, b) = t.add_bidirectional(0, 1, 7.0);
+        assert_ne!(a, b);
+        assert_eq!(t.num_links(), 2);
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut t = Topology::with_nodes(2);
+        t.add_link(0, 1, -3.0);
+        assert!(t.validate().is_err());
+        let mut t2 = Topology::with_nodes(2);
+        t2.add_link(0, 5, 1.0);
+        assert!(t2.validate().is_err());
+    }
+
+    #[test]
+    fn chain_with_bypass_structure() {
+        let t = Topology::chain_with_bypass(3, 100.0, 50.0);
+        t.validate().unwrap();
+        assert_eq!(t.num_links(), 9); // 3 chain + 3*2 bypass
+        assert_eq!(t.link_between(0, 1), Some(0));
+    }
+}

@@ -1,0 +1,270 @@
+//! Exact (optimal) vector bin packing by branch and bound.
+//!
+//! The benchmark side of the analyzer needs true optima. A specialized
+//! search beats the generic MILP here: balls are assigned in order, each to
+//! an existing bin or one fresh bin (symmetry breaking), pruned by the
+//! per-dimension volume lower bound and the incumbent (seeded with FFD).
+//!
+//! A MILP formulation via `xplain-lp` is also provided as a cross-check —
+//! the property tests assert both agree.
+
+use crate::vbp::heuristics::first_fit_decreasing;
+use crate::vbp::instance::{Packing, VbpInstance};
+use xplain_lp::{Cmp, LinExpr, LpError, Model, Sense};
+
+/// Exact optimum by branch and bound. Suitable for the paper-scale
+/// instances (n ≲ 25 in the adversarial analyses).
+pub fn optimal(inst: &VbpInstance) -> Packing {
+    let n = inst.num_balls();
+    if n == 0 {
+        return Packing {
+            assignment: Vec::new(),
+            bins_used: 0,
+        };
+    }
+    let dims = inst.num_dims();
+
+    // Incumbent from FFD.
+    let mut best = first_fit_decreasing(inst);
+    let lower = inst.lower_bound();
+    if best.bins_used == lower {
+        return best;
+    }
+
+    // Sort balls by size descending: large balls first fail fast.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let sa: f64 = inst.balls[a].iter().sum();
+        let sb: f64 = inst.balls[b].iter().sum();
+        sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    struct Ctx<'a> {
+        inst: &'a VbpInstance,
+        order: &'a [usize],
+        dims: usize,
+        best_bins: usize,
+        best_assignment: Vec<usize>,
+        lower: usize,
+        assignment: Vec<usize>,
+    }
+
+    fn recurse(ctx: &mut Ctx<'_>, depth: usize, remaining: &mut Vec<Vec<f64>>) {
+        if remaining.len() >= ctx.best_bins {
+            return; // can't improve
+        }
+        if depth == ctx.order.len() {
+            ctx.best_bins = remaining.len();
+            ctx.best_assignment = ctx.assignment.clone();
+            return;
+        }
+        let ball_ix = ctx.order[depth];
+        let ball = &ctx.inst.balls[ball_ix];
+
+        // Try existing bins.
+        for b in 0..remaining.len() {
+            let fits = (0..ctx.dims).all(|d| ball[d] <= remaining[b][d] + 1e-9);
+            if !fits {
+                continue;
+            }
+            for d in 0..ctx.dims {
+                remaining[b][d] -= ball[d];
+            }
+            ctx.assignment[ball_ix] = b;
+            recurse(ctx, depth + 1, remaining);
+            for d in 0..ctx.dims {
+                remaining[b][d] += ball[d];
+            }
+            if ctx.best_bins == ctx.lower {
+                return; // proven optimal
+            }
+        }
+        // Open one new bin (symmetry: only one).
+        if remaining.len() + 1 < ctx.best_bins {
+            remaining.push(
+                (0..ctx.dims)
+                    .map(|d| ctx.inst.bin_capacity[d] - ball[d])
+                    .collect(),
+            );
+            ctx.assignment[ball_ix] = remaining.len() - 1;
+            recurse(ctx, depth + 1, remaining);
+            remaining.pop();
+        }
+    }
+
+    let mut ctx = Ctx {
+        inst,
+        order: &order,
+        dims,
+        best_bins: best.bins_used,
+        best_assignment: best.assignment.clone(),
+        lower,
+        assignment: vec![usize::MAX; n],
+    };
+    let mut remaining: Vec<Vec<f64>> = Vec::new();
+    recurse(&mut ctx, 0, &mut remaining);
+
+    if ctx.best_bins < best.bins_used {
+        best = Packing {
+            assignment: ctx.best_assignment,
+            bins_used: ctx.best_bins,
+        };
+    }
+    best
+}
+
+/// MILP formulation of optimal bin packing (cross-check for [`optimal`]):
+/// binaries `x[i][j]` (ball i in bin j) and `y[j]` (bin j used), at most
+/// `max_bins` bins.
+pub fn optimal_milp(inst: &VbpInstance, max_bins: usize) -> Result<Packing, LpError> {
+    let n = inst.num_balls();
+    if n == 0 {
+        return Ok(Packing {
+            assignment: Vec::new(),
+            bins_used: 0,
+        });
+    }
+    let mut m = Model::new(Sense::Minimize);
+    let x: Vec<Vec<_>> = (0..n)
+        .map(|i| {
+            (0..max_bins)
+                .map(|j| m.add_binary(format!("x[{i},{j}]")))
+                .collect()
+        })
+        .collect();
+    let y: Vec<_> = (0..max_bins)
+        .map(|j| m.add_binary(format!("y[{j}]")))
+        .collect();
+
+    for i in 0..n {
+        m.add_constr(
+            format!("place[{i}]"),
+            LinExpr::sum(x[i].iter().copied()),
+            Cmp::Eq,
+            1.0,
+        );
+    }
+    for j in 0..max_bins {
+        for d in 0..inst.num_dims() {
+            let mut load = LinExpr::new();
+            for i in 0..n {
+                load.add_term(x[i][j], inst.balls[i][d]);
+            }
+            load.add_term(y[j], -inst.bin_capacity[d]);
+            m.add_constr(format!("cap[{j},{d}]"), load, Cmp::Le, 0.0);
+        }
+        // Symmetry breaking: bins used in order.
+        if j + 1 < max_bins {
+            m.add_constr(format!("sym[{j}]"), LinExpr::term(y[j + 1], 1.0) - y[j], Cmp::Le, 0.0);
+        }
+    }
+    m.set_objective(LinExpr::sum(y.iter().copied()));
+    let sol = m.solve()?;
+
+    let mut assignment = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..max_bins {
+            if sol.value(x[i][j]) > 0.5 {
+                assignment[i] = j;
+                break;
+            }
+        }
+    }
+    Ok(Packing {
+        assignment,
+        bins_used: sol.objective.round() as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vbp::heuristics::first_fit;
+
+    /// §2: optimal packs (1%, 49%, 51%, 51%) into 2 bins.
+    #[test]
+    fn sec2_optimal_is_two_bins() {
+        let inst = VbpInstance::sec2_example();
+        let p = optimal(&inst);
+        assert_eq!(p.bins_used, 2);
+        assert!(p.check(&inst, 1e-9).is_none());
+    }
+
+    /// Fig. 2: optimal packs the 17 balls into 8 bins (FF needs 9).
+    #[test]
+    fn fig2_optimal_is_eight_bins() {
+        let inst = VbpInstance::fig2_example();
+        let p = optimal(&inst);
+        assert_eq!(p.bins_used, 8);
+        assert!(p.check(&inst, 1e-9).is_none());
+        assert_eq!(first_fit(&inst).bins_used, 9);
+    }
+
+    #[test]
+    fn milp_agrees_on_sec2() {
+        let inst = VbpInstance::sec2_example();
+        let p = optimal_milp(&inst, 4).unwrap();
+        assert_eq!(p.bins_used, 2);
+        assert!(p.check(&inst, 1e-9).is_none());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty = VbpInstance::one_dim(&[]);
+        assert_eq!(optimal(&empty).bins_used, 0);
+        let single = VbpInstance::one_dim(&[0.4]);
+        assert_eq!(optimal(&single).bins_used, 1);
+    }
+
+    #[test]
+    fn perfect_pairs() {
+        let inst = VbpInstance::one_dim(&[0.4, 0.6, 0.3, 0.7, 0.5, 0.5]);
+        assert_eq!(optimal(&inst).bins_used, 3);
+    }
+
+    #[test]
+    fn optimal_never_above_heuristics() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..25 {
+            let n = rng.gen_range(1..12);
+            let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..0.95)).collect();
+            let inst = VbpInstance::one_dim(&sizes);
+            let opt = optimal(&inst);
+            assert!(opt.check(&inst, 1e-9).is_none());
+            assert!(opt.bins_used <= first_fit(&inst).bins_used);
+            assert!(opt.bins_used <= first_fit_decreasing(&inst).bins_used);
+            assert!(opt.bins_used >= inst.lower_bound());
+        }
+    }
+
+    #[test]
+    fn milp_and_bnb_agree_on_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..8 {
+            let n = rng.gen_range(2..7);
+            let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..0.9)).collect();
+            let inst = VbpInstance::one_dim(&sizes);
+            let a = optimal(&inst);
+            let b = optimal_milp(&inst, n).unwrap();
+            assert_eq!(a.bins_used, b.bins_used, "sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn multi_dim_optimal() {
+        let inst = VbpInstance {
+            bin_capacity: vec![1.0, 1.0],
+            balls: vec![
+                vec![0.9, 0.1],
+                vec![0.1, 0.9],
+                vec![0.5, 0.5],
+                vec![0.5, 0.5],
+            ],
+        };
+        let p = optimal(&inst);
+        // {0.9,0.1}+{0.1,0.9} share a bin; the two {0.5,0.5} share another.
+        assert_eq!(p.bins_used, 2);
+    }
+}

@@ -1,0 +1,11 @@
+//! Vector bin packing: the first-fit running example (§2, Fig. 1c, Fig. 2).
+
+pub mod dsl;
+pub mod exact;
+pub mod heuristics;
+pub mod instance;
+
+pub use dsl::VbpDsl;
+pub use exact::{optimal, optimal_milp};
+pub use heuristics::{best_fit, first_fit, first_fit_decreasing};
+pub use instance::{Packing, VbpInstance};

@@ -1,0 +1,771 @@
+//! Compiler from the flow-network DSL to an LP/MILP [`Model`].
+//!
+//! Two modes, mirroring §5.1 of the paper:
+//!
+//! * **raw** — one variable per edge, one constraint block per node
+//!   behavior (what a hand-written MetaOpt model looks like);
+//! * **eliminated** (default) — a redundancy-elimination pass first merges
+//!   edge variables that the structure forces to be proportional
+//!   (multiply chains, all-equal stars, pass-through splits, single-input
+//!   copies) via a scaled union-find, then compiles only class
+//!   representatives. This is the mechanism behind the paper's "our DSL
+//!   allows us to find redundant constraints and variables … the compiled
+//!   DSL analyzes our DP example 4.3× faster", and unlike a solver
+//!   pre-solve it preserves the mapping back to DSL edges ("Gurobi's
+//!   pre-solve … changes the variable names").
+
+use crate::error::FlowNetError;
+use crate::graph::{EdgeId, FlowNet, NodeBehavior, NodeId, SourceInput, SourceKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use xplain_lp::{Cmp, LinExpr, Model, Sense, Solution, VarId, VarType};
+
+/// Compiler options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompileOptions {
+    /// Run the redundancy-elimination pass.
+    pub eliminate: bool,
+    /// Big-M fallback for pick-node indicator constraints when no tighter
+    /// bound (edge capacity / source upper bound) is available.
+    pub big_m: f64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            eliminate: true,
+            big_m: 1e4,
+        }
+    }
+}
+
+/// Size accounting for the raw vs. eliminated encodings (E6).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompileStats {
+    pub raw_vars: usize,
+    pub raw_constraints: usize,
+    pub vars: usize,
+    pub constraints: usize,
+    /// Edge variables merged into another class by elimination.
+    pub merged_edges: usize,
+    /// Edge variables resolved to constants by elimination.
+    pub fixed_edges: usize,
+}
+
+/// How an edge's flow is represented in the compiled model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EdgeRef {
+    /// `flow = scale * var`
+    Var(VarId, f64),
+    /// `flow = value` (resolved at compile time)
+    Fixed(f64),
+}
+
+/// The result of compilation: an optimization model plus the bookkeeping to
+/// map solutions back onto DSL edges.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    pub model: Model,
+    edge_refs: Vec<EdgeRef>,
+    /// Source nodes declared as `SourceInput::Var` → their model variable
+    /// (MetaOpt's OuterVars).
+    pub source_vars: BTreeMap<NodeId, VarId>,
+    /// Pick-choice binaries per (node, outgoing edge).
+    pub pick_binaries: BTreeMap<EdgeId, VarId>,
+    pub stats: CompileStats,
+    num_edges: usize,
+}
+
+/// A solved flow network: objective plus per-edge flows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowSolution {
+    pub objective: f64,
+    /// One flow value per DSL edge, in edge-id order.
+    pub flows: Vec<f64>,
+}
+
+impl CompiledModel {
+    /// Solve the compiled model and map the solution back to edge flows.
+    pub fn solve(&self) -> Result<FlowSolution, FlowNetError> {
+        let sol = self.model.solve()?;
+        Ok(self.flow_solution(&sol))
+    }
+
+    /// Translate an LP solution into per-edge flows.
+    pub fn flow_solution(&self, sol: &Solution) -> FlowSolution {
+        FlowSolution {
+            objective: sol.objective,
+            flows: self.edge_flows(sol),
+        }
+    }
+
+    /// Per-edge flows for an arbitrary solution of `self.model`.
+    pub fn edge_flows(&self, sol: &Solution) -> Vec<f64> {
+        self.edge_refs
+            .iter()
+            .map(|r| match *r {
+                EdgeRef::Var(v, scale) => scale * sol.value(v),
+                EdgeRef::Fixed(c) => c,
+            })
+            .collect()
+    }
+
+    /// The representation of one edge.
+    pub fn edge_ref(&self, e: EdgeId) -> EdgeRef {
+        self.edge_refs[e.0]
+    }
+
+    /// Number of DSL edges this model was compiled from.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Clone the model with each `SourceInput::Var` source pinned to the
+    /// given value — evaluating the network at a concrete input point.
+    ///
+    /// Unknown node ids are reported as errors; sources omitted from
+    /// `values` stay free.
+    pub fn with_source_values(
+        &self,
+        values: &BTreeMap<NodeId, f64>,
+    ) -> Result<Model, FlowNetError> {
+        let mut model = self.model.clone();
+        for (node, value) in values {
+            let var = self.source_vars.get(node).ok_or_else(|| {
+                FlowNetError::UnknownId(format!("{node} is not a variable source"))
+            })?;
+            model.fix(format!("pin_{node}"), *var, *value);
+        }
+        Ok(model)
+    }
+}
+
+/// Scaled union-find: each edge's flow is `scale * flow(root)`.
+struct ScaledUf {
+    parent: Vec<usize>,
+    /// flow(i) = scale[i] * flow(find(i))
+    scale: Vec<f64>,
+}
+
+impl ScaledUf {
+    fn new(n: usize) -> Self {
+        ScaledUf {
+            parent: (0..n).collect(),
+            scale: vec![1.0; n],
+        }
+    }
+
+    /// Returns `(root, scale)` such that `flow(i) = scale * flow(root)`.
+    ///
+    /// No path compression: the trees stay shallow (each union adds one
+    /// link) and skipping compression keeps the multiplicative scales
+    /// trivially correct.
+    fn find(&self, i: usize) -> (usize, f64) {
+        let mut cur = i;
+        let mut scale = 1.0;
+        while self.parent[cur] != cur {
+            scale *= self.scale[cur];
+            cur = self.parent[cur];
+        }
+        (cur, scale)
+    }
+
+    /// Merge with relation `flow(a) = k * flow(b)`.
+    fn union(&mut self, a: usize, b: usize, k: f64) {
+        let (ra, sa) = self.find(a);
+        let (rb, sb) = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // flow(a) = sa * flow(ra); flow(b) = sb * flow(rb)
+        // flow(a) = k * flow(b)  =>  flow(ra) = (k * sb / sa) * flow(rb)
+        self.parent[ra] = rb;
+        self.scale[ra] = k * sb / sa;
+    }
+}
+
+impl FlowNet {
+    /// Compile this network into an optimization model (maximizing the
+    /// weighted sink inflow).
+    pub fn compile(&self, options: &CompileOptions) -> Result<CompiledModel, FlowNetError> {
+        self.validate()?;
+
+        let n_edges = self.num_edges();
+        let mut uf = ScaledUf::new(n_edges);
+        // Edges pinned to a constant (by Multiply(0) or `fixed` attrs).
+        let mut forced_zero = vec![false; n_edges];
+        // Which nodes the elimination pass fully handled.
+        let mut node_handled = vec![false; self.num_nodes()];
+
+        if options.eliminate {
+            for (i, node) in self.nodes().iter().enumerate() {
+                let id = NodeId(i);
+                let inc = self.incoming(id);
+                let out = self.outgoing(id);
+                match node.behavior {
+                    NodeBehavior::Multiply(c) => {
+                        // Arity validated: exactly one in, one out.
+                        if c <= 1e-12 {
+                            forced_zero[out[0].0] = true;
+                        } else {
+                            uf.union(out[0].0, inc[0].0, c);
+                        }
+                        node_handled[i] = true;
+                    }
+                    NodeBehavior::AllEqual => {
+                        let all: Vec<EdgeId> =
+                            inc.iter().chain(out.iter()).copied().collect();
+                        if let Some((&first, rest)) = all.split_first() {
+                            for &e in rest {
+                                uf.union(e.0, first.0, 1.0);
+                            }
+                        }
+                        node_handled[i] = true;
+                    }
+                    NodeBehavior::Split if inc.len() == 1 && out.len() == 1 => {
+                        uf.union(out[0].0, inc[0].0, 1.0);
+                        node_handled[i] = true;
+                    }
+                    NodeBehavior::Copy if inc.len() == 1 => {
+                        for &e in &out {
+                            uf.union(e.0, inc[0].0, 1.0);
+                        }
+                        node_handled[i] = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Resolve classes: per root, tightest bounds and any fixed value.
+        struct ClassInfo {
+            hi: f64,
+            fixed: Option<f64>,
+            label: String,
+        }
+        let mut classes: BTreeMap<usize, ClassInfo> = BTreeMap::new();
+        let mut edge_class: Vec<(usize, f64)> = Vec::with_capacity(n_edges);
+        for e in 0..n_edges {
+            let (root, scale) = uf.find(e);
+            edge_class.push((root, scale));
+            let data = self.edge_data(EdgeId(e));
+            let info = classes.entry(root).or_insert_with(|| ClassInfo {
+                hi: f64::INFINITY,
+                fixed: None,
+                label: self.edge_data(EdgeId(root)).label.clone(),
+            });
+            // flow(e) = scale * flow(root); scale > 0 by construction.
+            if let Some(cap) = data.capacity {
+                info.hi = info.hi.min(cap / scale);
+            }
+            let fix = if forced_zero[e] { Some(0.0) } else { data.fixed };
+            if let Some(v) = fix {
+                let root_val = v / scale;
+                match info.fixed {
+                    None => info.fixed = Some(root_val),
+                    Some(prev) if (prev - root_val).abs() > 1e-9 => {
+                        return Err(FlowNetError::Contradiction(format!(
+                            "edge {} fixed to {root_val} but its class is already fixed to {prev}",
+                            data.label
+                        )));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        for info in classes.values() {
+            if let Some(v) = info.fixed {
+                if v > info.hi + 1e-9 {
+                    return Err(FlowNetError::Contradiction(format!(
+                        "class {} fixed to {v} above its capacity {}",
+                        info.label, info.hi
+                    )));
+                }
+                if v < -1e-9 {
+                    return Err(FlowNetError::Contradiction(format!(
+                        "class {} fixed to negative value {v}",
+                        info.label
+                    )));
+                }
+            }
+        }
+
+        // Build the model.
+        let mut model = Model::new(Sense::Maximize);
+        let mut class_var: BTreeMap<usize, EdgeRef> = BTreeMap::new();
+        for (&root, info) in &classes {
+            let r = match info.fixed {
+                Some(v) => EdgeRef::Fixed(v),
+                None => {
+                    let v = model.add_var(
+                        format!("f[{}]", info.label),
+                        VarType::Continuous,
+                        0.0,
+                        info.hi,
+                    );
+                    EdgeRef::Var(v, 1.0)
+                }
+            };
+            class_var.insert(root, r);
+        }
+        let edge_refs: Vec<EdgeRef> = (0..n_edges)
+            .map(|e| {
+                let (root, scale) = edge_class[e];
+                match class_var[&root] {
+                    EdgeRef::Var(v, s) => EdgeRef::Var(v, s * scale),
+                    EdgeRef::Fixed(c) => EdgeRef::Fixed(c * scale),
+                }
+            })
+            .collect();
+
+        let edge_expr = |e: EdgeId| -> LinExpr {
+            match edge_refs[e.0] {
+                EdgeRef::Var(v, s) => LinExpr::term(v, s),
+                EdgeRef::Fixed(c) => LinExpr::constant(c),
+            }
+        };
+        let sum_exprs = |ids: &[EdgeId]| -> LinExpr {
+            let mut acc = LinExpr::new();
+            for &e in ids {
+                acc += edge_expr(e);
+            }
+            acc
+        };
+
+        let mut source_vars = BTreeMap::new();
+        let mut pick_binaries = BTreeMap::new();
+        let mut objective = LinExpr::new();
+        let mut raw_constraints = 0usize;
+
+        // Emit a constraint unless it is a tautology after substitution.
+        let emit = |model: &mut Model, name: String, mut expr: LinExpr, cmp: Cmp, rhs: f64| {
+            expr.compact(1e-12);
+            let c = expr.constant_part();
+            let expr_novars = expr.is_empty();
+            if expr_novars {
+                let holds = match cmp {
+                    Cmp::Le => c <= rhs + 1e-9,
+                    Cmp::Ge => c >= rhs - 1e-9,
+                    Cmp::Eq => (c - rhs).abs() <= 1e-9,
+                };
+                if holds {
+                    return; // tautology — eliminated
+                }
+            }
+            model.add_constr(name, expr, cmp, rhs);
+        };
+
+        // Helper: big-M bound for an edge used in a pick indicator.
+        let m_for = |e: EdgeId, node_hint: Option<f64>| -> f64 {
+            let cap = self.edge_data(e).capacity;
+            cap.or(node_hint).unwrap_or(options.big_m).min(options.big_m)
+        };
+
+        for (i, node) in self.nodes().iter().enumerate() {
+            let id = NodeId(i);
+            let inc = self.incoming(id);
+            let out = self.outgoing(id);
+            match node.behavior {
+                NodeBehavior::Split => {
+                    raw_constraints += 1;
+                    if !node_handled[i] {
+                        let expr = sum_exprs(&inc) - sum_exprs(&out);
+                        emit(&mut model, format!("split[{}]", node.label), expr, Cmp::Eq, 0.0);
+                    }
+                }
+                NodeBehavior::Pick => {
+                    raw_constraints += 2 + out.len();
+                    let expr = sum_exprs(&inc) - sum_exprs(&out);
+                    emit(&mut model, format!("pick_cons[{}]", node.label), expr, Cmp::Eq, 0.0);
+                    add_pick_choice(
+                        &mut model,
+                        &mut pick_binaries,
+                        &node.label,
+                        &out,
+                        &edge_expr,
+                        |e| m_for(e, None),
+                    );
+                }
+                NodeBehavior::Multiply(c) => {
+                    raw_constraints += 1;
+                    if !node_handled[i] {
+                        let expr = edge_expr(out[0]) - edge_expr(inc[0]) * c;
+                        emit(&mut model, format!("mult[{}]", node.label), expr, Cmp::Eq, 0.0);
+                    }
+                }
+                NodeBehavior::AllEqual => {
+                    let all: Vec<EdgeId> = inc.iter().chain(out.iter()).copied().collect();
+                    raw_constraints += all.len().saturating_sub(1);
+                    if !node_handled[i] {
+                        if let Some((&first, rest)) = all.split_first() {
+                            for &e in rest {
+                                let expr = edge_expr(e) - edge_expr(first);
+                                emit(
+                                    &mut model,
+                                    format!("alleq[{}/{}]", node.label, self.edge_data(e).label),
+                                    expr,
+                                    Cmp::Eq,
+                                    0.0,
+                                );
+                            }
+                        }
+                    }
+                }
+                NodeBehavior::Copy => {
+                    raw_constraints += out.len();
+                    if !node_handled[i] {
+                        let total_in = sum_exprs(&inc);
+                        for &e in &out {
+                            let expr = edge_expr(e) - total_in.clone();
+                            emit(
+                                &mut model,
+                                format!("copy[{}/{}]", node.label, self.edge_data(e).label),
+                                expr,
+                                Cmp::Eq,
+                                0.0,
+                            );
+                        }
+                    }
+                }
+                NodeBehavior::Source(kind, input) => {
+                    raw_constraints += 1;
+                    let total_out = sum_exprs(&out);
+                    let hint = match input {
+                        SourceInput::Fixed(v) => {
+                            emit(
+                                &mut model,
+                                format!("src[{}]", node.label),
+                                total_out,
+                                Cmp::Eq,
+                                v,
+                            );
+                            Some(v)
+                        }
+                        SourceInput::Var { lo, hi } => {
+                            let sv = model.add_var(
+                                format!("src[{}]", node.label),
+                                VarType::Continuous,
+                                lo,
+                                hi,
+                            );
+                            source_vars.insert(id, sv);
+                            let expr = total_out - sv;
+                            emit(
+                                &mut model,
+                                format!("src_bal[{}]", node.label),
+                                expr,
+                                Cmp::Eq,
+                                0.0,
+                            );
+                            if hi.is_finite() {
+                                Some(hi)
+                            } else {
+                                None
+                            }
+                        }
+                    };
+                    if kind == SourceKind::Pick {
+                        raw_constraints += 1 + out.len();
+                        add_pick_choice(
+                            &mut model,
+                            &mut pick_binaries,
+                            &node.label,
+                            &out,
+                            &edge_expr,
+                            |e| m_for(e, hint),
+                        );
+                    }
+                }
+                NodeBehavior::Sink { weight } => {
+                    for &e in &inc {
+                        objective += edge_expr(e) * weight;
+                    }
+                }
+            }
+        }
+
+        model.set_objective(objective);
+
+        let raw_vars = n_edges
+            + source_vars.len()
+            + pick_binaries.len();
+        let stats = CompileStats {
+            raw_vars,
+            raw_constraints,
+            vars: model.num_vars(),
+            constraints: model.num_constraints(),
+            merged_edges: n_edges - classes.len(),
+            fixed_edges: classes.values().filter(|c| c.fixed.is_some()).count(),
+        };
+
+        Ok(CompiledModel {
+            model,
+            edge_refs,
+            source_vars,
+            pick_binaries,
+            stats,
+            num_edges: n_edges,
+        })
+    }
+}
+
+/// Shared pick encoding: binaries `y_e`, `Σ y = 1`, `f_e <= M_e y_e`.
+fn add_pick_choice(
+    model: &mut Model,
+    pick_binaries: &mut BTreeMap<EdgeId, VarId>,
+    label: &str,
+    out: &[EdgeId],
+    edge_expr: &impl Fn(EdgeId) -> LinExpr,
+    m_for: impl Fn(EdgeId) -> f64,
+) {
+    let mut choice_sum = LinExpr::new();
+    for &e in out {
+        let y = model.add_binary(format!("pick[{label}->e{}]", e.0));
+        pick_binaries.insert(e, y);
+        choice_sum.add_term(y, 1.0);
+        let expr = edge_expr(e) - LinExpr::term(y, m_for(e));
+        model.add_constr(format!("pick_ind[{label}/e{}]", e.0), expr, Cmp::Le, 0.0);
+    }
+    model.add_constr(format!("pick_one[{label}]"), choice_sum, Cmp::Eq, 1.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{FlowNet, SourceInput, SourceKind};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    /// Source --cap 3--> sink, variable demand up to 5: routes 3.
+    #[test]
+    fn single_edge_capacity() {
+        let mut net = FlowNet::new("t");
+        let s = net.source("s", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 5.0 });
+        let t = net.sink("t", "T", 1.0);
+        net.edge(s, t, "e").capacity(3.0);
+        let c = net.compile(&CompileOptions::default()).unwrap();
+        let sol = c.solve().unwrap();
+        assert_close(sol.objective, 3.0);
+        assert_close(sol.flows[0], 3.0);
+    }
+
+    /// Fixed source must be fully absorbed; unmet sink takes the overflow.
+    #[test]
+    fn fixed_source_with_unmet_sink() {
+        let mut net = FlowNet::new("t");
+        let s = net.source("s", "S", SourceKind::Split, SourceInput::Fixed(5.0));
+        let met = net.sink("met", "T", 1.0);
+        let unmet = net.sink("unmet", "T", 0.0);
+        net.edge(s, met, "m").capacity(3.0);
+        net.edge(s, unmet, "u");
+        let c = net.compile(&CompileOptions::default()).unwrap();
+        let sol = c.solve().unwrap();
+        assert_close(sol.objective, 3.0);
+        assert_close(sol.flows[0], 3.0);
+        assert_close(sol.flows[1], 2.0);
+    }
+
+    /// Fixed source with insufficient capacity is infeasible.
+    #[test]
+    fn fixed_source_infeasible_without_escape() {
+        let mut net = FlowNet::new("t");
+        let s = net.source("s", "S", SourceKind::Split, SourceInput::Fixed(5.0));
+        let t = net.sink("t", "T", 1.0);
+        net.edge(s, t, "e").capacity(3.0);
+        let c = net.compile(&CompileOptions::default()).unwrap();
+        assert!(matches!(c.solve(), Err(FlowNetError::Solver(_))));
+    }
+
+    /// A chain of pass-through splits collapses to one variable.
+    #[test]
+    fn elimination_merges_chains() {
+        let mut net = FlowNet::new("chain");
+        let s = net.source("s", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let mut prev = s;
+        for i in 0..5 {
+            let mid = net.split(format!("m{i}"), "MID");
+            net.edge(prev, mid, format!("e{i}"));
+            prev = mid;
+        }
+        let t = net.sink("t", "T", 1.0);
+        net.edge(prev, t, "last").capacity(4.0);
+
+        let raw = net
+            .compile(&CompileOptions { eliminate: false, ..Default::default() })
+            .unwrap();
+        let opt = net.compile(&CompileOptions::default()).unwrap();
+        assert!(opt.model.num_vars() < raw.model.num_vars());
+        assert!(opt.model.num_constraints() < raw.model.num_constraints());
+        // Same optimum either way.
+        assert_close(raw.solve().unwrap().objective, 4.0);
+        assert_close(opt.solve().unwrap().objective, 4.0);
+        // Capacity on the last edge constrains the whole merged chain.
+        let sol = opt.solve().unwrap();
+        for f in &sol.flows {
+            assert_close(*f, 4.0);
+        }
+    }
+
+    /// Multiply chains carry scale through elimination.
+    #[test]
+    fn multiply_scales_flows() {
+        let mut net = FlowNet::new("mult");
+        let s = net.source("s", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let m = net.multiply("x2", "MID", 2.0);
+        let t = net.sink("t", "T", 1.0);
+        net.edge(s, m, "in");
+        net.edge(m, t, "out").capacity(6.0);
+        for eliminate in [false, true] {
+            let c = net
+                .compile(&CompileOptions { eliminate, ..Default::default() })
+                .unwrap();
+            let sol = c.solve().unwrap();
+            // out = 2*in <= 6 -> in = 3, out = 6, objective 6.
+            assert_close(sol.objective, 6.0);
+            assert_close(sol.flows[0], 3.0);
+            assert_close(sol.flows[1], 6.0);
+        }
+    }
+
+    /// Multiply by zero pins downstream flow to zero.
+    #[test]
+    fn multiply_zero_forces_zero() {
+        let mut net = FlowNet::new("m0");
+        let s = net.source("s", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let m = net.multiply("x0", "MID", 0.0);
+        let t = net.sink("t", "T", 1.0);
+        net.edge(s, m, "in");
+        net.edge(m, t, "out");
+        let c = net.compile(&CompileOptions::default()).unwrap();
+        let sol = c.solve().unwrap();
+        assert_close(sol.flows[1], 0.0);
+    }
+
+    /// All-equal node forces equal flow on every incident edge.
+    #[test]
+    fn all_equal_constrains() {
+        let mut net = FlowNet::new("ae");
+        let s1 = net.source("s1", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let s2 = net.source("s2", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let ae = net.all_equal("ae", "MID");
+        let t = net.sink("t", "T", 1.0);
+        net.edge(s1, ae, "a").capacity(2.0);
+        net.edge(s2, ae, "b");
+        net.edge(ae, t, "c");
+        for eliminate in [false, true] {
+            let c = net
+                .compile(&CompileOptions { eliminate, ..Default::default() })
+                .unwrap();
+            let sol = c.solve().unwrap();
+            // All three edges equal, capped at 2 -> objective 2.
+            assert_close(sol.objective, 2.0);
+            assert_close(sol.flows[0], 2.0);
+            assert_close(sol.flows[1], 2.0);
+            assert_close(sol.flows[2], 2.0);
+        }
+    }
+
+    /// Copy node duplicates flow to each outgoing edge.
+    #[test]
+    fn copy_duplicates() {
+        let mut net = FlowNet::new("cp");
+        let s = net.source("s", "S", SourceKind::Split, SourceInput::Fixed(3.0));
+        let cp = net.copy("cp", "MID");
+        let t1 = net.sink("t1", "T", 1.0);
+        let t2 = net.sink("t2", "T", 1.0);
+        net.edge(s, cp, "in");
+        net.edge(cp, t1, "o1");
+        net.edge(cp, t2, "o2");
+        for eliminate in [false, true] {
+            let c = net
+                .compile(&CompileOptions { eliminate, ..Default::default() })
+                .unwrap();
+            let sol = c.solve().unwrap();
+            // Each copy carries 3; objective counts both sinks.
+            assert_close(sol.objective, 6.0);
+            assert_close(sol.flows[1], 3.0);
+            assert_close(sol.flows[2], 3.0);
+        }
+    }
+
+    /// Pick source puts the whole input on one outgoing edge (MILP).
+    #[test]
+    fn pick_source_chooses_one() {
+        let mut net = FlowNet::new("pick");
+        let s = net.source("ball", "BALLS", SourceKind::Pick, SourceInput::Fixed(0.6));
+        let bin1 = net.split("bin1", "BINS");
+        let bin2 = net.split("bin2", "BINS");
+        let t = net.sink("occ", "T", 1.0);
+        net.edge(s, bin1, "b1").capacity(1.0);
+        net.edge(s, bin2, "b2").capacity(1.0);
+        net.edge(bin1, t, "o1").capacity(1.0);
+        net.edge(bin2, t, "o2").capacity(1.0);
+        let c = net.compile(&CompileOptions::default()).unwrap();
+        let sol = c.solve().unwrap();
+        assert_close(sol.objective, 0.6);
+        let used = sol.flows[..2].iter().filter(|f| **f > 1e-6).count();
+        assert_eq!(used, 1, "pick must use exactly one edge: {:?}", sol.flows);
+    }
+
+    /// Contradictory fixed flows are caught at compile time.
+    #[test]
+    fn contradiction_detected() {
+        let mut net = FlowNet::new("contra");
+        let s = net.source("s", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let ae = net.all_equal("ae", "MID");
+        let t = net.sink("t", "T", 1.0);
+        net.edge(s, ae, "a").fixed(1.0);
+        net.edge(ae, t, "b").fixed(2.0);
+        assert!(matches!(
+            net.compile(&CompileOptions::default()),
+            Err(FlowNetError::Contradiction(_))
+        ));
+    }
+
+    /// Fixed edges become compile-time constants under elimination.
+    #[test]
+    fn fixed_edge_is_constant() {
+        let mut net = FlowNet::new("fx");
+        let s = net.source("s", "S", SourceKind::Split, SourceInput::Fixed(2.0));
+        let t = net.sink("t", "T", 1.0);
+        let e = net.edge(s, t, "e").fixed(2.0).id();
+        let c = net.compile(&CompileOptions::default()).unwrap();
+        assert!(matches!(c.edge_ref(e), EdgeRef::Fixed(v) if (v - 2.0).abs() < 1e-12));
+        let sol = c.solve().unwrap();
+        assert_close(sol.objective, 2.0);
+    }
+
+    /// Source variables are exposed and pinnable.
+    #[test]
+    fn with_source_values_pins_input() {
+        let mut net = FlowNet::new("pin");
+        let s = net.source("d", "D", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let t = net.sink("t", "T", 1.0);
+        net.edge(s, t, "e");
+        let c = net.compile(&CompileOptions::default()).unwrap();
+        assert_eq!(c.source_vars.len(), 1);
+        let mut pins = BTreeMap::new();
+        pins.insert(s, 4.5);
+        let pinned = c.with_source_values(&pins).unwrap();
+        let sol = pinned.solve().unwrap();
+        assert_close(sol.objective, 4.5);
+    }
+
+    /// Stats reflect the elimination.
+    #[test]
+    fn stats_counts() {
+        let mut net = FlowNet::new("stats");
+        let s = net.source("s", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let a = net.split("a", "MID");
+        let b = net.split("b", "MID");
+        let t = net.sink("t", "T", 1.0);
+        net.edge(s, a, "e1");
+        net.edge(a, b, "e2");
+        net.edge(b, t, "e3").capacity(1.0);
+        let c = net.compile(&CompileOptions::default()).unwrap();
+        assert!(c.stats.vars < c.stats.raw_vars, "{:?}", c.stats);
+        assert!(c.stats.merged_edges >= 2, "{:?}", c.stats);
+    }
+}

@@ -1,0 +1,162 @@
+//! Graphviz (DOT) export of flow networks, including the explainer's
+//! red/blue heat-maps (Fig. 4).
+//!
+//! Edge scores in `[-1, 1]` follow the paper's convention: negative (red)
+//! means only the *heuristic* sends flow on that edge, positive (blue)
+//! means only the *benchmark* does, zero (gray) means they agree.
+
+use crate::graph::{FlowNet, NodeBehavior, SourceKind};
+use std::fmt::Write as _;
+
+/// Render the bare network structure.
+pub fn to_dot(net: &FlowNet) -> String {
+    to_dot_with_scores(net, None)
+}
+
+/// Render the network with an optional per-edge score overlay.
+///
+/// `scores`, when given, must have one entry per edge; values are clamped
+/// to `[-1, 1]`.
+pub fn to_dot_with_scores(net: &FlowNet, scores: Option<&[f64]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(&net.name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+
+    // Group nodes into same-rank clusters by their `group` metadata, in
+    // first-seen order (DEMANDS / PATHS / EDGES rows of Fig. 4a).
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, n) in net.nodes().iter().enumerate() {
+        match groups.iter_mut().find(|(g, _)| *g == n.group) {
+            Some((_, v)) => v.push(i),
+            None => groups.push((n.group.clone(), vec![i])),
+        }
+    }
+    for (group, members) in &groups {
+        let _ = writeln!(out, "  subgraph \"cluster_{}\" {{", sanitize(group));
+        let _ = writeln!(out, "    label=\"{}\"; rank=same;", sanitize(group));
+        for &i in members {
+            let n = &net.nodes()[i];
+            let (shape, fill) = match n.behavior {
+                NodeBehavior::Source(SourceKind::Split, _) => ("invtriangle", "#c6dbef"),
+                NodeBehavior::Source(SourceKind::Pick, _) => ("invtrapezium", "#9ecae1"),
+                NodeBehavior::Sink { .. } => ("doublecircle", "#d9d9d9"),
+                NodeBehavior::Split => ("circle", "#ffffff"),
+                NodeBehavior::Pick => ("diamond", "#fdd0a2"),
+                NodeBehavior::Multiply(_) => ("box", "#e5f5e0"),
+                NodeBehavior::AllEqual => ("hexagon", "#efedf5"),
+                NodeBehavior::Copy => ("trapezium", "#fee0d2"),
+            };
+            let _ = writeln!(
+                out,
+                "    n{i} [label=\"{}\", shape={shape}, style=filled, fillcolor=\"{fill}\"];",
+                sanitize(&n.label)
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    for (i, e) in net.edges().iter().enumerate() {
+        let mut attrs = vec![format!("label=\"{}\"", sanitize(&e.label))];
+        if let Some(scores) = scores {
+            let s = scores.get(i).copied().unwrap_or(0.0).clamp(-1.0, 1.0);
+            attrs.push(format!("color=\"{}\"", score_color(s)));
+            // Emphasize strongly disagreeing edges like the paper's figure.
+            attrs.push(format!("penwidth={:.2}", 1.0 + 3.0 * s.abs()));
+        }
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [{}];",
+            e.from.0,
+            e.to.0,
+            attrs.join(", ")
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Map a score in `[-1, 1]` onto the red↔gray↔blue ramp the paper uses:
+/// -1 (heuristic-only) is intense red, +1 (benchmark-only) intense blue.
+pub fn score_color(score: f64) -> String {
+    let s = score.clamp(-1.0, 1.0);
+    let (r, g, b) = if s < 0.0 {
+        let t = -s;
+        (
+            (160.0 + 95.0 * t) as u8,
+            (160.0 - 140.0 * t) as u8,
+            (160.0 - 140.0 * t) as u8,
+        )
+    } else {
+        let t = s;
+        (
+            (160.0 - 140.0 * t) as u8,
+            (160.0 - 140.0 * t) as u8,
+            (160.0 + 95.0 * t) as u8,
+        )
+    };
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "'").replace('\n', " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{FlowNet, SourceInput, SourceKind};
+
+    fn sample() -> FlowNet {
+        let mut net = FlowNet::new("dot-test");
+        let s = net.source("d1", "DEMANDS", SourceKind::Split, SourceInput::Fixed(1.0));
+        let p = net.copy("p1", "PATHS");
+        let t = net.sink("met", "SINKS", 1.0);
+        net.edge(s, p, "d1->p1");
+        net.edge(p, t, "p1->met");
+        net
+    }
+
+    #[test]
+    fn structure_renders() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cluster_DEMANDS"));
+        assert!(dot.contains("cluster_PATHS"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("d1->p1"));
+    }
+
+    #[test]
+    fn scores_color_edges() {
+        let net = sample();
+        let dot = to_dot_with_scores(&net, Some(&[-1.0, 1.0]));
+        assert!(dot.contains(&score_color(-1.0)));
+        assert!(dot.contains(&score_color(1.0)));
+    }
+
+    #[test]
+    fn color_ramp_endpoints() {
+        assert_eq!(score_color(-1.0), "#ff1414"); // intense red
+        assert_eq!(score_color(1.0), "#1414ff"); // intense blue
+        assert_eq!(score_color(0.0), "#a0a0a0"); // neutral gray
+    }
+
+    #[test]
+    fn quotes_sanitized() {
+        let mut net = FlowNet::new("q\"uote");
+        let s = net.source("s\"x", "G", SourceKind::Split, SourceInput::Fixed(1.0));
+        let t = net.sink("t", "G", 1.0);
+        net.edge(s, t, "e");
+        let dot = to_dot(&net);
+        assert!(!dot.contains("\"q\"uote\""));
+    }
+
+    #[test]
+    fn score_clamped() {
+        // Out-of-range scores must not panic or produce bad hex.
+        let c = score_color(5.0);
+        assert_eq!(c.len(), 7);
+        assert_eq!(c, score_color(1.0));
+    }
+}

@@ -1,0 +1,480 @@
+//! Appendix A as code: rewrite **any** linear or mixed-integer linear
+//! optimization into the six DSL node behaviors (Theorem A.1).
+//!
+//! The construction follows the paper's proof step by step:
+//!
+//! * every constraint is normalized to `A⁺x + b⁻ + f = A⁻x + b⁺` with a
+//!   nonnegative slack `f` and becomes one **split** node (step S1, Fig. 8);
+//! * every coefficient becomes a **multiply** node producing the auxiliary
+//!   `u⁺/u⁻` terms (step S2, Fig. 9);
+//! * every variable becomes an **all-equal** node tying its copies
+//!   `x⁺_ij = x⁻_ij = x_j` together (step S3, Fig. 10);
+//! * binary variables become **pick** sources fed one unit of flow
+//!   (step S4); general integers are binary-decomposed first;
+//! * the objective is reified as `p = c'x + K` (with `K` a constant shift
+//!   keeping `p >= 0`) flowing into the **sink**.
+//!
+//! The paper is explicit that this mapping "does not mean … the most
+//! efficient representation" — the point (and what the tests verify) is
+//! *equivalence of optima*, which is what makes the DSL complete.
+
+use crate::compile::CompileOptions;
+use crate::error::FlowNetError;
+use crate::graph::{EdgeId, FlowNet, SourceInput, SourceKind};
+use xplain_lp::{Cmp, Model, Sense, VarType};
+
+/// The result of encoding: a flow network plus the bookkeeping needed to
+/// recover the original optimum and variable assignment.
+#[derive(Debug, Clone)]
+pub struct EncodedLp {
+    pub net: FlowNet,
+    /// Master edge per original variable (carries the variable's value).
+    pub var_edges: Vec<EdgeId>,
+    /// `sink objective = (normalized max-objective) + objective_offset`.
+    pub objective_offset: f64,
+    /// True if the original model minimized (objective was negated during
+    /// normalization).
+    pub negated: bool,
+}
+
+impl EncodedLp {
+    /// Compile and solve the flow network; return the original-model
+    /// objective and variable values.
+    pub fn solve(&self, options: &CompileOptions) -> Result<(f64, Vec<f64>), FlowNetError> {
+        let compiled = self.net.compile(options)?;
+        let sol = compiled.solve()?;
+        let normalized = sol.objective - self.objective_offset;
+        let objective = if self.negated { -normalized } else { normalized };
+        let values = self.var_edges.iter().map(|&e| sol.flows[e.0]).collect();
+        Ok((objective, values))
+    }
+}
+
+/// Normalized row: `Σ coeff_j x_j <= rhs`.
+struct LeRow {
+    coeffs: Vec<(usize, f64)>,
+    rhs: f64,
+}
+
+/// Encode `model` as a flow network per Theorem A.1.
+///
+/// Requirements (limitations of the constructive proof, not of the DSL):
+/// every variable needs `lo >= 0`, and every variable with a negative
+/// normalized objective coefficient — as well as every general integer —
+/// needs a finite upper bound. Violations return
+/// [`FlowNetError::BadAttribute`].
+pub fn encode(model: &Model) -> Result<EncodedLp, FlowNetError> {
+    model.validate().map_err(FlowNetError::Solver)?;
+
+    let n = model.num_vars();
+    let negated = model.sense() == Sense::Minimize;
+
+    // Normalized (maximization) objective.
+    let mut obj = vec![0.0; n];
+    for (v, c) in model.objective().iter() {
+        obj[v.index()] += if negated { -c } else { c };
+    }
+    let obj_constant = if negated {
+        -model.objective().constant_part()
+    } else {
+        model.objective().constant_part()
+    };
+
+    // Bounds; fail fast on unsupported shapes.
+    let mut lo = vec![0.0; n];
+    let mut hi = vec![f64::INFINITY; n];
+    for j in 0..n {
+        let v = xplain_lp::VarId::from_index(j);
+        let (l, h) = model.var_bounds(v);
+        if l < 0.0 {
+            return Err(FlowNetError::BadAttribute(format!(
+                "variable {} has negative lower bound {l}; Theorem A.1 assumes x >= 0",
+                model.var_name(v)
+            )));
+        }
+        if obj[j] < 0.0 && !h.is_finite() {
+            return Err(FlowNetError::BadAttribute(format!(
+                "variable {} has a negative objective coefficient and no finite upper bound",
+                model.var_name(v)
+            )));
+        }
+        lo[j] = l;
+        hi[j] = h;
+    }
+
+    // --- Normalize all constraints to `<=` rows -------------------------
+    let mut rows: Vec<LeRow> = Vec::new();
+    let push_row = |rows: &mut Vec<LeRow>, coeffs: Vec<(usize, f64)>, rhs: f64| {
+        if !coeffs.is_empty() {
+            rows.push(LeRow { coeffs, rhs });
+        }
+    };
+    for c in model.constraints() {
+        let coeffs: Vec<(usize, f64)> = c
+            .expr
+            .iter()
+            .filter(|(_, k)| k.abs() > 1e-12)
+            .map(|(v, k)| (v.index(), k))
+            .collect();
+        let rhs = c.rhs - c.expr.constant_part();
+        match c.cmp {
+            Cmp::Le => push_row(&mut rows, coeffs, rhs),
+            Cmp::Ge => push_row(
+                &mut rows,
+                coeffs.iter().map(|&(j, k)| (j, -k)).collect(),
+                -rhs,
+            ),
+            Cmp::Eq => {
+                push_row(&mut rows, coeffs.clone(), rhs);
+                push_row(
+                    &mut rows,
+                    coeffs.iter().map(|&(j, k)| (j, -k)).collect(),
+                    -rhs,
+                );
+            }
+        }
+    }
+    // Positive lower bounds become rows (-x <= -lo); the master edge only
+    // carries [0, hi].
+    for j in 0..n {
+        if lo[j] > 0.0 {
+            push_row(&mut rows, vec![(j, -1.0)], -lo[j]);
+        }
+    }
+
+    // --- Build the network ----------------------------------------------
+    let mut net = FlowNet::new(format!("encoded[{}]", model.num_vars()));
+    let dump = net.sink("dump", "AUX", 0.0);
+
+    // One all-equal node per variable, fed by a master edge.
+    let mut var_nodes = Vec::with_capacity(n);
+    let mut var_edges = Vec::with_capacity(n);
+    for j in 0..n {
+        let v = xplain_lp::VarId::from_index(j);
+        let name = model.var_name(v).to_string();
+        let ae = net.all_equal(format!("x[{name}]"), "VARS");
+        var_nodes.push(ae);
+        match model.var_type(v) {
+            VarType::Continuous => {
+                let src = net.source(
+                    format!("src_x[{name}]"),
+                    "VARS",
+                    SourceKind::Split,
+                    SourceInput::Var { lo: 0.0, hi: hi[j] },
+                );
+                let e = net.edge(src, ae, format!("master[{name}]")).id();
+                var_edges.push(e);
+            }
+            VarType::Binary => {
+                // Pick source with one unit: the "on" edge carries the
+                // binary's value, the "off" edge dumps the unit.
+                let src = net.source(
+                    format!("bit_src[{name}]"),
+                    "BITS",
+                    SourceKind::Pick,
+                    SourceInput::Fixed(1.0),
+                );
+                let on = net.edge(src, ae, format!("master[{name}]")).id();
+                net.edge(src, dump, format!("off[{name}]"));
+                var_edges.push(on);
+            }
+            VarType::Integer => {
+                // Binary decomposition x = Σ 2^k y_k summed by a split node.
+                let h = hi[j];
+                if !h.is_finite() {
+                    return Err(FlowNetError::BadAttribute(format!(
+                        "integer variable {name} needs a finite upper bound for binary decomposition"
+                    )));
+                }
+                let u = h.floor().max(0.0) as u64;
+                let bits = if u == 0 {
+                    1
+                } else {
+                    64 - u.leading_zeros() as usize
+                };
+                let collect = net.split(format!("bits_sum[{name}]"), "BITS");
+                for k in 0..bits {
+                    let w = (1u64 << k) as f64;
+                    let src = net.source(
+                        format!("bit_src[{name}#{k}]"),
+                        "BITS",
+                        SourceKind::Pick,
+                        SourceInput::Fixed(1.0),
+                    );
+                    let mul = net.multiply(format!("bit_w[{name}#{k}]"), "BITS", w);
+                    net.edge(src, mul, format!("bit_on[{name}#{k}]"));
+                    net.edge(mul, collect, format!("bit_val[{name}#{k}]"));
+                    net.edge(src, dump, format!("bit_off[{name}#{k}]"));
+                }
+                let e = net.edge(collect, ae, format!("master[{name}]")).id();
+                var_edges.push(e);
+                // The bit pattern can reach 2^bits - 1 > hi: clamp by row.
+                push_row(&mut rows, vec![(j, 1.0)], h);
+            }
+        }
+    }
+
+    // One split node per row (S1) with multiply nodes per coefficient (S2)
+    // hanging off the variables' all-equal nodes (S3).
+    for (i, row) in rows.iter().enumerate() {
+        let split = net.split(format!("row[{i}]"), "ROWS");
+        let b = row.rhs;
+        // Slack f_i >= 0 enters the node.
+        let slack = net.source(
+            format!("slack_src[{i}]"),
+            "AUX",
+            SourceKind::Split,
+            SourceInput::Var {
+                lo: 0.0,
+                hi: f64::INFINITY,
+            },
+        );
+        net.edge(slack, split, format!("slack[{i}]"));
+        // Constant sides: b⁺ leaves, b⁻ enters.
+        if b > 1e-12 {
+            let bsink = net.sink(format!("bplus_sink[{i}]"), "AUX", 0.0);
+            net.edge(split, bsink, format!("bplus[{i}]")).fixed(b);
+        } else if b < -1e-12 {
+            let bsrc = net.source(
+                format!("bminus_src[{i}]"),
+                "AUX",
+                SourceKind::Split,
+                SourceInput::Fixed(-b),
+            );
+            net.edge(bsrc, split, format!("bminus[{i}]"));
+        }
+        for &(j, a) in &row.coeffs {
+            if a > 0.0 {
+                // u⁺_ij = a * x_j enters the split node.
+                let mul = net.multiply(format!("aplus[{i},{j}]"), "COEF", a);
+                net.edge(var_nodes[j], mul, format!("xplus[{i},{j}]"));
+                net.edge(mul, split, format!("uplus[{i},{j}]"));
+            } else {
+                // u⁻_ij = (-a) * x_j leaves the split node; the inverse
+                // multiply returns exactly x_j to the all-equal node.
+                let mul = net.multiply(format!("aminus[{i},{j}]"), "COEF", 1.0 / (-a));
+                net.edge(split, mul, format!("uminus[{i},{j}]"));
+                net.edge(mul, var_nodes[j], format!("xminus[{i},{j}]"));
+            }
+        }
+    }
+
+    // --- Objective reification: p = Σ c⁺x − Σ c⁻x + K --------------------
+    let obj_split = net.split("obj", "OBJ");
+    let mut shift = 0.0;
+    for j in 0..n {
+        let c = obj[j];
+        if c > 1e-12 {
+            let mul = net.multiply(format!("cplus[{j}]"), "OBJ", c);
+            net.edge(var_nodes[j], mul, format!("obj_xplus[{j}]"));
+            net.edge(mul, obj_split, format!("obj_uplus[{j}]"));
+        } else if c < -1e-12 {
+            let mul = net.multiply(format!("cminus[{j}]"), "OBJ", 1.0 / (-c));
+            net.edge(obj_split, mul, format!("obj_uminus[{j}]"));
+            net.edge(mul, var_nodes[j], format!("obj_xminus[{j}]"));
+            shift += (-c) * hi[j];
+        }
+    }
+    if shift > 0.0 {
+        let ksrc = net.source(
+            "obj_shift",
+            "OBJ",
+            SourceKind::Split,
+            SourceInput::Fixed(shift),
+        );
+        net.edge(ksrc, obj_split, "obj_k");
+    }
+    let sink = net.sink("objective", "OBJ", 1.0);
+    net.edge(obj_split, sink, "p");
+
+    // sink = c'x + shift; we want `sink - offset = c'x + obj_constant`,
+    // so offset = shift - obj_constant.
+    Ok(EncodedLp {
+        net,
+        var_edges,
+        objective_offset: shift - obj_constant,
+        negated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xplain_lp::{Cmp, LinExpr, Model, Sense, VarType};
+
+    fn roundtrip(model: &Model) -> (f64, Vec<f64>) {
+        let enc = encode(model).expect("encodable");
+        enc.net.validate().expect("valid network");
+        enc.solve(&CompileOptions::default()).expect("solvable")
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_max_lp() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6; x,y in [0, 10] -> 12
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+        m.add_constr("c1", x + y, Cmp::Le, 4.0);
+        m.add_constr("c2", x + y * 3.0, Cmp::Le, 6.0);
+        m.set_objective(x * 3.0 + y * 2.0);
+        let direct = m.solve().unwrap();
+        let (obj, values) = roundtrip(&m);
+        assert_close(obj, direct.objective);
+        assert_close(values[0], 4.0);
+    }
+
+    #[test]
+    fn negative_coefficients_in_constraints() {
+        // max x s.t. x - y <= 1, y <= 2; x,y in [0, 10] -> x = 3
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+        m.add_constr("c1", x - y, Cmp::Le, 1.0);
+        m.add_constr("c2", LinExpr::term(y, 1.0), Cmp::Le, 2.0);
+        m.set_objective(LinExpr::term(x, 1.0));
+        let (obj, values) = roundtrip(&m);
+        assert_close(obj, 3.0);
+        assert_close(values[0], 3.0);
+    }
+
+    #[test]
+    fn negative_objective_coefficient() {
+        // max x - 2y s.t. x <= y + 1, y in [0,5], x in [0,5] -> x=1,y=0: 1
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 5.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 5.0);
+        m.add_constr("c", x - y, Cmp::Le, 1.0);
+        m.set_objective(x - y * 2.0);
+        let direct = m.solve().unwrap();
+        let (obj, _) = roundtrip(&m);
+        assert_close(obj, direct.objective);
+        assert_close(obj, 1.0);
+    }
+
+    #[test]
+    fn minimization_sense() {
+        // min 2x + y s.t. x + y >= 3; x,y in [0, 10] -> y=3: 3
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+        m.add_constr("c", x + y, Cmp::Ge, 3.0);
+        m.set_objective(x * 2.0 + y);
+        let direct = m.solve().unwrap();
+        let (obj, _) = roundtrip(&m);
+        assert_close(obj, direct.objective);
+        assert_close(obj, 3.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 5, x - y = 1; bounds [0,10] -> 5
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+        m.add_constr("e1", x + y, Cmp::Eq, 5.0);
+        m.add_constr("e2", x - y, Cmp::Eq, 1.0);
+        m.set_objective(x + y);
+        let (obj, values) = roundtrip(&m);
+        assert_close(obj, 5.0);
+        assert_close(values[0], 3.0);
+        assert_close(values[1], 2.0);
+    }
+
+    #[test]
+    fn binary_variables_via_pick() {
+        // Knapsack: values [10, 13, 7], weights [3, 4, 2], cap 6 -> 20.
+        let mut m = Model::new(Sense::Maximize);
+        let x: Vec<_> = (0..3).map(|i| m.add_binary(format!("b{i}"))).collect();
+        m.add_constr("cap", x[0] * 3.0 + x[1] * 4.0 + x[2] * 2.0, Cmp::Le, 6.0);
+        m.set_objective(x[0] * 10.0 + x[1] * 13.0 + x[2] * 7.0);
+        let direct = m.solve().unwrap();
+        let (obj, values) = roundtrip(&m);
+        assert_close(obj, direct.objective);
+        for v in &values {
+            assert!(v.abs() < 1e-5 || (v - 1.0).abs() < 1e-5, "non-binary {v}");
+        }
+    }
+
+    #[test]
+    fn general_integer_via_binary_decomposition() {
+        // max x s.t. 2x <= 11, x integer in [0, 6] -> 5.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Integer, 0.0, 6.0);
+        m.add_constr("c", LinExpr::term(x, 2.0), Cmp::Le, 11.0);
+        m.set_objective(LinExpr::term(x, 1.0));
+        let (obj, values) = roundtrip(&m);
+        assert_close(obj, 5.0);
+        assert_close(values[0], 5.0);
+    }
+
+    #[test]
+    fn lower_bounds_become_rows() {
+        // min x with x in [2.5, 10] -> 2.5
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarType::Continuous, 2.5, 10.0);
+        m.set_objective(LinExpr::term(x, 1.0));
+        let (obj, values) = roundtrip(&m);
+        assert_close(obj, 2.5);
+        assert_close(values[0], 2.5);
+    }
+
+    #[test]
+    fn objective_constant_carried() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 3.0);
+        m.set_objective(x + 10.0);
+        let direct = m.solve().unwrap();
+        let (obj, _) = roundtrip(&m);
+        assert_close(obj, direct.objective);
+        assert_close(obj, 13.0);
+    }
+
+    #[test]
+    fn rejects_negative_lower_bound() {
+        let mut m = Model::new(Sense::Maximize);
+        m.add_var("x", VarType::Continuous, -1.0, 1.0);
+        assert!(matches!(encode(&m), Err(FlowNetError::BadAttribute(_))));
+    }
+
+    #[test]
+    fn rejects_unbounded_negative_objective() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_nonneg("x");
+        m.set_objective(LinExpr::term(x, -1.0));
+        assert!(matches!(encode(&m), Err(FlowNetError::BadAttribute(_))));
+    }
+
+    #[test]
+    fn infeasible_model_stays_infeasible() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        m.add_constr("c", LinExpr::term(x, 1.0), Cmp::Ge, 2.0);
+        m.set_objective(LinExpr::term(x, 1.0));
+        let enc = encode(&m).unwrap();
+        assert!(enc.solve(&CompileOptions::default()).is_err());
+    }
+
+    #[test]
+    fn elimination_and_raw_agree_on_encoding() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 4.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 4.0);
+        m.add_constr("c1", x * 2.0 + y, Cmp::Le, 6.0);
+        m.add_constr("c2", x - y, Cmp::Ge, -1.0);
+        m.set_objective(x + y * 3.0);
+        let enc = encode(&m).unwrap();
+        let (a, _) = enc.solve(&CompileOptions::default()).unwrap();
+        let (b, _) = enc
+            .solve(&CompileOptions {
+                eliminate: false,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_close(a, b);
+        assert_close(a, m.solve().unwrap().objective);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for DSL construction and compilation.
+
+use std::fmt;
+
+/// Errors from building, validating, or compiling a flow network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowNetError {
+    /// A node or edge id referenced something outside the graph.
+    UnknownId(String),
+    /// The graph violates a structural rule of a node behavior
+    /// (e.g. a multiply node with two outgoing edges).
+    Structure(String),
+    /// Numeric attribute out of range (negative capacity, NaN rate...).
+    BadAttribute(String),
+    /// Redundancy elimination discovered contradictory fixed flows.
+    Contradiction(String),
+    /// The underlying LP/MILP solver failed.
+    Solver(xplain_lp::LpError),
+}
+
+impl fmt::Display for FlowNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowNetError::UnknownId(msg) => write!(f, "unknown id: {msg}"),
+            FlowNetError::Structure(msg) => write!(f, "structural error: {msg}"),
+            FlowNetError::BadAttribute(msg) => write!(f, "bad attribute: {msg}"),
+            FlowNetError::Contradiction(msg) => write!(f, "contradictory model: {msg}"),
+            FlowNetError::Solver(e) => write!(f, "solver: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowNetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowNetError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<xplain_lp::LpError> for FlowNetError {
+    fn from(e: xplain_lp::LpError) -> Self {
+        FlowNetError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(FlowNetError::UnknownId("n9".into()).to_string().contains("n9"));
+        assert!(FlowNetError::Solver(xplain_lp::LpError::Infeasible)
+            .to_string()
+            .contains("infeasible"));
+    }
+}

@@ -1,0 +1,719 @@
+//! The flow-network DSL: a directed graph whose nodes carry *behaviors*
+//! (constraint templates over incident edge flows) and whose edges are
+//! nonnegative flow variables.
+//!
+//! This is the paper's §5.1 / Appendix A abstraction. Six behaviors are
+//! enough to express any linear (or mixed-integer linear) optimization
+//! (Theorem A.1; see [`crate::encode_lp`]):
+//!
+//! | behavior | constraint |
+//! |----------|-----------|
+//! | split    | Σ in = Σ out (flow conservation) |
+//! | pick     | conservation + at most one outgoing edge carries flow |
+//! | multiply(C) | single in/out, `f_out = C * f_in` |
+//! | all-equal | every incident edge carries the same flow |
+//! | copy     | every outgoing edge carries Σ in |
+//! | sink     | no outgoing edges; contributes Σ in to the objective |
+//!
+//! Sources are split- or pick-behaved nodes with no incoming edges whose
+//! emitted volume is either a constant or a bounded decision variable — the
+//! latter is exactly MetaOpt's "OuterVar" hook (the adversarial input).
+//! Metadata (`label`, `group`) attaches human-readable context that the
+//! explainer and generalizer surface in their reports.
+
+use crate::error::FlowNetError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Handle to a node in a [`FlowNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Handle to an edge in a [`FlowNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// How a source node's emitted volume is determined.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SourceInput {
+    /// Fixed input rate (a problem constant).
+    Fixed(f64),
+    /// A bounded decision variable — MetaOpt's *OuterVar*. The compiler
+    /// exposes one LP variable per such source so an outer optimization
+    /// (the heuristic analyzer) can steer it.
+    Var {
+        #[serde(with = "xplain_lp::serde_inf")]
+        lo: f64,
+        #[serde(with = "xplain_lp::serde_inf")]
+        hi: f64,
+    },
+}
+
+/// Distribution discipline of a source node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// May split its volume across outgoing edges (Fig. 4a demands).
+    Split,
+    /// Must place all volume on exactly one outgoing edge (Fig. 4b balls).
+    Pick,
+}
+
+/// Node behaviors (Fig. 6 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NodeBehavior {
+    /// Flow conservation across incident edges.
+    Split,
+    /// Conservation, but only one outgoing edge may carry flow.
+    Pick,
+    /// `f_out = C * f_in`; exactly one incoming and one outgoing edge.
+    Multiply(f64),
+    /// All incident edges carry equal flow.
+    AllEqual,
+    /// Every outgoing edge duplicates the total incoming flow.
+    Copy,
+    /// Produces traffic (no incoming edges).
+    Source(SourceKind, SourceInput),
+    /// Consumes traffic (no outgoing edges); `weight * Σ in` joins the
+    /// objective. Weight 0 gives an absorbing sink like Fig. 4a's
+    /// "Unmet Demand".
+    Sink { weight: f64 },
+}
+
+/// A node: behavior plus presentation metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    pub behavior: NodeBehavior,
+    /// Human-readable name surfaced in explanations (e.g. `"1⇝3"`).
+    pub label: String,
+    /// Logical row/layer for layout and trend analysis
+    /// (e.g. `"DEMANDS"`, `"PATHS"`, `"EDGES"`, `"BALLS"`, `"BINS"`).
+    pub group: String,
+}
+
+/// An edge: a nonnegative flow variable with optional capacity or a fixed
+/// rate, plus a label for explanations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Edge {
+    pub from: NodeId,
+    pub to: NodeId,
+    /// Upper bound on the flow (`None` = uncapacitated).
+    pub capacity: Option<f64>,
+    /// Pin the flow to a constant.
+    pub fixed: Option<f64>,
+    pub label: String,
+}
+
+/// The DSL program: a directed graph of behaviors.
+///
+/// Built fluently:
+///
+/// ```
+/// use xplain_flownet::{FlowNet, SourceKind, SourceInput};
+/// let mut net = FlowNet::new("example");
+/// // A demand of up to 5 units (an adversarial-input variable) that can
+/// // reach the "met" sink over a capacity-3 edge.
+/// let src = net.source("demand", "DEMANDS", SourceKind::Split,
+///                      SourceInput::Var { lo: 0.0, hi: 5.0 });
+/// let sink = net.sink("met", "SINKS", 1.0);
+/// net.edge(src, sink, "direct").capacity(3.0);
+/// let compiled = net.compile(&Default::default()).unwrap();
+/// let sol = compiled.solve().unwrap();
+/// assert!((sol.objective - 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowNet {
+    pub name: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    /// Label → node lookup (labels need not be unique; first wins).
+    #[serde(skip)]
+    node_index: BTreeMap<String, NodeId>,
+    #[serde(skip)]
+    edge_index: BTreeMap<String, EdgeId>,
+}
+
+/// Builder handle returned by [`FlowNet::edge`] for fluent attribute
+/// setting.
+pub struct EdgeBuilder<'a> {
+    net: &'a mut FlowNet,
+    id: EdgeId,
+}
+
+impl<'a> EdgeBuilder<'a> {
+    /// Set the edge capacity.
+    pub fn capacity(self, cap: f64) -> Self {
+        self.net.edges[self.id.0].capacity = Some(cap);
+        self
+    }
+
+    /// Pin the edge flow to a constant.
+    pub fn fixed(self, rate: f64) -> Self {
+        self.net.edges[self.id.0].fixed = Some(rate);
+        self
+    }
+
+    /// The created edge's id.
+    pub fn id(&self) -> EdgeId {
+        self.id
+    }
+}
+
+impl FlowNet {
+    /// Create an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        FlowNet {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            node_index: BTreeMap::new(),
+            edge_index: BTreeMap::new(),
+        }
+    }
+
+    /// Add a node with an arbitrary behavior.
+    pub fn node(
+        &mut self,
+        label: impl Into<String>,
+        group: impl Into<String>,
+        behavior: NodeBehavior,
+    ) -> NodeId {
+        let label = label.into();
+        self.nodes.push(Node {
+            behavior,
+            label: label.clone(),
+            group: group.into(),
+        });
+        let id = NodeId(self.nodes.len() - 1);
+        self.node_index.entry(label).or_insert(id);
+        id
+    }
+
+    /// Add a split node.
+    pub fn split(&mut self, label: impl Into<String>, group: impl Into<String>) -> NodeId {
+        self.node(label, group, NodeBehavior::Split)
+    }
+
+    /// Add a pick node.
+    pub fn pick(&mut self, label: impl Into<String>, group: impl Into<String>) -> NodeId {
+        self.node(label, group, NodeBehavior::Pick)
+    }
+
+    /// Add a multiply node with factor `c`.
+    pub fn multiply(&mut self, label: impl Into<String>, group: impl Into<String>, c: f64) -> NodeId {
+        self.node(label, group, NodeBehavior::Multiply(c))
+    }
+
+    /// Add an all-equal node.
+    pub fn all_equal(&mut self, label: impl Into<String>, group: impl Into<String>) -> NodeId {
+        self.node(label, group, NodeBehavior::AllEqual)
+    }
+
+    /// Add a copy node.
+    pub fn copy(&mut self, label: impl Into<String>, group: impl Into<String>) -> NodeId {
+        self.node(label, group, NodeBehavior::Copy)
+    }
+
+    /// Add a source node.
+    pub fn source(
+        &mut self,
+        label: impl Into<String>,
+        group: impl Into<String>,
+        kind: SourceKind,
+        input: SourceInput,
+    ) -> NodeId {
+        self.node(label, group, NodeBehavior::Source(kind, input))
+    }
+
+    /// Add a sink node with objective weight `weight`.
+    pub fn sink(&mut self, label: impl Into<String>, group: impl Into<String>, weight: f64) -> NodeId {
+        self.node(label, group, NodeBehavior::Sink { weight })
+    }
+
+    /// Add an edge and get a builder for its attributes.
+    pub fn edge(&mut self, from: NodeId, to: NodeId, label: impl Into<String>) -> EdgeBuilder<'_> {
+        let label = label.into();
+        self.edges.push(Edge {
+            from,
+            to,
+            capacity: None,
+            fixed: None,
+            label: label.clone(),
+        });
+        let id = EdgeId(self.edges.len() - 1);
+        self.edge_index.entry(label).or_insert(id);
+        EdgeBuilder { net: self, id }
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Node data by id.
+    pub fn node_data(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Edge data by id.
+    pub fn edge_data(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Look up a node by its label (first match).
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        self.node_index.get(label).copied()
+    }
+
+    /// Look up an edge by its label (first match).
+    pub fn edge_by_label(&self, label: &str) -> Option<EdgeId> {
+        self.edge_index.get(label).copied()
+    }
+
+    /// Incoming edge ids of `n`.
+    pub fn incoming(&self, n: NodeId) -> Vec<EdgeId> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.to == n)
+            .map(|(i, _)| EdgeId(i))
+            .collect()
+    }
+
+    /// Outgoing edge ids of `n`.
+    pub fn outgoing(&self, n: NodeId) -> Vec<EdgeId> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.from == n)
+            .map(|(i, _)| EdgeId(i))
+            .collect()
+    }
+
+    /// Structural validation: behavior arity rules, attribute sanity.
+    pub fn validate(&self) -> Result<(), FlowNetError> {
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.from.0 >= self.nodes.len() || e.to.0 >= self.nodes.len() {
+                return Err(FlowNetError::UnknownId(format!("edge e{i} endpoints")));
+            }
+            if e.from == e.to {
+                return Err(FlowNetError::Structure(format!(
+                    "edge {} is a self-loop",
+                    e.label
+                )));
+            }
+            if let Some(c) = e.capacity {
+                if !c.is_finite() || c < 0.0 {
+                    return Err(FlowNetError::BadAttribute(format!(
+                        "edge {} capacity {c}",
+                        e.label
+                    )));
+                }
+            }
+            if let Some(fx) = e.fixed {
+                if !fx.is_finite() || fx < 0.0 {
+                    return Err(FlowNetError::BadAttribute(format!(
+                        "edge {} fixed rate {fx}",
+                        e.label
+                    )));
+                }
+                if let Some(c) = e.capacity {
+                    if fx > c + 1e-12 {
+                        return Err(FlowNetError::BadAttribute(format!(
+                            "edge {} fixed rate {fx} exceeds capacity {c}",
+                            e.label
+                        )));
+                    }
+                }
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            let id = NodeId(i);
+            let n_in = self.incoming(id).len();
+            let n_out = self.outgoing(id).len();
+            match n.behavior {
+                NodeBehavior::Multiply(c) => {
+                    if !c.is_finite() || c < 0.0 {
+                        return Err(FlowNetError::BadAttribute(format!(
+                            "multiply node {} factor {c}",
+                            n.label
+                        )));
+                    }
+                    if n_in != 1 || n_out != 1 {
+                        return Err(FlowNetError::Structure(format!(
+                            "multiply node {} must have exactly one incoming and one outgoing edge (has {n_in}/{n_out})",
+                            n.label
+                        )));
+                    }
+                }
+                NodeBehavior::Source(_, input) => {
+                    if n_in != 0 {
+                        return Err(FlowNetError::Structure(format!(
+                            "source node {} has incoming edges",
+                            n.label
+                        )));
+                    }
+                    match input {
+                        SourceInput::Fixed(v) => {
+                            if !v.is_finite() || v < 0.0 {
+                                return Err(FlowNetError::BadAttribute(format!(
+                                    "source {} input {v}",
+                                    n.label
+                                )));
+                            }
+                        }
+                        SourceInput::Var { lo, hi } => {
+                            if lo.is_nan() || hi.is_nan() || lo > hi || lo < 0.0 {
+                                return Err(FlowNetError::BadAttribute(format!(
+                                    "source {} var bounds [{lo}, {hi}]",
+                                    n.label
+                                )));
+                            }
+                        }
+                    }
+                }
+                NodeBehavior::Sink { weight } => {
+                    if n_out != 0 {
+                        return Err(FlowNetError::Structure(format!(
+                            "sink node {} has outgoing edges",
+                            n.label
+                        )));
+                    }
+                    if !weight.is_finite() {
+                        return Err(FlowNetError::BadAttribute(format!(
+                            "sink {} weight {weight}",
+                            n.label
+                        )));
+                    }
+                }
+                NodeBehavior::Pick => {
+                    if n_out == 0 {
+                        return Err(FlowNetError::Structure(format!(
+                            "pick node {} has no outgoing edges",
+                            n.label
+                        )));
+                    }
+                }
+                NodeBehavior::Split | NodeBehavior::AllEqual | NodeBehavior::Copy => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Total objective-weighted flow into sinks for a given edge-flow
+    /// assignment (the DSL's notion of "performance", Fig. 6f).
+    pub fn objective_of(&self, flows: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (i, e) in self.edges.iter().enumerate() {
+            if let NodeBehavior::Sink { weight } = self.nodes[e.to.0].behavior {
+                acc += weight * flows.get(i).copied().unwrap_or(0.0);
+            }
+        }
+        acc
+    }
+
+    /// Check an externally produced edge-flow assignment against every node
+    /// behavior; returns the first violation description.
+    ///
+    /// Used to validate that heuristic simulations mapped onto the DSL
+    /// (for the explainer) actually respect the declared structure.
+    pub fn check_assignment(&self, flows: &[f64], tol: f64) -> Option<String> {
+        if flows.len() != self.edges.len() {
+            return Some(format!(
+                "assignment has {} flows for {} edges",
+                flows.len(),
+                self.edges.len()
+            ));
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            let f = flows[i];
+            if f < -tol {
+                return Some(format!("edge {} negative flow {f}", e.label));
+            }
+            if let Some(c) = e.capacity {
+                if f > c + tol {
+                    return Some(format!("edge {} flow {f} over capacity {c}", e.label));
+                }
+            }
+            if let Some(fx) = e.fixed {
+                if (f - fx).abs() > tol {
+                    return Some(format!("edge {} flow {f} != fixed {fx}", e.label));
+                }
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            let id = NodeId(i);
+            let sum_in: f64 = self.incoming(id).iter().map(|e| flows[e.0]).sum();
+            let sum_out: f64 = self.outgoing(id).iter().map(|e| flows[e.0]).sum();
+            match n.behavior {
+                NodeBehavior::Split => {
+                    if (sum_in - sum_out).abs() > tol {
+                        return Some(format!(
+                            "split node {} not conserving: in {sum_in} out {sum_out}",
+                            n.label
+                        ));
+                    }
+                }
+                NodeBehavior::Pick => {
+                    if (sum_in - sum_out).abs() > tol {
+                        return Some(format!("pick node {} not conserving", n.label));
+                    }
+                    let carrying = self
+                        .outgoing(id)
+                        .iter()
+                        .filter(|e| flows[e.0] > tol)
+                        .count();
+                    if carrying > 1 {
+                        return Some(format!(
+                            "pick node {} uses {carrying} outgoing edges",
+                            n.label
+                        ));
+                    }
+                }
+                NodeBehavior::Multiply(c) => {
+                    let fin = self.incoming(id).first().map(|e| flows[e.0]).unwrap_or(0.0);
+                    let fout = self.outgoing(id).first().map(|e| flows[e.0]).unwrap_or(0.0);
+                    if (fout - c * fin).abs() > tol {
+                        return Some(format!(
+                            "multiply node {}: out {fout} != {c} * in {fin}",
+                            n.label
+                        ));
+                    }
+                }
+                NodeBehavior::AllEqual => {
+                    let all: Vec<f64> = self
+                        .incoming(id)
+                        .iter()
+                        .chain(self.outgoing(id).iter())
+                        .map(|e| flows[e.0])
+                        .collect();
+                    if let Some(first) = all.first() {
+                        if all.iter().any(|f| (f - first).abs() > tol) {
+                            return Some(format!("all-equal node {} unequal flows", n.label));
+                        }
+                    }
+                }
+                NodeBehavior::Copy => {
+                    for e in self.outgoing(id) {
+                        if (flows[e.0] - sum_in).abs() > tol {
+                            return Some(format!(
+                                "copy node {}: outgoing {} != total in {sum_in}",
+                                n.label, flows[e.0]
+                            ));
+                        }
+                    }
+                }
+                NodeBehavior::Source(kind, input) => {
+                    if let SourceInput::Fixed(v) = input {
+                        if (sum_out - v).abs() > tol {
+                            return Some(format!(
+                                "source {} emits {sum_out} != fixed {v}",
+                                n.label
+                            ));
+                        }
+                    }
+                    if kind == SourceKind::Pick {
+                        let carrying = self
+                            .outgoing(id)
+                            .iter()
+                            .filter(|e| flows[e.0] > tol)
+                            .count();
+                        if carrying > 1 {
+                            return Some(format!(
+                                "pick source {} uses {carrying} outgoing edges",
+                                n.label
+                            ));
+                        }
+                    }
+                }
+                NodeBehavior::Sink { .. } => {}
+            }
+        }
+        None
+    }
+
+    /// Rebuild the label indices (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.node_index.clear();
+        self.edge_index.clear();
+        for (i, n) in self.nodes.iter().enumerate() {
+            self.node_index.entry(n.label.clone()).or_insert(NodeId(i));
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            self.edge_index.entry(e.label.clone()).or_insert(EdgeId(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (FlowNet, NodeId, NodeId) {
+        let mut net = FlowNet::new("tiny");
+        let s = net.source("s", "SRC", SourceKind::Split, SourceInput::Fixed(2.0));
+        let t = net.sink("t", "SINK", 1.0);
+        (net, s, t)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let (mut net, s, t) = tiny();
+        let e = net.edge(s, t, "s->t").capacity(5.0).id();
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.num_edges(), 1);
+        assert_eq!(net.node_by_label("s"), Some(s));
+        assert_eq!(net.edge_by_label("s->t"), Some(e));
+        assert_eq!(net.edge_data(e).capacity, Some(5.0));
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn incoming_outgoing() {
+        let (mut net, s, t) = tiny();
+        let mid = net.split("m", "MID");
+        net.edge(s, mid, "a");
+        net.edge(mid, t, "b");
+        assert_eq!(net.outgoing(s).len(), 1);
+        assert_eq!(net.incoming(mid).len(), 1);
+        assert_eq!(net.outgoing(mid).len(), 1);
+        assert_eq!(net.incoming(t).len(), 1);
+    }
+
+    #[test]
+    fn multiply_arity_enforced() {
+        let (mut net, s, t) = tiny();
+        let m = net.multiply("m", "MID", 2.0);
+        net.edge(s, m, "in");
+        net.edge(m, t, "out1");
+        net.validate().unwrap();
+        net.edge(m, t, "out2");
+        assert!(matches!(net.validate(), Err(FlowNetError::Structure(_))));
+    }
+
+    #[test]
+    fn source_with_incoming_rejected() {
+        let (mut net, s, t) = tiny();
+        net.edge(s, t, "ok");
+        net.edge(t, s, "bad"); // sink with outgoing AND source with incoming
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn negative_capacity_rejected() {
+        let (mut net, s, t) = tiny();
+        net.edge(s, t, "e").capacity(-1.0);
+        assert!(matches!(net.validate(), Err(FlowNetError::BadAttribute(_))));
+    }
+
+    #[test]
+    fn fixed_over_capacity_rejected() {
+        let (mut net, s, t) = tiny();
+        net.edge(s, t, "e").capacity(1.0).fixed(2.0);
+        assert!(matches!(net.validate(), Err(FlowNetError::BadAttribute(_))));
+    }
+
+    #[test]
+    fn bad_source_bounds_rejected() {
+        let mut net = FlowNet::new("x");
+        net.source("s", "SRC", SourceKind::Split, SourceInput::Var { lo: 3.0, hi: 1.0 });
+        assert!(matches!(net.validate(), Err(FlowNetError::BadAttribute(_))));
+    }
+
+    #[test]
+    fn assignment_checker_accepts_valid() {
+        let (mut net, s, t) = tiny();
+        let mid = net.split("m", "MID");
+        net.edge(s, mid, "a");
+        net.edge(mid, t, "b");
+        assert_eq!(net.check_assignment(&[2.0, 2.0], 1e-9), None);
+    }
+
+    #[test]
+    fn assignment_checker_catches_conservation_violation() {
+        let (mut net, s, t) = tiny();
+        let mid = net.split("m", "MID");
+        net.edge(s, mid, "a");
+        net.edge(mid, t, "b");
+        let err = net.check_assignment(&[2.0, 1.0], 1e-9).unwrap();
+        assert!(err.contains("split"), "{err}");
+    }
+
+    #[test]
+    fn assignment_checker_catches_pick_violation() {
+        let mut net = FlowNet::new("p");
+        let s = net.source("ball", "BALLS", SourceKind::Pick, SourceInput::Fixed(1.0));
+        let t1 = net.sink("bin1", "BINS", 1.0);
+        let t2 = net.sink("bin2", "BINS", 1.0);
+        net.edge(s, t1, "a");
+        net.edge(s, t2, "b");
+        // Splitting across both bins violates pick.
+        let err = net.check_assignment(&[0.5, 0.5], 1e-9).unwrap();
+        assert!(err.contains("pick"), "{err}");
+        // All on one edge is fine.
+        assert_eq!(net.check_assignment(&[1.0, 0.0], 1e-9), None);
+    }
+
+    #[test]
+    fn objective_weights_sinks() {
+        let mut net = FlowNet::new("o");
+        let s = net.source("s", "SRC", SourceKind::Split, SourceInput::Fixed(4.0));
+        let met = net.sink("met", "SINKS", 1.0);
+        let unmet = net.sink("unmet", "SINKS", 0.0);
+        net.edge(s, met, "m");
+        net.edge(s, unmet, "u");
+        assert!((net.objective_of(&[3.0, 1.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn copy_check() {
+        let mut net = FlowNet::new("c");
+        let s = net.source("s", "SRC", SourceKind::Split, SourceInput::Fixed(2.0));
+        let c = net.copy("c", "MID");
+        let t1 = net.sink("t1", "SINKS", 1.0);
+        let t2 = net.sink("t2", "SINKS", 0.0);
+        net.edge(s, c, "in");
+        net.edge(c, t1, "o1");
+        net.edge(c, t2, "o2");
+        assert_eq!(net.check_assignment(&[2.0, 2.0, 2.0], 1e-9), None);
+        assert!(net.check_assignment(&[2.0, 2.0, 1.0], 1e-9).is_some());
+    }
+
+    #[test]
+    fn serde_roundtrip_with_index_rebuild() {
+        let (mut net, s, t) = tiny();
+        net.edge(s, t, "e1");
+        let json = serde_json::to_string(&net).unwrap();
+        let mut back: FlowNet = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.node_by_label("s"), Some(s));
+        assert_eq!(back.edge_by_label("e1"), Some(EdgeId(0)));
+    }
+}

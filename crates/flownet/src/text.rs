@@ -1,0 +1,463 @@
+//! A textual format for flow networks (`.flow` files).
+//!
+//! The paper implements its DSL as a LINQ-style embedded language; the
+//! Rust-native equivalent is the fluent [`crate::FlowNet`] builder. For
+//! operators who want to describe heuristic structure *outside* the host
+//! language — config reviews, versioned network descriptions, the
+//! "natural-language interface" future work of §6 — this module adds a
+//! small line-oriented text format with full round-tripping:
+//!
+//! ```text
+//! # Fig. 4a in .flow form (excerpt)
+//! net "demand-pinning"
+//! node d13   source split var 0 100   group DEMANDS
+//! node p123  copy                     group PATHS
+//! node e12   split                    group EDGES
+//! node met   sink 1                   group SINKS
+//! node unmet sink 0                   group SINKS
+//! edge d13 -> p123  label "d13->p123"
+//! edge d13 -> unmet
+//! edge p123 -> met
+//! edge p123 -> e12  cap 100
+//! ```
+//!
+//! Grammar (line-based, `#` starts a comment):
+//!
+//! ```text
+//! net <quoted-string>
+//! node <name> <behavior> [group <word>]
+//!   behavior := split | pick | copy | alleq
+//!             | multiply <f64>
+//!             | sink <f64>
+//!             | source (split|pick) (fixed <f64> | var <f64> <f64>)
+//! edge <from> -> <to> [cap <f64>] [fixed <f64>] [label <quoted-string>]
+//! ```
+
+use crate::error::FlowNetError;
+use crate::graph::{FlowNet, NodeBehavior, NodeId, SourceInput, SourceKind};
+use std::collections::BTreeMap;
+
+/// Parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenize one line: whitespace-separated words, with `"quoted strings"`
+/// kept intact (no escapes — labels are simple).
+fn tokenize(line: &str) -> Result<Vec<String>, String> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '#' {
+            break; // comment
+        } else if c == '"' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => break,
+                    Some(ch) => s.push(ch),
+                    None => return Err("unterminated string literal".into()),
+                }
+            }
+            tokens.push(s);
+        } else {
+            let mut s = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() || ch == '#' {
+                    break;
+                }
+                s.push(ch);
+                chars.next();
+            }
+            tokens.push(s);
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_f64(tok: Option<&String>, what: &str) -> Result<f64, String> {
+    let t = tok.ok_or_else(|| format!("expected {what}"))?;
+    let v: f64 = t
+        .parse()
+        .map_err(|_| format!("expected {what}, got '{t}'"))?;
+    Ok(v)
+}
+
+/// Parse a `.flow` document into a network.
+pub fn parse(input: &str) -> Result<FlowNet, ParseError> {
+    let mut net = FlowNet::new("unnamed");
+    let mut names: BTreeMap<String, NodeId> = BTreeMap::new();
+
+    for (ix, raw) in input.lines().enumerate() {
+        let line_no = ix + 1;
+        let err = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
+        let tokens = tokenize(raw).map_err(err)?;
+        if tokens.is_empty() {
+            continue;
+        }
+        match tokens[0].as_str() {
+            "net" => {
+                let name = tokens
+                    .get(1)
+                    .ok_or_else(|| err("expected network name".into()))?;
+                net.name = name.clone();
+            }
+            "node" => {
+                let name = tokens
+                    .get(1)
+                    .ok_or_else(|| err("expected node name".into()))?
+                    .clone();
+                if names.contains_key(&name) {
+                    return Err(err(format!("duplicate node name '{name}'")));
+                }
+                let mut rest = tokens[2..].to_vec();
+                // Extract trailing `group <word>`.
+                let mut group = "DEFAULT".to_string();
+                if rest.len() >= 2 && rest[rest.len() - 2] == "group" {
+                    group = rest.pop().unwrap();
+                    rest.pop();
+                }
+                let behavior = parse_behavior(&rest).map_err(err)?;
+                let id = net.node(name.clone(), group, behavior);
+                names.insert(name, id);
+            }
+            "edge" => {
+                let from_name = tokens
+                    .get(1)
+                    .ok_or_else(|| err("expected source node".into()))?;
+                if tokens.get(2).map(String::as_str) != Some("->") {
+                    return Err(err("expected '->' after the source node".into()));
+                }
+                let to_name = tokens
+                    .get(3)
+                    .ok_or_else(|| err("expected destination node".into()))?;
+                let from = *names
+                    .get(from_name)
+                    .ok_or_else(|| err(format!("unknown node '{from_name}'")))?;
+                let to = *names
+                    .get(to_name)
+                    .ok_or_else(|| err(format!("unknown node '{to_name}'")))?;
+
+                let mut cap: Option<f64> = None;
+                let mut fixed: Option<f64> = None;
+                let mut label: Option<String> = None;
+                let mut i = 4;
+                while i < tokens.len() {
+                    match tokens[i].as_str() {
+                        "cap" => {
+                            cap = Some(parse_f64(tokens.get(i + 1), "capacity").map_err(err)?);
+                            i += 2;
+                        }
+                        "fixed" => {
+                            fixed = Some(parse_f64(tokens.get(i + 1), "fixed rate").map_err(err)?);
+                            i += 2;
+                        }
+                        "label" => {
+                            label = Some(
+                                tokens
+                                    .get(i + 1)
+                                    .ok_or_else(|| err("expected label text".into()))?
+                                    .clone(),
+                            );
+                            i += 2;
+                        }
+                        other => {
+                            return Err(err(format!("unknown edge attribute '{other}'")));
+                        }
+                    }
+                }
+                let label = label.unwrap_or_else(|| format!("{from_name}->{to_name}"));
+                let mut builder = net.edge(from, to, label);
+                if let Some(c) = cap {
+                    builder = builder.capacity(c);
+                }
+                if let Some(fx) = fixed {
+                    builder.fixed(fx);
+                } else {
+                    let _ = builder;
+                }
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown directive '{other}' (expected net/node/edge)"
+                )));
+            }
+        }
+    }
+
+    net.validate().map_err(|e: FlowNetError| ParseError {
+        line: 0,
+        message: format!("validation failed: {e}"),
+    })?;
+    Ok(net)
+}
+
+fn parse_behavior(tokens: &[String]) -> Result<NodeBehavior, String> {
+    let kind = tokens
+        .first()
+        .ok_or_else(|| "expected a node behavior".to_string())?;
+    match kind.as_str() {
+        "split" => Ok(NodeBehavior::Split),
+        "pick" => Ok(NodeBehavior::Pick),
+        "copy" => Ok(NodeBehavior::Copy),
+        "alleq" => Ok(NodeBehavior::AllEqual),
+        "multiply" => {
+            let c = parse_f64(tokens.get(1), "multiply factor")?;
+            Ok(NodeBehavior::Multiply(c))
+        }
+        "sink" => {
+            let w = parse_f64(tokens.get(1), "sink weight")?;
+            Ok(NodeBehavior::Sink { weight: w })
+        }
+        "source" => {
+            let sk = match tokens.get(1).map(String::as_str) {
+                Some("split") => SourceKind::Split,
+                Some("pick") => SourceKind::Pick,
+                other => {
+                    return Err(format!(
+                        "expected 'split' or 'pick' after 'source', got {other:?}"
+                    ))
+                }
+            };
+            let input = match tokens.get(2).map(String::as_str) {
+                Some("fixed") => SourceInput::Fixed(parse_f64(tokens.get(3), "fixed input")?),
+                Some("var") => SourceInput::Var {
+                    lo: parse_f64(tokens.get(3), "lower bound")?,
+                    hi: parse_f64(tokens.get(4), "upper bound")?,
+                },
+                other => {
+                    return Err(format!(
+                        "expected 'fixed <v>' or 'var <lo> <hi>', got {other:?}"
+                    ))
+                }
+            };
+            Ok(NodeBehavior::Source(sk, input))
+        }
+        other => Err(format!("unknown behavior '{other}'")),
+    }
+}
+
+/// Serialize a network back to `.flow` text (inverse of [`parse`] up to
+/// formatting; node names are taken from labels, sanitized to words).
+pub fn to_text(net: &FlowNet) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("net \"{}\"\n", net.name));
+    let word = |label: &str, i: usize| -> String {
+        let w: String = label
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        format!("n{i}_{w}")
+    };
+    for (i, n) in net.nodes().iter().enumerate() {
+        let behavior = match n.behavior {
+            NodeBehavior::Split => "split".to_string(),
+            NodeBehavior::Pick => "pick".to_string(),
+            NodeBehavior::Copy => "copy".to_string(),
+            NodeBehavior::AllEqual => "alleq".to_string(),
+            NodeBehavior::Multiply(c) => format!("multiply {c}"),
+            NodeBehavior::Sink { weight } => format!("sink {weight}"),
+            NodeBehavior::Source(kind, input) => {
+                let k = match kind {
+                    SourceKind::Split => "split",
+                    SourceKind::Pick => "pick",
+                };
+                match input {
+                    SourceInput::Fixed(v) => format!("source {k} fixed {v}"),
+                    SourceInput::Var { lo, hi } => format!("source {k} var {lo} {hi}"),
+                }
+            }
+        };
+        out.push_str(&format!(
+            "node {} {behavior} group {}\n",
+            word(&n.label, i),
+            n.group
+        ));
+    }
+    for e in net.edges() {
+        let mut line = format!(
+            "edge {} -> {}",
+            word(&net.node_data(e.from).label, e.from.0),
+            word(&net.node_data(e.to).label, e.to.0)
+        );
+        if let Some(c) = e.capacity {
+            line.push_str(&format!(" cap {c}"));
+        }
+        if let Some(fx) = e.fixed {
+            line.push_str(&format!(" fixed {fx}"));
+        }
+        line.push_str(&format!(" label \"{}\"", e.label));
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::CompileOptions;
+
+    const SAMPLE: &str = r#"
+# A toy max-flow network.
+net "toy"
+node d source split var 0 5 group DEMANDS
+node mid split group MID
+node met sink 1 group SINKS
+edge d -> mid label "in"
+edge mid -> met cap 3 label "out"
+"#;
+
+    #[test]
+    fn parse_and_solve() {
+        let net = parse(SAMPLE).expect("parses");
+        assert_eq!(net.name, "toy");
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_edges(), 2);
+        let sol = net
+            .compile(&CompileOptions::default())
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let net = parse("# nothing\n\n   # more nothing\n").expect("parses");
+        assert_eq!(net.num_nodes(), 0);
+    }
+
+    #[test]
+    fn all_behaviors_parse() {
+        // A connected network exercising all seven behaviors (pick and
+        // multiply have structural arity requirements).
+        let src = r#"
+node a source pick fixed 1 group G
+node b pick group G
+node c copy group G
+node d alleq group G
+node e multiply 2.5 group G
+node f split group G
+node g sink 0.5 group G
+edge a -> b
+edge b -> c
+edge c -> d
+edge d -> e
+edge e -> f
+edge f -> g
+"#;
+        let net = parse(src).expect("parses");
+        assert_eq!(net.num_nodes(), 7);
+        assert_eq!(net.num_edges(), 6);
+        assert!(matches!(
+            net.node_data(crate::graph::NodeId(4)).behavior,
+            NodeBehavior::Multiply(c) if (c - 2.5).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn edge_attributes() {
+        let src = r#"
+node s source split fixed 2 group G
+node t sink 1 group G
+edge s -> t cap 4 fixed 2 label "pinned"
+"#;
+        let net = parse(src).expect("parses");
+        let e = net.edge_by_label("pinned").unwrap();
+        assert_eq!(net.edge_data(e).capacity, Some(4.0));
+        assert_eq!(net.edge_data(e).fixed, Some(2.0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "node a split group G\nbogus directive\n";
+        let err = parse(bad).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_node_in_edge() {
+        let bad = "node a split group G\nedge a -> ghost\n";
+        let err = parse(bad).unwrap_err();
+        assert!(err.message.contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let bad = "node a split group G\nnode a split group G\n";
+        let err = parse(bad).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn missing_arrow_rejected() {
+        let bad = "node a split group G\nnode b split group G\nedge a b\n";
+        let err = parse(bad).unwrap_err();
+        assert!(err.message.contains("->"), "{err}");
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        // A multiply node with no edges fails structural validation.
+        let bad = "node m multiply 2 group G\n";
+        let err = parse(bad).unwrap_err();
+        assert!(err.message.contains("validation"), "{err}");
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let net = parse(SAMPLE).expect("parses");
+        let text = to_text(&net);
+        let back = parse(&text).expect("round-trips");
+        assert_eq!(back.num_nodes(), net.num_nodes());
+        assert_eq!(back.num_edges(), net.num_edges());
+        // Same optimum after the round trip.
+        let a = net
+            .compile(&CompileOptions::default())
+            .unwrap()
+            .solve()
+            .unwrap();
+        let b = back
+            .compile(&CompileOptions::default())
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        let bad = "net \"oops\n";
+        let err = parse(bad).unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn quoted_labels_keep_spaces() {
+        let src = r#"
+node s source split fixed 1 group G
+node t sink 1 group G
+edge s -> t label "a label with spaces"
+"#;
+        let net = parse(src).expect("parses");
+        assert!(net.edge_by_label("a label with spaces").is_some());
+    }
+}

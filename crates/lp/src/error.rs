@@ -1,0 +1,55 @@
+//! Error types for model construction and solving.
+
+use std::fmt;
+
+/// Errors produced while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The simplex iteration cap was reached (likely numerical cycling).
+    IterationLimit { iterations: usize },
+    /// Branch-and-bound explored `nodes` nodes without proving optimality
+    /// and no feasible incumbent was found.
+    NodeLimit { nodes: usize },
+    /// The model itself is malformed (bad bounds, NaN coefficients, unknown
+    /// variable, missing objective...).
+    InvalidModel(String),
+    /// Numerical trouble: a pivot or ratio test produced a non-finite value.
+    Numerical(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "model is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex iteration limit reached ({iterations})")
+            }
+            LpError::NodeLimit { nodes } => {
+                write!(f, "branch-and-bound node limit reached ({nodes}) with no incumbent")
+            }
+            LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            LpError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(LpError::Infeasible.to_string(), "model is infeasible");
+        assert!(LpError::IterationLimit { iterations: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(LpError::InvalidModel("x".into()).to_string().contains('x'));
+    }
+}

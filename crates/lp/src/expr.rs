@@ -1,0 +1,454 @@
+//! Linear expressions over model variables.
+//!
+//! [`LinExpr`] is the currency of model building: constraints and objectives
+//! are linear expressions compared against constants. Expressions support
+//! natural operator syntax (`x * 2.0 + y - 1.0`) and normalize themselves so
+//! that each variable appears at most once.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Handle to a variable in a [`crate::Model`].
+///
+/// `VarId`s are dense indices; they are only meaningful for the model that
+/// created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The dense index of this variable within its model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Construct a `VarId` from a raw index.
+    ///
+    /// Intended for deserialization and cross-crate plumbing; using an index
+    /// that does not belong to the target model is caught at solve time.
+    pub fn from_index(ix: usize) -> Self {
+        VarId(ix)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression: `sum_j coeff_j * var_j + constant`.
+///
+/// Terms are kept in a sorted map so expressions have a canonical form;
+/// coefficients that cancel to (near) zero are retained until
+/// [`LinExpr::compact`] is called, which solvers do on ingestion.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expression consisting of a single constant.
+    pub fn constant(c: f64) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// An expression consisting of a single `coeff * var` term.
+    pub fn term(var: VarId, coeff: f64) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(var, coeff);
+        LinExpr {
+            terms,
+            constant: 0.0,
+        }
+    }
+
+    /// Sum of the given variables, each with coefficient 1.
+    pub fn sum<I: IntoIterator<Item = VarId>>(vars: I) -> Self {
+        let mut e = LinExpr::new();
+        for v in vars {
+            e.add_term(v, 1.0);
+        }
+        e
+    }
+
+    /// Add `coeff * var` to the expression in place.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) -> &mut Self {
+        *self.terms.entry(var).or_insert(0.0) += coeff;
+        self
+    }
+
+    /// Add a constant to the expression in place.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// The constant offset of this expression.
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterate over `(var, coeff)` terms in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Number of (possibly zero) stored terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if the expression stores no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Coefficient of `var` (0 if absent).
+    pub fn coeff(&self, var: VarId) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// Drop terms whose coefficient is smaller than `eps` in magnitude.
+    pub fn compact(&mut self, eps: f64) {
+        self.terms.retain(|_, c| c.abs() > eps);
+    }
+
+    /// Evaluate the expression against a dense assignment indexed by
+    /// variable index.
+    ///
+    /// Indices outside of `values` evaluate as 0.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        let mut acc = self.constant;
+        for (v, c) in &self.terms {
+            acc += c * values.get(v.0).copied().unwrap_or(0.0);
+        }
+        acc
+    }
+
+    /// Largest variable index referenced, if any.
+    pub fn max_var_index(&self) -> Option<usize> {
+        self.terms.keys().next_back().map(|v| v.0)
+    }
+
+    /// Multiply the whole expression (terms and constant) by a scalar.
+    pub fn scale(&mut self, k: f64) -> &mut Self {
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.constant *= k;
+        self
+    }
+
+    /// True if any coefficient or the constant is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        !self.constant.is_finite() || self.terms.values().any(|c| !c.is_finite())
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if c.abs() < 1e-12 {
+                continue;
+            }
+            if first {
+                if *c < 0.0 {
+                    write!(f, "-")?;
+                }
+                first = false;
+            } else if *c < 0.0 {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let a = c.abs();
+            if (a - 1.0).abs() > 1e-12 {
+                write!(f, "{a}*")?;
+            }
+            write!(f, "{v}")?;
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant.abs() > 1e-12 {
+            if self.constant < 0.0 {
+                write!(f, " - {}", -self.constant)?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+// --- operator overloads ---------------------------------------------------
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms {
+            *self.terms.entry(v).or_insert(0.0) += c;
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            *self.terms.entry(v).or_insert(0.0) += c;
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        *self += -rhs;
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> LinExpr {
+        self.scale(k);
+        self
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, c: f64) -> LinExpr {
+        self.constant += c;
+        self
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, c: f64) -> LinExpr {
+        self.constant -= c;
+        self
+    }
+}
+
+impl Add<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, v: VarId) -> LinExpr {
+        self.add_term(v, 1.0);
+        self
+    }
+}
+
+impl Sub<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, v: VarId) -> LinExpr {
+        self.add_term(v, -1.0);
+        self
+    }
+}
+
+impl Mul<f64> for VarId {
+    type Output = LinExpr;
+    fn mul(self, k: f64) -> LinExpr {
+        LinExpr::term(self, k)
+    }
+}
+
+impl Add<VarId> for VarId {
+    type Output = LinExpr;
+    fn add(self, rhs: VarId) -> LinExpr {
+        let mut e = LinExpr::term(self, 1.0);
+        e.add_term(rhs, 1.0);
+        e
+    }
+}
+
+impl Sub<VarId> for VarId {
+    type Output = LinExpr;
+    fn sub(self, rhs: VarId) -> LinExpr {
+        let mut e = LinExpr::term(self, 1.0);
+        e.add_term(rhs, -1.0);
+        e
+    }
+}
+
+impl Add<f64> for VarId {
+    type Output = LinExpr;
+    fn add(self, c: f64) -> LinExpr {
+        LinExpr::term(self, 1.0) + c
+    }
+}
+
+impl Sub<f64> for VarId {
+    type Output = LinExpr;
+    fn sub(self, c: f64) -> LinExpr {
+        LinExpr::term(self, 1.0) - c
+    }
+}
+
+impl Neg for VarId {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        LinExpr::term(self, -1.0)
+    }
+}
+
+impl Add<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        rhs + self
+    }
+}
+
+impl Sub<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        -rhs + self
+    }
+}
+
+impl Mul<VarId> for f64 {
+    type Output = LinExpr;
+    fn mul(self, v: VarId) -> LinExpr {
+        LinExpr::term(v, self)
+    }
+}
+
+impl std::iter::Sum<LinExpr> for LinExpr {
+    fn sum<I: Iterator<Item = LinExpr>>(iter: I) -> LinExpr {
+        iter.fold(LinExpr::new(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn term_accumulation_merges_duplicates() {
+        let mut e = LinExpr::new();
+        e.add_term(v(0), 1.5);
+        e.add_term(v(0), 2.5);
+        assert_eq!(e.coeff(v(0)), 4.0);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn operators_compose() {
+        let e = v(0) * 2.0 + v(1) - 3.0;
+        assert_eq!(e.coeff(v(0)), 2.0);
+        assert_eq!(e.coeff(v(1)), 1.0);
+        assert_eq!(e.constant_part(), -3.0);
+    }
+
+    #[test]
+    fn eval_uses_assignment() {
+        let e = v(0) * 2.0 + v(2) * -1.0 + 5.0;
+        assert_eq!(e.eval(&[1.0, 9.0, 3.0]), 2.0 - 3.0 + 5.0);
+    }
+
+    #[test]
+    fn eval_out_of_range_is_zero() {
+        let e = LinExpr::term(v(10), 4.0) + 1.0;
+        assert_eq!(e.eval(&[0.0]), 1.0);
+    }
+
+    #[test]
+    fn neg_flips_everything() {
+        let e = -(v(0) * 2.0 + 3.0);
+        assert_eq!(e.coeff(v(0)), -2.0);
+        assert_eq!(e.constant_part(), -3.0);
+    }
+
+    #[test]
+    fn sub_cancels() {
+        let mut e = (v(0) + v(1)) - v(0);
+        e.compact(1e-12);
+        assert_eq!(e.coeff(v(0)), 0.0);
+        assert_eq!(e.coeff(v(1)), 1.0);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let e: LinExpr = (0..4).map(|i| LinExpr::term(v(i), 1.0)).sum();
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = v(0) * 2.0 - v(1) + 1.0;
+        let s = format!("{e}");
+        assert!(s.contains("2*x0"), "{s}");
+        assert!(s.contains("- x1"), "{s}");
+        assert!(s.contains("+ 1"), "{s}");
+    }
+
+    #[test]
+    fn display_zero() {
+        assert_eq!(format!("{}", LinExpr::new()), "0");
+    }
+
+    #[test]
+    fn scale_affects_constant() {
+        let mut e = v(0) + 2.0;
+        e.scale(3.0);
+        assert_eq!(e.coeff(v(0)), 3.0);
+        assert_eq!(e.constant_part(), 6.0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut e = LinExpr::term(v(0), 1.0);
+        assert!(!e.has_non_finite());
+        e.add_term(v(1), f64::NAN);
+        assert!(e.has_non_finite());
+    }
+}

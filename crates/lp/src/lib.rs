@@ -1,0 +1,42 @@
+//! # xplain-lp
+//!
+//! A small, exact, dependency-free linear-programming and mixed-integer
+//! linear-programming solver. This crate is the optimization substrate of
+//! the XPlain reproduction: the paper's pipeline (MetaOpt-style heuristic
+//! analysis, the network-flow DSL compiler, optimal baselines) is built on
+//! commercial solvers in the original work; here everything runs on this
+//! two-phase primal simplex plus branch-and-bound.
+//!
+//! ## Design
+//!
+//! * **Exactness over speed.** The models XPlain generates are small
+//!   (hundreds of variables); a dense tableau simplex with Bland's-rule
+//!   anti-cycling solves them exactly and predictably.
+//! * **Robustness.** All public entry points validate the model, reject
+//!   NaN/infinite coefficients, and surface infeasibility/unboundedness and
+//!   iteration caps as typed errors — never panics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use xplain_lp::{Model, Sense, Cmp};
+//!
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_nonneg("x");
+//! let y = m.add_nonneg("y");
+//! m.add_constr("capacity", x + y, Cmp::Le, 10.0);
+//! m.set_objective(x * 2.0 + y);
+//! let sol = m.solve().expect("solvable");
+//! assert!((sol.objective - 20.0).abs() < 1e-6);
+//! ```
+
+pub mod error;
+pub mod expr;
+pub mod milp;
+pub mod model;
+pub mod serde_inf;
+pub mod simplex;
+
+pub use error::LpError;
+pub use expr::{LinExpr, VarId};
+pub use model::{Cmp, Constraint, Model, Sense, Solution, SolveOptions, VarType};

@@ -1,0 +1,321 @@
+//! Branch-and-bound MILP solver on top of the simplex.
+//!
+//! Best-first search ordered by the LP relaxation bound, branching on the
+//! most fractional integer variable. This is deliberately simple — the MILPs
+//! XPlain generates (MetaOpt-style heuristic encodings with big-M binaries)
+//! are small, and exactness matters more than raw speed.
+
+use crate::error::LpError;
+use crate::model::{Model, Sense, Solution, VarType};
+use crate::simplex;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A pending node: variable-bound overrides plus the parent's bound.
+struct Node {
+    /// (var index, lo, hi) overrides accumulated along the branch.
+    bounds: Vec<(usize, f64, f64)>,
+    /// LP bound inherited from the parent (optimistic).
+    bound: f64,
+    sense: Sense,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: the "largest" node should be the most
+        // promising bound (largest for max, smallest for min).
+        let ord = self
+            .bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal);
+        match self.sense {
+            Sense::Maximize => ord,
+            Sense::Minimize => ord.reverse(),
+        }
+    }
+}
+
+/// Solve a mixed-integer model exactly by branch and bound.
+pub fn solve(model: &Model) -> Result<Solution, LpError> {
+    let opts = model.options().clone();
+    let int_vars: Vec<usize> = (0..model.num_vars())
+        .filter(|&i| {
+            matches!(
+                model.var_type(crate::VarId::from_index(i)),
+                VarType::Integer | VarType::Binary
+            )
+        })
+        .collect();
+
+    let sense = model.sense();
+    let mut incumbent: Option<Solution> = None;
+    let mut incumbent_obj = sense.worst();
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        bounds: Vec::new(),
+        bound: match sense {
+            Sense::Maximize => f64::INFINITY,
+            Sense::Minimize => f64::NEG_INFINITY,
+        },
+        sense,
+    });
+
+    let mut nodes_explored = 0usize;
+    let mut scratch = model.clone();
+
+    while let Some(node) = heap.pop() {
+        nodes_explored += 1;
+        if nodes_explored > opts.max_nodes {
+            return incumbent.ok_or(LpError::NodeLimit {
+                nodes: nodes_explored,
+            });
+        }
+
+        // Bound-based pruning against the incumbent.
+        if incumbent.is_some() && !sense.better(node.bound, incumbent_obj, opts.opt_tol) {
+            continue;
+        }
+
+        // Apply branch bounds to the scratch model.
+        scratch.clone_from(model);
+        let mut domain_empty = false;
+        for &(ix, lo, hi) in &node.bounds {
+            let v = crate::VarId::from_index(ix);
+            let (cur_lo, cur_hi) = scratch.var_bounds(v);
+            let nlo = cur_lo.max(lo);
+            let nhi = cur_hi.min(hi);
+            if nlo > nhi {
+                domain_empty = true;
+                break;
+            }
+            scratch.set_var_bounds(v, nlo, nhi);
+        }
+        if domain_empty {
+            continue;
+        }
+
+        let relax = match simplex::solve(&scratch) {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => continue,
+            Err(LpError::Unbounded) => return Err(LpError::Unbounded),
+            Err(e) => return Err(e),
+        };
+
+        if incumbent.is_some() && !sense.better(relax.objective, incumbent_obj, opts.opt_tol) {
+            continue;
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<usize> = None;
+        let mut worst_frac = opts.int_tol;
+        for &ix in &int_vars {
+            let v = relax.values[ix];
+            let frac = (v - v.round()).abs();
+            if frac > worst_frac {
+                worst_frac = frac;
+                branch_var = Some(ix);
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integral: snap and accept as incumbent if better.
+                let mut vals = relax.values.clone();
+                for &ix in &int_vars {
+                    vals[ix] = vals[ix].round();
+                }
+                let obj = model.objective().eval(&vals);
+                if incumbent.is_none() || sense.better(obj, incumbent_obj, opts.opt_tol) {
+                    incumbent_obj = obj;
+                    incumbent = Some(Solution {
+                        objective: obj,
+                        values: vals,
+                    });
+                }
+            }
+            Some(ix) => {
+                let v = relax.values[ix];
+                let floor = v.floor();
+                let mut down = node.bounds.clone();
+                down.push((ix, f64::NEG_INFINITY, floor));
+                heap.push(Node {
+                    bounds: down,
+                    bound: relax.objective,
+                    sense,
+                });
+                let mut up = node.bounds.clone();
+                up.push((ix, floor + 1.0, f64::INFINITY));
+                heap.push(Node {
+                    bounds: up,
+                    bound: relax.objective,
+                    sense,
+                });
+            }
+        }
+    }
+
+    incumbent.ok_or(LpError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cmp, LinExpr, LpError, Model, Sense, VarType};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // values [10, 13, 7], weights [3, 4, 2], cap 6 -> take 2 & 3: 20
+        let mut m = Model::new(Sense::Maximize);
+        let x: Vec<_> = (0..3).map(|i| m.add_binary(format!("x{i}"))).collect();
+        m.add_constr("cap", x[0] * 3.0 + x[1] * 4.0 + x[2] * 2.0, Cmp::Le, 6.0);
+        m.set_objective(x[0] * 10.0 + x[1] * 13.0 + x[2] * 7.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 20.0);
+        assert_close(s.value(x[0]), 0.0);
+        assert_close(s.value(x[1]), 1.0);
+        assert_close(s.value(x[2]), 1.0);
+    }
+
+    #[test]
+    fn integer_rounding_not_lp_rounding() {
+        // max x + y s.t. 2x + 2y <= 3, integers: LP gives 1.5, MILP 1.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Integer, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Integer, 0.0, 10.0);
+        m.add_constr("c", x * 2.0 + y * 2.0, Cmp::Le, 3.0);
+        m.set_objective(x + y);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 2b + x, x <= 1.5, b binary, x + b <= 2 -> b=1, x=1: 3
+        let mut m = Model::new(Sense::Maximize);
+        let b = m.add_binary("b");
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.5);
+        m.add_constr("c", x + b, Cmp::Le, 2.0);
+        m.set_objective(b * 2.0 + x);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 3.0);
+        assert_close(s.value(b), 1.0);
+    }
+
+    #[test]
+    fn milp_infeasible() {
+        let mut m = Model::new(Sense::Maximize);
+        let b = m.add_binary("b");
+        m.add_constr("c", b + 0.0, Cmp::Ge, 2.0);
+        m.set_objective(b + 0.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn minimize_bin_count_toy() {
+        // Cover demand 3 with bins of size 2: need 2 bins.
+        let mut m = Model::new(Sense::Minimize);
+        let b: Vec<_> = (0..4).map(|i| m.add_binary(format!("b{i}"))).collect();
+        let mut cover = LinExpr::new();
+        for &bi in &b {
+            cover.add_term(bi, 2.0);
+        }
+        m.add_constr("cover", cover, Cmp::Ge, 3.0);
+        m.set_objective(LinExpr::sum(b.iter().copied()));
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn branching_respects_existing_bounds() {
+        // Integer var in [2, 5], maximize -> 5.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Integer, 2.0, 5.0);
+        m.add_constr("c", x * 2.0, Cmp::Le, 11.0); // x <= 5.5
+        m.set_objective(x + 0.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 5.0);
+    }
+
+    #[test]
+    fn equality_with_binaries() {
+        // b0 + b1 + b2 = 2, maximize b0*5 + b1*1 + b2*3 -> b0, b2: 8
+        let mut m = Model::new(Sense::Maximize);
+        let b: Vec<_> = (0..3).map(|i| m.add_binary(format!("b{i}"))).collect();
+        m.add_constr("eq", LinExpr::sum(b.iter().copied()), Cmp::Eq, 2.0);
+        m.set_objective(b[0] * 5.0 + b[1] * 1.0 + b[2] * 3.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 8.0);
+    }
+
+    #[test]
+    fn big_m_indicator_pattern() {
+        // y <= M*b; maximize y - 0.5 b with y <= 3: b=1, y=3 -> 2.5
+        let mut m = Model::new(Sense::Maximize);
+        let b = m.add_binary("b");
+        let y = m.add_var("y", VarType::Continuous, 0.0, 3.0);
+        m.add_constr("ind", LinExpr::term(y, 1.0) - b * 100.0, Cmp::Le, 0.0);
+        m.set_objective(LinExpr::term(y, 1.0) - b * 0.5);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 2.5);
+    }
+
+    #[test]
+    fn all_integral_lp_short_circuits() {
+        // LP relaxation already integral.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Integer, 0.0, 4.0);
+        m.set_objective(x + 0.0);
+        let s = m.solve().unwrap();
+        assert_close(s.objective, 4.0);
+    }
+
+    #[test]
+    fn larger_knapsack_matches_brute_force() {
+        let values = [12.0, 7.0, 9.0, 15.0, 5.0, 11.0, 3.0, 8.0];
+        let weights = [4.0, 3.0, 5.0, 7.0, 2.0, 6.0, 1.0, 4.0];
+        let cap = 14.0;
+        let n = values.len();
+
+        let mut m = Model::new(Sense::Maximize);
+        let x: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let mut w = LinExpr::new();
+        let mut obj = LinExpr::new();
+        for i in 0..n {
+            w.add_term(x[i], weights[i]);
+            obj.add_term(x[i], values[i]);
+        }
+        m.add_constr("cap", w, Cmp::Le, cap);
+        m.set_objective(obj);
+        let s = m.solve().unwrap();
+
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let (mut tw, mut tv) = (0.0, 0.0);
+            for i in 0..n {
+                if mask >> i & 1 == 1 {
+                    tw += weights[i];
+                    tv += values[i];
+                }
+            }
+            if tw <= cap {
+                best = best.max(tv);
+            }
+        }
+        assert_close(s.objective, best);
+    }
+}

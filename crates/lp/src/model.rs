@@ -1,0 +1,449 @@
+//! Model builder: variables, constraints, objective, and the solve entry
+//! point that dispatches between the pure-LP simplex and branch-and-bound.
+
+use crate::error::LpError;
+use crate::expr::{LinExpr, VarId};
+use crate::{milp, simplex};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    Minimize,
+    Maximize,
+}
+
+impl Sense {
+    /// True if `a` is a strictly better objective value than `b` under this
+    /// sense (with tolerance `tol`).
+    pub fn better(self, a: f64, b: f64, tol: f64) -> bool {
+        match self {
+            Sense::Minimize => a < b - tol,
+            Sense::Maximize => a > b + tol,
+        }
+    }
+
+    /// The worst possible objective value under this sense.
+    pub fn worst(self) -> f64 {
+        match self {
+            Sense::Minimize => f64::INFINITY,
+            Sense::Maximize => f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Variable domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VarType {
+    /// Real-valued.
+    Continuous,
+    /// Integer-valued within its bounds.
+    Integer,
+    /// Shorthand for an integer variable with bounds clamped to `[0, 1]`.
+    Binary,
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cmp {
+    Le,
+    Ge,
+    Eq,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cmp::Le => write!(f, "<="),
+            Cmp::Ge => write!(f, ">="),
+            Cmp::Eq => write!(f, "="),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct VarData {
+    pub name: String,
+    pub vtype: VarType,
+    #[serde(with = "crate::serde_inf")]
+    pub lo: f64,
+    #[serde(with = "crate::serde_inf")]
+    pub hi: f64,
+}
+
+/// A single linear constraint `expr cmp rhs`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Constraint {
+    pub name: String,
+    pub expr: LinExpr,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// Solver knobs. The defaults are sized for the models XPlain generates
+/// (up to a few thousand variables).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveOptions {
+    /// Hard cap on simplex pivots (per LP solve).
+    pub max_iterations: usize,
+    /// Hard cap on branch-and-bound nodes.
+    pub max_nodes: usize,
+    /// Feasibility tolerance.
+    pub feas_tol: f64,
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// Integrality tolerance for MILP.
+    pub int_tol: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            max_iterations: 200_000,
+            max_nodes: 200_000,
+            feas_tol: 1e-7,
+            opt_tol: 1e-9,
+            int_tol: 1e-6,
+        }
+    }
+}
+
+/// A solved assignment: objective value plus one value per variable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    pub objective: f64,
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// Value of `var` in this solution.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Evaluate an arbitrary expression against this solution.
+    pub fn eval(&self, expr: &LinExpr) -> f64 {
+        expr.eval(&self.values)
+    }
+}
+
+/// A linear (or mixed-integer linear) optimization model.
+///
+/// ```
+/// use xplain_lp::{Model, Sense, VarType, Cmp};
+/// let mut m = Model::new(Sense::Maximize);
+/// let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+/// let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+/// m.add_constr("cap", x + y, Cmp::Le, 12.0);
+/// m.set_objective(x * 3.0 + y * 2.0);
+/// let sol = m.solve().unwrap();
+/// assert!((sol.objective - 34.0).abs() < 1e-6); // x=10, y=2
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<VarData>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+    pub(crate) options: SolveOptions,
+}
+
+impl Model {
+    /// Create an empty model with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::new(),
+            options: SolveOptions::default(),
+        }
+    }
+
+    /// Optimization direction of this model.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Mutable access to solver options.
+    pub fn options_mut(&mut self) -> &mut SolveOptions {
+        &mut self.options
+    }
+
+    /// Solver options.
+    pub fn options(&self) -> &SolveOptions {
+        &self.options
+    }
+
+    /// Add a variable and return its handle.
+    ///
+    /// `Binary` variables have their bounds intersected with `[0, 1]`.
+    pub fn add_var(&mut self, name: impl Into<String>, vtype: VarType, lo: f64, hi: f64) -> VarId {
+        let (lo, hi) = match vtype {
+            VarType::Binary => (lo.max(0.0), hi.min(1.0)),
+            _ => (lo, hi),
+        };
+        self.vars.push(VarData {
+            name: name.into(),
+            vtype,
+            lo,
+            hi,
+        });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Convenience: a continuous variable with bounds `[0, +inf)`.
+    pub fn add_nonneg(&mut self, name: impl Into<String>) -> VarId {
+        self.add_var(name, VarType::Continuous, 0.0, f64::INFINITY)
+    }
+
+    /// Convenience: a binary variable.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        self.add_var(name, VarType::Binary, 0.0, 1.0)
+    }
+
+    /// Add the constraint `expr cmp rhs`.
+    pub fn add_constr(&mut self, name: impl Into<String>, expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) {
+        self.constraints.push(Constraint {
+            name: name.into(),
+            expr: expr.into(),
+            cmp,
+            rhs,
+        });
+    }
+
+    /// Fix `var` to exactly `value` (adds an equality constraint).
+    pub fn fix(&mut self, name: impl Into<String>, var: VarId, value: f64) {
+        self.add_constr(name, LinExpr::term(var, 1.0), Cmp::Eq, value);
+    }
+
+    /// Set the objective expression (maximized or minimized per the model
+    /// sense). A constant term is allowed and carried through.
+    pub fn set_objective(&mut self, expr: impl Into<LinExpr>) {
+        self.objective = expr.into();
+    }
+
+    /// The current objective expression.
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.index()].name
+    }
+
+    /// Bounds of a variable.
+    pub fn var_bounds(&self, var: VarId) -> (f64, f64) {
+        let d = &self.vars[var.index()];
+        (d.lo, d.hi)
+    }
+
+    /// Tighten (replace) the bounds of a variable.
+    pub fn set_var_bounds(&mut self, var: VarId, lo: f64, hi: f64) {
+        let d = &mut self.vars[var.index()];
+        d.lo = lo;
+        d.hi = hi;
+    }
+
+    /// Type of a variable.
+    pub fn var_type(&self, var: VarId) -> VarType {
+        self.vars[var.index()].vtype
+    }
+
+    /// Iterate over constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// True if the model declares at least one integer or binary variable.
+    pub fn has_integers(&self) -> bool {
+        self.vars
+            .iter()
+            .any(|v| matches!(v.vtype, VarType::Integer | VarType::Binary))
+    }
+
+    /// Sanity-check the model: finite coefficients, coherent bounds, and
+    /// variable references within range.
+    pub fn validate(&self) -> Result<(), LpError> {
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.lo.is_nan() || v.hi.is_nan() {
+                return Err(LpError::InvalidModel(format!("variable {} has NaN bound", v.name)));
+            }
+            if v.lo > v.hi {
+                return Err(LpError::InvalidModel(format!(
+                    "variable {} (x{i}) has empty domain [{}, {}]",
+                    v.name, v.lo, v.hi
+                )));
+            }
+        }
+        let check_expr = |ename: &str, e: &LinExpr| -> Result<(), LpError> {
+            if e.has_non_finite() {
+                return Err(LpError::InvalidModel(format!("{ename} has non-finite coefficient")));
+            }
+            if let Some(mx) = e.max_var_index() {
+                if mx >= self.vars.len() {
+                    return Err(LpError::InvalidModel(format!(
+                        "{ename} references unknown variable x{mx}"
+                    )));
+                }
+            }
+            Ok(())
+        };
+        check_expr("objective", &self.objective)?;
+        for c in &self.constraints {
+            check_expr(&format!("constraint {}", c.name), &c.expr)?;
+            if !c.rhs.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "constraint {} has non-finite rhs",
+                    c.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve the model: simplex for pure LPs, branch-and-bound when integer
+    /// variables are present.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.validate()?;
+        if self.has_integers() {
+            milp::solve(self)
+        } else {
+            simplex::solve(self)
+        }
+    }
+
+    /// Solve the LP relaxation (integrality dropped) regardless of variable
+    /// types.
+    pub fn solve_relaxation(&self) -> Result<Solution, LpError> {
+        self.validate()?;
+        simplex::solve(self)
+    }
+
+    /// Check whether `values` satisfies every constraint and bound within
+    /// `tol`. Returns the first violated item's description, or `None`.
+    pub fn check_feasible(&self, values: &[f64], tol: f64) -> Option<String> {
+        for (i, v) in self.vars.iter().enumerate() {
+            let x = values.get(i).copied().unwrap_or(0.0);
+            if x < v.lo - tol || x > v.hi + tol {
+                return Some(format!("bound violated: {} = {x} not in [{}, {}]", v.name, v.lo, v.hi));
+            }
+            if matches!(v.vtype, VarType::Integer | VarType::Binary) && (x - x.round()).abs() > tol {
+                return Some(format!("integrality violated: {} = {x}", v.name));
+            }
+        }
+        for c in &self.constraints {
+            let lhs = c.expr.eval(values);
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return Some(format!("constraint {} violated: {lhs} {} {}", c.name, c.cmp, c.rhs));
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} {}",
+            match self.sense {
+                Sense::Minimize => "minimize",
+                Sense::Maximize => "maximize",
+            },
+            self.objective
+        )?;
+        writeln!(f, "subject to")?;
+        for c in &self.constraints {
+            writeln!(f, "  {}: {} {} {}", c.name, c.expr, c.cmp, c.rhs)?;
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            writeln!(
+                f,
+                "  {} <= {} (x{i}, {:?}) <= {}",
+                v.lo, v.name, v.vtype, v.hi
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_empty_domain() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_var("x", VarType::Continuous, 2.0, 1.0);
+        assert!(matches!(m.validate(), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn validate_catches_unknown_var() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_constr("c", LinExpr::term(VarId::from_index(3), 1.0), Cmp::Le, 1.0);
+        assert!(matches!(m.validate(), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn validate_catches_nan() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_nonneg("x");
+        m.add_constr("c", LinExpr::term(x, f64::NAN), Cmp::Le, 1.0);
+        assert!(matches!(m.validate(), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn binary_bounds_clamped() {
+        let mut m = Model::new(Sense::Minimize);
+        let b = m.add_var("b", VarType::Binary, -5.0, 5.0);
+        assert_eq!(m.var_bounds(b), (0.0, 1.0));
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        m.add_constr("c", x + 0.0, Cmp::Le, 0.5);
+        assert!(m.check_feasible(&[0.4], 1e-9).is_none());
+        assert!(m.check_feasible(&[0.6], 1e-9).is_some());
+        assert!(m.check_feasible(&[-0.1], 1e-9).is_some());
+    }
+
+    #[test]
+    fn display_contains_pieces() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_nonneg("flow");
+        m.add_constr("cap", x + 0.0, Cmp::Le, 3.0);
+        m.set_objective(x + 0.0);
+        let s = m.to_string();
+        assert!(s.contains("maximize"));
+        assert!(s.contains("cap"));
+        assert!(s.contains("flow"));
+    }
+
+    #[test]
+    fn sense_better() {
+        assert!(Sense::Minimize.better(1.0, 2.0, 1e-9));
+        assert!(Sense::Maximize.better(2.0, 1.0, 1e-9));
+        assert!(!Sense::Maximize.better(1.0, 1.0, 1e-9));
+    }
+}

@@ -1,0 +1,89 @@
+//! Infinity-safe (de)serialization for `f64` bounds.
+//!
+//! JSON has no representation for ±∞ (serde_json emits `null`, which then
+//! fails to deserialize). Variable bounds legitimately use
+//! `f64::INFINITY`, so bound fields serialize through this module: finite
+//! values as numbers, non-finite ones as the strings `"inf"` / `"-inf"`.
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+#[derive(Serialize, Deserialize)]
+#[serde(untagged)]
+enum Bound {
+    Num(f64),
+    Tag(String),
+}
+
+/// Serialize a possibly-infinite f64.
+pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+    if v.is_finite() {
+        Bound::Num(*v).serialize(s)
+    } else if *v > 0.0 {
+        Bound::Tag("inf".to_string()).serialize(s)
+    } else if *v < 0.0 {
+        Bound::Tag("-inf".to_string()).serialize(s)
+    } else {
+        Bound::Tag("nan".to_string()).serialize(s)
+    }
+}
+
+/// Deserialize a possibly-infinite f64.
+pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+    match Bound::deserialize(d)? {
+        Bound::Num(v) => Ok(v),
+        Bound::Tag(t) => match t.as_str() {
+            "inf" | "+inf" | "Infinity" => Ok(f64::INFINITY),
+            "-inf" | "-Infinity" => Ok(f64::NEG_INFINITY),
+            "nan" | "NaN" => Ok(f64::NAN),
+            other => Err(serde::de::Error::custom(format!(
+                "unrecognized bound tag '{other}'"
+            ))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Holder {
+        #[serde(with = "super")]
+        v: f64,
+    }
+
+    #[test]
+    fn finite_roundtrip() {
+        let h = Holder { v: 2.5 };
+        let json = serde_json::to_string(&h).unwrap();
+        assert_eq!(json, r#"{"v":2.5}"#);
+        assert_eq!(serde_json::from_str::<Holder>(&json).unwrap(), h);
+    }
+
+    #[test]
+    fn infinity_roundtrip() {
+        let h = Holder { v: f64::INFINITY };
+        let json = serde_json::to_string(&h).unwrap();
+        assert!(json.contains("inf"));
+        let back: Holder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.v, f64::INFINITY);
+    }
+
+    #[test]
+    fn negative_infinity_roundtrip() {
+        let h = Holder {
+            v: f64::NEG_INFINITY,
+        };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Holder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.v, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nan_roundtrip() {
+        let h = Holder { v: f64::NAN };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Holder = serde_json::from_str(&json).unwrap();
+        assert!(back.v.is_nan());
+    }
+}

@@ -1,0 +1,72 @@
+//! Dvoretzky–Kiefer–Wolfowitz sample sizing.
+//!
+//! The adversarial subspace generator (§5.2) picks the number of samples per
+//! slice "based on the DKW inequality": with `n` i.i.d. samples the
+//! empirical CDF is within `eps` of the truth everywhere with probability at
+//! least `1 - delta` when `n >= ln(2/delta) / (2 eps^2)` (the tight constant
+//! from Massart 1990).
+
+/// Smallest sample count guaranteeing `sup |F_n - F| <= eps` with
+/// probability `>= 1 - delta`.
+///
+/// # Panics
+/// Never panics; degenerate inputs are clamped (`eps`, `delta` forced into
+/// `(0, 1)`).
+pub fn dkw_samples(eps: f64, delta: f64) -> usize {
+    let eps = eps.clamp(1e-6, 1.0 - 1e-9);
+    let delta = delta.clamp(1e-12, 1.0 - 1e-9);
+    ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize
+}
+
+/// The deviation `eps` guaranteed (with confidence `1 - delta`) by `n`
+/// samples — the inverse of [`dkw_samples`].
+pub fn dkw_epsilon(n: usize, delta: f64) -> f64 {
+    let delta = delta.clamp(1e-12, 1.0 - 1e-9);
+    let n = n.max(1) as f64;
+    ((2.0 / delta).ln() / (2.0 * n)).sqrt()
+}
+
+/// Two-sided confidence band `[F_n(x) - eps, F_n(x) + eps]` half-width for
+/// an empirical proportion estimated from `n` samples at confidence
+/// `1 - delta`. Identical to [`dkw_epsilon`]; named separately because the
+/// subspace generator uses it on Bernoulli "bad sample" densities.
+pub fn density_band(n: usize, delta: f64) -> f64 {
+    dkw_epsilon(n, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_value() {
+        // eps = 0.1, delta = 0.05 -> ln(40)/0.02 = 184.4... -> 185
+        assert_eq!(dkw_samples(0.1, 0.05), 185);
+    }
+
+    #[test]
+    fn inverse_relationship() {
+        for &(eps, delta) in &[(0.05, 0.01), (0.1, 0.05), (0.2, 0.1)] {
+            let n = dkw_samples(eps, delta);
+            let back = dkw_epsilon(n, delta);
+            assert!(back <= eps + 1e-9, "eps={eps} n={n} back={back}");
+            // One fewer sample must not satisfy the bound.
+            if n > 1 {
+                assert!(dkw_epsilon(n - 1, delta) > eps);
+            }
+        }
+    }
+
+    #[test]
+    fn more_confidence_needs_more_samples() {
+        assert!(dkw_samples(0.1, 0.01) > dkw_samples(0.1, 0.1));
+        assert!(dkw_samples(0.05, 0.05) > dkw_samples(0.1, 0.05));
+    }
+
+    #[test]
+    fn degenerate_inputs_clamped() {
+        // Must not panic or return nonsense.
+        assert!(dkw_samples(0.0, 0.0) > 0);
+        assert!(dkw_epsilon(0, 0.05) > 0.0);
+    }
+}

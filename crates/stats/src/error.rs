@@ -1,0 +1,41 @@
+//! Error type for statistical routines.
+
+use std::fmt;
+
+/// Errors from statistical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// No usable observations (e.g. all paired differences were zero).
+    NoData,
+    /// Paired inputs with different lengths.
+    LengthMismatch { left: usize, right: usize },
+    /// NaN/infinite inputs or invalid parameters.
+    InvalidInput(String),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NoData => write!(f, "no usable observations"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired inputs have different lengths ({left} vs {right})")
+            }
+            StatsError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(StatsError::LengthMismatch { left: 1, right: 2 }
+            .to_string()
+            .contains("1 vs 2"));
+        assert!(StatsError::NoData.to_string().contains("no usable"));
+    }
+}

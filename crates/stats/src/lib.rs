@@ -1,0 +1,30 @@
+//! # xplain-stats
+//!
+//! Statistics substrate for the XPlain reproduction:
+//!
+//! * [`wilcoxon`] — the Wilcoxon signed-rank test (§5.2's significance
+//!   checker), exact for small samples, tail-accurate normal approximation
+//!   for large ones;
+//! * [`dkw`] — Dvoretzky–Kiefer–Wolfowitz sample sizing used by the
+//!   adversarial subspace generator;
+//! * [`tree`] — CART regression trees used to refine rough subspaces into
+//!   the predicate form of Fig. 5b/5c;
+//! * [`rank`] — Kendall/Spearman rank correlation backing the generalizer's
+//!   `increasing`/`decreasing` grammar predicates;
+//! * [`normal`], [`descriptive`] — shared numeric helpers.
+//!
+//! Everything is deterministic and allocation-light; routines return typed
+//! [`error::StatsError`]s instead of panicking on degenerate input.
+
+pub mod descriptive;
+pub mod dkw;
+pub mod error;
+pub mod normal;
+pub mod rank;
+pub mod tree;
+pub mod wilcoxon;
+
+pub use error::StatsError;
+pub use rank::{kendall_tau, spearman_permutation_test, spearman_rho, CorrelationResult};
+pub use tree::{Predicate, RegressionTree, TreeParams};
+pub use wilcoxon::{wilcoxon_signed_rank, wilcoxon_signed_rank_diffs, Alternative, WilcoxonResult};

@@ -1,0 +1,262 @@
+//! Rank correlation for the generalizer.
+//!
+//! The generalizer (§5.4) checks grammar predicates such as
+//! `increasing(P)` — "the gap is larger when the shortest path of the
+//! pinnable demands is longer" — for statistical significance across
+//! generated instances. A monotone-association test is exactly Kendall's
+//! τ-b (tie-adjusted) with a normal approximation; we also provide
+//! Spearman's ρ with a permutation test for small samples.
+
+use crate::descriptive::average_ranks;
+use crate::error::StatsError;
+use crate::normal::normal_sf;
+use crate::wilcoxon::Alternative;
+use serde::{Deserialize, Serialize};
+
+/// Result of a rank-correlation test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelationResult {
+    /// The correlation statistic (τ-b or ρ).
+    pub statistic: f64,
+    pub p_value: f64,
+    pub n: usize,
+}
+
+/// Kendall's τ-b with tie adjustment and normal-approximation p-value.
+pub fn kendall_tau(x: &[f64], y: &[f64], alt: Alternative) -> Result<CorrelationResult, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    let n = x.len();
+    if n < 2 {
+        return Err(StatsError::NoData);
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(StatsError::InvalidInput("non-finite values".into()));
+    }
+
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            let s = dx * dy;
+            if dx.abs() < 1e-12 || dy.abs() < 1e-12 {
+                continue; // tie in x or y
+            } else if s > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let s = (concordant - discordant) as f64;
+
+    let tie_counts = |v: &[f64]| -> Vec<f64> {
+        let mut sorted = v.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mut groups = Vec::new();
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i;
+            while j + 1 < sorted.len() && (sorted[j + 1] - sorted[i]).abs() < 1e-12 {
+                j += 1;
+            }
+            if j > i {
+                groups.push((j - i + 1) as f64);
+            }
+            i = j + 1;
+        }
+        groups
+    };
+
+    let nf = n as f64;
+    let n0 = nf * (nf - 1.0) / 2.0;
+    let tx = tie_counts(x);
+    let ty = tie_counts(y);
+    let n1: f64 = tx.iter().map(|t| t * (t - 1.0) / 2.0).sum();
+    let n2: f64 = ty.iter().map(|t| t * (t - 1.0) / 2.0).sum();
+    let denom = ((n0 - n1) * (n0 - n2)).sqrt();
+    let tau = if denom > 0.0 { s / denom } else { 0.0 };
+
+    // Tie-adjusted variance of S (Kendall 1970).
+    let v0 = nf * (nf - 1.0) * (2.0 * nf + 5.0);
+    let vt: f64 = tx.iter().map(|t| t * (t - 1.0) * (2.0 * t + 5.0)).sum();
+    let vu: f64 = ty.iter().map(|t| t * (t - 1.0) * (2.0 * t + 5.0)).sum();
+    let sum_t2: f64 = tx.iter().map(|t| t * (t - 1.0)).sum();
+    let sum_u2: f64 = ty.iter().map(|t| t * (t - 1.0)).sum();
+    let sum_t3: f64 = tx.iter().map(|t| t * (t - 1.0) * (t - 2.0)).sum();
+    let sum_u3: f64 = ty.iter().map(|t| t * (t - 1.0) * (t - 2.0)).sum();
+    let mut var = (v0 - vt - vu) / 18.0;
+    if n > 2 {
+        var += sum_t3 * sum_u3 / (9.0 * nf * (nf - 1.0) * (nf - 2.0));
+    }
+    var += sum_t2 * sum_u2 / (2.0 * nf * (nf - 1.0));
+
+    let p_value = if var <= 0.0 {
+        1.0
+    } else {
+        // Continuity correction of 1 on S.
+        let z = |shift: f64| (s + shift) / var.sqrt();
+        match alt {
+            Alternative::Greater => normal_sf(z(-1.0)),
+            Alternative::Less => 1.0 - normal_sf(z(1.0)),
+            Alternative::TwoSided => (2.0 * normal_sf((s.abs() - 1.0).max(0.0) / var.sqrt())).min(1.0),
+        }
+    };
+
+    Ok(CorrelationResult {
+        statistic: tau,
+        p_value,
+        n,
+    })
+}
+
+/// Spearman's ρ (rank Pearson correlation). Returns just the statistic.
+pub fn spearman_rho(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::NoData);
+    }
+    let rx = average_ranks(x);
+    let ry = average_ranks(y);
+    let mx = rx.iter().sum::<f64>() / rx.len() as f64;
+    let my = ry.iter().sum::<f64>() / ry.len() as f64;
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for i in 0..rx.len() {
+        let a = rx[i] - mx;
+        let b = ry[i] - my;
+        num += a * b;
+        dx += a * a;
+        dy += b * b;
+    }
+    if dx <= 0.0 || dy <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(num / (dx * dy).sqrt())
+}
+
+/// Permutation test for Spearman's ρ (one-sided `Greater`, i.e. positive
+/// association). Deterministic given the caller's RNG; suitable for the
+/// small instance counts the generalizer works with.
+pub fn spearman_permutation_test(
+    x: &[f64],
+    y: &[f64],
+    permutations: usize,
+    rng: &mut impl rand::Rng,
+) -> Result<CorrelationResult, StatsError> {
+    use rand::seq::SliceRandom;
+    let observed = spearman_rho(x, y)?;
+    let mut shuffled = y.to_vec();
+    let mut at_least = 1usize; // include the observed permutation
+    for _ in 0..permutations {
+        shuffled.shuffle(rng);
+        let r = spearman_rho(x, &shuffled)?;
+        if r >= observed - 1e-12 {
+            at_least += 1;
+        }
+    }
+    Ok(CorrelationResult {
+        statistic: observed,
+        p_value: at_least as f64 / (permutations + 1) as f64,
+        n: x.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_monotone_tau_is_one() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let r = kendall_tau(&x, &y, Alternative::Greater).unwrap();
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 1e-6, "{}", r.p_value);
+    }
+
+    #[test]
+    fn perfect_antitone_tau_is_minus_one() {
+        let x: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -v).collect();
+        let r = kendall_tau(&x, &y, Alternative::Less).unwrap();
+        assert!((r.statistic + 1.0).abs() < 1e-12);
+        assert!(r.p_value < 1e-4);
+    }
+
+    #[test]
+    fn independent_data_not_significant() {
+        // Alternating pattern: no monotone trend.
+        let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let r = kendall_tau(&x, &y, Alternative::Greater).unwrap();
+        assert!(r.p_value > 0.05, "{}", r.p_value);
+    }
+
+    #[test]
+    fn ties_shrink_tau_but_keep_sign() {
+        let x = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0, 3.0, 4.0];
+        let r = kendall_tau(&x, &y, Alternative::Greater).unwrap();
+        assert!(r.statistic > 0.5 && r.statistic <= 1.0, "{}", r.statistic);
+    }
+
+    #[test]
+    fn spearman_matches_pearson_on_ranks() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        // Hand-computed: ranks identical to values; rho = 1 - 6*Σd²/(n(n²-1))
+        // d = [1,-1,1,-1,0] -> Σd² = 4 -> rho = 1 - 24/120 = 0.8
+        let rho = spearman_rho(&x, &y).unwrap();
+        assert!((rho - 0.8).abs() < 1e-12, "{rho}");
+    }
+
+    #[test]
+    fn spearman_permutation_detects_trend() {
+        let x: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v + (v * 7.0).sin()).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = spearman_permutation_test(&x, &y, 500, &mut rng).unwrap();
+        assert!(r.p_value < 0.05, "{}", r.p_value);
+        assert!(r.statistic > 0.8);
+    }
+
+    #[test]
+    fn spearman_permutation_null_is_uniform_ish() {
+        // Alternating high/low values: clearly no positive trend.
+        let x: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let y = [10.0, 0.0, 9.0, 1.0, 8.0, 2.0, 7.0, 3.0, 6.0, 4.0, 5.0, 5.5];
+        let mut rng = StdRng::seed_from_u64(11);
+        let r = spearman_permutation_test(&x, &y, 500, &mut rng).unwrap();
+        assert!(r.p_value > 0.2, "{}", r.p_value);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(kendall_tau(&[1.0], &[1.0, 2.0], Alternative::Greater).is_err());
+        assert!(kendall_tau(&[1.0], &[1.0], Alternative::Greater).is_err());
+        assert!(kendall_tau(&[f64::NAN, 1.0], &[1.0, 2.0], Alternative::Greater).is_err());
+        assert!(spearman_rho(&[1.0], &[2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn constant_series_rho_zero() {
+        let x = [1.0, 1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(spearman_rho(&x, &y).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,461 @@
+//! CART regression trees.
+//!
+//! The subspace generator refines its rough cubes with "an idea from prior
+//! work in diagnosis" (§5.2, citing Chen et al. 2004): train a regression
+//! tree that predicts the performance gap on samples inside the rough
+//! subspace, then keep the predicates along the path from the root to the
+//! leaf containing the initial adversarial sample (Fig. 5b). Those
+//! predicates — `feature <= threshold` / `feature > threshold` — become the
+//! `T_i x <= V_i` half-spaces of the published subspace form (Fig. 5c).
+
+use crate::error::StatsError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One half-space predicate on a feature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Feature (column) index.
+    pub feature: usize,
+    pub threshold: f64,
+    /// `true` for `feature <= threshold`, `false` for `feature > threshold`.
+    pub leq: bool,
+}
+
+impl Predicate {
+    /// Does `x` satisfy this predicate?
+    pub fn matches(&self, x: &[f64]) -> bool {
+        let v = x.get(self.feature).copied().unwrap_or(0.0);
+        if self.leq {
+            v <= self.threshold
+        } else {
+            v > self.threshold
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "f{} {} {:.6}",
+            self.feature,
+            if self.leq { "<=" } else { ">" },
+            self.threshold
+        )
+    }
+}
+
+/// Tuning knobs for tree fitting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeParams {
+    pub max_depth: usize,
+    /// Minimum samples in each child of a split.
+    pub min_leaf: usize,
+    /// Minimum SSE reduction (absolute) required to accept a split.
+    pub min_gain: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 6,
+            min_leaf: 8,
+            min_gain: 1e-9,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+        n: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Child index for `feature <= threshold`.
+        left: usize,
+        /// Child index for `feature > threshold`.
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Fit a tree on `xs` (rows of equal length) against targets `ys`.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &TreeParams) -> Result<Self, StatsError> {
+        if xs.is_empty() {
+            return Err(StatsError::NoData);
+        }
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch {
+                left: xs.len(),
+                right: ys.len(),
+            });
+        }
+        let n_features = xs[0].len();
+        if xs.iter().any(|r| r.len() != n_features) {
+            return Err(StatsError::InvalidInput("ragged feature rows".into()));
+        }
+        if xs.iter().flatten().any(|v| !v.is_finite()) || ys.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::InvalidInput("non-finite values".into()));
+        }
+
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features,
+        };
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        tree.grow(xs, ys, indices, 0, params);
+        Ok(tree)
+    }
+
+    /// Recursively grow; returns the index of the created node.
+    fn grow(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let n = idx.len();
+        let mean: f64 = idx.iter().map(|&i| ys[i]).sum::<f64>() / n as f64;
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf { value: mean, n });
+            nodes.len() - 1
+        };
+
+        if depth >= params.max_depth || n < 2 * params.min_leaf {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let Some((feature, threshold, gain)) = best_split(xs, ys, &idx, params.min_leaf) else {
+            return make_leaf(&mut self.nodes);
+        };
+        if gain < params.min_gain {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+
+        // Reserve our slot before recursing so parents precede children.
+        self.nodes.push(Node::Leaf { value: mean, n });
+        let me = self.nodes.len() - 1;
+        let left = self.grow(xs, ys, left_idx, depth + 1, params);
+        let right = self.grow(xs, ys, right_idx, depth + 1, params);
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    /// Predicted value for a feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { value, .. } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = x.get(*feature).copied().unwrap_or(0.0);
+                    cur = if v <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Root-to-leaf predicates for the leaf containing `x` (Fig. 5b/5c).
+    pub fn path_for(&self, x: &[f64]) -> Vec<Predicate> {
+        let mut cur = 0usize;
+        let mut path = Vec::new();
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { .. } => return path,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = x.get(*feature).copied().unwrap_or(0.0);
+                    let leq = v <= *threshold;
+                    path.push(Predicate {
+                        feature: *feature,
+                        threshold: *threshold,
+                        leq,
+                    });
+                    cur = if leq { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Mean value and sample count of the leaf containing `x`.
+    pub fn leaf_stats(&self, x: &[f64]) -> (f64, usize) {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { value, n } => return (*value, *n),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = x.get(*feature).copied().unwrap_or(0.0);
+                    cur = if v <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Number of features the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Render the tree in the style of Fig. 5b, using `names[f]` for
+    /// feature `f` (falling back to `f<index>`).
+    pub fn render(&self, names: &[String]) -> String {
+        let mut out = String::new();
+        self.render_node(0, 0, names, &mut out);
+        out
+    }
+
+    fn render_node(&self, node: usize, indent: usize, names: &[String], out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match &self.nodes[node] {
+            Node::Leaf { value, n } => {
+                out.push_str(&format!("{pad}leaf: gap = {value:.4} (n = {n})\n"));
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let fname = names
+                    .get(*feature)
+                    .cloned()
+                    .unwrap_or_else(|| format!("f{feature}"));
+                out.push_str(&format!("{pad}{fname} <= {threshold:.4}?\n"));
+                self.render_node(*left, indent + 1, names, out);
+                out.push_str(&format!("{pad}else ({fname} > {threshold:.4}):\n"));
+                self.render_node(*right, indent + 1, names, out);
+            }
+        }
+    }
+}
+
+/// Best (feature, threshold, SSE-gain) over all features, or `None` when no
+/// split separates at least `min_leaf` samples on each side.
+fn best_split(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    idx: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f64, f64)> {
+    let n = idx.len();
+    let n_features = xs[idx[0]].len();
+    let total_sum: f64 = idx.iter().map(|&i| ys[i]).sum();
+    let total_sq: f64 = idx.iter().map(|&i| ys[i] * ys[i]).sum();
+    let total_sse = total_sq - total_sum * total_sum / n as f64;
+
+    let mut best: Option<(usize, f64, f64)> = None;
+    let mut order: Vec<usize> = idx.to_vec();
+
+    for f in 0..n_features {
+        order.sort_by(|&a, &b| {
+            xs[a][f]
+                .partial_cmp(&xs[b][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for k in 0..n - 1 {
+            let i = order[k];
+            left_sum += ys[i];
+            left_sq += ys[i] * ys[i];
+            let nl = k + 1;
+            let nr = n - nl;
+            if nl < min_leaf || nr < min_leaf {
+                continue;
+            }
+            let xv = xs[order[k]][f];
+            let xnext = xs[order[k + 1]][f];
+            if xnext - xv < 1e-12 {
+                continue; // can't split between equal values
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse_l = left_sq - left_sum * left_sum / nl as f64;
+            let sse_r = right_sq - right_sum * right_sum / nr as f64;
+            let gain = total_sse - sse_l - sse_r;
+            let threshold = 0.5 * (xv + xnext);
+            let better = match best {
+                None => true,
+                Some((_, _, g)) => gain > g + 1e-12,
+            };
+            if better {
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_2d(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 10 when x0 > 0.5 && x1 <= 0.3, else 0 — a crisp box.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let a = i as f64 / (n - 1) as f64;
+                let b = j as f64 / (n - 1) as f64;
+                xs.push(vec![a, b]);
+                ys.push(if a > 0.5 && b <= 0.3 { 10.0 } else { 0.0 });
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_axis_aligned_box() {
+        let (xs, ys) = grid_2d(21);
+        let tree = RegressionTree::fit(&xs, &ys, &TreeParams::default()).unwrap();
+        // A point deep in the box predicts ~10; outside predicts ~0.
+        assert!(tree.predict(&[0.9, 0.1]) > 8.0);
+        assert!(tree.predict(&[0.1, 0.9]) < 2.0);
+    }
+
+    #[test]
+    fn path_describes_the_box() {
+        let (xs, ys) = grid_2d(21);
+        let tree = RegressionTree::fit(&xs, &ys, &TreeParams::default()).unwrap();
+        let path = tree.path_for(&[0.9, 0.1]);
+        assert!(!path.is_empty());
+        // Every predicate on the path must hold for the query point.
+        for p in &path {
+            assert!(p.matches(&[0.9, 0.1]), "{p}");
+        }
+        // The path must constrain both features to carve out the corner box.
+        let feats: std::collections::BTreeSet<usize> =
+            path.iter().map(|p| p.feature).collect();
+        assert!(feats.contains(&0) && feats.contains(&1), "{path:?}");
+    }
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys = vec![3.5; 50];
+        let tree = RegressionTree::fit(&xs, &ys, &TreeParams::default()).unwrap();
+        assert_eq!(tree.leaf_count(), 1);
+        assert!((tree.predict(&[17.0]) - 3.5).abs() < 1e-12);
+        assert!(tree.path_for(&[17.0]).is_empty());
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| if i == 9 { 100.0 } else { 0.0 }).collect();
+        let params = TreeParams {
+            min_leaf: 3,
+            ..TreeParams::default()
+        };
+        let tree = RegressionTree::fit(&xs, &ys, &params).unwrap();
+        // The lone outlier cannot be isolated with min_leaf = 3: the split
+        // at 8.5 is forbidden, but a split at 6.5 (7 vs 3) is allowed.
+        let (_, n) = tree.leaf_stats(&[9.0]);
+        assert!(n >= 3, "leaf has {n} samples");
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let xs: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..256).map(|i| (i % 16) as f64).collect();
+        let params = TreeParams {
+            max_depth: 2,
+            min_leaf: 1,
+            min_gain: 0.0,
+        };
+        let tree = RegressionTree::fit(&xs, &ys, &params).unwrap();
+        assert!(tree.leaf_count() <= 4);
+        assert!(tree.path_for(&[7.0]).len() <= 2);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            RegressionTree::fit(&[], &[], &TreeParams::default()),
+            Err(StatsError::NoData)
+        ));
+        assert!(matches!(
+            RegressionTree::fit(&[vec![1.0]], &[1.0, 2.0], &TreeParams::default()),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            RegressionTree::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], &TreeParams::default()),
+            Err(StatsError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            RegressionTree::fit(&[vec![f64::NAN]], &[1.0], &TreeParams::default()),
+            Err(StatsError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn predictions_reduce_sse_vs_mean() {
+        let (xs, ys) = grid_2d(15);
+        let tree = RegressionTree::fit(&xs, &ys, &TreeParams::default()).unwrap();
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let sse_mean: f64 = ys.iter().map(|y| (y - mean) * (y - mean)).sum();
+        let sse_tree: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| {
+                let p = tree.predict(x);
+                (y - p) * (y - p)
+            })
+            .sum();
+        assert!(sse_tree < sse_mean * 0.2, "{sse_tree} vs {sse_mean}");
+    }
+
+    #[test]
+    fn render_mentions_feature_names() {
+        let (xs, ys) = grid_2d(15);
+        let tree = RegressionTree::fit(&xs, &ys, &TreeParams::default()).unwrap();
+        let s = tree.render(&["d_12".to_string(), "d_13".to_string()]);
+        assert!(s.contains("d_12") || s.contains("d_13"), "{s}");
+        assert!(s.contains("leaf"), "{s}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # xplain
+//!
+//! A from-scratch Rust reproduction of **"Towards Safer Heuristics With
+//! XPlain"** (Karimi et al., HotNets 2024): a tool that extends heuristic
+//! analyzers so operators can see *all* the regions of the input space
+//! where a heuristic underperforms (Type 1), *why* it underperforms there
+//! (Type 2), and *which instance properties* make it worse (Type 3).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`lp`] — exact LP/MILP solver (two-phase simplex + branch & bound);
+//! * [`stats`] — Wilcoxon signed-rank, DKW bounds, CART trees, rank
+//!   correlation;
+//! * [`flownet`] — the network-flow DSL, its compiler (with redundancy
+//!   elimination), and the Appendix-A `LP -> flow` encoder;
+//! * [`domains`] — traffic engineering with Demand Pinning, and vector
+//!   bin packing with first-fit/best-fit/FFD plus exact optima;
+//! * [`analyzer`] — the MetaOpt-style adversarial-input analyzers (exact
+//!   bilevel MILPs and pattern search);
+//! * [`core`] — the XPlain pipeline: subspace generation, significance
+//!   checking, explanation heat-maps, instance generation, generalization.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xplain::domains::te::{TeProblem, DemandPinning};
+//!
+//! // The paper's Fig. 1a instance: Demand Pinning underperforms by 100
+//! // units (OPT 250 vs DP 150) at the adversarial demand vector.
+//! let problem = TeProblem::fig1a();
+//! let heuristic = DemandPinning::new(50.0);
+//! let gap = heuristic.gap(&problem, &[50.0, 100.0, 100.0]).unwrap();
+//! assert!((gap - 100.0).abs() < 1e-6);
+//! ```
+//!
+//! See `examples/` for the full tour: `quickstart`, `demand_pinning`,
+//! `bin_packing`, `lp_to_flow`, and `full_pipeline`.
+
+pub use xplain_analyzer as analyzer;
+pub use xplain_core as core;
+pub use xplain_domains as domains;
+pub use xplain_flownet as flownet;
+pub use xplain_lp as lp;
+pub use xplain_stats as stats;

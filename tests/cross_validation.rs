@@ -1,0 +1,211 @@
+//! Cross-validation between independent implementations of the same
+//! quantity — the strongest correctness signal this reproduction has:
+//!
+//! * exact bilevel MILP analyzer vs black-box pattern search;
+//! * specialized bin-packing branch & bound vs generic MILP;
+//! * path-based max-flow LP vs the compiled DSL network;
+//! * heuristic simulations vs their MetaOpt-style constraint encodings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use xplain::analyzer::dp_metaopt::DpMetaOpt;
+use xplain::analyzer::oracle::{DpOracle, GapOracle};
+use xplain::analyzer::search::{dp_seeds, find_adversarial, SearchOptions};
+use xplain::domains::te::{TeDsl, TeProblem};
+use xplain::domains::vbp::{first_fit, optimal, optimal_milp, VbpInstance};
+use xplain::flownet::CompileOptions;
+
+/// The exact MILP and the pattern search agree on Fig. 1a's worst case.
+#[test]
+fn exact_and_search_agree_on_dp_gap() {
+    let problem = TeProblem::fig1a();
+    let exact = DpMetaOpt::new(problem.clone(), 50.0);
+    let milp = exact.find_adversarial(&[]).expect("solvable");
+
+    let oracle = DpOracle::new(problem, 50.0);
+    let opts = SearchOptions {
+        seeds: dp_seeds(3, 50.0, 100.0),
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(21);
+    let search = find_adversarial(&oracle, &[], &opts, &mut rng).expect("found");
+
+    assert!(
+        (milp.gap - search.gap).abs() < 5.0,
+        "exact {} vs search {}",
+        milp.gap,
+        search.gap
+    );
+    // Both must agree with direct simulation at their own points.
+    assert!((exact.simulate_gap(&milp.input) - milp.gap).abs() < 1.0);
+    assert!((oracle.gap(&search.input) - search.gap).abs() < 1e-9);
+}
+
+/// Specialized B&B and the generic MILP formulation agree on random
+/// bin-packing instances.
+#[test]
+fn vbp_exact_solvers_agree() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..10 {
+        let n = rng.gen_range(3..8);
+        let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..0.9)).collect();
+        let inst = VbpInstance::one_dim(&sizes);
+        let bnb = optimal(&inst);
+        let milp = optimal_milp(&inst, n).expect("solvable");
+        assert_eq!(bnb.bins_used, milp.bins_used, "sizes {sizes:?}");
+        assert!(bnb.check(&inst, 1e-9).is_none());
+        assert!(milp.check(&inst, 1e-9).is_none());
+    }
+}
+
+/// The compiled Fig. 4a DSL network computes the same benchmark as the
+/// path-based LP at random demand vectors.
+#[test]
+fn dsl_benchmark_matches_path_lp() {
+    let problem = TeProblem::fig1a();
+    let dsl = TeDsl::build(&problem);
+    let compiled = dsl.net.compile(&CompileOptions::default()).expect("compiles");
+    let mut rng = StdRng::seed_from_u64(41);
+    for _ in 0..15 {
+        let volumes: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let lp = problem.optimal(&volumes).expect("solvable");
+        let mut pins = BTreeMap::new();
+        for (k, &node) in dsl.demand_nodes.iter().enumerate() {
+            pins.insert(node, volumes[k]);
+        }
+        let model = compiled.with_source_values(&pins).expect("pinnable");
+        let sol = model.solve().expect("solvable");
+        assert!(
+            (sol.objective - lp.total).abs() < 1e-5,
+            "dsl {} vs lp {} at {volumes:?}",
+            sol.objective,
+            lp.total
+        );
+    }
+}
+
+/// Raw and eliminated DSL compilations agree everywhere (the eliminator
+/// must be semantics-preserving).
+#[test]
+fn elimination_preserves_semantics() {
+    let problem = TeProblem::fig4a();
+    let dsl = TeDsl::build(&problem);
+    let raw = dsl
+        .net
+        .compile(&CompileOptions {
+            eliminate: false,
+            ..Default::default()
+        })
+        .expect("compiles");
+    let opt = dsl.net.compile(&CompileOptions::default()).expect("compiles");
+    let mut rng = StdRng::seed_from_u64(51);
+    for _ in 0..10 {
+        let volumes: Vec<f64> = (0..8).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let mut pins = BTreeMap::new();
+        for (k, &node) in dsl.demand_nodes.iter().enumerate() {
+            pins.insert(node, volumes[k]);
+        }
+        let a = raw
+            .with_source_values(&pins)
+            .unwrap()
+            .solve()
+            .expect("raw solvable");
+        let b = opt
+            .with_source_values(&pins)
+            .unwrap()
+            .solve()
+            .expect("opt solvable");
+        assert!(
+            (a.objective - b.objective).abs() < 1e-5,
+            "raw {} vs eliminated {}",
+            a.objective,
+            b.objective
+        );
+    }
+}
+
+/// The FF oracle (simulation) and the §2 gap structure: sampling the
+/// paper's adversarial subspace always yields gap 1, sampling far away
+/// yields gap 0.
+#[test]
+fn ff_gap_structure_sanity() {
+    let mut rng = StdRng::seed_from_u64(61);
+    for _ in 0..20 {
+        // The adversarial region is a knife edge (the paper's 1/49/51/51
+        // pattern): the under-half ball must still pair with an over-half
+        // ball (under + over <= 1), but once the filler joins it the bin
+        // must reject every over ball (filler + under + over > 1).
+        let filler: f64 = rng.gen_range(0.02..0.05);
+        let over1: f64 = rng.gen_range(0.51..0.52);
+        let over2: f64 = rng.gen_range(0.51..0.52);
+        let over_min = over1.min(over2);
+        let under: f64 = 1.0 - over_min - rng.gen_range(0.0..filler * 0.9);
+        let inst = VbpInstance::one_dim(&[filler, under, over1, over2]);
+        let gap = first_fit(&inst).bins_used as i64 - optimal(&inst).bins_used as i64;
+        assert_eq!(gap, 1, "inside the adversarial subspace: {inst:?}");
+
+        let benign = VbpInstance::one_dim(&[
+            rng.gen_range(0.1..0.3),
+            rng.gen_range(0.1..0.3),
+            rng.gen_range(0.1..0.3),
+            rng.gen_range(0.1..0.3),
+        ]);
+        let gap0 = first_fit(&benign).bins_used as i64 - optimal(&benign).bins_used as i64;
+        assert_eq!(gap0, 0, "benign region: {benign:?}");
+    }
+}
+
+/// The paper's Fig. 3 wiring with the *exact* analyzer in the loop: plug
+/// the DP bilevel MILP into the pipeline as the finder and run the whole
+/// subspace/significance/explanation chain off its output.
+#[test]
+fn pipeline_with_exact_milp_finder() {
+    use xplain::analyzer::geometry::Polytope;
+    use xplain::core::explainer::DpDslMapper;
+    use xplain::core::features::FeatureMap;
+    use xplain::core::pipeline::{run_pipeline, PipelineConfig};
+    use xplain::core::subspace::SubspaceParams;
+    use xplain::core::{ExplainerParams, SignificanceParams};
+
+    let problem = TeProblem::fig1a();
+    let exact = DpMetaOpt::new(problem.clone(), 50.0);
+    let finder = move |excl: &[Polytope], _rng: &mut StdRng| {
+        exact.find_adversarial(excl).ok().filter(|a| a.gap > 1.0)
+    };
+
+    let oracle = DpOracle::new(problem.clone(), 50.0);
+    let mapper = DpDslMapper::new(problem.clone(), 50.0);
+    let features = FeatureMap::identity_with_sum(3, &oracle.dim_names());
+    let config = PipelineConfig {
+        max_subspaces: 1,
+        subspace: SubspaceParams {
+            dkw_eps: 0.25,
+            dkw_delta: 0.25,
+            max_expansions: 5,
+            tree_sample_factor: 2,
+            ..Default::default()
+        },
+        significance: SignificanceParams {
+            pairs: 60,
+            ..Default::default()
+        },
+        explainer: ExplainerParams {
+            samples: 120,
+            ..Default::default()
+        },
+        coverage_samples: 500,
+        ..Default::default()
+    };
+    let result = run_pipeline(&oracle, Some(&mapper), &features, &finder, &config);
+
+    assert_eq!(result.findings.len(), 1, "rejected: {}", result.rejected);
+    let f = &result.findings[0];
+    // The exact finder starts from the global optimum (gap 100).
+    assert!((f.subspace.seed_gap - 100.0).abs() < 1.0, "{}", f.subspace.seed_gap);
+    assert!(f.significance.as_ref().unwrap().significant);
+    assert!(f.explanation.is_some());
+    // Coverage of the discovered region is meaningful.
+    let cov = result.coverage.as_ref().unwrap();
+    assert!(cov.risk_precision > 0.5, "{cov:?}");
+}

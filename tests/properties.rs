@@ -1,0 +1,121 @@
+//! Cross-crate property tests on the system's core invariants.
+
+use proptest::prelude::*;
+use xplain::domains::te::{DemandPinning, TeProblem};
+use xplain::domains::vbp::{best_fit, first_fit, first_fit_decreasing, optimal, VbpInstance};
+use xplain::flownet::encode_lp::encode;
+use xplain::flownet::CompileOptions;
+use xplain::lp::{Cmp, LinExpr, Model, Sense, VarType};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DP never beats the optimal benchmark, anywhere in the input box.
+    #[test]
+    fn dp_gap_is_nonnegative(
+        d0 in 0.0f64..100.0,
+        d1 in 0.0f64..100.0,
+        d2 in 0.0f64..100.0,
+        threshold in 0.0f64..100.0,
+    ) {
+        let problem = TeProblem::fig1a();
+        let dp = DemandPinning::new(threshold);
+        let gap = dp.gap(&problem, &[d0, d1, d2]).expect("total function");
+        prop_assert!(gap >= -1e-6, "negative gap {gap}");
+    }
+
+    /// DP allocations are always feasible (capacities, demand limits).
+    #[test]
+    fn dp_allocations_feasible(
+        d0 in 0.0f64..100.0,
+        d1 in 0.0f64..100.0,
+        d2 in 0.0f64..100.0,
+    ) {
+        let problem = TeProblem::fig1a();
+        let volumes = [d0, d1, d2];
+        let alloc = DemandPinning::new(50.0).solve(&problem, &volumes).unwrap();
+        prop_assert!(problem.check_allocation(&volumes, &alloc, 1e-6).is_none());
+    }
+
+    /// Every packing heuristic is feasible and bracketed by the optimum
+    /// and the per-dimension lower bound.
+    #[test]
+    fn packing_heuristics_bracketed(
+        sizes in proptest::collection::vec(0.05f64..0.95, 1..10),
+    ) {
+        let inst = VbpInstance::one_dim(&sizes);
+        let opt = optimal(&inst);
+        prop_assert!(opt.bins_used >= inst.lower_bound());
+        for p in [first_fit(&inst), best_fit(&inst), first_fit_decreasing(&inst)] {
+            prop_assert!(p.check(&inst, 1e-9).is_none());
+            prop_assert!(p.bins_used >= opt.bins_used);
+            // First-fit's classic guarantee: FF <= 2 * OPT (weak form).
+            prop_assert!(p.bins_used <= 2 * opt.bins_used.max(1));
+        }
+    }
+
+    /// Theorem A.1 on random bounded LPs: the flow encoding preserves the
+    /// optimum.
+    #[test]
+    fn appendix_a_roundtrip_random_lp(
+        n in 1usize..4,
+        coefs in proptest::collection::vec(0.1f64..3.0, 9),
+        rhs in proptest::collection::vec(1.0f64..8.0, 3),
+        obj in proptest::collection::vec(0.1f64..4.0, 3),
+    ) {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("v{i}"), VarType::Continuous, 0.0, 5.0))
+            .collect();
+        for r in 0..2usize {
+            let mut e = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                e.add_term(v, coefs[r * 3 + i]);
+            }
+            m.add_constr(format!("c{r}"), e, Cmp::Le, rhs[r]);
+        }
+        let mut o = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            o.add_term(v, obj[i]);
+        }
+        m.set_objective(o);
+
+        let direct = m.solve().expect("bounded");
+        let encoded = encode(&m).expect("encodable");
+        let (flow_obj, values) = encoded.solve(&CompileOptions::default()).expect("solvable");
+        prop_assert!((direct.objective - flow_obj).abs() < 1e-4,
+            "direct {} vs flow {}", direct.objective, flow_obj);
+        // The recovered assignment must be feasible for the original.
+        prop_assert!(m.check_feasible(&values, 1e-4).is_none());
+    }
+
+    /// The TE benchmark is monotone: more demand never reduces total flow.
+    #[test]
+    fn optimal_monotone_in_demand(
+        d0 in 0.0f64..90.0,
+        d1 in 0.0f64..90.0,
+        d2 in 0.0f64..90.0,
+        bump in 0.0f64..10.0,
+    ) {
+        let problem = TeProblem::fig1a();
+        let base = problem.optimal(&[d0, d1, d2]).unwrap().total;
+        let more = problem.optimal(&[d0 + bump, d1, d2]).unwrap().total;
+        prop_assert!(more >= base - 1e-6, "{more} < {base}");
+    }
+
+    /// Pinning threshold monotonicity: raising the threshold can only pin
+    /// more demands, never fewer.
+    #[test]
+    fn pinned_set_monotone_in_threshold(
+        d in proptest::collection::vec(0.0f64..100.0, 3),
+        t1 in 0.0f64..100.0,
+        t2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let p_lo = DemandPinning::new(lo).pinned(&d);
+        let p_hi = DemandPinning::new(hi).pinned(&d);
+        for k in 0..3 {
+            prop_assert!(!p_lo[k] || p_hi[k], "pin lost when threshold rose");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! JSON round-trips for every reportable artifact — downstream tooling
+//! (dashboards, notebooks) consumes these.
+
+use xplain::analyzer::geometry::{Halfspace, Polytope};
+use xplain::core::pipeline::{run_ff_pipeline, PipelineConfig};
+use xplain::core::subspace::SubspaceParams;
+use xplain::core::{ExplainerParams, SignificanceParams};
+use xplain::domains::te::TeProblem;
+use xplain::domains::vbp::VbpInstance;
+
+#[test]
+fn polytope_roundtrip() {
+    let mut p = Polytope::from_box(&[0.0, 1.0], &[2.0, 3.0]);
+    p.intersect(Halfspace {
+        coeffs: vec![1.0, 1.0],
+        rhs: 4.0,
+    });
+    let json = serde_json::to_string(&p).unwrap();
+    let back: Polytope = serde_json::from_str(&json).unwrap();
+    assert_eq!(p, back);
+    assert!(back.contains(&[1.0, 2.0], 1e-9));
+}
+
+#[test]
+fn te_problem_roundtrip() {
+    let p = TeProblem::fig1a();
+    let json = serde_json::to_string(&p).unwrap();
+    let back: TeProblem = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.num_demands(), 3);
+    assert_eq!(back.paths[0].len(), 2);
+    // The deserialized problem still solves.
+    let opt = back.optimal(&[50.0, 100.0, 100.0]).unwrap();
+    assert!((opt.total - 250.0).abs() < 1e-6);
+}
+
+#[test]
+fn vbp_instance_roundtrip() {
+    let inst = VbpInstance::fig2_example();
+    let json = serde_json::to_string(&inst).unwrap();
+    let back: VbpInstance = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.num_balls(), 17);
+    assert_eq!(
+        xplain::domains::vbp::first_fit(&back).bins_used,
+        9
+    );
+}
+
+#[test]
+fn pipeline_result_roundtrip() {
+    let config = PipelineConfig {
+        max_subspaces: 1,
+        subspace: SubspaceParams {
+            dkw_eps: 0.3,
+            dkw_delta: 0.3,
+            max_expansions: 4,
+            tree_sample_factor: 2,
+            ..Default::default()
+        },
+        significance: SignificanceParams {
+            pairs: 40,
+            ..Default::default()
+        },
+        explainer: ExplainerParams {
+            samples: 80,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let result = run_ff_pipeline(4, 3, &config);
+    let json = serde_json::to_string(&result).unwrap();
+    let back: xplain::core::PipelineResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.findings.len(), result.findings.len());
+    if let Some(f) = back.findings.first() {
+        assert!(f.subspace.seed_gap > 0.0);
+        // Polytope membership survives the round trip.
+        assert!(f.subspace.contains(&f.subspace.seed));
+    }
+}
+
+#[test]
+fn lp_model_roundtrip() {
+    use xplain::lp::{Cmp, Model, Sense};
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_nonneg("x");
+    m.add_constr("c", x + 0.0, Cmp::Le, 7.0);
+    m.set_objective(x + 0.0);
+    let json = serde_json::to_string(&m).unwrap();
+    let back: Model = serde_json::from_str(&json).unwrap();
+    let sol = back.solve().unwrap();
+    assert!((sol.objective - 7.0).abs() < 1e-6);
+}
