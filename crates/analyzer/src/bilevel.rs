@@ -98,7 +98,12 @@ pub fn encode_inner_optimality(
             e.add_term(v, c);
         }
         let expr = e - row.rhs.clone();
-        model.add_constr(format!("kkt_pf[{tag}/{i}/{}]", row.name), expr, Cmp::Le, 0.0);
+        model.add_constr(
+            format!("kkt_pf[{tag}/{i}/{}]", row.name),
+            expr,
+            Cmp::Le,
+            0.0,
+        );
     }
 
     // Duals.
@@ -134,12 +139,7 @@ pub fn encode_inner_optimality(
         for &(i, c) in &col[j] {
             e.add_term(duals[i], c);
         }
-        model.add_constr(
-            format!("kkt_df[{tag}/{j}]"),
-            e,
-            Cmp::Ge,
-            inner.objective[j],
-        );
+        model.add_constr(format!("kkt_df[{tag}/{j}]"), e, Cmp::Ge, inner.objective[j]);
     }
 
     // Complementary slackness with indicator binaries.

@@ -180,8 +180,7 @@ impl DpMetaOpt {
         for k in 0..n {
             m.add_constr(
                 format!("opt_dem[{}]", p.demand_name(k)),
-                LinExpr::sum(optimal_flows[k].iter().copied())
-                    - LinExpr::term(demand_vars[k], 1.0),
+                LinExpr::sum(optimal_flows[k].iter().copied()) - LinExpr::term(demand_vars[k], 1.0),
                 Cmp::Le,
                 0.0,
             );
@@ -207,7 +206,13 @@ impl DpMetaOpt {
 
         // Exclusion polytopes: the input must violate at least one
         // half-space of every excluded region.
-        add_exclusions(&mut m, &demand_vars, exclusions, p.demand_cap, self.gadget.eps);
+        add_exclusions(
+            &mut m,
+            &demand_vars,
+            exclusions,
+            p.demand_cap,
+            self.gadget.eps,
+        );
 
         // Objective: the performance gap.
         let mut obj = LinExpr::new();
@@ -286,7 +291,7 @@ pub(crate) fn add_exclusions(
         }
         m.add_constr(
             format!("excl_any[{b}]"),
-            LinExpr::sum(violated.into_iter()),
+            LinExpr::sum(violated),
             Cmp::Ge,
             1.0,
         );
@@ -335,7 +340,9 @@ mod tests {
         let lo: Vec<f64> = first.input.iter().map(|v| (v - 20.0).max(0.0)).collect();
         let hi: Vec<f64> = first.input.iter().map(|v| (v + 20.0).min(100.0)).collect();
         let excl = Polytope::from_box(&lo, &hi);
-        let second = analyzer.find_adversarial(&[excl.clone()]).unwrap();
+        let second = analyzer
+            .find_adversarial(std::slice::from_ref(&excl))
+            .unwrap();
         assert!(
             !excl.contains(&second.input, 1e-6),
             "second point {:?} still inside exclusion",

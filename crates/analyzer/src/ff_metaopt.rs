@@ -99,8 +99,7 @@ impl FfMetaOpt {
                 }
                 let fits = all_leq(&mut m, format!("fits[{i},{j}]"), &[load - cap], 0.0, g);
                 // γ_ij = AllEq([x_ik]_{k<j}, 0): not placed earlier.
-                let earlier: Vec<LinExpr> =
-                    (0..j).map(|k| LinExpr::term(xs[k], 1.0)).collect();
+                let earlier: Vec<LinExpr> = (0..j).map(|k| LinExpr::term(xs[k], 1.0)).collect();
                 let alpha = if earlier.is_empty() {
                     fits // first bin: α = fits
                 } else {
@@ -306,7 +305,7 @@ mod tests {
         let lo: Vec<f64> = first.input.iter().map(|v| (v - 0.05).max(0.0)).collect();
         let hi: Vec<f64> = first.input.iter().map(|v| (v + 0.05).min(1.0)).collect();
         let excl = Polytope::from_box(&lo, &hi);
-        if let Ok(second) = analyzer.find_adversarial(&[excl.clone()]) {
+        if let Ok(second) = analyzer.find_adversarial(std::slice::from_ref(&excl)) {
             assert!(
                 !excl.contains(&second.input, 1e-9),
                 "{:?} inside exclusion",

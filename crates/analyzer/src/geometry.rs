@@ -33,12 +33,7 @@ impl Halfspace {
 
     /// Does `x` satisfy the half-space (within `tol`)?
     pub fn contains(&self, x: &[f64], tol: f64) -> bool {
-        let lhs: f64 = self
-            .coeffs
-            .iter()
-            .zip(x)
-            .map(|(c, v)| c * v)
-            .sum();
+        let lhs: f64 = self.coeffs.iter().zip(x).map(|(c, v)| c * v).sum();
         lhs <= self.rhs + tol
     }
 }
@@ -108,10 +103,7 @@ impl Polytope {
                 if c.abs() < 1e-12 {
                     continue;
                 }
-                let name = names
-                    .get(d)
-                    .cloned()
-                    .unwrap_or_else(|| format!("x{d}"));
+                let name = names.get(d).cloned().unwrap_or_else(|| format!("x{d}"));
                 if (c - 1.0).abs() < 1e-12 {
                     terms.push(name);
                 } else if (c + 1.0).abs() < 1e-12 {

@@ -74,7 +74,7 @@ pub fn find_adversarial(
 
     let mut best: Option<Adversarial> = None;
     let consider = |x: &[f64], g: f64, best: &mut Option<Adversarial>| {
-        if g.is_finite() && g > 0.0 && best.as_ref().map_or(true, |b| g > b.gap) {
+        if g.is_finite() && g > 0.0 && best.as_ref().is_none_or(|b| g > b.gap) {
             *best = Some(Adversarial {
                 input: x.to_vec(),
                 gap: g,
@@ -127,8 +127,7 @@ pub fn find_adversarial(
                         break;
                     }
                     let mut cand = x.clone();
-                    cand[d] = (cand[d] + sign * step * ranges[d])
-                        .clamp(bounds[d].0, bounds[d].1);
+                    cand[d] = (cand[d] + sign * step * ranges[d]).clamp(bounds[d].0, bounds[d].1);
                     if (cand[d] - x[d]).abs() < 1e-15 {
                         continue;
                     }
@@ -266,7 +265,9 @@ mod tests {
         let hi: Vec<f64> = first.input.iter().map(|v| (v + 10.0).min(100.0)).collect();
         let excl = Polytope::from_box(&lo, &hi);
         let mut rng2 = StdRng::seed_from_u64(5);
-        if let Some(second) = find_adversarial(&oracle, &[excl.clone()], &opts, &mut rng2) {
+        if let Some(second) =
+            find_adversarial(&oracle, std::slice::from_ref(&excl), &opts, &mut rng2)
+        {
             assert!(!excl.contains(&second.input, 1e-9));
         }
     }

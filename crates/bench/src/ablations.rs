@@ -85,7 +85,7 @@ pub fn run_subspace_ablations() -> Vec<AblationRow> {
     for (label, params) in variants {
         let mut rng = StdRng::seed_from_u64(0xAB1);
         let sub = grow_subspace(&oracle, &seed, &features, &params, &mut rng);
-        let coverage = estimate_coverage(&oracle, &[sub.clone()], 20.0, 3000, &mut rng);
+        let coverage = estimate_coverage(&oracle, std::slice::from_ref(&sub), 20.0, 3000, &mut rng);
         rows.push(AblationRow {
             label,
             coverage,

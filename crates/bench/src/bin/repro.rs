@@ -39,7 +39,10 @@ fn main() {
     let run_one = |name: &str| match name {
         "fig1" => print!("{}", fig1::render(&fig1::run())),
         "sec2-vbp" => print!("{}", vbp_examples::render_sec2(&vbp_examples::run_sec2())),
-        "fig2" => print!("{}", vbp_examples::render_fig2(&vbp_examples::run_fig2(true))),
+        "fig2" => print!(
+            "{}",
+            vbp_examples::render_fig2(&vbp_examples::run_fig2(true))
+        ),
         "fig4" => {
             let dp = fig4::run_dp(explainer_samples);
             let ff = fig4::run_ff(explainer_samples);

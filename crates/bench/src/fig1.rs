@@ -45,10 +45,7 @@ pub fn run() -> Fig1Result {
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .map(|(p, v)| (p, *v))
                 .unwrap_or((0, 0.0));
-            (
-                problem.paths[k][best].name(&problem.topology),
-                value,
-            )
+            (problem.paths[k][best].name(&problem.topology), value)
         };
         let (dp_path, dp_value) = pick(&dp.flows[k]);
         let (opt_path, opt_value) = pick(&opt.flows[k]);

@@ -10,11 +10,11 @@
 //!   it to have to place the last ball differently, too."
 
 use std::time::Instant;
+use xplain_analyzer::geometry::Polytope;
 use xplain_core::explainer::{explain, DpDslMapper, DslMapper, ExplainerParams, FfDslMapper};
 use xplain_core::report::{explanation_dot, render_explanation};
 use xplain_core::subspace::Subspace;
 use xplain_core::Explanation;
-use xplain_analyzer::geometry::Polytope;
 use xplain_domains::te::TeProblem;
 
 /// Result for one heat-map.
@@ -56,7 +56,7 @@ pub fn run_dp(samples: usize) -> HeatmapResult {
         samples,
         ..Default::default()
     };
-    let explanation = explain(&mapper, &sub, &params, 0xF16_4A);
+    let explanation = explain(&mapper, &sub, &params, 0xF164A);
     let dot = explanation_dot(mapper.net(), &explanation);
     HeatmapResult {
         explanation,
@@ -80,7 +80,7 @@ pub fn run_ff(samples: usize) -> HeatmapResult {
         samples,
         ..Default::default()
     };
-    let explanation = explain(&mapper, &sub, &params, 0xF16_4B);
+    let explanation = explain(&mapper, &sub, &params, 0xF164B);
     let dot = explanation_dot(mapper.net(), &explanation);
     HeatmapResult {
         explanation,
@@ -139,10 +139,6 @@ mod tests {
             .unwrap();
         assert!(b0.heuristic_frac > 0.95, "{}", b0.heuristic_frac);
         // The heat-map must show disagreement somewhere.
-        assert!(r
-            .explanation
-            .edges
-            .iter()
-            .any(|e| e.score.abs() > 0.5));
+        assert!(r.explanation.edges.iter().any(|e| e.score.abs() > 0.5));
     }
 }

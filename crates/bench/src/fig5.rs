@@ -105,7 +105,9 @@ pub fn run(pairs: usize) -> Fig5Result {
 pub fn render(r: &Fig5Result) -> String {
     let mut out = String::new();
     out.push_str("E5 / Fig. 5 — adversarial subspaces and significance\n\n");
-    out.push_str("First-fit subspace D0 (paper C0 ~ B0 in [0, 0.01+], B1 in [0.49-, 0.51], ...):\n");
+    out.push_str(
+        "First-fit subspace D0 (paper C0 ~ B0 in [0, 0.01+], B1 in [0.49-, 0.51], ...):\n",
+    );
     out.push_str(&render_subspace(&r.ff.subspace, &r.ff.dim_names, 0));
     if let Some(sig) = &r.ff.significance {
         out.push_str(&format!(

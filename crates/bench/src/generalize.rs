@@ -9,9 +9,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xplain_core::generalizer::{generalize, Finding, GeneralizerParams};
-use xplain_core::instances::{
-    generate_dp_instances, generate_ff_instances, DpFamily, FfFamily,
-};
+use xplain_core::instances::{generate_dp_instances, generate_ff_instances, DpFamily, FfFamily};
 use xplain_core::Observation;
 
 /// E8 result.
@@ -35,10 +33,7 @@ pub fn run() -> GeneralizeResult {
         .zip(&dp_instances)
         .map(|(&l, inst)| (l, inst.observation.gap))
         .collect();
-    let dp_obs: Vec<Observation> = dp_instances
-        .iter()
-        .map(|i| i.observation.clone())
-        .collect();
+    let dp_obs: Vec<Observation> = dp_instances.iter().map(|i| i.observation.clone()).collect();
     let dp_findings = generalize(&dp_obs, &GeneralizerParams::default());
 
     let ff_family = FfFamily {
@@ -46,10 +41,7 @@ pub fn run() -> GeneralizeResult {
         ..Default::default()
     };
     let ff_instances = generate_ff_instances(&ff_family, &mut rng);
-    let ff_obs: Vec<Observation> = ff_instances
-        .iter()
-        .map(|i| i.observation.clone())
-        .collect();
+    let ff_obs: Vec<Observation> = ff_instances.iter().map(|i| i.observation.clone()).collect();
     let ff_findings = generalize(&ff_obs, &GeneralizerParams::default());
 
     GeneralizeResult {
@@ -79,7 +71,9 @@ pub fn render(r: &GeneralizeResult) -> String {
     for f in &r.ff_findings {
         out.push_str(&format!("    {}\n", f.render()));
     }
-    out.push_str("\n  paper's hypothetical: increasing(P) over pinnable shortest paths — reproduced.\n");
+    out.push_str(
+        "\n  paper's hypothetical: increasing(P) over pinnable shortest paths — reproduced.\n",
+    );
     out
 }
 

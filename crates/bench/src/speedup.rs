@@ -90,7 +90,13 @@ fn bench_te(problem: &TeProblem, eliminate: bool, trials: usize, seed: u64) -> M
     }
 }
 
-fn bench_ff(n_balls: usize, n_bins: usize, eliminate: bool, trials: usize, seed: u64) -> ModeReport {
+fn bench_ff(
+    n_balls: usize,
+    n_bins: usize,
+    eliminate: bool,
+    trials: usize,
+    seed: u64,
+) -> ModeReport {
     let dsl = VbpDsl::build(n_balls, n_bins, 1.0);
     let opts = CompileOptions {
         eliminate,
@@ -139,7 +145,10 @@ pub fn run(trials: usize) -> SpeedupResult {
 pub fn render(r: &SpeedupResult) -> String {
     let mut out = String::new();
     out.push_str("E6 / §5.1 — compiled-DSL speedup from redundancy elimination\n");
-    out.push_str(&format!("  ({} pin-and-solve trials per mode)\n\n", r.trials));
+    out.push_str(&format!(
+        "  ({} pin-and-solve trials per mode)\n\n",
+        r.trials
+    ));
     let row = |name: &str, m: &ModeReport| {
         format!(
             "  {:<16} vars = {:>4}  constraints = {:>4}  compile = {:>8.2} ms  solve = {:>8.2} ms\n",

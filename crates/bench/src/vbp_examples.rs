@@ -2,8 +2,8 @@
 //! sizes ≈ 1%, 49%, 51%, 51%; FF 3 bins vs OPT 2), and
 //! E3 — Fig. 2's 17-ball instance (FF 9 bins vs OPT 8).
 
-use xplain_analyzer::ff_metaopt::FfMetaOpt;
 use rand::SeedableRng;
+use xplain_analyzer::ff_metaopt::FfMetaOpt;
 use xplain_analyzer::oracle::FfOracle;
 use xplain_analyzer::search::{ff_seeds, find_adversarial, SearchOptions};
 use xplain_domains::vbp::{first_fit, optimal, VbpInstance};

@@ -145,9 +145,7 @@ pub fn explain(
         let mut attempts = 0usize;
         while produced < per_thread && attempts < per_thread * 40 {
             attempts += 1;
-            let x: Vec<f64> = (0..dims)
-                .map(|d| rng.gen_range(lo[d]..=hi[d]))
-                .collect();
+            let x: Vec<f64> = (0..dims).map(|d| rng.gen_range(lo[d]..=hi[d])).collect();
             if !subspace.contains(&x) {
                 continue;
             }
@@ -181,16 +179,15 @@ pub fn explain(
     let accs: Vec<Acc> = if threads <= 1 {
         vec![accumulate(0)]
     } else {
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|tid| scope.spawn(move |_| accumulate(tid)))
+                .map(|tid| scope.spawn(move || accumulate(tid)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("explainer worker panicked"))
                 .collect()
         })
-        .expect("crossbeam scope")
     };
 
     let mut score_sum = vec![0.0; n_edges];
@@ -394,11 +391,7 @@ mod tests {
         assert!(ex.samples_used >= 150);
         // FF always places B0 (the filler) in Bin0: heuristic uses
         // B0->Bin0 in every sample.
-        let b0bin0 = ex
-            .edges
-            .iter()
-            .find(|e| e.label == "B0->Bin0")
-            .unwrap();
+        let b0bin0 = ex.edges.iter().find(|e| e.label == "B0->Bin0").unwrap();
         assert!(
             b0bin0.heuristic_frac > 0.99,
             "B0->Bin0 heuristic frac {}",

@@ -146,7 +146,9 @@ mod tests {
         let findings = generalize(&observations, &GeneralizerParams::default());
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].trend, Trend::Increasing);
-        assert!(findings[0].render().contains("increasing(pinned_path_length)"));
+        assert!(findings[0]
+            .render()
+            .contains("increasing(pinned_path_length)"));
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub fn generate_dp_instances(family: &DpFamily, rng: &mut impl Rng) -> Vec<DpIns
         // Structured adversarial input: pinnable demand at the threshold,
         // hop demands saturating their direct links.
         let mut input = vec![family.threshold];
-        input.extend(std::iter::repeat(chain_cap).take(len));
+        input.extend(std::iter::repeat_n(chain_cap, len));
 
         let dp = DemandPinning::new(family.threshold);
         let gap = dp.gap(&problem, &input).unwrap_or(0.0);
@@ -248,13 +248,13 @@ mod tests {
 
     #[test]
     fn ff_family_gap_correlates_with_over_half_count() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = StdRng::seed_from_u64(0);
         let family = FfFamily {
-            instances: 60,
+            instances: 100,
             ..Default::default()
         };
         let instances = generate_ff_instances(&family, &mut rng);
-        assert_eq!(instances.len(), 60);
+        assert_eq!(instances.len(), 100);
         let observations: Vec<Observation> =
             instances.iter().map(|i| i.observation.clone()).collect();
         let findings = generalize(&observations, &GeneralizerParams::default());

@@ -29,9 +29,13 @@ pub mod significance;
 pub mod subspace;
 
 pub use coverage::{estimate_coverage, CoverageReport};
-pub use explainer::{explain, DpDslMapper, DslMapper, EdgeScore, Explanation, ExplainerParams, FfDslMapper};
+pub use explainer::{
+    explain, DpDslMapper, DslMapper, EdgeScore, ExplainerParams, Explanation, FfDslMapper,
+};
 pub use features::{FeatureMap, LinearFeature};
 pub use generalizer::{generalize, Finding, GeneralizerParams, Observation, Trend};
-pub use pipeline::{run_dp_pipeline, run_ff_pipeline, run_pipeline, PipelineConfig, PipelineResult, SubspaceFinding};
+pub use pipeline::{
+    run_dp_pipeline, run_ff_pipeline, run_pipeline, PipelineConfig, PipelineResult, SubspaceFinding,
+};
 pub use significance::{check_significance, SignificanceParams, SignificanceReport};
 pub use subspace::{grow_subspace, Subspace, SubspaceParams};

@@ -3,7 +3,9 @@
 //! exclusions until the input space holds no further adversarial regions.
 
 use crate::coverage::{estimate_coverage, CoverageReport};
-use crate::explainer::{explain, DpDslMapper, DslMapper, Explanation, ExplainerParams, FfDslMapper};
+use crate::explainer::{
+    explain, DpDslMapper, DslMapper, ExplainerParams, Explanation, FfDslMapper,
+};
 use crate::features::FeatureMap;
 use crate::significance::{check_significance, SignificanceParams, SignificanceReport};
 use crate::subspace::{grow_subspace, Subspace, SubspaceParams};
@@ -12,9 +14,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use xplain_analyzer::geometry::Polytope;
 use xplain_analyzer::oracle::{DpOracle, FfOracle, GapOracle};
-use xplain_analyzer::search::{
-    dp_seeds, ff_seeds, find_adversarial, Adversarial, SearchOptions,
-};
+use xplain_analyzer::search::{dp_seeds, ff_seeds, find_adversarial, Adversarial, SearchOptions};
 use xplain_domains::te::TeProblem;
 
 /// Pipeline configuration.
@@ -156,10 +156,7 @@ pub fn run_pipeline(
     // discovered subspaces capture?
     let coverage = if config.coverage_samples > 0 && !findings.is_empty() {
         let threshold = config.min_gap_frac * first_gap.unwrap_or(0.0);
-        let subspaces: Vec<Subspace> = findings
-            .iter()
-            .map(|f| f.subspace.clone())
-            .collect();
+        let subspaces: Vec<Subspace> = findings.iter().map(|f| f.subspace.clone()).collect();
         let report = estimate_coverage(
             oracle,
             &subspaces,
@@ -198,9 +195,8 @@ pub fn run_dp_pipeline(
         seeds: dp_seeds(oracle.dims(), threshold, problem.demand_cap),
         ..Default::default()
     };
-    let finder = move |excl: &[Polytope], rng: &mut StdRng| {
-        find_adversarial(&oracle, excl, &search, rng)
-    };
+    let finder =
+        move |excl: &[Polytope], rng: &mut StdRng| find_adversarial(&oracle, excl, &search, rng);
     let oracle2 = DpOracle::new(problem.clone(), threshold);
     run_pipeline(&oracle2, Some(&mapper), &features, &finder, config)
 }
@@ -265,16 +261,8 @@ mod tests {
         assert!(sig.test.p_value < 0.05);
         // Type-2 explanation present and pointing at the right edges.
         let ex = f.explanation.as_ref().unwrap();
-        let short = ex
-            .edges
-            .iter()
-            .find(|e| e.label == "1~3->1-2-3")
-            .unwrap();
-        let long = ex
-            .edges
-            .iter()
-            .find(|e| e.label == "1~3->1-4-5-3")
-            .unwrap();
+        let short = ex.edges.iter().find(|e| e.label == "1~3->1-2-3").unwrap();
+        let long = ex.edges.iter().find(|e| e.label == "1~3->1-4-5-3").unwrap();
         assert!(short.score < -0.5, "short score {}", short.score);
         assert!(long.score > 0.5, "long score {}", long.score);
     }

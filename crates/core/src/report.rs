@@ -200,6 +200,9 @@ mod tests {
         }];
         let text = render_findings(&f);
         assert!(text.contains("increasing(pinned_path_length)"));
-        assert_eq!(render_findings(&[]), "no statistically significant trends\n");
+        assert_eq!(
+            render_findings(&[]),
+            "no statistically significant trends\n"
+        );
     }
 }

@@ -72,9 +72,7 @@ pub fn check_significance(
     while inside_gaps.len() < params.pairs && attempts < max_attempts {
         attempts += 1;
         // Draw inside the polytope (rejection-sample the rough box).
-        let x: Vec<f64> = (0..dims)
-            .map(|d| rng.gen_range(lo[d]..=hi[d]))
-            .collect();
+        let x: Vec<f64> = (0..dims).map(|d| rng.gen_range(lo[d]..=hi[d])).collect();
         if !subspace.contains(&x) {
             continue;
         }
@@ -186,8 +184,7 @@ mod tests {
         let s = grown_subspace(1);
         let mut rng = StdRng::seed_from_u64(2);
         let report =
-            check_significance(&BoxOracle, &s, &SignificanceParams::default(), &mut rng)
-                .unwrap();
+            check_significance(&BoxOracle, &s, &SignificanceParams::default(), &mut rng).unwrap();
         assert!(report.significant, "p = {}", report.test.p_value);
         assert!(report.test.p_value < 1e-6);
         assert!(report.mean_inside > report.mean_outside);
@@ -237,8 +234,7 @@ mod tests {
         let s = grown_subspace(5);
         let mut rng = StdRng::seed_from_u64(6);
         let report =
-            check_significance(&Inverted, &s, &SignificanceParams::default(), &mut rng)
-                .unwrap();
+            check_significance(&Inverted, &s, &SignificanceParams::default(), &mut rng).unwrap();
         assert!(!report.significant, "p = {}", report.test.p_value);
     }
 

@@ -174,9 +174,7 @@ pub fn grow_subspace(
             // Sample the slice.
             let mut bad = 0usize;
             for _ in 0..n_slice {
-                let mut x: Vec<f64> = (0..dims)
-                    .map(|dd| rng.gen_range(lo[dd]..=hi[dd]))
-                    .collect();
+                let mut x: Vec<f64> = (0..dims).map(|dd| rng.gen_range(lo[dd]..=hi[dd])).collect();
                 x[d] = rng.gen_range(slab_lo..=slab_hi);
                 let g = oracle.gap(&x);
                 evaluations += 1;
@@ -209,9 +207,7 @@ pub fn grow_subspace(
     // Fill samples inside the final rough box for tree training.
     let fill = params.tree_sample_factor * n_slice;
     for _ in 0..fill {
-        let x: Vec<f64> = (0..dims)
-            .map(|d| rng.gen_range(lo[d]..=hi[d]))
-            .collect();
+        let x: Vec<f64> = (0..dims).map(|d| rng.gen_range(lo[d]..=hi[d])).collect();
         let g = oracle.gap(&x);
         evaluations += 1;
         if g.is_finite() {

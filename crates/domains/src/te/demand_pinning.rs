@@ -61,11 +61,7 @@ impl DemandPinning {
         let n = problem.num_demands();
         let pinned = self.pinned(volumes);
         let mut residual: Vec<f64> = problem.topology.links.iter().map(|l| l.capacity).collect();
-        let mut flows: Vec<Vec<f64>> = problem
-            .paths
-            .iter()
-            .map(|ps| vec![0.0; ps.len()])
-            .collect();
+        let mut flows: Vec<Vec<f64>> = problem.paths.iter().map(|ps| vec![0.0; ps.len()]).collect();
         let mut pinned_total = 0.0;
 
         // Phase 1: pin. Process in demand order (deterministic).

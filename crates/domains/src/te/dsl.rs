@@ -168,12 +168,8 @@ mod tests {
         let p = TeProblem::fig4a();
         let dsl = TeDsl::build(&p);
         dsl.net.validate().unwrap();
-        let groups: std::collections::BTreeSet<&str> = dsl
-            .net
-            .nodes()
-            .iter()
-            .map(|n| n.group.as_str())
-            .collect();
+        let groups: std::collections::BTreeSet<&str> =
+            dsl.net.nodes().iter().map(|n| n.group.as_str()).collect();
         assert!(groups.contains("DEMANDS"));
         assert!(groups.contains("PATHS"));
         assert!(groups.contains("EDGES"));

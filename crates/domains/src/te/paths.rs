@@ -92,7 +92,9 @@ pub fn k_shortest_paths(
             visited[next] = true;
             node_stack.push(next);
             link_stack.push(link);
-            dfs(next, dst, max_hops, adj, visited, node_stack, link_stack, result);
+            dfs(
+                next, dst, max_hops, adj, visited, node_stack, link_stack, result,
+            );
             link_stack.pop();
             node_stack.pop();
             visited[next] = false;

@@ -154,11 +154,13 @@ impl TeProblem {
                     }
                 }
             }
-            let cap = capacities
-                .map(|c| c[l])
-                .unwrap_or(link.capacity)
-                .max(0.0);
-            m.add_constr(format!("cap[{}]", self.topology.link_name(l)), e, Cmp::Le, cap);
+            let cap = capacities.map(|c| c[l]).unwrap_or(link.capacity).max(0.0);
+            m.add_constr(
+                format!("cap[{}]", self.topology.link_name(l)),
+                e,
+                Cmp::Le,
+                cap,
+            );
         }
         let mut obj = LinExpr::new();
         for row in &path_vars {
@@ -247,7 +249,12 @@ impl TeProblem {
     }
 
     /// Verify an allocation: nonnegative flows, demand limits, capacities.
-    pub fn check_allocation(&self, volumes: &[f64], alloc: &TeAllocation, tol: f64) -> Option<String> {
+    pub fn check_allocation(
+        &self,
+        volumes: &[f64],
+        alloc: &TeAllocation,
+        tol: f64,
+    ) -> Option<String> {
         for (k, row) in alloc.flows.iter().enumerate() {
             let routed: f64 = row.iter().sum();
             if row.iter().any(|f| *f < -tol) {
@@ -287,7 +294,9 @@ mod tests {
         let p = TeProblem::fig1a();
         let opt = p.optimal(&[50.0, 100.0, 100.0]).unwrap();
         assert_close(opt.total, 250.0);
-        assert!(p.check_allocation(&[50.0, 100.0, 100.0], &opt, 1e-6).is_none());
+        assert!(p
+            .check_allocation(&[50.0, 100.0, 100.0], &opt, 1e-6)
+            .is_none());
         // The optimal must route 1⇝3 over the long path 1-4-5-3.
         assert_close(opt.flows[0][1], 50.0);
         assert_close(opt.flows[0][0], 0.0);

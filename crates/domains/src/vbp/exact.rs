@@ -155,7 +155,12 @@ pub fn optimal_milp(inst: &VbpInstance, max_bins: usize) -> Result<Packing, LpEr
         }
         // Symmetry breaking: bins used in order.
         if j + 1 < max_bins {
-            m.add_constr(format!("sym[{j}]"), LinExpr::term(y[j + 1], 1.0) - y[j], Cmp::Le, 0.0);
+            m.add_constr(
+                format!("sym[{j}]"),
+                LinExpr::term(y[j + 1], 1.0) - y[j],
+                Cmp::Le,
+                0.0,
+            );
         }
     }
     m.set_objective(LinExpr::sum(y.iter().copied()));

@@ -7,21 +7,27 @@ use crate::vbp::instance::{Packing, VbpInstance};
 
 /// Does `ball` fit in a bin with `remaining` capacity (per dimension)?
 fn fits(ball: &[f64], remaining: &[f64], tol: f64) -> bool {
-    ball.iter()
-        .zip(remaining)
-        .all(|(s, r)| *s <= *r + tol)
+    ball.iter().zip(remaining).all(|(s, r)| *s <= *r + tol)
 }
 
 /// First-fit: place each ball (in input order) into the first bin it fits;
 /// open a new bin when none fits (Fig. 1c's heuristic).
 pub fn first_fit(inst: &VbpInstance) -> Packing {
-    place_in_order(inst, &(0..inst.num_balls()).collect::<Vec<_>>(), BinChoice::First)
+    place_in_order(
+        inst,
+        &(0..inst.num_balls()).collect::<Vec<_>>(),
+        BinChoice::First,
+    )
 }
 
 /// Best-fit: place each ball into the *fullest* bin it fits (the one whose
 /// remaining capacity, summed over dimensions, is smallest after placing).
 pub fn best_fit(inst: &VbpInstance) -> Packing {
-    place_in_order(inst, &(0..inst.num_balls()).collect::<Vec<_>>(), BinChoice::Best)
+    place_in_order(
+        inst,
+        &(0..inst.num_balls()).collect::<Vec<_>>(),
+        BinChoice::Best,
+    )
 }
 
 /// First-fit-decreasing: sort balls by total size descending, then
@@ -52,9 +58,7 @@ fn place_in_order(inst: &VbpInstance, order: &[usize], choice: BinChoice) -> Pac
     for &i in order {
         let ball = &inst.balls[i];
         let target = match choice {
-            BinChoice::First => remaining
-                .iter()
-                .position(|r| fits(ball, r, TOL)),
+            BinChoice::First => remaining.iter().position(|r| fits(ball, r, TOL)),
             BinChoice::Best => remaining
                 .iter()
                 .enumerate()
@@ -205,7 +209,11 @@ mod tests {
             let n = rng.gen_range(1..15);
             let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..1.0)).collect();
             let inst = VbpInstance::one_dim(&sizes);
-            for p in [first_fit(&inst), best_fit(&inst), first_fit_decreasing(&inst)] {
+            for p in [
+                first_fit(&inst),
+                best_fit(&inst),
+                first_fit_decreasing(&inst),
+            ] {
                 assert!(p.check(&inst, 1e-9).is_none());
                 assert!(p.bins_used >= inst.lower_bound());
             }

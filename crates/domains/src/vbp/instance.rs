@@ -35,8 +35,8 @@ impl VbpInstance {
     /// The Fig. 2 instance (17 balls): first-fit uses 9 bins, optimal 8.
     pub fn fig2_example() -> Self {
         VbpInstance::one_dim(&[
-            0.3, 0.8, 0.2, 0.4, 0.7, 0.7, 0.15, 0.85, 0.25, 0.25, 0.3, 0.75, 0.75, 0.6, 0.12,
-            0.4, 0.4,
+            0.3, 0.8, 0.2, 0.4, 0.7, 0.7, 0.15, 0.85, 0.25, 0.25, 0.3, 0.75, 0.75, 0.6, 0.12, 0.4,
+            0.4,
         ])
     }
 
@@ -63,7 +63,11 @@ impl VbpInstance {
         }
         for (i, b) in self.balls.iter().enumerate() {
             if b.len() != self.num_dims() {
-                return Err(format!("ball {i} has {} dims, expected {}", b.len(), self.num_dims()));
+                return Err(format!(
+                    "ball {i} has {} dims, expected {}",
+                    b.len(),
+                    self.num_dims()
+                ));
             }
             for (d, &s) in b.iter().enumerate() {
                 if !s.is_finite() || s < 0.0 {

@@ -213,8 +213,7 @@ impl FlowNet {
                         node_handled[i] = true;
                     }
                     NodeBehavior::AllEqual => {
-                        let all: Vec<EdgeId> =
-                            inc.iter().chain(out.iter()).copied().collect();
+                        let all: Vec<EdgeId> = inc.iter().chain(out.iter()).copied().collect();
                         if let Some((&first, rest)) = all.split_first() {
                             for &e in rest {
                                 uf.union(e.0, first.0, 1.0);
@@ -258,7 +257,11 @@ impl FlowNet {
             if let Some(cap) = data.capacity {
                 info.hi = info.hi.min(cap / scale);
             }
-            let fix = if forced_zero[e] { Some(0.0) } else { data.fixed };
+            let fix = if forced_zero[e] {
+                Some(0.0)
+            } else {
+                data.fixed
+            };
             if let Some(v) = fix {
                 let root_val = v / scale;
                 match info.fixed {
@@ -358,7 +361,9 @@ impl FlowNet {
         // Helper: big-M bound for an edge used in a pick indicator.
         let m_for = |e: EdgeId, node_hint: Option<f64>| -> f64 {
             let cap = self.edge_data(e).capacity;
-            cap.or(node_hint).unwrap_or(options.big_m).min(options.big_m)
+            cap.or(node_hint)
+                .unwrap_or(options.big_m)
+                .min(options.big_m)
         };
 
         for (i, node) in self.nodes().iter().enumerate() {
@@ -370,13 +375,25 @@ impl FlowNet {
                     raw_constraints += 1;
                     if !node_handled[i] {
                         let expr = sum_exprs(&inc) - sum_exprs(&out);
-                        emit(&mut model, format!("split[{}]", node.label), expr, Cmp::Eq, 0.0);
+                        emit(
+                            &mut model,
+                            format!("split[{}]", node.label),
+                            expr,
+                            Cmp::Eq,
+                            0.0,
+                        );
                     }
                 }
                 NodeBehavior::Pick => {
                     raw_constraints += 2 + out.len();
                     let expr = sum_exprs(&inc) - sum_exprs(&out);
-                    emit(&mut model, format!("pick_cons[{}]", node.label), expr, Cmp::Eq, 0.0);
+                    emit(
+                        &mut model,
+                        format!("pick_cons[{}]", node.label),
+                        expr,
+                        Cmp::Eq,
+                        0.0,
+                    );
                     add_pick_choice(
                         &mut model,
                         &mut pick_binaries,
@@ -390,7 +407,13 @@ impl FlowNet {
                     raw_constraints += 1;
                     if !node_handled[i] {
                         let expr = edge_expr(out[0]) - edge_expr(inc[0]) * c;
-                        emit(&mut model, format!("mult[{}]", node.label), expr, Cmp::Eq, 0.0);
+                        emit(
+                            &mut model,
+                            format!("mult[{}]", node.label),
+                            expr,
+                            Cmp::Eq,
+                            0.0,
+                        );
                     }
                 }
                 NodeBehavior::AllEqual => {
@@ -486,9 +509,7 @@ impl FlowNet {
 
         model.set_objective(objective);
 
-        let raw_vars = n_edges
-            + source_vars.len()
-            + pick_binaries.len();
+        let raw_vars = n_edges + source_vars.len() + pick_binaries.len();
         let stats = CompileStats {
             raw_vars,
             raw_constraints,
@@ -542,7 +563,12 @@ mod tests {
     #[test]
     fn single_edge_capacity() {
         let mut net = FlowNet::new("t");
-        let s = net.source("s", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 5.0 });
+        let s = net.source(
+            "s",
+            "S",
+            SourceKind::Split,
+            SourceInput::Var { lo: 0.0, hi: 5.0 },
+        );
         let t = net.sink("t", "T", 1.0);
         net.edge(s, t, "e").capacity(3.0);
         let c = net.compile(&CompileOptions::default()).unwrap();
@@ -582,7 +608,12 @@ mod tests {
     #[test]
     fn elimination_merges_chains() {
         let mut net = FlowNet::new("chain");
-        let s = net.source("s", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let s = net.source(
+            "s",
+            "S",
+            SourceKind::Split,
+            SourceInput::Var { lo: 0.0, hi: 10.0 },
+        );
         let mut prev = s;
         for i in 0..5 {
             let mid = net.split(format!("m{i}"), "MID");
@@ -593,7 +624,10 @@ mod tests {
         net.edge(prev, t, "last").capacity(4.0);
 
         let raw = net
-            .compile(&CompileOptions { eliminate: false, ..Default::default() })
+            .compile(&CompileOptions {
+                eliminate: false,
+                ..Default::default()
+            })
             .unwrap();
         let opt = net.compile(&CompileOptions::default()).unwrap();
         assert!(opt.model.num_vars() < raw.model.num_vars());
@@ -612,14 +646,22 @@ mod tests {
     #[test]
     fn multiply_scales_flows() {
         let mut net = FlowNet::new("mult");
-        let s = net.source("s", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let s = net.source(
+            "s",
+            "S",
+            SourceKind::Split,
+            SourceInput::Var { lo: 0.0, hi: 10.0 },
+        );
         let m = net.multiply("x2", "MID", 2.0);
         let t = net.sink("t", "T", 1.0);
         net.edge(s, m, "in");
         net.edge(m, t, "out").capacity(6.0);
         for eliminate in [false, true] {
             let c = net
-                .compile(&CompileOptions { eliminate, ..Default::default() })
+                .compile(&CompileOptions {
+                    eliminate,
+                    ..Default::default()
+                })
                 .unwrap();
             let sol = c.solve().unwrap();
             // out = 2*in <= 6 -> in = 3, out = 6, objective 6.
@@ -633,7 +675,12 @@ mod tests {
     #[test]
     fn multiply_zero_forces_zero() {
         let mut net = FlowNet::new("m0");
-        let s = net.source("s", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let s = net.source(
+            "s",
+            "S",
+            SourceKind::Split,
+            SourceInput::Var { lo: 0.0, hi: 10.0 },
+        );
         let m = net.multiply("x0", "MID", 0.0);
         let t = net.sink("t", "T", 1.0);
         net.edge(s, m, "in");
@@ -647,8 +694,18 @@ mod tests {
     #[test]
     fn all_equal_constrains() {
         let mut net = FlowNet::new("ae");
-        let s1 = net.source("s1", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
-        let s2 = net.source("s2", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let s1 = net.source(
+            "s1",
+            "S",
+            SourceKind::Split,
+            SourceInput::Var { lo: 0.0, hi: 10.0 },
+        );
+        let s2 = net.source(
+            "s2",
+            "S",
+            SourceKind::Split,
+            SourceInput::Var { lo: 0.0, hi: 10.0 },
+        );
         let ae = net.all_equal("ae", "MID");
         let t = net.sink("t", "T", 1.0);
         net.edge(s1, ae, "a").capacity(2.0);
@@ -656,7 +713,10 @@ mod tests {
         net.edge(ae, t, "c");
         for eliminate in [false, true] {
             let c = net
-                .compile(&CompileOptions { eliminate, ..Default::default() })
+                .compile(&CompileOptions {
+                    eliminate,
+                    ..Default::default()
+                })
                 .unwrap();
             let sol = c.solve().unwrap();
             // All three edges equal, capped at 2 -> objective 2.
@@ -680,7 +740,10 @@ mod tests {
         net.edge(cp, t2, "o2");
         for eliminate in [false, true] {
             let c = net
-                .compile(&CompileOptions { eliminate, ..Default::default() })
+                .compile(&CompileOptions {
+                    eliminate,
+                    ..Default::default()
+                })
                 .unwrap();
             let sol = c.solve().unwrap();
             // Each copy carries 3; objective counts both sinks.
@@ -713,7 +776,12 @@ mod tests {
     #[test]
     fn contradiction_detected() {
         let mut net = FlowNet::new("contra");
-        let s = net.source("s", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let s = net.source(
+            "s",
+            "S",
+            SourceKind::Split,
+            SourceInput::Var { lo: 0.0, hi: 10.0 },
+        );
         let ae = net.all_equal("ae", "MID");
         let t = net.sink("t", "T", 1.0);
         net.edge(s, ae, "a").fixed(1.0);
@@ -741,7 +809,12 @@ mod tests {
     #[test]
     fn with_source_values_pins_input() {
         let mut net = FlowNet::new("pin");
-        let s = net.source("d", "D", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let s = net.source(
+            "d",
+            "D",
+            SourceKind::Split,
+            SourceInput::Var { lo: 0.0, hi: 10.0 },
+        );
         let t = net.sink("t", "T", 1.0);
         net.edge(s, t, "e");
         let c = net.compile(&CompileOptions::default()).unwrap();
@@ -757,7 +830,12 @@ mod tests {
     #[test]
     fn stats_counts() {
         let mut net = FlowNet::new("stats");
-        let s = net.source("s", "S", SourceKind::Split, SourceInput::Var { lo: 0.0, hi: 10.0 });
+        let s = net.source(
+            "s",
+            "S",
+            SourceKind::Split,
+            SourceInput::Var { lo: 0.0, hi: 10.0 },
+        );
         let a = net.split("a", "MID");
         let b = net.split("b", "MID");
         let t = net.sink("t", "T", 1.0);

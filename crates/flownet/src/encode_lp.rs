@@ -44,7 +44,11 @@ impl EncodedLp {
         let compiled = self.net.compile(options)?;
         let sol = compiled.solve()?;
         let normalized = sol.objective - self.objective_offset;
-        let objective = if self.negated { -normalized } else { normalized };
+        let objective = if self.negated {
+            -normalized
+        } else {
+            normalized
+        };
         let values = self.var_edges.iter().map(|&e| sol.flows[e.0]).collect();
         Ok((objective, values))
     }

@@ -51,7 +51,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(FlowNetError::UnknownId("n9".into()).to_string().contains("n9"));
+        assert!(FlowNetError::UnknownId("n9".into())
+            .to_string()
+            .contains("n9"));
         assert!(FlowNetError::Solver(xplain_lp::LpError::Infeasible)
             .to_string()
             .contains("infeasible"));

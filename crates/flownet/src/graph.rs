@@ -212,7 +212,12 @@ impl FlowNet {
     }
 
     /// Add a multiply node with factor `c`.
-    pub fn multiply(&mut self, label: impl Into<String>, group: impl Into<String>, c: f64) -> NodeId {
+    pub fn multiply(
+        &mut self,
+        label: impl Into<String>,
+        group: impl Into<String>,
+        c: f64,
+    ) -> NodeId {
         self.node(label, group, NodeBehavior::Multiply(c))
     }
 
@@ -238,7 +243,12 @@ impl FlowNet {
     }
 
     /// Add a sink node with objective weight `weight`.
-    pub fn sink(&mut self, label: impl Into<String>, group: impl Into<String>, weight: f64) -> NodeId {
+    pub fn sink(
+        &mut self,
+        label: impl Into<String>,
+        group: impl Into<String>,
+        weight: f64,
+    ) -> NodeId {
         self.node(label, group, NodeBehavior::Sink { weight })
     }
 
@@ -643,7 +653,12 @@ mod tests {
     #[test]
     fn bad_source_bounds_rejected() {
         let mut net = FlowNet::new("x");
-        net.source("s", "SRC", SourceKind::Split, SourceInput::Var { lo: 3.0, hi: 1.0 });
+        net.source(
+            "s",
+            "SRC",
+            SourceKind::Split,
+            SourceInput::Var { lo: 3.0, hi: 1.0 },
+        );
         assert!(matches!(net.validate(), Err(FlowNetError::BadAttribute(_))));
     }
 

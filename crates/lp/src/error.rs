@@ -30,7 +30,10 @@ impl fmt::Display for LpError {
                 write!(f, "simplex iteration limit reached ({iterations})")
             }
             LpError::NodeLimit { nodes } => {
-                write!(f, "branch-and-bound node limit reached ({nodes}) with no incumbent")
+                write!(
+                    f,
+                    "branch-and-bound node limit reached ({nodes}) with no incumbent"
+                )
             }
             LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
             LpError::Numerical(msg) => write!(f, "numerical error: {msg}"),

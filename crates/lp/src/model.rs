@@ -204,7 +204,13 @@ impl Model {
     }
 
     /// Add the constraint `expr cmp rhs`.
-    pub fn add_constr(&mut self, name: impl Into<String>, expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) {
+    pub fn add_constr(
+        &mut self,
+        name: impl Into<String>,
+        expr: impl Into<LinExpr>,
+        cmp: Cmp,
+        rhs: f64,
+    ) {
         self.constraints.push(Constraint {
             name: name.into(),
             expr: expr.into(),
@@ -279,7 +285,10 @@ impl Model {
     pub fn validate(&self) -> Result<(), LpError> {
         for (i, v) in self.vars.iter().enumerate() {
             if v.lo.is_nan() || v.hi.is_nan() {
-                return Err(LpError::InvalidModel(format!("variable {} has NaN bound", v.name)));
+                return Err(LpError::InvalidModel(format!(
+                    "variable {} has NaN bound",
+                    v.name
+                )));
             }
             if v.lo > v.hi {
                 return Err(LpError::InvalidModel(format!(
@@ -290,7 +299,9 @@ impl Model {
         }
         let check_expr = |ename: &str, e: &LinExpr| -> Result<(), LpError> {
             if e.has_non_finite() {
-                return Err(LpError::InvalidModel(format!("{ename} has non-finite coefficient")));
+                return Err(LpError::InvalidModel(format!(
+                    "{ename} has non-finite coefficient"
+                )));
             }
             if let Some(mx) = e.max_var_index() {
                 if mx >= self.vars.len() {
@@ -338,9 +349,13 @@ impl Model {
         for (i, v) in self.vars.iter().enumerate() {
             let x = values.get(i).copied().unwrap_or(0.0);
             if x < v.lo - tol || x > v.hi + tol {
-                return Some(format!("bound violated: {} = {x} not in [{}, {}]", v.name, v.lo, v.hi));
+                return Some(format!(
+                    "bound violated: {} = {x} not in [{}, {}]",
+                    v.name, v.lo, v.hi
+                ));
             }
-            if matches!(v.vtype, VarType::Integer | VarType::Binary) && (x - x.round()).abs() > tol {
+            if matches!(v.vtype, VarType::Integer | VarType::Binary) && (x - x.round()).abs() > tol
+            {
                 return Some(format!("integrality violated: {} = {x}", v.name));
             }
         }
@@ -352,7 +367,10 @@ impl Model {
                 Cmp::Eq => (lhs - c.rhs).abs() <= tol,
             };
             if !ok {
-                return Some(format!("constraint {} violated: {lhs} {} {}", c.name, c.cmp, c.rhs));
+                return Some(format!(
+                    "constraint {} violated: {lhs} {} {}",
+                    c.name, c.cmp, c.rhs
+                ));
             }
         }
         None

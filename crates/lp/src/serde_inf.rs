@@ -4,41 +4,41 @@
 //! fails to deserialize). Variable bounds legitimately use
 //! `f64::INFINITY`, so bound fields serialize through this module: finite
 //! values as numbers, non-finite ones as the strings `"inf"` / `"-inf"`.
+//!
+//! The function signatures target the workspace's vendored value-based
+//! serde (`serialize(&f64) -> Value`, `deserialize(&Value) -> Result`);
+//! `#[serde(with = "...")]` on a field routes through them.
 
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-#[derive(Serialize, Deserialize)]
-#[serde(untagged)]
-enum Bound {
-    Num(f64),
-    Tag(String),
-}
+use serde::{de, Value};
 
 /// Serialize a possibly-infinite f64.
-pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+pub fn serialize(v: &f64) -> Value {
     if v.is_finite() {
-        Bound::Num(*v).serialize(s)
+        Value::Num(*v)
     } else if *v > 0.0 {
-        Bound::Tag("inf".to_string()).serialize(s)
+        Value::Str("inf".to_string())
     } else if *v < 0.0 {
-        Bound::Tag("-inf".to_string()).serialize(s)
+        Value::Str("-inf".to_string())
     } else {
-        Bound::Tag("nan".to_string()).serialize(s)
+        Value::Str("nan".to_string())
     }
 }
 
 /// Deserialize a possibly-infinite f64.
-pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
-    match Bound::deserialize(d)? {
-        Bound::Num(v) => Ok(v),
-        Bound::Tag(t) => match t.as_str() {
+pub fn deserialize(v: &Value) -> Result<f64, de::Error> {
+    match v {
+        Value::Num(n) => Ok(*n),
+        Value::Str(t) => match t.as_str() {
             "inf" | "+inf" | "Infinity" => Ok(f64::INFINITY),
             "-inf" | "-Infinity" => Ok(f64::NEG_INFINITY),
             "nan" | "NaN" => Ok(f64::NAN),
-            other => Err(serde::de::Error::custom(format!(
+            other => Err(de::Error::custom(format!(
                 "unrecognized bound tag '{other}'"
             ))),
         },
+        other => Err(de::Error::custom(format!(
+            "expected number or bound tag, got {other:?}"
+        ))),
     }
 }
 

@@ -213,7 +213,11 @@ fn iterate(
 ) -> Result<(), LpError> {
     let mut bland = false;
     let mut degenerate_streak = 0usize;
-    let col_limit = if allow_artificial { t.ncols } else { t.art_start };
+    let col_limit = if allow_artificial {
+        t.ncols
+    } else {
+        t.art_start
+    };
 
     loop {
         if *iters_used >= max_iterations {
@@ -603,7 +607,12 @@ mod tests {
         let x = m.add_nonneg("x");
         let y = m.add_nonneg("y");
         for i in 0..20 {
-            m.add_constr(format!("r{i}"), x + y * (1.0 + i as f64 * 0.01), Cmp::Le, 0.0);
+            m.add_constr(
+                format!("r{i}"),
+                x + y * (1.0 + i as f64 * 0.01),
+                Cmp::Le,
+                0.0,
+            );
         }
         m.add_constr("cap", x + y, Cmp::Le, 0.0);
         m.set_objective(x + y);

@@ -1,0 +1,179 @@
+//! Edge-case coverage for the simplex and branch-and-bound entry points:
+//! infeasibility and unboundedness through the MILP route, degenerate
+//! tie-breaking (including Beale's classic cycling instance, which Bland's
+//! rule must terminate on), and branching behavior where naive rounding of
+//! the LP relaxation is wrong.
+
+use xplain_lp::{Cmp, LinExpr, LpError, Model, Sense, VarType};
+
+fn assert_close(a: f64, b: f64) {
+    assert!((a - b).abs() < 1e-6, "{a} != {b}");
+}
+
+#[test]
+fn milp_infeasible_detected() {
+    // Two binaries that must sum to both >= 2 and <= 1: no 0/1 point fits,
+    // and the LP relaxation is already infeasible.
+    let mut m = Model::new(Sense::Maximize);
+    let a = m.add_binary("a");
+    let b = m.add_binary("b");
+    m.add_constr("lo", a + b, Cmp::Ge, 2.0);
+    m.add_constr("hi", a + b, Cmp::Le, 1.0);
+    m.set_objective(a + b);
+    assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+}
+
+#[test]
+fn milp_integer_infeasible_but_lp_feasible() {
+    // 2x = 1 with x integer: the relaxation is feasible (x = 0.5) but no
+    // integer point satisfies it — branch-and-bound must prove infeasible.
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_var("x", VarType::Integer, 0.0, 10.0);
+    m.add_constr("odd", x * 2.0, Cmp::Eq, 1.0);
+    m.set_objective(x + 0.0);
+    assert!(
+        m.solve_relaxation().is_ok(),
+        "relaxation should be feasible"
+    );
+    assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+}
+
+#[test]
+fn milp_unbounded_detected() {
+    // Unbounded integer variable with a positive objective coefficient.
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_var("x", VarType::Integer, 0.0, f64::INFINITY);
+    m.set_objective(x + 0.0);
+    assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
+}
+
+#[test]
+fn beale_cycling_instance_terminates() {
+    // Beale (1955): the textbook example on which Dantzig's most-negative
+    // pivot rule cycles forever. Bland's rule must terminate at the optimum
+    // x = (1/25, 0, 1, 0) with objective -1/20.
+    let mut m = Model::new(Sense::Minimize);
+    let x1 = m.add_nonneg("x1");
+    let x2 = m.add_nonneg("x2");
+    let x3 = m.add_nonneg("x3");
+    let x4 = m.add_nonneg("x4");
+    m.add_constr(
+        "r1",
+        x1 * 0.25 - x2 * 60.0 - x3 * (1.0 / 25.0) + x4 * 9.0,
+        Cmp::Le,
+        0.0,
+    );
+    m.add_constr(
+        "r2",
+        x1 * 0.5 - x2 * 90.0 - x3 * (1.0 / 50.0) + x4 * 3.0,
+        Cmp::Le,
+        0.0,
+    );
+    m.add_constr("r3", x3 + 0.0, Cmp::Le, 1.0);
+    m.set_objective(x1 * -0.75 + x2 * 150.0 - x3 * 0.02 + x4 * 6.0);
+    let s = m.solve().expect("Bland's rule must not cycle");
+    assert_close(s.objective, -0.05);
+}
+
+#[test]
+fn degenerate_vertex_tie_breaking() {
+    // The optimal vertex (1, 1) is the intersection of three constraints
+    // (one redundant), so the ratio test ties; the solver must still land
+    // on the unique optimal objective.
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_nonneg("x");
+    let y = m.add_nonneg("y");
+    m.add_constr("cx", x + 0.0, Cmp::Le, 1.0);
+    m.add_constr("cy", y + 0.0, Cmp::Le, 1.0);
+    m.add_constr("sum", x + y, Cmp::Le, 2.0);
+    m.set_objective(x + y);
+    let s = m.solve().unwrap();
+    assert_close(s.objective, 2.0);
+    assert_close(s.value(x), 1.0);
+    assert_close(s.value(y), 1.0);
+}
+
+#[test]
+fn alternative_optima_return_a_feasible_optimum() {
+    // max x + y over x + y <= 3 (whole facet optimal): any optimal vertex
+    // is acceptable, but objective and feasibility are pinned.
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_var("x", VarType::Continuous, 0.0, 2.0);
+    let y = m.add_var("y", VarType::Continuous, 0.0, 2.0);
+    m.add_constr("facet", x + y, Cmp::Le, 3.0);
+    m.set_objective(x + y);
+    let s = m.solve().unwrap();
+    assert_close(s.objective, 3.0);
+    assert!(m.check_feasible(&s.values, 1e-9).is_none());
+}
+
+#[test]
+fn branch_and_bound_beats_rounded_relaxation() {
+    // Classic 0/1 knapsack: max 8a + 11b + 6c + 4d, 5a + 7b + 4c + 3d <= 14.
+    // The LP relaxation picks a fractional item; rounding it down gives 19,
+    // but the true integer optimum is 21 ({a,c,d} and {b,c,d} both attain
+    // it).
+    let mut m = Model::new(Sense::Maximize);
+    let a = m.add_binary("a");
+    let b = m.add_binary("b");
+    let c = m.add_binary("c");
+    let d = m.add_binary("d");
+    let mut weight = LinExpr::new();
+    weight.add_term(a, 5.0);
+    weight.add_term(b, 7.0);
+    weight.add_term(c, 4.0);
+    weight.add_term(d, 3.0);
+    m.add_constr("cap", weight, Cmp::Le, 14.0);
+    m.set_objective(a * 8.0 + b * 11.0 + c * 6.0 + d * 4.0);
+
+    let relax = m.solve_relaxation().unwrap();
+    assert!(
+        relax.objective > 21.0 + 1e-9,
+        "relaxation must be fractional"
+    );
+    let s = m.solve().unwrap();
+    assert_close(s.objective, 21.0);
+    for v in [a, b, c, d] {
+        let x = s.value(v);
+        assert!(
+            (x - x.round()).abs() < 1e-9,
+            "non-integral value {x} for {}",
+            m.var_name(v)
+        );
+    }
+    assert!(m.check_feasible(&s.values, 1e-9).is_none());
+}
+
+#[test]
+fn integer_bounds_tighten_to_integers() {
+    // x integer in [0.2, 2.5]: feasible integers are {1, 2}.
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_var("x", VarType::Integer, 0.2, 2.5);
+    m.set_objective(x + 0.0);
+    let s = m.solve().unwrap();
+    assert_close(s.objective, 2.0);
+
+    let mut m2 = Model::new(Sense::Minimize);
+    let y = m2.add_var("y", VarType::Integer, 0.2, 2.5);
+    m2.set_objective(y + 0.0);
+    let s2 = m2.solve().unwrap();
+    assert_close(s2.objective, 1.0);
+}
+
+#[test]
+fn equality_only_degenerate_system() {
+    // Equalities intersecting at a single degenerate point; phase 1 must
+    // drive artificials out despite zero-ratio pivots.
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_nonneg("x");
+    let y = m.add_nonneg("y");
+    let z = m.add_nonneg("z");
+    m.add_constr("e1", x + y, Cmp::Eq, 1.0);
+    m.add_constr("e2", x - y, Cmp::Eq, 1.0);
+    m.add_constr("e3", x + y + z, Cmp::Eq, 1.0);
+    m.set_objective(x + y + z);
+    let s = m.solve().unwrap();
+    assert_close(s.value(x), 1.0);
+    assert_close(s.value(y), 0.0);
+    assert_close(s.value(z), 0.0);
+}

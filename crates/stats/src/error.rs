@@ -18,7 +18,10 @@ impl fmt::Display for StatsError {
         match self {
             StatsError::NoData => write!(f, "no usable observations"),
             StatsError::LengthMismatch { left, right } => {
-                write!(f, "paired inputs have different lengths ({left} vs {right})")
+                write!(
+                    f,
+                    "paired inputs have different lengths ({left} vs {right})"
+                )
             }
             StatsError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
         }

@@ -26,9 +26,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp()
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp()
     } else {
         // Asymptotic series, truncated adaptively.
         let x2 = x * x;
@@ -121,9 +120,16 @@ mod tests {
     #[test]
     fn erfc_reference_values() {
         // erfc(0.5) = 0.4795001222, erfc(1) = 0.1572992070, erfc(2) = 0.0046777350
-        for (x, want) in [(0.5, 0.4795001222), (1.0, 0.1572992070), (2.0, 0.0046777350)] {
+        for (x, want) in [
+            (0.5, 0.4795001222),
+            (1.0, 0.1572992070),
+            (2.0, 0.0046777350),
+        ] {
             let got = erfc(x);
-            assert!((got - want).abs() / want < 1e-6, "erfc({x}) = {got}, want {want}");
+            assert!(
+                (got - want).abs() / want < 1e-6,
+                "erfc({x}) = {got}, want {want}"
+            );
         }
     }
 }

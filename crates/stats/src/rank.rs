@@ -23,7 +23,11 @@ pub struct CorrelationResult {
 }
 
 /// Kendall's τ-b with tie adjustment and normal-approximation p-value.
-pub fn kendall_tau(x: &[f64], y: &[f64], alt: Alternative) -> Result<CorrelationResult, StatsError> {
+pub fn kendall_tau(
+    x: &[f64],
+    y: &[f64],
+    alt: Alternative,
+) -> Result<CorrelationResult, StatsError> {
     if x.len() != y.len() {
         return Err(StatsError::LengthMismatch {
             left: x.len(),
@@ -105,7 +109,9 @@ pub fn kendall_tau(x: &[f64], y: &[f64], alt: Alternative) -> Result<Correlation
         match alt {
             Alternative::Greater => normal_sf(z(-1.0)),
             Alternative::Less => 1.0 - normal_sf(z(1.0)),
-            Alternative::TwoSided => (2.0 * normal_sf((s.abs() - 1.0).max(0.0) / var.sqrt())).min(1.0),
+            Alternative::TwoSided => {
+                (2.0 * normal_sf((s.abs() - 1.0).max(0.0) / var.sqrt())).min(1.0)
+            }
         }
     };
 
@@ -202,7 +208,9 @@ mod tests {
     fn independent_data_not_significant() {
         // Alternating pattern: no monotone trend.
         let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
-        let y: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = (0..30)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let r = kendall_tau(&x, &y, Alternative::Greater).unwrap();
         assert!(r.p_value > 0.05, "{}", r.p_value);
     }

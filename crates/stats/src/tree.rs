@@ -369,8 +369,7 @@ mod tests {
             assert!(p.matches(&[0.9, 0.1]), "{p}");
         }
         // The path must constrain both features to carve out the corner box.
-        let feats: std::collections::BTreeSet<usize> =
-            path.iter().map(|p| p.feature).collect();
+        let feats: std::collections::BTreeSet<usize> = path.iter().map(|p| p.feature).collect();
         assert!(feats.contains(&0) && feats.contains(&1), "{path:?}");
     }
 
@@ -424,7 +423,11 @@ mod tests {
             Err(StatsError::LengthMismatch { .. })
         ));
         assert!(matches!(
-            RegressionTree::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], &TreeParams::default()),
+            RegressionTree::fit(
+                &[vec![1.0], vec![1.0, 2.0]],
+                &[1.0, 2.0],
+                &TreeParams::default()
+            ),
             Err(StatsError::InvalidInput(_))
         ));
         assert!(matches!(

@@ -288,7 +288,12 @@ mod tests {
         let approx = wilcoxon_signed_rank_diffs(&d2, Alternative::Greater).unwrap();
         assert_eq!(approx.method, Method::NormalApprox);
         let ratio = exact.p_value / approx.p_value;
-        assert!(ratio > 0.2 && ratio < 5.0, "exact {} approx {}", exact.p_value, approx.p_value);
+        assert!(
+            ratio > 0.2 && ratio < 5.0,
+            "exact {} approx {}",
+            exact.p_value,
+            approx.p_value
+        );
     }
 
     #[test]

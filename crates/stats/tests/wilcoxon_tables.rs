@@ -1,0 +1,123 @@
+//! Wilcoxon signed-rank test against published critical-value tables.
+//!
+//! The exact-route probabilities here are the classical table entries
+//! (e.g. Wilcoxon 1945; reproduced in most nonparametric statistics
+//! texts): for distinct ranks 1..=n, the one-sided p-value of an observed
+//! rank sum W is `#{subsets of {1..n} with sum in the tail} / 2^n`.
+
+use xplain_stats::{wilcoxon_signed_rank, wilcoxon_signed_rank_diffs, Alternative, WilcoxonResult};
+
+fn exact(r: &WilcoxonResult) {
+    assert_eq!(
+        r.method,
+        xplain_stats::wilcoxon::Method::Exact,
+        "expected exact enumeration for n = {}",
+        r.n_used
+    );
+}
+
+#[test]
+fn n10_w8_matches_table() {
+    // Table entry: n = 10, W = 8 -> one-sided p = 25/1024 = 0.0244140625
+    // (the alpha = 0.025 one-sided critical value is W <= 8).
+    // Positive differences carry ranks {1, 3, 4}: W+ = 8.
+    let d = [1.0, -2.0, 3.0, 4.0, -5.0, -6.0, -7.0, -8.0, -9.0, -10.0];
+    let r = wilcoxon_signed_rank_diffs(&d, Alternative::Less).unwrap();
+    exact(&r);
+    assert_eq!(r.n_used, 10);
+    assert_eq!(r.w_plus, 8.0);
+    assert_eq!(r.w_minus, 47.0);
+    assert!((r.p_value - 25.0 / 1024.0).abs() < 1e-12, "{}", r.p_value);
+
+    // Two-sided doubles the smaller tail: 50/1024 ~ 0.0488 (significant at
+    // alpha = 0.05, the table's two-sided critical value W <= 8).
+    let r2 = wilcoxon_signed_rank_diffs(&d, Alternative::TwoSided).unwrap();
+    assert!((r2.p_value - 50.0 / 1024.0).abs() < 1e-12, "{}", r2.p_value);
+}
+
+#[test]
+fn n7_w2_matches_table() {
+    // Table entry: n = 7, W = 2 -> one-sided p = 3/128 = 0.0234375
+    // (subsets of {1..7} with sum <= 2: {}, {1}, {2} -> 3).
+    let d = [-1.0, 2.0, -3.0, -4.0, -5.0, -6.0, -7.0];
+    let r = wilcoxon_signed_rank_diffs(&d, Alternative::Less).unwrap();
+    exact(&r);
+    assert_eq!(r.w_plus, 2.0);
+    assert!((r.p_value - 3.0 / 128.0).abs() < 1e-12, "{}", r.p_value);
+}
+
+#[test]
+fn n6_all_positive_one_sided() {
+    // All six differences positive: W- = 0, one-sided p = 1/64 = 0.015625
+    // (the n = 6 table's smallest attainable one-sided level).
+    let d = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+    let r = wilcoxon_signed_rank_diffs(&d, Alternative::Greater).unwrap();
+    exact(&r);
+    assert_eq!(r.w_plus, 21.0);
+    assert_eq!(r.w_minus, 0.0);
+    assert!((r.p_value - 1.0 / 64.0).abs() < 1e-12, "{}", r.p_value);
+}
+
+#[test]
+fn paired_samples_route_matches_diff_route() {
+    let x = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0];
+    let y = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0];
+    let a = wilcoxon_signed_rank(&x, &y, Alternative::TwoSided).unwrap();
+    let d: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a - b).collect();
+    let b = wilcoxon_signed_rank_diffs(&d, Alternative::TwoSided).unwrap();
+    assert_eq!(a.w_plus, b.w_plus);
+    assert_eq!(a.p_value, b.p_value);
+    // One pair is a zero difference and is dropped, per the standard
+    // procedure.
+    assert_eq!(a.n_used, 7);
+}
+
+#[test]
+fn tied_magnitudes_use_average_ranks() {
+    // d = [2, 2, 2, 2]: every |d| ties at rank 2.5; all positive, so the
+    // one-sided p is the all-subset extreme 1/16 regardless of ties.
+    let d = [2.0, 2.0, 2.0, 2.0];
+    let r = wilcoxon_signed_rank_diffs(&d, Alternative::Greater).unwrap();
+    exact(&r);
+    assert_eq!(r.w_plus, 10.0);
+    assert!((r.p_value - 1.0 / 16.0).abs() < 1e-12, "{}", r.p_value);
+}
+
+#[test]
+fn greater_and_less_are_mirror_images() {
+    let d = [1.0, -2.0, 3.0, 4.0, -5.0, 6.0, -7.0, 8.0, 9.0, -10.0];
+    let neg: Vec<f64> = d.iter().map(|v| -v).collect();
+    let g = wilcoxon_signed_rank_diffs(&d, Alternative::Greater).unwrap();
+    let l = wilcoxon_signed_rank_diffs(&neg, Alternative::Less).unwrap();
+    assert!((g.p_value - l.p_value).abs() < 1e-12);
+    assert_eq!(g.w_plus, l.w_minus);
+}
+
+#[test]
+fn large_n_switches_to_normal_approximation() {
+    // n = 30 (> EXACT_LIMIT = 25): method must be the tie-corrected normal
+    // approximation, and a strongly one-sided sample must be significant.
+    let d: Vec<f64> = (1..=30).map(|i| i as f64).collect();
+    let r = wilcoxon_signed_rank_diffs(&d, Alternative::Greater).unwrap();
+    assert_eq!(r.method, xplain_stats::wilcoxon::Method::NormalApprox);
+    // The exact probability would be 2^-30 ~ 9.3e-10; the continuity-
+    // corrected normal approximation lands within an order of magnitude.
+    assert!(r.p_value < 1e-6, "{}", r.p_value);
+    assert!(r.z > 4.0);
+
+    // And the approximation agrees with the exact route near the boundary:
+    // the same balanced sample at n = 25 vs n = 26 gives nearby p-values.
+    let balanced: Vec<f64> = (1..=26)
+        .map(|i| if i % 2 == 0 { i as f64 } else { -(i as f64) })
+        .collect();
+    let approx = wilcoxon_signed_rank_diffs(&balanced, Alternative::TwoSided).unwrap();
+    let exact25 = wilcoxon_signed_rank_diffs(&balanced[..25], Alternative::TwoSided).unwrap();
+    assert_eq!(approx.method, xplain_stats::wilcoxon::Method::NormalApprox);
+    assert_eq!(exact25.method, xplain_stats::wilcoxon::Method::Exact);
+    assert!(
+        (approx.p_value - exact25.p_value).abs() < 0.15,
+        "normal {} vs exact {}",
+        approx.p_value,
+        exact25.p_value
+    );
+}

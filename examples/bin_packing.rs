@@ -10,13 +10,11 @@
 //! ```
 
 use xplain::analyzer::ff_metaopt::FfMetaOpt;
+use xplain::analyzer::geometry::Polytope;
 use xplain::core::explainer::{explain, DslMapper, ExplainerParams, FfDslMapper};
 use xplain::core::report::render_explanation;
 use xplain::core::subspace::Subspace;
-use xplain::analyzer::geometry::Polytope;
-use xplain::domains::vbp::{
-    best_fit, first_fit, first_fit_decreasing, optimal, VbpInstance,
-};
+use xplain::domains::vbp::{best_fit, first_fit, first_fit_decreasing, optimal, VbpInstance};
 
 fn main() {
     // --- Fig. 2 replay ----------------------------------------------------
@@ -29,7 +27,10 @@ fn main() {
     println!("  first-fit            : {} bins (paper: 9)", ff.bins_used);
     println!("  best-fit             : {} bins", bf.bins_used);
     println!("  first-fit-decreasing : {} bins", ffd.bins_used);
-    println!("  optimal              : {} bins (paper: 8)\n", opt.bins_used);
+    println!(
+        "  optimal              : {} bins (paper: 8)\n",
+        opt.bins_used
+    );
 
     // Show the first-fit layout like the figure's stacked bins.
     let mut bins: Vec<Vec<f64>> = vec![Vec::new(); ff.bins_used];

@@ -76,7 +76,10 @@ fn main() {
 
     // --- 4. The DSL view --------------------------------------------------
     let dsl = TeDsl::build(&problem);
-    let compiled = dsl.net.compile(&CompileOptions::default()).expect("compiles");
+    let compiled = dsl
+        .net
+        .compile(&CompileOptions::default())
+        .expect("compiles");
     println!(
         "\nDSL compilation of Fig. 4a-style network: {} edges -> {} LP variables ({} merged away)",
         dsl.net.num_edges(),

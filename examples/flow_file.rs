@@ -90,7 +90,10 @@ fn main() {
     }
     let model = compiled.with_source_values(&pins).expect("pinnable");
     let sol = model.solve().expect("solvable");
-    println!("benchmark at the Fig. 1a demands: {:.0} (paper OPT: 250)", sol.objective);
+    println!(
+        "benchmark at the Fig. 1a demands: {:.0} (paper OPT: 250)",
+        sol.objective
+    );
     assert!((sol.objective - 250.0).abs() < 1e-6);
 
     // Round-trip: write the network back out and re-parse it.

@@ -15,13 +15,18 @@ use xplain::core::generalizer::{generalize, GeneralizerParams};
 use xplain::core::instances::{generate_dp_instances, DpFamily};
 use xplain::core::pipeline::{run_dp_pipeline, run_ff_pipeline, PipelineConfig};
 use xplain::core::report::{render_findings, render_pipeline};
-use xplain::core::Observation;
+use xplain::core::{ExplainerParams, Observation};
 use xplain::domains::te::TeProblem;
 
 fn main() {
-    let mut config = PipelineConfig::default();
-    config.max_subspaces = 3;
-    config.explainer.samples = 1500;
+    let config = PipelineConfig {
+        max_subspaces: 3,
+        explainer: ExplainerParams {
+            samples: 1500,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
 
     // ---------- Demand Pinning (Fig. 4a path) ----------------------------
     println!("=== Demand Pinning on Fig. 1a ===\n");
@@ -53,8 +58,7 @@ fn main() {
             .unwrap_or(0.0);
         println!("  L = {len:>2}: gap = {:>6.1}", inst.observation.gap);
     }
-    let observations: Vec<Observation> =
-        instances.iter().map(|i| i.observation.clone()).collect();
+    let observations: Vec<Observation> = instances.iter().map(|i| i.observation.clone()).collect();
     let findings = generalize(&observations, &GeneralizerParams::default());
     println!("\ndiscovered predicates:");
     print!("{}", render_findings(&findings));

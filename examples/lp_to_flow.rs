@@ -27,9 +27,7 @@ fn main() {
     println!("direct MILP optimum: {:.3}", direct.objective);
     println!(
         "  output_a = {:.2}, output_b = {:.2}, open_machine2 = {}",
-        direct.values[0],
-        direct.values[1],
-        direct.values[2] as i64
+        direct.values[0], direct.values[1], direct.values[2] as i64
     );
 
     // Appendix-A construction: split nodes per row, multiply nodes per
@@ -63,7 +61,9 @@ fn main() {
     assert!((flow_obj - direct.objective).abs() < 1e-4);
     println!(
         "  recovered assignment: output_a = {:.2}, output_b = {:.2}, open_machine2 = {}",
-        values[0], values[1], values[2].round() as i64
+        values[0],
+        values[1],
+        values[2].round() as i64
     );
 
     // Graphviz rendering of the construction (pipe into `dot -Tsvg`).

@@ -10,6 +10,7 @@
 
 use xplain::core::pipeline::{run_dp_pipeline, PipelineConfig};
 use xplain::core::report::render_pipeline;
+use xplain::core::ExplainerParams;
 use xplain::domains::te::TeProblem;
 
 fn main() {
@@ -20,9 +21,14 @@ fn main() {
 
     // Default pipeline: pattern-search analyzer -> subspace generator ->
     // Wilcoxon significance checker -> 3000-sample explainer.
-    let mut config = PipelineConfig::default();
-    config.max_subspaces = 2;
-    config.explainer.samples = 1000;
+    let config = PipelineConfig {
+        max_subspaces: 2,
+        explainer: ExplainerParams {
+            samples: 1000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
 
     let result = run_dp_pipeline(&problem, threshold, &config);
 
@@ -38,7 +44,10 @@ fn main() {
             first.subspace.seed_gap
         );
         if let Some(sig) = &first.significance {
-            println!("subspace p-value: {:.2e} (reported if < 0.05)", sig.test.p_value);
+            println!(
+                "subspace p-value: {:.2e} (reported if < 0.05)",
+                sig.test.p_value
+            );
         }
     }
 }

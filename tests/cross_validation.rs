@@ -65,7 +65,10 @@ fn vbp_exact_solvers_agree() {
 fn dsl_benchmark_matches_path_lp() {
     let problem = TeProblem::fig1a();
     let dsl = TeDsl::build(&problem);
-    let compiled = dsl.net.compile(&CompileOptions::default()).expect("compiles");
+    let compiled = dsl
+        .net
+        .compile(&CompileOptions::default())
+        .expect("compiles");
     let mut rng = StdRng::seed_from_u64(41);
     for _ in 0..15 {
         let volumes: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..100.0)).collect();
@@ -98,7 +101,10 @@ fn elimination_preserves_semantics() {
             ..Default::default()
         })
         .expect("compiles");
-    let opt = dsl.net.compile(&CompileOptions::default()).expect("compiles");
+    let opt = dsl
+        .net
+        .compile(&CompileOptions::default())
+        .expect("compiles");
     let mut rng = StdRng::seed_from_u64(51);
     for _ in 0..10 {
         let volumes: Vec<f64> = (0..8).map(|_| rng.gen_range(0.0..100.0)).collect();
@@ -202,7 +208,11 @@ fn pipeline_with_exact_milp_finder() {
     assert_eq!(result.findings.len(), 1, "rejected: {}", result.rejected);
     let f = &result.findings[0];
     // The exact finder starts from the global optimum (gap 100).
-    assert!((f.subspace.seed_gap - 100.0).abs() < 1.0, "{}", f.subspace.seed_gap);
+    assert!(
+        (f.subspace.seed_gap - 100.0).abs() < 1.0,
+        "{}",
+        f.subspace.seed_gap
+    );
     assert!(f.significance.as_ref().unwrap().significant);
     assert!(f.explanation.is_some());
     // Coverage of the discovered region is meaningful.

@@ -39,10 +39,7 @@ fn vbp_instance_roundtrip() {
     let json = serde_json::to_string(&inst).unwrap();
     let back: VbpInstance = serde_json::from_str(&json).unwrap();
     assert_eq!(back.num_balls(), 17);
-    assert_eq!(
-        xplain::domains::vbp::first_fit(&back).bins_used,
-        9
-    );
+    assert_eq!(xplain::domains::vbp::first_fit(&back).bins_used, 9);
 }
 
 #[test]

@@ -1,0 +1,27 @@
+//! Deserialization error type, mirroring `serde::de::Error::custom`.
+
+use std::fmt;
+
+/// The single error type every `Deserialize` impl returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any displayable message (the `serde::de::Error`
+    /// trait method the workspace calls).
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,386 @@
+//! Vendored stand-in for `serde`, written for this workspace because the
+//! build environment has no network access to crates.io.
+//!
+//! It deliberately trades serde's zero-copy visitor architecture for a
+//! simple value-tree model: `Serialize` lowers a type into a [`Value`],
+//! `Deserialize` lifts it back. The public *surface* matches what the
+//! workspace uses from real serde:
+//!
+//! * `#[derive(Serialize, Deserialize)]` (via the `derive` feature and the
+//!   companion `serde_derive` proc-macro crate);
+//! * field attributes `#[serde(skip)]` and `#[serde(with = "module")]`;
+//! * `serde::de::Error::custom(...)` for custom error construction;
+//! * externally-tagged enum representation, newtype-struct transparency.
+//!
+//! Swapping back to the real serde later only requires restoring the
+//! `Serializer`-based signatures in `#[serde(with = ...)]` modules.
+
+pub mod de;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A self-describing serialized value — the interchange tree every
+/// `Serialize`/`Deserialize` impl targets. JSON-shaped on purpose.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (field order is preserved, like serde_json
+    /// with `preserve_order`).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// First value for key `k` in an insertion-ordered map body.
+pub fn map_get<'a>(map: &'a [(String, Value)], k: &str) -> Option<&'a Value> {
+    map.iter().find(|(key, _)| key == k).map(|(_, v)| v)
+}
+
+/// Types that can lower themselves into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_bool()
+            .ok_or_else(|| de::Error::custom(format!("expected bool, got {v:?}")))
+    }
+}
+
+/// Largest magnitude an integer may have and still round-trip exactly
+/// through the `f64`-backed [`Value::Num`]. Values beyond this would be
+/// silently altered by the float conversion, so both directions refuse
+/// them loudly instead (real serde_json carries `u64`/`i64` arms and does
+/// not have this limit; callers needing such values should serialize them
+/// as strings).
+const MAX_SAFE_INTEGER: f64 = 9_007_199_254_740_992.0; // 2^53
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as f64;
+                assert!(
+                    n.abs() <= MAX_SAFE_INTEGER,
+                    "{} value {} exceeds 2^53 and cannot be serialized exactly \
+                     through the f64-backed Value; serialize it as a string instead",
+                    stringify!($t),
+                    self
+                );
+                Value::Num(n)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| de::Error::custom(format!("expected number, got {v:?}")))?;
+                if n.fract() != 0.0 {
+                    return Err(de::Error::custom(format!(
+                        "expected integer, got {n}"
+                    )));
+                }
+                if n.abs() > MAX_SAFE_INTEGER {
+                    return Err(de::Error::custom(format!(
+                        "integer {n} exceeds 2^53 and may have lost precision in transit"
+                    )));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(de::Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_f64()
+            .ok_or_else(|| de::Error::custom(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| de::Error::custom(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom(format!(
+                "expected single char, got {s:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_seq()
+            .ok_or_else(|| de::Error::custom(format!("expected sequence, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v.as_seq() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(de::Error::custom(format!("expected 2-tuple, got {v:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v.as_seq() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(de::Error::custom(format!("expected 3-tuple, got {v:?}"))),
+        }
+    }
+}
+
+// Maps serialize as a sequence of `[key, value]` pairs. Real serde_json
+// only allows string keys in JSON objects; the pair-sequence form keeps
+// arbitrary serializable keys (e.g. `BTreeMap<VarId, f64>`) round-trippable
+// with one uniform representation.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        map_entries(v)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<Value> = self
+            .iter()
+            .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+            .collect();
+        // Sort the rendered pairs for deterministic output.
+        entries.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Seq(entries)
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        map_entries(v)
+    }
+}
+
+fn map_entries<K: Deserialize, V: Deserialize, M: FromIterator<(K, V)>>(
+    v: &Value,
+) -> Result<M, de::Error> {
+    v.as_seq()
+        .ok_or_else(|| de::Error::custom(format!("expected pair sequence, got {v:?}")))?
+        .iter()
+        .map(|pair| match pair.as_seq() {
+            Some([k, v]) => Ok((K::from_value(k)?, V::from_value(v)?)),
+            _ => Err(de::Error::custom(format!(
+                "expected [key, value] pair, got {pair:?}"
+            ))),
+        })
+        .collect()
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}

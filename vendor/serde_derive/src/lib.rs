@@ -1,0 +1,476 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the workspace's
+//! value-based serde stand-in (see `vendor/serde`).
+//!
+//! Implemented without `syn`/`quote` (no network access to crates.io): the
+//! input item is parsed by walking the raw token stream, and the generated
+//! impls are emitted as formatted source text. Supports exactly the shapes
+//! this workspace uses:
+//!
+//! * structs with named fields, tuple structs (newtype-transparent for a
+//!   single field, sequences otherwise), unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged:
+//!   `"Variant"` / `{"Variant": payload}`);
+//! * field attributes `#[serde(skip)]` (skip on serialize, `Default` on
+//!   deserialize) and `#[serde(with = "module")]` (delegates to
+//!   `module::serialize(&field) -> Value` and
+//!   `module::deserialize(&Value) -> Result<T, serde::de::Error>`).
+//!
+//! Generics on derived types are intentionally unsupported (none in the
+//! workspace) and produce a compile error rather than wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<NamedField>),
+    Tuple(Vec<FieldAttrs>),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Extract `skip` / `with = "path"` from one attribute's bracket content,
+/// i.e. the `serde(...)` inside `#[serde(...)]`. Non-serde attributes
+/// (doc comments, `cfg`, ...) leave `attrs` untouched.
+fn parse_attr_group(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(g)) = toks.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        match &inner[i] {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                if key == "skip" || key == "skip_serializing" || key == "skip_deserializing" {
+                    attrs.skip = true;
+                    i += 1;
+                } else if key == "with" {
+                    // with = "path"
+                    if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                        let s = lit.to_string();
+                        attrs.with = Some(s.trim_matches('"').to_string());
+                    }
+                    i += 3;
+                } else {
+                    // Unknown key (default, rename, untagged, ...): skip it
+                    // and any `= value` / `(...)` payload.
+                    i += 1;
+                    while i < inner.len()
+                        && !matches!(&inner[i], TokenTree::Punct(p) if p.as_char() == ',')
+                    {
+                        i += 1;
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Consume leading attributes at `*i`, folding serde ones into the result.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while *i + 1 < toks.len() {
+        let TokenTree::Punct(p) = &toks[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        if let TokenTree::Group(g) = &toks[*i + 1] {
+            parse_attr_group(g.stream(), &mut attrs);
+        }
+        *i += 2;
+    }
+    attrs
+}
+
+/// Skip `pub` / `pub(crate)` / `pub(in ...)` at `*i`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip a type (everything up to a top-level `,`), tracking `<...>` depth.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&toks, &mut i);
+        i += 1; // ','
+        fields.push(NamedField { name, attrs });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<FieldAttrs> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        i += 1; // ','
+        fields.push(attrs);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let _attrs = take_attrs(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let _ = take_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind_kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored) does not support generic type `{name}`"
+        ));
+    }
+    match kind_kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: ItemKind::Struct(Fields::Named(parse_named_fields(g.stream()))),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                kind: ItemKind::Struct(Fields::Tuple(parse_tuple_fields(g.stream()))),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                kind: ItemKind::Struct(Fields::Unit),
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(g.stream())),
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------- Serialize
+
+fn ser_named_body(fields: &[NamedField], accessor: &str) -> String {
+    // `accessor` formats a field name into an expression, e.g. "&self.{}".
+    let mut out = String::from("let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let expr = accessor.replace("{}", &f.name);
+        match &f.attrs.with {
+            Some(path) => out.push_str(&format!(
+                "__m.push((\"{n}\".to_string(), {path}::serialize({expr})));\n",
+                n = f.name
+            )),
+            None => out.push_str(&format!(
+                "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_value({expr})));\n",
+                n = f.name
+            )),
+        }
+    }
+    out.push_str("::serde::Value::Map(__m)");
+    out
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => ser_named_body(fields, "&self.{}"),
+        ItemKind::Struct(Fields::Tuple(attrs)) => {
+            if attrs.len() == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..attrs.len())
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+        }
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(attrs) => {
+                        let binds: Vec<String> =
+                            (0..attrs.len()).map(|i| format!("__f{i}")).collect();
+                        let payload = if attrs.len() == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let payload = ser_named_body(fields, "{}");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {{ {payload} }})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+// -------------------------------------------------------------- Deserialize
+
+fn de_named_body(fields: &[NamedField], map_expr: &str, ctor: &str) -> String {
+    let mut out = format!(
+        "let __m = {map_expr}.as_map().ok_or_else(|| ::serde::de::Error::custom(\
+         format!(\"expected map for {ctor}, got {{:?}}\", {map_expr})))?;\n"
+    );
+    let mut inits = Vec::new();
+    for f in fields {
+        let n = &f.name;
+        if f.attrs.skip {
+            inits.push(format!("{n}: ::std::default::Default::default()"));
+            continue;
+        }
+        let fetch = format!(
+            "::serde::map_get(__m, \"{n}\").ok_or_else(|| \
+             ::serde::de::Error::custom(\"missing field `{n}` in {ctor}\"))?"
+        );
+        match &f.attrs.with {
+            Some(path) => inits.push(format!("{n}: {path}::deserialize({fetch})?")),
+            None => inits.push(format!("{n}: ::serde::Deserialize::from_value({fetch})?")),
+        }
+    }
+    out.push_str(&format!("Ok({ctor} {{ {} }})", inits.join(", ")));
+    out
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => de_named_body(fields, "__v", name),
+        ItemKind::Struct(Fields::Tuple(attrs)) => {
+            if attrs.len() == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let n = attrs.len();
+                let items: Vec<String> = (0..n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect();
+                format!(
+                    "let __s = __v.as_seq().ok_or_else(|| ::serde::de::Error::custom(\
+                     \"expected sequence for {name}\"))?;\n\
+                     if __s.len() != {n} {{ return Err(::serde::de::Error::custom(\
+                     \"wrong tuple length for {name}\")); }}\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+        }
+        ItemKind::Struct(Fields::Unit) => format!("Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"))
+                    }
+                    Fields::Tuple(attrs) => {
+                        let expr = if attrs.len() == 1 {
+                            format!(
+                                "Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?))"
+                            )
+                        } else {
+                            let n_fields = attrs.len();
+                            let items: Vec<String> = (0..n_fields)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __s = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::de::Error::custom(\"expected sequence for {name}::{vn}\"))?;\n\
+                                 if __s.len() != {n_fields} {{ return Err(::serde::de::Error::custom(\
+                                 \"wrong tuple length for {name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{vn}\" => {expr},\n"));
+                    }
+                    Fields::Named(fields) => {
+                        let body = de_named_body(fields, "__payload", &format!("{name}::{vn}"));
+                        tagged_arms.push_str(&format!("\"{vn}\" => {{ {body} }},\n"));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}_ => return Err(::serde::de::Error::custom(\
+                 format!(\"unknown unit variant `{{__s}}` for {name}\"))), }}\n}}\n\
+                 let __m = __v.as_map().ok_or_else(|| ::serde::de::Error::custom(\
+                 format!(\"expected string or map for enum {name}, got {{:?}}\", __v)))?;\n\
+                 let (__tag, __payload) = __m.first().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"empty map for enum {name}\"))?;\n\
+                 match __tag.as_str() {{\n{tagged_arms}__other => Err(::serde::de::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` for {name}\"))), }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => derive_serialize_impl(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive emitted bad code: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => derive_deserialize_impl(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive emitted bad code: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
