@@ -29,5 +29,5 @@ pub use dp_metaopt::DpMetaOpt;
 pub use ff_metaopt::FfMetaOpt;
 pub use geometry::{Halfspace, Polytope};
 pub use helpers::GadgetParams;
-pub use oracle::{DpOracle, FfOracle, GapOracle};
-pub use search::{dp_seeds, ff_seeds, find_adversarial, Adversarial, SearchOptions};
+pub use oracle::{DpOracle, FfOracle, GapOracle, SchedOracle};
+pub use search::{dp_seeds, ff_seeds, find_adversarial, sched_seeds, Adversarial, SearchOptions};

@@ -6,11 +6,17 @@
 //! significance checking, explanation) is agnostic to how adversarial
 //! inputs are found — exactly the role MetaOpt plays in the paper's Fig. 3.
 
+use xplain_domains::sched::{lpt, SchedInstance};
 use xplain_domains::te::{DemandPinning, TeProblem};
 use xplain_domains::vbp::{first_fit, optimal, VbpInstance};
 
 /// A heuristic-vs-benchmark gap function over a box input space.
-pub trait GapOracle: Sync {
+///
+/// `Send + Sync` because oracles are both shared across the explainer's
+/// scoped sample threads and *moved* into the runtime's batch-executor
+/// workers (`Box<dyn GapOracle>` built by a `Domain` factory on one
+/// thread may run on another).
+pub trait GapOracle: Send + Sync {
     /// Input dimensionality.
     fn dims(&self) -> usize;
 
@@ -114,6 +120,55 @@ impl GapOracle for FfOracle {
     }
 }
 
+/// Makespan-scheduling gap oracle: input = job processing times, gap =
+/// LPT makespan − optimal makespan.
+pub struct SchedOracle {
+    pub n_jobs: usize,
+    pub n_machines: usize,
+    /// Largest admissible processing time. The default (`2m − 1`) is the
+    /// longest job of the Graham-tight family, so the adversarial pattern
+    /// sits inside the box.
+    pub p_max: f64,
+}
+
+impl SchedOracle {
+    pub fn new(n_jobs: usize, n_machines: usize) -> Self {
+        assert!(n_machines >= 1, "a scheduling oracle needs a machine");
+        SchedOracle {
+            n_jobs,
+            n_machines,
+            p_max: (2 * n_machines - 1) as f64,
+        }
+    }
+}
+
+impl GapOracle for SchedOracle {
+    fn dims(&self) -> usize {
+        self.n_jobs
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(0.0, self.p_max); self.n_jobs]
+    }
+
+    fn gap(&self, x: &[f64]) -> f64 {
+        if x.len() != self.n_jobs
+            || x.iter()
+                .any(|&p| !p.is_finite() || p < 0.0 || p > self.p_max + 1e-12)
+        {
+            return f64::NEG_INFINITY;
+        }
+        let inst = SchedInstance::new(self.n_machines, x.to_vec());
+        let h = lpt(&inst).makespan;
+        let b = xplain_domains::sched::optimal(&inst).makespan;
+        h - b
+    }
+
+    fn dim_names(&self) -> Vec<String> {
+        (0..self.n_jobs).map(|i| format!("J{i}")).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +208,42 @@ mod tests {
         assert_eq!(oracle.gap(&[0.5]), f64::NEG_INFINITY);
         assert_eq!(oracle.gap(&[0.5, 1.5]), f64::NEG_INFINITY);
         assert_eq!(oracle.gap(&[0.5, f64::NAN]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sched_oracle_tight_point() {
+        let oracle = SchedOracle::new(5, 2);
+        assert_eq!(oracle.dims(), 5);
+        assert_eq!(oracle.bounds()[0], (0.0, 3.0));
+        // The Graham-tight instance: LPT 7 vs OPT 6.
+        let g = oracle.gap(&[3.0, 3.0, 2.0, 2.0, 2.0]);
+        assert!((g - 1.0).abs() < 1e-9, "{g}");
+        assert_eq!(oracle.dim_names()[0], "J0");
+    }
+
+    #[test]
+    fn sched_oracle_benign_point() {
+        let oracle = SchedOracle::new(4, 2);
+        // Perfectly pairable jobs: LPT is optimal.
+        assert!(oracle.gap(&[3.0, 3.0, 1.0, 1.0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sched_oracle_rejects_invalid() {
+        let oracle = SchedOracle::new(3, 2);
+        assert_eq!(oracle.gap(&[1.0]), f64::NEG_INFINITY);
+        assert_eq!(oracle.gap(&[1.0, 1.0, 9.0]), f64::NEG_INFINITY);
+        assert_eq!(oracle.gap(&[1.0, 1.0, f64::NAN]), f64::NEG_INFINITY);
+    }
+
+    /// The satellite audit: oracles must move into executor worker
+    /// threads, so trait objects have to be `Send` as well as `Sync`.
+    #[test]
+    fn oracles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DpOracle>();
+        assert_send_sync::<FfOracle>();
+        assert_send_sync::<SchedOracle>();
+        assert_send_sync::<Box<dyn GapOracle>>();
     }
 }

@@ -180,6 +180,40 @@ pub fn dp_seeds(dims: usize, threshold: f64, cap: f64) -> Vec<Vec<f64>> {
     seeds
 }
 
+/// Structured seeds for a makespan-scheduling oracle: the Graham-tight
+/// pattern (two jobs each of `2m-1 .. m+1` plus three of `m`, padded or
+/// truncated to `dims` and scaled into `[0, p_max]`), plus uniform and
+/// bimodal mixes.
+pub fn sched_seeds(dims: usize, machines: usize, p_max: f64) -> Vec<Vec<f64>> {
+    let m = machines.max(2);
+    let mut tight: Vec<f64> = Vec::with_capacity(2 * m + 1);
+    for size in (m + 1..=2 * m - 1).rev() {
+        tight.push(size as f64);
+        tight.push(size as f64);
+    }
+    tight.extend([m as f64; 3]);
+    let scale = if (2 * m - 1) as f64 > p_max {
+        p_max / (2 * m - 1) as f64
+    } else {
+        1.0
+    };
+    tight.iter_mut().for_each(|p| *p *= scale);
+    tight.resize(dims, 0.0); // tight is sorted descending: keep the large jobs
+
+    let mut seeds = vec![tight];
+    seeds.push(vec![0.5 * p_max; dims]);
+    let mut bimodal = Vec::with_capacity(dims);
+    for i in 0..dims {
+        bimodal.push(if i % 2 == 0 {
+            p_max / 3.0
+        } else {
+            2.0 * p_max / 3.0
+        });
+    }
+    seeds.push(bimodal);
+    seeds
+}
+
 /// Structured seeds for an FF oracle: the classic "small filler + balls
 /// just over half" patterns.
 pub fn ff_seeds(dims: usize, cap: f64, min_size: f64) -> Vec<Vec<f64>> {
@@ -270,6 +304,34 @@ mod tests {
         {
             assert!(!excl.contains(&second.input, 1e-9));
         }
+    }
+
+    #[test]
+    fn finds_sched_gap_on_tight_family() {
+        use crate::oracle::SchedOracle;
+        let oracle = SchedOracle::new(5, 2);
+        let opts = SearchOptions {
+            seeds: sched_seeds(5, 2, oracle.p_max),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let adv = find_adversarial(&oracle, &[], &opts, &mut rng).expect("gap exists");
+        // The Graham-tight point reaches gap 1; the search must find it
+        // (or something at least as bad).
+        assert!(adv.gap >= 1.0 - 1e-9, "found only {}", adv.gap);
+    }
+
+    #[test]
+    fn sched_seeds_cover_padding_and_scaling() {
+        // dims > 2m+1: padded with zeros.
+        let s = sched_seeds(8, 2, 3.0);
+        assert_eq!(s[0].len(), 8);
+        assert_eq!(s[0][..5], [3.0, 3.0, 2.0, 2.0, 2.0]);
+        assert_eq!(s[0][5..], [0.0, 0.0, 0.0]);
+        // p_max below 2m-1: scaled down to fit the box.
+        let t = sched_seeds(5, 2, 1.5);
+        assert!(t[0].iter().all(|&p| p <= 1.5 + 1e-12));
+        assert!((t[0][0] - 1.5).abs() < 1e-9);
     }
 
     #[test]

@@ -12,11 +12,12 @@ use std::hint::black_box;
 use xplain_analyzer::geometry::Polytope;
 use xplain_analyzer::oracle::{DpOracle, GapOracle};
 use xplain_analyzer::search::{dp_seeds, find_adversarial, Adversarial, SearchOptions};
-use xplain_core::explainer::{explain, DpDslMapper, ExplainerParams};
+use xplain_core::explainer::{explain, ExplainerParams};
 use xplain_core::features::FeatureMap;
 use xplain_core::significance::{check_significance, SignificanceParams};
 use xplain_core::subspace::{grow_subspace, Subspace, SubspaceParams};
 use xplain_domains::te::TeProblem;
+use xplain_runtime::DpDslMapper;
 
 fn dp_seed_subspace() -> Subspace {
     let lo = vec![30.0, 80.0, 80.0];

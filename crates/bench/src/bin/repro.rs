@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the XPlain paper.
 //!
 //! ```text
-//! repro <experiment> [--fast]
+//! repro <experiment> [--fast] [--serial]
 //!
 //! experiments:
 //!   fig1           E1: the Fig. 1a Demand Pinning table
@@ -10,88 +10,169 @@
 //!   fig4           E4: explainer heat-maps (writes DOT next to stdout)
 //!   fig5           E5: adversarial subspaces + significance p-values
 //!   speedup        E6: compiled-DSL redundancy-elimination speedup
-//!   pipeline-time  E7: end-to-end pipeline wall-clock
+//!   pipeline-time  E7: end-to-end pipeline wall-clock (via the engine)
 //!   generalizer    E8: Type-3 trends (increasing(P))
 //!   appendix-a     E9: Theorem A.1 battery
 //!   ablations      design-choice ablations (tree, DKW, thresholds, heuristics)
+//!   engine         batch-engine demo: 3-domain manifest, parallel + cached
 //!   all            everything above, in order
 //!
 //! `--fast` shrinks sample counts (CI-friendly); default sizes match the
-//! paper (3000 explainer samples etc.).
+//! paper (3000 explainer samples etc.). `all` renders the artifacts
+//! *concurrently* through the runtime's executor (each E-artifact is one
+//! fan-out task; output order stays E1..E9); `--serial` opts out.
 //! ```
 
 use std::io::Write;
 use xplain_bench::*;
+use xplain_core::pipeline::PipelineConfig;
+use xplain_runtime::{fan_out, run_manifest, DomainRegistry, JobSpec, ResultStore};
+
+/// Render one experiment to a string (so artifacts can be produced
+/// concurrently and printed in order).
+fn render_one(name: &str, fast: bool) -> Option<String> {
+    let explainer_samples = if fast { 300 } else { 3000 };
+    let sig_pairs = if fast { 120 } else { 400 };
+    let speedup_trials = if fast { 10 } else { 60 };
+
+    let out = match name {
+        "fig1" => fig1::render(&fig1::run()),
+        "sec2-vbp" => vbp_examples::render_sec2(&vbp_examples::run_sec2()),
+        "fig2" => vbp_examples::render_fig2(&vbp_examples::run_fig2(true)),
+        "fig4" => {
+            let dp = fig4::run_dp(explainer_samples);
+            let ff = fig4::run_ff(explainer_samples);
+            let mut out = fig4::render(&dp, &ff);
+            for (path, dot) in [("fig4a_dp.dot", &dp.dot), ("fig4b_ff.dot", &ff.dot)] {
+                if let Ok(mut f) = std::fs::File::create(path) {
+                    let _ = f.write_all(dot.as_bytes());
+                    out.push_str(&format!("  wrote {path}\n"));
+                }
+            }
+            out
+        }
+        "fig5" => fig5::render(&fig5::run(sig_pairs)),
+        "speedup" => speedup::render(&speedup::run(speedup_trials)),
+        "pipeline-time" => pipeline_time::render(&pipeline_time::run(explainer_samples)),
+        "generalizer" => generalize::render(&generalize::run()),
+        "appendix-a" => appendix_a::render(&appendix_a::run()),
+        "ablations" => ablations::render(
+            &ablations::run_subspace_ablations(),
+            &ablations::run_heuristic_comparison(if fast { 30 } else { 100 }, 12),
+        ),
+        "engine" => render_engine(fast),
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// The batch-engine demo: one job per registered domain, executed with 4
+/// workers against a cold store, then re-executed to show cache hits.
+fn render_engine(fast: bool) -> String {
+    let registry = DomainRegistry::builtin();
+    let mut config = PipelineConfig {
+        max_subspaces: 2,
+        ..Default::default()
+    };
+    if fast {
+        config.explainer.samples = 300;
+        config.significance.pairs = 120;
+        config.coverage_samples = 500;
+    }
+    let jobs: Vec<JobSpec> = registry
+        .ids()
+        .into_iter()
+        .map(|domain| JobSpec {
+            domain,
+            config: config.clone(),
+            seed: 0xEE,
+        })
+        .collect();
+    let store_dir = "target/repro-engine-store";
+    let _ = std::fs::remove_dir_all(store_dir);
+    let store = ResultStore::new(store_dir);
+
+    let mut out = String::new();
+    out.push_str("Engine — 3-domain manifest through the batch executor\n");
+    for (pass, label) in [(1, "cold store (computed, 4 workers)"), (2, "warm store")] {
+        let outcomes = run_manifest(&registry, &jobs, Some(&store), 4);
+        out.push_str(&format!("  pass {pass} — {label}:\n"));
+        for o in &outcomes {
+            let findings = o.result.as_ref().map(|r| r.findings.len()).unwrap_or(0);
+            out.push_str(&format!(
+                "    {:<6} seed {:016x}  {:<5} {} finding(s), {} ms\n",
+                o.domain,
+                o.derived_seed,
+                if o.cache_hit { "hit" } else { "miss" },
+                findings,
+                o.wall_time_ms
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "  store: {} entries in {store_dir} (keys = hash(domain id + config))\n",
+        store.len()
+    ));
+    out
+}
+
+const ALL: &[&str] = &[
+    "fig1",
+    "sec2-vbp",
+    "fig2",
+    "fig4",
+    "fig5",
+    "speedup",
+    "pipeline-time",
+    "generalizer",
+    "appendix-a",
+    "ablations",
+    "engine",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let serial = args.iter().any(|a| a == "--serial");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("all");
 
-    let explainer_samples = if fast { 300 } else { 3000 };
-    let sig_pairs = if fast { 120 } else { 400 };
-    let speedup_trials = if fast { 10 } else { 60 };
-
-    let run_one = |name: &str| match name {
-        "fig1" => print!("{}", fig1::render(&fig1::run())),
-        "sec2-vbp" => print!("{}", vbp_examples::render_sec2(&vbp_examples::run_sec2())),
-        "fig2" => print!(
-            "{}",
-            vbp_examples::render_fig2(&vbp_examples::run_fig2(true))
-        ),
-        "fig4" => {
-            let dp = fig4::run_dp(explainer_samples);
-            let ff = fig4::run_ff(explainer_samples);
-            print!("{}", fig4::render(&dp, &ff));
-            for (path, dot) in [("fig4a_dp.dot", &dp.dot), ("fig4b_ff.dot", &ff.dot)] {
-                if let Ok(mut f) = std::fs::File::create(path) {
-                    let _ = f.write_all(dot.as_bytes());
-                    println!("  wrote {path}");
-                }
-            }
-        }
-        "fig5" => print!("{}", fig5::render(&fig5::run(sig_pairs))),
-        "speedup" => print!("{}", speedup::render(&speedup::run(speedup_trials))),
-        "pipeline-time" => print!(
-            "{}",
-            pipeline_time::render(&pipeline_time::run(explainer_samples))
-        ),
-        "generalizer" => print!("{}", generalize::render(&generalize::run())),
-        "appendix-a" => print!("{}", appendix_a::render(&appendix_a::run())),
-        "ablations" => print!(
-            "{}",
-            ablations::render(
-                &ablations::run_subspace_ablations(),
-                &ablations::run_heuristic_comparison(if fast { 30 } else { 100 }, 12),
-            )
-        ),
-        other => {
-            eprintln!("unknown experiment '{other}'; see --help in the module docs");
-            std::process::exit(2);
-        }
-    };
-
     if which == "all" {
-        for name in [
-            "fig1",
-            "sec2-vbp",
-            "fig2",
-            "fig4",
-            "fig5",
-            "speedup",
-            "pipeline-time",
-            "generalizer",
-            "appendix-a",
-            "ablations",
-        ] {
-            run_one(name);
+        // Each artifact renders in its own executor task; printing stays
+        // in E1..E9 order because fan_out returns slots by index. E7 is
+        // the one artifact whose *numbers* are wall-clock measurements,
+        // so it is excluded from the concurrent batch and rendered alone
+        // afterwards — contention from sibling artifacts must not
+        // inflate the timings it reports.
+        let workers = if serial { 1 } else { 0 };
+        let outputs = fan_out(ALL.len(), workers, |i| {
+            if ALL[i] == "pipeline-time" {
+                String::new()
+            } else {
+                render_one(ALL[i], fast).expect("known experiment")
+            }
+        });
+        for (i, output) in outputs.into_iter().enumerate() {
+            if ALL[i] == "pipeline-time" {
+                print!(
+                    "{}",
+                    render_one("pipeline-time", fast).expect("known experiment")
+                );
+            } else {
+                print!("{output}");
+            }
             println!();
         }
     } else {
-        run_one(which);
+        match render_one(which, fast) {
+            Some(output) => print!("{output}"),
+            None => {
+                eprintln!("unknown experiment '{which}'; see --help in the module docs");
+                std::process::exit(2);
+            }
+        }
     }
 }

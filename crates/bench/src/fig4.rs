@@ -10,12 +10,12 @@
 //!   it to have to place the last ball differently, too."
 
 use std::time::Instant;
-use xplain_analyzer::geometry::Polytope;
-use xplain_core::explainer::{explain, DpDslMapper, DslMapper, ExplainerParams, FfDslMapper};
+use xplain_core::explainer::{explain, DslMapper, ExplainerParams};
 use xplain_core::report::{explanation_dot, render_explanation};
 use xplain_core::subspace::Subspace;
 use xplain_core::Explanation;
 use xplain_domains::te::TeProblem;
+use xplain_runtime::{DpDslMapper, FfDslMapper};
 
 /// Result for one heat-map.
 #[derive(Debug, Clone)]
@@ -25,20 +25,6 @@ pub struct HeatmapResult {
     pub wall_ms: u128,
 }
 
-fn box_subspace(lo: Vec<f64>, hi: Vec<f64>, seed: Vec<f64>, gap: f64) -> Subspace {
-    Subspace {
-        polytope: Polytope::from_box(&lo, &hi),
-        rough_lo: lo,
-        rough_hi: hi,
-        seed_gap: gap,
-        seed,
-        predicate_descriptions: Vec::new(),
-        leaf_mean_gap: gap,
-        leaf_samples: 0,
-        evaluations: 0,
-    }
-}
-
 /// Fig. 4a: DP heat-map over the first adversarial subspace of the
 /// Fig. 1a instance.
 pub fn run_dp(samples: usize) -> HeatmapResult {
@@ -46,7 +32,7 @@ pub fn run_dp(samples: usize) -> HeatmapResult {
     let mapper = DpDslMapper::new(TeProblem::fig1a(), 50.0);
     // The Type-1 subspace: pinnable 1⇝3 near the threshold, neighbors
     // saturating their shared links.
-    let sub = box_subspace(
+    let sub = Subspace::from_rough_box(
         vec![30.0, 80.0, 80.0],
         vec![50.0, 100.0, 100.0],
         vec![50.0, 100.0, 100.0],
@@ -70,7 +56,7 @@ pub fn run_dp(samples: usize) -> HeatmapResult {
 pub fn run_ff(samples: usize) -> HeatmapResult {
     let start = Instant::now();
     let mapper = FfDslMapper::new(4, 3, 1.0);
-    let sub = box_subspace(
+    let sub = Subspace::from_rough_box(
         vec![0.01, 0.44, 0.51, 0.51],
         vec![0.06, 0.49, 0.56, 0.56],
         vec![0.01, 0.49, 0.51, 0.51],

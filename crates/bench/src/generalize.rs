@@ -9,8 +9,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xplain_core::generalizer::{generalize, Finding, GeneralizerParams};
-use xplain_core::instances::{generate_dp_instances, generate_ff_instances, DpFamily, FfFamily};
 use xplain_core::Observation;
+use xplain_runtime::adapters::{generate_dp_instances, generate_ff_instances, DpFamily, FfFamily};
 
 /// E8 result.
 #[derive(Debug, Clone)]

@@ -8,9 +8,9 @@
 //! 'heatmap' of the differences … shows how inputs in the subspace
 //! interfere with the heuristic."
 //!
-//! Sampling is fanned out over threads with `crossbeam` — evaluating a
-//! sample means running both the heuristic and an exact benchmark, which
-//! is pure CPU work.
+//! Sampling is fanned out over `std::thread::scope` workers — evaluating
+//! a sample means running both the heuristic and an exact benchmark,
+//! which is pure CPU work.
 
 use crate::subspace::Subspace;
 use rand::rngs::StdRng;
@@ -20,7 +20,13 @@ use xplain_flownet::FlowNet;
 
 /// Domain adapter: maps a concrete input to heuristic/benchmark edge
 /// flows over a shared DSL graph.
-pub trait DslMapper: Sync {
+///
+/// Concrete mappers (Demand Pinning, first-fit, LPT, …) live in
+/// `xplain-runtime`'s domain adapters — this crate only defines the
+/// interface, keeping the explainer domain-agnostic. `Send + Sync`
+/// because mappers are shared across sample threads here and built by
+/// `Domain` factories on runtime worker threads.
+pub trait DslMapper: Send + Sync {
     fn net(&self) -> &FlowNet;
 
     /// Heuristic edge flows at `x` (`None` when the input cannot be
@@ -227,194 +233,115 @@ pub fn explain(
     }
 }
 
-// ---------------------------------------------------------------------
-// Domain adapters
-// ---------------------------------------------------------------------
-
-/// DSL mapper for Demand Pinning on a TE problem (Fig. 4a).
-pub struct DpDslMapper {
-    pub problem: xplain_domains::te::TeProblem,
-    pub heuristic: xplain_domains::te::DemandPinning,
-    pub dsl: xplain_domains::te::TeDsl,
-}
-
-impl DpDslMapper {
-    pub fn new(problem: xplain_domains::te::TeProblem, threshold: f64) -> Self {
-        let dsl = xplain_domains::te::TeDsl::build(&problem);
-        DpDslMapper {
-            heuristic: xplain_domains::te::DemandPinning::new(threshold),
-            problem,
-            dsl,
-        }
-    }
-}
-
-impl DslMapper for DpDslMapper {
-    fn net(&self) -> &FlowNet {
-        &self.dsl.net
-    }
-
-    fn heuristic_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
-        let alloc = self.heuristic.solve(&self.problem, x).ok()?;
-        Some(self.dsl.assignment(x, &alloc))
-    }
-
-    fn benchmark_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
-        let alloc = self.problem.optimal(x).ok()?;
-        Some(self.dsl.assignment(x, &alloc))
-    }
-}
-
-/// DSL mapper for first-fit bin packing (Fig. 4b).
-pub struct FfDslMapper {
-    pub n_balls: usize,
-    pub n_bins: usize,
-    pub capacity: f64,
-    pub dsl: xplain_domains::vbp::VbpDsl,
-}
-
-impl FfDslMapper {
-    pub fn new(n_balls: usize, n_bins: usize, capacity: f64) -> Self {
-        FfDslMapper {
-            n_balls,
-            n_bins,
-            capacity,
-            dsl: xplain_domains::vbp::VbpDsl::build(n_balls, n_bins, capacity),
-        }
-    }
-
-    fn instance(&self, x: &[f64]) -> Option<xplain_domains::vbp::VbpInstance> {
-        if x.len() != self.n_balls {
-            return None;
-        }
-        Some(xplain_domains::vbp::VbpInstance {
-            bin_capacity: vec![self.capacity],
-            balls: x.iter().map(|&s| vec![s]).collect(),
-        })
-    }
-}
-
-impl DslMapper for FfDslMapper {
-    fn net(&self) -> &FlowNet {
-        &self.dsl.net
-    }
-
-    fn heuristic_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
-        let inst = self.instance(x)?;
-        let packing = xplain_domains::vbp::first_fit(&inst);
-        self.dsl.assignment(&inst, &packing)
-    }
-
-    fn benchmark_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
-        let inst = self.instance(x)?;
-        let packing = xplain_domains::vbp::optimal(&inst);
-        self.dsl.assignment(&inst, &packing)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::subspace::Subspace;
-    use xplain_analyzer::geometry::Polytope;
+    use xplain_flownet::{SourceInput, SourceKind};
 
-    /// A hand-built subspace (skip the generator for unit tests).
-    fn box_subspace(lo: Vec<f64>, hi: Vec<f64>, seed: Vec<f64>, gap: f64) -> Subspace {
-        Subspace {
-            polytope: Polytope::from_box(&lo, &hi),
-            rough_lo: lo,
-            rough_hi: hi,
-            seed_gap: gap,
-            seed,
-            predicate_descriptions: Vec::new(),
-            leaf_mean_gap: gap,
-            leaf_samples: 0,
-            evaluations: 0,
+    /// Synthetic mapper over a 2-edge net: the heuristic always routes the
+    /// input on `left`; the benchmark routes on `right` whenever
+    /// `x[0] > 0.5`. Inside a subspace above 0.5 the heat-map must show
+    /// `left` as heuristic-only (red) and `right` as benchmark-only (blue).
+    struct TestMapper {
+        net: FlowNet,
+    }
+
+    impl TestMapper {
+        fn new() -> Self {
+            let mut net = FlowNet::new("toy");
+            let src = net.source(
+                "S",
+                "SOURCES",
+                SourceKind::Pick,
+                SourceInput::Var { lo: 0.0, hi: 1.0 },
+            );
+            let a = net.sink("A", "SINKS", 1.0);
+            let b = net.sink("B", "SINKS", 1.0);
+            net.edge(src, a, "left");
+            net.edge(src, b, "right");
+            TestMapper { net }
         }
     }
 
-    /// The Fig. 4a claim: inside the DP adversarial subspace, the
-    /// heuristic-only edges are the pinned demand's shortest path and the
-    /// benchmark-only edges are the long path.
-    #[test]
-    fn dp_heatmap_matches_fig4a() {
-        let mapper = DpDslMapper::new(xplain_domains::te::TeProblem::fig1a(), 50.0);
-        // Subspace: pinnable 1⇝3 near the threshold, other demands large.
-        let sub = box_subspace(
-            vec![35.0, 85.0, 85.0],
-            vec![50.0, 100.0, 100.0],
-            vec![50.0, 100.0, 100.0],
-            100.0,
-        );
-        let params = ExplainerParams {
-            samples: 250,
-            threads: 2,
-            ..Default::default()
-        };
-        let ex = explain(&mapper, &sub, &params, 42);
-        assert!(ex.samples_used >= 200, "{}", ex.samples_used);
-
-        let find = |label: &str| -> &EdgeScore {
-            ex.edges
-                .iter()
-                .find(|e| e.label == label)
-                .unwrap_or_else(|| panic!("edge {label} missing"))
-        };
-        // Heuristic-only (red): pinned demand on its shortest path.
-        let short = find("1~3->1-2-3");
-        assert!(short.score < -0.9, "short path score {}", short.score);
-        // Benchmark-only (blue): the optimal reroutes over 1-4-5-3.
-        let long = find("1~3->1-4-5-3");
-        assert!(long.score > 0.9, "long path score {}", long.score);
-        // Both route the other demands on their single paths: score ~ 0.
-        let d12 = find("1~2->1-2");
-        assert!(d12.score.abs() < 0.2, "1~2 score {}", d12.score);
+    impl DslMapper for TestMapper {
+        fn net(&self) -> &FlowNet {
+            &self.net
+        }
+        fn heuristic_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
+            Some(vec![x[0], 0.0])
+        }
+        fn benchmark_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
+            if x[0] > 0.5 {
+                Some(vec![0.0, x[0]])
+            } else {
+                Some(vec![x[0], 0.0])
+            }
+        }
     }
 
-    /// Fig. 4b in miniature: in the §2 subspace FF places the filler+ball
-    /// differently from the optimal.
+    /// A mapper whose flows are never mappable — samples are skipped, not
+    /// fatal.
+    struct Unmappable {
+        net: FlowNet,
+    }
+
+    impl DslMapper for Unmappable {
+        fn net(&self) -> &FlowNet {
+            &self.net
+        }
+        fn heuristic_flows(&self, _x: &[f64]) -> Option<Vec<f64>> {
+            None
+        }
+        fn benchmark_flows(&self, _x: &[f64]) -> Option<Vec<f64>> {
+            None
+        }
+    }
+
     #[test]
-    fn ff_heatmap_shows_bin_disagreement() {
-        let mapper = FfDslMapper::new(4, 3, 1.0);
-        let sub = box_subspace(
-            vec![0.01, 0.45, 0.51, 0.51],
-            vec![0.05, 0.49, 0.55, 0.55],
-            vec![0.01, 0.49, 0.51, 0.51],
-            1.0,
-        );
+    fn heatmap_separates_heuristic_and_benchmark_edges() {
+        let mapper = TestMapper::new();
+        let sub = Subspace::from_rough_box(vec![0.6], vec![0.9], vec![0.8], 1.0);
         let params = ExplainerParams {
             samples: 200,
             threads: 2,
             ..Default::default()
         };
-        let ex = explain(&mapper, &sub, &params, 7);
-        assert!(ex.samples_used >= 150);
-        // FF always places B0 (the filler) in Bin0: heuristic uses
-        // B0->Bin0 in every sample.
-        let b0bin0 = ex.edges.iter().find(|e| e.label == "B0->Bin0").unwrap();
-        assert!(
-            b0bin0.heuristic_frac > 0.99,
-            "B0->Bin0 heuristic frac {}",
-            b0bin0.heuristic_frac
-        );
-        // Some edge must show strong disagreement (|score| large).
+        let ex = explain(&mapper, &sub, &params, 42);
+        assert!(ex.samples_used >= 150, "{}", ex.samples_used);
+        let left = ex.edges.iter().find(|e| e.label == "left").unwrap();
+        let right = ex.edges.iter().find(|e| e.label == "right").unwrap();
+        assert!(left.score < -0.99, "left score {}", left.score);
+        assert!(right.score > 0.99, "right score {}", right.score);
+        assert!(left.heuristic_frac > 0.99);
+        assert!(right.benchmark_frac > 0.99);
+        // Flow deltas mirror the scores.
+        assert!(left.mean_flow_delta < 0.0);
+        assert!(right.mean_flow_delta > 0.0);
+        // The strongest disagreement is one of the two edges at |1|.
         let strongest = ex.strongest_disagreements(1)[0];
-        assert!(
-            strongest.score.abs() > 0.5,
-            "strongest disagreement only {}",
-            strongest.score
-        );
+        assert!(strongest.score.abs() > 0.99);
+    }
+
+    #[test]
+    fn agreeing_region_scores_zero() {
+        let mapper = TestMapper::new();
+        // Below 0.5 both algorithms route on `left`.
+        let sub = Subspace::from_rough_box(vec![0.1], vec![0.4], vec![0.2], 0.0);
+        let params = ExplainerParams {
+            samples: 100,
+            threads: 1,
+            ..Default::default()
+        };
+        let ex = explain(&mapper, &sub, &params, 3);
+        for e in &ex.edges {
+            assert!(e.score.abs() < 1e-12, "{} score {}", e.label, e.score);
+        }
     }
 
     #[test]
     fn single_thread_deterministic() {
-        let mapper = FfDslMapper::new(3, 3, 1.0);
-        let sub = box_subspace(
-            vec![0.3, 0.3, 0.3],
-            vec![0.6, 0.6, 0.6],
-            vec![0.5, 0.5, 0.5],
-            1.0,
-        );
+        let mapper = TestMapper::new();
+        let sub = Subspace::from_rough_box(vec![0.3], vec![0.9], vec![0.6], 1.0);
         let params = ExplainerParams {
             samples: 50,
             threads: 1,
@@ -430,22 +357,16 @@ mod tests {
 
     #[test]
     fn unmappable_samples_skipped() {
-        // DSL with 2 bins but instances that may need 3: those samples are
-        // skipped, not fatal.
-        let mapper = FfDslMapper::new(3, 2, 1.0);
-        let sub = box_subspace(
-            vec![0.6, 0.6, 0.6],
-            vec![0.9, 0.9, 0.9],
-            vec![0.7, 0.7, 0.7],
-            0.0,
-        );
+        let mapper = Unmappable {
+            net: TestMapper::new().net,
+        };
+        let sub = Subspace::from_rough_box(vec![0.0], vec![1.0], vec![0.5], 0.0);
         let params = ExplainerParams {
             samples: 30,
             threads: 1,
             ..Default::default()
         };
         let ex = explain(&mapper, &sub, &params, 5);
-        // Every ball needs its own bin here (all > 0.5): 3 bins > 2.
         assert_eq!(ex.samples_used, 0);
     }
 }

@@ -9,33 +9,30 @@
 //! * [`significance`] — the Wilcoxon signed-rank significance checker on
 //!   mirrored inside/outside pairs (§5.2);
 //! * [`explainer`] — the −1/0/+1 edge heat-map over DSL graphs (§5.3,
-//!   Fig. 4), with domain adapters for Demand Pinning and first-fit;
-//! * [`generalizer`] + [`instances`] — the Type-3 machinery (§5.4):
-//!   instance generation and the `increasing`/`decreasing` grammar,
-//!   validated by rank correlation;
+//!   Fig. 4); concrete domain adapters live in `xplain-runtime`;
+//! * [`generalizer`] — the Type-3 machinery (§5.4): the
+//!   `increasing`/`decreasing` grammar, validated by rank correlation
+//!   (the per-domain instance generators live with the runtime's domain
+//!   adapters);
 //! * [`features`] — linear feature maps `F(I)` bridging tree predicates
 //!   and polytope half-spaces;
-//! * [`pipeline`] — the iterate-and-exclude orchestration loop;
+//! * [`pipeline`] — the iterate-and-exclude orchestration loop, fully
+//!   domain-agnostic (domains are bound via `xplain-runtime`'s registry);
 //! * [`report`] — text/DOT/JSON rendering of Types 1–3.
 
 pub mod coverage;
 pub mod explainer;
 pub mod features;
 pub mod generalizer;
-pub mod instances;
 pub mod pipeline;
 pub mod report;
 pub mod significance;
 pub mod subspace;
 
 pub use coverage::{estimate_coverage, CoverageReport};
-pub use explainer::{
-    explain, DpDslMapper, DslMapper, EdgeScore, ExplainerParams, Explanation, FfDslMapper,
-};
+pub use explainer::{explain, DslMapper, EdgeScore, ExplainerParams, Explanation};
 pub use features::{FeatureMap, LinearFeature};
 pub use generalizer::{generalize, Finding, GeneralizerParams, Observation, Trend};
-pub use pipeline::{
-    run_dp_pipeline, run_ff_pipeline, run_pipeline, PipelineConfig, PipelineResult, SubspaceFinding,
-};
+pub use pipeline::{run_pipeline, PipelineConfig, PipelineResult, SubspaceFinding};
 pub use significance::{check_significance, SignificanceParams, SignificanceReport};
 pub use subspace::{grow_subspace, Subspace, SubspaceParams};

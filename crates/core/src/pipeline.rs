@@ -1,11 +1,17 @@
 //! The XPlain pipeline (Fig. 3): analyzer → adversarial subspace
 //! generator → significance checker → explainer, iterating with
 //! exclusions until the input space holds no further adversarial regions.
+//!
+//! This module is deliberately domain-agnostic: it knows about gap
+//! oracles, DSL mappers, feature maps, and finders — never about Demand
+//! Pinning, first-fit, or any other concrete heuristic. Domains are bound
+//! to the pipeline through the `xplain-runtime` crate's `Domain` trait
+//! and registry; this keeps the loop reusable for any heuristic an
+//! operator registers (the paper's §6 "it is important for XPlain to be
+//! usable for many heuristics" requirement).
 
 use crate::coverage::{estimate_coverage, CoverageReport};
-use crate::explainer::{
-    explain, DpDslMapper, DslMapper, ExplainerParams, Explanation, FfDslMapper,
-};
+use crate::explainer::{explain, DslMapper, ExplainerParams, Explanation};
 use crate::features::FeatureMap;
 use crate::significance::{check_significance, SignificanceParams, SignificanceReport};
 use crate::subspace::{grow_subspace, Subspace, SubspaceParams};
@@ -13,9 +19,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use xplain_analyzer::geometry::Polytope;
-use xplain_analyzer::oracle::{DpOracle, FfOracle, GapOracle};
-use xplain_analyzer::search::{dp_seeds, ff_seeds, find_adversarial, Adversarial, SearchOptions};
-use xplain_domains::te::TeProblem;
+use xplain_analyzer::oracle::GapOracle;
+use xplain_analyzer::search::Adversarial;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -75,7 +80,10 @@ pub struct PipelineResult {
     pub coverage: Option<CoverageReport>,
     /// Total gap-oracle evaluations across all phases.
     pub oracle_evaluations: usize,
-    pub wall_time_ms: u128,
+    /// Wall-clock. `u64` (not `u128`): the JSON layer is f64-backed and
+    /// rejects integers beyond 2^53, and stored results must stay
+    /// serializable; 2^64 ms is ~585 million years of pipeline anyway.
+    pub wall_time_ms: u64,
 }
 
 /// A pluggable adversarial-input finder (exact MILP or search).
@@ -176,51 +184,38 @@ pub fn run_pipeline(
         analyzer_calls,
         coverage,
         oracle_evaluations,
-        wall_time_ms: start.elapsed().as_millis(),
+        wall_time_ms: start.elapsed().as_millis() as u64,
     }
-}
-
-/// Convenience: run the full pipeline for Demand Pinning on a TE problem,
-/// using the pattern-search analyzer with DP-specific seeds.
-pub fn run_dp_pipeline(
-    problem: &TeProblem,
-    threshold: f64,
-    config: &PipelineConfig,
-) -> PipelineResult {
-    let oracle = DpOracle::new(problem.clone(), threshold);
-    let mapper = DpDslMapper::new(problem.clone(), threshold);
-    let names = oracle.dim_names();
-    let features = FeatureMap::identity_with_sum(oracle.dims(), &names);
-    let search = SearchOptions {
-        seeds: dp_seeds(oracle.dims(), threshold, problem.demand_cap),
-        ..Default::default()
-    };
-    let finder =
-        move |excl: &[Polytope], rng: &mut StdRng| find_adversarial(&oracle, excl, &search, rng);
-    let oracle2 = DpOracle::new(problem.clone(), threshold);
-    run_pipeline(&oracle2, Some(&mapper), &features, &finder, config)
-}
-
-/// Convenience: run the full pipeline for first-fit bin packing.
-pub fn run_ff_pipeline(n_balls: usize, n_bins: usize, config: &PipelineConfig) -> PipelineResult {
-    let oracle = FfOracle::new(n_balls);
-    let mapper = FfDslMapper::new(n_balls, n_bins, oracle.bin_capacity);
-    let names = oracle.dim_names();
-    let features = FeatureMap::identity_with_sum(n_balls, &names);
-    let search = SearchOptions {
-        seeds: ff_seeds(n_balls, oracle.bin_capacity, oracle.min_size),
-        ..Default::default()
-    };
-    let inner_oracle = FfOracle::new(n_balls);
-    let finder = move |excl: &[Polytope], rng: &mut StdRng| {
-        find_adversarial(&inner_oracle, excl, &search, rng)
-    };
-    run_pipeline(&oracle, Some(&mapper), &features, &finder, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xplain_analyzer::search::{find_adversarial, SearchOptions};
+
+    /// A synthetic domain-free oracle: the gap is positive only inside a
+    /// corner box of the unit square, peaking at the corner itself.
+    struct CornerOracle;
+
+    impl GapOracle for CornerOracle {
+        fn dims(&self) -> usize {
+            2
+        }
+        fn bounds(&self) -> Vec<(f64, f64)> {
+            vec![(0.0, 1.0); 2]
+        }
+        fn gap(&self, x: &[f64]) -> f64 {
+            if x.iter().any(|v| !v.is_finite()) {
+                return f64::NEG_INFINITY;
+            }
+            let inside = x[0] > 0.7 && x[1] > 0.7;
+            if inside {
+                (x[0] + x[1] - 1.4) * 10.0
+            } else {
+                0.0
+            }
+        }
+    }
 
     fn fast_config() -> PipelineConfig {
         PipelineConfig {
@@ -244,50 +239,47 @@ mod tests {
         }
     }
 
-    #[test]
-    fn dp_pipeline_end_to_end() {
-        let result = run_dp_pipeline(&TeProblem::fig1a(), 50.0, &fast_config());
-        assert!(
-            !result.findings.is_empty(),
-            "pipeline found no significant subspace (rejected {})",
-            result.rejected
-        );
-        let f = &result.findings[0];
-        // The seed gap should be near the true maximum of 100.
-        assert!(f.subspace.seed_gap > 80.0, "{}", f.subspace.seed_gap);
-        // Significance at the paper's bar.
-        let sig = f.significance.as_ref().unwrap();
-        assert!(sig.significant);
-        assert!(sig.test.p_value < 0.05);
-        // Type-2 explanation present and pointing at the right edges.
-        let ex = f.explanation.as_ref().unwrap();
-        let short = ex.edges.iter().find(|e| e.label == "1~3->1-2-3").unwrap();
-        let long = ex.edges.iter().find(|e| e.label == "1~3->1-4-5-3").unwrap();
-        assert!(short.score < -0.5, "short score {}", short.score);
-        assert!(long.score > 0.5, "long score {}", long.score);
+    fn corner_finder(
+        oracle: &CornerOracle,
+    ) -> impl Fn(&[Polytope], &mut StdRng) -> Option<Adversarial> + '_ {
+        let search = SearchOptions {
+            seeds: vec![vec![1.0, 1.0], vec![0.8, 0.8]],
+            ..Default::default()
+        };
+        move |excl: &[Polytope], rng: &mut StdRng| find_adversarial(oracle, excl, &search, rng)
     }
 
     #[test]
-    fn ff_pipeline_end_to_end() {
-        let result = run_ff_pipeline(4, 3, &fast_config());
+    fn generic_pipeline_finds_the_corner() {
+        let oracle = CornerOracle;
+        let features = FeatureMap::identity_with_sum(2, &oracle.dim_names());
+        let finder = corner_finder(&oracle);
+        let result = run_pipeline(&oracle, None, &features, &finder, &fast_config());
         assert!(
             !result.findings.is_empty(),
             "pipeline found no significant subspace (rejected {})",
             result.rejected
         );
         let f = &result.findings[0];
-        assert!(f.subspace.seed_gap >= 1.0);
+        // The seed should sit at (or near) the peak gap of 6.
+        assert!(f.subspace.seed_gap > 4.0, "{}", f.subspace.seed_gap);
         assert!(f.significance.as_ref().unwrap().significant);
+        // No mapper wired: Type 2 is absent by construction.
+        assert!(f.explanation.is_none());
+        assert!(result.oracle_evaluations > 0);
+        assert!(result.analyzer_calls >= result.findings.len());
     }
 
     #[test]
-    fn exclusions_accumulate() {
+    fn exclusions_accumulate_on_synthetic_oracle() {
+        let oracle = CornerOracle;
+        let features = FeatureMap::identity_with_sum(2, &oracle.dim_names());
+        let finder = corner_finder(&oracle);
         let config = PipelineConfig {
             max_subspaces: 3,
             ..fast_config()
         };
-        let result = run_dp_pipeline(&TeProblem::fig1a(), 50.0, &config);
-        // Later findings must not overlap the first subspace's seed.
+        let result = run_pipeline(&oracle, None, &features, &finder, &config);
         if result.findings.len() >= 2 {
             let first = &result.findings[0].subspace;
             for later in &result.findings[1..] {
@@ -297,7 +289,16 @@ mod tests {
                 );
             }
         }
-        assert!(result.analyzer_calls >= result.findings.len());
-        assert!(result.oracle_evaluations > 0);
+    }
+
+    #[test]
+    fn pipeline_result_wall_time_fits_json_safe_integers() {
+        let oracle = CornerOracle;
+        let features = FeatureMap::identity(2, &oracle.dim_names());
+        let finder = corner_finder(&oracle);
+        let result = run_pipeline(&oracle, None, &features, &finder, &fast_config());
+        // u64 ms always fits the f64-backed JSON layer's 2^53 window for
+        // any realistic runtime; the field must stay u64, not u128.
+        assert!(result.wall_time_ms < (1u64 << 53));
     }
 }

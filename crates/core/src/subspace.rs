@@ -91,6 +91,23 @@ pub struct Subspace {
 }
 
 impl Subspace {
+    /// A box-only subspace around a known adversarial point, skipping the
+    /// generator entirely — for hand-specified regions (the Fig. 4
+    /// reproductions pin the paper's exact subspaces this way) and tests.
+    pub fn from_rough_box(lo: Vec<f64>, hi: Vec<f64>, seed: Vec<f64>, seed_gap: f64) -> Self {
+        Subspace {
+            polytope: Polytope::from_box(&lo, &hi),
+            rough_lo: lo,
+            rough_hi: hi,
+            seed_gap,
+            seed,
+            predicate_descriptions: Vec::new(),
+            leaf_mean_gap: seed_gap,
+            leaf_samples: 0,
+            evaluations: 0,
+        }
+    }
+
     /// Membership test.
     pub fn contains(&self, x: &[f64]) -> bool {
         self.polytope.contains(x, 1e-9)

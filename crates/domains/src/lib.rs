@@ -1,16 +1,21 @@
 //! # xplain-domains
 //!
-//! The two problem domains the XPlain paper evaluates on:
+//! The problem domains XPlain is evaluated on — the paper's two running
+//! examples plus a third registered through the runtime to prove the
+//! `Domain` interface is open:
 //!
 //! * [`te`] — wide-area traffic engineering with the **Demand Pinning**
 //!   heuristic against the optimal multi-commodity max-flow (Fig. 1a/1b);
 //! * [`vbp`] — **vector bin packing** with first-fit (plus best-fit and
 //!   first-fit-decreasing) against an exact branch-and-bound optimum
-//!   (Fig. 1c, Fig. 2).
+//!   (Fig. 1c, Fig. 2);
+//! * [`sched`] — **makespan scheduling** with LPT against an exact
+//!   optimum (branch and bound, cross-checked by a MILP).
 //!
-//! Each domain also ships its Fig. 4 DSL encoding ([`te::TeDsl`],
-//! [`vbp::VbpDsl`]) so the explainer can diff heuristic and benchmark
-//! decisions edge by edge.
+//! Each domain also ships its DSL encoding ([`te::TeDsl`],
+//! [`vbp::VbpDsl`], [`sched::SchedDsl`]) so the explainer can diff
+//! heuristic and benchmark decisions edge by edge.
 
+pub mod sched;
 pub mod te;
 pub mod vbp;

@@ -1,0 +1,206 @@
+//! Makespan scheduling in the XPlain DSL.
+//!
+//! Same shape as the Fig. 4b bin-packing encoding:
+//!
+//! * **JOBS** — one pick-source per job; its processing time is the
+//!   emitted volume (an OuterVar for analysis), and pick behavior
+//!   enforces "each job runs on exactly one machine";
+//! * **MACHINES** — one split node per machine draining into the *Work*
+//!   sink (machine loads have no hard capacity; the makespan is the
+//!   largest drain flow).
+//!
+//! Identical machines are interchangeable, so raw machine indices would
+//! wash the explainer's heat-map out to zero: a benchmark that assigns
+//! jobs `{0,1}` to machine 0 and one that assigns them to machine 1
+//! describe the same schedule. [`SchedDsl::assignment`] therefore maps
+//! machines to *canonical slots* — ordered by the smallest job index each
+//! machine carries — before laying flows on the job→machine edges. The
+//! explainer then sees "LPT separates the two longest jobs; the optimum
+//! pairs them", not machine-label noise.
+
+use crate::sched::instance::{SchedInstance, Schedule};
+use xplain_flownet::{EdgeId, FlowNet, NodeId, SourceInput, SourceKind};
+
+/// DSL encoding of a makespan-scheduling instance shape.
+#[derive(Debug, Clone)]
+pub struct SchedDsl {
+    pub net: FlowNet,
+    /// Source node per job.
+    pub job_nodes: Vec<NodeId>,
+    /// `job_machine_edges[i][s]`: job i → machine-slot s edge.
+    pub job_machine_edges: Vec<Vec<EdgeId>>,
+    /// Machine-slot → work-sink drain edges.
+    pub machine_drain_edges: Vec<EdgeId>,
+    pub num_machines: usize,
+}
+
+impl SchedDsl {
+    /// Build the network for `n_jobs` jobs and `n_machines` machine slots;
+    /// processing times range over `[0, p_max]`.
+    pub fn build(n_jobs: usize, n_machines: usize, p_max: f64) -> Self {
+        let mut net = FlowNet::new(format!("sched[{n_jobs}x{n_machines}]"));
+        let work = net.sink("Work", "SINKS", 1.0);
+
+        let mut machine_nodes = Vec::with_capacity(n_machines);
+        let mut machine_drain_edges = Vec::with_capacity(n_machines);
+        for s in 0..n_machines {
+            let node = net.split(format!("M{s}"), "MACHINES");
+            let drain = net.edge(node, work, format!("M{s}|drain")).id();
+            machine_nodes.push(node);
+            machine_drain_edges.push(drain);
+        }
+
+        let mut job_nodes = Vec::with_capacity(n_jobs);
+        let mut job_machine_edges = Vec::with_capacity(n_jobs);
+        for i in 0..n_jobs {
+            let src = net.source(
+                format!("J{i}"),
+                "JOBS",
+                SourceKind::Pick,
+                SourceInput::Var { lo: 0.0, hi: p_max },
+            );
+            job_nodes.push(src);
+            let mut row = Vec::with_capacity(n_machines);
+            for (s, &machine) in machine_nodes.iter().enumerate() {
+                let e = net.edge(src, machine, format!("J{i}->M{s}")).id();
+                row.push(e);
+            }
+            job_machine_edges.push(row);
+        }
+
+        SchedDsl {
+            net,
+            job_nodes,
+            job_machine_edges,
+            machine_drain_edges,
+            num_machines: n_machines,
+        }
+    }
+
+    /// Map a schedule onto DSL edge flows (job i's processing time flows
+    /// on its job→slot edge). Schedules over more machines than the DSL
+    /// has slots return `None`.
+    pub fn assignment(&self, inst: &SchedInstance, schedule: &Schedule) -> Option<Vec<f64>> {
+        if inst.num_jobs() != self.job_nodes.len() {
+            return None;
+        }
+        if schedule.assignment.iter().any(|&m| m >= inst.machines)
+            || schedule.assignment.len() != inst.num_jobs()
+        {
+            return None;
+        }
+        let slot_of = canonical_machine_slots(&schedule.assignment, inst.machines);
+        let mut flows = vec![0.0; self.net.num_edges()];
+        let mut slot_load = vec![0.0; self.num_machines];
+        for (i, &m) in schedule.assignment.iter().enumerate() {
+            let s = slot_of[m];
+            // Empty machines sort last, so a used slot out of range means
+            // the schedule genuinely needs more machines than the DSL has.
+            if s >= self.num_machines {
+                return None;
+            }
+            flows[self.job_machine_edges[i][s].0] = inst.jobs[i];
+            slot_load[s] += inst.jobs[i];
+        }
+        for (s, &e) in self.machine_drain_edges.iter().enumerate() {
+            flows[e.0] = slot_load[s];
+        }
+        Some(flows)
+    }
+}
+
+/// Canonical machine → slot map: machines ordered by the smallest job
+/// index they carry (empty machines last, by original index). Identical
+/// machines are interchangeable, so this is the identity the heat-map
+/// needs: two schedules that differ only by a machine permutation get
+/// identical flows.
+pub fn canonical_machine_slots(assignment: &[usize], machines: usize) -> Vec<usize> {
+    let mut first_job = vec![usize::MAX; machines];
+    for (i, &m) in assignment.iter().enumerate() {
+        if m < machines && first_job[m] == usize::MAX {
+            first_job[m] = i;
+        }
+    }
+    let mut order: Vec<usize> = (0..machines).collect();
+    order.sort_by_key(|&m| (first_job[m], m));
+    let mut slot_of = vec![0usize; machines];
+    for (slot, &m) in order.iter().enumerate() {
+        slot_of[m] = slot;
+    }
+    slot_of
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::exact::optimal;
+    use crate::sched::lpt::lpt;
+
+    #[test]
+    fn structure_validates() {
+        let dsl = SchedDsl::build(5, 2, 3.0);
+        dsl.net.validate().unwrap();
+        assert_eq!(dsl.job_nodes.len(), 5);
+        assert_eq!(dsl.machine_drain_edges.len(), 2);
+        assert_eq!(dsl.net.num_edges(), 5 * 2 + 2);
+    }
+
+    #[test]
+    fn lpt_and_optimal_assignments_check_out() {
+        let inst = SchedInstance::two_machine_example();
+        let dsl = SchedDsl::build(5, 2, 3.0);
+        let h = dsl.assignment(&inst, &lpt(&inst)).unwrap();
+        let b = dsl.assignment(&inst, &optimal(&inst)).unwrap();
+        assert_eq!(dsl.net.check_assignment(&h, 1e-9), None);
+        assert_eq!(dsl.net.check_assignment(&b, 1e-9), None);
+        // Total routed work is the same; the split across machines is not.
+        let total: f64 = inst.jobs.iter().sum();
+        assert!((dsl.net.objective_of(&h) - total).abs() < 1e-9);
+        assert!((dsl.net.objective_of(&b) - total).abs() < 1e-9);
+        assert_ne!(h, b, "heuristic and benchmark should disagree here");
+    }
+
+    #[test]
+    fn canonicalization_kills_machine_permutations() {
+        let inst = SchedInstance::two_machine_example();
+        let dsl = SchedDsl::build(5, 2, 3.0);
+        let a = Schedule::from_assignment(&inst, vec![0, 0, 1, 1, 1]);
+        // The same schedule with machines relabeled.
+        let b = Schedule::from_assignment(&inst, vec![1, 1, 0, 0, 0]);
+        assert_eq!(
+            dsl.assignment(&inst, &a).unwrap(),
+            dsl.assignment(&inst, &b).unwrap()
+        );
+    }
+
+    #[test]
+    fn job_zeros_machine_is_slot_zero() {
+        let slots = canonical_machine_slots(&[2, 0, 1, 0], 3);
+        // Machine 2 carries job 0 → slot 0; machine 0 carries job 1 →
+        // slot 1; machine 1 carries job 2 → slot 2.
+        assert_eq!(slots, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_machines_sort_last() {
+        let slots = canonical_machine_slots(&[1, 1], 3);
+        assert_eq!(slots[1], 0);
+        assert_eq!(slots[0], 1);
+        assert_eq!(slots[2], 2);
+    }
+
+    #[test]
+    fn wrong_job_count_rejected() {
+        let inst = SchedInstance::new(2, vec![1.0, 2.0]);
+        let dsl = SchedDsl::build(5, 2, 3.0);
+        assert!(dsl.assignment(&inst, &lpt(&inst)).is_none());
+    }
+
+    #[test]
+    fn too_many_machines_rejected() {
+        let inst = SchedInstance::new(3, vec![1.0, 2.0, 3.0]);
+        let dsl = SchedDsl::build(3, 2, 3.0); // only 2 slots in the DSL
+        let s = Schedule::from_assignment(&inst, vec![0, 1, 2]);
+        assert!(dsl.assignment(&inst, &s).is_none());
+    }
+}

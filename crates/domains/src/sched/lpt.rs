@@ -1,0 +1,91 @@
+//! The LPT (Longest Processing Time first) heuristic.
+//!
+//! Jobs are sorted by processing time descending and each is assigned to
+//! the currently least-loaded machine. Graham's bound says LPT is within
+//! `4/3 − 1/(3m)` of optimal; the [`SchedInstance::lpt_tight`] family
+//! attains it, which is what makes this a worthwhile heuristic to point
+//! XPlain at.
+
+use crate::sched::instance::{SchedInstance, Schedule};
+
+/// Run LPT. Ties in processing time keep input order; ties in machine load
+/// go to the lowest machine index — both choices make the heuristic fully
+/// deterministic, which the runtime's bit-for-bit reproducibility checks
+/// rely on.
+pub fn lpt(inst: &SchedInstance) -> Schedule {
+    let mut order: Vec<usize> = (0..inst.num_jobs()).collect();
+    order.sort_by(|&a, &b| {
+        inst.jobs[b]
+            .partial_cmp(&inst.jobs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    list_schedule(inst, &order)
+}
+
+/// List scheduling in the given job order: each job goes to the machine
+/// with the smallest current load (lowest index on ties).
+pub fn list_schedule(inst: &SchedInstance, order: &[usize]) -> Schedule {
+    let mut loads = vec![0.0f64; inst.machines];
+    let mut assignment = vec![0usize; inst.num_jobs()];
+    for &i in order {
+        let target = loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        assignment[i] = target;
+        loads[target] += inst.jobs[i];
+    }
+    Schedule::from_assignment(inst, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_on_two_machine_example() {
+        let inst = SchedInstance::two_machine_example();
+        let s = lpt(&inst);
+        assert!(s.check(&inst, 1e-9).is_none());
+        // 3→M0, 3→M1, 2→M0 (5), 2→M1 (5), 2→M0 (7).
+        assert!((s.makespan - 7.0).abs() < 1e-9, "{}", s.makespan);
+    }
+
+    #[test]
+    fn lpt_attains_grahams_tight_bound() {
+        for m in 2..=5 {
+            let inst = SchedInstance::lpt_tight(m);
+            let s = lpt(&inst);
+            assert!(
+                (s.makespan - (4 * m - 1) as f64).abs() < 1e-9,
+                "m = {m}: {}",
+                s.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn lpt_is_optimal_on_balanced_pairs() {
+        let inst = SchedInstance::new(2, vec![0.6, 0.4, 0.6, 0.4]);
+        let s = lpt(&inst);
+        assert!((s.makespan - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single_job() {
+        let empty = SchedInstance::new(3, vec![]);
+        assert_eq!(lpt(&empty).makespan, 0.0);
+        let one = SchedInstance::new(3, vec![2.5]);
+        assert!((lpt(&one).makespan - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_below_the_lower_bound() {
+        let inst = SchedInstance::new(3, vec![4.0, 3.0, 3.0, 2.0, 2.0, 1.0]);
+        let s = lpt(&inst);
+        assert!(s.makespan >= inst.lower_bound() - 1e-9);
+    }
+}

@@ -1,25 +1,53 @@
-//! The instance generator (§5.4): diverse problem instances whose
-//! subspace/explainer outputs feed the generalizer.
+//! Demand Pinning (traffic engineering) bound to the runtime.
 //!
-//! "To discover patterns, we need to consider a diverse set of instances
-//! and identify trends … We build an instance generator that uses the
-//! problem description in the DSL to create such instances and feeds them
-//! into the pipeline."
-//!
-//! Two families are provided, one per running example:
-//!
-//! * **DP**: Fig. 1a generalized — chains of varying length with an
-//!   end-to-end bypass. The features expose exactly the properties the
-//!   paper's Type-3 sketch names: the pinned demand's shortest-path
-//!   length and the capacity along it.
-//! * **FF**: random ball-size vectors whose features count the
-//!   structural suspects (balls just over half a bin, small fillers).
+//! [`DpDomain`] packages the Fig. 1a-style TE problem for the registry;
+//! [`DpDslMapper`] maps inputs to Fig. 4a heat-map flows; [`DpFamily`] /
+//! [`generate_dp_instances`] realize §5.4's instance generator for the
+//! Type-3 trends (chains of growing pinned-path length).
 
-use crate::generalizer::Observation;
+use crate::domain::Domain;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use xplain_domains::te::{DemandPair, DemandPinning, TeProblem, Topology};
-use xplain_domains::vbp::{first_fit, optimal, VbpInstance};
+use xplain_analyzer::oracle::{DpOracle, GapOracle};
+use xplain_analyzer::search::dp_seeds;
+use xplain_core::explainer::DslMapper;
+use xplain_core::generalizer::Observation;
+use xplain_domains::te::{DemandPair, DemandPinning, TeDsl, TeProblem, Topology};
+use xplain_flownet::FlowNet;
+
+/// DSL mapper for Demand Pinning on a TE problem (Fig. 4a).
+pub struct DpDslMapper {
+    pub problem: TeProblem,
+    pub heuristic: DemandPinning,
+    pub dsl: TeDsl,
+}
+
+impl DpDslMapper {
+    pub fn new(problem: TeProblem, threshold: f64) -> Self {
+        let dsl = TeDsl::build(&problem);
+        DpDslMapper {
+            heuristic: DemandPinning::new(threshold),
+            problem,
+            dsl,
+        }
+    }
+}
+
+impl DslMapper for DpDslMapper {
+    fn net(&self) -> &FlowNet {
+        &self.dsl.net
+    }
+
+    fn heuristic_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
+        let alloc = self.heuristic.solve(&self.problem, x).ok()?;
+        Some(self.dsl.assignment(x, &alloc))
+    }
+
+    fn benchmark_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
+        let alloc = self.problem.optimal(x).ok()?;
+        Some(self.dsl.assignment(x, &alloc))
+    }
+}
 
 /// Parameters of the DP instance family.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -116,86 +144,117 @@ pub fn generate_dp_instances(family: &DpFamily, rng: &mut impl Rng) -> Vec<DpIns
     out
 }
 
-/// Parameters of the FF instance family.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct FfFamily {
-    /// Number of random size-vectors to generate.
-    pub instances: usize,
-    pub n_balls: usize,
-    pub capacity: f64,
-    pub min_size: f64,
+/// The TE / Demand Pinning domain: a registry entry around one concrete
+/// [`TeProblem`] and pinning threshold.
+pub struct DpDomain {
+    pub problem: TeProblem,
+    pub threshold: f64,
+    pub family: DpFamily,
 }
 
-impl Default for FfFamily {
-    fn default() -> Self {
-        FfFamily {
-            instances: 40,
-            n_balls: 12,
-            capacity: 1.0,
-            min_size: 0.01,
+impl DpDomain {
+    pub fn new(problem: TeProblem, threshold: f64) -> Self {
+        DpDomain {
+            problem,
+            threshold,
+            family: DpFamily::default(),
         }
     }
-}
 
-/// A generated FF instance (a concrete ball-size vector) plus features.
-#[derive(Debug, Clone)]
-pub struct FfInstance {
-    pub sizes: Vec<f64>,
-    pub observation: Observation,
-}
-
-/// Generate random FF instances and their structural features.
-///
-/// Features: the count of balls over half a bin, the count of small
-/// fillers, and the total volume. The Type-3 trends the generalizer
-/// discovers on this family: *more small fillers → larger gap* (FF
-/// strands them in early bins that over-half balls can no longer join)
-/// and *more over-half balls → smaller gap* (they cost FF and the
-/// optimal the same bin each).
-pub fn generate_ff_instances(family: &FfFamily, rng: &mut impl Rng) -> Vec<FfInstance> {
-    let cap = family.capacity;
-    let mut out = Vec::with_capacity(family.instances);
-    for _ in 0..family.instances {
-        // Mix of size classes so the over-half count varies by instance.
-        let over_half = rng.gen_range(0..=family.n_balls / 2 * 2);
-        let sizes: Vec<f64> = (0..family.n_balls)
-            .map(|i| {
-                if i < over_half {
-                    rng.gen_range(0.51 * cap..0.60 * cap)
-                } else {
-                    rng.gen_range(family.min_size..0.45 * cap)
-                }
-            })
-            .collect();
-        let inst = VbpInstance {
-            bin_capacity: vec![cap],
-            balls: sizes.iter().map(|&s| vec![s]).collect(),
-        };
-        let gap = first_fit(&inst).bins_used as f64 - optimal(&inst).bins_used as f64;
-        let count_over = sizes.iter().filter(|&&s| s > 0.5 * cap).count() as f64;
-        let count_small = sizes.iter().filter(|&&s| s < 0.25 * cap).count() as f64;
-        let total: f64 = sizes.iter().sum();
-        out.push(FfInstance {
-            observation: Observation {
-                features: vec![
-                    ("balls_over_half".to_string(), count_over),
-                    ("small_fillers".to_string(), count_small),
-                    ("total_volume".to_string(), total),
-                ],
-                gap,
-            },
-            sizes,
-        });
+    /// The paper's Fig. 1a instance at threshold 50.
+    pub fn fig1a() -> Self {
+        DpDomain::new(TeProblem::fig1a(), 50.0)
     }
-    out
+}
+
+impl Domain for DpDomain {
+    fn id(&self) -> &str {
+        "dp"
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "Demand Pinning (threshold {}) vs optimal multi-commodity flow on {} demands",
+            self.threshold,
+            self.problem.num_demands()
+        )
+    }
+
+    fn oracle(&self) -> Box<dyn GapOracle> {
+        Box::new(DpOracle::new(self.problem.clone(), self.threshold))
+    }
+
+    fn mapper(&self) -> Option<Box<dyn DslMapper>> {
+        Some(Box::new(DpDslMapper::new(
+            self.problem.clone(),
+            self.threshold,
+        )))
+    }
+
+    fn seeds(&self) -> Vec<Vec<f64>> {
+        dp_seeds(
+            self.problem.num_demands(),
+            self.threshold,
+            self.problem.demand_cap,
+        )
+    }
+
+    fn instance_family(&self, seed: u64) -> Vec<Observation> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        generate_dp_instances(&self.family, &mut rng)
+            .into_iter()
+            .map(|i| i.observation)
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generalizer::{generalize, GeneralizerParams, Trend};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use xplain_core::explainer::{explain, EdgeScore, ExplainerParams};
+    use xplain_core::generalizer::{generalize, GeneralizerParams, Trend};
+    use xplain_core::subspace::Subspace;
+
+    /// The Fig. 4a claim: inside the DP adversarial subspace, the
+    /// heuristic-only edges are the pinned demand's shortest path and the
+    /// benchmark-only edges are the long path.
+    #[test]
+    fn dp_heatmap_matches_fig4a() {
+        let mapper = DpDslMapper::new(TeProblem::fig1a(), 50.0);
+        // Subspace: pinnable 1⇝3 near the threshold, other demands large.
+        let sub = Subspace::from_rough_box(
+            vec![35.0, 85.0, 85.0],
+            vec![50.0, 100.0, 100.0],
+            vec![50.0, 100.0, 100.0],
+            100.0,
+        );
+        let params = ExplainerParams {
+            samples: 250,
+            threads: 2,
+            ..Default::default()
+        };
+        let ex = explain(&mapper, &sub, &params, 42);
+        assert!(ex.samples_used >= 200, "{}", ex.samples_used);
+
+        let find = |label: &str| -> &EdgeScore {
+            ex.edges
+                .iter()
+                .find(|e| e.label == label)
+                .unwrap_or_else(|| panic!("edge {label} missing"))
+        };
+        // Heuristic-only (red): pinned demand on its shortest path.
+        let short = find("1~3->1-2-3");
+        assert!(short.score < -0.9, "short path score {}", short.score);
+        // Benchmark-only (blue): the optimal reroutes over 1-4-5-3.
+        let long = find("1~3->1-4-5-3");
+        assert!(long.score > 0.9, "long path score {}", long.score);
+        // Both route the other demands on their single paths: score ~ 0.
+        let d12 = find("1~2->1-2");
+        assert!(d12.score.abs() < 0.2, "1~2 score {}", d12.score);
+    }
 
     #[test]
     fn dp_family_gap_grows_linearly_with_length() {
@@ -233,10 +292,7 @@ mod tests {
     /// the pinned-path-length feature.
     #[test]
     fn generalizer_discovers_increasing_pinned_path_length() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let instances = generate_dp_instances(&DpFamily::default(), &mut rng);
-        let observations: Vec<Observation> =
-            instances.iter().map(|i| i.observation.clone()).collect();
+        let observations = DpDomain::fig1a().instance_family(3);
         let findings = generalize(&observations, &GeneralizerParams::default());
         let f = findings
             .iter()
@@ -244,34 +300,5 @@ mod tests {
             .expect("increasing(pinned_path_length) must be discovered");
         assert_eq!(f.trend, Trend::Increasing);
         assert!(f.p_value < 0.05);
-    }
-
-    #[test]
-    fn ff_family_gap_correlates_with_over_half_count() {
-        let mut rng = StdRng::seed_from_u64(0);
-        let family = FfFamily {
-            instances: 100,
-            ..Default::default()
-        };
-        let instances = generate_ff_instances(&family, &mut rng);
-        assert_eq!(instances.len(), 100);
-        let observations: Vec<Observation> =
-            instances.iter().map(|i| i.observation.clone()).collect();
-        let findings = generalize(&observations, &GeneralizerParams::default());
-        // The over-half count should show up as an increasing trend.
-        let f = findings.iter().find(|f| f.feature == "balls_over_half");
-        assert!(f.is_some(), "findings: {findings:?}");
-    }
-
-    #[test]
-    fn ff_instances_within_bounds() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let family = FfFamily::default();
-        for inst in generate_ff_instances(&family, &mut rng) {
-            for &s in &inst.sizes {
-                assert!(s >= family.min_size - 1e-12 && s <= family.capacity);
-            }
-            assert!(inst.observation.gap >= 0.0);
-        }
     }
 }

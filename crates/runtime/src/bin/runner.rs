@@ -1,0 +1,302 @@
+//! `runner` — drive the batch-analysis engine from the command line.
+//!
+//! ```text
+//! runner --manifest jobs.jsonl [--workers N] [--store DIR] [--json]
+//! runner --smoke [--workers N] [--store DIR]
+//! runner --list-domains | --emit-manifest
+//!
+//!   --manifest PATH   JSONL manifest: one {"domain", "config", "seed"}
+//!                     object per line (# starts a comment line)
+//!   --workers N       worker threads (0 = auto) [default: 0]
+//!   --store DIR       content-addressed result store; omit to disable
+//!                     caching
+//!   --json            print the machine-readable JSON outcome array
+//!                     instead of the summary table
+//!   --list-domains    list registered domain ids and exit
+//!   --emit-manifest   print an editable one-job-per-domain JSONL
+//!                     manifest (default pipeline config) and exit
+//!   --smoke           run the built-in one-job-per-domain manifest three
+//!                     ways (1 worker, N workers, N workers against the
+//!                     warm store) and fail unless all three agree
+//!                     byte-for-byte and the third is pure cache hits.
+//!                     Uses its own `runner-smoke-store/` scratch
+//!                     subdirectory (under --store when given); existing
+//!                     cache entries are never touched
+//! ```
+//!
+//! Exit status: 0 on success; 1 on any job error, determinism mismatch,
+//! or cache inconsistency; 2 on usage errors.
+
+use xplain_core::pipeline::PipelineConfig;
+use xplain_core::{ExplainerParams, SignificanceParams};
+use xplain_runtime::{
+    manifest_to_jsonl, parse_manifest, run_manifest, DomainRegistry, JobOutcome, JobSpec,
+    ResultStore,
+};
+
+struct Args {
+    manifest: Option<String>,
+    workers: usize,
+    store: Option<String>,
+    json: bool,
+    list_domains: bool,
+    emit_manifest: bool,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        manifest: None,
+        workers: 0,
+        store: None,
+        json: false,
+        list_domains: false,
+        emit_manifest: false,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--manifest" => args.manifest = Some(it.next().ok_or("--manifest needs a path")?),
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .ok_or("--workers needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--store" => args.store = Some(it.next().ok_or("--store needs a directory")?),
+            "--json" => args.json = true,
+            "--list-domains" => args.list_domains = true,
+            "--emit-manifest" => args.emit_manifest = true,
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "\
+runner — XPlain batch-analysis engine
+
+usage:
+  runner --manifest jobs.jsonl [--workers N] [--store DIR] [--json]
+  runner --smoke [--workers N] [--store DIR]
+  runner --list-domains | --emit-manifest
+";
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("runner: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let registry = DomainRegistry::builtin();
+
+    if args.list_domains {
+        for id in registry.ids() {
+            let d = registry.get(&id).expect("listed id resolves");
+            println!("{id:<8} {}", d.description());
+        }
+        return;
+    }
+
+    if args.emit_manifest {
+        println!(
+            "# one job per registered domain; edit configs/seeds and feed back via --manifest"
+        );
+        println!(
+            "# each job's pipeline seed derives from its \"seed\" field and its line position;"
+        );
+        println!(
+            "# the \"seed\" inside \"config\" is overwritten at run time — edit the outer one"
+        );
+        print!("{}", manifest_to_jsonl(&default_manifest(&registry)));
+        return;
+    }
+
+    if args.smoke {
+        std::process::exit(run_smoke(&registry, &args));
+    }
+
+    let Some(path) = &args.manifest else {
+        eprintln!("runner: --manifest, --smoke, or --list-domains required\n{USAGE}");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("runner: cannot read manifest '{path}': {e}");
+            std::process::exit(2);
+        }
+    };
+    let jobs = match parse_manifest(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("runner: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let store = args.store.as_ref().map(ResultStore::new);
+    let outcomes = run_manifest(&registry, &jobs, store.as_ref(), args.workers);
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string(&outcomes).expect("outcomes serialize")
+        );
+    } else {
+        print!("{}", summary_table(&outcomes));
+    }
+
+    if outcomes.iter().any(|o| o.error.is_some()) {
+        std::process::exit(1);
+    }
+}
+
+/// Render outcomes as a fixed-width summary table.
+fn summary_table(outcomes: &[JobOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "  job  domain    seed              cache  findings  rejected  oracle-evals  ms\n",
+    );
+    for o in outcomes {
+        let (findings, rejected, evals) = o
+            .result
+            .as_ref()
+            .map(|r| (r.findings.len(), r.rejected, r.oracle_evaluations))
+            .unwrap_or((0, 0, 0));
+        out.push_str(&format!(
+            "  {:<4} {:<9} {:016x}  {:<5} {:<9} {:<9} {:<13} {}\n",
+            o.index,
+            o.domain,
+            o.derived_seed,
+            if o.cache_hit { "hit" } else { "miss" },
+            findings,
+            rejected,
+            evals,
+            o.wall_time_ms,
+        ));
+        if let Some(err) = &o.error {
+            out.push_str(&format!("       ERROR: {err}\n"));
+        }
+    }
+    out
+}
+
+/// CI-sized pipeline config for the smoke manifest.
+fn smoke_config() -> PipelineConfig {
+    PipelineConfig {
+        max_subspaces: 1,
+        significance: SignificanceParams {
+            pairs: 60,
+            ..Default::default()
+        },
+        explainer: ExplainerParams {
+            samples: 120,
+            threads: 2,
+            ..Default::default()
+        },
+        coverage_samples: 300,
+        ..Default::default()
+    }
+}
+
+/// One default-config job per registered domain.
+fn default_manifest(registry: &DomainRegistry) -> Vec<JobSpec> {
+    registry
+        .ids()
+        .into_iter()
+        .map(|id| JobSpec {
+            domain: id,
+            config: PipelineConfig::default(),
+            seed: 7,
+        })
+        .collect()
+}
+
+/// The zero-setup self-check gating CI: one job per registered domain,
+/// run three ways.
+///
+/// 1. serial (1 worker, no store) — the reference;
+/// 2. parallel (N workers, cold store) — must match 1 byte-for-byte;
+/// 3. parallel again (warm store) — must be all cache hits and match 2.
+fn run_smoke(registry: &DomainRegistry, args: &Args) -> i32 {
+    let jobs: Vec<JobSpec> = registry
+        .ids()
+        .into_iter()
+        .map(|id| JobSpec {
+            domain: id,
+            config: smoke_config(),
+            seed: 0x5A05E,
+        })
+        .collect();
+    println!(
+        "smoke: {} jobs (one per domain: {})",
+        jobs.len(),
+        registry.ids().join(", ")
+    );
+    let workers = if args.workers == 0 { 4 } else { args.workers };
+
+    // The smoke needs a cold store, so it owns a dedicated scratch
+    // subdirectory (under --store's path when given) and never touches
+    // the user's actual cache entries.
+    let base = args.store.clone().unwrap_or_else(|| "target".into());
+    let store_dir = std::path::Path::new(&base).join("runner-smoke-store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = ResultStore::new(&store_dir);
+
+    let serial = run_manifest(registry, &jobs, None, 1);
+    let parallel = run_manifest(registry, &jobs, Some(&store), workers);
+    let cached = run_manifest(registry, &jobs, Some(&store), workers);
+
+    print!("{}", summary_table(&parallel));
+
+    let mut failures = 0;
+    for ((s, p), c) in serial.iter().zip(&parallel).zip(&cached) {
+        let id = format!("job {} ({})", s.index, s.domain);
+        for o in [s, p, c] {
+            if let Some(err) = &o.error {
+                eprintln!("smoke FAIL: {id}: {err}");
+                failures += 1;
+            }
+        }
+        let sj = serde_json::to_string(&s.result).expect("result serializes");
+        let pj = serde_json::to_string(&p.result).expect("result serializes");
+        let cj = serde_json::to_string(&c.result).expect("result serializes");
+        if sj != pj {
+            eprintln!("smoke FAIL: {id}: 1-worker and {workers}-worker results differ");
+            failures += 1;
+        }
+        if pj != cj {
+            eprintln!("smoke FAIL: {id}: cached result differs from computed result");
+            failures += 1;
+        }
+        if !c.cache_hit {
+            eprintln!("smoke FAIL: {id}: second store pass was not a cache hit");
+            failures += 1;
+        }
+        if s.result.as_ref().is_none_or(|r| r.findings.is_empty()) {
+            eprintln!("smoke FAIL: {id}: pipeline found no significant subspace");
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!(
+            "smoke OK: serial ≡ {workers}-worker ≡ cached for all {} jobs (store: {})",
+            jobs.len(),
+            store_dir.display()
+        );
+        0
+    } else {
+        eprintln!("smoke: {failures} failure(s)");
+        1
+    }
+}

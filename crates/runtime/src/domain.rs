@@ -1,0 +1,209 @@
+//! The pluggable domain interface and registry.
+//!
+//! The paper positions XPlain as a layer operators point at *any*
+//! heuristic analyzer (§6: "it is important for XPlain to be usable for
+//! many heuristics"). [`Domain`] is that contract: everything the
+//! pipeline needs from a problem domain behind one object-safe trait —
+//! an oracle factory, a DSL mapper for Type-2 heat-maps, structured
+//! analyzer seed points, an instance-family generator for Type-3 trends,
+//! and a feature schema for subspace refinement. [`DomainRegistry`] keys
+//! domains by id so batch manifests, the `runner` CLI, and the repro
+//! harness all address them uniformly.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use xplain_analyzer::geometry::Polytope;
+use xplain_analyzer::oracle::GapOracle;
+use xplain_analyzer::search::{find_adversarial, SearchOptions};
+use xplain_core::explainer::DslMapper;
+use xplain_core::features::FeatureMap;
+use xplain_core::generalizer::{generalize, Finding, GeneralizerParams, Observation};
+use xplain_core::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
+
+/// A problem domain the runtime can analyze end to end.
+///
+/// Object-safe on purpose: registries hold `Box<dyn Domain>`, and the
+/// batch executor moves the boxed factories' products across worker
+/// threads (hence the `Send + Sync` bounds here and on [`GapOracle`] /
+/// [`DslMapper`]).
+pub trait Domain: Send + Sync {
+    /// Stable identifier used in manifests and store keys (e.g. `"dp"`).
+    fn id(&self) -> &str;
+
+    /// One-line human description for listings.
+    fn description(&self) -> String;
+
+    /// Fresh gap oracle (`benchmark − heuristic` over the input box).
+    fn oracle(&self) -> Box<dyn GapOracle>;
+
+    /// DSL mapper enabling the Type-2 explainer stage (`None` disables
+    /// it — Type 1 subspaces and significance still run).
+    fn mapper(&self) -> Option<Box<dyn DslMapper>>;
+
+    /// Structured seed points for the adversarial-input search.
+    fn seeds(&self) -> Vec<Vec<f64>>;
+
+    /// Generate the domain's instance family for the Type-3 generalizer:
+    /// one [`Observation`] (named features + measured gap) per instance.
+    fn instance_family(&self, seed: u64) -> Vec<Observation>;
+
+    /// Feature schema over the oracle's input space (drives the
+    /// regression-tree refinement and the polytope half-spaces). The
+    /// default is the paper's identity-plus-sum map.
+    fn feature_schema(&self) -> FeatureMap {
+        let oracle = self.oracle();
+        FeatureMap::identity_with_sum(oracle.dims(), &oracle.dim_names())
+    }
+
+    /// Search configuration for the analyzer stage (defaults to the
+    /// standard options with this domain's seeds).
+    fn search_options(&self) -> SearchOptions {
+        SearchOptions {
+            seeds: self.seeds(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Run the full Type-1/Type-2 pipeline for one domain.
+///
+/// This is the generic replacement for the old per-domain convenience
+/// functions (`run_dp_pipeline`, `run_ff_pipeline`): everything
+/// domain-specific is pulled through the trait.
+pub fn run_domain(domain: &dyn Domain, config: &PipelineConfig) -> PipelineResult {
+    let oracle = domain.oracle();
+    let finder_oracle = domain.oracle();
+    let mapper = domain.mapper();
+    let features = domain.feature_schema();
+    let search = domain.search_options();
+    let finder = move |excl: &[Polytope], rng: &mut StdRng| {
+        find_adversarial(finder_oracle.as_ref(), excl, &search, rng)
+    };
+    run_pipeline(
+        oracle.as_ref(),
+        mapper.as_deref(),
+        &features,
+        &finder,
+        config,
+    )
+}
+
+/// All three output types for one domain: the pipeline's Type-1 subspaces
+/// and Type-2 heat-maps plus the generalizer's Type-3 trends over the
+/// domain's instance family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainAnalysis {
+    pub domain: String,
+    pub pipeline: PipelineResult,
+    pub trends: Vec<Finding>,
+}
+
+/// Run pipeline + generalizer (Types 1, 2, and 3) for one domain.
+pub fn run_domain_full(domain: &dyn Domain, config: &PipelineConfig) -> DomainAnalysis {
+    let pipeline = run_domain(domain, config);
+    let observations = domain.instance_family(config.seed);
+    let trends = generalize(&observations, &GeneralizerParams::default());
+    DomainAnalysis {
+        domain: domain.id().to_string(),
+        pipeline,
+        trends,
+    }
+}
+
+/// Id-keyed collection of registered domains.
+pub struct DomainRegistry {
+    entries: BTreeMap<String, Box<dyn Domain>>,
+}
+
+impl DomainRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        DomainRegistry {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The built-in registry: the paper's two running examples plus the
+    /// makespan-scheduling domain, each at its reference configuration.
+    pub fn builtin() -> Self {
+        let mut reg = DomainRegistry::empty();
+        reg.register(Box::new(crate::adapters::DpDomain::fig1a()));
+        reg.register(Box::new(crate::adapters::FfDomain::small()));
+        reg.register(Box::new(crate::adapters::SchedDomain::small()));
+        reg
+    }
+
+    /// Register a domain under its [`Domain::id`].
+    ///
+    /// # Panics
+    /// On duplicate ids — two domains answering the same manifest id
+    /// would make stored results ambiguous, so this is a programmer
+    /// error, not a recoverable condition.
+    pub fn register(&mut self, domain: Box<dyn Domain>) -> &mut Self {
+        let id = domain.id().to_string();
+        let prev = self.entries.insert(id.clone(), domain);
+        assert!(prev.is_none(), "domain id '{id}' registered twice");
+        self
+    }
+
+    pub fn get(&self, id: &str) -> Option<&dyn Domain> {
+        self.entries.get(id).map(|b| b.as_ref())
+    }
+
+    /// Registered ids, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for DomainRegistry {
+    fn default() -> Self {
+        DomainRegistry::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registers_all_three_domains() {
+        let reg = DomainRegistry::builtin();
+        assert_eq!(reg.ids(), vec!["dp", "ff", "sched"]);
+        for id in reg.ids() {
+            let d = reg.get(&id).unwrap();
+            assert_eq!(d.id(), id);
+            assert!(!d.description().is_empty());
+            let oracle = d.oracle();
+            assert!(oracle.dims() > 0);
+            assert_eq!(oracle.bounds().len(), oracle.dims());
+            // Every seed matches the oracle's dimensionality.
+            for s in d.seeds() {
+                assert_eq!(s.len(), oracle.dims());
+            }
+            // The default schema covers the input space.
+            assert_eq!(d.feature_schema().dims, oracle.dims());
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(DomainRegistry::builtin().get("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut reg = DomainRegistry::builtin();
+        reg.register(Box::new(crate::adapters::DpDomain::fig1a()));
+    }
+}

@@ -1,0 +1,310 @@
+//! The parallel batch-analysis executor.
+//!
+//! A *manifest* is JSONL: one [`JobSpec`] per line (domain id +
+//! [`PipelineConfig`] + base seed). The executor fans the jobs out across
+//! `std::thread::scope` workers pulling from a shared atomic cursor.
+//! Determinism is by construction:
+//!
+//! * each job's effective pipeline seed is derived from its manifest seed
+//!   and its *position* in the manifest ([`derive_seed`], a splitmix64
+//!   mix) — never from which worker ran it or when;
+//! * results land in per-index slots, so output order is manifest order;
+//! * [`crate::domain::run_domain`] itself is deterministic given a seed.
+//!
+//! Therefore a manifest run with 1 worker and with N workers yields
+//! byte-for-byte identical per-job results — the property the tests and
+//! the `runner --smoke` CI gate pin down. The one nondeterministic field,
+//! `wall_time_ms`, is moved out of the stored result and into the
+//! [`JobOutcome`] wrapper (the stored copy is normalized to 0).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+use xplain_core::pipeline::{PipelineConfig, PipelineResult};
+
+use crate::domain::{run_domain, DomainRegistry};
+use crate::store::ResultStore;
+
+/// One line of a JSONL manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Registered domain id (`"dp"`, `"ff"`, `"sched"`, …).
+    pub domain: String,
+    /// Pipeline configuration. Its `seed` field is overwritten by the
+    /// derived per-job seed before running (and before store keying).
+    pub config: PipelineConfig,
+    /// Base seed mixed with the job index by [`derive_seed`].
+    pub seed: u64,
+}
+
+/// The outcome of one manifest job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Position in the manifest.
+    pub index: usize,
+    pub domain: String,
+    /// The derived seed the pipeline actually ran with.
+    pub derived_seed: u64,
+    /// Whether the result came from the store.
+    pub cache_hit: bool,
+    /// Wall-clock of *this* execution (near zero on cache hits). Kept
+    /// outside `result`, whose own `wall_time_ms` is normalized to 0 so
+    /// results compare and cache byte-for-byte.
+    pub wall_time_ms: u64,
+    /// `Some` unless the job failed (unknown domain id).
+    pub result: Option<PipelineResult>,
+    pub error: Option<String>,
+}
+
+/// splitmix64 — the standard 64-bit finalizer; full-period, so distinct
+/// `(base, index)` pairs land on well-separated seeds.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derived seeds are masked into the exactly-representable-in-f64 range:
+/// the seed rides inside `PipelineConfig` through the JSON layer (store
+/// entries, outcome dumps), which is f64-backed and rejects integers
+/// beyond 2^53 — the same failure class that forced `wall_time_ms` down
+/// to `u64`.
+pub const SEED_MASK: u64 = (1 << 53) - 1;
+
+/// Deterministic per-job seed: a function of the manifest seed and the
+/// job's index only, so any worker (or worker count) produces the same
+/// stream. Base seeds are interpreted mod 2^53 (the masked and unmasked
+/// forms of a base derive identical seeds), so a programmatically built
+/// [`JobSpec`] with a full-range `u64` seed behaves exactly like its
+/// JSON-serializable masked twin.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    splitmix64((base & SEED_MASK) ^ splitmix64(index)) & SEED_MASK
+}
+
+/// Parse a JSONL manifest. Blank lines and `#` comment lines are
+/// skipped; anything else must be a complete [`JobSpec`] object.
+pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, String> {
+    let mut jobs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let spec: JobSpec = serde_json::from_str(trimmed)
+            .map_err(|e| format!("manifest line {}: {e:?}", lineno + 1))?;
+        jobs.push(spec);
+    }
+    Ok(jobs)
+}
+
+/// Serialize jobs back to JSONL (the inverse of [`parse_manifest`]).
+///
+/// Base seeds are written masked to [`SEED_MASK`] — the f64-backed JSON
+/// layer cannot represent larger integers, and [`derive_seed`] treats
+/// the masked and unmasked forms identically, so the round trip
+/// preserves behavior bit-for-bit.
+pub fn manifest_to_jsonl(jobs: &[JobSpec]) -> String {
+    let mut out = String::new();
+    for job in jobs {
+        let writable = JobSpec {
+            seed: job.seed & SEED_MASK,
+            ..job.clone()
+        };
+        out.push_str(&serde_json::to_string(&writable).expect("JobSpec serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Resolve a worker-count request (0 = auto) against the job count.
+fn effective_workers(requested: usize, n_jobs: usize) -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    let workers = if requested == 0 { auto } else { requested };
+    workers.clamp(1, n_jobs.max(1))
+}
+
+/// Fan `n` index-addressed tasks out across `workers` scoped threads
+/// (0 = auto). Results return in index order regardless of scheduling;
+/// a panicking task propagates (the whole fan-out fails loudly rather
+/// than reporting partial results).
+///
+/// This is the shared primitive under [`run_manifest`] and the repro
+/// harness's concurrent E1–E9 regeneration.
+pub fn fan_out<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = effective_workers(workers, n);
+    if n == 0 {
+        return Vec::new();
+    }
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Execute a manifest against a registry, optionally through a result
+/// store (hits skip the pipeline entirely). `workers = 0` auto-sizes.
+pub fn run_manifest(
+    registry: &DomainRegistry,
+    jobs: &[JobSpec],
+    store: Option<&ResultStore>,
+    workers: usize,
+) -> Vec<JobOutcome> {
+    fan_out(jobs.len(), workers, |index| {
+        run_job(registry, &jobs[index], index, store)
+    })
+}
+
+fn run_job(
+    registry: &DomainRegistry,
+    job: &JobSpec,
+    index: usize,
+    store: Option<&ResultStore>,
+) -> JobOutcome {
+    let start = std::time::Instant::now();
+    let mut config = job.config.clone();
+    config.seed = derive_seed(job.seed, index as u64);
+
+    let mut outcome = JobOutcome {
+        index,
+        domain: job.domain.clone(),
+        derived_seed: config.seed,
+        cache_hit: false,
+        wall_time_ms: 0,
+        result: None,
+        error: None,
+    };
+
+    let Some(domain) = registry.get(&job.domain) else {
+        outcome.error = Some(format!("unknown domain id '{}'", job.domain));
+        return outcome;
+    };
+
+    if let Some(store) = store {
+        if let Some(result) = store.lookup(&job.domain, &config) {
+            outcome.cache_hit = true;
+            outcome.result = Some(result);
+            outcome.wall_time_ms = start.elapsed().as_millis() as u64;
+            return outcome;
+        }
+    }
+
+    let mut result = run_domain(domain, &config);
+    // Normalize: wall-clock is execution metadata, not content. Stored
+    // and compared results must be identical across runs and worker
+    // counts; the measured time lives on the outcome instead.
+    result.wall_time_ms = 0;
+    if let Some(store) = store {
+        // Failing to persist is not failing the job (e.g. read-only dir);
+        // the next run simply recomputes.
+        let _ = store.insert(&job.domain, &config, &result);
+    }
+    outcome.result = Some(result);
+    outcome.wall_time_ms = start.elapsed().as_millis() as u64;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_positional_and_stable() {
+        assert_eq!(derive_seed(7, 0), derive_seed(7, 0));
+        assert_ne!(derive_seed(7, 0), derive_seed(7, 1));
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+    }
+
+    #[test]
+    fn derived_seeds_are_json_safe() {
+        // The f64-backed JSON layer rejects integers beyond 2^53; derived
+        // seeds must stay inside that window even for extreme inputs.
+        for base in [0, 7, u64::MAX, 1 << 60] {
+            for index in [0, 1, 1000, u64::MAX] {
+                assert!(derive_seed(base, index) <= SEED_MASK);
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_preserves_index_order() {
+        let squares = fan_out(100, 4, |i| i * i);
+        assert_eq!(squares.len(), 100);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, i * i);
+        }
+    }
+
+    #[test]
+    fn fan_out_handles_empty_and_serial() {
+        assert!(fan_out(0, 4, |i| i).is_empty());
+        assert_eq!(fan_out(3, 1, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn manifest_roundtrip_skips_comments() {
+        let text = "# smoke manifest\n\n{\"domain\":\"dp\",\"config\":".to_string()
+            + &serde_json::to_string(&PipelineConfig::default()).unwrap()
+            + ",\"seed\":7}\n";
+        let jobs = parse_manifest(&text).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].domain, "dp");
+        assert_eq!(jobs[0].seed, 7);
+        let back = parse_manifest(&manifest_to_jsonl(&jobs)).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].domain, "dp");
+    }
+
+    #[test]
+    fn malformed_manifest_line_reports_position() {
+        let err = parse_manifest("# ok\n{not json}\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn unknown_domain_is_an_error_outcome_not_a_panic() {
+        let registry = crate::domain::DomainRegistry::builtin();
+        let jobs = vec![JobSpec {
+            domain: "no-such-domain".into(),
+            config: PipelineConfig::default(),
+            seed: 1,
+        }];
+        let outcomes = run_manifest(&registry, &jobs, None, 1);
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].result.is_none());
+        assert!(outcomes[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("no-such-domain"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # xplain-runtime
+//!
+//! The serving layer over the XPlain pipeline — what turns the library
+//! into something operators point at *their* heuristics (the paper's §6
+//! pitch, and X-SYS's "explanation systems need a reference serving
+//! architecture" argument):
+//!
+//! * [`domain`] — the object-safe [`Domain`] trait (oracle factory, DSL
+//!   mapper, analyzer seeds, instance family, feature schema) and the
+//!   id-keyed [`DomainRegistry`]. `core::pipeline` knows nothing about
+//!   concrete domains; this crate binds them.
+//! * [`adapters`] — the built-in domains: Demand Pinning (`"dp"`),
+//!   first-fit bin packing (`"ff"`), and LPT makespan scheduling
+//!   (`"sched"` — the third domain, proving the registry is open).
+//! * [`executor`] — the parallel batch engine: JSONL job manifests fanned
+//!   out over `std::thread::scope` workers with deterministic per-job
+//!   seed derivation (1 worker and N workers produce byte-identical
+//!   results).
+//! * [`store`] — the content-addressed on-disk result store (JSON keyed
+//!   by a hash of domain id + config); repeated jobs are cache hits,
+//!   corrupted entries degrade to recomputes.
+//!
+//! The `runner` binary drives all of it from the command line; see the
+//! README's batch-runner quickstart.
+
+pub mod adapters;
+pub mod domain;
+pub mod executor;
+pub mod store;
+
+pub use adapters::{DpDomain, DpDslMapper, FfDomain, FfDslMapper, SchedDomain, SchedDslMapper};
+pub use domain::{run_domain, run_domain_full, Domain, DomainAnalysis, DomainRegistry};
+pub use executor::{
+    derive_seed, fan_out, manifest_to_jsonl, parse_manifest, run_manifest, JobOutcome, JobSpec,
+};
+pub use store::ResultStore;

@@ -1,0 +1,223 @@
+//! Content-addressed on-disk result store.
+//!
+//! Pipeline runs are pure functions of `(domain id, PipelineConfig)` —
+//! the config carries the derived seed — so results are cached under a
+//! key hashed from exactly those two values (FNV-1a over the domain id
+//! and the config's canonical JSON). Repeated jobs across runner
+//! invocations become cache hits; anything unreadable, unparsable, or
+//! mismatched (a hash collision or a stale schema) is treated as a miss
+//! and silently recomputed — a corrupt cache must never panic or poison
+//! results.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+use xplain_core::pipeline::{PipelineConfig, PipelineResult};
+
+/// One stored entry. The key inputs are echoed next to the result so
+/// lookups can verify them (defends against both hash collisions and
+/// config-schema drift between versions).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoreEntry {
+    domain: String,
+    config: PipelineConfig,
+    result: PipelineResult,
+}
+
+/// A directory of `{key:016x}.json` entries.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+/// Unique-ish suffix counter for temp files (concurrent writers on the
+/// same key must not interleave partial writes; each writes its own temp
+/// file and atomically renames it into place).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl ResultStore {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultStore { dir: dir.into() }
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content-addressed key of a job.
+    pub fn key(domain: &str, config: &PipelineConfig) -> u64 {
+        let config_json = serde_json::to_string(config).unwrap_or_default();
+        let mut h = fnv1a64(domain.as_bytes());
+        h = fnv1a64_continue(h, &[0]);
+        fnv1a64_continue(h, config_json.as_bytes())
+    }
+
+    /// On-disk path of a job's entry.
+    pub fn entry_path(&self, domain: &str, config: &PipelineConfig) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.json", Self::key(domain, config)))
+    }
+
+    /// Fetch a cached result. `None` means miss — including unreadable or
+    /// corrupted entries and echo mismatches, which callers recompute.
+    pub fn lookup(&self, domain: &str, config: &PipelineConfig) -> Option<PipelineResult> {
+        let text = fs::read_to_string(self.entry_path(domain, config)).ok()?;
+        let entry: StoreEntry = serde_json::from_str(&text).ok()?;
+        let same_config =
+            serde_json::to_string(&entry.config).ok()? == serde_json::to_string(config).ok()?;
+        (entry.domain == domain && same_config).then_some(entry.result)
+    }
+
+    /// Store a result (write-to-temp + rename so concurrent writers of
+    /// the same key never expose a torn file).
+    pub fn insert(
+        &self,
+        domain: &str,
+        config: &PipelineConfig,
+        result: &PipelineResult,
+    ) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let entry = StoreEntry {
+            domain: domain.to_string(),
+            config: config.clone(),
+            result: result.clone(),
+        };
+        let json = serde_json::to_string(&entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let final_path = self.entry_path(domain, config);
+        let tmp_path = self.dir.join(format!(
+            ".{:016x}.{}.{}.tmp",
+            Self::key(domain, config),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp_path, json)?;
+        fs::rename(&tmp_path, final_path)
+    }
+
+    /// Number of committed entries on disk.
+    pub fn len(&self) -> usize {
+        let Ok(read) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        read.filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_continue(0xcbf29ce484222325, bytes)
+}
+
+fn fnv1a64_continue(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xplain-store-test-{tag}-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn dummy_result(rejected: usize) -> PipelineResult {
+        PipelineResult {
+            findings: Vec::new(),
+            rejected,
+            analyzer_calls: 1,
+            coverage: None,
+            oracle_evaluations: 42,
+            wall_time_ms: 0,
+        }
+    }
+
+    #[test]
+    fn key_depends_on_domain_and_config() {
+        let a = PipelineConfig::default();
+        let mut b = PipelineConfig::default();
+        b.seed ^= 1;
+        assert_eq!(ResultStore::key("dp", &a), ResultStore::key("dp", &a));
+        assert_ne!(ResultStore::key("dp", &a), ResultStore::key("ff", &a));
+        assert_ne!(ResultStore::key("dp", &a), ResultStore::key("dp", &b));
+    }
+
+    #[test]
+    fn roundtrip_hit_and_miss() {
+        let store = ResultStore::new(scratch_dir("roundtrip"));
+        let config = PipelineConfig::default();
+        assert!(
+            store.lookup("dp", &config).is_none(),
+            "cold store must miss"
+        );
+        store.insert("dp", &config, &dummy_result(3)).unwrap();
+        let back = store.lookup("dp", &config).expect("hit after insert");
+        assert_eq!(back.rejected, 3);
+        assert_eq!(back.oracle_evaluations, 42);
+        // Other domain / other config: still misses.
+        assert!(store.lookup("ff", &config).is_none());
+        let mut other = config.clone();
+        other.seed ^= 7;
+        assert!(store.lookup("dp", &other).is_none());
+        assert_eq!(store.len(), 1);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupted_entry_is_a_miss_not_a_panic() {
+        let store = ResultStore::new(scratch_dir("corrupt"));
+        let config = PipelineConfig::default();
+        store.insert("dp", &config, &dummy_result(1)).unwrap();
+        // Truncate the entry mid-JSON.
+        let path = store.entry_path("dp", &config);
+        fs::write(&path, "{\"domain\": \"dp\", \"config\":").unwrap();
+        assert!(store.lookup("dp", &config).is_none());
+        // Recompute-and-overwrite heals the entry.
+        store.insert("dp", &config, &dummy_result(1)).unwrap();
+        assert_eq!(store.lookup("dp", &config).unwrap().rejected, 1);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn echo_mismatch_is_a_miss() {
+        let store = ResultStore::new(scratch_dir("echo"));
+        let config = PipelineConfig::default();
+        store.insert("dp", &config, &dummy_result(0)).unwrap();
+        // Simulate a hash collision: the file parses but echoes a
+        // different domain id.
+        let path = store.entry_path("dp", &config);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replacen("\"dp\"", "\"zz\"", 1)).unwrap();
+        assert!(store.lookup("dp", &config).is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn overwrite_replaces_entry() {
+        let store = ResultStore::new(scratch_dir("overwrite"));
+        let config = PipelineConfig::default();
+        store.insert("dp", &config, &dummy_result(1)).unwrap();
+        store.insert("dp", &config, &dummy_result(9)).unwrap();
+        assert_eq!(store.lookup("dp", &config).unwrap().rejected, 9);
+        assert_eq!(store.len(), 1);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,148 @@
+//! The executor's core guarantee, pinned as a property test: the same
+//! manifest run with 1 worker and with N workers yields identical
+//! `PipelineResult` JSON per job, and rerunning against a warm store is
+//! pure cache hits with the same bytes.
+
+use proptest::prelude::*;
+use xplain_core::pipeline::PipelineConfig;
+use xplain_core::{ExplainerParams, SignificanceParams};
+use xplain_runtime::{run_manifest, DomainRegistry, JobOutcome, JobSpec, ResultStore};
+
+/// Small-but-real config so each property case stays fast.
+fn tiny_config(pairs: usize, samples: usize, coverage: usize) -> PipelineConfig {
+    PipelineConfig {
+        max_subspaces: 1,
+        significance: SignificanceParams {
+            pairs,
+            ..Default::default()
+        },
+        explainer: ExplainerParams {
+            samples,
+            threads: 1,
+            ..Default::default()
+        },
+        coverage_samples: coverage,
+        ..Default::default()
+    }
+}
+
+/// One job per registered domain, all sharing the manifest base seed.
+fn three_domain_manifest(config: &PipelineConfig, seed: u64) -> Vec<JobSpec> {
+    DomainRegistry::builtin()
+        .ids()
+        .into_iter()
+        .map(|domain| JobSpec {
+            domain,
+            config: config.clone(),
+            seed,
+        })
+        .collect()
+}
+
+fn results_json(outcomes: &[JobOutcome]) -> Vec<String> {
+    outcomes
+        .iter()
+        .map(|o| serde_json::to_string(&o.result).expect("result serializes"))
+        .collect()
+}
+
+fn scratch_store(tag: &str) -> ResultStore {
+    let dir = std::env::temp_dir().join(format!("xplain-determinism-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    ResultStore::new(dir)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The satellite requirement: serial ≡ parallel, per job, over random
+    /// small configs and manifest seeds.
+    #[test]
+    fn serial_equals_parallel_per_job(
+        seed in 0u64..1_000_000,
+        pairs in 20usize..40,
+        samples in 20usize..60,
+        coverage in 0usize..200,
+        workers in 2usize..5,
+    ) {
+        let jobs = three_domain_manifest(&tiny_config(pairs, samples, coverage), seed);
+        let registry = DomainRegistry::builtin();
+        let serial = run_manifest(&registry, &jobs, None, 1);
+        let parallel = run_manifest(&registry, &jobs, None, workers);
+        prop_assert_eq!(serial.len(), parallel.len());
+        let sj = results_json(&serial);
+        let pj = results_json(&parallel);
+        for (i, (s, p)) in sj.iter().zip(&pj).collect::<Vec<_>>().into_iter().enumerate() {
+            prop_assert_eq!(s, p, "job {} diverged between 1 and {} workers", i, workers);
+        }
+        // Derived seeds are positional: same between runs, distinct
+        // across the manifest (all base seeds equal, indices differ).
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(s.derived_seed, p.derived_seed);
+        }
+        prop_assert!(serial[0].derived_seed != serial[1].derived_seed);
+    }
+}
+
+/// The acceptance scenario end to end: a 3-domain manifest executed with
+/// 4 workers reproduces the single-threaded results byte-for-byte, and a
+/// second run over the store is all cache hits with identical bytes.
+#[test]
+fn three_domain_manifest_4_workers_bit_identical_with_cache_hits() {
+    let registry = DomainRegistry::builtin();
+    let jobs = three_domain_manifest(&tiny_config(40, 80, 200), 0xACCE97);
+    assert_eq!(jobs.len(), 3, "one job per registered domain");
+
+    let store = scratch_store("acceptance");
+    let serial = run_manifest(&registry, &jobs, None, 1);
+    let parallel = run_manifest(&registry, &jobs, Some(&store), 4);
+    let cached = run_manifest(&registry, &jobs, Some(&store), 4);
+
+    let sj = results_json(&serial);
+    let pj = results_json(&parallel);
+    let cj = results_json(&cached);
+    assert_eq!(
+        sj, pj,
+        "1-worker vs 4-worker results must be byte-identical"
+    );
+    assert_eq!(pj, cj, "cached results must be byte-identical");
+    for o in &parallel {
+        assert!(!o.cache_hit, "cold store must compute");
+        assert!(o.error.is_none());
+        assert!(o.result.is_some());
+    }
+    for o in &cached {
+        assert!(o.cache_hit, "warm store must hit ({})", o.domain);
+    }
+    assert_eq!(store.len(), 3);
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+/// Corrupting a store entry between runs degrades to a recompute that
+/// heals the cache — never a panic, never a wrong result.
+#[test]
+fn corrupted_store_entry_recovers_through_the_executor() {
+    let registry = DomainRegistry::builtin();
+    let jobs = three_domain_manifest(&tiny_config(30, 40, 0), 0xC0FFEE);
+    let store = scratch_store("corrupt");
+
+    let first = run_manifest(&registry, &jobs, Some(&store), 2);
+    // Vandalize the sched entry (garbage bytes) and delete the dp entry.
+    let mut sched_config = jobs[2].config.clone();
+    sched_config.seed = first[2].derived_seed;
+    std::fs::write(store.entry_path("sched", &sched_config), b"not json").unwrap();
+    let mut dp_config = jobs[0].config.clone();
+    dp_config.seed = first[0].derived_seed;
+    std::fs::remove_file(store.entry_path("dp", &dp_config)).unwrap();
+
+    let second = run_manifest(&registry, &jobs, Some(&store), 2);
+    assert_eq!(results_json(&first), results_json(&second));
+    assert!(!second[0].cache_hit, "deleted entry recomputes");
+    assert!(second[1].cache_hit, "untouched entry still hits");
+    assert!(!second[2].cache_hit, "corrupted entry recomputes");
+
+    // The recompute healed the store: third run is all hits.
+    let third = run_manifest(&registry, &jobs, Some(&store), 2);
+    assert!(third.iter().all(|o| o.cache_hit));
+    let _ = std::fs::remove_dir_all(store.dir());
+}

@@ -1,0 +1,187 @@
+//! End-to-end pipeline runs for every registered domain — the registry
+//! replaces the old hard-coded `run_dp_pipeline` / `run_ff_pipeline`
+//! entry points, and the scheduling domain proves the interface is open.
+
+use xplain_core::pipeline::PipelineConfig;
+use xplain_core::subspace::SubspaceParams;
+use xplain_core::{ExplainerParams, SignificanceParams, Trend};
+use xplain_runtime::{run_domain, run_domain_full, Domain, DomainRegistry};
+
+fn fast_config() -> PipelineConfig {
+    PipelineConfig {
+        max_subspaces: 2,
+        subspace: SubspaceParams {
+            dkw_eps: 0.25,
+            dkw_delta: 0.25,
+            max_expansions: 6,
+            tree_sample_factor: 3,
+            ..Default::default()
+        },
+        significance: SignificanceParams {
+            pairs: 60,
+            ..Default::default()
+        },
+        explainer: ExplainerParams {
+            samples: 150,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn dp_pipeline_end_to_end_via_registry() {
+    let registry = DomainRegistry::builtin();
+    let result = run_domain(registry.get("dp").unwrap(), &fast_config());
+    assert!(
+        !result.findings.is_empty(),
+        "pipeline found no significant subspace (rejected {})",
+        result.rejected
+    );
+    let f = &result.findings[0];
+    // The seed gap should be near the true maximum of 100.
+    assert!(f.subspace.seed_gap > 80.0, "{}", f.subspace.seed_gap);
+    // Significance at the paper's bar.
+    let sig = f.significance.as_ref().unwrap();
+    assert!(sig.significant);
+    assert!(sig.test.p_value < 0.05);
+    // Type-2 explanation present and pointing at the right edges.
+    let ex = f.explanation.as_ref().unwrap();
+    let short = ex.edges.iter().find(|e| e.label == "1~3->1-2-3").unwrap();
+    let long = ex.edges.iter().find(|e| e.label == "1~3->1-4-5-3").unwrap();
+    assert!(short.score < -0.5, "short score {}", short.score);
+    assert!(long.score > 0.5, "long score {}", long.score);
+}
+
+#[test]
+fn ff_pipeline_end_to_end_via_registry() {
+    let registry = DomainRegistry::builtin();
+    let result = run_domain(registry.get("ff").unwrap(), &fast_config());
+    assert!(
+        !result.findings.is_empty(),
+        "pipeline found no significant subspace (rejected {})",
+        result.rejected
+    );
+    let f = &result.findings[0];
+    assert!(f.subspace.seed_gap >= 1.0);
+    assert!(f.significance.as_ref().unwrap().significant);
+}
+
+/// The acceptance headline: the *third* domain runs the full Type-1/2/3
+/// pipeline purely through the registry.
+#[test]
+fn sched_pipeline_types_1_2_3_end_to_end() {
+    let registry = DomainRegistry::builtin();
+    let analysis = run_domain_full(registry.get("sched").unwrap(), &fast_config());
+
+    // Type 1: a significant adversarial subspace around gap >= 1.
+    assert!(
+        !analysis.pipeline.findings.is_empty(),
+        "no significant subspace (rejected {})",
+        analysis.pipeline.rejected
+    );
+    let f = &analysis.pipeline.findings[0];
+    assert!(f.subspace.seed_gap >= 1.0 - 1e-9, "{}", f.subspace.seed_gap);
+    assert!(f.significance.as_ref().unwrap().significant);
+
+    // Type 2: the heat-map exists and some edge shows real disagreement
+    // (LPT separates jobs the optimum pairs).
+    let ex = f.explanation.as_ref().unwrap();
+    assert!(ex.samples_used > 0);
+    let strongest = ex.strongest_disagreements(1)[0];
+    assert!(
+        strongest.score.abs() > 0.5,
+        "strongest disagreement only {}",
+        strongest.score
+    );
+
+    // Type 3: the Graham-tight family yields increasing(num_machines).
+    let trend = analysis
+        .trends
+        .iter()
+        .find(|t| t.feature == "num_machines")
+        .expect("increasing(num_machines) must be discovered");
+    assert_eq!(trend.trend, Trend::Increasing);
+    assert!(trend.p_value < 0.05);
+}
+
+#[test]
+fn exclusions_accumulate_across_findings() {
+    let registry = DomainRegistry::builtin();
+    let config = PipelineConfig {
+        max_subspaces: 3,
+        ..fast_config()
+    };
+    let result = run_domain(registry.get("dp").unwrap(), &config);
+    // Later findings must not overlap the first subspace's seed.
+    if result.findings.len() >= 2 {
+        let first = &result.findings[0].subspace;
+        for later in &result.findings[1..] {
+            assert!(
+                !first.contains(&later.subspace.seed),
+                "later seed inside earlier subspace"
+            );
+        }
+    }
+    assert!(result.analyzer_calls >= result.findings.len());
+    assert!(result.oracle_evaluations > 0);
+}
+
+/// Registering a fourth, out-of-tree domain needs nothing beyond the
+/// trait — the openness claim, demonstrated with a synthetic domain.
+#[test]
+fn registry_accepts_custom_domains() {
+    use xplain_analyzer::oracle::GapOracle;
+    use xplain_core::explainer::DslMapper;
+    use xplain_core::generalizer::Observation;
+
+    struct RidgeOracle;
+    impl GapOracle for RidgeOracle {
+        fn dims(&self) -> usize {
+            2
+        }
+        fn bounds(&self) -> Vec<(f64, f64)> {
+            vec![(0.0, 1.0); 2]
+        }
+        fn gap(&self, x: &[f64]) -> f64 {
+            // Positive gap on a diagonal ridge.
+            (1.0 - (x[0] - x[1]).abs() * 4.0).max(0.0)
+        }
+    }
+
+    struct RidgeDomain;
+    impl Domain for RidgeDomain {
+        fn id(&self) -> &str {
+            "ridge"
+        }
+        fn description(&self) -> String {
+            "synthetic diagonal-ridge gap".into()
+        }
+        fn oracle(&self) -> Box<dyn GapOracle> {
+            Box::new(RidgeOracle)
+        }
+        fn mapper(&self) -> Option<Box<dyn DslMapper>> {
+            None
+        }
+        fn seeds(&self) -> Vec<Vec<f64>> {
+            vec![vec![0.5, 0.5]]
+        }
+        fn instance_family(&self, _seed: u64) -> Vec<Observation> {
+            (1..=6)
+                .map(|k| Observation {
+                    features: vec![("k".to_string(), k as f64)],
+                    gap: k as f64,
+                })
+                .collect()
+        }
+    }
+
+    let mut registry = DomainRegistry::builtin();
+    registry.register(Box::new(RidgeDomain));
+    assert_eq!(registry.len(), 4);
+    let analysis = run_domain_full(registry.get("ridge").unwrap(), &fast_config());
+    assert!(!analysis.pipeline.findings.is_empty());
+    // No mapper: Type 2 off, Types 1 and 3 still flow.
+    assert!(analysis.pipeline.findings[0].explanation.is_none());
+    assert!(analysis.trends.iter().any(|t| t.feature == "k"));
+}

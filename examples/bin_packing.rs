@@ -11,10 +11,11 @@
 
 use xplain::analyzer::ff_metaopt::FfMetaOpt;
 use xplain::analyzer::geometry::Polytope;
-use xplain::core::explainer::{explain, DslMapper, ExplainerParams, FfDslMapper};
+use xplain::core::explainer::{explain, DslMapper, ExplainerParams};
 use xplain::core::report::render_explanation;
 use xplain::core::subspace::Subspace;
 use xplain::domains::vbp::{best_fit, first_fit, first_fit_decreasing, optimal, VbpInstance};
+use xplain::runtime::FfDslMapper;
 
 fn main() {
     // --- Fig. 2 replay ----------------------------------------------------

@@ -10,13 +10,10 @@
 //! cargo run --release --example full_pipeline
 //! ```
 
-use rand::SeedableRng;
-use xplain::core::generalizer::{generalize, GeneralizerParams};
-use xplain::core::instances::{generate_dp_instances, DpFamily};
-use xplain::core::pipeline::{run_dp_pipeline, run_ff_pipeline, PipelineConfig};
+use xplain::core::pipeline::PipelineConfig;
 use xplain::core::report::{render_findings, render_pipeline};
-use xplain::core::{ExplainerParams, Observation};
-use xplain::domains::te::TeProblem;
+use xplain::core::ExplainerParams;
+use xplain::runtime::{run_domain, run_domain_full, DomainRegistry};
 
 fn main() {
     let config = PipelineConfig {
@@ -27,41 +24,38 @@ fn main() {
         },
         ..Default::default()
     };
+    // Every domain comes out of the registry — the same way the batch
+    // runner and the repro harness address them.
+    let registry = DomainRegistry::builtin();
 
     // ---------- Demand Pinning (Fig. 4a path) ----------------------------
     println!("=== Demand Pinning on Fig. 1a ===\n");
-    let problem = TeProblem::fig1a();
-    let dp_result = run_dp_pipeline(&problem, 50.0, &config);
-    let dp_names: Vec<String> = (0..problem.num_demands())
-        .map(|k| format!("d[{}]", problem.demand_name(k)))
-        .collect();
-    print!("{}", render_pipeline(&dp_result, &dp_names));
+    let dp = registry.get("dp").expect("built-in");
+    let dp_analysis = run_domain_full(dp, &config);
+    let dp_result = &dp_analysis.pipeline;
+    print!("{}", render_pipeline(dp_result, &dp.oracle().dim_names()));
 
     // ---------- First-fit (Fig. 4b path) ----------------------------------
     println!("=== First-fit, 4 balls / 3 bins ===\n");
-    let ff_result = run_ff_pipeline(4, 3, &config);
-    let ff_names: Vec<String> = (0..4).map(|i| format!("B{i}")).collect();
-    print!("{}", render_pipeline(&ff_result, &ff_names));
+    let ff = registry.get("ff").expect("built-in");
+    let ff_result = run_domain(ff, &config);
+    print!("{}", render_pipeline(&ff_result, &ff.oracle().dim_names()));
+
+    // ---------- LPT scheduling: all three types through one call ----------
+    println!("=== LPT makespan scheduling, 5 jobs / 2 machines ===\n");
+    let sched = registry.get("sched").expect("built-in");
+    let sched_analysis = run_domain_full(sched, &config);
+    print!(
+        "{}",
+        render_pipeline(&sched_analysis.pipeline, &sched.oracle().dim_names())
+    );
 
     // ---------- Type 3: instance generator + generalizer -------------------
     println!("=== Generalizer (Type 3) ===\n");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF00D);
-    let instances = generate_dp_instances(&DpFamily::default(), &mut rng);
-    println!("instance family (chain length L, measured gap):");
-    for inst in &instances {
-        let len = inst
-            .observation
-            .features
-            .iter()
-            .find(|(n, _)| n == "pinned_path_length")
-            .map(|(_, v)| *v)
-            .unwrap_or(0.0);
-        println!("  L = {len:>2}: gap = {:>6.1}", inst.observation.gap);
-    }
-    let observations: Vec<Observation> = instances.iter().map(|i| i.observation.clone()).collect();
-    let findings = generalize(&observations, &GeneralizerParams::default());
-    println!("\ndiscovered predicates:");
-    print!("{}", render_findings(&findings));
+    println!("DP predicates (chain family, L = pinned path length):");
+    print!("{}", render_findings(&dp_analysis.trends));
+    println!("scheduling predicates (Graham-tight family):");
+    print!("{}", render_findings(&sched_analysis.trends));
 
     // ---------- JSON export -----------------------------------------------
     let json = serde_json::to_string_pretty(&dp_result).expect("serializable");

@@ -8,16 +8,15 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use xplain::core::pipeline::{run_dp_pipeline, PipelineConfig};
+use xplain::core::pipeline::PipelineConfig;
 use xplain::core::report::render_pipeline;
 use xplain::core::ExplainerParams;
-use xplain::domains::te::TeProblem;
+use xplain::runtime::{run_domain, Domain, DpDomain};
 
 fn main() {
     // The 5-node topology and three demands of Fig. 1a, with the Demand
-    // Pinning threshold at 50.
-    let problem = TeProblem::fig1a();
-    let threshold = 50.0;
+    // Pinning threshold at 50, packaged as a runtime domain.
+    let domain = DpDomain::fig1a();
 
     // Default pipeline: pattern-search analyzer -> subspace generator ->
     // Wilcoxon significance checker -> 3000-sample explainer.
@@ -30,11 +29,9 @@ fn main() {
         ..Default::default()
     };
 
-    let result = run_dp_pipeline(&problem, threshold, &config);
+    let result = run_domain(&domain, &config);
 
-    let dim_names: Vec<String> = (0..problem.num_demands())
-        .map(|k| format!("d[{}]", problem.demand_name(k)))
-        .collect();
+    let dim_names = domain.oracle().dim_names();
     print!("{}", render_pipeline(&result, &dim_names));
 
     // The headline numbers, programmatically:

@@ -17,8 +17,13 @@
 //!   bin packing with first-fit/best-fit/FFD plus exact optima;
 //! * [`analyzer`] — the MetaOpt-style adversarial-input analyzers (exact
 //!   bilevel MILPs and pattern search);
-//! * [`core`] — the XPlain pipeline: subspace generation, significance
-//!   checking, explanation heat-maps, instance generation, generalization.
+//! * [`core`] — the domain-agnostic XPlain pipeline: subspace
+//!   generation, significance checking, explanation heat-maps,
+//!   generalization;
+//! * [`runtime`] — the serving layer: the pluggable [`runtime::Domain`]
+//!   registry (Demand Pinning, first-fit, LPT scheduling), the parallel
+//!   batch executor over JSONL manifests, the content-addressed result
+//!   store, and the `runner` CLI.
 //!
 //! ## Quickstart
 //!
@@ -41,4 +46,5 @@ pub use xplain_core as core;
 pub use xplain_domains as domains;
 pub use xplain_flownet as flownet;
 pub use xplain_lp as lp;
+pub use xplain_runtime as runtime;
 pub use xplain_stats as stats;

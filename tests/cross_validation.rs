@@ -168,11 +168,11 @@ fn ff_gap_structure_sanity() {
 #[test]
 fn pipeline_with_exact_milp_finder() {
     use xplain::analyzer::geometry::Polytope;
-    use xplain::core::explainer::DpDslMapper;
     use xplain::core::features::FeatureMap;
     use xplain::core::pipeline::{run_pipeline, PipelineConfig};
     use xplain::core::subspace::SubspaceParams;
     use xplain::core::{ExplainerParams, SignificanceParams};
+    use xplain::runtime::DpDslMapper;
 
     let problem = TeProblem::fig1a();
     let exact = DpMetaOpt::new(problem.clone(), 50.0);

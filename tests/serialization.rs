@@ -2,11 +2,13 @@
 //! (dashboards, notebooks) consumes these.
 
 use xplain::analyzer::geometry::{Halfspace, Polytope};
-use xplain::core::pipeline::{run_ff_pipeline, PipelineConfig};
+use xplain::core::pipeline::PipelineConfig;
 use xplain::core::subspace::SubspaceParams;
 use xplain::core::{ExplainerParams, SignificanceParams};
+use xplain::domains::sched::SchedInstance;
 use xplain::domains::te::TeProblem;
 use xplain::domains::vbp::VbpInstance;
+use xplain::runtime::{run_domain, FfDomain};
 
 #[test]
 fn polytope_roundtrip() {
@@ -31,6 +33,16 @@ fn te_problem_roundtrip() {
     // The deserialized problem still solves.
     let opt = back.optimal(&[50.0, 100.0, 100.0]).unwrap();
     assert!((opt.total - 250.0).abs() < 1e-6);
+}
+
+#[test]
+fn sched_instance_roundtrip() {
+    let inst = SchedInstance::lpt_tight(3);
+    let json = serde_json::to_string(&inst).unwrap();
+    let back: SchedInstance = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.machines, 3);
+    assert_eq!(back.jobs, inst.jobs);
+    assert_eq!(xplain::domains::sched::lpt(&back).makespan, 11.0);
 }
 
 #[test]
@@ -63,7 +75,7 @@ fn pipeline_result_roundtrip() {
         },
         ..Default::default()
     };
-    let result = run_ff_pipeline(4, 3, &config);
+    let result = run_domain(&FfDomain::small(), &config);
     let json = serde_json::to_string(&result).unwrap();
     let back: xplain::core::PipelineResult = serde_json::from_str(&json).unwrap();
     assert_eq!(back.findings.len(), result.findings.len());
