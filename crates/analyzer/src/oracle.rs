@@ -6,9 +6,11 @@
 //! significance checking, explanation) is agnostic to how adversarial
 //! inputs are found — exactly the role MetaOpt plays in the paper's Fig. 3.
 
+use std::sync::Mutex;
 use xplain_domains::sched::{lpt, SchedInstance};
 use xplain_domains::te::{DemandPinning, TeProblem};
 use xplain_domains::vbp::{first_fit, optimal, VbpInstance};
+use xplain_lp::SessionPool;
 
 /// A heuristic-vs-benchmark gap function over a box input space.
 ///
@@ -35,9 +37,17 @@ pub trait GapOracle: Send + Sync {
 }
 
 /// Demand Pinning gap oracle: input = demand volumes, gap = OPT − DP.
+///
+/// Every evaluation solves three max-flow LPs over the *same* problem
+/// structure (benchmark + the heuristic's two lexicographic stages), so
+/// the oracle keeps a [`SessionPool`]: after the first evaluation each LP
+/// warm-starts from the previous basis. The mutex makes the pool safe to
+/// share across the explainer's sample threads; solutions are exact
+/// either way, so contention only costs time, never determinism.
 pub struct DpOracle {
     pub problem: TeProblem,
     pub heuristic: DemandPinning,
+    pool: Mutex<SessionPool>,
 }
 
 impl DpOracle {
@@ -45,7 +55,13 @@ impl DpOracle {
         DpOracle {
             problem,
             heuristic: DemandPinning::new(threshold),
+            pool: Mutex::new(SessionPool::new()),
         }
+    }
+
+    /// Aggregate solver statistics accumulated by this oracle's pool.
+    pub fn solver_stats(&self) -> xplain_lp::SolverStats {
+        self.pool.lock().map(|p| p.stats()).unwrap_or_default()
     }
 }
 
@@ -59,9 +75,21 @@ impl GapOracle for DpOracle {
     }
 
     fn gap(&self, x: &[f64]) -> f64 {
-        self.heuristic
-            .gap(&self.problem, x)
-            .unwrap_or(f64::NEG_INFINITY)
+        // Pipeline stages call the oracle sequentially, so the lock is
+        // normally uncontended; if a caller does fan gap() out across
+        // threads, contenders solve cold rather than serialize.
+        let run = |pool: &mut SessionPool| {
+            self.heuristic
+                .gap_pooled(&self.problem, x, pool)
+                .unwrap_or(f64::NEG_INFINITY)
+        };
+        match self.pool.try_lock() {
+            Ok(mut pool) => run(&mut pool),
+            // A poisoned pool (panicked sibling thread) still holds valid
+            // warm bases — exactness does not depend on them.
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => run(&mut poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => run(&mut SessionPool::new()),
+        }
     }
 
     fn dim_names(&self) -> Vec<String> {

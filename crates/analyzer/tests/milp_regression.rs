@@ -1,0 +1,51 @@
+//! Branch-and-bound regression pins for the MetaOpt-style analyzer
+//! encodings (the big-M/indicator MILPs of Fig. 1b/1c).
+//!
+//! Complements `crates/domains/tests/milp_regression.rs`: those pin the
+//! clean assignment MILPs, these pin the gadget-heavy encodings whose LP
+//! relaxations are exactly where a warm-start bug would change the
+//! explored tree. Objectives stay correct under such a bug — node counts
+//! do not.
+
+use xplain_analyzer::{DpMetaOpt, FfMetaOpt};
+use xplain_domains::te::TeProblem;
+use xplain_lp::{milp, SessionPool};
+
+#[test]
+fn ff_sec2_encoding_nodes_pinned() {
+    // §2's 4-ball / 3-bin instance: gap of exactly 1 bin.
+    let analyzer = FfMetaOpt::sec2();
+    let built = analyzer.build_model(&[]);
+    let (sol, stats) = milp::solve_with(&built.model, milp::Backend::Revised).expect("solvable");
+    assert!((sol.objective - 1.0).abs() < 1e-6, "{}", sol.objective);
+    assert_eq!(stats.nodes, PIN_FF_SEC2, "node count drifted: {stats:?}");
+    assert_eq!(stats.lp.cold_starts, 1, "{stats:?}");
+    assert_eq!(stats.lp.warm_hits + 1, stats.lp.solves, "{stats:?}");
+}
+
+#[test]
+fn dp_fig1a_encoding_nodes_pinned() {
+    // The Fig. 1b bilevel flattening on the Fig. 1a instance: gap 100.
+    let analyzer = DpMetaOpt::new(TeProblem::fig1a(), 50.0);
+    let built = analyzer.build_model(&[]);
+    let (sol, stats) = milp::solve_with(&built.model, milp::Backend::Revised).expect("solvable");
+    assert!((sol.objective - 100.0).abs() < 1.0, "{}", sol.objective);
+    assert_eq!(stats.nodes, PIN_DP_FIG1A, "node count drifted: {stats:?}");
+}
+
+#[test]
+fn pooled_iterate_and_exclude_matches_unpooled() {
+    // The session-reuse path must not change what the analyzer finds.
+    let analyzer = FfMetaOpt::sec2();
+    let mut pool = SessionPool::new();
+    let pooled = analyzer.find_adversarial_pooled(&[], &mut pool).unwrap();
+    let plain = analyzer.find_adversarial(&[]).unwrap();
+    assert!((pooled.gap - plain.gap).abs() < 1e-6);
+    assert_eq!(pooled.input, plain.input);
+    assert!(pool.stats().solves > 0);
+}
+
+// Recorded from the revised-solver branch-and-bound at the time the warm
+// start landed; see the domains twin for the drift policy.
+const PIN_FF_SEC2: u64 = 177;
+const PIN_DP_FIG1A: u64 = 1037;

@@ -52,6 +52,40 @@ fn bench_simplex(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The reference tableau on the same models, for the revised-vs-
+    // reference scaling picture (BENCH_3.json holds the summary numbers).
+    let mut group = c.benchmark_group("simplex_reference");
+    group.sample_size(20);
+    for n in [10usize, 25, 50] {
+        let model = dense_lp(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, m| {
+            b.iter(|| black_box(xplain_lp::simplex::reference::solve(m).expect("solvable")));
+        });
+    }
+    group.finish();
+
+    // Warm-started sessions over a rhs sweep (the gap-oracle pattern).
+    let mut group = c.benchmark_group("simplex_warm_sweep");
+    group.sample_size(20);
+    let model_for = |cap: f64| {
+        let mut m = dense_lp(25);
+        // dense_lp's rows all share structure; vary the model through an
+        // extra capacity row so each solve differs in rhs only.
+        let vars: Vec<_> = (0..25).map(xplain_lp::VarId::from_index).collect();
+        m.add_constr("sweep", LinExpr::sum(vars), Cmp::Le, cap);
+        m
+    };
+    group.bench_function("25_x16", |b| {
+        b.iter(|| {
+            let mut session = xplain_lp::SolverSession::new();
+            for i in 0..16 {
+                let m = model_for(30.0 + i as f64);
+                black_box(session.solve(&m).expect("solvable"));
+            }
+        });
+    });
+    group.finish();
 }
 
 fn bench_milp(c: &mut Criterion) {

@@ -1,0 +1,35 @@
+//! `bench` — the solver performance benchmark, emitting `BENCH_3.json`.
+//!
+//! ```text
+//! bench [--quick] [--out PATH]
+//!
+//! --quick   CI-sized repeats and sample counts
+//! --out     output path (default BENCH_3.json in the working directory)
+//! ```
+//!
+//! Prints a human summary to stdout and writes the machine-readable
+//! report; exits nonzero if the emitted JSON fails to parse back (the CI
+//! smoke gate relies on this).
+
+use xplain_bench::solver_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
+
+    let report = solver_bench::run(quick);
+    print!("{}", solver_bench::render(&report));
+    match solver_bench::emit(&report, &out_path) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => {
+            eprintln!("bench emission failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -27,7 +27,10 @@
 //! thresholds, heuristic variants).
 //!
 //! `cargo run -p xplain-bench --release --bin repro -- all` regenerates
-//! everything; `cargo bench` runs the Criterion timing benches.
+//! everything; `cargo bench` runs the Criterion timing benches; `cargo
+//! run -p xplain-bench --release --bin bench` runs the solver benchmark
+//! ([`solver_bench`]) and emits `BENCH_3.json` (revised-vs-reference
+//! timings, B&B node counts, E7 pipeline time).
 
 pub mod ablations;
 pub mod appendix_a;
@@ -36,5 +39,6 @@ pub mod fig4;
 pub mod fig5;
 pub mod generalize;
 pub mod pipeline_time;
+pub mod solver_bench;
 pub mod speedup;
 pub mod vbp_examples;

@@ -48,11 +48,20 @@ pub fn render(r: &PipelineTimeResult) -> String {
             out.push_str(&format!("  {}: ERROR {:?}\n", o.domain, o.error));
             continue;
         };
+        let warm_pct = if o.solver.lp_solves > 0 {
+            100.0 * o.solver.lp_warm_hits as f64 / o.solver.lp_solves as f64
+        } else {
+            0.0
+        };
         out.push_str(&format!(
-            "  {:<6} {} subspace(s), {} oracle evals, {:.1} s  (paper: ~20 min)\n",
+            "  {:<6} {} subspace(s), {} oracle evals, {} LP solves ({:.0}% warm), \
+             {} B&B nodes, {:.1} s  (paper: ~20 min)\n",
             o.domain,
             result.findings.len(),
             result.oracle_evaluations,
+            o.solver.lp_solves,
+            warm_pct,
+            o.solver.bb_nodes,
             o.wall_time_ms as f64 / 1000.0
         ));
     }

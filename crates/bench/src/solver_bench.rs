@@ -1,0 +1,390 @@
+//! The solver benchmark behind the `bench` binary: revised-vs-reference
+//! timings on LP sweeps and branch-and-bound-heavy workloads, plus the E7
+//! pipeline wall-clock — emitted as `BENCH_3.json` so later PRs have a
+//! trajectory to beat.
+//!
+//! Workloads:
+//! * **LP sweep** — the fig4a benchmark max-flow solved over a grid of
+//!   demand vectors, three ways: reference (cold tableau), revised cold,
+//!   and revised through one warm `SessionPool` (the gap-oracle pattern).
+//! * **B&B workloads** — the sched assignment MILP on the Graham-tight
+//!   family and the §2 FF MetaOpt encoding, solved with the warm-started
+//!   revised backend vs the cold reference backend.
+//! * **E7** — the end-to-end per-domain pipeline through the batch
+//!   engine, with solver counters.
+//!
+//! Timings are medians over repeated runs; counters are exact. `--quick`
+//! shrinks repeats and the E7 explainer samples for CI.
+
+use crate::pipeline_time;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use xplain_domains::sched::SchedInstance;
+use xplain_domains::te::TeProblem;
+use xplain_lp::{milp, simplex, Model, SessionPool};
+
+/// Schema marker for the emitted file.
+pub const SCHEMA: &str = "xplain-bench-3/v1";
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LpSweepReport {
+    /// Demand vectors solved per engine.
+    pub solves: usize,
+    pub reference_us_per_solve: f64,
+    pub revised_cold_us_per_solve: f64,
+    pub revised_warm_us_per_solve: f64,
+    /// reference / revised-warm.
+    pub warm_speedup: f64,
+    pub warm_hits: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BnbWorkloadReport {
+    pub name: String,
+    pub objective: f64,
+    /// Nodes the branch-and-bound explored (revised backend).
+    pub nodes: u64,
+    pub warm_hits: u64,
+    /// End-to-end branch-and-bound wall time, revised backend. Node
+    /// *counts* differ between backends (degenerate LPs admit many optimal
+    /// vertices, and branching follows the vertex), so this is trajectory
+    /// data, not the comparison metric.
+    pub end_to_end_revised_ms: f64,
+    /// Node-LP replay: the fixed LP sequence the revised branch-and-bound
+    /// actually solved, re-timed per engine. Same LPs, same order — the
+    /// fair per-node solver comparison.
+    pub replay_lps: usize,
+    pub replay_revised_ms: f64,
+    pub replay_reference_ms: f64,
+    /// replay_reference / replay_revised.
+    pub speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E7Report {
+    pub domain: String,
+    pub wall_time_ms: u64,
+    pub lp_solves: u64,
+    pub lp_warm_hits: u64,
+    pub bb_nodes: u64,
+    pub findings: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    pub schema: String,
+    pub quick: bool,
+    pub lp_sweep: LpSweepReport,
+    pub bnb: Vec<BnbWorkloadReport>,
+    pub e7: Vec<E7Report>,
+    /// Minimum speedup across the B&B workloads (the acceptance metric).
+    pub min_bnb_speedup: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs[xs.len() / 2]
+}
+
+/// Time `f` over `repeats` runs and return the median seconds.
+fn time_median<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
+    let mut times = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed().as_secs_f64());
+    }
+    median(times)
+}
+
+/// A deterministic grid of demand vectors for the LP sweep.
+fn demand_grid(dims: usize, points: usize) -> Vec<Vec<f64>> {
+    (0..points)
+        .map(|p| {
+            (0..dims)
+                .map(|d| 10.0 + ((p * 37 + d * 13) % 91) as f64)
+                .collect()
+        })
+        .collect()
+}
+
+fn lp_sweep(repeats: usize, points: usize) -> LpSweepReport {
+    let problem = TeProblem::fig4a();
+    let grid = demand_grid(problem.num_demands(), points);
+
+    let reference_s = time_median(repeats, || {
+        for v in &grid {
+            let m = problem.max_flow_model(v, None, &[]);
+            simplex::reference::solve(&m).expect("feasible max-flow");
+        }
+    });
+    let cold_s = time_median(repeats, || {
+        for v in &grid {
+            let m = problem.max_flow_model(v, None, &[]);
+            simplex::solve(&m).expect("feasible max-flow");
+        }
+    });
+    let mut warm_hits = 0u64;
+    let warm_s = time_median(repeats, || {
+        let mut pool = SessionPool::new();
+        for v in &grid {
+            let m = problem.max_flow_model(v, None, &[]);
+            pool.solve(&m).expect("feasible max-flow");
+        }
+        warm_hits = pool.stats().warm_hits;
+    });
+
+    let per = 1e6 / grid.len() as f64;
+    LpSweepReport {
+        solves: grid.len(),
+        reference_us_per_solve: reference_s * per,
+        revised_cold_us_per_solve: cold_s * per,
+        revised_warm_us_per_solve: warm_s * per,
+        warm_speedup: reference_s / warm_s.max(1e-12),
+        warm_hits,
+    }
+}
+
+fn bnb_workload(name: &str, model: &Model, repeats: usize) -> BnbWorkloadReport {
+    use xplain_lp::milp::NodeEvent;
+    let (sol, stats) = milp::solve_with(model, milp::Backend::Revised).expect("solvable");
+    let end_to_end_s = time_median(repeats, || {
+        milp::solve_with(model, milp::Backend::Revised).expect("solvable");
+    });
+
+    // The node-LP replay set: every node whose relaxation was actually
+    // solved (branched / integral / LP-infeasible / pruned-after-LP).
+    let (_, trace) = milp::solve_traced(model, milp::Backend::Revised, false);
+    let node_bounds: Vec<Vec<(usize, f64, f64)>> = trace
+        .into_iter()
+        .filter(|t| !matches!(t.event, NodeEvent::PrunedByBound | NodeEvent::EmptyDomain))
+        .map(|t| t.bounds)
+        .collect();
+
+    let apply = |scratch: &mut Model, bounds: &[(usize, f64, f64)]| {
+        for &(ix, lo, hi) in bounds {
+            let v = xplain_lp::VarId::from_index(ix);
+            let (cur_lo, cur_hi) = scratch.var_bounds(v);
+            scratch.set_var_bounds(v, cur_lo.max(lo), cur_hi.min(hi));
+        }
+    };
+
+    let replay_revised_s = time_median(repeats, || {
+        let mut session = xplain_lp::SolverSession::new();
+        let mut scratch = model.clone();
+        for bounds in &node_bounds {
+            scratch.clone_from(model);
+            apply(&mut scratch, bounds);
+            let _ = session.solve_unchecked(&scratch);
+        }
+    });
+    let replay_reference_s = time_median(repeats, || {
+        let mut scratch = model.clone();
+        for bounds in &node_bounds {
+            scratch.clone_from(model);
+            apply(&mut scratch, bounds);
+            let _ = simplex::reference::solve(&scratch);
+        }
+    });
+
+    BnbWorkloadReport {
+        name: name.to_string(),
+        objective: sol.objective,
+        nodes: stats.nodes,
+        warm_hits: stats.lp.warm_hits,
+        end_to_end_revised_ms: end_to_end_s * 1e3,
+        replay_lps: node_bounds.len(),
+        replay_revised_ms: replay_revised_s * 1e3,
+        replay_reference_ms: replay_reference_s * 1e3,
+        speedup: replay_reference_s / replay_revised_s.max(1e-12),
+    }
+}
+
+/// The sched assignment MILP on the Graham-tight instance.
+fn sched_model(machines: usize) -> Model {
+    use xplain_lp::{Cmp, LinExpr, Sense, VarType};
+    let inst = SchedInstance::lpt_tight(machines);
+    let n = inst.num_jobs();
+    let total: f64 = inst.jobs.iter().sum();
+    let mut m = Model::new(Sense::Minimize);
+    let x: Vec<Vec<_>> = (0..n)
+        .map(|i| {
+            (0..inst.machines)
+                .map(|j| m.add_binary(format!("x[{i},{j}]")))
+                .collect()
+        })
+        .collect();
+    let c = m.add_var("C", VarType::Continuous, inst.lower_bound(), total);
+    for (i, row) in x.iter().enumerate() {
+        m.add_constr(
+            format!("place[{i}]"),
+            LinExpr::sum(row.iter().copied()),
+            Cmp::Eq,
+            1.0,
+        );
+    }
+    for j in 0..inst.machines {
+        let mut load = LinExpr::new();
+        for (i, row) in x.iter().enumerate() {
+            load.add_term(row[j], inst.jobs[i]);
+        }
+        load.add_term(c, -1.0);
+        m.add_constr(format!("makespan[{j}]"), load, Cmp::Le, 0.0);
+    }
+    m.add_constr("sym", LinExpr::term(x[0][0], 1.0), Cmp::Eq, 1.0);
+    m.set_objective(LinExpr::term(c, 1.0));
+    m
+}
+
+fn e7_reports(explainer_samples: usize) -> Vec<E7Report> {
+    pipeline_time::run(explainer_samples)
+        .outcomes
+        .iter()
+        .map(|o| E7Report {
+            domain: o.domain.clone(),
+            wall_time_ms: o.wall_time_ms,
+            lp_solves: o.solver.lp_solves,
+            lp_warm_hits: o.solver.lp_warm_hits,
+            bb_nodes: o.solver.bb_nodes,
+            findings: o.result.as_ref().map(|r| r.findings.len()).unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Run the full benchmark.
+pub fn run(quick: bool) -> BenchReport {
+    let repeats = if quick { 3 } else { 9 };
+    let lp_points = if quick { 40 } else { 200 };
+    let e7_samples = if quick { 300 } else { 3000 };
+
+    let lp = lp_sweep(repeats, lp_points);
+
+    let mut bnb = Vec::new();
+    bnb.push(bnb_workload("sched_tight_m3", &sched_model(3), repeats));
+    bnb.push(bnb_workload("sched_tight_m4", &sched_model(4), repeats));
+    {
+        use xplain_analyzer::FfMetaOpt;
+        let analyzer = if quick {
+            FfMetaOpt::new(3, 3)
+        } else {
+            FfMetaOpt::sec2()
+        };
+        let built = analyzer.build_model(&[]);
+        let ff_repeats = if quick { 1 } else { 3 };
+        bnb.push(bnb_workload(
+            if quick {
+                "ff_metaopt_3ball"
+            } else {
+                "ff_metaopt_sec2"
+            },
+            &built.model,
+            ff_repeats,
+        ));
+    }
+
+    let e7 = e7_reports(e7_samples);
+    let min_bnb_speedup = bnb.iter().map(|w| w.speedup).fold(f64::INFINITY, f64::min);
+
+    BenchReport {
+        schema: SCHEMA.to_string(),
+        quick,
+        lp_sweep: lp,
+        bnb,
+        e7,
+        min_bnb_speedup,
+    }
+}
+
+pub fn render(r: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Solver bench (quick = {}) — reference tableau vs revised simplex\n",
+        r.quick
+    ));
+    out.push_str(&format!(
+        "  LP sweep (fig4a max-flow, {} solves): reference {:.1} µs, revised cold {:.1} µs, \
+         revised warm {:.1} µs ({:.2}x vs reference, {} warm hits)\n",
+        r.lp_sweep.solves,
+        r.lp_sweep.reference_us_per_solve,
+        r.lp_sweep.revised_cold_us_per_solve,
+        r.lp_sweep.revised_warm_us_per_solve,
+        r.lp_sweep.warm_speedup,
+        r.lp_sweep.warm_hits,
+    ));
+    for w in &r.bnb {
+        out.push_str(&format!(
+            "  B&B {:<16} {:>5} nodes, end-to-end {:.2} ms; node-LP replay ({} LPs): \
+             revised {:.2} ms vs reference {:.2} ms — {:.2}x\n",
+            w.name,
+            w.nodes,
+            w.end_to_end_revised_ms,
+            w.replay_lps,
+            w.replay_revised_ms,
+            w.replay_reference_ms,
+            w.speedup
+        ));
+    }
+    for e in &r.e7 {
+        out.push_str(&format!(
+            "  E7 {:<6} {} ms, {} LP solves ({} warm), {} B&B nodes, {} finding(s)\n",
+            e.domain, e.wall_time_ms, e.lp_solves, e.lp_warm_hits, e.bb_nodes, e.findings
+        ));
+    }
+    out.push_str(&format!(
+        "  min B&B speedup over reference: {:.2}x\n",
+        r.min_bnb_speedup
+    ));
+    out
+}
+
+/// Write the report to `path` and verify the emission parses back.
+pub fn emit(r: &BenchReport, path: &str) -> Result<(), String> {
+    let json = serde_json::to_string(r).map_err(|e| format!("serialize: {e:?}"))?;
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    // Self-check: a malformed emission must fail loudly, not ride to CI.
+    let back = std::fs::read_to_string(path).map_err(|e| format!("re-read {path}: {e}"))?;
+    let parsed: BenchReport =
+        serde_json::from_str(&back).map_err(|e| format!("re-parse {path}: {e:?}"))?;
+    if parsed.schema != SCHEMA {
+        return Err(format!(
+            "schema drift in {path}: {} != {SCHEMA}",
+            parsed.schema
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sched_model_matches_domain_encoding() {
+        // The bench's local model must stay in lockstep with the domain's
+        // optimal_milp encoding (same optimum on the tight family).
+        let (sol, _) = milp::solve_with(&sched_model(3), milp::Backend::Revised).unwrap();
+        assert!((sol.objective - 9.0).abs() < 1e-6, "{}", sol.objective);
+    }
+
+    #[test]
+    fn quick_bench_emits_valid_json() {
+        let report = run(true);
+        assert!(report.lp_sweep.solves > 0);
+        assert_eq!(report.bnb.len(), 3);
+        assert!(report.e7.len() >= 3);
+        let path = std::env::temp_dir().join(format!("bench3-test-{}.json", std::process::id()));
+        let path = path.to_string_lossy().to_string();
+        emit(&report, &path).expect("emission round-trips");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn warm_sweep_actually_warms() {
+        let r = lp_sweep(1, 10);
+        assert_eq!(r.solves, 10);
+        assert!(r.warm_hits > 0, "{r:?}");
+    }
+}

@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 use xplain_analyzer::geometry::Polytope;
 use xplain_analyzer::oracle::GapOracle;
 use xplain_analyzer::search::Adversarial;
+use xplain_lp::SolverCounters;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -84,6 +85,13 @@ pub struct PipelineResult {
     /// rejects integers beyond 2^53, and stored results must stay
     /// serializable; 2^64 ms is ~585 million years of pipeline anyway.
     pub wall_time_ms: u64,
+    /// LP/MILP work observed during this run (iterations, warm-start
+    /// hits, branch-and-bound nodes). Measured as a delta of the
+    /// process-wide `xplain_lp::counters`, so with concurrent pipelines
+    /// in one process it is a superset; the batch executor normalizes
+    /// the stored copy to zero (like `wall_time_ms`) and reports the
+    /// measured delta on the job outcome instead.
+    pub solver: SolverCounters,
 }
 
 /// A pluggable adversarial-input finder (exact MILP or search).
@@ -101,6 +109,7 @@ pub fn run_pipeline(
     config: &PipelineConfig,
 ) -> PipelineResult {
     let start = std::time::Instant::now();
+    let solver_before = SolverCounters::snapshot();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut exclusions: Vec<Polytope> = Vec::new();
     let mut findings: Vec<SubspaceFinding> = Vec::new();
@@ -185,6 +194,7 @@ pub fn run_pipeline(
         coverage,
         oracle_evaluations,
         wall_time_ms: start.elapsed().as_millis() as u64,
+        solver: SolverCounters::snapshot().since(&solver_before),
     }
 }
 

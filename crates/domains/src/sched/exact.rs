@@ -13,7 +13,7 @@
 
 use crate::sched::instance::{SchedInstance, Schedule};
 use crate::sched::lpt::lpt;
-use xplain_lp::{Cmp, LinExpr, LpError, Model, Sense, VarType};
+use xplain_lp::{milp, Cmp, LinExpr, LpError, Model, Sense, VarType};
 
 const TOL: f64 = 1e-9;
 
@@ -112,9 +112,19 @@ pub fn optimal(inst: &SchedInstance) -> Schedule {
 /// (job i on machine j), continuous makespan `C >= load_j`; job 0 is
 /// pinned to machine 0 to break machine symmetry.
 pub fn optimal_milp(inst: &SchedInstance) -> Result<Schedule, LpError> {
+    optimal_milp_stats(inst).map(|(s, _)| s)
+}
+
+/// [`optimal_milp`] plus branch-and-bound work counters — the regression
+/// tests pin node counts on these encodings so a warm-start bug that
+/// silently explores extra nodes fails CI instead of just running slower.
+pub fn optimal_milp_stats(inst: &SchedInstance) -> Result<(Schedule, milp::MilpStats), LpError> {
     let n = inst.num_jobs();
     if n == 0 {
-        return Ok(Schedule::from_assignment(inst, Vec::new()));
+        return Ok((
+            Schedule::from_assignment(inst, Vec::new()),
+            milp::MilpStats::default(),
+        ));
     }
     let m_count = inst.machines;
     let total: f64 = inst.jobs.iter().sum();
@@ -148,7 +158,7 @@ pub fn optimal_milp(inst: &SchedInstance) -> Result<Schedule, LpError> {
     // Symmetry breaking: job 0 runs on machine 0.
     m.add_constr("sym", LinExpr::term(x[0][0], 1.0), Cmp::Eq, 1.0);
     m.set_objective(LinExpr::term(c, 1.0));
-    let sol = m.solve()?;
+    let (sol, stats) = milp::solve_with(&m, milp::Backend::Revised)?;
 
     let mut assignment = vec![0usize; n];
     for i in 0..n {
@@ -159,7 +169,7 @@ pub fn optimal_milp(inst: &SchedInstance) -> Result<Schedule, LpError> {
             }
         }
     }
-    Ok(Schedule::from_assignment(inst, assignment))
+    Ok((Schedule::from_assignment(inst, assignment), stats))
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use crate::te::problem::{TeAllocation, TeProblem};
 use serde::{Deserialize, Serialize};
-use xplain_lp::LpError;
+use xplain_lp::{LpError, SessionPool};
 
 /// What to do when a pinned demand exceeds the residual capacity of its
 /// shortest path.
@@ -58,6 +58,19 @@ impl DemandPinning {
     /// Errors are either LP failures or, in strict mode, a pinned demand
     /// that does not fit its shortest path.
     pub fn solve(&self, problem: &TeProblem, volumes: &[f64]) -> Result<TeAllocation, DpError> {
+        let mut pool = SessionPool::new();
+        self.solve_pooled(problem, volumes, &mut pool)
+    }
+
+    /// [`DemandPinning::solve`] through a warm-start [`SessionPool`] —
+    /// the analyzer evaluates thousands of demand vectors against one
+    /// problem, and phase 2's residual max-flow LP never changes shape.
+    pub fn solve_pooled(
+        &self,
+        problem: &TeProblem,
+        volumes: &[f64],
+        pool: &mut SessionPool,
+    ) -> Result<TeAllocation, DpError> {
         let n = problem.num_demands();
         let pinned = self.pinned(volumes);
         let mut residual: Vec<f64> = problem.topology.links.iter().map(|l| l.capacity).collect();
@@ -103,7 +116,7 @@ impl DemandPinning {
         // (same lexicographic tie-break as the benchmark, so heuristic and
         // benchmark differ only through the pinning itself).
         let alloc = problem
-            .solve_max_flow_lex(volumes, Some(&residual), &pinned)
+            .solve_max_flow_lex_pooled(volumes, Some(&residual), &pinned, pool)
             .map_err(DpError::Lp)?;
         for (k, paths) in problem.paths.iter().enumerate() {
             for (p, _) in paths.iter().enumerate() {
@@ -122,8 +135,19 @@ impl DemandPinning {
     /// The performance gap `OPT(volumes) - DP(volumes)` (nonnegative up to
     /// LP tolerance, since DP is a restriction of OPT).
     pub fn gap(&self, problem: &TeProblem, volumes: &[f64]) -> Result<f64, DpError> {
-        let opt = problem.optimal(volumes).map_err(DpError::Lp)?;
-        let dp = self.solve(problem, volumes)?;
+        let mut pool = SessionPool::new();
+        self.gap_pooled(problem, volumes, &mut pool)
+    }
+
+    /// [`DemandPinning::gap`] through a warm-start [`SessionPool`].
+    pub fn gap_pooled(
+        &self,
+        problem: &TeProblem,
+        volumes: &[f64],
+        pool: &mut SessionPool,
+    ) -> Result<f64, DpError> {
+        let opt = problem.optimal_pooled(volumes, pool).map_err(DpError::Lp)?;
+        let dp = self.solve_pooled(problem, volumes, pool)?;
         Ok(opt.total - dp.total)
     }
 }

@@ -4,7 +4,7 @@
 use crate::te::paths::{k_shortest_paths, Path};
 use crate::te::topology::Topology;
 use serde::{Deserialize, Serialize};
-use xplain_lp::{Cmp, LinExpr, LpError, Model, Sense, VarType};
+use xplain_lp::{Cmp, LinExpr, LpError, Model, Sense, SessionPool, VarType};
 
 /// A demand endpoint pair (amounts are supplied separately — they are the
 /// *input space* the analyzer searches).
@@ -184,6 +184,18 @@ impl TeProblem {
         self.solve_max_flow_lex(volumes, None, &[])
     }
 
+    /// [`TeProblem::optimal`] through a warm-start [`SessionPool`]: the
+    /// benchmark LP has a fixed structure per problem, so sweeps over
+    /// demand vectors (the analyzer's bread and butter) re-solve from the
+    /// previous basis instead of running a cold phase 1 every time.
+    pub fn optimal_pooled(
+        &self,
+        volumes: &[f64],
+        pool: &mut SessionPool,
+    ) -> Result<TeAllocation, LpError> {
+        self.solve_max_flow_lex_pooled(volumes, None, &[], pool)
+    }
+
     /// Lexicographic max-flow: maximize total, then among optima minimize
     /// the flow carried by each demand's shortest path.
     pub fn solve_max_flow_lex(
@@ -192,8 +204,22 @@ impl TeProblem {
         capacities: Option<&[f64]>,
         skip_demand: &[bool],
     ) -> Result<TeAllocation, LpError> {
+        let mut pool = SessionPool::new();
+        self.solve_max_flow_lex_pooled(volumes, capacities, skip_demand, &mut pool)
+    }
+
+    /// [`TeProblem::solve_max_flow_lex`] through a caller-owned pool. The
+    /// two lexicographic stages have different shapes (stage 2 carries the
+    /// `lex_total` pin), so they warm-start against separate sessions.
+    pub fn solve_max_flow_lex_pooled(
+        &self,
+        volumes: &[f64],
+        capacities: Option<&[f64]>,
+        skip_demand: &[bool],
+        pool: &mut SessionPool,
+    ) -> Result<TeAllocation, LpError> {
         let model = self.max_flow_model(volumes, capacities, skip_demand);
-        let sol = model.solve()?;
+        let sol = pool.solve(&model)?;
         let total = sol.objective;
 
         // Phase 2: pin the total, minimize shortest-path usage.
@@ -214,7 +240,7 @@ impl TeProblem {
             }
         }
         model2.set_objective(-secondary);
-        let sol2 = model2.solve()?;
+        let sol2 = pool.solve(&model2)?;
 
         let mut flows = Vec::with_capacity(self.num_demands());
         let mut var_ix = 0usize;

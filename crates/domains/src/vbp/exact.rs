@@ -10,7 +10,7 @@
 
 use crate::vbp::heuristics::first_fit_decreasing;
 use crate::vbp::instance::{Packing, VbpInstance};
-use xplain_lp::{Cmp, LinExpr, LpError, Model, Sense};
+use xplain_lp::{milp, Cmp, LinExpr, LpError, Model, Sense};
 
 /// Exact optimum by branch and bound. Suitable for the paper-scale
 /// instances (n ≲ 25 in the adversarial analyses).
@@ -117,12 +117,24 @@ pub fn optimal(inst: &VbpInstance) -> Packing {
 /// binaries `x[i][j]` (ball i in bin j) and `y[j]` (bin j used), at most
 /// `max_bins` bins.
 pub fn optimal_milp(inst: &VbpInstance, max_bins: usize) -> Result<Packing, LpError> {
+    optimal_milp_stats(inst, max_bins).map(|(p, _)| p)
+}
+
+/// [`optimal_milp`] plus branch-and-bound work counters (see the sched
+/// twin for why node counts are worth pinning).
+pub fn optimal_milp_stats(
+    inst: &VbpInstance,
+    max_bins: usize,
+) -> Result<(Packing, milp::MilpStats), LpError> {
     let n = inst.num_balls();
     if n == 0 {
-        return Ok(Packing {
-            assignment: Vec::new(),
-            bins_used: 0,
-        });
+        return Ok((
+            Packing {
+                assignment: Vec::new(),
+                bins_used: 0,
+            },
+            milp::MilpStats::default(),
+        ));
     }
     let mut m = Model::new(Sense::Minimize);
     let x: Vec<Vec<_>> = (0..n)
@@ -164,7 +176,7 @@ pub fn optimal_milp(inst: &VbpInstance, max_bins: usize) -> Result<Packing, LpEr
         }
     }
     m.set_objective(LinExpr::sum(y.iter().copied()));
-    let sol = m.solve()?;
+    let (sol, stats) = milp::solve_with(&m, milp::Backend::Revised)?;
 
     let mut assignment = vec![0usize; n];
     for i in 0..n {
@@ -175,10 +187,13 @@ pub fn optimal_milp(inst: &VbpInstance, max_bins: usize) -> Result<Packing, LpEr
             }
         }
     }
-    Ok(Packing {
-        assignment,
-        bins_used: sol.objective.round() as usize,
-    })
+    Ok((
+        Packing {
+            assignment,
+            bins_used: sol.objective.round() as usize,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]

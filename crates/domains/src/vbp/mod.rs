@@ -6,6 +6,6 @@ pub mod heuristics;
 pub mod instance;
 
 pub use dsl::VbpDsl;
-pub use exact::{optimal, optimal_milp};
+pub use exact::{optimal, optimal_milp, optimal_milp_stats};
 pub use heuristics::{best_fit, first_fit, first_fit_decreasing};
 pub use instance::{Packing, VbpInstance};

@@ -1,0 +1,99 @@
+//! Branch-and-bound regression pins for the sched/vbp MILP encodings.
+//!
+//! Objectives alone cannot catch a warm-start bug that silently explores
+//! extra nodes — the answer stays right, the solver just gets slower. So
+//! these tests pin the *node counts* (and warm-hit accounting) of the
+//! assignment/packing MILPs on fixed instances. The counts are a property
+//! of the branching rule + LP vertex selection, both deterministic; if a
+//! solver change moves them, this file is the reviewable record of the
+//! before/after.
+
+use xplain_domains::sched::{self, SchedInstance};
+use xplain_domains::vbp::{self, VbpInstance};
+
+#[test]
+fn sched_tight_family_nodes_pinned() {
+    // (machines, expected optimal makespan 3m, pinned node count)
+    for (machines, expected_nodes) in [(2usize, PIN_SCHED_M2), (3, PIN_SCHED_M3)] {
+        let inst = SchedInstance::lpt_tight(machines);
+        let (schedule, stats) = sched::optimal_milp_stats(&inst).expect("solvable");
+        assert!(
+            (schedule.makespan - (3 * machines) as f64).abs() < 1e-6,
+            "m={machines}: makespan {}",
+            schedule.makespan
+        );
+        assert_eq!(
+            stats.nodes, expected_nodes,
+            "m={machines}: node count drifted (stats: {stats:?})"
+        );
+        // Warm-start accounting must hold exactly: one cold root solve,
+        // everything else warm.
+        assert_eq!(stats.lp.cold_starts, 1, "m={machines}: {stats:?}");
+        assert_eq!(
+            stats.lp.warm_hits + 1,
+            stats.lp.solves,
+            "m={machines}: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn sched_two_machine_example_nodes_pinned() {
+    let inst = SchedInstance::two_machine_example();
+    let (schedule, stats) = sched::optimal_milp_stats(&inst).expect("solvable");
+    assert!(
+        (schedule.makespan - 6.0).abs() < 1e-6,
+        "{}",
+        schedule.makespan
+    );
+    assert_eq!(stats.nodes, PIN_SCHED_2MX, "node count drifted: {stats:?}");
+}
+
+#[test]
+fn vbp_sec2_nodes_pinned() {
+    // §2's 4-ball instance (1%, 49%, 51%, 51%): optimal is 2 bins.
+    let inst = VbpInstance::sec2_example();
+    let (packing, stats) = vbp::optimal_milp_stats(&inst, 3).expect("solvable");
+    assert_eq!(packing.bins_used, 2);
+    assert_eq!(stats.nodes, PIN_VBP_SEC2, "node count drifted: {stats:?}");
+    assert_eq!(stats.lp.cold_starts, 1, "{stats:?}");
+}
+
+#[test]
+fn vbp_mixed_instance_nodes_pinned() {
+    // A 6-ball single-dimension instance needing 3 bins.
+    let inst = VbpInstance {
+        bin_capacity: vec![1.0],
+        balls: vec![
+            vec![0.55],
+            vec![0.50],
+            vec![0.45],
+            vec![0.40],
+            vec![0.35],
+            vec![0.30],
+        ],
+    };
+    let (packing, stats) = vbp::optimal_milp_stats(&inst, 4).expect("solvable");
+    assert_eq!(packing.bins_used, 3);
+    assert_eq!(stats.nodes, PIN_VBP_MIXED, "node count drifted: {stats:?}");
+}
+
+#[test]
+fn node_counts_are_deterministic() {
+    // The pins above only mean something if repeated runs agree.
+    let inst = SchedInstance::lpt_tight(2);
+    let (_, a) = sched::optimal_milp_stats(&inst).unwrap();
+    let (_, b) = sched::optimal_milp_stats(&inst).unwrap();
+    assert_eq!(a, b);
+}
+
+// --- The pinned values -----------------------------------------------------
+// Recorded from the revised-solver branch-and-bound at the time the warm
+// start landed. An increase means warm starts stopped reproducing the
+// reference exploration; a decrease is a (welcome, but reviewable) change
+// of branching behavior.
+const PIN_SCHED_M2: u64 = 15;
+const PIN_SCHED_M3: u64 = 87;
+const PIN_SCHED_2MX: u64 = 15;
+const PIN_VBP_SEC2: u64 = 13;
+const PIN_VBP_MIXED: u64 = 35;

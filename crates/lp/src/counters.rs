@@ -1,0 +1,129 @@
+//! Process-wide solver counters.
+//!
+//! Every solve — cold or warm, LP or branch-and-bound — bumps these
+//! atomics, so layers that cannot thread a [`crate::revised::SolverSession`]
+//! through (the XPlain pipeline calls the solver from deep inside domain
+//! oracles) can still report solver work: snapshot before, snapshot after,
+//! diff.
+//!
+//! **Attribution caveat:** the counters are process-global. A delta taken
+//! around a region of code is exact when nothing else solves concurrently
+//! and a superset otherwise — the runtime's batch executor therefore
+//! normalizes the counters embedded in stored results and keeps measured
+//! deltas on the per-job outcome, exactly like `wall_time_ms`.
+
+use crate::revised::SolverStats;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LP_SOLVES: AtomicU64 = AtomicU64::new(0);
+static LP_ITERATIONS: AtomicU64 = AtomicU64::new(0);
+static LP_DUAL_ITERATIONS: AtomicU64 = AtomicU64::new(0);
+static LP_REFACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
+static LP_WARM_HITS: AtomicU64 = AtomicU64::new(0);
+static LP_COLD_STARTS: AtomicU64 = AtomicU64::new(0);
+static BB_NODES: AtomicU64 = AtomicU64::new(0);
+
+/// Fold one solve's statistics into the global counters.
+pub(crate) fn record(stats: &SolverStats) {
+    LP_SOLVES.fetch_add(stats.solves, Ordering::Relaxed);
+    LP_ITERATIONS.fetch_add(stats.iterations, Ordering::Relaxed);
+    LP_DUAL_ITERATIONS.fetch_add(stats.dual_iterations, Ordering::Relaxed);
+    LP_REFACTORIZATIONS.fetch_add(stats.refactorizations, Ordering::Relaxed);
+    LP_WARM_HITS.fetch_add(stats.warm_hits, Ordering::Relaxed);
+    LP_COLD_STARTS.fetch_add(stats.cold_starts, Ordering::Relaxed);
+}
+
+/// One branch-and-bound node explored.
+pub(crate) fn record_bb_node() {
+    BB_NODES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A snapshot of (or delta between) the process-wide solver counters.
+///
+/// Serializable so it can ride inside `PipelineResult`; all fields are far
+/// below the JSON-safe 2^53 window for any realistic run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverCounters {
+    /// LP solves (cold + warm).
+    pub lp_solves: u64,
+    /// Primal simplex pivots and bound flips.
+    pub lp_iterations: u64,
+    /// Dual simplex pivots (warm-start repair).
+    pub lp_dual_iterations: u64,
+    /// Basis-inverse rebuilds.
+    pub lp_refactorizations: u64,
+    /// Solves resumed from a cached basis.
+    pub lp_warm_hits: u64,
+    /// Solves that ran the cold phase-1 route.
+    pub lp_cold_starts: u64,
+    /// Branch-and-bound nodes explored.
+    pub bb_nodes: u64,
+}
+
+impl SolverCounters {
+    /// Read the current process-wide totals.
+    pub fn snapshot() -> Self {
+        SolverCounters {
+            lp_solves: LP_SOLVES.load(Ordering::Relaxed),
+            lp_iterations: LP_ITERATIONS.load(Ordering::Relaxed),
+            lp_dual_iterations: LP_DUAL_ITERATIONS.load(Ordering::Relaxed),
+            lp_refactorizations: LP_REFACTORIZATIONS.load(Ordering::Relaxed),
+            lp_warm_hits: LP_WARM_HITS.load(Ordering::Relaxed),
+            lp_cold_starts: LP_COLD_STARTS.load(Ordering::Relaxed),
+            bb_nodes: BB_NODES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counters accumulated since `earlier` (saturating, in case the
+    /// caller mixes snapshots up).
+    pub fn since(&self, earlier: &SolverCounters) -> SolverCounters {
+        SolverCounters {
+            lp_solves: self.lp_solves.saturating_sub(earlier.lp_solves),
+            lp_iterations: self.lp_iterations.saturating_sub(earlier.lp_iterations),
+            lp_dual_iterations: self
+                .lp_dual_iterations
+                .saturating_sub(earlier.lp_dual_iterations),
+            lp_refactorizations: self
+                .lp_refactorizations
+                .saturating_sub(earlier.lp_refactorizations),
+            lp_warm_hits: self.lp_warm_hits.saturating_sub(earlier.lp_warm_hits),
+            lp_cold_starts: self.lp_cold_starts.saturating_sub(earlier.lp_cold_starts),
+            bb_nodes: self.bb_nodes.saturating_sub(earlier.bb_nodes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cmp, Model, Sense};
+
+    #[test]
+    fn solves_move_the_counters() {
+        let before = SolverCounters::snapshot();
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_constr("cap", x + y, Cmp::Le, 3.0);
+        m.set_objective(x + y);
+        m.solve().unwrap();
+        let delta = SolverCounters::snapshot().since(&before);
+        assert!(delta.lp_solves >= 1, "{delta:?}");
+        assert!(delta.lp_cold_starts >= 1, "{delta:?}");
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SolverCounters {
+            lp_solves: 1,
+            ..Default::default()
+        };
+        let b = SolverCounters {
+            lp_solves: 5,
+            ..Default::default()
+        };
+        assert_eq!(a.since(&b).lp_solves, 0);
+        assert_eq!(b.since(&a).lp_solves, 4);
+    }
+}

@@ -9,12 +9,17 @@
 //!
 //! ## Design
 //!
-//! * **Exactness over speed.** The models XPlain generates are small
-//!   (hundreds of variables); a dense tableau simplex with Bland's-rule
-//!   anti-cycling solves them exactly and predictably.
+//! * **Exactness first, speed second — but both.** The hot path is a
+//!   revised simplex with native bounded variables and warm-startable
+//!   sessions ([`revised`]); the original dense tableau solver survives
+//!   as [`simplex::reference`], the oracle of a differential test-bed
+//!   that pins the two against each other on randomized models.
 //! * **Robustness.** All public entry points validate the model, reject
 //!   NaN/infinite coefficients, and surface infeasibility/unboundedness and
 //!   iteration caps as typed errors — never panics.
+//! * **Observability.** Every solve feeds process-wide [`counters`]
+//!   (iterations, refactorizations, warm-start hits, branch-and-bound
+//!   nodes) so upper layers can report solver work without plumbing.
 //!
 //! ## Quick start
 //!
@@ -30,13 +35,18 @@
 //! assert!((sol.objective - 20.0).abs() < 1e-6);
 //! ```
 
+pub mod counters;
 pub mod error;
 pub mod expr;
 pub mod milp;
 pub mod model;
+pub mod revised;
 pub mod serde_inf;
 pub mod simplex;
 
+pub use counters::SolverCounters;
 pub use error::LpError;
 pub use expr::{LinExpr, VarId};
+pub use milp::{Backend, MilpStats};
 pub use model::{Cmp, Constraint, Model, Sense, Solution, SolveOptions, VarType};
+pub use revised::{SessionPool, SolverSession, SolverStats};

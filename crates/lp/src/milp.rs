@@ -1,15 +1,67 @@
 //! Branch-and-bound MILP solver on top of the simplex.
 //!
 //! Best-first search ordered by the LP relaxation bound, branching on the
-//! most fractional integer variable. This is deliberately simple — the MILPs
-//! XPlain generates (MetaOpt-style heuristic encodings with big-M binaries)
-//! are small, and exactness matters more than raw speed.
+//! most fractional integer variable. Two things make it fast enough for
+//! the MetaOpt-style encodings XPlain generates:
+//!
+//! * **One scratch model.** Each node stores only its bound overrides;
+//!   they are applied to a single scratch model before the node's LP and
+//!   undone after — no per-node `clone_from` of the whole model.
+//! * **Warm starts.** All nodes share one [`SolverSession`]: a child's LP
+//!   differs from its parent's only in one variable bound, so the cached
+//!   basis stays dual feasible and a few dual simplex steps replace a
+//!   cold phase-1 solve.
+//!
+//! [`Backend::Reference`] swaps the per-node LP for the reference tableau
+//! solver (cold every node) — the baseline of the solver benches and the
+//! differential MILP tests.
 
+use crate::counters;
 use crate::error::LpError;
 use crate::model::{Model, Sense, Solution, VarType};
+use crate::revised::{SolverSession, SolverStats};
 use crate::simplex;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Which LP solver runs at each node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Revised simplex, one warm-started session across all nodes.
+    Revised,
+    /// Reference tableau solver, cold at every node (benchmark baseline).
+    Reference,
+}
+
+/// Work counters for one branch-and-bound run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MilpStats {
+    /// Nodes popped from the queue (including pruned ones).
+    pub nodes: u64,
+    /// LP effort across all node relaxations.
+    pub lp: SolverStats,
+}
+
+/// What happened to one popped node (exposed for the exploration-order
+/// regression tests; not a stable API).
+#[doc(hidden)]
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTrace {
+    /// The node's accumulated `(var, lo, hi)` overrides.
+    pub bounds: Vec<(usize, f64, f64)>,
+    pub event: NodeEvent,
+}
+
+#[doc(hidden)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeEvent {
+    PrunedByBound,
+    EmptyDomain,
+    LpInfeasible,
+    PrunedAfterLp,
+    Integral { objective: f64 },
+    Branched { var: usize, objective: f64 },
+}
 
 /// A pending node: variable-bound overrides plus the parent's bound.
 struct Node {
@@ -46,8 +98,92 @@ impl Ord for Node {
     }
 }
 
+/// Apply `bounds` onto `scratch`, recording undo entries. Returns `false`
+/// (with everything already rolled back) when the intersection is empty.
+fn apply_bounds(
+    scratch: &mut Model,
+    bounds: &[(usize, f64, f64)],
+    undo: &mut Vec<(usize, f64, f64)>,
+) -> bool {
+    undo.clear();
+    for &(ix, lo, hi) in bounds {
+        let v = crate::VarId::from_index(ix);
+        let (cur_lo, cur_hi) = scratch.var_bounds(v);
+        undo.push((ix, cur_lo, cur_hi));
+        let nlo = cur_lo.max(lo);
+        let nhi = cur_hi.min(hi);
+        if nlo > nhi {
+            restore_bounds(scratch, undo);
+            return false;
+        }
+        scratch.set_var_bounds(v, nlo, nhi);
+    }
+    true
+}
+
+/// Undo [`apply_bounds`] (reverse order: a variable may appear twice).
+fn restore_bounds(scratch: &mut Model, undo: &mut Vec<(usize, f64, f64)>) {
+    while let Some((ix, lo, hi)) = undo.pop() {
+        scratch.set_var_bounds(crate::VarId::from_index(ix), lo, hi);
+    }
+}
+
 /// Solve a mixed-integer model exactly by branch and bound.
 pub fn solve(model: &Model) -> Result<Solution, LpError> {
+    solve_with(model, Backend::Revised).map(|(sol, _)| sol)
+}
+
+/// [`solve`] plus work counters (node count, LP effort).
+pub fn solve_with(model: &Model, backend: Backend) -> Result<(Solution, MilpStats), LpError> {
+    let mut session = SolverSession::new();
+    solve_inner(model, backend, false, None, &mut session)
+}
+
+/// Branch and bound through a caller-owned [`SessionPool`]: repeated
+/// solves of same-shaped models (an analyzer's iterate-and-exclude loop)
+/// warm-start across *calls*, not just across nodes.
+pub fn solve_pooled(
+    model: &Model,
+    pool: &mut crate::revised::SessionPool,
+) -> Result<(Solution, MilpStats), LpError> {
+    solve_inner(
+        model,
+        Backend::Revised,
+        false,
+        None,
+        pool.session_for(model),
+    )
+}
+
+/// Test hook: `clone_per_node` re-clones the scratch model at every node
+/// (the pre-warm-start behavior) instead of applying bound deltas. Both
+/// modes must produce identical traces — pinned by a regression test.
+#[doc(hidden)]
+pub fn solve_traced(
+    model: &Model,
+    backend: Backend,
+    clone_per_node: bool,
+) -> (Result<(Solution, MilpStats), LpError>, Vec<NodeTrace>) {
+    let mut trace = Vec::new();
+    let mut session = SolverSession::new();
+    let out = solve_inner(
+        model,
+        backend,
+        clone_per_node,
+        Some(&mut trace),
+        &mut session,
+    );
+    (out, trace)
+}
+
+fn solve_inner(
+    model: &Model,
+    backend: Backend,
+    clone_per_node: bool,
+    mut trace: Option<&mut Vec<NodeTrace>>,
+    session: &mut SolverSession,
+) -> Result<(Solution, MilpStats), LpError> {
+    model.validate()?;
     let opts = model.options().clone();
     let int_vars: Vec<usize> = (0..model.num_vars())
         .filter(|&i| {
@@ -72,48 +208,69 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
         sense,
     });
 
-    let mut nodes_explored = 0usize;
+    let mut stats = MilpStats::default();
+    let lp_before = session.stats;
     let mut scratch = model.clone();
+    let mut undo: Vec<(usize, f64, f64)> = Vec::new();
+
+    let record = |trace: &mut Option<&mut Vec<NodeTrace>>, node: &Node, event: NodeEvent| {
+        if let Some(t) = trace {
+            t.push(NodeTrace {
+                bounds: node.bounds.clone(),
+                event,
+            });
+        }
+    };
 
     while let Some(node) = heap.pop() {
-        nodes_explored += 1;
-        if nodes_explored > opts.max_nodes {
-            return incumbent.ok_or(LpError::NodeLimit {
-                nodes: nodes_explored,
+        stats.nodes += 1;
+        counters::record_bb_node();
+        if stats.nodes as usize > opts.max_nodes {
+            stats.lp.absorb(&session.stats.diff(&lp_before));
+            return incumbent.map(|s| (s, stats)).ok_or(LpError::NodeLimit {
+                nodes: stats.nodes as usize,
             });
         }
 
         // Bound-based pruning against the incumbent.
         if incumbent.is_some() && !sense.better(node.bound, incumbent_obj, opts.opt_tol) {
+            record(&mut trace, &node, NodeEvent::PrunedByBound);
             continue;
         }
 
-        // Apply branch bounds to the scratch model.
-        scratch.clone_from(model);
-        let mut domain_empty = false;
-        for &(ix, lo, hi) in &node.bounds {
-            let v = crate::VarId::from_index(ix);
-            let (cur_lo, cur_hi) = scratch.var_bounds(v);
-            let nlo = cur_lo.max(lo);
-            let nhi = cur_hi.min(hi);
-            if nlo > nhi {
-                domain_empty = true;
-                break;
+        // Apply the branch bounds to the scratch model (delta + undo), or —
+        // in the legacy test mode — rebuild the scratch from the original.
+        if clone_per_node {
+            scratch.clone_from(model);
+        }
+        if !apply_bounds(&mut scratch, &node.bounds, &mut undo) {
+            record(&mut trace, &node, NodeEvent::EmptyDomain);
+            continue;
+        }
+
+        let relax = match backend {
+            Backend::Revised => session.solve_unchecked(&scratch),
+            Backend::Reference => {
+                stats.lp.solves += 1;
+                stats.lp.cold_starts += 1;
+                simplex::reference::solve(&scratch)
             }
-            scratch.set_var_bounds(v, nlo, nhi);
+        };
+        if !clone_per_node {
+            restore_bounds(&mut scratch, &mut undo);
         }
-        if domain_empty {
-            continue;
-        }
-
-        let relax = match simplex::solve(&scratch) {
+        let relax = match relax {
             Ok(s) => s,
-            Err(LpError::Infeasible) => continue,
+            Err(LpError::Infeasible) => {
+                record(&mut trace, &node, NodeEvent::LpInfeasible);
+                continue;
+            }
             Err(LpError::Unbounded) => return Err(LpError::Unbounded),
             Err(e) => return Err(e),
         };
 
         if incumbent.is_some() && !sense.better(relax.objective, incumbent_obj, opts.opt_tol) {
+            record(&mut trace, &node, NodeEvent::PrunedAfterLp);
             continue;
         }
 
@@ -137,6 +294,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
                     vals[ix] = vals[ix].round();
                 }
                 let obj = model.objective().eval(&vals);
+                record(&mut trace, &node, NodeEvent::Integral { objective: obj });
                 if incumbent.is_none() || sense.better(obj, incumbent_obj, opts.opt_tol) {
                     incumbent_obj = obj;
                     incumbent = Some(Solution {
@@ -146,6 +304,14 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
                 }
             }
             Some(ix) => {
+                record(
+                    &mut trace,
+                    &node,
+                    NodeEvent::Branched {
+                        var: ix,
+                        objective: relax.objective,
+                    },
+                );
                 let v = relax.values[ix];
                 let floor = v.floor();
                 let mut down = node.bounds.clone();
@@ -166,11 +332,13 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
         }
     }
 
-    incumbent.ok_or(LpError::Infeasible)
+    stats.lp.absorb(&session.stats.diff(&lp_before));
+    incumbent.map(|s| (s, stats)).ok_or(LpError::Infeasible)
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::{Cmp, LinExpr, LpError, Model, Sense, VarType};
 
     fn assert_close(a: f64, b: f64) {
@@ -317,5 +485,50 @@ mod tests {
             }
         }
         assert_close(s.objective, best);
+    }
+
+    #[test]
+    fn stats_report_nodes_and_warm_hits() {
+        let mut m = Model::new(Sense::Maximize);
+        let x: Vec<_> = (0..6).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let mut w = LinExpr::new();
+        let mut obj = LinExpr::new();
+        for (i, &v) in x.iter().enumerate() {
+            w.add_term(v, 1.0 + (i % 3) as f64);
+            obj.add_term(v, 2.0 + ((i * 7) % 5) as f64);
+        }
+        m.add_constr("cap", w, Cmp::Le, 6.5);
+        m.set_objective(obj);
+        let (sol, stats) = solve_with(&m, Backend::Revised).unwrap();
+        let (ref_sol, ref_stats) = solve_with(&m, Backend::Reference).unwrap();
+        assert_close(sol.objective, ref_sol.objective);
+        assert!(stats.nodes >= 3, "{stats:?}");
+        // Every node after the root re-solves warm: exactly one cold start.
+        assert_eq!(stats.lp.cold_starts, 1, "{stats:?}");
+        assert_eq!(stats.lp.warm_hits + 1, stats.lp.solves, "{stats:?}");
+        // The reference backend is cold at every node.
+        assert_eq!(ref_stats.lp.cold_starts, ref_stats.lp.solves);
+    }
+
+    #[test]
+    fn delta_and_clone_node_orders_match() {
+        // The satellite regression: applying/undoing bound deltas on one
+        // scratch model must visit exactly the nodes the per-node clone
+        // visited, in the same order, with the same outcomes.
+        let mut m = Model::new(Sense::Minimize);
+        let x: Vec<_> = (0..5).map(|i| m.add_binary(format!("b{i}"))).collect();
+        let mut cover = LinExpr::new();
+        for (i, &v) in x.iter().enumerate() {
+            cover.add_term(v, 1.7 + (i % 2) as f64);
+        }
+        m.add_constr("cover", cover, Cmp::Ge, 4.2);
+        m.set_objective(LinExpr::sum(x.iter().copied()));
+        let (a, trace_delta) = solve_traced(&m, Backend::Revised, false);
+        let (b, trace_clone) = solve_traced(&m, Backend::Revised, true);
+        let (sa, _) = a.unwrap();
+        let (sb, _) = b.unwrap();
+        assert_close(sa.objective, sb.objective);
+        assert_eq!(trace_delta, trace_clone);
+        assert!(!trace_delta.is_empty());
     }
 }

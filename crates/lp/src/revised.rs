@@ -1,0 +1,1442 @@
+//! Revised simplex with native bounded variables and warm starts.
+//!
+//! The production LP hot path. Differences from the reference tableau
+//! solver ([`crate::simplex::reference`]) that matter at XPlain's scale:
+//!
+//! * **Native bounds.** A variable with bounds `lo <= x <= hi` is one
+//!   column whose nonbasic status is *at-lower* or *at-upper*; moving
+//!   between finite bounds is a bound *flip* (no pivot, no basis change).
+//!   The reference solver instead emits a `y <= hi - lo` constraint row
+//!   per two-sided variable — on the binary-heavy MetaOpt MILPs that
+//!   doubles the row count before phase 1 even starts.
+//! * **Basis factorization.** The solver maintains a dense basis inverse,
+//!   updated per pivot in `O(m^2)` and rebuilt from the basis columns
+//!   every [`REFACTOR_EVERY`] pivots (and on warm starts) to bound
+//!   numerical drift.
+//! * **Warm starts.** A [`SolverSession`] caches the final basis. When the
+//!   next model has the same shape, the solve resumes from that basis:
+//!   bound changes (branch-and-bound children) and rhs changes (gap-oracle
+//!   sweeps) leave the cached basis dual feasible, so a handful of dual
+//!   simplex steps replace a full phase-1 + phase-2 cold solve.
+//!   [`SessionPool`] keys sessions by model shape for call sites that
+//!   alternate between a few fixed shapes (e.g. lexicographic two-stage
+//!   max-flow).
+//!
+//! Pricing is Dantzig (most negative reduced cost) until a degenerate
+//! streak is detected, then Bland's rule — the same anti-cycling contract
+//! as the reference solver.
+
+use crate::counters;
+use crate::error::LpError;
+use crate::model::{Cmp, Model, Sense, Solution};
+
+/// Rebuild the basis inverse from scratch every this many pivots.
+const REFACTOR_EVERY: usize = 64;
+/// Consecutive degenerate steps before switching to Bland's rule.
+const DEGENERATE_STREAK_LIMIT: usize = 64;
+/// Smallest pivot element magnitude accepted during elimination.
+const PIVOT_TOL: f64 = 1e-9;
+/// Dual-feasibility tolerance for accepting a warm basis.
+const DUAL_TOL: f64 = 1e-7;
+
+/// Cumulative statistics of one session (or one cold solve).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// LP solves completed.
+    pub solves: u64,
+    /// Primal simplex pivots + bound flips (both phases).
+    pub iterations: u64,
+    /// Dual simplex pivots (warm-start repair).
+    pub dual_iterations: u64,
+    /// Basis-inverse rebuilds.
+    pub refactorizations: u64,
+    /// Solves that resumed from a cached basis.
+    pub warm_hits: u64,
+    /// Solves that ran the full cold phase-1 route.
+    pub cold_starts: u64,
+}
+
+impl SolverStats {
+    /// Work done since `earlier` (field-wise saturating difference).
+    pub fn diff(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            solves: self.solves.saturating_sub(earlier.solves),
+            iterations: self.iterations.saturating_sub(earlier.iterations),
+            dual_iterations: self.dual_iterations.saturating_sub(earlier.dual_iterations),
+            refactorizations: self
+                .refactorizations
+                .saturating_sub(earlier.refactorizations),
+            warm_hits: self.warm_hits.saturating_sub(earlier.warm_hits),
+            cold_starts: self.cold_starts.saturating_sub(earlier.cold_starts),
+        }
+    }
+
+    /// Accumulate `other` into `self`.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.solves += other.solves;
+        self.iterations += other.iterations;
+        self.dual_iterations += other.dual_iterations;
+        self.refactorizations += other.refactorizations;
+        self.warm_hits += other.warm_hits;
+        self.cold_starts += other.cold_starts;
+    }
+}
+
+/// Where a column currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Free nonbasic variable resting at 0.
+    Free,
+}
+
+/// Standard form: `min c'x  s.t.  Ax = b,  lo <= x <= hi`, columns =
+/// structural variables (bounds as declared) followed by one slack per
+/// row (`Le`: `s in [0, inf)`, `Ge`: `s in (-inf, 0]`, `Eq`: `s = 0`).
+/// The matrix never depends on variable bounds — that is what makes
+/// bound-delta warm starts cheap.
+struct StdLp {
+    n_struct: usize,
+    m: usize,
+    /// `n_struct + m` (structural + slack).
+    ncols: usize,
+    /// Sparse columns: `(row, coeff)` lists.
+    cols: Vec<Vec<(usize, f64)>>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Minimization costs (slacks are free of charge).
+    cost: Vec<f64>,
+    b: Vec<f64>,
+    /// FNV-1a over the sparse matrix (columns only — not bounds, costs,
+    /// or rhs). Two standardized LPs with equal shape and fingerprint
+    /// share basis inverses: a cached `Binv` from one is valid for the
+    /// other, which is what lets bound-delta and rhs-delta warm starts
+    /// skip refactorization entirely.
+    matrix_fp: u64,
+}
+
+fn standardize(model: &Model) -> StdLp {
+    let n_struct = model.num_vars();
+    let m = model.num_constraints();
+    let ncols = n_struct + m;
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+    let mut lo = Vec::with_capacity(ncols);
+    let mut hi = Vec::with_capacity(ncols);
+    for v in &model.vars {
+        lo.push(v.lo);
+        hi.push(v.hi);
+    }
+    let mut b = Vec::with_capacity(m);
+    for (r, c) in model.constraints.iter().enumerate() {
+        for (var, coef) in c.expr.iter() {
+            if coef != 0.0 {
+                cols[var.index()].push((r, coef));
+            }
+        }
+        b.push(c.rhs - c.expr.constant_part());
+        let s = n_struct + r;
+        cols[s].push((r, 1.0));
+        let (slo, shi) = match c.cmp {
+            Cmp::Le => (0.0, f64::INFINITY),
+            Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+            Cmp::Eq => (0.0, 0.0),
+        };
+        lo.push(slo);
+        hi.push(shi);
+    }
+    let sign = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0; ncols];
+    for (var, coef) in model.objective.iter() {
+        cost[var.index()] += sign * coef;
+    }
+    let mut fp = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mix = |fp: &mut u64, x: u64| {
+        *fp ^= x;
+        *fp = fp.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for (j, col) in cols.iter().enumerate() {
+        mix(&mut fp, j as u64);
+        for &(r, v) in col {
+            mix(&mut fp, r as u64);
+            mix(&mut fp, v.to_bits());
+        }
+    }
+    StdLp {
+        n_struct,
+        m,
+        ncols,
+        cols,
+        lo,
+        hi,
+        cost,
+        b,
+        matrix_fp: fp,
+    }
+}
+
+/// The cached end state of a solve, reusable when the next model has the
+/// same `(vars, constraints)` shape.
+#[derive(Debug, Clone)]
+struct WarmBasis {
+    n_struct: usize,
+    m: usize,
+    status: Vec<Status>,
+    basis: Vec<usize>,
+    /// Basis inverse at the end of the donor solve, valid only while the
+    /// constraint matrix fingerprint matches.
+    binv: Vec<f64>,
+    matrix_fp: u64,
+    /// Pivot-update age of `binv`, carried across solves so the
+    /// refactorization cadence holds session-wide, not per solve.
+    pivots_since_refactor: usize,
+}
+
+/// A warm-startable solver handle.
+///
+/// The session contract: `solve` is *exact* regardless of what is cached —
+/// a warm basis only changes which pivots run, never the optimum. A model
+/// whose shape differs from the cached one (different variable or
+/// constraint count) falls back to a cold start transparently.
+#[derive(Debug, Default)]
+pub struct SolverSession {
+    warm: Option<WarmBasis>,
+    /// Counters over the lifetime of this session.
+    pub stats: SolverStats,
+}
+
+impl SolverSession {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solve `model`, warm-starting from the previous solve's basis when
+    /// the model shape matches. Validates the model first.
+    pub fn solve(&mut self, model: &Model) -> Result<Solution, LpError> {
+        model.validate()?;
+        self.solve_unchecked(model)
+    }
+
+    /// [`SolverSession::solve`] without re-validating (for hot loops that
+    /// mutate only bounds/rhs of an already-validated model).
+    pub fn solve_unchecked(&mut self, model: &Model) -> Result<Solution, LpError> {
+        let lp = standardize(model);
+        let warm = self
+            .warm
+            .take()
+            .filter(|w| w.n_struct == lp.n_struct && w.m == lp.m);
+        let mut core = Core::new(
+            &lp,
+            model.options().max_iterations,
+            model.options().feas_tol,
+        );
+        let out = core.run(warm, model.options().opt_tol);
+        // Cache the basis even on Infeasible (a later bound relaxation can
+        // still warm-start from it); drop it on numerical trouble.
+        match &out {
+            Ok(_) | Err(LpError::Infeasible) | Err(LpError::Unbounded) => {
+                // Move (not clone) the end state out of the core: this
+                // runs once per solve on the hot path.
+                let mut status = std::mem::take(&mut core.status);
+                status.truncate(lp.ncols);
+                self.warm = Some(WarmBasis {
+                    n_struct: lp.n_struct,
+                    m: lp.m,
+                    status,
+                    basis: std::mem::take(&mut core.basis),
+                    binv: std::mem::take(&mut core.binv),
+                    matrix_fp: lp.matrix_fp,
+                    pivots_since_refactor: core.pivots_since_refactor,
+                });
+            }
+            Err(_) => self.warm = None,
+        }
+        self.stats.absorb(&core.stats);
+        counters::record(&core.stats);
+        let values = out?;
+        let objective = model.objective.eval(&values);
+        if !objective.is_finite() {
+            return Err(LpError::Numerical("objective evaluated non-finite".into()));
+        }
+        Ok(Solution { objective, values })
+    }
+
+    /// Forget the cached basis (the next solve is cold).
+    pub fn reset(&mut self) {
+        self.warm = None;
+    }
+
+    /// True if a basis is cached.
+    pub fn has_warm_basis(&self) -> bool {
+        self.warm.is_some()
+    }
+}
+
+/// Sessions keyed by model shape `(num_vars, num_constraints)`.
+///
+/// Call sites like the lexicographic max-flow (stage-1 and stage-2 models
+/// of different shapes, alternating) or an analyzer's iterate-and-exclude
+/// loop (shape grows with each exclusion) keep one pool and let each
+/// shape warm-start against its own history.
+#[derive(Debug, Default)]
+pub struct SessionPool {
+    entries: Vec<((usize, usize), SolverSession)>,
+}
+
+impl SessionPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The session for this model shape (created on first use).
+    pub fn session_for(&mut self, model: &Model) -> &mut SolverSession {
+        let key = (model.num_vars(), model.num_constraints());
+        let pos = self.entries.iter().position(|(k, _)| *k == key);
+        let ix = match pos {
+            Some(ix) => ix,
+            None => {
+                self.entries.push((key, SolverSession::new()));
+                self.entries.len() - 1
+            }
+        };
+        &mut self.entries[ix].1
+    }
+
+    /// Solve through the shape-matched session.
+    pub fn solve(&mut self, model: &Model) -> Result<Solution, LpError> {
+        self.session_for(model).solve(model)
+    }
+
+    /// Aggregate statistics across every session in the pool.
+    pub fn stats(&self) -> SolverStats {
+        let mut total = SolverStats::default();
+        for (_, s) in &self.entries {
+            total.absorb(&s.stats);
+        }
+        total
+    }
+
+    /// Number of distinct shapes seen.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no session has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One-shot cold solve (what [`crate::simplex::solve`] calls).
+pub fn solve(model: &Model) -> Result<Solution, LpError> {
+    let mut session = SolverSession::new();
+    session.solve_unchecked(model)
+}
+
+// ---------------------------------------------------------------------------
+// Solver core
+// ---------------------------------------------------------------------------
+
+struct Core<'a> {
+    lp: &'a StdLp,
+    /// Artificial columns (cold phase 1 only): `(row, coeff)`, column
+    /// index `lp.ncols + k`. Bounds `[0, art_hi[k]]`; `art_hi` drops to 0
+    /// once phase 1 ends so artificials can never re-enter with value.
+    art: Vec<(usize, f64)>,
+    art_hi: Vec<f64>,
+    status: Vec<Status>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Dense basis inverse, row-major `m x m`.
+    binv: Vec<f64>,
+    /// Values of the basic variables, per row.
+    xb: Vec<f64>,
+    m: usize,
+    pivots_since_refactor: usize,
+    iters_left: usize,
+    feas_tol: f64,
+    stats: SolverStats,
+}
+
+/// What a primal phase should minimize.
+enum Objective {
+    /// The model's own costs.
+    Real,
+    /// Sum of artificial variables.
+    Phase1,
+}
+
+impl<'a> Core<'a> {
+    fn new(lp: &'a StdLp, max_iterations: usize, feas_tol: f64) -> Self {
+        Core {
+            lp,
+            art: Vec::new(),
+            art_hi: Vec::new(),
+            status: vec![Status::AtLower; lp.ncols],
+            basis: Vec::new(),
+            binv: Vec::new(),
+            xb: Vec::new(),
+            m: lp.m,
+            pivots_since_refactor: 0,
+            iters_left: max_iterations,
+            feas_tol,
+            stats: SolverStats::default(),
+        }
+    }
+
+    #[inline]
+    fn ncols_total(&self) -> usize {
+        self.lp.ncols + self.art.len()
+    }
+
+    #[inline]
+    fn col(&self, j: usize) -> &[(usize, f64)] {
+        if j < self.lp.ncols {
+            &self.lp.cols[j]
+        } else {
+            std::slice::from_ref(&self.art[j - self.lp.ncols])
+        }
+    }
+
+    #[inline]
+    fn lo(&self, j: usize) -> f64 {
+        if j < self.lp.ncols {
+            self.lp.lo[j]
+        } else {
+            0.0
+        }
+    }
+
+    #[inline]
+    fn hi(&self, j: usize) -> f64 {
+        if j < self.lp.ncols {
+            self.lp.hi[j]
+        } else {
+            self.art_hi[j - self.lp.ncols]
+        }
+    }
+
+    fn cost(&self, j: usize, obj: &Objective) -> f64 {
+        match obj {
+            Objective::Real => {
+                if j < self.lp.ncols {
+                    self.lp.cost[j]
+                } else {
+                    0.0
+                }
+            }
+            Objective::Phase1 => {
+                if j < self.lp.ncols {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Resting value of a nonbasic column.
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            Status::AtLower => self.lo(j),
+            Status::AtUpper => self.hi(j),
+            Status::Free => 0.0,
+            Status::Basic => unreachable!("basic column has no resting value"),
+        }
+    }
+
+    /// `w = Binv * A_j`.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.m];
+        for &(r, v) in self.col(j) {
+            // binv is row-major: walk column r with stride m.
+            for (i, wi) in w.iter_mut().enumerate() {
+                *wi += v * self.binv[i * self.m + r];
+            }
+        }
+        w
+    }
+
+    /// `y = c_B' * Binv` for the given objective.
+    fn duals(&self, obj: &Objective) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for (i, &bj) in self.basis.iter().enumerate() {
+            let cb = self.cost(bj, obj);
+            if cb != 0.0 {
+                let row = &self.binv[i * self.m..(i + 1) * self.m];
+                for (k, yk) in y.iter_mut().enumerate() {
+                    *yk += cb * row[k];
+                }
+            }
+        }
+        y
+    }
+
+    #[inline]
+    fn reduced_cost(&self, j: usize, y: &[f64], obj: &Objective) -> f64 {
+        let mut d = self.cost(j, obj);
+        for &(r, v) in self.col(j) {
+            d -= y[r] * v;
+        }
+        d
+    }
+
+    /// Rebuild `binv` from the basis columns and recompute `xb`.
+    /// `false` if the basis matrix is singular.
+    fn refactor(&mut self) -> bool {
+        self.stats.refactorizations += 1;
+        self.pivots_since_refactor = 0;
+        let m = self.m;
+        // [B | I] Gauss-Jordan with partial pivoting.
+        let mut a = vec![0.0; m * 2 * m];
+        for (i, &j) in self.basis.iter().enumerate() {
+            for &(r, v) in self.col(j) {
+                a[r * 2 * m + i] = v;
+            }
+        }
+        for i in 0..m {
+            a[i * 2 * m + m + i] = 1.0;
+        }
+        for c in 0..m {
+            let piv_row = (c..m)
+                .max_by(|&x, &y| {
+                    a[x * 2 * m + c]
+                        .abs()
+                        .partial_cmp(&a[y * 2 * m + c].abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            let p = a[piv_row * 2 * m + c];
+            if p.abs() < PIVOT_TOL {
+                return false;
+            }
+            if piv_row != c {
+                for k in 0..2 * m {
+                    a.swap(c * 2 * m + k, piv_row * 2 * m + k);
+                }
+            }
+            let inv = 1.0 / a[c * 2 * m + c];
+            for k in 0..2 * m {
+                a[c * 2 * m + k] *= inv;
+            }
+            for r in 0..m {
+                if r == c {
+                    continue;
+                }
+                let f = a[r * 2 * m + c];
+                if f != 0.0 {
+                    for k in 0..2 * m {
+                        a[r * 2 * m + k] -= f * a[c * 2 * m + k];
+                    }
+                }
+            }
+        }
+        for r in 0..m {
+            for k in 0..m {
+                self.binv[r * m + k] = a[r * 2 * m + m + k];
+            }
+        }
+        self.recompute_xb();
+        true
+    }
+
+    /// `xb = Binv * (b - N x_N)` from statuses.
+    fn recompute_xb(&mut self) {
+        let m = self.m;
+        let mut rhs = self.lp.b.clone();
+        for j in 0..self.ncols_total() {
+            if self.status[j] == Status::Basic {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            if v != 0.0 {
+                for &(r, a) in self.col(j) {
+                    rhs[r] -= a * v;
+                }
+            }
+        }
+        for i in 0..m {
+            let row = &self.binv[i * m..(i + 1) * m];
+            self.xb[i] = row.iter().zip(&rhs).map(|(x, y)| x * y).sum();
+        }
+    }
+
+    /// Pivot: row `r` leaves, column `j` (with ftran image `w`) enters.
+    /// Statuses/basis must already be updated by the caller.
+    fn update_binv(&mut self, r: usize, w: &[f64]) -> Result<(), LpError> {
+        let m = self.m;
+        let inv = 1.0 / w[r];
+        for k in 0..m {
+            self.binv[r * m + k] *= inv;
+        }
+        for i in 0..m {
+            if i == r {
+                continue;
+            }
+            let f = w[i];
+            if f != 0.0 {
+                for k in 0..m {
+                    self.binv[i * m + k] -= f * self.binv[r * m + k];
+                }
+            }
+        }
+        self.pivots_since_refactor += 1;
+        if self.pivots_since_refactor >= REFACTOR_EVERY {
+            // A mid-flight refactorization also resyncs xb. A singular
+            // rebuild means the product-form inverse had drifted beyond
+            // repair — surface it instead of iterating on garbage.
+            if !self.refactor() {
+                return Err(LpError::Numerical(
+                    "basis became singular at refactorization".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn charge_iteration(&mut self) -> Result<(), LpError> {
+        if self.iters_left == 0 {
+            return Err(LpError::IterationLimit {
+                iterations: self.stats.iterations as usize + self.stats.dual_iterations as usize,
+            });
+        }
+        self.iters_left -= 1;
+        Ok(())
+    }
+
+    /// Primal simplex on the current basis until optimal or unbounded.
+    fn primal(&mut self, obj: Objective, opt_tol: f64) -> Result<(), LpError> {
+        let mut bland = false;
+        let mut degenerate_streak = 0usize;
+        loop {
+            self.charge_iteration()?;
+            let y = self.duals(&obj);
+
+            // Pricing.
+            let mut enter: Option<(usize, f64)> = None; // (col, direction)
+            let mut best = opt_tol;
+            for j in 0..self.lp.ncols {
+                // Artificials never re-enter; fixed columns cannot move.
+                match self.status[j] {
+                    Status::Basic => continue,
+                    _ if self.lo(j) == self.hi(j) => continue,
+                    _ => {}
+                }
+                let d = self.reduced_cost(j, &y, &obj);
+                let (viol, dir) = match self.status[j] {
+                    Status::AtLower => (-d, 1.0),
+                    Status::AtUpper => (d, -1.0),
+                    Status::Free => (d.abs(), if d < 0.0 { 1.0 } else { -1.0 }),
+                    Status::Basic => unreachable!(),
+                };
+                if viol > best {
+                    enter = Some((j, dir));
+                    if bland {
+                        break; // first improving column (Bland)
+                    }
+                    best = viol;
+                }
+            }
+            let Some((j, dir)) = enter else {
+                return Ok(()); // optimal for this objective
+            };
+
+            let w = self.ftran(j);
+
+            // Ratio test: how far can x_j move by `t >= 0` in direction
+            // `dir` before a basic variable (or x_j's own far bound)
+            // blocks? Ties break toward the smallest basis column index —
+            // deterministic, and Bland-compatible.
+            let own_range = self.hi(j) - self.lo(j); // inf for free/one-sided
+            let mut best_t = if own_range.is_finite() {
+                own_range
+            } else {
+                f64::INFINITY
+            };
+            let mut leave: Option<usize> = None;
+            for i in 0..self.m {
+                let delta = -dir * w[i]; // d x_Bi / d t
+                let bj = self.basis[i];
+                let limit = if delta < -PIVOT_TOL {
+                    let lo = self.lo(bj);
+                    if lo.is_finite() {
+                        (self.xb[i] - lo) / -delta
+                    } else {
+                        f64::INFINITY
+                    }
+                } else if delta > PIVOT_TOL {
+                    let hi = self.hi(bj);
+                    if hi.is_finite() {
+                        (hi - self.xb[i]) / delta
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    f64::INFINITY
+                };
+                let limit = limit.max(0.0); // degenerate overshoot clamps to 0
+                if limit < best_t - 1e-12
+                    || (limit < best_t + 1e-12 && leave.is_some_and(|lr| bj < self.basis[lr]))
+                {
+                    best_t = limit;
+                    leave = Some(i);
+                }
+            }
+
+            if !best_t.is_finite() {
+                return Err(LpError::Unbounded);
+            }
+
+            if best_t < 1e-12 {
+                degenerate_streak += 1;
+                if degenerate_streak >= DEGENERATE_STREAK_LIMIT {
+                    bland = true;
+                }
+            } else {
+                degenerate_streak = 0;
+            }
+
+            self.stats.iterations += 1;
+            match leave {
+                None => {
+                    // Bound flip: x_j travels to its opposite bound.
+                    for i in 0..self.m {
+                        self.xb[i] -= dir * best_t * w[i];
+                    }
+                    self.status[j] = match self.status[j] {
+                        Status::AtLower => Status::AtUpper,
+                        Status::AtUpper => Status::AtLower,
+                        other => other, // free: cannot happen (infinite range)
+                    };
+                }
+                Some(r) => {
+                    let entering_value = self.nonbasic_value(j) + dir * best_t;
+                    for i in 0..self.m {
+                        self.xb[i] -= dir * best_t * w[i];
+                    }
+                    let bj = self.basis[r];
+                    // The leaving variable parks at whichever bound blocked.
+                    let delta = -dir * w[r];
+                    self.status[bj] = if delta < 0.0 {
+                        Status::AtLower
+                    } else {
+                        Status::AtUpper
+                    };
+                    self.status[j] = Status::Basic;
+                    self.basis[r] = j;
+                    self.xb[r] = entering_value;
+                    self.update_binv(r, &w)?;
+                }
+            }
+        }
+    }
+
+    /// Dual simplex: restore primal feasibility while keeping reduced
+    /// costs dual feasible. Requires a dual-feasible starting basis.
+    /// `Err(Infeasible)` when a violated row has no entering candidate.
+    fn dual(&mut self) -> Result<(), LpError> {
+        let obj = Objective::Real;
+        let mut bland = false;
+        let mut degenerate_streak = 0usize;
+        loop {
+            self.charge_iteration()?;
+
+            // Leaving row: the worst bound violation among basic vars.
+            let mut leave: Option<(usize, f64)> = None; // (row, violation signed)
+            let mut worst = self.feas_tol;
+            for i in 0..self.m {
+                let bj = self.basis[i];
+                let below = self.lo(bj) - self.xb[i];
+                let above = self.xb[i] - self.hi(bj);
+                let (v, signed) = if below > above {
+                    (below, -below)
+                } else {
+                    (above, above)
+                };
+                if v > worst {
+                    leave = Some((i, signed));
+                    if bland {
+                        break;
+                    }
+                    worst = v;
+                }
+            }
+            let Some((r, signed_viol)) = leave else {
+                return Ok(()); // primal feasible
+            };
+
+            let y = self.duals(&obj);
+            let rho = &self.binv[r * self.m..(r + 1) * self.m];
+            // Entering candidate minimizing |d_j| / |alpha_j| among columns
+            // whose movement repairs the violation without breaking their
+            // own status direction.
+            let below = signed_viol < 0.0; // x_Br below its lower bound
+            let mut best: Option<(usize, f64, f64)> = None; // (col, ratio, alpha)
+            for j in 0..self.lp.ncols {
+                match self.status[j] {
+                    Status::Basic => continue,
+                    _ if self.lo(j) == self.hi(j) => continue,
+                    _ => {}
+                }
+                let mut alpha = 0.0;
+                for &(row, v) in self.col(j) {
+                    alpha += rho[row] * v;
+                }
+                if alpha.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                // x_Br moves by -alpha * dx_j. To raise x_Br (below): need
+                // alpha*dx_j < 0; to lower it: alpha*dx_j > 0.
+                let usable = match self.status[j] {
+                    Status::AtLower => {
+                        // dx_j >= 0
+                        if below {
+                            alpha < 0.0
+                        } else {
+                            alpha > 0.0
+                        }
+                    }
+                    Status::AtUpper => {
+                        // dx_j <= 0
+                        if below {
+                            alpha > 0.0
+                        } else {
+                            alpha < 0.0
+                        }
+                    }
+                    Status::Free => true,
+                    Status::Basic => unreachable!(),
+                };
+                if !usable {
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y, &obj);
+                let ratio = (d.abs() / alpha.abs()).max(0.0);
+                // Scanning j ascending means ties already resolve to the
+                // smallest column index: only strictly better ratios win.
+                let better = match &best {
+                    None => true,
+                    Some((_, br, _)) => ratio < br - 1e-12,
+                };
+                if better {
+                    best = Some((j, ratio, alpha));
+                }
+            }
+            let Some((j, _ratio, alpha)) = best else {
+                // The violated row cannot be repaired: primal infeasible.
+                return Err(LpError::Infeasible);
+            };
+
+            // Step length: drive x_Br exactly to the violated bound.
+            let bj = self.basis[r];
+            let target = if below { self.lo(bj) } else { self.hi(bj) };
+            let dxj = (self.xb[r] - target) / alpha;
+            let t = dxj.abs();
+            let dir = if dxj >= 0.0 { 1.0 } else { -1.0 };
+
+            if t < 1e-12 {
+                degenerate_streak += 1;
+                if degenerate_streak >= DEGENERATE_STREAK_LIMIT {
+                    bland = true;
+                }
+            } else {
+                degenerate_streak = 0;
+            }
+
+            let w = self.ftran(j);
+            let entering_value = self.nonbasic_value(j) + dir * t;
+            for i in 0..self.m {
+                self.xb[i] -= dir * t * w[i];
+            }
+            self.status[bj] = if below {
+                Status::AtLower
+            } else {
+                Status::AtUpper
+            };
+            self.status[j] = Status::Basic;
+            self.basis[r] = j;
+            self.xb[r] = entering_value;
+            self.stats.dual_iterations += 1;
+            self.update_binv(r, &w)?;
+        }
+    }
+
+    /// Cold start: slack basis, artificials where the slack bounds reject
+    /// the residual, then phase 1 (minimize artificial mass).
+    fn cold_start(&mut self, opt_tol: f64) -> Result<(), LpError> {
+        self.stats.cold_starts += 1;
+        let lp = self.lp;
+        self.art.clear();
+        self.art_hi.clear();
+        self.status = vec![Status::AtLower; lp.ncols];
+        for j in 0..lp.n_struct {
+            self.status[j] = if lp.lo[j].is_finite() {
+                Status::AtLower
+            } else if lp.hi[j].is_finite() {
+                Status::AtUpper
+            } else {
+                Status::Free
+            };
+        }
+        // Residual per row once the structurals rest at their bounds.
+        let mut resid = lp.b.clone();
+        for j in 0..lp.n_struct {
+            let v = self.nonbasic_value(j);
+            if v != 0.0 {
+                for &(r, a) in &lp.cols[j] {
+                    resid[r] -= a * v;
+                }
+            }
+        }
+        self.basis = Vec::with_capacity(self.m);
+        self.xb = vec![0.0; self.m];
+        for r in 0..self.m {
+            let s = lp.n_struct + r;
+            let (slo, shi) = (lp.lo[s], lp.hi[s]);
+            if resid[r] >= slo - self.feas_tol && resid[r] <= shi + self.feas_tol {
+                self.status[s] = Status::Basic;
+                self.basis.push(s);
+                self.xb[r] = resid[r];
+            } else {
+                // Park the slack at the bound nearest the residual and
+                // cover the rest with an artificial of positive value.
+                let parked = if resid[r] < slo { slo } else { shi };
+                self.status[s] = if parked == slo {
+                    Status::AtLower
+                } else {
+                    Status::AtUpper
+                };
+                let art_v = resid[r] - parked;
+                let coeff = if art_v >= 0.0 { 1.0 } else { -1.0 };
+                self.art.push((r, coeff));
+                self.art_hi.push(f64::INFINITY);
+                self.status.push(Status::Basic);
+                let aj = lp.ncols + self.art.len() - 1;
+                self.basis.push(aj);
+                self.xb[r] = art_v.abs();
+            }
+        }
+        // The starting basis matrix is diagonal (slack +1 / artificial ±1),
+        // so its inverse is the diagonal of reciprocals.
+        self.binv = vec![0.0; self.m * self.m];
+        for i in 0..self.m {
+            let bj = self.basis[i];
+            let coeff = if bj < lp.ncols {
+                1.0
+            } else {
+                self.art[bj - lp.ncols].1
+            };
+            self.binv[i * self.m + i] = 1.0 / coeff;
+        }
+
+        if !self.art.is_empty() {
+            self.primal(Objective::Phase1, opt_tol)?;
+            let infeas: f64 = (0..self.m)
+                .filter(|&i| self.basis[i] >= lp.ncols)
+                .map(|i| self.xb[i])
+                .sum();
+            if infeas > self.feas_tol {
+                return Err(LpError::Infeasible);
+            }
+            // Pin artificials to zero forever; basic zero-valued ones may
+            // stay (degenerate) — their bounds keep them at 0.
+            for h in self.art_hi.iter_mut() {
+                *h = 0.0;
+            }
+            // Where possible, swap a still-basic artificial for any
+            // structural/slack column with a nonzero row entry.
+            for r in 0..self.m {
+                if self.basis[r] < lp.ncols {
+                    continue;
+                }
+                let rho: Vec<f64> = self.binv[r * self.m..(r + 1) * self.m].to_vec();
+                let mut candidate = None;
+                for j in 0..lp.ncols {
+                    if self.status[j] == Status::Basic {
+                        continue;
+                    }
+                    let mut alpha = 0.0;
+                    for &(row, v) in self.col(j) {
+                        alpha += rho[row] * v;
+                    }
+                    if alpha.abs() > 1e-7 {
+                        candidate = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = candidate {
+                    // Degenerate swap (t = 0): values are unchanged.
+                    let w = self.ftran(j);
+                    let old = self.basis[r];
+                    self.status[old] = Status::AtLower; // value 0, bounds [0,0]
+                    self.status[j] = Status::Basic;
+                    self.basis[r] = j;
+                    self.update_binv(r, &w)?;
+                    self.recompute_xb();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full solve: optional warm basis, then phases as needed. Returns the
+    /// structural variable values.
+    fn run(&mut self, warm: Option<WarmBasis>, opt_tol: f64) -> Result<Vec<f64>, LpError> {
+        self.stats.solves += 1;
+        let mut warmed = false;
+        if let Some(w) = warm {
+            warmed = self.try_warm(w, opt_tol)?;
+        }
+        if !warmed {
+            self.cold_start(opt_tol)?;
+            self.primal(Objective::Real, opt_tol)?;
+        }
+        self.extract()
+    }
+
+    /// Attempt the warm path. `Ok(true)` if it ran to optimality,
+    /// `Ok(false)` to request a cold start, `Err` on a definitive status.
+    fn try_warm(&mut self, w: WarmBasis, opt_tol: f64) -> Result<bool, LpError> {
+        let lp = self.lp;
+        if w.basis.len() != self.m || w.status.len() != lp.ncols {
+            return Ok(false);
+        }
+        if w.basis.iter().any(|&j| j >= lp.ncols) {
+            return Ok(false);
+        }
+        self.status = w.status;
+        self.basis = w.basis;
+        // Re-anchor nonbasic statuses against the (possibly changed) bounds.
+        for j in 0..lp.ncols {
+            if self.status[j] == Status::Basic {
+                continue;
+            }
+            self.status[j] = match (lp.lo[j].is_finite(), lp.hi[j].is_finite()) {
+                (true, true) => {
+                    if self.status[j] == Status::AtUpper {
+                        Status::AtUpper
+                    } else {
+                        Status::AtLower
+                    }
+                }
+                (true, false) => Status::AtLower,
+                (false, true) => Status::AtUpper,
+                (false, false) => Status::Free,
+            };
+        }
+        self.xb = vec![0.0; self.m];
+        if w.matrix_fp == self.lp.matrix_fp && w.binv.len() == self.m * self.m {
+            // Same constraint matrix: the donor's basis inverse is still
+            // exact for this model — only bounds/rhs/costs moved. Recompute
+            // the basic values and keep the donor's refactor cadence.
+            self.binv = w.binv;
+            self.pivots_since_refactor = w.pivots_since_refactor;
+            self.recompute_xb();
+        } else {
+            self.binv = vec![0.0; self.m * self.m];
+            if !self.refactor() {
+                return Ok(false);
+            }
+        }
+
+        // Dual feasibility of the cached basis under the new costs/bounds.
+        // A nonbasic column with a wrong-signed reduced cost is *repairable*
+        // when its opposite bound is finite: parking it there (a bound
+        // flip) makes the sign correct. Best-first branch-and-bound hops
+        // between subtrees, un-fixing variables the donor basis had fixed —
+        // flips are what keep those hops warm.
+        let y = self.duals(&Objective::Real);
+        let mut dual_ok = true;
+        let mut flips: Vec<usize> = Vec::new();
+        for j in 0..lp.ncols {
+            if self.status[j] == Status::Basic || lp.lo[j] == lp.hi[j] {
+                continue;
+            }
+            let d = self.reduced_cost(j, &y, &Objective::Real);
+            match self.status[j] {
+                Status::AtLower if d < -DUAL_TOL => {
+                    if lp.hi[j].is_finite() {
+                        flips.push(j);
+                    } else {
+                        dual_ok = false;
+                        break;
+                    }
+                }
+                Status::AtUpper if d > DUAL_TOL => {
+                    if lp.lo[j].is_finite() {
+                        flips.push(j);
+                    } else {
+                        dual_ok = false;
+                        break;
+                    }
+                }
+                Status::Free if d.abs() > DUAL_TOL => {
+                    dual_ok = false;
+                    break;
+                }
+                _ => {}
+            }
+        }
+
+        let primal_feasible = |core: &Core<'_>| {
+            (0..core.m).all(|i| {
+                let bj = core.basis[i];
+                core.xb[i] >= core.lo(bj) - core.feas_tol
+                    && core.xb[i] <= core.hi(bj) + core.feas_tol
+            })
+        };
+
+        if dual_ok {
+            if !flips.is_empty() {
+                for &j in &flips {
+                    self.status[j] = match self.status[j] {
+                        Status::AtLower => Status::AtUpper,
+                        Status::AtUpper => Status::AtLower,
+                        other => other,
+                    };
+                }
+                self.recompute_xb();
+            }
+            self.stats.warm_hits += 1;
+            if !primal_feasible(self) {
+                self.dual()?;
+            }
+            // Either already primal feasible, or the dual pass restored
+            // it; a primal cleanup certifies optimality (usually zero
+            // pivots).
+            self.primal(Objective::Real, opt_tol)?;
+            return Ok(true);
+        }
+
+        // Dual-unrepairable: the basis is still worth keeping if the point
+        // itself is feasible — plain primal simplex finishes the job.
+        if primal_feasible(self) {
+            self.stats.warm_hits += 1;
+            self.primal(Objective::Real, opt_tol)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    fn extract(&self) -> Result<Vec<f64>, LpError> {
+        let lp = self.lp;
+        let mut values = vec![0.0; lp.n_struct];
+        for j in 0..lp.n_struct {
+            values[j] = match self.status[j] {
+                Status::AtLower => lp.lo[j],
+                Status::AtUpper => lp.hi[j],
+                Status::Free => 0.0,
+                Status::Basic => 0.0, // filled below
+            };
+        }
+        for (i, &bj) in self.basis.iter().enumerate() {
+            if bj < lp.n_struct {
+                let mut v = self.xb[i];
+                if !v.is_finite() {
+                    return Err(LpError::Numerical(format!(
+                        "basic value non-finite in row {i}"
+                    )));
+                }
+                // Snap tiny bound violations (dual/warm tolerance dust).
+                if lp.lo[bj].is_finite() && v < lp.lo[bj] {
+                    v = lp.lo[bj];
+                }
+                if lp.hi[bj].is_finite() && v > lp.hi[bj] {
+                    v = lp.hi[bj];
+                }
+                values[bj] = v;
+            }
+        }
+        Ok(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cmp, LinExpr, Model, Sense, VarType};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn two_var_max() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_constr("c1", x + y, Cmp::Le, 4.0);
+        m.add_constr("c2", x + y * 3.0, Cmp::Le, 6.0);
+        m.set_objective(x * 3.0 + y * 2.0);
+        let s = solve(&m).unwrap();
+        assert_close(s.objective, 12.0);
+    }
+
+    #[test]
+    fn bounded_vars_without_bound_rows() {
+        // Two-sided bounds solved natively: optimum at the upper bounds.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 1.0, 3.0);
+        let y = m.add_var("y", VarType::Continuous, -2.0, 2.0);
+        m.add_constr("c", x + y, Cmp::Le, 4.5);
+        m.set_objective(x + y);
+        let s = solve(&m).unwrap();
+        assert_close(s.objective, 4.5);
+        assert!(m.check_feasible(&s.values, 1e-6).is_none());
+    }
+
+    #[test]
+    fn ge_and_eq_rows_need_phase1() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarType::Continuous, 2.0, f64::INFINITY);
+        let y = m.add_var("y", VarType::Continuous, 3.0, f64::INFINITY);
+        m.add_constr("sum", x + y, Cmp::Ge, 10.0);
+        m.set_objective(x * 2.0 + y * 3.0);
+        let s = solve(&m).unwrap();
+        assert_close(s.objective, 23.0);
+    }
+
+    #[test]
+    fn equality_system() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_constr("e1", x + y, Cmp::Eq, 5.0);
+        m.add_constr("e2", x - y, Cmp::Eq, 1.0);
+        m.set_objective(x + y);
+        let s = solve(&m).unwrap();
+        assert_close(s.value(x), 3.0);
+        assert_close(s.value(y), 2.0);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        m.add_constr("hi", x + 0.0, Cmp::Ge, 2.0);
+        m.set_objective(x + 0.0);
+        assert_eq!(solve(&m).unwrap_err(), LpError::Infeasible);
+
+        let mut m2 = Model::new(Sense::Maximize);
+        let z = m2.add_nonneg("z");
+        m2.set_objective(z + 0.0);
+        assert_eq!(solve(&m2).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn free_and_upper_only_vars() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarType::Continuous, f64::NEG_INFINITY, f64::INFINITY);
+        m.add_constr("lb", x + 0.0, Cmp::Ge, -5.0);
+        m.set_objective(x + 0.0);
+        assert_close(solve(&m).unwrap().objective, -5.0);
+
+        let mut m2 = Model::new(Sense::Maximize);
+        let u = m2.add_var("u", VarType::Continuous, f64::NEG_INFINITY, 3.0);
+        m2.set_objective(u + 0.0);
+        assert_close(solve(&m2).unwrap().objective, 3.0);
+    }
+
+    #[test]
+    fn fixed_variable() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 2.5, 2.5);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+        m.add_constr("c", x + y, Cmp::Le, 4.0);
+        m.set_objective(x + y);
+        let s = solve(&m).unwrap();
+        assert_close(s.value(x), 2.5);
+        assert_close(s.value(y), 1.5);
+    }
+
+    #[test]
+    fn degenerate_origin_terminates() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        for i in 0..20 {
+            m.add_constr(
+                format!("r{i}"),
+                x + y * (1.0 + i as f64 * 0.01),
+                Cmp::Le,
+                0.0,
+            );
+        }
+        m.set_objective(x + y);
+        assert_close(solve(&m).unwrap().objective, 0.0);
+    }
+
+    #[test]
+    fn transportation() {
+        let mut m = Model::new(Sense::Minimize);
+        let mut x = Vec::new();
+        for i in 0..2 {
+            for j in 0..2 {
+                x.push(m.add_nonneg(format!("x{i}{j}")));
+            }
+        }
+        m.add_constr("s0", x[0] + x[1], Cmp::Le, 10.0);
+        m.add_constr("s1", x[2] + x[3], Cmp::Le, 20.0);
+        m.add_constr("d0", x[0] + x[2], Cmp::Ge, 15.0);
+        m.add_constr("d1", x[1] + x[3], Cmp::Ge, 15.0);
+        m.set_objective(x[0] * 1.0 + x[1] * 2.0 + x[2] * 3.0 + x[3] * 1.0);
+        assert_close(solve(&m).unwrap().objective, 40.0);
+    }
+
+    #[test]
+    fn warm_start_after_rhs_change_skips_phase1() {
+        // A max-flow-shaped LP re-solved with new rhs: the second solve
+        // must be a warm hit with no cold start.
+        let mut session = SolverSession::new();
+        let build = |d1: f64, d2: f64| {
+            let mut m = Model::new(Sense::Maximize);
+            let f1 = m.add_nonneg("f1");
+            let f2 = m.add_nonneg("f2");
+            m.add_constr("dem1", f1 + 0.0, Cmp::Le, d1);
+            m.add_constr("dem2", f2 + 0.0, Cmp::Le, d2);
+            m.add_constr("cap", f1 + f2, Cmp::Le, 120.0);
+            m.set_objective(f1 + f2);
+            m
+        };
+        let s1 = session.solve(&build(50.0, 100.0)).unwrap();
+        assert_close(s1.objective, 120.0);
+        assert_eq!(session.stats.cold_starts, 1);
+        let s2 = session.solve(&build(30.0, 60.0)).unwrap();
+        assert_close(s2.objective, 90.0);
+        assert_eq!(session.stats.cold_starts, 1, "second solve must be warm");
+        assert_eq!(session.stats.warm_hits, 1);
+    }
+
+    #[test]
+    fn warm_start_after_bound_tightening_uses_dual_steps() {
+        // Branch-and-bound shape: tighten a variable's bounds, re-solve.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+        m.add_constr("c", x * 2.0 + y * 2.0, Cmp::Le, 11.0);
+        m.set_objective(x + y);
+        let mut session = SolverSession::new();
+        let s1 = session.solve(&m).unwrap();
+        assert_close(s1.objective, 5.5);
+        m.set_var_bounds(x, 0.0, 2.0);
+        let s2 = session.solve(&m).unwrap();
+        assert_close(s2.objective, 5.5); // y picks up the slack
+        m.set_var_bounds(y, 0.0, 1.0);
+        let s3 = session.solve(&m).unwrap();
+        assert_close(s3.objective, 3.0);
+        assert_eq!(session.stats.cold_starts, 1);
+        assert_eq!(session.stats.warm_hits, 2);
+    }
+
+    #[test]
+    fn warm_start_detects_infeasibility() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        m.add_constr("need", x + 0.0, Cmp::Ge, 4.0);
+        m.set_objective(x + 0.0);
+        let mut session = SolverSession::new();
+        session.solve(&m).unwrap();
+        m.set_var_bounds(x, 0.0, 3.0);
+        assert_eq!(session.solve(&m).unwrap_err(), LpError::Infeasible);
+        // ...and recovers when the bound relaxes again.
+        m.set_var_bounds(x, 0.0, 10.0);
+        assert_close(session.solve(&m).unwrap().objective, 10.0);
+    }
+
+    #[test]
+    fn session_shape_change_falls_back_to_cold() {
+        let mut session = SolverSession::new();
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        m.set_objective(x + 0.0);
+        session.solve(&m).unwrap();
+        let mut m2 = Model::new(Sense::Maximize);
+        let a = m2.add_var("a", VarType::Continuous, 0.0, 1.0);
+        let b = m2.add_var("b", VarType::Continuous, 0.0, 1.0);
+        m2.add_constr("c", a + b, Cmp::Le, 1.5);
+        m2.set_objective(a + b);
+        let s = session.solve(&m2).unwrap();
+        assert_close(s.objective, 1.5);
+        assert_eq!(session.stats.cold_starts, 2);
+    }
+
+    #[test]
+    fn session_pool_tracks_shapes() {
+        let mut pool = SessionPool::new();
+        for round in 0..3 {
+            for n in [1usize, 2] {
+                let mut m = Model::new(Sense::Maximize);
+                let vars: Vec<_> = (0..n)
+                    .map(|i| m.add_var(format!("v{i}"), VarType::Continuous, 0.0, 5.0))
+                    .collect();
+                m.add_constr("cap", LinExpr::sum(vars.iter().copied()), Cmp::Le, 4.0);
+                m.set_objective(LinExpr::sum(vars.iter().copied()));
+                let s = pool.solve(&m).unwrap();
+                assert_close(s.objective, 4.0_f64.min(5.0 * n as f64));
+                let _ = round;
+            }
+        }
+        assert_eq!(pool.len(), 2);
+        let stats = pool.stats();
+        assert_eq!(stats.solves, 6);
+        assert_eq!(stats.cold_starts, 2);
+        assert_eq!(stats.warm_hits, 4);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+        m.add_constr("c", x - y, Cmp::Le, -1.0);
+        m.set_objective(x + 0.0);
+        assert_close(solve(&m).unwrap().objective, 9.0);
+    }
+
+    #[test]
+    fn objective_constant_carried() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        m.set_objective(x + 41.0);
+        assert_close(solve(&m).unwrap().objective, 42.0);
+    }
+
+    #[test]
+    fn feasibility_only_model() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+        m.add_constr("c", x + y, Cmp::Eq, 7.0);
+        let s = solve(&m).unwrap();
+        assert!(m.check_feasible(&s.values, 1e-6).is_none());
+    }
+
+    #[test]
+    fn mixed_bounds_feasible_solution() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, -3.0, 8.0);
+        let y = m.add_var("y", VarType::Continuous, f64::NEG_INFINITY, 4.0);
+        m.add_constr("c1", x * 2.0 + y, Cmp::Le, 10.0);
+        m.add_constr("c2", x - y, Cmp::Ge, -2.0);
+        m.set_objective(x + y * 0.5);
+        let s = solve(&m).unwrap();
+        assert!(m.check_feasible(&s.values, 1e-6).is_none());
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.5);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 1.5);
+        m.add_constr("e1", x + y, Cmp::Eq, 2.0);
+        m.add_constr("e2", x + y, Cmp::Eq, 2.0);
+        m.set_objective(x + 0.0);
+        let s = solve(&m).unwrap();
+        assert_close(s.value(x), 1.5);
+        assert_close(s.value(y), 0.5);
+    }
+}

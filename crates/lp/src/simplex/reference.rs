@@ -1,4 +1,11 @@
-//! Dense two-phase primal simplex.
+//! Dense two-phase primal simplex — the **reference oracle**.
+//!
+//! This is the original solver of the reproduction, kept alive verbatim as
+//! the slow-but-trusted oracle for the differential test-bed
+//! (`crates/lp/tests/differential.rs`) and the baseline of the solver
+//! benches. The production hot path is [`crate::revised`]; two-sided
+//! variable bounds here become explicit `y <= hi - lo` constraint rows,
+//! which is exactly the overhead the revised solver removes.
 //!
 //! The solver converts a [`Model`] to standard form (`min c'y, Ay = b, y >= 0`)
 //! by shifting/splitting bounded and free variables, then runs phase 1 with
@@ -293,6 +300,18 @@ fn iterate(
 
 /// Solve the LP relaxation of `model` with the two-phase simplex.
 pub fn solve(model: &Model) -> Result<Solution, LpError> {
+    let mut iters = 0usize;
+    let out = solve_counted(model, &mut iters);
+    crate::counters::record(&crate::revised::SolverStats {
+        solves: 1,
+        iterations: iters as u64,
+        cold_starts: 1,
+        ..Default::default()
+    });
+    out
+}
+
+fn solve_counted(model: &Model, iters_out: &mut usize) -> Result<Solution, LpError> {
     let std = standardize(model)?;
     let n_y = std.n_y;
     let m = std.rows.len();
@@ -378,7 +397,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
     };
 
     let opts = model.options();
-    let mut iters = 0usize;
+    let iters = iters_out;
 
     // ---- Phase 1: minimize the sum of artificials -----------------------
     if n_art > 0 {
@@ -396,7 +415,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
             t.z[j] += 1.0; // their own cost
         }
 
-        iterate(&mut t, opts.opt_tol, opts.max_iterations, true, &mut iters)?;
+        iterate(&mut t, opts.opt_tol, opts.max_iterations, true, iters)?;
 
         let phase1_obj = -t.z[ncols];
         if phase1_obj > opts.feas_tol {
@@ -449,7 +468,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
         }
     }
 
-    iterate(&mut t, opts.opt_tol, opts.max_iterations, false, &mut iters)?;
+    iterate(&mut t, opts.opt_tol, opts.max_iterations, false, iters)?;
 
     // ---- Extract the solution -------------------------------------------
     let mut y = vec![0.0; n_y];
@@ -482,6 +501,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
 
 #[cfg(test)]
 mod tests {
+    use super::solve;
     use crate::{Cmp, LinExpr, LpError, Model, Sense, VarType};
 
     fn assert_close(a: f64, b: f64) {
@@ -497,7 +517,7 @@ mod tests {
         m.add_constr("c1", x + y, Cmp::Le, 4.0);
         m.add_constr("c2", x + y * 3.0, Cmp::Le, 6.0);
         m.set_objective(x * 3.0 + y * 2.0);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert_close(s.objective, 12.0);
         assert_close(s.value(x), 4.0);
         assert_close(s.value(y), 0.0);
@@ -511,7 +531,7 @@ mod tests {
         let y = m.add_var("y", VarType::Continuous, 3.0, f64::INFINITY);
         m.add_constr("sum", x + y, Cmp::Ge, 10.0);
         m.set_objective(x * 2.0 + y * 3.0);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert_close(s.objective, 23.0);
     }
 
@@ -524,7 +544,7 @@ mod tests {
         m.add_constr("e1", x + y, Cmp::Eq, 5.0);
         m.add_constr("e2", x - y, Cmp::Eq, 1.0);
         m.set_objective(x + y);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert_close(s.value(x), 3.0);
         assert_close(s.value(y), 2.0);
     }
@@ -535,7 +555,7 @@ mod tests {
         let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
         m.add_constr("hi", x + 0.0, Cmp::Ge, 2.0);
         m.set_objective(x + 0.0);
-        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+        assert_eq!(solve(&m).unwrap_err(), LpError::Infeasible);
     }
 
     #[test]
@@ -543,7 +563,7 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_nonneg("x");
         m.set_objective(x + 0.0);
-        assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
+        assert_eq!(solve(&m).unwrap_err(), LpError::Unbounded);
     }
 
     #[test]
@@ -553,7 +573,7 @@ mod tests {
         let x = m.add_var("x", VarType::Continuous, f64::NEG_INFINITY, f64::INFINITY);
         m.add_constr("lb", x + 0.0, Cmp::Ge, -5.0);
         m.set_objective(x + 0.0);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert_close(s.objective, -5.0);
     }
 
@@ -563,7 +583,7 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_var("x", VarType::Continuous, f64::NEG_INFINITY, 3.0);
         m.set_objective(x + 0.0);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert_close(s.objective, 3.0);
     }
 
@@ -574,7 +594,7 @@ mod tests {
         let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
         m.add_constr("c", x + y, Cmp::Le, 4.0);
         m.set_objective(x + y);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert_close(s.value(x), 2.5);
         assert_close(s.value(y), 1.5);
     }
@@ -587,7 +607,7 @@ mod tests {
         let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
         m.add_constr("c", x - y, Cmp::Le, -1.0);
         m.set_objective(x + 0.0);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert_close(s.objective, 9.0);
     }
 
@@ -596,7 +616,7 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
         m.set_objective(x + 41.0);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert_close(s.objective, 42.0);
     }
 
@@ -616,7 +636,7 @@ mod tests {
         }
         m.add_constr("cap", x + y, Cmp::Le, 0.0);
         m.set_objective(x + y);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert_close(s.objective, 0.0);
     }
 
@@ -629,7 +649,7 @@ mod tests {
         m.add_constr("e1", x + y, Cmp::Eq, 2.0);
         m.add_constr("e2", x + y, Cmp::Eq, 2.0);
         m.set_objective(x + 0.0);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert_close(s.value(x), 1.5);
         assert_close(s.value(y), 0.5);
     }
@@ -650,7 +670,7 @@ mod tests {
         m.add_constr("d0", x[0] + x[2], Cmp::Ge, 15.0);
         m.add_constr("d1", x[1] + x[3], Cmp::Ge, 15.0);
         m.set_objective(x[0] * 1.0 + x[1] * 2.0 + x[2] * 3.0 + x[3] * 1.0);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert_close(s.objective, 40.0);
     }
 
@@ -661,7 +681,7 @@ mod tests {
         let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
         let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
         m.add_constr("c", x + y, Cmp::Eq, 7.0);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert!(m.check_feasible(&s.values, 1e-6).is_none());
     }
 
@@ -673,7 +693,7 @@ mod tests {
         m.add_constr("c1", x * 2.0 + y, Cmp::Le, 10.0);
         m.add_constr("c2", x - y, Cmp::Ge, -2.0);
         m.set_objective(x + y * 0.5);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert!(m.check_feasible(&s.values, 1e-6).is_none());
     }
 
@@ -691,7 +711,7 @@ mod tests {
         }
         m.add_constr("budget", LinExpr::sum(vars.iter().copied()), Cmp::Le, 10.0);
         m.set_objective(obj);
-        let s = m.solve().unwrap();
+        let s = solve(&m).unwrap();
         assert!(m.check_feasible(&s.values, 1e-6).is_none());
         // Greedy bound: picking the ten weight-3 vars gives 30.
         assert_close(s.objective, 30.0);

@@ -1,0 +1,318 @@
+//! Differential test-bed: the revised bounded-variable simplex against the
+//! reference tableau solver on randomized models.
+//!
+//! Every case builds one model and solves it with both engines. The two
+//! must agree on *status* (optimal / infeasible / unbounded) and, when
+//! optimal, on the objective to 1e-6; the revised solution is additionally
+//! re-checked for feasibility against the original model (never against
+//! the solver's own internal form). Coefficients are drawn from small
+//! integer grids so degenerate ties and redundant rows appear constantly —
+//! the regime where pivoting bugs hide.
+//!
+//! Blocks:
+//! * `lp_statuses_and_objectives_agree` — 256 cases sweeping bound shapes
+//!   (two-sided / one-sided / free / fixed), row senses, and sign-mixed
+//!   coefficients, including infeasible and unbounded instances;
+//! * `warm_session_matches_cold_reference` — bound-perturbation chains
+//!   re-solved through one `SolverSession` vs a cold reference each step
+//!   (the branch-and-bound access pattern);
+//! * `rhs_sweep_matches_cold_reference` — rhs-perturbation chains (the
+//!   gap-oracle access pattern);
+//! * `milp_backends_agree` — branch-and-bound with the revised session
+//!   backend vs the reference backend.
+
+use proptest::prelude::*;
+use xplain_lp::{milp, simplex, Cmp, LinExpr, LpError, Model, Sense, SolverSession, VarType};
+
+/// Outcome classes the two solvers must agree on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Optimal,
+    Infeasible,
+    Unbounded,
+}
+
+fn classify<T>(which: &str, m: &Model, r: &Result<T, LpError>) -> Status {
+    match r {
+        Ok(_) => Status::Optimal,
+        Err(LpError::Infeasible) => Status::Infeasible,
+        Err(LpError::Unbounded) => Status::Unbounded,
+        Err(e) => panic!("{which} solver failed unexpectedly: {e}\nmodel:\n{m}"),
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Bound shape selector: 0 two-sided, 1 lower-only, 2 upper-only, 3 free,
+/// 4 fixed.
+fn bounds_for(kind: u8, lo_raw: i32, width_raw: i32) -> (f64, f64) {
+    let lo = lo_raw as f64 * 0.5;
+    let width = width_raw as f64 * 0.5;
+    match kind % 5 {
+        0 => (lo, lo + width),
+        1 => (lo, f64::INFINITY),
+        2 => (f64::NEG_INFINITY, lo + width),
+        3 => (f64::NEG_INFINITY, f64::INFINITY),
+        _ => (lo, lo),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_model(
+    n: usize,
+    mrows: usize,
+    kinds: &[u8],
+    lo_raw: &[i32],
+    width_raw: &[i32],
+    coefs: &[i32],
+    cmps: &[u8],
+    rhs: &[i32],
+    obj: &[i32],
+    sense_max: bool,
+) -> Model {
+    let sense = if sense_max {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    };
+    let mut m = Model::new(sense);
+    let vars: Vec<_> = (0..n)
+        .map(|i| {
+            let (lo, hi) = bounds_for(kinds[i], lo_raw[i], width_raw[i]);
+            m.add_var(format!("v{i}"), VarType::Continuous, lo, hi)
+        })
+        .collect();
+    for r in 0..mrows {
+        let mut e = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            let c = coefs[r * 6 + i];
+            if c != 0 {
+                e.add_term(v, c as f64);
+            }
+        }
+        let cmp = match cmps[r] % 3 {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        m.add_constr(format!("c{r}"), e, cmp, rhs[r] as f64);
+    }
+    let mut o = LinExpr::new();
+    for (i, &v) in vars.iter().enumerate() {
+        o.add_term(v, obj[i] as f64);
+    }
+    m.set_objective(o);
+    m
+}
+
+fn assert_agree(m: &Model) {
+    let revised = simplex::solve(m);
+    let reference = simplex::reference::solve(m);
+    let rs = classify("revised", m, &revised);
+    let fs = classify("reference", m, &reference);
+    prop_assert_eq!(
+        rs,
+        fs,
+        "status diverged ({:?} vs {:?})\nmodel:\n{}",
+        rs,
+        fs,
+        m
+    );
+    if let (Ok(a), Ok(b)) = (&revised, &reference) {
+        prop_assert!(
+            close(a.objective, b.objective),
+            "objective diverged: revised {} vs reference {}\nmodel:\n{}",
+            a.objective,
+            b.objective,
+            m
+        );
+        // Feasibility is always judged against the original model.
+        prop_assert!(
+            m.check_feasible(&a.values, 1e-6).is_none(),
+            "revised solution infeasible: {:?}\nmodel:\n{}",
+            m.check_feasible(&a.values, 1e-6),
+            m
+        );
+        prop_assert!(
+            close(a.objective, m.objective().eval(&a.values)),
+            "revised objective does not match its own values"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline sweep: 256 random models over every bound shape.
+    #[test]
+    fn lp_statuses_and_objectives_agree(
+        n in 1usize..6,
+        mrows in 0usize..6,
+        kinds in collection::vec(0u8..5, 6),
+        lo_raw in collection::vec(-6i32..6, 6),
+        width_raw in collection::vec(0i32..8, 6),
+        coefs in collection::vec(-3i32..4, 36),
+        cmps in collection::vec(0u8..3, 6),
+        rhs in collection::vec(-8i32..9, 6),
+        obj in collection::vec(-3i32..4, 6),
+        sense_bit in 0u8..2,
+    ) {
+        let m = build_model(
+            n, mrows, &kinds, &lo_raw, &width_raw, &coefs, &cmps, &rhs, &obj, sense_bit == 1,
+        );
+        assert_agree(&m);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Branch-and-bound access pattern: a chain of bound tightenings
+    /// re-solved through one warm session must match a cold reference
+    /// solve at every step.
+    #[test]
+    fn warm_session_matches_cold_reference(
+        n in 2usize..6,
+        mrows in 1usize..5,
+        coefs in collection::vec(0i32..4, 36),
+        rhs in collection::vec(2i32..12, 6),
+        obj in collection::vec(-2i32..4, 6),
+        tweak_var in collection::vec(0usize..6, 4),
+        tweak_kind in collection::vec(0u8..3, 4),
+        tweak_val in collection::vec(0i32..5, 4),
+    ) {
+        // Start bounded-feasible: x in [0, 4], nonnegative rows.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("v{i}"), VarType::Continuous, 0.0, 4.0))
+            .collect();
+        for r in 0..mrows {
+            let mut e = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                let c = coefs[r * 6 + i];
+                if c != 0 {
+                    e.add_term(v, c as f64);
+                }
+            }
+            m.add_constr(format!("c{r}"), e, Cmp::Le, rhs[r] as f64);
+        }
+        let mut o = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            o.add_term(v, obj[i] as f64);
+        }
+        m.set_objective(o);
+
+        let mut session = SolverSession::new();
+        for t in 0..4 {
+            let v = vars[tweak_var[t] % n];
+            let (lo, hi) = m.var_bounds(v);
+            let val = tweak_val[t] as f64;
+            let (nlo, nhi) = match tweak_kind[t] {
+                0 => (lo.max(val.min(4.0)), hi), // raise lower
+                1 => (lo, hi.min(val)),          // drop upper
+                _ => (0.0, 4.0),                 // relax back
+            };
+            if nlo > nhi {
+                continue;
+            }
+            m.set_var_bounds(v, nlo, nhi);
+
+            let warm = session.solve(&m);
+            let cold = simplex::reference::solve(&m);
+            let ws = classify("warm", &m, &warm);
+            let cs = classify("reference", &m, &cold);
+            prop_assert_eq!(ws, cs, "status diverged after tweak\nmodel:\n{}", m);
+            if let (Ok(a), Ok(b)) = (&warm, &cold) {
+                prop_assert!(
+                    close(a.objective, b.objective),
+                    "objective diverged: warm {} vs cold {}\nmodel:\n{}",
+                    a.objective, b.objective, m
+                );
+                prop_assert!(m.check_feasible(&a.values, 1e-6).is_none());
+            }
+        }
+    }
+
+    /// Gap-oracle access pattern: same structure, shifting rhs.
+    #[test]
+    fn rhs_sweep_matches_cold_reference(
+        n in 2usize..5,
+        coefs in collection::vec(1i32..4, 10),
+        rhs_flat in collection::vec(0i32..14, 10),
+        obj in collection::vec(1i32..4, 5),
+    ) {
+        let mut session = SolverSession::new();
+        for step in rhs_flat.chunks(2) {
+            let mut m = Model::new(Sense::Maximize);
+            let vars: Vec<_> = (0..n)
+                .map(|i| m.add_var(format!("v{i}"), VarType::Continuous, 0.0, f64::INFINITY))
+                .collect();
+            for (r, &b) in step.iter().enumerate() {
+                let mut e = LinExpr::new();
+                for (i, &v) in vars.iter().enumerate() {
+                    e.add_term(v, coefs[r * 5 + i] as f64);
+                }
+                m.add_constr(format!("c{r}"), e, Cmp::Le, b as f64);
+            }
+            let mut o = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                o.add_term(v, obj[i] as f64);
+            }
+            m.set_objective(o);
+
+            let warm = session.solve(&m).expect("bounded feasible LP");
+            let cold = simplex::reference::solve(&m).expect("bounded feasible LP");
+            prop_assert!(
+                close(warm.objective, cold.objective),
+                "objective diverged: warm {} vs cold {}\nmodel:\n{}",
+                warm.objective, cold.objective, m
+            );
+            prop_assert!(m.check_feasible(&warm.values, 1e-6).is_none());
+        }
+        // The sweep re-solves one shape: everything after the first solve
+        // must have warm-started.
+        prop_assert_eq!(session.stats.cold_starts, 1);
+        prop_assert_eq!(session.stats.warm_hits, session.stats.solves - 1);
+    }
+
+    /// Branch-and-bound differential: warm revised sessions vs cold
+    /// reference solves must reach the same MILP optimum.
+    #[test]
+    fn milp_backends_agree(
+        n in 1usize..6,
+        weights in collection::vec(1i32..5, 6),
+        values in collection::vec(-2i32..6, 6),
+        cap in 2i32..12,
+        eq_bit in 0u8..2,
+    ) {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("b{i}"))).collect();
+        let mut w = LinExpr::new();
+        let mut o = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            w.add_term(v, weights[i] as f64);
+            o.add_term(v, values[i] as f64);
+        }
+        m.add_constr("cap", w, Cmp::Le, cap as f64);
+        if eq_bit == 1 && n >= 2 {
+            m.add_constr("pair", vars[0] + vars[1], Cmp::Le, 1.0);
+        }
+        m.set_objective(o);
+
+        let revised = milp::solve_with(&m, milp::Backend::Revised);
+        let reference = milp::solve_with(&m, milp::Backend::Reference);
+        let rs = classify("revised milp", &m, &revised);
+        let fs = classify("reference milp", &m, &reference);
+        prop_assert_eq!(rs, fs);
+        if let (Ok((a, _)), Ok((b, _))) = (&revised, &reference) {
+            prop_assert!(
+                close(a.objective, b.objective),
+                "MILP objective diverged: revised {} vs reference {}",
+                a.objective, b.objective
+            );
+            prop_assert!(m.check_feasible(&a.values, 1e-6).is_none());
+        }
+    }
+}

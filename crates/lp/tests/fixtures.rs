@@ -1,0 +1,211 @@
+//! Classic LP fixtures with hand-verified optima, pinned exactly for both
+//! solver engines.
+//!
+//! * **Klee–Minty cubes** (n = 3..8) — the worst case for Dantzig pricing:
+//!   `max Σ 2^{n-j} x_j  s.t.  2 Σ_{j<i} 2^{i-j} x_j + x_i <= 5^i`, whose
+//!   optimum is exactly `5^n` at `x = (0, …, 0, 5^n)`. Exercises long
+//!   pivot chains and exponent-spread coefficients.
+//! * **Beale's cycling example** — the textbook instance on which naive
+//!   Dantzig pricing cycles forever; optimal value −1/20 at
+//!   `x = (1/25, 0, 1, 0)`. Both engines must terminate (anti-cycling)
+//!   and agree.
+//! * **Netlib-style miniatures** — a diet LP, a 2×3 transportation LP,
+//!   and a product-mix LP, each small enough to verify by hand, pinned to
+//!   their exact optima.
+//!
+//! Each fixture runs through the revised solver (`simplex::solve`), the
+//! reference oracle (`simplex::reference::solve`), and a warm re-solve in
+//! a `SolverSession` — three engines, one pinned answer.
+
+use xplain_lp::{simplex, Cmp, LinExpr, Model, Sense, SolverSession};
+
+fn assert_pinned(m: &Model, expected: f64, tag: &str) {
+    let tol = 1e-6 * (1.0 + expected.abs());
+    let revised = simplex::solve(m).unwrap_or_else(|e| panic!("{tag}: revised failed: {e}"));
+    assert!(
+        (revised.objective - expected).abs() < tol,
+        "{tag}: revised gave {}, pinned {expected}",
+        revised.objective
+    );
+    assert!(
+        m.check_feasible(&revised.values, 1e-6).is_none(),
+        "{tag}: revised solution infeasible: {:?}",
+        m.check_feasible(&revised.values, 1e-6)
+    );
+    let reference =
+        simplex::reference::solve(m).unwrap_or_else(|e| panic!("{tag}: reference failed: {e}"));
+    assert!(
+        (reference.objective - expected).abs() < tol,
+        "{tag}: reference gave {}, pinned {expected}",
+        reference.objective
+    );
+    // Warm re-solve from the first solve's basis: same pinned answer.
+    let mut session = SolverSession::new();
+    session.solve(m).unwrap();
+    let warm = session.solve(m).unwrap();
+    assert!(
+        (warm.objective - expected).abs() < tol,
+        "{tag}: warm re-solve gave {}, pinned {expected}",
+        warm.objective
+    );
+    assert_eq!(session.stats.warm_hits, 1, "{tag}: re-solve was not warm");
+}
+
+/// The Klee–Minty cube in the `5^i` formulation.
+fn klee_minty(n: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n).map(|j| m.add_nonneg(format!("x{j}"))).collect();
+    for i in 1..=n {
+        let mut e = LinExpr::new();
+        for j in 1..i {
+            e.add_term(vars[j - 1], 2.0 * 2f64.powi((i - j) as i32));
+        }
+        e.add_term(vars[i - 1], 1.0);
+        m.add_constr(format!("km{i}"), e, Cmp::Le, 5f64.powi(i as i32));
+    }
+    let mut obj = LinExpr::new();
+    for j in 1..=n {
+        obj.add_term(vars[j - 1], 2f64.powi((n - j) as i32));
+    }
+    m.set_objective(obj);
+    m
+}
+
+#[test]
+fn klee_minty_cubes_3_to_8() {
+    for n in 3..=8 {
+        let m = klee_minty(n);
+        assert_pinned(&m, 5f64.powi(n as i32), &format!("klee-minty n={n}"));
+        // The optimal vertex is x = (0, ..., 0, 5^n).
+        let sol = simplex::solve(&m).unwrap();
+        for (j, &v) in sol.values.iter().enumerate().take(n - 1) {
+            assert!(v.abs() < 1e-6, "klee-minty n={n}: x{j} = {v}, expected 0");
+        }
+        assert!(
+            (sol.values[n - 1] - 5f64.powi(n as i32)).abs() < 1e-5,
+            "klee-minty n={n}: x{} = {}",
+            n - 1,
+            sol.values[n - 1]
+        );
+    }
+}
+
+#[test]
+fn beales_cycling_example() {
+    // min -3/4 x1 + 150 x2 - 1/50 x3 + 6 x4
+    //   s.t. 1/4 x1 -  60 x2 - 1/25 x3 + 9 x4 <= 0
+    //        1/2 x1 -  90 x2 - 1/50 x3 + 3 x4 <= 0
+    //        x3 <= 1,  x >= 0
+    // Optimum -1/20 at x = (1/25, 0, 1, 0).
+    let mut m = Model::new(Sense::Minimize);
+    let x1 = m.add_nonneg("x1");
+    let x2 = m.add_nonneg("x2");
+    let x3 = m.add_nonneg("x3");
+    let x4 = m.add_nonneg("x4");
+    m.add_constr(
+        "r1",
+        x1 * 0.25 - x2 * 60.0 - x3 * (1.0 / 25.0) + x4 * 9.0,
+        Cmp::Le,
+        0.0,
+    );
+    m.add_constr(
+        "r2",
+        x1 * 0.5 - x2 * 90.0 - x3 * (1.0 / 50.0) + x4 * 3.0,
+        Cmp::Le,
+        0.0,
+    );
+    m.add_constr("r3", x3 + 0.0, Cmp::Le, 1.0);
+    m.set_objective(x1 * -0.75 + x2 * 150.0 - x3 * (1.0 / 50.0) + x4 * 6.0);
+    assert_pinned(&m, -0.05, "beale");
+    let sol = simplex::solve(&m).unwrap();
+    assert!((sol.value(x1) - 0.04).abs() < 1e-6, "{}", sol.value(x1));
+    assert!((sol.value(x3) - 1.0).abs() < 1e-6, "{}", sol.value(x3));
+}
+
+#[test]
+fn netlib_style_diet() {
+    // min 2x + 3y + 4z  s.t.  x + 2y + z >= 4,  2x + y + 3z >= 6.
+    // Optimal at the intersection with z = 0: x = 8/3, y = 2/3 -> 22/3.
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_nonneg("x");
+    let y = m.add_nonneg("y");
+    let z = m.add_nonneg("z");
+    m.add_constr("protein", x + y * 2.0 + z, Cmp::Ge, 4.0);
+    m.add_constr("iron", x * 2.0 + y + z * 3.0, Cmp::Ge, 6.0);
+    m.set_objective(x * 2.0 + y * 3.0 + z * 4.0);
+    assert_pinned(&m, 22.0 / 3.0, "diet");
+}
+
+#[test]
+fn netlib_style_transportation_2x3() {
+    // Supplies [20, 30], demands [25, 15, 10], costs:
+    //   s1: [2, 4, 5]
+    //   s2: [3, 1, 7]
+    // Hand-verified optimum (dual check: all reduced costs >= 0): 130
+    //   s1->d1: 10, s1->d3: 10, s2->d1: 15, s2->d2: 15.
+    let costs = [[2.0, 4.0, 5.0], [3.0, 1.0, 7.0]];
+    let supply = [20.0, 30.0];
+    let demand = [25.0, 15.0, 10.0];
+    let mut m = Model::new(Sense::Minimize);
+    let mut x = vec![Vec::new(); 2];
+    for (i, row) in x.iter_mut().enumerate() {
+        for j in 0..3 {
+            row.push(m.add_nonneg(format!("x{i}{j}")));
+        }
+    }
+    for i in 0..2 {
+        m.add_constr(
+            format!("s{i}"),
+            LinExpr::sum(x[i].iter().copied()),
+            Cmp::Le,
+            supply[i],
+        );
+    }
+    for j in 0..3 {
+        m.add_constr(
+            format!("d{j}"),
+            LinExpr::term(x[0][j], 1.0) + x[1][j],
+            Cmp::Ge,
+            demand[j],
+        );
+    }
+    let mut obj = LinExpr::new();
+    for i in 0..2 {
+        for j in 0..3 {
+            obj.add_term(x[i][j], costs[i][j]);
+        }
+    }
+    m.set_objective(obj);
+    assert_pinned(&m, 130.0, "transport-2x3");
+}
+
+#[test]
+fn netlib_style_product_mix() {
+    // max 5a + 4b  s.t.  6a + 4b <= 24,  a + 2b <= 6  ->  (3, 1.5): 21.
+    let mut m = Model::new(Sense::Maximize);
+    let a = m.add_nonneg("a");
+    let b = m.add_nonneg("b");
+    m.add_constr("wood", a * 6.0 + b * 4.0, Cmp::Le, 24.0);
+    m.add_constr("labor", a + b * 2.0, Cmp::Le, 6.0);
+    m.set_objective(a * 5.0 + b * 4.0);
+    assert_pinned(&m, 21.0, "product-mix");
+    let sol = simplex::solve(&m).unwrap();
+    assert!((sol.value(a) - 3.0).abs() < 1e-6);
+    assert!((sol.value(b) - 1.5).abs() < 1e-6);
+}
+
+#[test]
+fn degenerate_tie_fan() {
+    // Many constraints active at the optimum (massive degeneracy): both
+    // engines must terminate and agree on the pinned optimum 8 at (4, 4).
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_nonneg("x");
+    let y = m.add_nonneg("y");
+    for i in 0..12 {
+        let w = 1.0 + i as f64 * 0.125;
+        m.add_constr(format!("fan{i}"), x * w + y * (2.0 - w), Cmp::Le, 8.0);
+    }
+    m.add_constr("cap", x + y, Cmp::Le, 8.0);
+    m.set_objective(x + y);
+    assert_pinned(&m, 8.0, "degenerate-fan");
+}

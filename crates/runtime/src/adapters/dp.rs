@@ -16,6 +16,15 @@ use xplain_domains::te::{DemandPair, DemandPinning, TeDsl, TeProblem, Topology};
 use xplain_flownet::FlowNet;
 
 /// DSL mapper for Demand Pinning on a TE problem (Fig. 4a).
+///
+/// Deliberately *not* session-pooled, unlike [`DpOracle`]: the explainer
+/// fans `heuristic_flows`/`benchmark_flows` across sample threads, and a
+/// shared warm basis would make the returned *vertex* (the flow split
+/// among equally-optimal allocations) depend on thread scheduling —
+/// breaking the runtime's byte-for-byte determinism guarantee. Cold
+/// solves are vertex-deterministic per input and embarrassingly
+/// parallel; the oracle's pooled path stays warm because every pipeline
+/// stage calls it sequentially.
 pub struct DpDslMapper {
     pub problem: TeProblem,
     pub heuristic: DemandPinning,

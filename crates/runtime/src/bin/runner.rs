@@ -165,7 +165,7 @@ fn main() {
 fn summary_table(outcomes: &[JobOutcome]) -> String {
     let mut out = String::new();
     out.push_str(
-        "  job  domain    seed              cache  findings  rejected  oracle-evals  ms\n",
+        "  job  domain    seed              cache  findings  rejected  oracle-evals  lp-solves  warm%  ms\n",
     );
     for o in outcomes {
         let (findings, rejected, evals) = o
@@ -173,8 +173,13 @@ fn summary_table(outcomes: &[JobOutcome]) -> String {
             .as_ref()
             .map(|r| (r.findings.len(), r.rejected, r.oracle_evaluations))
             .unwrap_or((0, 0, 0));
+        let warm_pct = if o.solver.lp_solves > 0 {
+            100.0 * o.solver.lp_warm_hits as f64 / o.solver.lp_solves as f64
+        } else {
+            0.0
+        };
         out.push_str(&format!(
-            "  {:<4} {:<9} {:016x}  {:<5} {:<9} {:<9} {:<13} {}\n",
+            "  {:<4} {:<9} {:016x}  {:<5} {:<9} {:<9} {:<13} {:<10} {:<6.1} {}\n",
             o.index,
             o.domain,
             o.derived_seed,
@@ -182,6 +187,8 @@ fn summary_table(outcomes: &[JobOutcome]) -> String {
             findings,
             rejected,
             evals,
+            o.solver.lp_solves,
+            warm_pct,
             o.wall_time_ms,
         ));
         if let Some(err) = &o.error {

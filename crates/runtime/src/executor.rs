@@ -22,6 +22,7 @@ use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 use xplain_core::pipeline::{PipelineConfig, PipelineResult};
+use xplain_lp::SolverCounters;
 
 use crate::domain::{run_domain, DomainRegistry};
 use crate::store::ResultStore;
@@ -52,6 +53,12 @@ pub struct JobOutcome {
     /// outside `result`, whose own `wall_time_ms` is normalized to 0 so
     /// results compare and cache byte-for-byte.
     pub wall_time_ms: u64,
+    /// Solver work observed during this execution (zero on cache hits).
+    /// Same treatment as `wall_time_ms`: the stored result's copy is
+    /// normalized because the process-wide counters bleed across
+    /// concurrently running jobs, which would break the 1-worker ≡
+    /// N-workers determinism guarantee.
+    pub solver: SolverCounters,
     /// `Some` unless the job failed (unknown domain id).
     pub result: Option<PipelineResult>,
     pub error: Option<String>,
@@ -200,6 +207,7 @@ fn run_job(
         derived_seed: config.seed,
         cache_hit: false,
         wall_time_ms: 0,
+        solver: SolverCounters::default(),
         result: None,
         error: None,
     };
@@ -219,10 +227,12 @@ fn run_job(
     }
 
     let mut result = run_domain(domain, &config);
-    // Normalize: wall-clock is execution metadata, not content. Stored
-    // and compared results must be identical across runs and worker
-    // counts; the measured time lives on the outcome instead.
+    // Normalize: wall-clock and solver counters are execution metadata,
+    // not content. Stored and compared results must be identical across
+    // runs and worker counts; the measured values live on the outcome
+    // instead.
     result.wall_time_ms = 0;
+    outcome.solver = std::mem::take(&mut result.solver);
     if let Some(store) = store {
         // Failing to persist is not failing the job (e.g. read-only dir);
         // the next run simply recomputes.

@@ -147,6 +147,7 @@ mod tests {
             coverage: None,
             oracle_evaluations: 42,
             wall_time_ms: 0,
+            solver: Default::default(),
         }
     }
 
