@@ -30,4 +30,6 @@ pub use ff_metaopt::FfMetaOpt;
 pub use geometry::{Halfspace, Polytope};
 pub use helpers::GadgetParams;
 pub use oracle::{DpOracle, FfOracle, GapOracle, SchedOracle};
-pub use search::{dp_seeds, ff_seeds, find_adversarial, sched_seeds, Adversarial, SearchOptions};
+pub use search::{
+    dp_seeds, ff_seeds, find_adversarial, sched_seeds, Adversarial, SearchOptions, StopFlag,
+};

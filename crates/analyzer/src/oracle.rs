@@ -36,6 +36,25 @@ pub trait GapOracle: Send + Sync {
     }
 }
 
+/// References forward wholesale, so a borrowed `&dyn GapOracle` can be
+/// boxed into an owning context (the analysis session holds
+/// `Box<dyn GapOracle + 'a>`, which a plain reference satisfies through
+/// this impl — no wrapper type needed).
+impl<T: GapOracle + ?Sized> GapOracle for &T {
+    fn dims(&self) -> usize {
+        (**self).dims()
+    }
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        (**self).bounds()
+    }
+    fn gap(&self, x: &[f64]) -> f64 {
+        (**self).gap(x)
+    }
+    fn dim_names(&self) -> Vec<String> {
+        (**self).dim_names()
+    }
+}
+
 /// Demand Pinning gap oracle: input = demand volumes, gap = OPT − DP.
 ///
 /// Every evaluation solves three max-flow LPs over the *same* problem

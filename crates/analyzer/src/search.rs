@@ -11,6 +11,15 @@
 use crate::geometry::Polytope;
 use crate::oracle::GapOracle;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cooperative-cancellation flag. The analysis-session layer hands
+/// the same `Arc` to its `CancelToken`, so flipping the token mid-search
+/// makes [`find_adversarial`] return at its next check instead of burning
+/// the rest of its evaluation budget.
+pub type StopFlag = Arc<AtomicBool>;
 
 /// Search configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +36,19 @@ pub struct SearchOptions {
     /// threshold-straddling points...). Invalid/excluded entries are
     /// skipped silently.
     pub seeds: Vec<Vec<f64>>,
+    /// Hard cap on oracle evaluations across the *whole* call (`None`:
+    /// only the per-restart budget applies). When exhausted the search
+    /// returns its best-so-far. For callers that bound a single search
+    /// invocation; the session layer bounds whole probes instead —
+    /// `max_analyzer_calls` at event boundaries plus the cooperative
+    /// [`SearchOptions::stop`] flag — and leaves this `None`.
+    pub max_total_evals: Option<usize>,
+    /// Cooperative cancellation: when the flag flips mid-search the call
+    /// returns its best-so-far at the next check. An aborted call leaves
+    /// the caller's RNG mid-stream, so determinism-sensitive callers
+    /// (the session layer) discard the result and replay the probe from
+    /// their last checkpoint.
+    pub stop: Option<StopFlag>,
 }
 
 impl Default for SearchOptions {
@@ -37,12 +59,16 @@ impl Default for SearchOptions {
             init_step_frac: 0.25,
             min_step_frac: 1e-3,
             seeds: Vec::new(),
+            max_total_evals: None,
+            stop: None,
         }
     }
 }
 
-/// An adversarial input and its gap.
-#[derive(Debug, Clone)]
+/// An adversarial input and its gap. Serializable because it rides inside
+/// session checkpoints (a session interrupted between the analyzer probe
+/// and the subspace-growth step persists the pending probe).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adversarial {
     pub input: Vec<f64>,
     pub gap: f64,
@@ -72,6 +98,15 @@ pub fn find_adversarial(
         }
     };
 
+    // Whole-call budget hooks (both default off and cost nothing then).
+    let mut total_evals = 0usize;
+    let out_of_budget = |total: usize| opts.max_total_evals.is_some_and(|cap| total >= cap);
+    let stop_requested = || {
+        opts.stop
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    };
+
     let mut best: Option<Adversarial> = None;
     let consider = |x: &[f64], g: f64, best: &mut Option<Adversarial>| {
         if g.is_finite() && g > 0.0 && best.as_ref().is_none_or(|b| g > b.gap) {
@@ -99,9 +134,13 @@ pub fn find_adversarial(
     }
 
     for start in starts {
+        if out_of_budget(total_evals) || stop_requested() {
+            break;
+        }
         let mut x = clamp(&start, &bounds);
         let mut fx = eval(&x);
         let mut evals = 1usize;
+        total_evals += 1;
         // Re-draw excluded/invalid starts a few times.
         let mut tries = 0;
         while !fx.is_finite() && tries < 20 && evals < opts.evals_per_restart {
@@ -111,6 +150,7 @@ pub fn find_adversarial(
                 .collect();
             fx = eval(&x);
             evals += 1;
+            total_evals += 1;
             tries += 1;
         }
         if !fx.is_finite() {
@@ -120,10 +160,13 @@ pub fn find_adversarial(
 
         let mut step = opts.init_step_frac;
         while step >= opts.min_step_frac && evals < opts.evals_per_restart {
+            if out_of_budget(total_evals) || stop_requested() {
+                break;
+            }
             let mut improved = false;
             for d in 0..dims {
                 for sign in [1.0, -1.0] {
-                    if evals >= opts.evals_per_restart {
+                    if evals >= opts.evals_per_restart || out_of_budget(total_evals) {
                         break;
                     }
                     let mut cand = x.clone();
@@ -133,6 +176,7 @@ pub fn find_adversarial(
                     }
                     let fc = eval(&cand);
                     evals += 1;
+                    total_evals += 1;
                     if fc > fx + 1e-12 {
                         x = cand;
                         fx = fc;
@@ -332,6 +376,66 @@ mod tests {
         let t = sched_seeds(5, 2, 1.5);
         assert!(t[0].iter().all(|&p| p <= 1.5 + 1e-12));
         assert!((t[0][0] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_eval_budget_caps_the_search() {
+        let oracle = DpOracle::new(TeProblem::fig1a(), 50.0);
+        let opts = SearchOptions {
+            seeds: dp_seeds(3, 50.0, 100.0),
+            max_total_evals: Some(5),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        // A 5-eval cap still probes the first structured seed, so the
+        // adversarial point is found — just not polished across restarts.
+        let capped = find_adversarial(&oracle, &[], &opts, &mut rng);
+        assert!(capped.is_some());
+
+        // With the cap off and the same seed, the search must do at least
+        // as well (budget hooks never improve the answer).
+        let full_opts = SearchOptions {
+            seeds: dp_seeds(3, 50.0, 100.0),
+            ..Default::default()
+        };
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let full = find_adversarial(&oracle, &[], &full_opts, &mut rng2).unwrap();
+        assert!(full.gap >= capped.unwrap().gap - 1e-12);
+    }
+
+    #[test]
+    fn preflipped_stop_flag_short_circuits() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let oracle = DpOracle::new(TeProblem::fig1a(), 50.0);
+        let flag: StopFlag = Arc::new(AtomicBool::new(true));
+        let opts = SearchOptions {
+            seeds: dp_seeds(3, 50.0, 100.0),
+            stop: Some(flag),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        // Stop requested before the first restart: nothing is probed.
+        assert!(find_adversarial(&oracle, &[], &opts, &mut rng).is_none());
+    }
+
+    #[test]
+    fn default_options_leave_budget_hooks_off() {
+        let opts = SearchOptions::default();
+        assert!(opts.max_total_evals.is_none());
+        assert!(opts.stop.is_none());
+    }
+
+    #[test]
+    fn adversarial_roundtrips_through_json() {
+        let adv = Adversarial {
+            input: vec![1.5, 0.25],
+            gap: 3.75,
+        };
+        let json = serde_json::to_string(&adv).unwrap();
+        let back: Adversarial = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.input, adv.input);
+        assert_eq!(back.gap, adv.gap);
     }
 
     #[test]

@@ -86,6 +86,7 @@ fn render_engine(fast: bool) -> String {
             domain,
             config: config.clone(),
             seed: 0xEE,
+            budgets: Default::default(),
         })
         .collect();
     let store_dir = "target/repro-engine-store";

@@ -34,6 +34,7 @@ pub fn run(explainer_samples: usize) -> PipelineTimeResult {
             domain,
             config: config.clone(),
             seed: 0xE7,
+            budgets: Default::default(),
         })
         .collect();
     let outcomes = run_manifest(&registry, &jobs, None, jobs.len());

@@ -37,6 +37,22 @@ pub trait DslMapper: Send + Sync {
     fn benchmark_flows(&self, x: &[f64]) -> Option<Vec<f64>>;
 }
 
+/// References forward wholesale, so a borrowed `&dyn DslMapper` can be
+/// boxed into an owning context (the analysis session holds
+/// `Box<dyn DslMapper + 'a>`, which a plain reference satisfies through
+/// this impl).
+impl<T: DslMapper + ?Sized> DslMapper for &T {
+    fn net(&self) -> &FlowNet {
+        (**self).net()
+    }
+    fn heuristic_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
+        (**self).heuristic_flows(x)
+    }
+    fn benchmark_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
+        (**self).benchmark_flows(x)
+    }
+}
+
 /// Per-edge aggregate of the heat-map.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EdgeScore {

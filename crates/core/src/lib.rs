@@ -18,6 +18,10 @@
 //!   and polytope half-spaces;
 //! * [`pipeline`] — the iterate-and-exclude orchestration loop, fully
 //!   domain-agnostic (domains are bound via `xplain-runtime`'s registry);
+//! * [`session`] — the streaming [`session::AnalysisSession`]: the same
+//!   loop as a resumable state machine emitting typed events, with
+//!   budgets, cancellation, and checkpoint/resume (`run_pipeline` is a
+//!   thin drain over it);
 //! * [`report`] — text/DOT/JSON rendering of Types 1–3.
 
 pub mod coverage;
@@ -26,6 +30,7 @@ pub mod features;
 pub mod generalizer;
 pub mod pipeline;
 pub mod report;
+pub mod session;
 pub mod significance;
 pub mod subspace;
 
@@ -33,6 +38,12 @@ pub use coverage::{estimate_coverage, CoverageReport};
 pub use explainer::{explain, DslMapper, EdgeScore, ExplainerParams, Explanation};
 pub use features::{FeatureMap, LinearFeature};
 pub use generalizer::{generalize, Finding, GeneralizerParams, Observation, Trend};
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineResult, SubspaceFinding};
+pub use pipeline::{
+    run_pipeline, PipelineConfig, PipelineResult, SubspaceFinding, PIPELINE_SCHEMA_VERSION,
+};
+pub use session::{
+    AnalysisSession, CancelToken, FinishReason, SessionBudgets, SessionBuilder, SessionCheckpoint,
+    SessionError, SessionEvent, SESSION_CHECKPOINT_SCHEMA_VERSION,
+};
 pub use significance::{check_significance, SignificanceParams, SignificanceReport};
 pub use subspace::{grow_subspace, Subspace, SubspaceParams};

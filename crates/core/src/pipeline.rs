@@ -10,18 +10,24 @@
 //! operator registers (the paper's §6 "it is important for XPlain to be
 //! usable for many heuristics" requirement).
 
-use crate::coverage::{estimate_coverage, CoverageReport};
-use crate::explainer::{explain, DslMapper, ExplainerParams, Explanation};
+use crate::coverage::CoverageReport;
+use crate::explainer::{DslMapper, ExplainerParams, Explanation};
 use crate::features::FeatureMap;
-use crate::significance::{check_significance, SignificanceParams, SignificanceReport};
-use crate::subspace::{grow_subspace, Subspace, SubspaceParams};
+use crate::session::SessionBuilder;
+use crate::significance::{SignificanceParams, SignificanceReport};
+use crate::subspace::{Subspace, SubspaceParams};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use xplain_analyzer::geometry::Polytope;
 use xplain_analyzer::oracle::GapOracle;
 use xplain_analyzer::search::Adversarial;
 use xplain_lp::SolverCounters;
+
+/// Version stamp of the serialized [`PipelineResult`] layout. The result
+/// store treats entries bearing any other version (including pre-stamp
+/// entries, which deserialize to 0) as cache misses, so schema evolution
+/// degrades to recomputation instead of misreads.
+pub const PIPELINE_SCHEMA_VERSION: u32 = 1;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -69,6 +75,11 @@ pub struct SubspaceFinding {
 /// Full pipeline output.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineResult {
+    /// [`PIPELINE_SCHEMA_VERSION`] at production time. `#[serde(default)]`
+    /// so pre-stamp JSON still parses — it reads back as 0, which the
+    /// store rejects as a miss (forward/backward compat by recompute).
+    #[serde(default)]
+    pub schema_version: u32,
     /// Statistically significant subspaces, in discovery order (Type 1 +
     /// Type 2 outputs).
     pub findings: Vec<SubspaceFinding>,
@@ -101,6 +112,11 @@ pub type Finder<'a> = dyn Fn(&[Polytope], &mut StdRng) -> Option<Adversarial> + 
 ///
 /// `mapper` enables the explainer stage when provided; `features` controls
 /// the tree-refinement space (identity(+sum) is the paper's default).
+///
+/// Since the streaming redesign this is a thin drain over
+/// [`crate::session::AnalysisSession`] — the batch and streaming paths
+/// share one state machine, so they cannot diverge (the replay-pin tests
+/// hold the drained result byte-identical to the pre-redesign loop).
 pub fn run_pipeline(
     oracle: &dyn GapOracle,
     mapper: Option<&dyn DslMapper>,
@@ -108,94 +124,17 @@ pub fn run_pipeline(
     finder: &Finder<'_>,
     config: &PipelineConfig,
 ) -> PipelineResult {
-    let start = std::time::Instant::now();
-    let solver_before = SolverCounters::snapshot();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut exclusions: Vec<Polytope> = Vec::new();
-    let mut findings: Vec<SubspaceFinding> = Vec::new();
-    let mut rejected = 0usize;
-    let mut analyzer_calls = 0usize;
-    let mut oracle_evaluations = 0usize;
-    let mut first_gap: Option<f64> = None;
-    let mut insignificant_strikes = 0usize;
-
-    while findings.len() < config.max_subspaces {
-        analyzer_calls += 1;
-        let Some(adv) = finder(&exclusions, &mut rng) else {
-            break; // no adversarial input left outside the exclusions
-        };
-        let reference = *first_gap.get_or_insert(adv.gap);
-        if adv.gap < config.min_gap_frac * reference {
-            break; // remaining regions are below the interest threshold
-        }
-
-        let subspace = grow_subspace(oracle, &adv, features, &config.subspace, &mut rng);
-        oracle_evaluations += subspace.evaluations;
-
-        let significance =
-            check_significance(oracle, &subspace, &config.significance, &mut rng).ok();
-        oracle_evaluations += config.significance.pairs * 2;
-
-        let significant = significance.as_ref().is_some_and(|r| r.significant);
-
-        // Exclude the region either way so the finder moves on; track the
-        // re-examination budget for insignificant ones.
-        exclusions.push(subspace.polytope.clone());
-
-        if significant {
-            insignificant_strikes = 0;
-            let explanation = mapper.map(|m| {
-                explain(
-                    m,
-                    &subspace,
-                    &config.explainer,
-                    config.seed ^ (findings.len() as u64 + 1),
-                )
-            });
-            if let Some(e) = &explanation {
-                oracle_evaluations += e.samples_used * 2;
-            }
-            findings.push(SubspaceFinding {
-                subspace,
-                significance,
-                explanation,
-            });
-        } else {
-            rejected += 1;
-            insignificant_strikes += 1;
-            if insignificant_strikes > config.max_insignificant_retries {
-                break;
-            }
-        }
+    let mut builder = SessionBuilder::new(oracle)
+        .features(features.clone())
+        .finder(move |excl: &[Polytope], rng: &mut StdRng| finder(excl, rng))
+        .config(config.clone());
+    if let Some(m) = mapper {
+        builder = builder.mapper(m);
     }
-
-    // Final Type-1 quality metric: how much of the risk surface did the
-    // discovered subspaces capture?
-    let coverage = if config.coverage_samples > 0 && !findings.is_empty() {
-        let threshold = config.min_gap_frac * first_gap.unwrap_or(0.0);
-        let subspaces: Vec<Subspace> = findings.iter().map(|f| f.subspace.clone()).collect();
-        let report = estimate_coverage(
-            oracle,
-            &subspaces,
-            threshold.max(1e-9),
-            config.coverage_samples,
-            &mut rng,
-        );
-        oracle_evaluations += report.samples;
-        Some(report)
-    } else {
-        None
-    };
-
-    PipelineResult {
-        findings,
-        rejected,
-        analyzer_calls,
-        coverage,
-        oracle_evaluations,
-        wall_time_ms: start.elapsed().as_millis() as u64,
-        solver: SolverCounters::snapshot().since(&solver_before),
-    }
+    builder
+        .build()
+        .expect("a fresh, fully-specified session always builds")
+        .drain()
 }
 
 #[cfg(test)]

@@ -5,7 +5,8 @@
 //! examples).
 //!
 //! * [`instance`] — instances, schedules, and the Graham-tight family;
-//! * [`lpt`] — Longest Processing Time first (deterministic tie-breaks);
+//! * [`mod@lpt`] — Longest Processing Time first (deterministic
+//!   tie-breaks);
 //! * [`exact`] — branch-and-bound optimum plus the cross-checking MILP
 //!   formulation over `xplain-lp`;
 //! * [`dsl`] — the flow-network DSL encoding (jobs as pick-sources,

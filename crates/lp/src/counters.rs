@@ -92,6 +92,21 @@ impl SolverCounters {
             bb_nodes: self.bb_nodes.saturating_sub(earlier.bb_nodes),
         }
     }
+
+    /// Field-wise sum — lets a resumable consumer (the analysis session)
+    /// accumulate per-step deltas across interrupted segments into one
+    /// total equal to what a single uninterrupted delta would report.
+    pub fn plus(&self, other: &SolverCounters) -> SolverCounters {
+        SolverCounters {
+            lp_solves: self.lp_solves + other.lp_solves,
+            lp_iterations: self.lp_iterations + other.lp_iterations,
+            lp_dual_iterations: self.lp_dual_iterations + other.lp_dual_iterations,
+            lp_refactorizations: self.lp_refactorizations + other.lp_refactorizations,
+            lp_warm_hits: self.lp_warm_hits + other.lp_warm_hits,
+            lp_cold_starts: self.lp_cold_starts + other.lp_cold_starts,
+            bb_nodes: self.bb_nodes + other.bb_nodes,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -139,7 +139,8 @@ pub fn solve_with(model: &Model, backend: Backend) -> Result<(Solution, MilpStat
     solve_inner(model, backend, false, None, &mut session)
 }
 
-/// Branch and bound through a caller-owned [`SessionPool`]: repeated
+/// Branch and bound through a caller-owned [`crate::revised::SessionPool`]:
+/// repeated
 /// solves of same-shaped models (an analyzer's iterate-and-exclude loop)
 /// warm-start across *calls*, not just across nodes.
 pub fn solve_pooled(

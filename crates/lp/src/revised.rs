@@ -11,7 +11,7 @@
 //!   doubles the row count before phase 1 even starts.
 //! * **Basis factorization.** The solver maintains a dense basis inverse,
 //!   updated per pivot in `O(m^2)` and rebuilt from the basis columns
-//!   every [`REFACTOR_EVERY`] pivots (and on warm starts) to bound
+//!   every `REFACTOR_EVERY` pivots (and on warm starts) to bound
 //!   numerical drift.
 //! * **Warm starts.** A [`SolverSession`] caches the final basis. When the
 //!   next model has the same shape, the solve resumes from that basis:

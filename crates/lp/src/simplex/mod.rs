@@ -6,7 +6,7 @@
 //! gap-oracle sweeps) should hold a [`crate::revised::SolverSession`] or
 //! [`crate::revised::SessionPool`] instead and warm-start.
 //!
-//! [`reference`] keeps the original dense two-phase tableau solver alive
+//! [`mod@reference`] keeps the original dense two-phase tableau solver alive
 //! as the trusted oracle of the differential test-bed: same signature,
 //! same typed errors, independently implemented.
 

@@ -225,7 +225,51 @@ mod tests {
     use rand::SeedableRng;
     use xplain_core::explainer::{explain, EdgeScore, ExplainerParams};
     use xplain_core::generalizer::{generalize, GeneralizerParams, Trend};
+    use xplain_core::pipeline::PipelineConfig;
+    use xplain_core::session::{SessionBudgets, SessionEvent};
     use xplain_core::subspace::Subspace;
+
+    /// The streaming API through the DP adapter: an analyzer-call budget
+    /// stops the session mid-loop with the first finding already
+    /// delivered, and the partial result says why.
+    #[test]
+    fn dp_session_streams_first_finding_under_budget() {
+        let config = PipelineConfig {
+            max_subspaces: 3,
+            significance: xplain_core::SignificanceParams {
+                pairs: 40,
+                ..Default::default()
+            },
+            explainer: ExplainerParams {
+                samples: 60,
+                threads: 1,
+                ..Default::default()
+            },
+            coverage_samples: 0,
+            ..Default::default()
+        };
+        let mut session = DpDomain::fig1a()
+            .session(
+                &config,
+                SessionBudgets {
+                    max_analyzer_calls: Some(1),
+                    ..Default::default()
+                },
+            )
+            .expect("dp session builds");
+        let mut delivered = 0usize;
+        let result = session.drain_with(|event| {
+            if let SessionEvent::ExplanationReady { finding, .. } = event {
+                delivered += 1;
+                // Type 2 flows through the streaming path too.
+                assert!(finding.explanation.is_some());
+                assert!(finding.subspace.seed_gap > 0.0);
+            }
+        });
+        assert_eq!(delivered, 1, "budget of 1 call ⇒ exactly one finding");
+        assert_eq!(result.analyzer_calls, 1);
+        assert!(!session.finished_naturally());
+    }
 
     /// The Fig. 4a claim: inside the DP adversarial subspace, the
     /// heuristic-only edges are the pinned demand's shortest path and the

@@ -206,7 +206,69 @@ mod tests {
     use rand::SeedableRng;
     use xplain_core::explainer::{explain, ExplainerParams};
     use xplain_core::generalizer::{generalize, GeneralizerParams};
+    use xplain_core::pipeline::PipelineConfig;
+    use xplain_core::session::SessionBudgets;
     use xplain_core::subspace::Subspace;
+
+    /// The streaming API through the FF adapter: the first finding is
+    /// delivered strictly before the stream terminates (progressive
+    /// delivery, not end-of-batch), and a checkpoint taken mid-stream
+    /// resumes to the identical final result.
+    #[test]
+    fn ff_session_delivers_findings_progressively_and_resumes() {
+        let config = PipelineConfig {
+            max_subspaces: 1,
+            significance: xplain_core::SignificanceParams {
+                pairs: 40,
+                ..Default::default()
+            },
+            explainer: ExplainerParams {
+                samples: 60,
+                threads: 1,
+                ..Default::default()
+            },
+            coverage_samples: 100,
+            ..Default::default()
+        };
+        let domain = FfDomain::small();
+        let unlimited = SessionBudgets::unlimited();
+
+        let mut kinds = Vec::new();
+        let mut session = domain.session(&config, unlimited).expect("ff session");
+        let reference = session.drain_with(|e| kinds.push(e.kind()));
+        let finding_at = kinds
+            .iter()
+            .position(|k| *k == "explanation_ready")
+            .expect("ff finds its subspace");
+        assert!(
+            finding_at + 1 < kinds.len(),
+            "finding must stream before the terminal event: {kinds:?}"
+        );
+
+        // Interrupt a second run mid-stream; resume must converge on the
+        // identical result (wall-time normalized — execution metadata).
+        let mut interrupted = domain.session(&config, unlimited).expect("ff session");
+        interrupted.next_event().expect("first event");
+        interrupted.next_event().expect("second event");
+        let mut resumed = crate::domain::build_session(
+            &domain,
+            &config,
+            unlimited,
+            xplain_core::session::CancelToken::new(),
+            Some(interrupted.checkpoint()),
+        )
+        .expect("checkpoint resumes");
+        let mut a = reference.clone();
+        let mut b = resumed.drain();
+        a.wall_time_ms = 0;
+        b.wall_time_ms = 0;
+        a.solver = Default::default();
+        b.solver = Default::default();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
 
     /// Fig. 4b in miniature: in the §2 subspace FF places the filler+ball
     /// differently from the optimal.

@@ -246,6 +246,62 @@ mod tests {
         assert!(f.p_value < 0.05);
     }
 
+    /// The streaming API through the sched adapter: deadline budgets are
+    /// honored (an already-expired deadline finishes before any work),
+    /// while an unbudgeted session runs the full Type-1/2 event stream.
+    #[test]
+    fn sched_session_honors_deadline_and_streams_naturally() {
+        use xplain_core::pipeline::PipelineConfig;
+        use xplain_core::session::{FinishReason, SessionBudgets, SessionEvent};
+
+        let config = PipelineConfig {
+            max_subspaces: 1,
+            significance: xplain_core::SignificanceParams {
+                pairs: 40,
+                ..Default::default()
+            },
+            explainer: xplain_core::ExplainerParams {
+                samples: 60,
+                threads: 1,
+                ..Default::default()
+            },
+            coverage_samples: 0,
+            ..Default::default()
+        };
+        let domain = SchedDomain::small();
+
+        let mut expired = domain
+            .session(
+                &config,
+                SessionBudgets {
+                    deadline_ms: Some(0),
+                    ..Default::default()
+                },
+            )
+            .expect("sched session builds");
+        let Some(SessionEvent::Finished { reason, result }) = expired.next_event() else {
+            panic!("expired deadline must finish immediately");
+        };
+        assert_eq!(reason, FinishReason::DeadlineExceeded);
+        assert_eq!(result.analyzer_calls, 0);
+
+        let mut kinds = Vec::new();
+        let result = domain
+            .session(&config, SessionBudgets::unlimited())
+            .expect("sched session builds")
+            .drain_with(|e| kinds.push(e.kind()));
+        assert!(!result.findings.is_empty());
+        for expected in [
+            "analyzer_probe",
+            "subspace_grown",
+            "significance_verdict",
+            "explanation_ready",
+            "finished",
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected}: {kinds:?}");
+        }
+    }
+
     #[test]
     fn jittered_family_stays_valid() {
         let mut rng = StdRng::seed_from_u64(2);

@@ -2,16 +2,30 @@
 //!
 //! ```text
 //! runner --manifest jobs.jsonl [--workers N] [--store DIR] [--json]
-//! runner --smoke [--workers N] [--store DIR]
+//!        [--watch] [--resume] [--deadline-ms N] [--max-analyzer-calls N]
+//!        [--max-solver-iterations N]
+//! runner --smoke [--watch] [--workers N] [--store DIR]
 //! runner --list-domains | --emit-manifest
 //!
 //!   --manifest PATH   JSONL manifest: one {"domain", "config", "seed"}
-//!                     object per line (# starts a comment line)
+//!                     object per line (# starts a comment line; an
+//!                     optional "budgets" object sets per-job limits)
 //!   --workers N       worker threads (0 = auto) [default: 0]
 //!   --store DIR       content-addressed result store; omit to disable
-//!                     caching
+//!                     caching (and checkpointing)
 //!   --json            print the machine-readable JSON outcome array
 //!                     instead of the summary table
+//!   --watch           stream session events as NDJSON on stdout while
+//!                     jobs run: one {"job", "domain", "kind", "event"}
+//!                     object per line, ending in a "finished" event per
+//!                     job
+//!   --resume          continue interrupted jobs from checkpoints in the
+//!                     store (written after every event; cleared when a
+//!                     job finishes naturally). Requires --store
+//!   --deadline-ms N          per-job wall-clock budget (overrides
+//!                            manifest budgets)
+//!   --max-analyzer-calls N   per-job analyzer-invocation budget
+//!   --max-solver-iterations N  per-job LP-iteration budget
 //!   --list-domains    list registered domain ids and exit
 //!   --emit-manifest   print an editable one-job-per-domain JSONL
 //!                     manifest (default pipeline config) and exit
@@ -19,10 +33,21 @@
 //!                     ways (1 worker, N workers, N workers against the
 //!                     warm store) and fail unless all three agree
 //!                     byte-for-byte and the third is pure cache hits.
+//!                     With --watch, additionally exercises the event
+//!                     stream headlessly: every event must serialize to
+//!                     NDJSON, parse back, and the streamed result must
+//!                     match the batch result byte-for-byte.
 //!                     Uses its own `runner-smoke-store/` scratch
 //!                     subdirectory (under --store when given); existing
 //!                     cache entries are never touched
 //! ```
+//!
+//! Budget-stopped jobs report their partial result and finish reason in
+//! the outcome; with `--store --resume` the next invocation continues
+//! them mid-loop from the persisted checkpoint. Budgets count
+//! *cumulatively* across resumed segments (a 2-call analyzer budget
+//! already spent stays spent), so the resuming run must raise or drop
+//! the budget to make progress.
 //!
 //! Exit status: 0 on success; 1 on any job error, determinism mismatch,
 //! or cache inconsistency; 2 on usage errors.
@@ -30,8 +55,8 @@
 use xplain_core::pipeline::PipelineConfig;
 use xplain_core::{ExplainerParams, SignificanceParams};
 use xplain_runtime::{
-    manifest_to_jsonl, parse_manifest, run_manifest, DomainRegistry, JobOutcome, JobSpec,
-    ResultStore,
+    manifest_to_jsonl, parse_manifest, run_manifest_opts, DomainRegistry, JobOutcome, JobSpec,
+    ResultStore, RunOptions, SessionBudgets, SessionEvent,
 };
 
 struct Args {
@@ -39,6 +64,11 @@ struct Args {
     workers: usize,
     store: Option<String>,
     json: bool,
+    watch: bool,
+    resume: bool,
+    deadline_ms: Option<u64>,
+    max_analyzer_calls: Option<usize>,
+    max_solver_iterations: Option<u64>,
     list_domains: bool,
     emit_manifest: bool,
     smoke: bool,
@@ -50,6 +80,11 @@ fn parse_args() -> Result<Args, String> {
         workers: 0,
         store: None,
         json: false,
+        watch: false,
+        resume: false,
+        deadline_ms: None,
+        max_analyzer_calls: None,
+        max_solver_iterations: None,
         list_domains: false,
         emit_manifest: false,
         smoke: false,
@@ -67,6 +102,32 @@ fn parse_args() -> Result<Args, String> {
             }
             "--store" => args.store = Some(it.next().ok_or("--store needs a directory")?),
             "--json" => args.json = true,
+            "--watch" => args.watch = true,
+            "--resume" => args.resume = true,
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    it.next()
+                        .ok_or("--deadline-ms needs a millisecond count")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--max-analyzer-calls" => {
+                args.max_analyzer_calls = Some(
+                    it.next()
+                        .ok_or("--max-analyzer-calls needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--max-analyzer-calls: {e}"))?,
+                )
+            }
+            "--max-solver-iterations" => {
+                args.max_solver_iterations = Some(
+                    it.next()
+                        .ok_or("--max-solver-iterations needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--max-solver-iterations: {e}"))?,
+                )
+            }
             "--list-domains" => args.list_domains = true,
             "--emit-manifest" => args.emit_manifest = true,
             "--smoke" => args.smoke = true,
@@ -77,6 +138,9 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
+    if args.resume && args.store.is_none() {
+        return Err("--resume requires --store (checkpoints live in the store)".into());
+    }
     Ok(args)
 }
 
@@ -85,9 +149,42 @@ runner — XPlain batch-analysis engine
 
 usage:
   runner --manifest jobs.jsonl [--workers N] [--store DIR] [--json]
-  runner --smoke [--workers N] [--store DIR]
+         [--watch] [--resume] [--deadline-ms N] [--max-analyzer-calls N]
+         [--max-solver-iterations N]
+  runner --smoke [--watch] [--workers N] [--store DIR]
   runner --list-domains | --emit-manifest
 ";
+
+/// CLI budget flags folded into one override (None: manifest budgets
+/// apply unchanged).
+fn budgets_override(args: &Args) -> Option<SessionBudgets> {
+    let budgets = SessionBudgets {
+        deadline_ms: args.deadline_ms,
+        max_analyzer_calls: args.max_analyzer_calls,
+        max_solver_iterations: args.max_solver_iterations,
+    };
+    (!budgets.is_unlimited()).then_some(budgets)
+}
+
+/// One NDJSON `--watch` line. Emitted (and re-parsed by the smoke gate)
+/// per session event.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct WatchLine {
+    job: usize,
+    domain: String,
+    kind: String,
+    event: SessionEvent,
+}
+
+fn watch_line(jobs: &[JobSpec], index: usize, event: &SessionEvent) -> String {
+    let line = WatchLine {
+        job: index,
+        domain: jobs[index].domain.clone(),
+        kind: event.kind().to_string(),
+        event: event.clone(),
+    };
+    serde_json::to_string(&line).expect("watch lines serialize")
+}
 
 fn main() {
     let args = match parse_args() {
@@ -100,10 +197,7 @@ fn main() {
     let registry = DomainRegistry::builtin();
 
     if args.list_domains {
-        for id in registry.ids() {
-            let d = registry.get(&id).expect("listed id resolves");
-            println!("{id:<8} {}", d.description());
-        }
+        print!("{}", list_domains_text(&registry));
         return;
     }
 
@@ -145,20 +239,44 @@ fn main() {
     };
 
     let store = args.store.as_ref().map(ResultStore::new);
-    let outcomes = run_manifest(&registry, &jobs, store.as_ref(), args.workers);
+    // `println!` takes the stdout lock per call, so concurrent workers
+    // interleave whole lines, never fragments.
+    let sink = |index: usize, event: &SessionEvent| {
+        println!("{}", watch_line(&jobs, index, event));
+    };
+    let opts = RunOptions {
+        budgets_override: budgets_override(&args),
+        resume: args.resume,
+        sink: args.watch.then_some(&sink),
+    };
+    let outcomes = run_manifest_opts(&registry, &jobs, store.as_ref(), args.workers, opts);
 
     if args.json {
         println!(
             "{}",
             serde_json::to_string(&outcomes).expect("outcomes serialize")
         );
-    } else {
+    } else if !args.watch {
         print!("{}", summary_table(&outcomes));
     }
 
     if outcomes.iter().any(|o| o.error.is_some()) {
         std::process::exit(1);
     }
+}
+
+/// Registered ids (sorted — the registry is id-keyed) with descriptions
+/// aligned to the longest id, so the listing is stable and columnar no
+/// matter what order domains were registered in.
+fn list_domains_text(registry: &DomainRegistry) -> String {
+    let ids = registry.ids();
+    let width = ids.iter().map(|id| id.len()).max().unwrap_or(0).max(8);
+    let mut out = String::new();
+    for id in ids {
+        let d = registry.get(&id).expect("listed id resolves");
+        out.push_str(&format!("{id:<width$}  {}\n", d.description()));
+    }
+    out
 }
 
 /// Render outcomes as a fixed-width summary table.
@@ -191,6 +309,20 @@ fn summary_table(outcomes: &[JobOutcome]) -> String {
             warm_pct,
             o.wall_time_ms,
         ));
+        if let Some(finish) = &o.finish {
+            if !finish.natural {
+                // Budgets are cumulative across resumed segments, so
+                // continuing needs --resume AND a raised (or dropped)
+                // budget — rerunning with the same one re-finishes
+                // instantly with zero progress.
+                out.push_str(&format!(
+                    "       STOPPED: {:?} after {} events{} — rerun with --store --resume and a higher (or no) budget to continue\n",
+                    finish.reason,
+                    finish.events,
+                    if finish.resumed { " (resumed)" } else { "" },
+                ));
+            }
+        }
         if let Some(err) = &o.error {
             out.push_str(&format!("       ERROR: {err}\n"));
         }
@@ -225,6 +357,7 @@ fn default_manifest(registry: &DomainRegistry) -> Vec<JobSpec> {
             domain: id,
             config: PipelineConfig::default(),
             seed: 7,
+            budgets: SessionBudgets::unlimited(),
         })
         .collect()
 }
@@ -235,6 +368,11 @@ fn default_manifest(registry: &DomainRegistry) -> Vec<JobSpec> {
 /// 1. serial (1 worker, no store) — the reference;
 /// 2. parallel (N workers, cold store) — must match 1 byte-for-byte;
 /// 3. parallel again (warm store) — must be all cache hits and match 2.
+///
+/// With `--watch`, a fourth streaming pass re-runs the manifest serially
+/// with an NDJSON event sink: every event line must parse back, every
+/// job must end in a natural `finished` event, and the streamed terminal
+/// results must equal the batch results byte-for-byte.
 fn run_smoke(registry: &DomainRegistry, args: &Args) -> i32 {
     let jobs: Vec<JobSpec> = registry
         .ids()
@@ -243,6 +381,7 @@ fn run_smoke(registry: &DomainRegistry, args: &Args) -> i32 {
             domain: id,
             config: smoke_config(),
             seed: 0x5A05E,
+            budgets: SessionBudgets::unlimited(),
         })
         .collect();
     println!(
@@ -260,9 +399,21 @@ fn run_smoke(registry: &DomainRegistry, args: &Args) -> i32 {
     let _ = std::fs::remove_dir_all(&store_dir);
     let store = ResultStore::new(&store_dir);
 
-    let serial = run_manifest(registry, &jobs, None, 1);
-    let parallel = run_manifest(registry, &jobs, Some(&store), workers);
-    let cached = run_manifest(registry, &jobs, Some(&store), workers);
+    let serial = run_manifest_opts(registry, &jobs, None, 1, RunOptions::default());
+    let parallel = run_manifest_opts(
+        registry,
+        &jobs,
+        Some(&store),
+        workers,
+        RunOptions::default(),
+    );
+    let cached = run_manifest_opts(
+        registry,
+        &jobs,
+        Some(&store),
+        workers,
+        RunOptions::default(),
+    );
 
     print!("{}", summary_table(&parallel));
 
@@ -295,15 +446,170 @@ fn run_smoke(registry: &DomainRegistry, args: &Args) -> i32 {
             failures += 1;
         }
     }
+
+    if args.watch {
+        failures += run_streaming_smoke(registry, &jobs, &serial);
+    }
+
     if failures == 0 {
         println!(
-            "smoke OK: serial ≡ {workers}-worker ≡ cached for all {} jobs (store: {})",
+            "smoke OK: serial ≡ {workers}-worker ≡ cached for all {} jobs{} (store: {})",
             jobs.len(),
+            if args.watch { " ≡ streamed" } else { "" },
             store_dir.display()
         );
         0
     } else {
         eprintln!("smoke: {failures} failure(s)");
         1
+    }
+}
+
+/// The `--watch --smoke` gate: exercise the event stream headlessly.
+fn run_streaming_smoke(
+    registry: &DomainRegistry,
+    jobs: &[JobSpec],
+    reference: &[JobOutcome],
+) -> i32 {
+    use std::sync::Mutex;
+
+    println!("smoke: streaming pass (--watch): NDJSON event-stream checks");
+    let lines: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let sink = |index: usize, event: &SessionEvent| {
+        let line = watch_line(jobs, index, event);
+        println!("{line}");
+        lines.lock().expect("line log").push(line);
+    };
+    let opts = RunOptions {
+        budgets_override: None,
+        resume: false,
+        sink: Some(&sink),
+    };
+    let streamed = run_manifest_opts(registry, jobs, None, 1, opts);
+
+    let mut failures = 0;
+    let lines = lines.into_inner().expect("line log");
+    if lines.is_empty() {
+        eprintln!("smoke FAIL: streaming pass emitted no events");
+        failures += 1;
+    }
+    // Every NDJSON line must parse back into a typed event.
+    let mut finished_per_job = vec![0usize; jobs.len()];
+    for line in &lines {
+        match serde_json::from_str::<WatchLine>(line) {
+            Ok(parsed) => {
+                if parsed.kind == "finished" {
+                    finished_per_job[parsed.job] += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("smoke FAIL: watch line does not parse back: {e:?}\n  {line}");
+                failures += 1;
+            }
+        }
+    }
+    for (i, count) in finished_per_job.iter().enumerate() {
+        if *count != 1 {
+            eprintln!("smoke FAIL: job {i} emitted {count} terminal events (expected exactly 1)");
+            failures += 1;
+        }
+    }
+    // The streamed terminal results must equal the batch results.
+    for (s, r) in streamed.iter().zip(reference) {
+        let id = format!("job {} ({})", s.index, s.domain);
+        match &s.finish {
+            Some(finish) if finish.natural => {}
+            other => {
+                eprintln!("smoke FAIL: {id}: streamed run did not finish naturally: {other:?}");
+                failures += 1;
+            }
+        }
+        let sj = serde_json::to_string(&s.result).expect("result serializes");
+        let rj = serde_json::to_string(&r.result).expect("result serializes");
+        if sj != rj {
+            eprintln!("smoke FAIL: {id}: streamed result differs from batch result");
+            failures += 1;
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_domains_output_is_sorted_and_aligned() {
+        let registry = DomainRegistry::builtin();
+        let text = list_domains_text(&registry);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), registry.len());
+        // Sorted by id.
+        let ids: Vec<&str> = lines
+            .iter()
+            .map(|l| l.split_whitespace().next().unwrap())
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "listing must be sorted by id");
+        // Descriptions start at one aligned column.
+        let starts: Vec<usize> = lines
+            .iter()
+            .map(|l| {
+                let id_len = l.split_whitespace().next().unwrap().len();
+                l[id_len..]
+                    .find(|c: char| !c.is_whitespace())
+                    .map(|o| id_len + o)
+                    .unwrap()
+            })
+            .collect();
+        assert!(
+            starts.windows(2).all(|w| w[0] == w[1]),
+            "description columns not aligned: {starts:?}\n{text}"
+        );
+    }
+
+    #[test]
+    fn watch_lines_roundtrip() {
+        let jobs = default_manifest(&DomainRegistry::builtin());
+        let event = SessionEvent::AnalyzerProbe {
+            call: 1,
+            gap: Some(2.5),
+            accepted: true,
+        };
+        let line = watch_line(&jobs, 1, &event);
+        let parsed: WatchLine = serde_json::from_str(&line).unwrap();
+        assert_eq!(parsed.job, 1);
+        assert_eq!(parsed.domain, jobs[1].domain);
+        assert_eq!(parsed.kind, "analyzer_probe");
+        assert!(matches!(
+            parsed.event,
+            SessionEvent::AnalyzerProbe { call: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn budget_flags_fold_into_an_override() {
+        let mut args = Args {
+            manifest: None,
+            workers: 0,
+            store: None,
+            json: false,
+            watch: false,
+            resume: false,
+            deadline_ms: None,
+            max_analyzer_calls: None,
+            max_solver_iterations: None,
+            list_domains: false,
+            emit_manifest: false,
+            smoke: false,
+        };
+        assert!(budgets_override(&args).is_none());
+        args.deadline_ms = Some(500);
+        args.max_analyzer_calls = Some(3);
+        let b = budgets_override(&args).unwrap();
+        assert_eq!(b.deadline_ms, Some(500));
+        assert_eq!(b.max_analyzer_calls, Some(3));
+        assert_eq!(b.max_solver_iterations, None);
     }
 }

@@ -19,7 +19,10 @@ use xplain_analyzer::search::{find_adversarial, SearchOptions};
 use xplain_core::explainer::DslMapper;
 use xplain_core::features::FeatureMap;
 use xplain_core::generalizer::{generalize, Finding, GeneralizerParams, Observation};
-use xplain_core::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
+use xplain_core::pipeline::{PipelineConfig, PipelineResult};
+use xplain_core::session::{
+    AnalysisSession, CancelToken, SessionBudgets, SessionBuilder, SessionCheckpoint, SessionError,
+};
 
 /// A problem domain the runtime can analyze end to end.
 ///
@@ -64,29 +67,80 @@ pub trait Domain: Send + Sync {
             ..Default::default()
         }
     }
+
+    /// Convenience: a streaming session over this domain (fresh, with a
+    /// private cancel token). Adapters expose the session API through
+    /// this one call; [`build_session`] is the full-control variant
+    /// (cancellation, checkpoint resume) and the only route for
+    /// `dyn Domain` registry entries.
+    fn session(
+        &self,
+        config: &PipelineConfig,
+        budgets: SessionBudgets,
+    ) -> Result<AnalysisSession<'static>, SessionError>
+    where
+        Self: Sized,
+    {
+        build_session(self, config, budgets, CancelToken::new(), None)
+    }
+}
+
+/// Build a streaming [`AnalysisSession`] for one domain: oracle, mapper,
+/// feature schema, and search-based finder all pulled through the trait,
+/// with budgets, a cancel token (also wired into the analyzer search's
+/// cooperative stop flag), and an optional checkpoint to resume.
+///
+/// This is how the executor runs jobs; [`run_domain`] is a plain drain
+/// over it.
+pub fn build_session(
+    domain: &dyn Domain,
+    config: &PipelineConfig,
+    budgets: SessionBudgets,
+    cancel: CancelToken,
+    checkpoint: Option<SessionCheckpoint>,
+) -> Result<AnalysisSession<'static>, SessionError> {
+    let oracle = domain.oracle();
+    let finder_oracle = domain.oracle();
+    let features = domain.feature_schema();
+    let mut search = domain.search_options();
+    // One token interrupts both layers: between session events, and
+    // inside a long-running analyzer search.
+    search.stop = Some(cancel.stop_flag());
+    let finder = move |excl: &[Polytope], rng: &mut StdRng| {
+        find_adversarial(finder_oracle.as_ref(), excl, &search, rng)
+    };
+    let mut builder = SessionBuilder::from_boxed(oracle)
+        .features(features)
+        .finder(finder)
+        .config(config.clone())
+        .budgets(budgets)
+        .cancel_token(cancel);
+    if let Some(mapper) = domain.mapper() {
+        builder = builder.mapper_boxed(mapper);
+    }
+    if let Some(checkpoint) = checkpoint {
+        builder = builder.resume_from(checkpoint);
+    }
+    builder.build()
 }
 
 /// Run the full Type-1/Type-2 pipeline for one domain.
 ///
 /// This is the generic replacement for the old per-domain convenience
 /// functions (`run_dp_pipeline`, `run_ff_pipeline`): everything
-/// domain-specific is pulled through the trait.
+/// domain-specific is pulled through the trait. Since the streaming
+/// redesign it drains a [`build_session`] session, so the batch and
+/// streaming paths share one state machine.
 pub fn run_domain(domain: &dyn Domain, config: &PipelineConfig) -> PipelineResult {
-    let oracle = domain.oracle();
-    let finder_oracle = domain.oracle();
-    let mapper = domain.mapper();
-    let features = domain.feature_schema();
-    let search = domain.search_options();
-    let finder = move |excl: &[Polytope], rng: &mut StdRng| {
-        find_adversarial(finder_oracle.as_ref(), excl, &search, rng)
-    };
-    run_pipeline(
-        oracle.as_ref(),
-        mapper.as_deref(),
-        &features,
-        &finder,
+    build_session(
+        domain,
         config,
+        SessionBudgets::unlimited(),
+        CancelToken::new(),
+        None,
     )
+    .expect("a fresh domain session always builds")
+    .drain()
 }
 
 /// All three output types for one domain: the pipeline's Type-1 subspaces

@@ -16,15 +16,24 @@
 //! the `runner --smoke` CI gate pin down. The one nondeterministic field,
 //! `wall_time_ms`, is moved out of the stored result and into the
 //! [`JobOutcome`] wrapper (the stored copy is normalized to 0).
+//!
+//! Since the streaming redesign each job *is* an
+//! [`xplain_core::session::AnalysisSession`]: the executor drives the
+//! session's event stream, forwards events to an optional sink
+//! ([`RunOptions::sink`] — the `runner --watch` NDJSON feed), enforces
+//! per-job [`SessionBudgets`], and (with [`RunOptions::resume`])
+//! persists a checkpoint through the content-addressed store after every
+//! event so a killed runner continues mid-loop on the next invocation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 use xplain_core::pipeline::{PipelineConfig, PipelineResult};
+use xplain_core::session::{CancelToken, FinishReason, SessionBudgets, SessionError, SessionEvent};
 use xplain_lp::SolverCounters;
 
-use crate::domain::{run_domain, DomainRegistry};
+use crate::domain::{build_session, DomainRegistry};
 use crate::store::ResultStore;
 
 /// One line of a JSONL manifest.
@@ -37,6 +46,28 @@ pub struct JobSpec {
     pub config: PipelineConfig,
     /// Base seed mixed with the job index by [`derive_seed`].
     pub seed: u64,
+    /// Per-job execution budgets (absent in a manifest = unlimited).
+    /// Budget-limited runs produce partial results, so they bypass the
+    /// result cache; their checkpoints still persist under `--resume`.
+    #[serde(default)]
+    pub budgets: SessionBudgets,
+}
+
+/// Terminal-event metadata and budget accounting for one executed
+/// session (absent on cache hits and failed jobs — no session ran).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionFinish {
+    /// Why the session's event stream ended.
+    pub reason: FinishReason,
+    /// Whether the loop ran to its own stopping rule (false: a budget or
+    /// cancellation stopped it early and a checkpoint can continue it).
+    pub natural: bool,
+    /// Whether this execution continued from a persisted checkpoint.
+    pub resumed: bool,
+    /// Events emitted, cumulative across resumed segments.
+    pub events: u64,
+    /// The budgets the session ran under.
+    pub budgets: SessionBudgets,
 }
 
 /// The outcome of one manifest job.
@@ -53,15 +84,19 @@ pub struct JobOutcome {
     /// outside `result`, whose own `wall_time_ms` is normalized to 0 so
     /// results compare and cache byte-for-byte.
     pub wall_time_ms: u64,
-    /// Solver work observed during this execution (zero on cache hits).
-    /// Same treatment as `wall_time_ms`: the stored result's copy is
-    /// normalized because the process-wide counters bleed across
-    /// concurrently running jobs, which would break the 1-worker ≡
-    /// N-workers determinism guarantee.
+    /// Solver work observed during this execution (zero on cache hits;
+    /// cumulative across segments on resumed sessions). Same treatment
+    /// as `wall_time_ms`: the stored result's copy is normalized because
+    /// the process-wide counters bleed across concurrently running jobs,
+    /// which would break the 1-worker ≡ N-workers determinism guarantee.
     pub solver: SolverCounters,
     /// `Some` unless the job failed (unknown domain id).
     pub result: Option<PipelineResult>,
-    pub error: Option<String>,
+    /// Structured failure, when the job could not run at all.
+    pub error: Option<SessionError>,
+    /// Terminal session event + budget accounting (absent on cache hits).
+    #[serde(default)]
+    pub finish: Option<SessionFinish>,
 }
 
 /// splitmix64 — the standard 64-bit finalizer; full-period, so distinct
@@ -90,17 +125,33 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
     splitmix64((base & SEED_MASK) ^ splitmix64(index)) & SEED_MASK
 }
 
+/// Display cap for offending-line snippets in manifest errors.
+fn snippet_of(line: &str) -> String {
+    const MAX: usize = 48;
+    if line.chars().count() <= MAX {
+        line.to_string()
+    } else {
+        let head: String = line.chars().take(MAX).collect();
+        format!("{head}…")
+    }
+}
+
 /// Parse a JSONL manifest. Blank lines and `#` comment lines are
 /// skipped; anything else must be a complete [`JobSpec`] object.
-pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, String> {
+/// Errors carry the 1-based line number and the offending snippet
+/// ([`SessionError::Manifest`]).
+pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, SessionError> {
     let mut jobs = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let spec: JobSpec = serde_json::from_str(trimmed)
-            .map_err(|e| format!("manifest line {}: {e:?}", lineno + 1))?;
+        let spec: JobSpec = serde_json::from_str(trimmed).map_err(|e| SessionError::Manifest {
+            line: lineno + 1,
+            snippet: snippet_of(trimmed),
+            message: format!("{e:?}"),
+        })?;
         jobs.push(spec);
     }
     Ok(jobs)
@@ -178,6 +229,23 @@ where
         .collect()
 }
 
+/// Per-event observer: `(manifest index, event)`. `Sync` because workers
+/// share it; the `runner --watch` sink serializes each event to NDJSON.
+pub type EventSink<'s> = &'s (dyn Fn(usize, &SessionEvent) + Sync);
+
+/// Execution policy for a manifest run, beyond the job specs themselves.
+#[derive(Default, Clone, Copy)]
+pub struct RunOptions<'s> {
+    /// Override every job's budgets (CLI flags beat manifest fields).
+    pub budgets_override: Option<SessionBudgets>,
+    /// Load a persisted checkpoint before running each job and persist
+    /// one after every event, so an interrupted or killed run continues
+    /// mid-loop next time. Requires a store; a no-op without one.
+    pub resume: bool,
+    /// Forward every session event as it happens.
+    pub sink: Option<EventSink<'s>>,
+}
+
 /// Execute a manifest against a registry, optionally through a result
 /// store (hits skip the pipeline entirely). `workers = 0` auto-sizes.
 pub fn run_manifest(
@@ -186,8 +254,20 @@ pub fn run_manifest(
     store: Option<&ResultStore>,
     workers: usize,
 ) -> Vec<JobOutcome> {
+    run_manifest_opts(registry, jobs, store, workers, RunOptions::default())
+}
+
+/// [`run_manifest`] with explicit [`RunOptions`] (budget overrides,
+/// checkpoint resume, event streaming).
+pub fn run_manifest_opts(
+    registry: &DomainRegistry,
+    jobs: &[JobSpec],
+    store: Option<&ResultStore>,
+    workers: usize,
+    opts: RunOptions<'_>,
+) -> Vec<JobOutcome> {
     fan_out(jobs.len(), workers, |index| {
-        run_job(registry, &jobs[index], index, store)
+        run_job(registry, &jobs[index], index, store, opts)
     })
 }
 
@@ -196,10 +276,12 @@ fn run_job(
     job: &JobSpec,
     index: usize,
     store: Option<&ResultStore>,
+    opts: RunOptions<'_>,
 ) -> JobOutcome {
     let start = std::time::Instant::now();
     let mut config = job.config.clone();
     config.seed = derive_seed(job.seed, index as u64);
+    let budgets = opts.budgets_override.unwrap_or(job.budgets);
 
     let mut outcome = JobOutcome {
         index,
@@ -210,23 +292,76 @@ fn run_job(
         solver: SolverCounters::default(),
         result: None,
         error: None,
+        finish: None,
     };
 
     let Some(domain) = registry.get(&job.domain) else {
-        outcome.error = Some(format!("unknown domain id '{}'", job.domain));
+        outcome.error = Some(SessionError::UnknownDomain {
+            id: job.domain.clone(),
+        });
         return outcome;
     };
 
-    if let Some(store) = store {
-        if let Some(result) = store.lookup(&job.domain, &config) {
-            outcome.cache_hit = true;
-            outcome.result = Some(result);
-            outcome.wall_time_ms = start.elapsed().as_millis() as u64;
-            return outcome;
+    // Budget-limited runs may stop mid-loop; their partial results must
+    // never alias the canonical entry for this (domain, config), so the
+    // cache is read only for unlimited jobs.
+    if budgets.is_unlimited() {
+        if let Some(store) = store {
+            if let Some(result) = store.lookup(&job.domain, &config) {
+                outcome.cache_hit = true;
+                outcome.result = Some(result);
+                outcome.wall_time_ms = start.elapsed().as_millis() as u64;
+                return outcome;
+            }
         }
     }
 
-    let mut result = run_domain(domain, &config);
+    // Resume from a persisted checkpoint when asked (anything unusable
+    // silently degrades to a fresh start — same philosophy as the result
+    // cache).
+    let checkpoint = match (opts.resume, store) {
+        (true, Some(store)) => store.load_checkpoint(&job.domain, &config),
+        _ => None,
+    };
+    let mut resumed = checkpoint.is_some();
+    let session =
+        build_session(domain, &config, budgets, CancelToken::new(), checkpoint).or_else(|_| {
+            // An incompatible checkpoint (e.g. the domain changed shape
+            // since it was written) degrades to a fresh session — and the
+            // outcome must not claim it resumed.
+            resumed = false;
+            build_session(domain, &config, budgets, CancelToken::new(), None)
+        });
+    let mut session = match session {
+        Ok(s) => s,
+        Err(e) => {
+            outcome.error = Some(e);
+            return outcome;
+        }
+    };
+
+    let mut finished: Option<(FinishReason, PipelineResult)> = None;
+    while let Some(event) = session.next_event() {
+        if let Some(sink) = opts.sink {
+            sink(index, &event);
+        }
+        match &event {
+            SessionEvent::Finished { reason, result } => {
+                finished = Some((*reason, result.clone()));
+            }
+            _ => {
+                if opts.resume {
+                    if let Some(store) = store {
+                        // Best-effort: a failed write only costs replay.
+                        let _ = store.save_checkpoint(&job.domain, &config, &session.checkpoint());
+                    }
+                }
+            }
+        }
+    }
+    let (reason, mut result) = finished.expect("a session's event stream terminates with Finished");
+    let natural = session.finished_naturally();
+
     // Normalize: wall-clock and solver counters are execution metadata,
     // not content. Stored and compared results must be identical across
     // runs and worker counts; the measured values live on the outcome
@@ -234,10 +369,24 @@ fn run_job(
     result.wall_time_ms = 0;
     outcome.solver = std::mem::take(&mut result.solver);
     if let Some(store) = store {
-        // Failing to persist is not failing the job (e.g. read-only dir);
-        // the next run simply recomputes.
-        let _ = store.insert(&job.domain, &config, &result);
+        if natural {
+            // Failing to persist is not failing the job (e.g. read-only
+            // dir); the next run simply recomputes.
+            let _ = store.insert(&job.domain, &config, &result);
+            if opts.resume {
+                store.clear_checkpoint(&job.domain, &config);
+            }
+        } else if opts.resume {
+            let _ = store.save_checkpoint(&job.domain, &config, &session.checkpoint());
+        }
     }
+    outcome.finish = Some(SessionFinish {
+        reason,
+        natural,
+        resumed,
+        events: session.checkpoint().events_emitted,
+        budgets,
+    });
     outcome.result = Some(result);
     outcome.wall_time_ms = start.elapsed().as_millis() as u64;
     outcome
@@ -297,7 +446,43 @@ mod tests {
     #[test]
     fn malformed_manifest_line_reports_position() {
         let err = parse_manifest("# ok\n{not json}\n").unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
+        let SessionError::Manifest { line, snippet, .. } = &err else {
+            panic!("expected a Manifest error, got {err:?}");
+        };
+        assert_eq!(*line, 2);
+        assert_eq!(snippet, "{not json}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn manifest_error_snippet_is_truncated() {
+        let long = format!("{{\"domain\": \"{}\"", "x".repeat(200));
+        let err = parse_manifest(&long).unwrap_err();
+        let SessionError::Manifest { line, snippet, .. } = err else {
+            panic!("expected a Manifest error");
+        };
+        assert_eq!(line, 1);
+        assert!(snippet.chars().count() <= 49, "{snippet}");
+        assert!(snippet.ends_with('…'));
+    }
+
+    #[test]
+    fn manifest_budgets_default_to_unlimited_and_roundtrip() {
+        // A pre-redesign manifest line (no "budgets" field) still parses.
+        let text = "{\"domain\":\"dp\",\"config\":".to_string()
+            + &serde_json::to_string(&PipelineConfig::default()).unwrap()
+            + ",\"seed\":7}\n";
+        let jobs = parse_manifest(&text).unwrap();
+        assert!(jobs[0].budgets.is_unlimited());
+
+        // Budgets survive the JSONL round trip.
+        let mut job = jobs[0].clone();
+        job.budgets.max_analyzer_calls = Some(3);
+        job.budgets.deadline_ms = Some(250);
+        let back = parse_manifest(&manifest_to_jsonl(&[job])).unwrap();
+        assert_eq!(back[0].budgets.max_analyzer_calls, Some(3));
+        assert_eq!(back[0].budgets.deadline_ms, Some(250));
+        assert_eq!(back[0].budgets.max_solver_iterations, None);
     }
 
     #[test]
@@ -307,14 +492,18 @@ mod tests {
             domain: "no-such-domain".into(),
             config: PipelineConfig::default(),
             seed: 1,
+            budgets: SessionBudgets::unlimited(),
         }];
         let outcomes = run_manifest(&registry, &jobs, None, 1);
         assert_eq!(outcomes.len(), 1);
         assert!(outcomes[0].result.is_none());
-        assert!(outcomes[0]
-            .error
-            .as_deref()
-            .unwrap()
-            .contains("no-such-domain"));
+        let error = outcomes[0].error.clone().unwrap();
+        assert_eq!(
+            error,
+            SessionError::UnknownDomain {
+                id: "no-such-domain".into()
+            }
+        );
+        assert!(error.to_string().contains("no-such-domain"));
     }
 }

@@ -29,8 +29,17 @@ pub mod executor;
 pub mod store;
 
 pub use adapters::{DpDomain, DpDslMapper, FfDomain, FfDslMapper, SchedDomain, SchedDslMapper};
-pub use domain::{run_domain, run_domain_full, Domain, DomainAnalysis, DomainRegistry};
+pub use domain::{
+    build_session, run_domain, run_domain_full, Domain, DomainAnalysis, DomainRegistry,
+};
 pub use executor::{
-    derive_seed, fan_out, manifest_to_jsonl, parse_manifest, run_manifest, JobOutcome, JobSpec,
+    derive_seed, fan_out, manifest_to_jsonl, parse_manifest, run_manifest, run_manifest_opts,
+    EventSink, JobOutcome, JobSpec, RunOptions, SessionFinish,
 };
 pub use store::ResultStore;
+// The session vocabulary travels with the runtime so callers need not
+// depend on xplain-core directly.
+pub use xplain_core::session::{
+    AnalysisSession, CancelToken, FinishReason, SessionBudgets, SessionBuilder, SessionCheckpoint,
+    SessionError, SessionEvent,
+};

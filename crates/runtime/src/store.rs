@@ -5,9 +5,16 @@
 //! key hashed from exactly those two values (FNV-1a over the domain id
 //! and the config's canonical JSON). Repeated jobs across runner
 //! invocations become cache hits; anything unreadable, unparsable, or
-//! mismatched (a hash collision or a stale schema) is treated as a miss
-//! and silently recomputed — a corrupt cache must never panic or poison
-//! results.
+//! mismatched (a hash collision, a stale schema, or a result stamped
+//! with an unknown `schema_version`) is treated as a miss and silently
+//! recomputed — a corrupt cache must never panic or poison results.
+//!
+//! The store also persists **session checkpoints** (`{key}.ckpt` next to
+//! `{key}.json` results) under the same content-addressed key, so an
+//! interrupted or killed `runner` continues mid-loop on the next
+//! invocation instead of starting the pipeline over. Checkpoints follow
+//! the same degrade-to-recompute philosophy: anything unreadable or
+//! version-mismatched reads back as "no checkpoint".
 
 use std::fs;
 use std::io;
@@ -15,7 +22,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
-use xplain_core::pipeline::{PipelineConfig, PipelineResult};
+use xplain_core::pipeline::{PipelineConfig, PipelineResult, PIPELINE_SCHEMA_VERSION};
+use xplain_core::session::{SessionCheckpoint, SESSION_CHECKPOINT_SCHEMA_VERSION};
 
 /// One stored entry. The key inputs are echoed next to the result so
 /// lookups can verify them (defends against both hash collisions and
@@ -25,6 +33,15 @@ struct StoreEntry {
     domain: String,
     config: PipelineConfig,
     result: PipelineResult,
+}
+
+/// One persisted session checkpoint, with the same key-echo defense as
+/// [`StoreEntry`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CheckpointEntry {
+    domain: String,
+    config: PipelineConfig,
+    checkpoint: SessionCheckpoint,
 }
 
 /// A directory of `{key:016x}.json` entries.
@@ -62,10 +79,16 @@ impl ResultStore {
     }
 
     /// Fetch a cached result. `None` means miss — including unreadable or
-    /// corrupted entries and echo mismatches, which callers recompute.
+    /// corrupted entries, echo mismatches, and results stamped with a
+    /// `schema_version` other than the current one (entries written
+    /// before the stamp existed read back as version 0 and miss too),
+    /// which callers recompute.
     pub fn lookup(&self, domain: &str, config: &PipelineConfig) -> Option<PipelineResult> {
         let text = fs::read_to_string(self.entry_path(domain, config)).ok()?;
         let entry: StoreEntry = serde_json::from_str(&text).ok()?;
+        if entry.result.schema_version != PIPELINE_SCHEMA_VERSION {
+            return None;
+        }
         let same_config =
             serde_json::to_string(&entry.config).ok()? == serde_json::to_string(config).ok()?;
         (entry.domain == domain && same_config).then_some(entry.result)
@@ -96,6 +119,65 @@ impl ResultStore {
         ));
         fs::write(&tmp_path, json)?;
         fs::rename(&tmp_path, final_path)
+    }
+
+    /// On-disk path of a job's session checkpoint (`.ckpt`, deliberately
+    /// not `.json`, so [`ResultStore::len`] keeps counting results only).
+    pub fn checkpoint_path(&self, domain: &str, config: &PipelineConfig) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.ckpt", Self::key(domain, config)))
+    }
+
+    /// Fetch a persisted session checkpoint for this job. `None` on any
+    /// problem — missing, unreadable, corrupt, echo mismatch, or an
+    /// unknown checkpoint schema version — and the caller starts fresh.
+    pub fn load_checkpoint(
+        &self,
+        domain: &str,
+        config: &PipelineConfig,
+    ) -> Option<SessionCheckpoint> {
+        let text = fs::read_to_string(self.checkpoint_path(domain, config)).ok()?;
+        let entry: CheckpointEntry = serde_json::from_str(&text).ok()?;
+        if entry.checkpoint.schema_version != SESSION_CHECKPOINT_SCHEMA_VERSION {
+            return None;
+        }
+        let same_config =
+            serde_json::to_string(&entry.config).ok()? == serde_json::to_string(config).ok()?;
+        (entry.domain == domain && same_config).then_some(entry.checkpoint)
+    }
+
+    /// Persist a session checkpoint (same write-to-temp + rename
+    /// discipline as results). Overwrites any previous checkpoint for the
+    /// job — only the newest boundary matters for resumption.
+    pub fn save_checkpoint(
+        &self,
+        domain: &str,
+        config: &PipelineConfig,
+        checkpoint: &SessionCheckpoint,
+    ) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let entry = CheckpointEntry {
+            domain: domain.to_string(),
+            config: config.clone(),
+            checkpoint: checkpoint.clone(),
+        };
+        let json = serde_json::to_string(&entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let final_path = self.checkpoint_path(domain, config);
+        let tmp_path = self.dir.join(format!(
+            ".{:016x}.{}.{}.ckpt.tmp",
+            Self::key(domain, config),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp_path, json)?;
+        fs::rename(&tmp_path, final_path)
+    }
+
+    /// Remove a job's checkpoint (after its session finished naturally
+    /// and the result was committed). Missing files are fine.
+    pub fn clear_checkpoint(&self, domain: &str, config: &PipelineConfig) {
+        let _ = fs::remove_file(self.checkpoint_path(domain, config));
     }
 
     /// Number of committed entries on disk.
@@ -141,6 +223,7 @@ mod tests {
 
     fn dummy_result(rejected: usize) -> PipelineResult {
         PipelineResult {
+            schema_version: PIPELINE_SCHEMA_VERSION,
             findings: Vec::new(),
             rejected,
             analyzer_calls: 1,
@@ -208,6 +291,85 @@ mod tests {
         let text = fs::read_to_string(&path).unwrap();
         fs::write(&path, text.replacen("\"dp\"", "\"zz\"", 1)).unwrap();
         assert!(store.lookup("dp", &config).is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn unknown_result_schema_version_is_a_miss() {
+        let store = ResultStore::new(scratch_dir("schema"));
+        let config = PipelineConfig::default();
+        let mut result = dummy_result(2);
+        result.schema_version = PIPELINE_SCHEMA_VERSION + 1;
+        store.insert("dp", &config, &result).unwrap();
+        assert!(
+            store.lookup("dp", &config).is_none(),
+            "future schema version must be a cache miss"
+        );
+        // Pre-stamp entries (schema_version absent → 0) miss too.
+        let path = store.entry_path("dp", &config);
+        let text = fs::read_to_string(&path).unwrap();
+        let stripped = text.replace(
+            &format!("\"schema_version\":{}", PIPELINE_SCHEMA_VERSION + 1),
+            "\"schema_version\":0",
+        );
+        assert_ne!(text, stripped, "test must actually rewrite the stamp");
+        fs::write(&path, stripped).unwrap();
+        assert!(store.lookup("dp", &config).is_none());
+        // A current-version write heals it.
+        store.insert("dp", &config, &dummy_result(2)).unwrap();
+        assert_eq!(store.lookup("dp", &config).unwrap().rejected, 2);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn checkpoints_roundtrip_and_clear() {
+        use rand::rngs::StdRng;
+        use xplain_analyzer::geometry::Polytope;
+        use xplain_analyzer::oracle::GapOracle;
+        use xplain_analyzer::search::Adversarial;
+        use xplain_core::session::SessionBuilder;
+
+        struct Flat;
+        impl GapOracle for Flat {
+            fn dims(&self) -> usize {
+                1
+            }
+            fn bounds(&self) -> Vec<(f64, f64)> {
+                vec![(0.0, 1.0)]
+            }
+            fn gap(&self, _: &[f64]) -> f64 {
+                0.0
+            }
+        }
+
+        let store = ResultStore::new(scratch_dir("ckpt"));
+        let config = PipelineConfig::default();
+        let session = SessionBuilder::new(Flat)
+            .config(config.clone())
+            .finder(|_: &[Polytope], _: &mut StdRng| None::<Adversarial>)
+            .build()
+            .unwrap();
+        let checkpoint = session.checkpoint();
+
+        assert!(store.load_checkpoint("dp", &config).is_none());
+        store.save_checkpoint("dp", &config, &checkpoint).unwrap();
+        let back = store
+            .load_checkpoint("dp", &config)
+            .expect("checkpoint loads back");
+        assert_eq!(back.schema_version, checkpoint.schema_version);
+        // Checkpoints never pollute the result count.
+        assert_eq!(store.len(), 0);
+        // Other domain / config: miss.
+        assert!(store.load_checkpoint("ff", &config).is_none());
+
+        // Corruption degrades to "no checkpoint".
+        fs::write(store.checkpoint_path("dp", &config), "garbage").unwrap();
+        assert!(store.load_checkpoint("dp", &config).is_none());
+
+        store.save_checkpoint("dp", &config, &checkpoint).unwrap();
+        store.clear_checkpoint("dp", &config);
+        assert!(store.load_checkpoint("dp", &config).is_none());
+        store.clear_checkpoint("dp", &config); // idempotent
         let _ = fs::remove_dir_all(store.dir());
     }
 

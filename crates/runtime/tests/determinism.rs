@@ -35,6 +35,7 @@ fn three_domain_manifest(config: &PipelineConfig, seed: u64) -> Vec<JobSpec> {
             domain,
             config: config.clone(),
             seed,
+            budgets: Default::default(),
         })
         .collect()
 }

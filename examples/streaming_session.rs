@@ -1,0 +1,106 @@
+//! Streaming analysis: watch findings arrive one event at a time,
+//! interrupt the session mid-loop, and resume it from a checkpoint.
+//!
+//! ```sh
+//! cargo run --release --example streaming_session
+//! ```
+
+use xplain::core::{FinishReason, PipelineConfig, SessionBudgets, SessionEvent};
+use xplain::runtime::{build_session, CancelToken, DomainRegistry};
+
+fn main() {
+    let registry = DomainRegistry::builtin();
+    let domain = registry.get("sched").expect("builtin domain");
+    let config = PipelineConfig {
+        max_subspaces: 3,
+        ..Default::default()
+    };
+
+    // --- Pass 1: a budgeted session stops mid-loop -----------------------
+    let mut session = build_session(
+        domain,
+        &config,
+        SessionBudgets {
+            max_analyzer_calls: Some(1),
+            ..Default::default()
+        },
+        CancelToken::new(),
+        None,
+    )
+    .expect("fresh session builds");
+
+    println!("== streaming (budget: 1 analyzer call) ==");
+    for event in session.by_ref() {
+        match &event {
+            SessionEvent::AnalyzerProbe {
+                call,
+                gap,
+                accepted,
+            } => {
+                println!("probe #{call}: gap {gap:?} (accepted: {accepted})");
+            }
+            SessionEvent::SubspaceGrown { index, subspace } => {
+                println!(
+                    "subspace #{index}: grown around gap {:.2} ({} oracle evals)",
+                    subspace.seed_gap, subspace.evaluations
+                );
+            }
+            SessionEvent::SignificanceVerdict {
+                index, significant, ..
+            } => {
+                println!("subspace #{index}: significant = {significant}");
+            }
+            SessionEvent::ExplanationReady { index, finding } => {
+                // The finding is usable NOW — no waiting for loop exit.
+                println!(
+                    "finding #{index} delivered: leaf mean gap {:.3}, explanation: {}",
+                    finding.subspace.leaf_mean_gap,
+                    finding.explanation.is_some()
+                );
+            }
+            SessionEvent::InsignificantRetry { strikes, .. } => {
+                println!("insignificant region excluded (strike {strikes})");
+            }
+            SessionEvent::CoverageEstimated { report } => {
+                println!("coverage: recall {:.2}", report.risk_recall);
+            }
+            SessionEvent::Finished { reason, result } => {
+                println!(
+                    "finished: {reason:?} with {} finding(s) after {} analyzer call(s)",
+                    result.findings.len(),
+                    result.analyzer_calls
+                );
+            }
+        }
+    }
+    assert!(!session.finished_naturally());
+
+    // --- Pass 2: resume the checkpoint without the budget ----------------
+    let checkpoint = session.checkpoint();
+    println!("\n== resumed from checkpoint (no budget) ==");
+    let mut resumed = build_session(
+        domain,
+        &config,
+        SessionBudgets::unlimited(),
+        CancelToken::new(),
+        Some(checkpoint),
+    )
+    .expect("checkpoint resumes");
+    let result = resumed.drain_with(|event| {
+        if let SessionEvent::Finished { reason, .. } = event {
+            assert!(matches!(
+                reason,
+                FinishReason::MaxSubspaces
+                    | FinishReason::SpaceExhausted
+                    | FinishReason::GapBelowThreshold
+                    | FinishReason::InsignificantRetriesExhausted
+            ));
+        }
+    });
+    println!(
+        "complete: {} finding(s), {} analyzer call(s), coverage recall {:?}",
+        result.findings.len(),
+        result.analyzer_calls,
+        result.coverage.map(|c| c.risk_recall)
+    );
+}

@@ -19,11 +19,15 @@
 //!   bilevel MILPs and pattern search);
 //! * [`core`] — the domain-agnostic XPlain pipeline: subspace
 //!   generation, significance checking, explanation heat-maps,
-//!   generalization;
+//!   generalization — and the streaming [`core::AnalysisSession`]
+//!   (typed event stream, budgets, cancellation, checkpoint/resume;
+//!   `run_pipeline` is a thin drain over it);
 //! * [`runtime`] — the serving layer: the pluggable [`runtime::Domain`]
 //!   registry (Demand Pinning, first-fit, LPT scheduling), the parallel
-//!   batch executor over JSONL manifests, the content-addressed result
-//!   store, and the `runner` CLI.
+//!   batch executor over JSONL manifests (whose jobs run sessions, with
+//!   per-job budgets and event sinks), the content-addressed result
+//!   store (results + session checkpoints), and the `runner` CLI
+//!   (`--watch` NDJSON streaming, `--resume`, budget flags).
 //!
 //! ## Quickstart
 //!
@@ -38,8 +42,34 @@
 //! assert!((gap - 100.0).abs() < 1e-6);
 //! ```
 //!
+//! ## Streaming
+//!
+//! ```no_run
+//! use xplain::runtime::{build_session, CancelToken, DomainRegistry, SessionBudgets};
+//! use xplain::core::{PipelineConfig, SessionEvent};
+//!
+//! let registry = DomainRegistry::builtin();
+//! let domain = registry.get("sched").unwrap();
+//! let mut session = build_session(
+//!     domain,
+//!     &PipelineConfig::default(),
+//!     SessionBudgets { max_analyzer_calls: Some(4), ..Default::default() },
+//!     CancelToken::new(),
+//!     None, // or a checkpoint to resume
+//! )
+//! .unwrap();
+//! for event in session.by_ref() {
+//!     if let SessionEvent::ExplanationReady { index, finding } = &event {
+//!         println!("finding #{index}: gap {:.2}", finding.subspace.seed_gap);
+//!     }
+//! }
+//! let checkpoint = session.checkpoint(); // resumable if a budget fired
+//! # let _ = checkpoint;
+//! ```
+//!
 //! See `examples/` for the full tour: `quickstart`, `demand_pinning`,
-//! `bin_packing`, `lp_to_flow`, and `full_pipeline`.
+//! `bin_packing`, `lp_to_flow`, `full_pipeline`, and
+//! `streaming_session`.
 
 pub use xplain_analyzer as analyzer;
 pub use xplain_core as core;

@@ -77,13 +77,56 @@ fn pipeline_result_roundtrip() {
     };
     let result = run_domain(&FfDomain::small(), &config);
     let json = serde_json::to_string(&result).unwrap();
+    // Results are stamped with the current schema version (the store
+    // rejects any other version as a cache miss).
+    assert_eq!(result.schema_version, xplain::core::PIPELINE_SCHEMA_VERSION);
+    assert!(json.contains(&format!(
+        "\"schema_version\":{}",
+        xplain::core::PIPELINE_SCHEMA_VERSION
+    )));
     let back: xplain::core::PipelineResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.schema_version, result.schema_version);
     assert_eq!(back.findings.len(), result.findings.len());
     if let Some(f) = back.findings.first() {
         assert!(f.subspace.seed_gap > 0.0);
         // Polytope membership survives the round trip.
         assert!(f.subspace.contains(&f.subspace.seed));
     }
+}
+
+/// Pre-stamp JSON (no `schema_version` field) still deserializes — it
+/// reads back as version 0, which consumers treat as stale.
+#[test]
+fn pipeline_result_without_schema_version_still_parses() {
+    let json = r#"{"findings":[],"rejected":1,"analyzer_calls":2,"coverage":null,"oracle_evaluations":3,"wall_time_ms":0,"solver":{"lp_solves":0,"lp_iterations":0,"lp_dual_iterations":0,"lp_refactorizations":0,"lp_warm_hits":0,"lp_cold_starts":0,"bb_nodes":0}}"#;
+    let back: xplain::core::PipelineResult = serde_json::from_str(json).unwrap();
+    assert_eq!(back.schema_version, 0);
+    assert_eq!(back.rejected, 1);
+}
+
+/// Session events and checkpoints are part of the serialized surface
+/// now: NDJSON consumers (runner --watch) parse events, and checkpoints
+/// round-trip through the store.
+#[test]
+fn session_event_roundtrip() {
+    use xplain::core::SessionEvent;
+    let event = SessionEvent::AnalyzerProbe {
+        call: 2,
+        gap: Some(1.5),
+        accepted: true,
+    };
+    let json = serde_json::to_string(&event).unwrap();
+    let back: SessionEvent = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.kind(), "analyzer_probe");
+    let SessionEvent::AnalyzerProbe {
+        call,
+        gap,
+        accepted,
+    } = back
+    else {
+        panic!("wrong variant");
+    };
+    assert_eq!((call, gap, accepted), (2, Some(1.5), true));
 }
 
 #[test]

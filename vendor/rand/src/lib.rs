@@ -182,6 +182,22 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Expose the raw xoshiro256++ state words, so callers that need
+        /// to persist a generator mid-stream (session checkpoints) can
+        /// serialize it. The words are full-range `u64`s — JSON-bound
+        /// callers must encode them as strings, not numbers.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from [`StdRng::state`] output; the restored
+        /// generator continues the exact stream the snapshot interrupted.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
@@ -224,6 +240,19 @@ mod tests {
     use super::rngs::StdRng;
     use super::seq::SliceRandom;
     use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let snapshot = a.state();
+        let tail: Vec<u64> = (0..50).map(|_| a.next_u64()).collect();
+        let mut b = StdRng::from_state(snapshot);
+        let resumed: Vec<u64> = (0..50).map(|_| b.next_u64()).collect();
+        assert_eq!(tail, resumed);
+    }
 
     #[test]
     fn deterministic_for_seed() {

@@ -8,7 +8,8 @@
 //!
 //! * `#[derive(Serialize, Deserialize)]` (via the `derive` feature and the
 //!   companion `serde_derive` proc-macro crate);
-//! * field attributes `#[serde(skip)]` and `#[serde(with = "module")]`;
+//! * field attributes `#[serde(skip)]`, `#[serde(default)]`, and
+//!   `#[serde(with = "module")]`;
 //! * `serde::de::Error::custom(...)` for custom error construction;
 //! * externally-tagged enum representation, newtype-struct transparency.
 //!

@@ -11,7 +11,9 @@
 //! * enums with unit, tuple, and struct variants (externally tagged:
 //!   `"Variant"` / `{"Variant": payload}`);
 //! * field attributes `#[serde(skip)]` (skip on serialize, `Default` on
-//!   deserialize) and `#[serde(with = "module")]` (delegates to
+//!   deserialize), `#[serde(default)]` (missing/null field deserializes
+//!   to `Default::default()` — the forward-compat knob), and
+//!   `#[serde(with = "module")]` (delegates to
 //!   `module::serialize(&field) -> Value` and
 //!   `module::deserialize(&Value) -> Result<T, serde::de::Error>`).
 //!
@@ -23,6 +25,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[derive(Debug, Default, Clone)]
 struct FieldAttrs {
     skip: bool,
+    default: bool,
     with: Option<String>,
 }
 
@@ -81,6 +84,13 @@ fn parse_attr_group(stream: TokenStream, attrs: &mut FieldAttrs) {
                 let key = id.to_string();
                 if key == "skip" || key == "skip_serializing" || key == "skip_deserializing" {
                     attrs.skip = true;
+                    i += 1;
+                } else if key == "default" {
+                    // `default` (bare form only): a missing field
+                    // deserializes to `Default::default()` instead of
+                    // erroring — the forward-compat knob schema-versioned
+                    // payloads rely on.
+                    attrs.default = true;
                     i += 1;
                 } else if key == "with" {
                     // with = "path"
@@ -361,6 +371,20 @@ fn de_named_body(fields: &[NamedField], map_expr: &str, ctor: &str) -> String {
         let n = &f.name;
         if f.attrs.skip {
             inits.push(format!("{n}: ::std::default::Default::default()"));
+            continue;
+        }
+        if f.attrs.default {
+            // Absent (or explicit-null) fields fall back to `Default`;
+            // present fields deserialize normally.
+            let convert = match &f.attrs.with {
+                Some(path) => format!("{path}::deserialize(__f)?"),
+                None => "::serde::Deserialize::from_value(__f)?".to_string(),
+            };
+            inits.push(format!(
+                "{n}: match ::serde::map_get(__m, \"{n}\") {{ \
+                 Some(__f) if !__f.is_null() => {convert}, \
+                 _ => ::std::default::Default::default() }}"
+            ));
             continue;
         }
         let fetch = format!(
