@@ -1,0 +1,37 @@
+//! `serve-bench` — the serving-layer load benchmark, emitting
+//! `BENCH_5.json`.
+//!
+//! ```text
+//! serve-bench [--quick] [--out PATH]
+//!
+//! --quick   CI-sized request counts
+//! --out     output path (default BENCH_5.json in the working directory)
+//! ```
+//!
+//! Starts an in-process server on an ephemeral loopback port, drives the
+//! cold / cache-hit / streaming workloads over real HTTP, prints a human
+//! summary, and writes the machine-readable report; exits nonzero if the
+//! emitted JSON fails to parse back (the CI smoke gate relies on this).
+
+use xplain_bench::serve_load;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
+
+    let report = serve_load::run(quick);
+    print!("{}", serve_load::render(&report));
+    match serve_load::emit(&report, &out_path) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => {
+            eprintln!("serve-bench emission failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -30,7 +30,11 @@
 //! everything; `cargo bench` runs the Criterion timing benches; `cargo
 //! run -p xplain-bench --release --bin bench` runs the solver benchmark
 //! ([`solver_bench`]) and emits `BENCH_3.json` (revised-vs-reference
-//! timings, B&B node counts, E7 pipeline time).
+//! timings, B&B node counts, E7 pipeline time); `cargo run -p
+//! xplain-bench --release --bin serve-bench` runs the serving-layer load
+//! generator ([`serve_load`]) and emits `BENCH_5.json` (cold vs
+//! cache-hit vs streaming requests/sec and p50/p99 latency over
+//! loopback HTTP).
 
 pub mod ablations;
 pub mod appendix_a;
@@ -39,6 +43,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod generalize;
 pub mod pipeline_time;
+pub mod serve_load;
 pub mod solver_bench;
 pub mod speedup;
 pub mod vbp_examples;

@@ -1,0 +1,288 @@
+//! Loopback load generator for the serving layer — emits `BENCH_5.json`
+//! so the HTTP path joins the repo's performance trajectory alongside
+//! the solver's `BENCH_3.json`.
+//!
+//! Three workloads against a live in-process server on an ephemeral
+//! loopback port, all driven through the real wire (TCP + HTTP parsing +
+//! JSON bodies — no shortcuts through the queue API):
+//!
+//! * **cold** — distinct specs, each `POST /v1/jobs` + polled to
+//!   completion: the full submit→compute→store path. Latency is
+//!   dominated by the pipeline itself; this is the end-to-end
+//!   time-to-answer a first-time query pays.
+//! * **cache_hit** — one warmed spec resubmitted repeatedly: the dedup
+//!   path answering from the content-addressed state without touching a
+//!   worker. This is the repeat-query latency the paper's interactive
+//!   workflow leans on.
+//! * **streaming** — fresh specs with `GET /v1/jobs/{id}/events` held
+//!   open to stream the full NDJSON event trace; latency spans submit →
+//!   terminal event.
+//!
+//! Reported per workload: requests/sec plus exact p50/p99/max latency
+//! (exact percentiles over the raw samples — `xplain_stats`'s
+//! `percentile_exact`, not bucket estimates; the sample sets are small
+//! and fully in hand).
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use xplain_core::pipeline::PipelineConfig;
+use xplain_core::subspace::SubspaceParams;
+use xplain_core::{ExplainerParams, SignificanceParams};
+use xplain_runtime::{DomainRegistry, JobSpec, SessionBudgets};
+use xplain_serve::{Client, Server, ServerConfig};
+use xplain_stats::percentile_exact;
+
+/// Schema marker for the emitted file.
+pub const SCHEMA: &str = "xplain-bench-5/v1";
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// `cold`, `cache_hit`, or `streaming`.
+    pub name: String,
+    pub requests: usize,
+    pub total_ms: f64,
+    pub requests_per_sec: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchReport {
+    pub schema: String,
+    /// `quick` (CI) or `full` (the committed snapshot).
+    pub mode: String,
+    pub queue_workers: usize,
+    pub http_threads: usize,
+    pub workloads: Vec<WorkloadReport>,
+}
+
+/// Small-but-real pipeline work for the served jobs: one subspace, no
+/// coverage pass — enough to exercise analyzer + growth + significance +
+/// explainer per request without making "cold" a minutes-long workload.
+fn bench_config() -> PipelineConfig {
+    PipelineConfig {
+        max_subspaces: 1,
+        subspace: SubspaceParams {
+            dkw_eps: 0.25,
+            dkw_delta: 0.25,
+            max_expansions: 4,
+            tree_sample_factor: 3,
+            ..Default::default()
+        },
+        significance: SignificanceParams {
+            pairs: 40,
+            ..Default::default()
+        },
+        explainer: ExplainerParams {
+            samples: 60,
+            threads: 1,
+            ..Default::default()
+        },
+        coverage_samples: 0,
+        ..Default::default()
+    }
+}
+
+fn spec_json(seed: u64) -> String {
+    serde_json::to_string(&JobSpec {
+        domain: "sched".into(),
+        config: bench_config(),
+        seed,
+        budgets: SessionBudgets::unlimited(),
+    })
+    .expect("spec serializes")
+}
+
+fn workload(name: &str, samples_ms: &[f64], total_ms: f64) -> WorkloadReport {
+    WorkloadReport {
+        name: name.to_string(),
+        requests: samples_ms.len(),
+        total_ms,
+        requests_per_sec: if total_ms > 0.0 {
+            samples_ms.len() as f64 / (total_ms / 1000.0)
+        } else {
+            0.0
+        },
+        p50_ms: percentile_exact(samples_ms, 0.50).unwrap_or(0.0),
+        p99_ms: percentile_exact(samples_ms, 0.99).unwrap_or(0.0),
+        max_ms: percentile_exact(samples_ms, 1.0).unwrap_or(0.0),
+    }
+}
+
+/// Submit one spec and poll `GET /v1/jobs/{id}` to completion; returns
+/// the job id.
+fn submit_and_wait(api: &Client, body: &str) -> String {
+    let resp = api.post("/v1/jobs", body).expect("submit");
+    assert!(
+        resp.status == 200 || resp.status == 202,
+        "submit failed: {} {}",
+        resp.status,
+        resp.body
+    );
+    let id = extract_id(&resp.body);
+    loop {
+        let status = api.get(&format!("/v1/jobs/{id}")).expect("poll");
+        if status.body.contains("\"status\":\"done\"") {
+            return id;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Pull `"id":"…"` out of a submit receipt without a typed mirror of the
+/// server's response struct.
+fn extract_id(body: &str) -> String {
+    body.split("\"id\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("submit receipt carries an id")
+        .to_string()
+}
+
+/// Run the three workloads and assemble the report.
+pub fn run(quick: bool) -> ServeBenchReport {
+    let (n_cold, n_cache, n_stream) = if quick { (3, 100, 3) } else { (20, 2000, 10) };
+    let queue_workers = 2;
+    let http_threads = 8;
+
+    let store_dir = std::env::temp_dir().join(format!("xplain-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_workers,
+        http_threads,
+        capacity: 256,
+        store_dir: Some(store_dir.clone()),
+        read_timeout: Duration::from_secs(120),
+        retain_done: 1024,
+    })
+    .expect("ephemeral bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        let registry = DomainRegistry::builtin();
+        server.run(&registry).expect("server runs");
+    });
+    let api = Client::new(handle.addr()).with_timeout(Duration::from_secs(120));
+
+    // Cold: distinct seeds, submit + poll to completion, one at a time
+    // (per-request latency is the metric; throughput under concurrency
+    // would need a second load thread and muddy the p50/p99 story).
+    let mut cold_ms = Vec::with_capacity(n_cold);
+    let cold_start = Instant::now();
+    for i in 0..n_cold {
+        let t0 = Instant::now();
+        submit_and_wait(&api, &spec_json(0xC01D + i as u64));
+        cold_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    let cold_total = cold_start.elapsed().as_secs_f64() * 1000.0;
+
+    // Cache hits: resubmit the first cold spec; answered from the
+    // content-addressed state without occupying a worker.
+    let warmed = spec_json(0xC01D);
+    let mut cache_ms = Vec::with_capacity(n_cache);
+    let cache_start = Instant::now();
+    for _ in 0..n_cache {
+        let t0 = Instant::now();
+        let resp = api.post("/v1/jobs", &warmed).expect("cache-hit submit");
+        assert_eq!(resp.status, 200, "expected a cache hit: {}", resp.body);
+        cache_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    let cache_total = cache_start.elapsed().as_secs_f64() * 1000.0;
+
+    // Streaming: fresh specs, stream the full event trace.
+    let mut stream_ms = Vec::with_capacity(n_stream);
+    let stream_start = Instant::now();
+    for i in 0..n_stream {
+        let t0 = Instant::now();
+        let resp = api
+            .post("/v1/jobs", &spec_json(0x57E0 + i as u64))
+            .expect("stream submit");
+        let id = extract_id(&resp.body);
+        let (status, mut stream) = api
+            .stream(&format!("/v1/jobs/{id}/events"))
+            .expect("stream open");
+        assert_eq!(status, 200);
+        let lines = stream.collect_lines().expect("stream drains");
+        assert!(!lines.is_empty(), "streamed job emitted no events");
+        stream_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    let stream_total = stream_start.elapsed().as_secs_f64() * 1000.0;
+
+    handle.shutdown();
+    join.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    ServeBenchReport {
+        schema: SCHEMA.to_string(),
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        queue_workers,
+        http_threads,
+        workloads: vec![
+            workload("cold", &cold_ms, cold_total),
+            workload("cache_hit", &cache_ms, cache_total),
+            workload("streaming", &stream_ms, stream_total),
+        ],
+    }
+}
+
+/// Human-readable summary.
+pub fn render(r: &ServeBenchReport) -> String {
+    let mut out = format!(
+        "serve bench ({} mode): {} queue workers, {} http threads\n",
+        r.mode, r.queue_workers, r.http_threads
+    );
+    for w in &r.workloads {
+        out.push_str(&format!(
+            "  {:<10} {:>5} requests  {:>9.1} req/s  p50 {:>8.2} ms  p99 {:>8.2} ms  max {:>8.2} ms\n",
+            w.name, w.requests, w.requests_per_sec, w.p50_ms, w.p99_ms, w.max_ms
+        ));
+    }
+    out
+}
+
+/// Write the report to `path` and verify the emission parses back.
+pub fn emit(r: &ServeBenchReport, path: &str) -> Result<(), String> {
+    let json = serde_json::to_string(r).map_err(|e| format!("serialize: {e:?}"))?;
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    let back = std::fs::read_to_string(path).map_err(|e| format!("re-read {path}: {e}"))?;
+    let parsed: ServeBenchReport =
+        serde_json::from_str(&back).map_err(|e| format!("re-parse {path}: {e:?}"))?;
+    if parsed.schema != SCHEMA {
+        return Err(format!(
+            "schema drift in {path}: {} != {SCHEMA}",
+            parsed.schema
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_load_run_emits_valid_json() {
+        let report = run(true);
+        assert_eq!(report.workloads.len(), 3);
+        for w in &report.workloads {
+            assert!(w.requests > 0, "{w:?}");
+            assert!(w.requests_per_sec > 0.0, "{w:?}");
+            assert!(w.p50_ms <= w.p99_ms && w.p99_ms <= w.max_ms, "{w:?}");
+        }
+        // Cache hits must be far cheaper than cold computes.
+        let cold = &report.workloads[0];
+        let cache = &report.workloads[1];
+        assert!(
+            cache.p50_ms < cold.p50_ms,
+            "cache-hit p50 {} not below cold p50 {}",
+            cache.p50_ms,
+            cold.p50_ms
+        );
+        let path = std::env::temp_dir().join(format!("bench5-test-{}.json", std::process::id()));
+        let path = path.to_string_lossy().to_string();
+        emit(&report, &path).expect("emission round-trips");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -75,6 +75,10 @@ pub enum SessionError {
     SchemaVersion { found: u32, expected: u32 },
     /// The session was assembled inconsistently (e.g. no finder).
     InvalidConfig { message: String },
+    /// The session (or the stage driving it) failed unexpectedly — e.g.
+    /// a panic caught at an execution boundary so one bad job cannot
+    /// take a long-lived worker down with it.
+    Internal { message: String },
 }
 
 impl std::fmt::Display for SessionError {
@@ -95,6 +99,9 @@ impl std::fmt::Display for SessionError {
             ),
             SessionError::InvalidConfig { message } => {
                 write!(f, "invalid session configuration: {message}")
+            }
+            SessionError::Internal { message } => {
+                write!(f, "internal session failure: {message}")
             }
         }
     }

@@ -1,8 +1,10 @@
 //! The parallel batch-analysis executor.
 //!
 //! A *manifest* is JSONL: one [`JobSpec`] per line (domain id +
-//! [`PipelineConfig`] + base seed). The executor fans the jobs out across
-//! `std::thread::scope` workers pulling from a shared atomic cursor.
+//! [`PipelineConfig`] + base seed). The executor submits the jobs to the
+//! shared [`crate::queue::JobQueue`] and drains it with
+//! `std::thread::scope` workers — the same queue the HTTP serving layer
+//! drives, so batch and served executions share one engine.
 //! Determinism is by construction:
 //!
 //! * each job's effective pipeline seed is derived from its manifest seed
@@ -259,6 +261,13 @@ pub fn run_manifest(
 
 /// [`run_manifest`] with explicit [`RunOptions`] (budget overrides,
 /// checkpoint resume, event streaming).
+///
+/// Since the serving redesign this is a thin batch driver over the
+/// shared [`crate::queue::JobQueue`] — the same submit/execute machinery
+/// the HTTP server uses — so the two paths cannot diverge: every
+/// manifest line is submitted in order, scoped workers drain the queue,
+/// and outcomes return in manifest order. Determinism is unchanged
+/// (per-job seeds are positional, results land in per-index slots).
 pub fn run_manifest_opts(
     registry: &DomainRegistry,
     jobs: &[JobSpec],
@@ -266,17 +275,50 @@ pub fn run_manifest_opts(
     workers: usize,
     opts: RunOptions<'_>,
 ) -> Vec<JobOutcome> {
-    fan_out(jobs.len(), workers, |index| {
-        run_job(registry, &jobs[index], index, store, opts)
-    })
+    use crate::queue::{JobQueue, QueueOptions};
+
+    let queue = JobQueue::new(
+        registry,
+        store,
+        QueueOptions {
+            capacity: 0, // a manifest is finite; never reject
+            resume: opts.resume,
+            budgets_override: opts.budgets_override,
+            record_events: false, // the global sink already observes
+            retain_done: 0,       // into_outcomes needs every slot
+        },
+        opts.sink,
+    );
+    for (index, job) in jobs.iter().enumerate() {
+        queue
+            .submit(job.clone(), index)
+            .expect("unbounded queue accepts every manifest line");
+    }
+    let workers = effective_workers(workers, jobs.len());
+    if workers <= 1 {
+        queue.drain_worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| queue.drain_worker());
+            }
+        });
+    }
+    queue.into_outcomes()
 }
 
-fn run_job(
+/// Execute one job spec end to end: cache lookup, optional checkpoint
+/// resume, session drive (events to the sink), result normalization,
+/// store commit. The shared per-job engine under both the batch driver
+/// and the serving queue; `cancel` is owned by the caller so a server
+/// can interrupt a running job.
+pub(crate) fn run_job(
     registry: &DomainRegistry,
     job: &JobSpec,
     index: usize,
     store: Option<&ResultStore>,
     opts: RunOptions<'_>,
+    cancel: CancelToken,
 ) -> JobOutcome {
     let start = std::time::Instant::now();
     let mut config = job.config.clone();
@@ -325,12 +367,12 @@ fn run_job(
     };
     let mut resumed = checkpoint.is_some();
     let session =
-        build_session(domain, &config, budgets, CancelToken::new(), checkpoint).or_else(|_| {
+        build_session(domain, &config, budgets, cancel.clone(), checkpoint).or_else(|_| {
             // An incompatible checkpoint (e.g. the domain changed shape
             // since it was written) degrades to a fresh session — and the
             // outcome must not claim it resumed.
             resumed = false;
-            build_session(domain, &config, budgets, CancelToken::new(), None)
+            build_session(domain, &config, budgets, cancel.clone(), None)
         });
     let mut session = match session {
         Ok(s) => s,

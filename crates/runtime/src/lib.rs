@@ -16,17 +16,25 @@
 //!   out over `std::thread::scope` workers with deterministic per-job
 //!   seed derivation (1 worker and N workers produce byte-identical
 //!   results).
+//! * [`queue`] — the shared [`queue::JobQueue`]: submit/poll/cancel and
+//!   per-job event tailing, the one engine under both the batch driver
+//!   and the `xplain-serve` HTTP layer.
 //! * [`store`] — the content-addressed on-disk result store (JSON keyed
 //!   by a hash of domain id + config); repeated jobs are cache hits,
 //!   corrupted entries degrade to recomputes.
+//! * [`watch`] — the NDJSON event wire format shared by `runner --watch`
+//!   and the HTTP streaming endpoint.
 //!
-//! The `runner` binary drives all of it from the command line; see the
-//! README's batch-runner quickstart.
+//! The `runner` binary (in the `xplain-serve` crate, which stacks the
+//! HTTP serving layer on this one) drives all of it from the command
+//! line; see the README's batch-runner quickstart.
 
 pub mod adapters;
 pub mod domain;
 pub mod executor;
+pub mod queue;
 pub mod store;
+pub mod watch;
 
 pub use adapters::{DpDomain, DpDslMapper, FfDomain, FfDslMapper, SchedDomain, SchedDslMapper};
 pub use domain::{
@@ -36,10 +44,18 @@ pub use executor::{
     derive_seed, fan_out, manifest_to_jsonl, parse_manifest, run_manifest, run_manifest_opts,
     EventSink, JobOutcome, JobSpec, RunOptions, SessionFinish,
 };
-pub use store::ResultStore;
+pub use queue::{
+    Disposition, EventsChunk, JobPhase, JobQueue, JobView, QueueCounters, QueueFull, QueueOptions,
+    Submitted,
+};
+pub use store::{GcReport, ResultStore};
+pub use watch::{watch_line, WatchLine};
 // The session vocabulary travels with the runtime so callers need not
 // depend on xplain-core directly.
 pub use xplain_core::session::{
     AnalysisSession, CancelToken, FinishReason, SessionBudgets, SessionBuilder, SessionCheckpoint,
     SessionError, SessionEvent,
 };
+// Solver counters ride on `JobOutcome` and the watch wire format, so
+// their type travels too.
+pub use xplain_lp::SolverCounters;

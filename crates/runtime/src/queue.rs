@@ -1,0 +1,1089 @@
+//! The shared job queue — one submission/polling/cancellation surface
+//! under both the batch runner and the HTTP serving layer.
+//!
+//! Before the serving redesign the executor only offered run-to-completion
+//! entry points (`run_manifest*`): hand it a full manifest, get the full
+//! outcome vector back. A server cannot work that way — jobs arrive one
+//! at a time, clients poll and stream while work is in flight, and
+//! identical queries must coalesce. [`JobQueue`] is the shared substrate:
+//!
+//! * **submit** — [`JobQueue::submit`] appends an indexed job (the batch
+//!   path; `run_manifest_opts` is now a thin wrapper that submits every
+//!   manifest line and drains workers over the queue).
+//!   [`JobQueue::submit_deduped`] is the serving path: jobs are keyed by
+//!   their content-addressed store key, so a resubmitted spec joins the
+//!   in-flight execution, returns the finished outcome, or — when the
+//!   prior execution was cancelled or budget-stopped — starts a new
+//!   execution that resumes from the persisted checkpoint.
+//! * **poll** — [`JobQueue::poll`] snapshots a job's phase and outcome.
+//! * **cancel** — [`JobQueue::cancel`] fires the job's [`CancelToken`];
+//!   a running session checkpoints through the store (resume mode), so a
+//!   later resubmit continues mid-loop.
+//! * **events** — with [`QueueOptions::record_events`], every session
+//!   event is retained as its NDJSON watch line
+//!   ([`crate::watch::watch_line`]); [`JobQueue::wait_events`] lets any
+//!   number of subscribers tail a job's stream from any offset (the HTTP
+//!   `GET /v1/jobs/{id}/events` endpoint is a loop over it).
+//! * **workers** — the queue owns no threads. Callers drive it:
+//!   [`JobQueue::drain_worker`] (batch: run until the queue is empty)
+//!   or [`JobQueue::serve_worker`] (server: block for work until
+//!   [`JobQueue::shutdown`]). Determinism is untouched — per-job seeds
+//!   are positional ([`crate::executor::derive_seed`]), so which worker
+//!   runs a job never matters.
+//!
+//! Shutdown is graceful by construction: it cancels every queued and
+//! running job, running sessions hit their next event boundary, persist
+//! a checkpoint (when a store is attached), and emit their terminal
+//! event; workers then drain and return.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use xplain_core::pipeline::PipelineConfig;
+use xplain_core::session::{CancelToken, FinishReason, SessionBudgets, SessionEvent};
+
+use crate::domain::DomainRegistry;
+use crate::executor::{derive_seed, run_job, EventSink, JobOutcome, JobSpec, RunOptions};
+use crate::store::ResultStore;
+use crate::watch::watch_line;
+
+/// Queue-wide execution policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueOptions {
+    /// Maximum number of *waiting* (not yet running) jobs; submissions
+    /// beyond it are rejected with [`QueueFull`]. `0` = unbounded (the
+    /// batch default — a manifest is finite by construction).
+    pub capacity: usize,
+    /// Load checkpoints before running and persist them per event, so
+    /// cancelled/killed executions continue mid-loop later. Requires a
+    /// store; a no-op without one.
+    pub resume: bool,
+    /// Override every job's budgets (CLI flags beat manifest fields).
+    pub budgets_override: Option<SessionBudgets>,
+    /// Retain each job's events as NDJSON watch lines for subscribers
+    /// ([`JobQueue::wait_events`]). Off for batch runs — the global sink
+    /// already observes events, and manifests can be huge.
+    pub record_events: bool,
+    /// Completed jobs retained in memory (outcome + event log) before
+    /// the oldest are *evicted* — tombstoned and dropped from the key
+    /// index, so a long-lived server's memory stays bounded. An evicted
+    /// job's id answers like an unknown job; resubmitting its spec is
+    /// served from the store (cache hit) or recomputed. `0` = never
+    /// evict (the batch default — `into_outcomes` needs every slot).
+    pub retain_done: usize,
+}
+
+/// A submission was rejected because the queue's waiting line is at
+/// capacity. Carries the depth observed at rejection time so admission
+/// layers can derive a `Retry-After`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    pub depth: usize,
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job queue is full ({} waiting, capacity {})",
+            self.depth, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// Where a job stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    Queued,
+    Running,
+    Done,
+}
+
+impl JobPhase {
+    /// Lowercase wire tag (HTTP responses key on this).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+        }
+    }
+}
+
+/// How a deduplicated submission was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// The outcome already exists (in-memory completion or store entry);
+    /// no new execution was scheduled.
+    CacheHit,
+    /// An identical job is already queued or running; the submission
+    /// joined it.
+    InFlight,
+    /// A fresh execution was queued.
+    Enqueued,
+    /// A prior execution stopped early (cancelled or budget-stopped); a
+    /// new execution was queued that resumes from its checkpoint when
+    /// the store holds one.
+    Resumed,
+}
+
+impl Disposition {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Disposition::CacheHit => "cache_hit",
+            Disposition::InFlight => "in_flight",
+            Disposition::Enqueued => "enqueued",
+            Disposition::Resumed => "resumed",
+        }
+    }
+}
+
+/// Receipt for a deduplicated submission.
+#[derive(Debug, Clone)]
+pub struct Submitted {
+    /// Content-addressed job id (the store key, zero-padded hex).
+    pub id: String,
+    pub key: u64,
+    /// Slot handle for event streaming ([`JobQueue::wait_events`]).
+    pub slot: usize,
+    pub disposition: Disposition,
+}
+
+/// Point-in-time view of one job.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    pub id: String,
+    pub key: u64,
+    pub index: usize,
+    pub domain: String,
+    pub phase: JobPhase,
+    /// Present once `phase == Done`.
+    pub outcome: Option<JobOutcome>,
+    /// Events retained so far (0 unless `record_events`).
+    pub events_logged: usize,
+}
+
+/// One batch of tailed events.
+#[derive(Debug, Clone)]
+pub struct EventsChunk {
+    /// NDJSON watch lines from the requested offset (no trailing
+    /// newlines).
+    pub lines: Vec<String>,
+    /// The job's stream is complete — no further lines will appear.
+    pub done: bool,
+}
+
+/// Monotonic queue counters (metrics surface).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueCounters {
+    /// Accepted submissions, every disposition (joins and cache-served
+    /// answers included).
+    pub submitted: u64,
+    /// Executions that reached `Done` (inline cache answers included).
+    pub completed: u64,
+    /// Submissions answered from cache — memory or store — plus
+    /// executions whose outcome was a store hit.
+    pub cache_hits: u64,
+    pub cancelled: u64,
+    /// Submissions rejected with [`QueueFull`].
+    pub rejected_full: u64,
+}
+
+enum SlotState {
+    Queued,
+    Running,
+    Done(Box<JobOutcome>),
+    /// Tombstone: the outcome and event log were released under
+    /// [`QueueOptions::retain_done`] pressure. Slot handles stay valid
+    /// but the job no longer resolves, and event reads answer `None`
+    /// (a mid-replay subscriber must observe truncation, not a
+    /// "complete" stream missing its tail).
+    Evicted,
+}
+
+/// How the in-memory state answers a deduplicated submission (`None`:
+/// the key is unknown in memory; consult the store / enqueue fresh).
+enum MemDedup {
+    /// An existing slot serves the submission as-is.
+    Answer(usize, Disposition),
+    /// The prior execution stopped early; enqueue a resuming one.
+    Resume,
+}
+
+struct JobSlot {
+    spec: JobSpec,
+    /// Config with the positional seed derived — the store-key input.
+    derived: PipelineConfig,
+    key: u64,
+    index: usize,
+    domain: String,
+    state: SlotState,
+    cancel: CancelToken,
+    /// NDJSON watch lines (only when `record_events`).
+    events: Vec<String>,
+    /// No further events will be appended.
+    events_done: bool,
+}
+
+struct QueueState {
+    slots: Vec<JobSlot>,
+    pending: VecDeque<usize>,
+    /// Content key → newest slot (deduplicated submissions only).
+    by_key: HashMap<u64, usize>,
+    /// Completion order, oldest first — the eviction queue when
+    /// [`QueueOptions::retain_done`] bounds retained completions.
+    done_order: VecDeque<usize>,
+}
+
+/// The shared job queue. See the module docs for the contract.
+pub struct JobQueue<'a> {
+    registry: &'a DomainRegistry,
+    store: Option<&'a ResultStore>,
+    opts: QueueOptions,
+    /// Global observer (the batch `--watch` sink); per-job event logs are
+    /// separate and gated on `record_events`.
+    sink: Option<EventSink<'a>>,
+    state: Mutex<QueueState>,
+    /// Wakes workers when work arrives or shutdown fires.
+    work_cv: Condvar,
+    /// Wakes event subscribers and completion pollers.
+    event_cv: Condvar,
+    shutting_down: AtomicBool,
+    active: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cancelled: AtomicU64,
+    rejected_full: AtomicU64,
+}
+
+impl<'a> JobQueue<'a> {
+    pub fn new(
+        registry: &'a DomainRegistry,
+        store: Option<&'a ResultStore>,
+        opts: QueueOptions,
+        sink: Option<EventSink<'a>>,
+    ) -> Self {
+        JobQueue {
+            registry,
+            store,
+            opts,
+            sink,
+            state: Mutex::new(QueueState {
+                slots: Vec::new(),
+                pending: VecDeque::new(),
+                by_key: HashMap::new(),
+                done_order: VecDeque::new(),
+            }),
+            work_cv: Condvar::new(),
+            event_cv: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+        }
+    }
+
+    /// Content-addressed identity of a spec at a manifest position: the
+    /// store key of its domain + seed-derived config.
+    pub fn job_key(spec: &JobSpec, index: usize) -> u64 {
+        let mut config = spec.config.clone();
+        config.seed = derive_seed(spec.seed, index as u64);
+        ResultStore::key(&spec.domain, &config)
+    }
+
+    /// Format a key as the public job id.
+    pub fn format_id(key: u64) -> String {
+        format!("{key:016x}")
+    }
+
+    /// Parse a public job id back into a key (`None` on malformed input).
+    pub fn parse_id(id: &str) -> Option<u64> {
+        (id.len() == 16).then(|| u64::from_str_radix(id, 16).ok())?
+    }
+
+    fn derived_config(spec: &JobSpec, index: usize) -> PipelineConfig {
+        let mut config = spec.config.clone();
+        config.seed = derive_seed(spec.seed, index as u64);
+        config
+    }
+
+    fn effective_budgets(&self, spec: &JobSpec) -> SessionBudgets {
+        self.opts.budgets_override.unwrap_or(spec.budgets)
+    }
+
+    fn new_slot(spec: JobSpec, index: usize) -> JobSlot {
+        let derived = Self::derived_config(&spec, index);
+        let key = ResultStore::key(&spec.domain, &derived);
+        let domain = spec.domain.clone();
+        JobSlot {
+            spec,
+            derived,
+            key,
+            index,
+            domain,
+            state: SlotState::Queued,
+            cancel: CancelToken::new(),
+            events: Vec::new(),
+            events_done: false,
+        }
+    }
+
+    /// Append an indexed job (the batch path — no deduplication; a
+    /// manifest may legitimately repeat specs at different positions).
+    /// Returns the slot handle.
+    pub fn submit(&self, spec: JobSpec, index: usize) -> Result<usize, QueueFull> {
+        let mut state = self.state.lock().expect("queue state");
+        if self.opts.capacity > 0 && state.pending.len() >= self.opts.capacity {
+            self.rejected_full.fetch_add(1, Ordering::Relaxed);
+            return Err(QueueFull {
+                depth: state.pending.len(),
+                capacity: self.opts.capacity,
+            });
+        }
+        let slot_idx = state.slots.len();
+        let slot = Self::new_slot(spec, index);
+        state.by_key.insert(slot.key, slot_idx);
+        state.slots.push(slot);
+        state.pending.push_back(slot_idx);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        self.work_cv.notify_one();
+        Ok(slot_idx)
+    }
+
+    /// The serving path: submit one spec (always at index 0 — a single
+    /// HTTP submission has no manifest position), deduplicated against
+    /// both in-memory jobs and the content-addressed store.
+    ///
+    /// Budget caveat: the content key excludes budgets, so an
+    /// [`Disposition::InFlight`] join may pin the caller to an execution
+    /// running under *different* budgets than it asked for — possibly
+    /// observing a budget-stopped partial outcome (visibly marked
+    /// `finish.natural == false`). That is the documented contract for
+    /// budget-stopped work everywhere in this stack: resubmit, and the
+    /// next execution resumes from the checkpoint under the new
+    /// submission's budgets.
+    pub fn submit_deduped(&self, spec: JobSpec) -> Result<Submitted, QueueFull> {
+        let index = 0usize;
+        let derived = Self::derived_config(&spec, index);
+        let key = ResultStore::key(&spec.domain, &derived);
+        let id = Self::format_id(key);
+        let budgets = self.effective_budgets(&spec);
+
+        // Fast path: answer from in-memory state alone — the hot route
+        // for repeat queries, no disk touched.
+        let state = self.state.lock().expect("queue state");
+        match Self::dedup_in_memory(&state, key) {
+            Some(MemDedup::Answer(slot, disposition)) => {
+                return Ok(self.noted(slot, disposition, id, key))
+            }
+            Some(MemDedup::Resume) => {
+                return self.enqueue_locked(state, spec, index, Disposition::Resumed)
+            }
+            None => {}
+        }
+
+        // Miss: consult the store (unlimited budgets only — partial
+        // results never alias the canonical entry) to answer inline
+        // without occupying a worker. The read happens with the lock
+        // RELEASED — disk I/O under the queue mutex would stall every
+        // event sink and poller — then the in-memory state is
+        // re-checked: a racing submitter of the same key wins, and the
+        // race only cost this thread a wasted read.
+        drop(state);
+        let cached = match (budgets.is_unlimited(), self.store) {
+            (true, Some(store)) => store.lookup(&spec.domain, &derived),
+            _ => None,
+        };
+        let mut state = self.state.lock().expect("queue state");
+        match Self::dedup_in_memory(&state, key) {
+            Some(MemDedup::Answer(slot, disposition)) => {
+                return Ok(self.noted(slot, disposition, id, key))
+            }
+            Some(MemDedup::Resume) => {
+                return self.enqueue_locked(state, spec, index, Disposition::Resumed)
+            }
+            None => {}
+        }
+
+        if let Some(result) = cached {
+            let slot_idx = state.slots.len();
+            let mut slot = Self::new_slot(spec, index);
+            slot.state = SlotState::Done(Box::new(JobOutcome {
+                index,
+                domain: slot.domain.clone(),
+                derived_seed: slot.derived.seed,
+                cache_hit: true,
+                wall_time_ms: 0,
+                solver: Default::default(),
+                result: Some(result),
+                error: None,
+                finish: None,
+            }));
+            slot.events_done = true;
+            state.by_key.insert(key, slot_idx);
+            state.slots.push(slot);
+            self.submitted.fetch_add(1, Ordering::Relaxed);
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.mark_done_locked(&mut state, slot_idx);
+            drop(state);
+            self.event_cv.notify_all();
+            return Ok(Submitted {
+                id,
+                key,
+                slot: slot_idx,
+                disposition: Disposition::CacheHit,
+            });
+        }
+
+        self.enqueue_locked(state, spec, index, Disposition::Enqueued)
+    }
+
+    /// Classify what the in-memory state can do for a submission of
+    /// `key` (see [`MemDedup`]). Pure read; counters are the caller's.
+    fn dedup_in_memory(state: &QueueState, key: u64) -> Option<MemDedup> {
+        let &slot_idx = state.by_key.get(&key)?;
+        match &state.slots[slot_idx].state {
+            SlotState::Queued | SlotState::Running => {
+                Some(MemDedup::Answer(slot_idx, Disposition::InFlight))
+            }
+            SlotState::Done(outcome) => {
+                let stopped_early =
+                    outcome.finish.as_ref().is_some_and(|f| !f.natural) && outcome.error.is_none();
+                if stopped_early {
+                    // Cancelled or budget-stopped: a new execution can
+                    // resume the checkpoint.
+                    Some(MemDedup::Resume)
+                } else {
+                    // Natural completion, cache hit, or terminal error:
+                    // the outcome stands; serve it.
+                    Some(MemDedup::Answer(slot_idx, Disposition::CacheHit))
+                }
+            }
+            // An evicted slot no longer answers for its key (the map
+            // should not point here, but a racing evict may have just
+            // cleared it).
+            SlotState::Evicted => None,
+        }
+    }
+
+    /// Count and package an in-memory dedup answer.
+    fn noted(&self, slot: usize, disposition: Disposition, id: String, key: u64) -> Submitted {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        if disposition == Disposition::CacheHit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Submitted {
+            id,
+            key,
+            slot,
+            disposition,
+        }
+    }
+
+    fn enqueue_locked(
+        &self,
+        mut state: std::sync::MutexGuard<'_, QueueState>,
+        spec: JobSpec,
+        index: usize,
+        disposition: Disposition,
+    ) -> Result<Submitted, QueueFull> {
+        if self.opts.capacity > 0 && state.pending.len() >= self.opts.capacity {
+            self.rejected_full.fetch_add(1, Ordering::Relaxed);
+            return Err(QueueFull {
+                depth: state.pending.len(),
+                capacity: self.opts.capacity,
+            });
+        }
+        let slot_idx = state.slots.len();
+        let slot = Self::new_slot(spec, index);
+        let (id, key) = (Self::format_id(slot.key), slot.key);
+        state.by_key.insert(key, slot_idx);
+        state.slots.push(slot);
+        state.pending.push_back(slot_idx);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        self.work_cv.notify_one();
+        Ok(Submitted {
+            id,
+            key,
+            slot: slot_idx,
+            disposition,
+        })
+    }
+
+    /// Record a completion for eviction accounting and, under
+    /// [`QueueOptions::retain_done`] pressure, tombstone the oldest
+    /// completed slots: release their outcome + event log and drop them
+    /// from the key index. Call with the slot already `Done`.
+    fn mark_done_locked(&self, state: &mut QueueState, slot_idx: usize) {
+        state.done_order.push_back(slot_idx);
+        if self.opts.retain_done == 0 {
+            return;
+        }
+        while state.done_order.len() > self.opts.retain_done {
+            let oldest = state.done_order.pop_front().expect("non-empty done queue");
+            let key = state.slots[oldest].key;
+            let slot = &mut state.slots[oldest];
+            slot.state = SlotState::Evicted;
+            slot.events = Vec::new();
+            slot.events_done = true;
+            if state.by_key.get(&key) == Some(&oldest) {
+                state.by_key.remove(&key);
+            }
+        }
+    }
+
+    /// Complete a not-yet-running slot as cancelled (it never started, so
+    /// there is no checkpoint) — shared by [`JobQueue::cancel`] and
+    /// [`JobQueue::shutdown`]. Caller removes the slot from `pending`.
+    fn complete_cancelled_locked(&self, state: &mut QueueState, slot_idx: usize) {
+        let slot = &mut state.slots[slot_idx];
+        let budgets = self.effective_budgets(&slot.spec);
+        slot.state = SlotState::Done(Box::new(JobOutcome {
+            index: slot.index,
+            domain: slot.domain.clone(),
+            derived_seed: slot.derived.seed,
+            cache_hit: false,
+            wall_time_ms: 0,
+            solver: Default::default(),
+            result: None,
+            error: None,
+            finish: Some(crate::executor::SessionFinish {
+                reason: FinishReason::Cancelled,
+                natural: false,
+                resumed: false,
+                events: 0,
+                budgets,
+            }),
+        }));
+        slot.events_done = true;
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.mark_done_locked(state, slot_idx);
+    }
+
+    /// Resolve a job id to its newest slot handle.
+    pub fn resolve(&self, key: u64) -> Option<usize> {
+        self.state
+            .lock()
+            .expect("queue state")
+            .by_key
+            .get(&key)
+            .copied()
+    }
+
+    /// Snapshot one job by key (its newest slot).
+    pub fn poll(&self, key: u64) -> Option<JobView> {
+        let state = self.state.lock().expect("queue state");
+        let &slot_idx = state.by_key.get(&key)?;
+        Some(Self::view_of(&state.slots[slot_idx]))
+    }
+
+    fn view_of(slot: &JobSlot) -> JobView {
+        let (phase, outcome) = match &slot.state {
+            SlotState::Queued => (JobPhase::Queued, None),
+            SlotState::Running => (JobPhase::Running, None),
+            SlotState::Done(o) => (JobPhase::Done, Some((**o).clone())),
+            // Unreachable through `poll` (eviction drops the key index);
+            // defensively reads as a completed job with nothing left.
+            SlotState::Evicted => (JobPhase::Done, None),
+        };
+        JobView {
+            id: Self::format_id(slot.key),
+            key: slot.key,
+            index: slot.index,
+            domain: slot.domain.clone(),
+            phase,
+            outcome,
+            events_logged: slot.events.len(),
+        }
+    }
+
+    /// Request cancellation of a job. A queued job is removed and
+    /// completed as cancelled without running (no checkpoint — it never
+    /// started); a running job's token fires and its session checkpoints
+    /// at the next event boundary (resume mode with a store). Returns the
+    /// phase the job was in, or `None` for unknown keys.
+    pub fn cancel(&self, key: u64) -> Option<JobPhase> {
+        let mut state = self.state.lock().expect("queue state");
+        let &slot_idx = state.by_key.get(&key)?;
+        let phase = match &state.slots[slot_idx].state {
+            SlotState::Queued => {
+                state.pending.retain(|&i| i != slot_idx);
+                self.complete_cancelled_locked(&mut state, slot_idx);
+                JobPhase::Queued
+            }
+            SlotState::Running => {
+                state.slots[slot_idx].cancel.cancel();
+                JobPhase::Running
+            }
+            SlotState::Done(_) | SlotState::Evicted => JobPhase::Done,
+        };
+        drop(state);
+        self.event_cv.notify_all();
+        Some(phase)
+    }
+
+    /// Cheap phase probe by key — no outcome clone, unlike
+    /// [`JobQueue::poll`] (the submit hot path only needs the word).
+    pub fn phase(&self, key: u64) -> Option<JobPhase> {
+        let state = self.state.lock().expect("queue state");
+        let &slot_idx = state.by_key.get(&key)?;
+        Some(match &state.slots[slot_idx].state {
+            SlotState::Queued => JobPhase::Queued,
+            SlotState::Running => JobPhase::Running,
+            SlotState::Done(_) | SlotState::Evicted => JobPhase::Done,
+        })
+    }
+
+    /// Tail a job's event lines from `from`, blocking up to `timeout`
+    /// when nothing new is available yet. Use the slot handle from
+    /// [`Submitted::slot`] / [`JobQueue::resolve`] so a stream stays
+    /// pinned to one execution even if the key is resubmitted.
+    ///
+    /// Returns `None` for unknown handles **and for evicted slots**: an
+    /// eviction racing a mid-replay subscriber must not let the stream
+    /// end as if complete — the caller aborts without a clean terminator
+    /// so the client sees truncation, not a well-formed partial log.
+    pub fn wait_events(&self, slot: usize, from: usize, timeout: Duration) -> Option<EventsChunk> {
+        let mut state = self.state.lock().expect("queue state");
+        if slot >= state.slots.len() {
+            return None;
+        }
+        if matches!(state.slots[slot].state, SlotState::Evicted) {
+            return None;
+        }
+        if state.slots[slot].events.len() <= from && !state.slots[slot].events_done {
+            let (guard, _timeout) = self
+                .event_cv
+                .wait_timeout(state, timeout)
+                .expect("queue state");
+            state = guard;
+        }
+        let s = &state.slots[slot];
+        if matches!(s.state, SlotState::Evicted) {
+            return None; // evicted while we waited
+        }
+        Some(EventsChunk {
+            lines: s.events.get(from..).unwrap_or_default().to_vec(),
+            done: s.events_done,
+        })
+    }
+
+    /// Block until a slot's job completes (tests and synchronous
+    /// clients). Returns the final view.
+    pub fn wait_done(&self, slot: usize) -> Option<JobView> {
+        let mut state = self.state.lock().expect("queue state");
+        loop {
+            if slot >= state.slots.len() {
+                return None;
+            }
+            if matches!(state.slots[slot].state, SlotState::Done(_)) {
+                return Some(Self::view_of(&state.slots[slot]));
+            }
+            state = self
+                .event_cv
+                .wait_timeout(state, Duration::from_millis(200))
+                .expect("queue state")
+                .0;
+        }
+    }
+
+    /// Number of jobs waiting to run.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue state").pending.len()
+    }
+
+    /// Number of jobs currently executing.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    pub fn counters(&self) -> QueueCounters {
+        QueueCounters {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting work (serve workers exit once
+    /// idle), cancel every queued job, and fire every running job's
+    /// token — sessions checkpoint at their next event boundary and emit
+    /// their terminal event, so subscribers' streams end cleanly.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Relaxed);
+        let mut state = self.state.lock().expect("queue state");
+        let waiting: Vec<usize> = state.pending.drain(..).collect();
+        for slot_idx in waiting {
+            self.complete_cancelled_locked(&mut state, slot_idx);
+        }
+        for slot in &state.slots {
+            if matches!(slot.state, SlotState::Running) {
+                slot.cancel.cancel();
+            }
+        }
+        drop(state);
+        self.work_cv.notify_all();
+        self.event_cv.notify_all();
+    }
+
+    /// Batch worker: run jobs until the queue is empty, then return.
+    pub fn drain_worker(&self) {
+        loop {
+            let slot_idx = {
+                let mut state = self.state.lock().expect("queue state");
+                match state.pending.pop_front() {
+                    Some(i) => {
+                        state.slots[i].state = SlotState::Running;
+                        i
+                    }
+                    None => return,
+                }
+            };
+            self.execute(slot_idx);
+        }
+    }
+
+    /// Server worker: block for work until [`JobQueue::shutdown`], then
+    /// return once the queue is drained.
+    pub fn serve_worker(&self) {
+        loop {
+            let slot_idx = {
+                let mut state = self.state.lock().expect("queue state");
+                loop {
+                    if let Some(i) = state.pending.pop_front() {
+                        state.slots[i].state = SlotState::Running;
+                        break i;
+                    }
+                    if self.is_shutting_down() {
+                        return;
+                    }
+                    state = self
+                        .work_cv
+                        .wait_timeout(state, Duration::from_millis(100))
+                        .expect("queue state")
+                        .0;
+                }
+            };
+            self.execute(slot_idx);
+        }
+    }
+
+    fn execute(&self, slot_idx: usize) {
+        self.active.fetch_add(1, Ordering::Relaxed);
+        let (spec, index, domain, cancel) = {
+            let state = self.state.lock().expect("queue state");
+            let slot = &state.slots[slot_idx];
+            (
+                slot.spec.clone(),
+                slot.index,
+                slot.domain.clone(),
+                slot.cancel.clone(),
+            )
+        };
+        let record = self.opts.record_events;
+        let sink = |idx: usize, event: &SessionEvent| {
+            if record {
+                let line = watch_line(idx, &domain, event);
+                let mut state = self.state.lock().expect("queue state");
+                state.slots[slot_idx].events.push(line);
+                drop(state);
+                self.event_cv.notify_all();
+            }
+            if let Some(outer) = self.sink {
+                outer(idx, event);
+            }
+        };
+        let opts = RunOptions {
+            budgets_override: self.opts.budgets_override,
+            resume: self.opts.resume,
+            sink: Some(&sink),
+        };
+        // A panicking job must not take a long-lived worker down with it
+        // (the slot would stay Running forever and every poller and
+        // event subscriber would hang). Catch the unwind and convert it
+        // to an error outcome; the batch runner still exits nonzero on
+        // any error outcome, so CI stays loud.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(self.registry, &spec, index, self.store, opts, cancel)
+        }))
+        .unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked with a non-string payload".to_string());
+            JobOutcome {
+                index,
+                domain: spec.domain.clone(),
+                derived_seed: derive_seed(spec.seed, index as u64),
+                cache_hit: false,
+                wall_time_ms: 0,
+                solver: Default::default(),
+                result: None,
+                error: Some(xplain_core::session::SessionError::Internal { message }),
+                finish: None,
+            }
+        });
+
+        if outcome.cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if outcome
+            .finish
+            .as_ref()
+            .is_some_and(|f| f.reason == FinishReason::Cancelled)
+        {
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+
+        let mut state = self.state.lock().expect("queue state");
+        let slot = &mut state.slots[slot_idx];
+        slot.state = SlotState::Done(Box::new(outcome));
+        slot.events_done = true;
+        self.mark_done_locked(&mut state, slot_idx);
+        drop(state);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        self.event_cv.notify_all();
+    }
+
+    /// Consume the queue, returning every outcome in submission order.
+    ///
+    /// # Panics
+    /// If any job has not completed, or was evicted — the batch path
+    /// only calls this after its workers drained, and batch queues run
+    /// with `retain_done: 0` (never evict).
+    pub fn into_outcomes(self) -> Vec<JobOutcome> {
+        let state = self.state.into_inner().expect("queue state");
+        state
+            .slots
+            .into_iter()
+            .map(|slot| match slot.state {
+                SlotState::Done(outcome) => *outcome,
+                _ => panic!("into_outcomes called with unfinished or evicted jobs"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xplain_core::session::SessionError;
+
+    fn spec(domain: &str, seed: u64) -> JobSpec {
+        JobSpec {
+            domain: domain.into(),
+            config: PipelineConfig::default(),
+            seed,
+            budgets: SessionBudgets::unlimited(),
+        }
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        let key = JobQueue::job_key(&spec("dp", 7), 0);
+        let id = JobQueue::format_id(key);
+        assert_eq!(id.len(), 16);
+        assert_eq!(JobQueue::parse_id(&id), Some(key));
+        assert_eq!(JobQueue::parse_id("nope"), None);
+        assert_eq!(JobQueue::parse_id("zz00000000000000"), None);
+    }
+
+    #[test]
+    fn capacity_rejects_with_queue_full() {
+        let registry = DomainRegistry::builtin();
+        let queue = JobQueue::new(
+            &registry,
+            None,
+            QueueOptions {
+                capacity: 1,
+                ..Default::default()
+            },
+            None,
+        );
+        queue.submit_deduped(spec("dp", 1)).unwrap();
+        let err = queue.submit_deduped(spec("dp", 2)).unwrap_err();
+        assert_eq!(err.capacity, 1);
+        assert_eq!(err.depth, 1);
+        assert_eq!(queue.counters().rejected_full, 1);
+        // Identical spec still joins in-flight work even at capacity.
+        let joined = queue.submit_deduped(spec("dp", 1)).unwrap();
+        assert_eq!(joined.disposition, Disposition::InFlight);
+    }
+
+    #[test]
+    fn unknown_domain_runs_to_error_outcome_and_dedups_as_done() {
+        let registry = DomainRegistry::builtin();
+        let queue = JobQueue::new(
+            &registry,
+            None,
+            QueueOptions {
+                record_events: true,
+                ..Default::default()
+            },
+            None,
+        );
+        let sub = queue.submit_deduped(spec("no-such", 1)).unwrap();
+        assert_eq!(sub.disposition, Disposition::Enqueued);
+        queue.drain_worker();
+        let view = queue.poll(sub.key).unwrap();
+        assert_eq!(view.phase, JobPhase::Done);
+        let outcome = view.outcome.unwrap();
+        assert_eq!(
+            outcome.error,
+            Some(SessionError::UnknownDomain {
+                id: "no-such".into()
+            })
+        );
+        // Resubmitting a terminally failed job serves the failure, it
+        // does not re-run it.
+        let again = queue.submit_deduped(spec("no-such", 1)).unwrap();
+        assert_eq!(again.disposition, Disposition::CacheHit);
+        assert_eq!(again.slot, sub.slot);
+        // Its (empty) event stream reads as complete.
+        let chunk = queue
+            .wait_events(sub.slot, 0, Duration::from_millis(10))
+            .unwrap();
+        assert!(chunk.done);
+    }
+
+    #[test]
+    fn cancel_of_queued_job_completes_without_running() {
+        let registry = DomainRegistry::builtin();
+        let queue = JobQueue::new(&registry, None, QueueOptions::default(), None);
+        let sub = queue.submit_deduped(spec("dp", 9)).unwrap();
+        // No worker running: the job sits queued; cancel it.
+        assert_eq!(queue.cancel(sub.key), Some(JobPhase::Queued));
+        let view = queue.poll(sub.key).unwrap();
+        assert_eq!(view.phase, JobPhase::Done);
+        let finish = view.outcome.unwrap().finish.unwrap();
+        assert_eq!(finish.reason, FinishReason::Cancelled);
+        assert!(!finish.natural);
+        assert_eq!(queue.depth(), 0);
+        assert_eq!(queue.counters().cancelled, 1);
+        // Unknown keys answer None.
+        assert_eq!(queue.cancel(0xdead), None);
+    }
+
+    #[test]
+    fn retain_done_evicts_oldest_completions() {
+        let registry = DomainRegistry::builtin();
+        let queue = JobQueue::new(
+            &registry,
+            None,
+            QueueOptions {
+                record_events: true,
+                retain_done: 1,
+                ..Default::default()
+            },
+            None,
+        );
+        // Error outcomes complete instantly — cheap Done slots.
+        let a = queue.submit_deduped(spec("no-such", 1)).unwrap();
+        queue.drain_worker();
+        let b = queue.submit_deduped(spec("no-such", 2)).unwrap();
+        queue.drain_worker();
+        // Only the newest completion is retained; the oldest is
+        // tombstoned and its id no longer resolves.
+        assert!(queue.poll(a.key).is_none(), "evicted job must not resolve");
+        assert!(queue.poll(b.key).is_some());
+        assert!(queue.resolve(a.key).is_none());
+        // An evicted slot refuses event reads entirely (None): a
+        // subscriber caught mid-replay must see truncation, never a
+        // "complete" stream missing its tail.
+        assert!(queue
+            .wait_events(a.slot, 0, Duration::from_millis(10))
+            .is_none());
+        // Resubmitting the evicted spec schedules a fresh execution.
+        let again = queue.submit_deduped(spec("no-such", 1)).unwrap();
+        assert_eq!(again.disposition, Disposition::Enqueued);
+    }
+
+    #[test]
+    fn panicking_job_becomes_an_error_outcome_not_a_dead_worker() {
+        use xplain_analyzer::oracle::GapOracle;
+        use xplain_core::explainer::DslMapper;
+        use xplain_core::generalizer::Observation;
+
+        struct BoomDomain;
+        impl crate::domain::Domain for BoomDomain {
+            fn id(&self) -> &str {
+                "boom"
+            }
+            fn description(&self) -> String {
+                "panics on purpose".into()
+            }
+            fn oracle(&self) -> Box<dyn GapOracle> {
+                panic!("kaboom: oracle construction failed")
+            }
+            fn mapper(&self) -> Option<Box<dyn DslMapper>> {
+                None
+            }
+            fn seeds(&self) -> Vec<Vec<f64>> {
+                Vec::new()
+            }
+            fn instance_family(&self, _seed: u64) -> Vec<Observation> {
+                Vec::new()
+            }
+        }
+
+        let mut registry = DomainRegistry::empty();
+        registry.register(Box::new(BoomDomain));
+        let queue = JobQueue::new(&registry, None, QueueOptions::default(), None);
+        let sub = queue.submit_deduped(spec("boom", 1)).unwrap();
+        // The worker survives the panic…
+        queue.drain_worker();
+        let view = queue.poll(sub.key).unwrap();
+        assert_eq!(view.phase, JobPhase::Done);
+        let error = view.outcome.unwrap().error.expect("panic becomes error");
+        let SessionError::Internal { message } = &error else {
+            panic!("expected Internal, got {error:?}");
+        };
+        assert!(message.contains("kaboom"), "{message}");
+        assert_eq!(queue.active(), 0, "active gauge must not leak");
+        // …and keeps working afterwards.
+        let ok = queue.submit_deduped(spec("boom", 2)).unwrap();
+        queue.drain_worker();
+        assert_eq!(queue.poll(ok.key).unwrap().phase, JobPhase::Done);
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_work() {
+        let registry = DomainRegistry::builtin();
+        let queue = JobQueue::new(&registry, None, QueueOptions::default(), None);
+        let a = queue.submit_deduped(spec("dp", 1)).unwrap();
+        let b = queue.submit_deduped(spec("ff", 2)).unwrap();
+        queue.shutdown();
+        assert!(queue.is_shutting_down());
+        for sub in [a, b] {
+            let view = queue.poll(sub.key).unwrap();
+            assert_eq!(view.phase, JobPhase::Done);
+            assert_eq!(
+                view.outcome.unwrap().finish.unwrap().reason,
+                FinishReason::Cancelled
+            );
+        }
+        // A serve worker started after shutdown returns immediately.
+        queue.serve_worker();
+    }
+}

@@ -50,6 +50,15 @@ pub struct ResultStore {
     dir: PathBuf,
 }
 
+/// What [`ResultStore::gc`] reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Orphaned `{key}.ckpt` files deleted.
+    pub checkpoints_removed: usize,
+    /// Their total size on disk.
+    pub bytes_reclaimed: u64,
+}
+
 /// Unique-ish suffix counter for temp files (concurrent writers on the
 /// same key must not interleave partial writes; each writes its own temp
 /// file and atomically renames it into place).
@@ -178,6 +187,49 @@ impl ResultStore {
     /// and the result was committed). Missing files are fine.
     pub fn clear_checkpoint(&self, domain: &str, config: &PipelineConfig) {
         let _ = fs::remove_file(self.checkpoint_path(domain, config));
+    }
+
+    /// Sweep orphaned checkpoints: delete every `{key}.ckpt` whose
+    /// `{key}.json` result exists. A naturally finishing session clears
+    /// its own checkpoint, but a killed `--resume` run followed by a
+    /// plain (non-resume) rerun commits the result while leaving the
+    /// checkpoint stranded — dead weight that would otherwise sit on
+    /// disk forever. Checkpoints without a committed result are live
+    /// (something may still resume them) and are never touched.
+    ///
+    /// Budget-limited interrupts can leave a checkpoint next to a
+    /// committed result too (partials bypass the cache, so a run under
+    /// budgets recomputes a config whose full result already exists).
+    /// Sweeping such a checkpoint never loses information — the
+    /// canonical natural result is already on disk, and a session
+    /// resumed to completion converges to those same bytes — it only
+    /// trades the partial run's saved compute for the disk space.
+    ///
+    /// Returns what was reclaimed; failures to stat or remove individual
+    /// files are skipped (same degrade-don't-fail philosophy as reads).
+    pub fn gc(&self) -> GcReport {
+        let mut report = GcReport::default();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return report;
+        };
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if path.extension().is_none_or(|x| x != "ckpt") {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if !self.dir.join(format!("{stem}.json")).is_file() {
+                continue; // live checkpoint: no committed result yet
+            }
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            if fs::remove_file(&path).is_ok() {
+                report.checkpoints_removed += 1;
+                report.bytes_reclaimed += bytes;
+            }
+        }
+        report
     }
 
     /// Number of committed entries on disk.
@@ -370,6 +422,38 @@ mod tests {
         store.clear_checkpoint("dp", &config);
         assert!(store.load_checkpoint("dp", &config).is_none());
         store.clear_checkpoint("dp", &config); // idempotent
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_removes_stranded_checkpoints_only() {
+        let store = ResultStore::new(scratch_dir("gc"));
+        let config_done = PipelineConfig::default();
+        let mut config_live = PipelineConfig::default();
+        config_live.seed ^= 1;
+
+        // Craft the stranded shape: a committed result AND a leftover
+        // checkpoint under the same key (what a killed `--resume` run
+        // followed by a plain batch rerun leaves behind).
+        store.insert("dp", &config_done, &dummy_result(1)).unwrap();
+        let fake_ckpt = "{\"domain\":\"dp\",\"stale\":true}";
+        fs::write(store.checkpoint_path("dp", &config_done), fake_ckpt).unwrap();
+        // A live checkpoint: no committed result for its key.
+        fs::write(store.checkpoint_path("dp", &config_live), fake_ckpt).unwrap();
+
+        let report = store.gc();
+        assert_eq!(report.checkpoints_removed, 1);
+        assert_eq!(report.bytes_reclaimed, fake_ckpt.len() as u64);
+        // The stranded one is gone; result and live checkpoint survive.
+        assert!(!store.checkpoint_path("dp", &config_done).exists());
+        assert!(store.checkpoint_path("dp", &config_live).exists());
+        assert!(store.lookup("dp", &config_done).is_some());
+        assert_eq!(store.len(), 1);
+
+        // Idempotent; and a store with nothing stranded reclaims nothing.
+        assert_eq!(store.gc(), GcReport::default());
+        // Missing directory: zero report, no panic.
+        assert_eq!(ResultStore::new("/no/such/dir").gc(), GcReport::default());
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -1,0 +1,232 @@
+//! Concurrent access to one store directory must never corrupt entries.
+//!
+//! The serving layer makes this load-bearing: multiple server workers —
+//! and, across processes, a server plus a batch runner — share one
+//! content-addressed directory. The store's contract under that traffic
+//! is: every read returns a *valid* entry (the full bytes of some
+//! committed write) or a clean miss that degrades to a recompute; never
+//! a torn file, never a panic. The write-to-temp + atomic-rename
+//! discipline is what guarantees it; these tests hammer exactly that.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use xplain_core::pipeline::{PipelineConfig, PipelineResult, PIPELINE_SCHEMA_VERSION};
+use xplain_core::subspace::SubspaceParams;
+use xplain_core::{ExplainerParams, SignificanceParams};
+use xplain_runtime::{run_manifest, DomainRegistry, JobSpec, ResultStore, SessionBudgets};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "xplain-store-concurrency-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn dummy_result(rejected: usize) -> PipelineResult {
+    PipelineResult {
+        schema_version: PIPELINE_SCHEMA_VERSION,
+        findings: Vec::new(),
+        rejected,
+        analyzer_calls: 1,
+        coverage: None,
+        oracle_evaluations: 42,
+        wall_time_ms: 0,
+        solver: Default::default(),
+    }
+}
+
+/// N writer threads race two distinct payloads onto the SAME key while
+/// N reader threads poll it: every successful read must be one of the
+/// two committed payloads, whole — a torn or interleaved file would
+/// parse to garbage (miss at best, wrong bytes at worst, both counted
+/// here).
+#[test]
+fn same_key_hammered_from_many_threads_reads_whole_entries_or_misses() {
+    let store = ResultStore::new(scratch_dir("hammer"));
+    let config = PipelineConfig::default();
+    let hits = AtomicUsize::new(0);
+    let misses = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for writer in 0..4usize {
+            let store = &store;
+            let config = &config;
+            scope.spawn(move || {
+                for i in 0..50 {
+                    // Two alternating payloads → concurrent overwrites of
+                    // the same final path from different temp files.
+                    let payload = dummy_result(if (writer + i) % 2 == 0 { 1 } else { 2 });
+                    store
+                        .insert("dp", config, &payload)
+                        .expect("insert under contention");
+                }
+            });
+        }
+        for _ in 0..4usize {
+            let store = &store;
+            let config = &config;
+            let hits = &hits;
+            let misses = &misses;
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    match store.lookup("dp", config) {
+                        Some(result) => {
+                            assert!(
+                                result.rejected == 1 || result.rejected == 2,
+                                "read returned bytes no writer committed: {result:?}"
+                            );
+                            assert_eq!(result.oracle_evaluations, 42);
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // After the dust settles the entry is valid (writers committed 200
+    // times; rename is atomic, so the final file is whole).
+    let settled = store.lookup("dp", &config).expect("final entry is a hit");
+    assert!(settled.rejected == 1 || settled.rejected == 2);
+    // Sanity on the traffic itself: the readers genuinely raced writers.
+    assert_eq!(
+        hits.load(Ordering::Relaxed) + misses.load(Ordering::Relaxed),
+        800
+    );
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+/// Checkpoints follow the same discipline: concurrent saves of the same
+/// key against concurrent loads never surface a torn checkpoint.
+#[test]
+fn checkpoint_path_is_race_safe_too() {
+    use rand::rngs::StdRng;
+    use xplain_analyzer::geometry::Polytope;
+    use xplain_analyzer::oracle::GapOracle;
+    use xplain_analyzer::search::Adversarial;
+    use xplain_core::session::SessionBuilder;
+
+    struct Flat;
+    impl GapOracle for Flat {
+        fn dims(&self) -> usize {
+            1
+        }
+        fn bounds(&self) -> Vec<(f64, f64)> {
+            vec![(0.0, 1.0)]
+        }
+        fn gap(&self, _: &[f64]) -> f64 {
+            0.0
+        }
+    }
+
+    let store = ResultStore::new(scratch_dir("ckpt"));
+    let config = PipelineConfig::default();
+    let checkpoint = SessionBuilder::new(Flat)
+        .config(config.clone())
+        .finder(|_: &[Polytope], _: &mut StdRng| None::<Adversarial>)
+        .build()
+        .unwrap()
+        .checkpoint();
+
+    std::thread::scope(|scope| {
+        for _ in 0..3usize {
+            let (store, config, checkpoint) = (&store, &config, &checkpoint);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    store
+                        .save_checkpoint("dp", config, checkpoint)
+                        .expect("save under contention");
+                }
+            });
+        }
+        for _ in 0..3usize {
+            let (store, config, checkpoint) = (&store, &config, &checkpoint);
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    if let Some(loaded) = store.load_checkpoint("dp", config) {
+                        assert_eq!(loaded.schema_version, checkpoint.schema_version);
+                        assert_eq!(loaded.events_emitted, checkpoint.events_emitted);
+                    }
+                }
+            });
+        }
+    });
+    assert!(store.load_checkpoint("dp", &config).is_some());
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+/// Two full executors sharing one store directory, computing the same
+/// manifest concurrently: both must produce results byte-identical to a
+/// serial no-store reference, and the settled store entry must be the
+/// canonical bytes — the "server worker + batch runner on one cache"
+/// deployment shape.
+#[test]
+fn two_executors_share_one_store_without_corruption() {
+    let tiny = PipelineConfig {
+        max_subspaces: 1,
+        subspace: SubspaceParams {
+            dkw_eps: 0.25,
+            dkw_delta: 0.25,
+            max_expansions: 6,
+            tree_sample_factor: 3,
+            ..Default::default()
+        },
+        significance: SignificanceParams {
+            pairs: 40,
+            ..Default::default()
+        },
+        explainer: ExplainerParams {
+            samples: 80,
+            threads: 1,
+            ..Default::default()
+        },
+        coverage_samples: 200,
+        ..Default::default()
+    };
+    let jobs = vec![JobSpec {
+        domain: "sched".into(),
+        config: tiny,
+        seed: 0xC0C0,
+        budgets: SessionBudgets::unlimited(),
+    }];
+    let registry = DomainRegistry::builtin();
+    let reference = run_manifest(&registry, &jobs, None, 1);
+    let reference_json = serde_json::to_string(&reference[0].result).unwrap();
+
+    let store = ResultStore::new(scratch_dir("executors"));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (registry, jobs, store) = (&registry, &jobs, &store);
+                scope.spawn(move || run_manifest(registry, jobs, Some(store), 1))
+            })
+            .collect();
+        for handle in handles {
+            let outcomes = handle.join().expect("executor thread");
+            assert!(outcomes[0].error.is_none());
+            assert_eq!(
+                serde_json::to_string(&outcomes[0].result).unwrap(),
+                reference_json,
+                "a concurrent executor diverged from the serial reference"
+            );
+        }
+    });
+
+    // The settled entry is the canonical result, whichever writer won.
+    let mut derived = jobs[0].config.clone();
+    derived.seed = xplain_runtime::derive_seed(jobs[0].seed, 0);
+    let settled = store
+        .lookup("sched", &derived)
+        .expect("shared store holds the entry");
+    assert_eq!(
+        serde_json::to_string(&Some(settled)).unwrap(),
+        reference_json
+    );
+    let _ = std::fs::remove_dir_all(store.dir());
+}

@@ -1,0 +1,67 @@
+//! Admission control: what happens when work arrives faster than the
+//! session workers drain it.
+//!
+//! The queue itself enforces the hard cap ([`xplain_runtime::QueueFull`]
+//! on submissions beyond [`xplain_runtime::QueueOptions::capacity`]);
+//! this module owns the *client-facing semantics* of that rejection —
+//! HTTP 429 with a `Retry-After` estimate — so the policy is testable
+//! without sockets and documented in one place (DESIGN.md §8):
+//!
+//! * the cap bounds **waiting** jobs; running sessions are bounded by
+//!   the worker count, so total in-flight work is `capacity + workers`;
+//! * rejected submissions are never queued partially — the client owns
+//!   the retry, and identical specs resubmitted later still dedupe;
+//! * `Retry-After` scales with the backlog: observed depth divided by
+//!   the worker count, times a nominal per-job service time, floored at
+//!   one second. It is an estimate, not a promise — clients that retry
+//!   earlier simply risk another 429.
+
+use xplain_runtime::QueueFull;
+
+/// Tunable admission policy.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// Nominal per-job service time used to estimate drain time.
+    pub nominal_job_secs: u64,
+    /// Lower bound for `Retry-After`.
+    pub floor_secs: u64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            nominal_job_secs: 2,
+            floor_secs: 1,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// The `Retry-After` seconds to attach to a 429 for this rejection.
+    pub fn retry_after_secs(&self, rejection: QueueFull, workers: usize) -> u64 {
+        let rounds = (rejection.depth as u64).div_ceil(workers.max(1) as u64);
+        (rounds * self.nominal_job_secs).max(self.floor_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_scales_with_backlog_per_worker() {
+        let policy = AdmissionPolicy::default();
+        let full = |depth| QueueFull {
+            depth,
+            capacity: 64,
+        };
+        // 8 waiting, 4 workers → 2 drain rounds → 4s.
+        assert_eq!(policy.retry_after_secs(full(8), 4), 4);
+        // Same backlog, one worker → 16s.
+        assert_eq!(policy.retry_after_secs(full(8), 1), 16);
+        // Tiny backlog never goes below the floor.
+        assert_eq!(policy.retry_after_secs(full(0), 4), 1);
+        // Zero workers is treated as one (no division by zero).
+        assert_eq!(policy.retry_after_secs(full(2), 0), 4);
+    }
+}

@@ -1,11 +1,15 @@
-//! `runner` — drive the batch-analysis engine from the command line.
+//! `runner` — drive the batch-analysis engine and the explanation
+//! server from the command line.
 //!
 //! ```text
 //! runner --manifest jobs.jsonl [--workers N] [--store DIR] [--json]
 //!        [--watch] [--resume] [--deadline-ms N] [--max-analyzer-calls N]
 //!        [--max-solver-iterations N]
 //! runner --smoke [--watch] [--workers N] [--store DIR]
-//! runner --list-domains | --emit-manifest
+//! runner --list-domains | --emit-manifest | --version
+//! runner serve [--addr HOST:PORT] [--workers N] [--http-threads N]
+//!              [--capacity N] [--store DIR]
+//! runner gc --store DIR
 //!
 //!   --manifest PATH   JSONL manifest: one {"domain", "config", "seed"}
 //!                     object per line (# starts a comment line; an
@@ -16,9 +20,10 @@
 //!   --json            print the machine-readable JSON outcome array
 //!                     instead of the summary table
 //!   --watch           stream session events as NDJSON on stdout while
-//!                     jobs run: one {"job", "domain", "kind", "event"}
-//!                     object per line, ending in a "finished" event per
-//!                     job
+//!                     jobs run: one {"job", "domain", "kind", "solver",
+//!                     "event"} object per line, ending in a "finished"
+//!                     event per job whose "solver" field carries the
+//!                     job's solver-counter delta
 //!   --resume          continue interrupted jobs from checkpoints in the
 //!                     store (written after every event; cleared when a
 //!                     job finishes naturally). Requires --store
@@ -29,18 +34,31 @@
 //!   --list-domains    list registered domain ids and exit
 //!   --emit-manifest   print an editable one-job-per-domain JSONL
 //!                     manifest (default pipeline config) and exit
+//!   --version         print the workspace version and exit
 //!   --smoke           run the built-in one-job-per-domain manifest three
 //!                     ways (1 worker, N workers, N workers against the
 //!                     warm store) and fail unless all three agree
 //!                     byte-for-byte and the third is pure cache hits.
 //!                     With --watch, additionally exercises the event
 //!                     stream headlessly: every event must serialize to
-//!                     NDJSON, parse back, and the streamed result must
+//!                     NDJSON, parse back, terminal lines must carry the
+//!                     job's solver delta, and the streamed result must
 //!                     match the batch result byte-for-byte.
 //!                     Uses its own `runner-smoke-store/` scratch
 //!                     subdirectory (under --store when given); existing
 //!                     cache entries are never touched
-//! ```
+//!
+//! `runner serve` starts the HTTP explanation server (see DESIGN.md §8
+//! for the API): --addr binds (port 0 = ephemeral), --workers sizes the
+//! session worker pool, --http-threads the connection pool, --capacity
+//! the admission cap (submissions beyond it get 429 + Retry-After), and
+//! --store enables result caching, dedup and checkpoint/resume. Stop it
+//! with `POST /v1/shutdown` — in-flight sessions checkpoint and resume
+//! on resubmit.
+//!
+//! `runner gc --store DIR` deletes orphaned checkpoints (a `{key}.ckpt`
+//! whose `{key}.json` result exists — what a killed `--resume` run
+//! followed by a plain rerun strands) and reports bytes reclaimed.
 //!
 //! Budget-stopped jobs report their partial result and finish reason in
 //! the outcome; with `--store --resume` the next invocation continues
@@ -55,10 +73,12 @@
 use xplain_core::pipeline::PipelineConfig;
 use xplain_core::{ExplainerParams, SignificanceParams};
 use xplain_runtime::{
-    manifest_to_jsonl, parse_manifest, run_manifest_opts, DomainRegistry, JobOutcome, JobSpec,
-    ResultStore, RunOptions, SessionBudgets, SessionEvent,
+    manifest_to_jsonl, parse_manifest, run_manifest_opts, watch_line, DomainRegistry, JobOutcome,
+    JobSpec, ResultStore, RunOptions, SessionBudgets, SessionEvent, WatchLine,
 };
+use xplain_serve::{Server, ServerConfig};
 
+#[derive(Default)]
 struct Args {
     manifest: Option<String>,
     workers: usize,
@@ -74,25 +94,14 @@ struct Args {
     smoke: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        manifest: None,
-        workers: 0,
-        store: None,
-        json: false,
-        watch: false,
-        resume: false,
-        deadline_ms: None,
-        max_analyzer_calls: None,
-        max_solver_iterations: None,
-        list_domains: false,
-        emit_manifest: false,
-        smoke: false,
-    };
-    let mut it = std::env::args().skip(1);
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--manifest" => args.manifest = Some(it.next().ok_or("--manifest needs a path")?),
+            "--manifest" => {
+                args.manifest = Some(it.next().ok_or("--manifest needs a path")?.clone())
+            }
             "--workers" => {
                 args.workers = it
                     .next()
@@ -100,7 +109,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?
             }
-            "--store" => args.store = Some(it.next().ok_or("--store needs a directory")?),
+            "--store" => args.store = Some(it.next().ok_or("--store needs a directory")?.clone()),
             "--json" => args.json = true,
             "--watch" => args.watch = true,
             "--resume" => args.resume = true,
@@ -145,14 +154,17 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const USAGE: &str = "\
-runner — XPlain batch-analysis engine
+runner — XPlain batch-analysis engine and explanation server
 
 usage:
   runner --manifest jobs.jsonl [--workers N] [--store DIR] [--json]
          [--watch] [--resume] [--deadline-ms N] [--max-analyzer-calls N]
          [--max-solver-iterations N]
   runner --smoke [--watch] [--workers N] [--store DIR]
-  runner --list-domains | --emit-manifest
+  runner --list-domains | --emit-manifest | --version
+  runner serve [--addr HOST:PORT] [--workers N] [--http-threads N]
+               [--capacity N] [--store DIR]
+  runner gc --store DIR
 ";
 
 /// CLI budget flags folded into one override (None: manifest budgets
@@ -166,28 +178,18 @@ fn budgets_override(args: &Args) -> Option<SessionBudgets> {
     (!budgets.is_unlimited()).then_some(budgets)
 }
 
-/// One NDJSON `--watch` line. Emitted (and re-parsed by the smoke gate)
-/// per session event.
-#[derive(serde::Serialize, serde::Deserialize)]
-struct WatchLine {
-    job: usize,
-    domain: String,
-    kind: String,
-    event: SessionEvent,
-}
-
-fn watch_line(jobs: &[JobSpec], index: usize, event: &SessionEvent) -> String {
-    let line = WatchLine {
-        job: index,
-        domain: jobs[index].domain.clone(),
-        kind: event.kind().to_string(),
-        event: event.clone(),
-    };
-    serde_json::to_string(&line).expect("watch lines serialize")
-}
-
 fn main() {
-    let args = match parse_args() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--version" || a == "-V") {
+        println!("runner {}", env!("CARGO_PKG_VERSION"));
+        return;
+    }
+    match argv.first().map(String::as_str) {
+        Some("serve") => std::process::exit(serve_main(&argv[1..])),
+        Some("gc") => std::process::exit(gc_main(&argv[1..])),
+        _ => {}
+    }
+    let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("runner: {e}\n{USAGE}");
@@ -242,7 +244,7 @@ fn main() {
     // `println!` takes the stdout lock per call, so concurrent workers
     // interleave whole lines, never fragments.
     let sink = |index: usize, event: &SessionEvent| {
-        println!("{}", watch_line(&jobs, index, event));
+        println!("{}", watch_line(index, &jobs[index].domain, event));
     };
     let opts = RunOptions {
         budgets_override: budgets_override(&args),
@@ -264,6 +266,110 @@ fn main() {
         std::process::exit(1);
     }
 }
+
+// ------------------------------------------------------------ subcommands
+
+/// `runner serve` — start the HTTP explanation server and block until a
+/// `POST /v1/shutdown` lands.
+fn serve_main(argv: &[String]) -> i32 {
+    let mut config = ServerConfig::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let take = |it: &mut std::slice::Iter<'_, String>, what: &str| {
+            it.next().cloned().ok_or(format!("{what} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--addr" => take(&mut it, "--addr").map(|v| config.addr = v),
+            "--workers" => take(&mut it, "--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| config.queue_workers = n)
+                    .map_err(|e| format!("--workers: {e}"))
+            }),
+            "--http-threads" => take(&mut it, "--http-threads").and_then(|v| {
+                v.parse()
+                    .map(|n| config.http_threads = n)
+                    .map_err(|e| format!("--http-threads: {e}"))
+            }),
+            "--capacity" => take(&mut it, "--capacity").and_then(|v| {
+                v.parse()
+                    .map(|n| config.capacity = n)
+                    .map_err(|e| format!("--capacity: {e}"))
+            }),
+            "--store" => take(&mut it, "--store").map(|v| config.store_dir = Some(v.into())),
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                return 0;
+            }
+            other => Err(format!("unknown serve argument '{other}'")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("runner serve: {e}\n{USAGE}");
+            return 2;
+        }
+    }
+    let registry = DomainRegistry::builtin();
+    let server = match Server::bind(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("runner serve: cannot bind '{}': {e}", config.addr);
+            return 2;
+        }
+    };
+    println!(
+        "runner serve: listening on http://{} ({} domains: {}; store: {})",
+        server.local_addr(),
+        registry.len(),
+        registry.ids().join(", "),
+        config
+            .store_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "disabled".into()),
+    );
+    println!("runner serve: POST /v1/shutdown for graceful shutdown");
+    match server.run(&registry) {
+        Ok(()) => {
+            println!("runner serve: drained and stopped");
+            0
+        }
+        Err(e) => {
+            eprintln!("runner serve: {e}");
+            1
+        }
+    }
+}
+
+/// `runner gc` — sweep orphaned checkpoints from a store.
+fn gc_main(argv: &[String]) -> i32 {
+    let mut store_dir: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => store_dir = it.next().cloned(),
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                return 0;
+            }
+            other => {
+                eprintln!("runner gc: unknown argument '{other}'\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(dir) = store_dir else {
+        eprintln!("runner gc: --store DIR required\n{USAGE}");
+        return 2;
+    };
+    let store = ResultStore::new(&dir);
+    let report = store.gc();
+    println!(
+        "gc: removed {} orphaned checkpoint(s), reclaimed {} bytes (store: {dir})",
+        report.checkpoints_removed, report.bytes_reclaimed
+    );
+    0
+}
+
+// ------------------------------------------------------------- batch mode
 
 /// Registered ids (sorted — the registry is id-keyed) with descriptions
 /// aligned to the longest id, so the listing is stable and columnar no
@@ -371,8 +477,9 @@ fn default_manifest(registry: &DomainRegistry) -> Vec<JobSpec> {
 ///
 /// With `--watch`, a fourth streaming pass re-runs the manifest serially
 /// with an NDJSON event sink: every event line must parse back, every
-/// job must end in a natural `finished` event, and the streamed terminal
-/// results must equal the batch results byte-for-byte.
+/// job must end in a natural `finished` event carrying its solver-counter
+/// delta, and the streamed terminal results must equal the batch results
+/// byte-for-byte.
 fn run_smoke(registry: &DomainRegistry, args: &Args) -> i32 {
     let jobs: Vec<JobSpec> = registry
         .ids()
@@ -476,7 +583,7 @@ fn run_streaming_smoke(
     println!("smoke: streaming pass (--watch): NDJSON event-stream checks");
     let lines: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let sink = |index: usize, event: &SessionEvent| {
-        let line = watch_line(jobs, index, event);
+        let line = watch_line(index, &jobs[index].domain, event);
         println!("{line}");
         lines.lock().expect("line log").push(line);
     };
@@ -493,13 +600,28 @@ fn run_streaming_smoke(
         eprintln!("smoke FAIL: streaming pass emitted no events");
         failures += 1;
     }
-    // Every NDJSON line must parse back into a typed event.
+    // Every NDJSON line must parse back into a typed event; terminal
+    // lines must carry the job's solver-counter delta (the field the
+    // batch table prints but the stream used to drop).
     let mut finished_per_job = vec![0usize; jobs.len()];
+    let mut terminal_solver: Vec<Option<xplain_runtime::SolverCounters>> = vec![None; jobs.len()];
     for line in &lines {
         match serde_json::from_str::<WatchLine>(line) {
             Ok(parsed) => {
                 if parsed.kind == "finished" {
                     finished_per_job[parsed.job] += 1;
+                    if parsed.solver.is_none() {
+                        eprintln!(
+                            "smoke FAIL: terminal watch line lacks the solver delta\n  {line}"
+                        );
+                        failures += 1;
+                    }
+                    terminal_solver[parsed.job] = parsed.solver;
+                } else if parsed.solver.is_some() {
+                    eprintln!(
+                        "smoke FAIL: non-terminal watch line carries a solver delta\n  {line}"
+                    );
+                    failures += 1;
                 }
             }
             Err(e) => {
@@ -514,7 +636,8 @@ fn run_streaming_smoke(
             failures += 1;
         }
     }
-    // The streamed terminal results must equal the batch results.
+    // The streamed terminal results must equal the batch results, and
+    // the streamed solver delta must be the outcome's.
     for (s, r) in streamed.iter().zip(reference) {
         let id = format!("job {} ({})", s.index, s.domain);
         match &s.finish {
@@ -528,6 +651,10 @@ fn run_streaming_smoke(
         let rj = serde_json::to_string(&r.result).expect("result serializes");
         if sj != rj {
             eprintln!("smoke FAIL: {id}: streamed result differs from batch result");
+            failures += 1;
+        }
+        if terminal_solver[s.index].is_some_and(|solver| solver != s.solver) {
+            eprintln!("smoke FAIL: {id}: terminal line solver delta differs from the outcome's");
             failures += 1;
         }
     }
@@ -570,40 +697,8 @@ mod tests {
     }
 
     #[test]
-    fn watch_lines_roundtrip() {
-        let jobs = default_manifest(&DomainRegistry::builtin());
-        let event = SessionEvent::AnalyzerProbe {
-            call: 1,
-            gap: Some(2.5),
-            accepted: true,
-        };
-        let line = watch_line(&jobs, 1, &event);
-        let parsed: WatchLine = serde_json::from_str(&line).unwrap();
-        assert_eq!(parsed.job, 1);
-        assert_eq!(parsed.domain, jobs[1].domain);
-        assert_eq!(parsed.kind, "analyzer_probe");
-        assert!(matches!(
-            parsed.event,
-            SessionEvent::AnalyzerProbe { call: 1, .. }
-        ));
-    }
-
-    #[test]
     fn budget_flags_fold_into_an_override() {
-        let mut args = Args {
-            manifest: None,
-            workers: 0,
-            store: None,
-            json: false,
-            watch: false,
-            resume: false,
-            deadline_ms: None,
-            max_analyzer_calls: None,
-            max_solver_iterations: None,
-            list_domains: false,
-            emit_manifest: false,
-            smoke: false,
-        };
+        let mut args = Args::default();
         assert!(budgets_override(&args).is_none());
         args.deadline_ms = Some(500);
         args.max_analyzer_calls = Some(3);
@@ -611,5 +706,20 @@ mod tests {
         assert_eq!(b.deadline_ms, Some(500));
         assert_eq!(b.max_analyzer_calls, Some(3));
         assert_eq!(b.max_solver_iterations, None);
+    }
+
+    #[test]
+    fn arg_parser_accepts_the_batch_surface() {
+        let argv: Vec<String> = ["--manifest", "jobs.jsonl", "--workers", "3", "--watch"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = parse_args(&argv).unwrap();
+        assert_eq!(args.manifest.as_deref(), Some("jobs.jsonl"));
+        assert_eq!(args.workers, 3);
+        assert!(args.watch);
+        // --resume without --store is a usage error.
+        let argv: Vec<String> = vec!["--resume".into()];
+        assert!(parse_args(&argv).is_err());
     }
 }

@@ -1,0 +1,252 @@
+//! A minimal blocking HTTP/1.1 client for the serve API.
+//!
+//! Exists so the e2e tests, the CI smoke, and the `xplain-bench` load
+//! generator share one loopback client instead of three hand-rolled
+//! socket readers (and so operators get a scriptable client without
+//! installing anything — the README's `curl` examples map 1:1 onto
+//! these calls). Speaks exactly what the server emits: fixed-length
+//! bodies via `Content-Length` and chunked NDJSON streams, one request
+//! per connection.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A buffered response (fixed-length or fully-drained chunked body).
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    pub status: u16,
+    /// Header names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl HttpResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Client for one server address.
+#[derive(Debug, Clone, Copy)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    pub fn new(addr: SocketAddr) -> Self {
+        Client {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Override the per-socket read timeout (streams of long jobs idle
+    /// between events; the default 30s accommodates debug-build jobs).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    pub fn get(&self, path: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", path, None)
+    }
+
+    pub fn post(&self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Open a streaming GET (the events endpoint); returns the response
+    /// head and a line-by-line reader over the chunked NDJSON body.
+    pub fn stream(&self, path: &str) -> std::io::Result<(u16, EventStream)> {
+        let mut stream = self.connect()?;
+        write_request(&mut stream, "GET", path, None)?;
+        let mut reader = BufReader::new(stream);
+        let (status, headers) = read_head(&mut reader)?;
+        let chunked = header_value(&headers, "transfer-encoding")
+            .is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+        Ok((
+            status,
+            EventStream {
+                reader,
+                chunked,
+                buffer: Vec::new(),
+                done: false,
+            },
+        ))
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        let mut stream = self.connect()?;
+        write_request(&mut stream, method, path, body)?;
+        let mut reader = BufReader::new(stream);
+        let (status, headers) = read_head(&mut reader)?;
+        let body = read_body(&mut reader, &headers)?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<()> {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: xplain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn bad_data(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn read_head(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, Vec<(String, String)>)> {
+    let status_line = read_line(reader)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad_data(format!("malformed status line '{status_line}'")))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok((status, headers))
+}
+
+fn header_value<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    headers: &[(String, String)],
+) -> std::io::Result<String> {
+    let mut raw = Vec::new();
+    if header_value(headers, "transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked"))
+    {
+        while let Some(chunk) = read_chunk(reader)? {
+            raw.extend_from_slice(&chunk);
+        }
+    } else if let Some(len) = header_value(headers, "content-length") {
+        let len: usize = len.parse().map_err(|_| bad_data("bad content-length"))?;
+        raw.resize(len, 0);
+        reader.read_exact(&mut raw)?;
+    } else {
+        reader.read_to_end(&mut raw)?;
+    }
+    String::from_utf8(raw).map_err(|_| bad_data("response body is not UTF-8"))
+}
+
+/// One chunk of a chunked body; `None` at the terminating zero chunk.
+fn read_chunk(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Vec<u8>>> {
+    let size_line = read_line(reader)?;
+    let size = usize::from_str_radix(size_line.trim(), 16)
+        .map_err(|_| bad_data(format!("bad chunk size '{size_line}'")))?;
+    if size == 0 {
+        let _ = read_line(reader); // trailing CRLF after the last chunk
+        return Ok(None);
+    }
+    let mut data = vec![0u8; size];
+    reader.read_exact(&mut data)?;
+    let _ = read_line(reader)?; // chunk-terminating CRLF
+    Ok(Some(data))
+}
+
+/// Incremental line reader over a (possibly chunked) NDJSON stream.
+/// Lines may span chunk boundaries; this reassembles them.
+pub struct EventStream {
+    reader: BufReader<TcpStream>,
+    chunked: bool,
+    buffer: Vec<u8>,
+    done: bool,
+}
+
+impl EventStream {
+    /// The next NDJSON line, or `None` once the stream has ended.
+    /// Blocks until a line arrives (bounded by the client's read
+    /// timeout).
+    pub fn next_line(&mut self) -> std::io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.buffer.iter().position(|&b| b == b'\n') {
+                let rest = self.buffer.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buffer, rest);
+                line.pop(); // the newline
+                let line =
+                    String::from_utf8(line).map_err(|_| bad_data("stream line is not UTF-8"))?;
+                return Ok(Some(line));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            if self.chunked {
+                match read_chunk(&mut self.reader)? {
+                    Some(chunk) => self.buffer.extend_from_slice(&chunk),
+                    None => self.done = true,
+                }
+            } else {
+                let mut byte = [0u8; 1024];
+                let n = self.reader.read(&mut byte)?;
+                if n == 0 {
+                    self.done = true;
+                } else {
+                    self.buffer.extend_from_slice(&byte[..n]);
+                }
+            }
+        }
+    }
+
+    /// Drain the remainder of the stream into a vector of lines.
+    pub fn collect_lines(&mut self) -> std::io::Result<Vec<String>> {
+        let mut lines = Vec::new();
+        while let Some(line) = self.next_line()? {
+            lines.push(line);
+        }
+        Ok(lines)
+    }
+}

@@ -1,0 +1,45 @@
+//! # xplain-serve
+//!
+//! The wire in front of the runtime: a dependency-free (std-only,
+//! consistent with the workspace's vendored-deps policy) HTTP/1.1
+//! service that turns the batch analysis engine into a long-lived,
+//! multi-tenant explanation server — the shape the paper's interactive
+//! "when and why does my heuristic underperform?" workflow actually
+//! needs, and the serving tier X-SYS argues explanation systems must
+//! grow.
+//!
+//! The JSON API (full semantics in DESIGN.md §8):
+//!
+//! | Route | Behavior |
+//! |---|---|
+//! | `POST /v1/jobs` | Submit a `JobSpec`; deduplicated against in-flight jobs **and** the content-addressed store, so repeat queries are cache hits |
+//! | `GET /v1/jobs/{id}` | Status + `JobOutcome` |
+//! | `GET /v1/jobs/{id}/events` | Chunked NDJSON stream of session events — the `runner --watch` wire format, byte-identical |
+//! | `POST /v1/jobs/{id}/cancel` | Cooperative cancel; the session checkpoints, a later resubmit resumes |
+//! | `GET /v1/domains` | Registered domain ids |
+//! | `GET /v1/metrics` | Queue depth, active sessions, cache hit rate, solver counters, per-route latency histograms |
+//! | `POST /v1/shutdown` | Graceful shutdown (in-flight sessions checkpoint through the store) |
+//!
+//! Module map: [`http`] (hand-rolled HTTP/1.1 parsing + chunked
+//! responses), [`router`] (typed routes), [`admission`] (429 +
+//! `Retry-After` policy), [`metrics`] (latency histograms via
+//! `xplain-stats`), [`server`] (accept loop, connection pool, handlers
+//! over the shared `xplain_runtime::JobQueue`), [`client`] (the minimal
+//! blocking client the tests and load generator drive).
+//!
+//! The `runner` binary lives here too — it stacks the `serve` and `gc`
+//! subcommands on top of the batch CLI (this crate depends on the
+//! runtime, so the binary moved up a layer with it).
+
+pub mod admission;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod router;
+pub mod server;
+
+pub use admission::AdmissionPolicy;
+pub use client::{Client, EventStream, HttpResponse};
+pub use metrics::{MetricsReport, ServerMetrics};
+pub use router::{route, Route, RouteError};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,169 @@
+//! The `GET /v1/metrics` surface: queue gauges, cache effectiveness,
+//! process-wide solver counters, and per-route latency histograms.
+//!
+//! Latencies land in log-bucketed [`xplain_stats::Histogram`]s (constant
+//! memory on a long-lived server; quantile error bounded by the bucket
+//! growth factor — see that module's docs). One histogram per route tag,
+//! each behind its own mutex: recording is a few comparisons, so the
+//! lock is never the bottleneck next to socket I/O.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+use xplain_lp::SolverCounters;
+use xplain_runtime::{JobQueue, ResultStore};
+use xplain_stats::Histogram;
+
+use crate::router::ROUTE_TAGS;
+
+/// Live metric collectors for one server.
+pub struct ServerMetrics {
+    started: Instant,
+    /// Baseline so the report shows solver work done *by this server*,
+    /// not whatever the process accumulated before it started.
+    solver_at_start: SolverCounters,
+    routes: Vec<(&'static str, Mutex<Histogram>)>,
+}
+
+impl ServerMetrics {
+    pub fn new() -> Self {
+        ServerMetrics {
+            started: Instant::now(),
+            solver_at_start: SolverCounters::snapshot(),
+            routes: ROUTE_TAGS
+                .iter()
+                .map(|tag| (*tag, Mutex::new(Histogram::latency_ms())))
+                .collect(),
+        }
+    }
+
+    /// Record one request's latency under its route tag.
+    pub fn observe(&self, tag: &str, latency_ms: f64) {
+        if let Some((_, hist)) = self.routes.iter().find(|(t, _)| *t == tag) {
+            hist.lock().expect("route histogram").record(latency_ms);
+        }
+    }
+
+    /// Assemble the report against the live queue (and store, when one is
+    /// attached).
+    pub fn report(&self, queue: &JobQueue<'_>, store: Option<&ResultStore>) -> MetricsReport {
+        let counters = queue.counters();
+        MetricsReport {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            queue: QueueReport {
+                depth: queue.depth(),
+                active_sessions: queue.active(),
+                submitted: counters.submitted,
+                completed: counters.completed,
+                cancelled: counters.cancelled,
+                rejected_busy: counters.rejected_full,
+                cache_hits: counters.cache_hits,
+                cache_hit_rate: if counters.submitted > 0 {
+                    counters.cache_hits as f64 / counters.submitted as f64
+                } else {
+                    0.0
+                },
+            },
+            store_entries: store.map(|s| s.len()),
+            solver: SolverCounters::snapshot().since(&self.solver_at_start),
+            routes: self
+                .routes
+                .iter()
+                .filter_map(|(tag, hist)| {
+                    let h = hist.lock().expect("route histogram");
+                    (!h.is_empty()).then(|| RouteLatency {
+                        route: (*tag).to_string(),
+                        count: h.count(),
+                        mean_ms: h.mean().unwrap_or(0.0),
+                        p50_ms: h.quantile(0.50).unwrap_or(0.0),
+                        p90_ms: h.quantile(0.90).unwrap_or(0.0),
+                        p99_ms: h.quantile(0.99).unwrap_or(0.0),
+                        max_ms: h.max().unwrap_or(0.0),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+/// The `GET /v1/metrics` response body.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsReport {
+    pub uptime_ms: u64,
+    pub queue: QueueReport,
+    /// Committed results on disk (`null` when the server runs storeless).
+    pub store_entries: Option<usize>,
+    /// Solver work since this server started (process-wide counters; a
+    /// superset of served work if something else solves in-process).
+    pub solver: SolverCounters,
+    /// Per-route latency, routes with traffic only.
+    pub routes: Vec<RouteLatency>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct QueueReport {
+    /// Jobs waiting for a worker.
+    pub depth: usize,
+    /// Sessions executing right now.
+    pub active_sessions: usize,
+    pub submitted: u64,
+    pub completed: u64,
+    pub cancelled: u64,
+    /// Submissions answered 429.
+    pub rejected_busy: u64,
+    pub cache_hits: u64,
+    /// `cache_hits / submitted` — the fraction of accepted submissions
+    /// answered from cache (0 before any traffic).
+    pub cache_hit_rate: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct RouteLatency {
+    pub route: String,
+    pub count: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p90_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xplain_runtime::{DomainRegistry, QueueOptions};
+
+    #[test]
+    fn report_reflects_observations_and_queue_state() {
+        let registry = DomainRegistry::builtin();
+        let queue = JobQueue::new(&registry, None, QueueOptions::default(), None);
+        let metrics = ServerMetrics::new();
+        for ms in [1.0, 2.0, 4.0] {
+            metrics.observe("GET /v1/metrics", ms);
+        }
+        metrics.observe("no-such-route", 9.0); // silently ignored
+
+        let report = metrics.report(&queue, None);
+        assert_eq!(report.queue.depth, 0);
+        assert_eq!(report.queue.active_sessions, 0);
+        assert_eq!(report.queue.cache_hit_rate, 0.0);
+        assert!(report.store_entries.is_none());
+        assert_eq!(report.routes.len(), 1, "only routes with traffic appear");
+        let r = &report.routes[0];
+        assert_eq!(r.route, "GET /v1/metrics");
+        assert_eq!(r.count, 3);
+        assert!(r.p50_ms > 0.0 && r.p50_ms <= r.p99_ms && r.p99_ms <= r.max_ms);
+
+        // The report serializes (the endpoint's whole job).
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"cache_hit_rate\""), "{json}");
+        assert!(json.contains("GET /v1/metrics"), "{json}");
+    }
+}

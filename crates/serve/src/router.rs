@@ -1,0 +1,163 @@
+//! Request routing: `(method, path)` → typed [`Route`].
+//!
+//! The API surface is small and fixed, so routing is an explicit match
+//! over path segments — no pattern language, no allocation beyond the id
+//! capture. Unknown paths are 404; known paths with the wrong method are
+//! 405 carrying the allowed method for the `Allow` header.
+
+/// The API surface (see DESIGN.md §8 for semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /v1/jobs` — submit a `JobSpec`, deduplicated.
+    SubmitJob,
+    /// `GET /v1/jobs/{id}` — status + outcome.
+    JobStatus(String),
+    /// `GET /v1/jobs/{id}/events` — chunked NDJSON event stream.
+    JobEvents(String),
+    /// `POST /v1/jobs/{id}/cancel` — cooperative cancellation.
+    CancelJob(String),
+    /// `GET /v1/domains` — registered domain ids.
+    Domains,
+    /// `GET /v1/metrics` — queue/cache/solver/latency metrics.
+    Metrics,
+    /// `POST /v1/shutdown` — graceful shutdown (checkpoints in-flight
+    /// sessions).
+    Shutdown,
+}
+
+impl Route {
+    /// Stable label for per-route latency metrics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Route::SubmitJob => "POST /v1/jobs",
+            Route::JobStatus(_) => "GET /v1/jobs/{id}",
+            Route::JobEvents(_) => "GET /v1/jobs/{id}/events",
+            Route::CancelJob(_) => "POST /v1/jobs/{id}/cancel",
+            Route::Domains => "GET /v1/domains",
+            Route::Metrics => "GET /v1/metrics",
+            Route::Shutdown => "POST /v1/shutdown",
+        }
+    }
+}
+
+/// Every route tag, in display order (the metrics report iterates this).
+pub const ROUTE_TAGS: [&str; 7] = [
+    "POST /v1/jobs",
+    "GET /v1/jobs/{id}",
+    "GET /v1/jobs/{id}/events",
+    "POST /v1/jobs/{id}/cancel",
+    "GET /v1/domains",
+    "GET /v1/metrics",
+    "POST /v1/shutdown",
+];
+
+/// Routing failures, mapped to their status codes by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    NotFound,
+    /// Path exists, method doesn't; carries the `Allow` value.
+    MethodNotAllowed {
+        allowed: &'static str,
+    },
+}
+
+/// Match a request to a route.
+pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["v1", "jobs"] => match method {
+            "POST" => Ok(Route::SubmitJob),
+            _ => Err(RouteError::MethodNotAllowed { allowed: "POST" }),
+        },
+        ["v1", "jobs", id] => match method {
+            "GET" => Ok(Route::JobStatus((*id).to_string())),
+            _ => Err(RouteError::MethodNotAllowed { allowed: "GET" }),
+        },
+        ["v1", "jobs", id, "events"] => match method {
+            "GET" => Ok(Route::JobEvents((*id).to_string())),
+            _ => Err(RouteError::MethodNotAllowed { allowed: "GET" }),
+        },
+        ["v1", "jobs", id, "cancel"] => match method {
+            "POST" => Ok(Route::CancelJob((*id).to_string())),
+            _ => Err(RouteError::MethodNotAllowed { allowed: "POST" }),
+        },
+        ["v1", "domains"] => match method {
+            "GET" => Ok(Route::Domains),
+            _ => Err(RouteError::MethodNotAllowed { allowed: "GET" }),
+        },
+        ["v1", "metrics"] => match method {
+            "GET" => Ok(Route::Metrics),
+            _ => Err(RouteError::MethodNotAllowed { allowed: "GET" }),
+        },
+        ["v1", "shutdown"] => match method {
+            "POST" => Ok(Route::Shutdown),
+            _ => Err(RouteError::MethodNotAllowed { allowed: "POST" }),
+        },
+        _ => Err(RouteError::NotFound),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_the_full_api_surface() {
+        assert_eq!(route("POST", "/v1/jobs"), Ok(Route::SubmitJob));
+        assert_eq!(
+            route("GET", "/v1/jobs/00ff00ff00ff00ff"),
+            Ok(Route::JobStatus("00ff00ff00ff00ff".into()))
+        );
+        assert_eq!(
+            route("GET", "/v1/jobs/abc/events"),
+            Ok(Route::JobEvents("abc".into()))
+        );
+        assert_eq!(
+            route("POST", "/v1/jobs/abc/cancel"),
+            Ok(Route::CancelJob("abc".into()))
+        );
+        assert_eq!(route("GET", "/v1/domains"), Ok(Route::Domains));
+        assert_eq!(route("GET", "/v1/metrics"), Ok(Route::Metrics));
+        assert_eq!(route("POST", "/v1/shutdown"), Ok(Route::Shutdown));
+        // Trailing slashes are tolerated (empty segments filtered).
+        assert_eq!(route("GET", "/v1/domains/"), Ok(Route::Domains));
+    }
+
+    #[test]
+    fn wrong_method_is_405_with_allow() {
+        assert_eq!(
+            route("GET", "/v1/shutdown"),
+            Err(RouteError::MethodNotAllowed { allowed: "POST" })
+        );
+        assert_eq!(
+            route("DELETE", "/v1/jobs"),
+            Err(RouteError::MethodNotAllowed { allowed: "POST" })
+        );
+        assert_eq!(
+            route("POST", "/v1/jobs/x/events"),
+            Err(RouteError::MethodNotAllowed { allowed: "GET" })
+        );
+    }
+
+    #[test]
+    fn unknown_paths_are_404() {
+        assert_eq!(route("GET", "/"), Err(RouteError::NotFound));
+        assert_eq!(route("GET", "/v2/jobs"), Err(RouteError::NotFound));
+        assert_eq!(route("GET", "/v1/jobs/a/b/c"), Err(RouteError::NotFound));
+    }
+
+    #[test]
+    fn tags_cover_every_route() {
+        for r in [
+            Route::SubmitJob,
+            Route::JobStatus("x".into()),
+            Route::JobEvents("x".into()),
+            Route::CancelJob("x".into()),
+            Route::Domains,
+            Route::Metrics,
+            Route::Shutdown,
+        ] {
+            assert!(ROUTE_TAGS.contains(&r.tag()), "{} missing", r.tag());
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! The HTTP server: accept loop, connection thread pool, and the route
+//! handlers that bind the wire protocol to the runtime's [`JobQueue`].
+//!
+//! Threading model (all scoped — the server owns no detached threads):
+//!
+//! * the caller's thread runs the accept loop (non-blocking accept with
+//!   a short poll so shutdown is observed promptly);
+//! * `http_threads` connection handlers pull accepted sockets off an
+//!   mpsc channel; each connection is one request (`Connection: close`);
+//! * `queue_workers` session workers drain the shared [`JobQueue`] —
+//!   the same engine the batch runner drives, so a job served over HTTP
+//!   is byte-identical to the same job run from a manifest.
+//!
+//! Graceful shutdown ([`ServerHandle::shutdown`] or `POST /v1/shutdown`):
+//! the accept loop stops, the queue cancels queued jobs and fires every
+//! running session's cancel token, sessions persist checkpoints through
+//! the store's `.ckpt` path at their next event boundary and emit their
+//! terminal event (so live event streams end cleanly), workers drain,
+//! and [`Server::run`] returns. A resubmit of an interrupted spec — to
+//! this or a future server over the same store — resumes mid-loop.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use xplain_runtime::{
+    DomainRegistry, JobOutcome, JobPhase, JobQueue, JobSpec, QueueOptions, ResultStore,
+};
+
+use crate::admission::AdmissionPolicy;
+use crate::http::{
+    finish_chunked, read_request, start_chunked, write_chunk, HttpError, Request, Response,
+};
+use crate::metrics::ServerMetrics;
+use crate::router::{route, Route, RouteError};
+
+/// Server tunables. `Default` suits a laptop smoke run; production picks
+/// explicit numbers.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests, benches).
+    pub addr: String,
+    /// Session workers draining the job queue (0 = auto: available
+    /// parallelism capped at 8).
+    pub queue_workers: usize,
+    /// Connection handler threads. A streaming subscriber occupies one
+    /// for the life of its job, so size this above the expected number
+    /// of concurrent watchers.
+    pub http_threads: usize,
+    /// Maximum *waiting* jobs before submissions get 429
+    /// ([`AdmissionPolicy`] sets the `Retry-After`).
+    pub capacity: usize,
+    /// Content-addressed store directory. `None` disables result
+    /// caching, dedup-against-disk, and checkpoint/resume.
+    pub store_dir: Option<PathBuf>,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Completed jobs kept in memory (outcome + event log) before the
+    /// oldest are evicted — bounds a long-lived server's footprint.
+    /// Evicted ids read as unknown; resubmits hit the store instead.
+    pub retain_done: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7070".into(),
+            queue_workers: 0,
+            http_threads: 8,
+            capacity: 64,
+            store_dir: None,
+            read_timeout: Duration::from_secs(5),
+            retain_done: 1024,
+        }
+    }
+}
+
+fn auto_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Remote control for a running [`Server`] (cloneable, thread-safe).
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request graceful shutdown (idempotent).
+    pub fn shutdown(&self) {
+        request_shutdown(&self.shutdown, self.addr);
+    }
+}
+
+/// Flag shutdown and poke the accept loop awake: the listener blocks in
+/// `accept` (zero added latency on real connections — an earlier polling
+/// accept put a sleep on every request's critical path), so shutdown
+/// opens one throwaway loopback connection to unblock it.
+///
+/// The poke is only load-bearing when the listener is *idle*: if the
+/// accept backlog has pending connections, `accept` returns on its own
+/// and the loop observes the flag — and an idle listener accepts the
+/// poke immediately. A couple of retries cover transient connect
+/// failures; past that, the next real connection ends the loop.
+fn request_shutdown(flag: &AtomicBool, addr: SocketAddr) {
+    flag.store(true, Ordering::Relaxed);
+    for timeout_ms in [200, 1000] {
+        if TcpStream::connect_timeout(&addr, Duration::from_millis(timeout_ms)).is_ok() {
+            break;
+        }
+    }
+}
+
+impl Server {
+    /// Bind the listening socket (fails fast on bad addresses — before
+    /// any threads exist).
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            config,
+            local_addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.local_addr,
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Serve until shutdown is requested, then drain gracefully. Blocks
+    /// the calling thread (spawn it if you need the handle elsewhere —
+    /// the e2e tests and the load generator do exactly that).
+    pub fn run(self, registry: &DomainRegistry) -> io::Result<()> {
+        let store = self.config.store_dir.as_ref().map(ResultStore::new);
+        let queue = JobQueue::new(
+            registry,
+            store.as_ref(),
+            QueueOptions {
+                capacity: self.config.capacity,
+                // Cancelled/interrupted sessions must leave resumable
+                // checkpoints — the serving contract — so resume mode is
+                // on whenever there is somewhere to persist them.
+                resume: store.is_some(),
+                budgets_override: None,
+                record_events: true,
+                retain_done: self.config.retain_done,
+            },
+            None,
+        );
+        let metrics = ServerMetrics::new();
+        let queue_workers = auto_workers(self.config.queue_workers);
+        let ctx = Ctx {
+            registry,
+            queue: &queue,
+            store: store.as_ref(),
+            metrics: &metrics,
+            policy: AdmissionPolicy::default(),
+            shutdown: &self.shutdown,
+            addr: self.local_addr,
+            queue_workers,
+            read_timeout: self.config.read_timeout,
+        };
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Mutex::new(conn_rx);
+
+        std::thread::scope(|scope| {
+            for _ in 0..queue_workers {
+                scope.spawn(|| queue.serve_worker());
+            }
+            for _ in 0..self.config.http_threads.max(1) {
+                scope.spawn(|| loop {
+                    let next = conn_rx
+                        .lock()
+                        .expect("connection channel")
+                        .recv_timeout(Duration::from_millis(100));
+                    match next {
+                        Ok(stream) => handle_connection(stream, &ctx),
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                });
+            }
+            // Accept loop — this thread. Blocking accept keeps new
+            // connections off a poll-sleep; `request_shutdown` unblocks
+            // it with a throwaway connection.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if self.shutdown.load(Ordering::Relaxed) {
+                            break; // likely the shutdown poke itself
+                        }
+                        let _ = conn_tx.send(stream);
+                    }
+                    Err(_) => {
+                        if self.shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+            // Graceful drain: no new connections; cancel queued and
+            // running jobs (sessions checkpoint + emit terminal events,
+            // ending live streams); workers and handlers then exit.
+            drop(conn_tx);
+            queue.shutdown();
+        });
+        Ok(())
+    }
+}
+
+/// Borrowed context shared by every connection handler.
+struct Ctx<'a> {
+    registry: &'a DomainRegistry,
+    queue: &'a JobQueue<'a>,
+    store: Option<&'a ResultStore>,
+    metrics: &'a ServerMetrics,
+    policy: AdmissionPolicy,
+    shutdown: &'a AtomicBool,
+    addr: SocketAddr,
+    queue_workers: usize,
+    read_timeout: Duration,
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx<'_>) {
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(HttpError::Closed) => return,
+        Err(HttpError::TooLarge) => {
+            let _ = Response::error(413, "request exceeds size caps").write_to(&mut stream);
+            return;
+        }
+        Err(HttpError::BadRequest(m)) => {
+            let _ = Response::error(400, &m).write_to(&mut stream);
+            return;
+        }
+        Err(HttpError::Io(_)) => {
+            let _ = Response::error(408, "timed out reading request").write_to(&mut stream);
+            return;
+        }
+    };
+    let started = Instant::now();
+    match route(&request.method, &request.path) {
+        Ok(Route::JobEvents(id)) => {
+            let tag = Route::JobEvents(String::new()).tag();
+            handle_events(&mut stream, ctx, &id);
+            ctx.metrics
+                .observe(tag, started.elapsed().as_secs_f64() * 1000.0);
+        }
+        Ok(r) => {
+            let tag = r.tag();
+            let response = dispatch(ctx, r, &request);
+            let _ = response.write_to(&mut stream);
+            ctx.metrics
+                .observe(tag, started.elapsed().as_secs_f64() * 1000.0);
+        }
+        Err(RouteError::NotFound) => {
+            let _ = Response::error(404, "no such resource").write_to(&mut stream);
+        }
+        Err(RouteError::MethodNotAllowed { allowed }) => {
+            let _ = Response::error(405, "method not allowed")
+                .with_header("Allow", allowed)
+                .write_to(&mut stream);
+        }
+    }
+}
+
+// ------------------------------------------------------------- responses
+
+/// `POST /v1/jobs` receipt.
+#[derive(Debug, Serialize)]
+struct SubmitBody {
+    id: String,
+    /// `queued` / `running` / `done`.
+    status: String,
+    /// How the dedup resolved: `cache_hit`, `in_flight`, `enqueued`,
+    /// `resumed`.
+    disposition: String,
+    cache_hit: bool,
+}
+
+/// `GET /v1/jobs/{id}` body.
+#[derive(Debug, Serialize)]
+struct StatusBody {
+    id: String,
+    domain: String,
+    status: String,
+    /// Events retained for streaming so far.
+    events: usize,
+    /// Present once `status == "done"`.
+    outcome: Option<JobOutcome>,
+}
+
+#[derive(Debug, Serialize)]
+struct CancelBody {
+    id: String,
+    /// Phase the job was in when the cancel landed.
+    was: String,
+    /// Whether the cancel can still affect the job (false once done).
+    cancelled: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct DomainBody {
+    id: String,
+    description: String,
+}
+
+#[derive(Debug, Serialize)]
+struct ShutdownBody {
+    shutting_down: bool,
+}
+
+fn dispatch(ctx: &Ctx<'_>, route: Route, request: &Request) -> Response {
+    match route {
+        Route::SubmitJob => submit_job(ctx, request),
+        Route::JobStatus(id) => job_status(ctx, &id),
+        Route::CancelJob(id) => cancel_job(ctx, &id),
+        Route::Domains => domains(ctx),
+        Route::Metrics => metrics(ctx),
+        Route::Shutdown => {
+            request_shutdown(ctx.shutdown, ctx.addr);
+            Response::json(
+                200,
+                serde_json::to_string(&ShutdownBody {
+                    shutting_down: true,
+                })
+                .expect("body serializes"),
+            )
+        }
+        // Streamed separately in `handle_connection`.
+        Route::JobEvents(_) => Response::error(500, "events route must stream"),
+    }
+}
+
+fn submit_job(ctx: &Ctx<'_>, request: &Request) -> Response {
+    let body = match request.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let spec: JobSpec = match serde_json::from_str(body) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &format!("malformed JobSpec: {e:?}")),
+    };
+    if ctx.registry.get(&spec.domain).is_none() {
+        return Response::error(
+            400,
+            &format!(
+                "unknown domain id '{}' (GET /v1/domains lists them)",
+                spec.domain
+            ),
+        );
+    }
+    match ctx.queue.submit_deduped(spec) {
+        Ok(sub) => {
+            // `phase`, not `poll`: the hot cache-hit route must not
+            // deep-clone a full outcome just to read one word.
+            let phase = ctx.queue.phase(sub.key).unwrap_or(JobPhase::Queued);
+            let cache_hit = sub.disposition == xplain_runtime::Disposition::CacheHit;
+            let status = if cache_hit { 200 } else { 202 };
+            Response::json(
+                status,
+                serde_json::to_string(&SubmitBody {
+                    id: sub.id,
+                    status: phase.as_str().to_string(),
+                    disposition: sub.disposition.as_str().to_string(),
+                    cache_hit,
+                })
+                .expect("body serializes"),
+            )
+        }
+        Err(full) => {
+            let retry = ctx.policy.retry_after_secs(full, ctx.queue_workers);
+            Response::error(429, &full.to_string()).with_header("Retry-After", &retry.to_string())
+        }
+    }
+}
+
+fn job_status(ctx: &Ctx<'_>, id: &str) -> Response {
+    let Some(view) = JobQueue::parse_id(id).and_then(|key| ctx.queue.poll(key)) else {
+        return Response::error(404, &format!("no job '{id}'"));
+    };
+    Response::json(
+        200,
+        serde_json::to_string(&StatusBody {
+            id: view.id,
+            domain: view.domain,
+            status: view.phase.as_str().to_string(),
+            events: view.events_logged,
+            outcome: view.outcome,
+        })
+        .expect("body serializes"),
+    )
+}
+
+fn cancel_job(ctx: &Ctx<'_>, id: &str) -> Response {
+    let Some(phase) = JobQueue::parse_id(id).and_then(|key| ctx.queue.cancel(key)) else {
+        return Response::error(404, &format!("no job '{id}'"));
+    };
+    Response::json(
+        200,
+        serde_json::to_string(&CancelBody {
+            id: id.to_string(),
+            was: phase.as_str().to_string(),
+            cancelled: phase != JobPhase::Done,
+        })
+        .expect("body serializes"),
+    )
+}
+
+fn domains(ctx: &Ctx<'_>) -> Response {
+    let list: Vec<DomainBody> = ctx
+        .registry
+        .ids()
+        .into_iter()
+        .map(|id| {
+            let description = ctx
+                .registry
+                .get(&id)
+                .map(|d| d.description())
+                .unwrap_or_default();
+            DomainBody { id, description }
+        })
+        .collect();
+    Response::json(200, serde_json::to_string(&list).expect("body serializes"))
+}
+
+fn metrics(ctx: &Ctx<'_>) -> Response {
+    let report = ctx.metrics.report(ctx.queue, ctx.store);
+    Response::json(
+        200,
+        serde_json::to_string(&report).expect("body serializes"),
+    )
+}
+
+/// `GET /v1/jobs/{id}/events`: chunked NDJSON, one watch line per
+/// session event, tailed live until the job's stream completes. The
+/// lines are byte-identical to `runner --watch` output for the same job
+/// (both serialize through `xplain_runtime::watch_line`).
+fn handle_events(stream: &mut TcpStream, ctx: &Ctx<'_>, id: &str) {
+    let Some(slot) = JobQueue::parse_id(id).and_then(|key| ctx.queue.resolve(key)) else {
+        let _ = Response::error(404, &format!("no job '{id}'")).write_to(stream);
+        return;
+    };
+    if start_chunked(stream, 200, "application/x-ndjson").is_err() {
+        return;
+    }
+    let mut offset = 0usize;
+    loop {
+        let Some(chunk) = ctx
+            .queue
+            .wait_events(slot, offset, Duration::from_millis(250))
+        else {
+            // The slot was evicted (retain_done pressure) while we were
+            // replaying it. Abort WITHOUT the chunked terminator: the
+            // client sees transport-level truncation — an error — never
+            // a well-formed stream that silently lost its tail.
+            return;
+        };
+        for line in &chunk.lines {
+            let mut payload = Vec::with_capacity(line.len() + 1);
+            payload.extend_from_slice(line.as_bytes());
+            payload.push(b'\n');
+            if write_chunk(stream, &payload).is_err() {
+                return; // subscriber went away; the job keeps running
+            }
+        }
+        offset += chunk.lines.len();
+        if chunk.done {
+            break;
+        }
+    }
+    let _ = finish_chunked(stream);
+}

@@ -11,6 +11,8 @@
 //!   the predicate form of Fig. 5b/5c;
 //! * [`rank`] — Kendall/Spearman rank correlation backing the generalizer's
 //!   `increasing`/`decreasing` grammar predicates;
+//! * [`histogram`] — log-bucketed latency histograms (the serving layer's
+//!   per-route metrics) and exact percentiles for offline reports;
 //! * [`normal`], [`descriptive`] — shared numeric helpers.
 //!
 //! Everything is deterministic and allocation-light; routines return typed
@@ -19,12 +21,14 @@
 pub mod descriptive;
 pub mod dkw;
 pub mod error;
+pub mod histogram;
 pub mod normal;
 pub mod rank;
 pub mod tree;
 pub mod wilcoxon;
 
 pub use error::StatsError;
+pub use histogram::{percentile_exact, Histogram};
 pub use rank::{kendall_tau, spearman_permutation_test, spearman_rho, CorrelationResult};
 pub use tree::{Predicate, RegressionTree, TreeParams};
 pub use wilcoxon::{wilcoxon_signed_rank, wilcoxon_signed_rank_diffs, Alternative, WilcoxonResult};

@@ -69,7 +69,9 @@
 //!
 //! See `examples/` for the full tour: `quickstart`, `demand_pinning`,
 //! `bin_packing`, `lp_to_flow`, `full_pipeline`, and
-//! `streaming_session`.
+//! `streaming_session`. To run all of this as a long-lived HTTP
+//! service (submit/stream/cancel/resume over the wire), see
+//! [`serve`] and the README's "Explanation server" quickstart.
 
 pub use xplain_analyzer as analyzer;
 pub use xplain_core as core;
@@ -77,4 +79,5 @@ pub use xplain_domains as domains;
 pub use xplain_flownet as flownet;
 pub use xplain_lp as lp;
 pub use xplain_runtime as runtime;
+pub use xplain_serve as serve;
 pub use xplain_stats as stats;
