@@ -8,9 +8,8 @@
 
 use std::sync::Mutex;
 use xplain_domains::sched::{lpt, SchedInstance};
-use xplain_domains::te::{DemandPinning, TeProblem};
+use xplain_domains::te::{DemandPinning, TeLexSolver, TeProblem};
 use xplain_domains::vbp::{first_fit, optimal, VbpInstance};
-use xplain_lp::SessionPool;
 
 /// A heuristic-vs-benchmark gap function over a box input space.
 ///
@@ -57,30 +56,50 @@ impl<T: GapOracle + ?Sized> GapOracle for &T {
 
 /// Demand Pinning gap oracle: input = demand volumes, gap = OPT − DP.
 ///
-/// Every evaluation solves three max-flow LPs over the *same* problem
-/// structure (benchmark + the heuristic's two lexicographic stages), so
-/// the oracle keeps a [`SessionPool`]: after the first evaluation each LP
-/// warm-starts from the previous basis. The mutex makes the pool safe to
-/// share across the explainer's sample threads; solutions are exact
-/// either way, so contention only costs time, never determinism.
+/// Every evaluation solves two max-flow LPs over the *same* problem
+/// structure (the benchmark total and the heuristic's phase-2 residual
+/// total — the gap needs no vertex, so the lexicographic refinement
+/// stage is skipped), and the oracle keeps prepared [`TeLexSolver`]s:
+/// the stage LPs are standardized once and every evaluation re-solves
+/// them through rhs deltas on warm bases — no per-evaluation model
+/// build. Solvers live in
+/// a checkout stack so the explainer's sample threads each hold one for
+/// the duration of an evaluation while the lock itself is only held to
+/// pop/push; the stack grows to the peak number of concurrent callers
+/// and stays warm from then on. Solutions are exact regardless of which
+/// solver a call draws, so contention only costs time, never
+/// determinism.
 pub struct DpOracle {
     pub problem: TeProblem,
     pub heuristic: DemandPinning,
-    pool: Mutex<SessionPool>,
+    solvers: Mutex<Vec<TeLexSolver>>,
 }
 
 impl DpOracle {
     pub fn new(problem: TeProblem, threshold: f64) -> Self {
+        let solver = problem
+            .lex_solver()
+            .expect("max-flow LP of a validated TeProblem is well-formed");
         DpOracle {
             problem,
             heuristic: DemandPinning::new(threshold),
-            pool: Mutex::new(SessionPool::new()),
+            solvers: Mutex::new(vec![solver]),
         }
     }
 
-    /// Aggregate solver statistics accumulated by this oracle's pool.
+    /// Aggregate solver statistics accumulated by this oracle's solvers
+    /// (checked-in solvers only — an evaluation in flight on another
+    /// thread contributes once it returns its solver).
     pub fn solver_stats(&self) -> xplain_lp::SolverStats {
-        self.pool.lock().map(|p| p.stats()).unwrap_or_default()
+        let guard = match self.solvers.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut total = xplain_lp::SolverStats::default();
+        for s in guard.iter() {
+            total.absorb(&s.stats());
+        }
+        total
     }
 }
 
@@ -94,21 +113,30 @@ impl GapOracle for DpOracle {
     }
 
     fn gap(&self, x: &[f64]) -> f64 {
-        // Pipeline stages call the oracle sequentially, so the lock is
-        // normally uncontended; if a caller does fan gap() out across
-        // threads, contenders solve cold rather than serialize.
-        let run = |pool: &mut SessionPool| {
-            self.heuristic
-                .gap_pooled(&self.problem, x, pool)
-                .unwrap_or(f64::NEG_INFINITY)
+        // Check a warm solver out of the stack (building one only when
+        // every solver is in flight on another thread), evaluate, check
+        // it back in. A poisoned stack (panicked sibling thread) still
+        // holds valid warm bases — exactness does not depend on them.
+        let checked_out = match self.solvers.lock() {
+            Ok(mut guard) => guard.pop(),
+            Err(poisoned) => poisoned.into_inner().pop(),
         };
-        match self.pool.try_lock() {
-            Ok(mut pool) => run(&mut pool),
-            // A poisoned pool (panicked sibling thread) still holds valid
-            // warm bases — exactness does not depend on them.
-            Err(std::sync::TryLockError::Poisoned(poisoned)) => run(&mut poisoned.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => run(&mut SessionPool::new()),
+        let mut solver = match checked_out {
+            Some(solver) => solver,
+            None => match self.problem.lex_solver() {
+                Ok(solver) => solver,
+                Err(_) => return f64::NEG_INFINITY,
+            },
+        };
+        let gap = self
+            .heuristic
+            .gap_prepared(&self.problem, x, &mut solver)
+            .unwrap_or(f64::NEG_INFINITY);
+        match self.solvers.lock() {
+            Ok(mut guard) => guard.push(solver),
+            Err(poisoned) => poisoned.into_inner().push(solver),
         }
+        gap
     }
 
     fn dim_names(&self) -> Vec<String> {

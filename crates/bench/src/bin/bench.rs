@@ -1,10 +1,10 @@
-//! `bench` — the solver performance benchmark, emitting `BENCH_3.json`.
+//! `bench` — the solver performance benchmark, emitting `BENCH_6.json`.
 //!
 //! ```text
 //! bench [--quick] [--out PATH]
 //!
 //! --quick   CI-sized repeats and sample counts
-//! --out     output path (default BENCH_3.json in the working directory)
+//! --out     output path (default BENCH_6.json in the working directory)
 //! ```
 //!
 //! Prints a human summary to stdout and writes the machine-readable
@@ -21,7 +21,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_3.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
 
     let report = solver_bench::run(quick);
     print!("{}", solver_bench::render(&report));

@@ -29,7 +29,7 @@
 //! `cargo run -p xplain-bench --release --bin repro -- all` regenerates
 //! everything; `cargo bench` runs the Criterion timing benches; `cargo
 //! run -p xplain-bench --release --bin bench` runs the solver benchmark
-//! ([`solver_bench`]) and emits `BENCH_3.json` (revised-vs-reference
+//! ([`solver_bench`]) and emits `BENCH_6.json` (revised-vs-reference
 //! timings, B&B node counts, E7 pipeline time); `cargo run -p
 //! xplain-bench --release --bin serve-bench` runs the serving-layer load
 //! generator ([`serve_load`]) and emits `BENCH_5.json` (cold vs

@@ -19,9 +19,15 @@ pub struct PipelineTimeResult {
     pub outcomes: Vec<JobOutcome>,
 }
 
-/// Run every registered domain's full pipeline through the batch engine
-/// concurrently. `explainer_samples` should be 3000 to match the paper
-/// (tests use less).
+/// Run every registered domain's full pipeline through the batch engine.
+/// `explainer_samples` should be 3000 to match the paper (tests use less).
+///
+/// The worker pool is sized to the machine: these jobs are CPU-bound, so
+/// oversubscribing (more workers than cores) only interleaves their
+/// timeslices and inflates every job's measured wall-clock without
+/// finishing any of them sooner. Outcomes are byte-identical at any
+/// worker count (pinned by the runtime's determinism suite) — only the
+/// timing honesty is at stake.
 pub fn run(explainer_samples: usize) -> PipelineTimeResult {
     let mut config = PipelineConfig::default();
     config.explainer.samples = explainer_samples;
@@ -37,7 +43,11 @@ pub fn run(explainer_samples: usize) -> PipelineTimeResult {
             budgets: Default::default(),
         })
         .collect();
-    let outcomes = run_manifest(&registry, &jobs, None, jobs.len());
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, jobs.len().max(1));
+    let outcomes = run_manifest(&registry, &jobs, None, workers);
     PipelineTimeResult { outcomes }
 }
 

@@ -1,6 +1,6 @@
 //! Loopback load generator for the serving layer — emits `BENCH_5.json`
 //! so the HTTP path joins the repo's performance trajectory alongside
-//! the solver's `BENCH_3.json`.
+//! the solver's `BENCH_6.json`.
 //!
 //! Three workloads against a live in-process server on an ephemeral
 //! loopback port, all driven through the real wire (TCP + HTTP parsing +

@@ -7,7 +7,7 @@
 //! Pinnable means `d <= T` (§3: "we call a demand d : d <= T a pinnable
 //! demand"; Fig. 1a pins the demand that equals the threshold).
 
-use crate::te::problem::{TeAllocation, TeProblem};
+use crate::te::problem::{TeAllocation, TeLexSolver, TeProblem};
 use serde::{Deserialize, Serialize};
 use xplain_lp::{LpError, SessionPool};
 
@@ -71,13 +71,36 @@ impl DemandPinning {
         volumes: &[f64],
         pool: &mut SessionPool,
     ) -> Result<TeAllocation, DpError> {
+        let pin = self.pin_phase(problem, volumes)?;
+        let alloc = problem
+            .solve_max_flow_lex_pooled(volumes, Some(&pin.residual), &pin.pinned, pool)
+            .map_err(DpError::Lp)?;
+        Ok(pin.merge(problem, alloc))
+    }
+
+    /// [`DemandPinning::solve`] through a prepared [`TeLexSolver`]: the
+    /// phase-2 LP re-solves by rhs deltas — no per-evaluation model build.
+    pub fn solve_prepared(
+        &self,
+        problem: &TeProblem,
+        volumes: &[f64],
+        solver: &mut TeLexSolver,
+    ) -> Result<TeAllocation, DpError> {
+        let pin = self.pin_phase(problem, volumes)?;
+        let alloc = solver
+            .solve_max_flow_lex(volumes, Some(&pin.residual), &pin.pinned)
+            .map_err(DpError::Lp)?;
+        Ok(pin.merge(problem, alloc))
+    }
+
+    /// Phase 1: pin. Process in demand order (deterministic).
+    fn pin_phase(&self, problem: &TeProblem, volumes: &[f64]) -> Result<PinPhase, DpError> {
         let n = problem.num_demands();
         let pinned = self.pinned(volumes);
         let mut residual: Vec<f64> = problem.topology.links.iter().map(|l| l.capacity).collect();
         let mut flows: Vec<Vec<f64>> = problem.paths.iter().map(|ps| vec![0.0; ps.len()]).collect();
         let mut pinned_total = 0.0;
 
-        // Phase 1: pin. Process in demand order (deterministic).
         for k in 0..n {
             if !pinned[k] {
                 continue;
@@ -111,24 +134,11 @@ impl DemandPinning {
             flows[k][0] = route;
             pinned_total += route;
         }
-
-        // Phase 2: optimal max-flow for the unpinned demands on residuals
-        // (same lexicographic tie-break as the benchmark, so heuristic and
-        // benchmark differ only through the pinning itself).
-        let alloc = problem
-            .solve_max_flow_lex_pooled(volumes, Some(&residual), &pinned, pool)
-            .map_err(DpError::Lp)?;
-        for (k, paths) in problem.paths.iter().enumerate() {
-            for (p, _) in paths.iter().enumerate() {
-                if !pinned[k] {
-                    flows[k][p] = alloc.flows[k][p];
-                }
-            }
-        }
-
-        Ok(TeAllocation {
-            total: pinned_total + alloc.total,
+        Ok(PinPhase {
+            pinned,
+            residual,
             flows,
+            pinned_total,
         })
     }
 
@@ -149,6 +159,54 @@ impl DemandPinning {
         let opt = problem.optimal_pooled(volumes, pool).map_err(DpError::Lp)?;
         let dp = self.solve_pooled(problem, volumes, pool)?;
         Ok(opt.total - dp.total)
+    }
+
+    /// [`DemandPinning::gap`] through a prepared [`TeLexSolver`] — the
+    /// analyzer's hot path (phase 2 / E7 fan-out): two stage-1 LP solves
+    /// per evaluation, zero model builds. The gap consumes only *totals*,
+    /// and the total max flow is stage 1's objective — the lexicographic
+    /// refinement stage only selects which optimal vertex to report — so
+    /// this path skips it via [`TeLexSolver::total_flow`]. The value may
+    /// differ from [`DemandPinning::gap_pooled`] in trailing floating-point
+    /// bits (the pooled path re-sums the refined vertex's flows); callers
+    /// needing the allocation itself use [`DemandPinning::solve_prepared`].
+    pub fn gap_prepared(
+        &self,
+        problem: &TeProblem,
+        volumes: &[f64],
+        solver: &mut TeLexSolver,
+    ) -> Result<f64, DpError> {
+        let opt_total = solver.total_flow(volumes, None, &[]).map_err(DpError::Lp)?;
+        let pin = self.pin_phase(problem, volumes)?;
+        let phase2_total = solver
+            .total_flow(volumes, Some(&pin.residual), &pin.pinned)
+            .map_err(DpError::Lp)?;
+        Ok(opt_total - (pin.pinned_total + phase2_total))
+    }
+}
+
+/// The deterministic pin pass: what phase 1 routed and what is left.
+struct PinPhase {
+    pinned: Vec<bool>,
+    residual: Vec<f64>,
+    flows: Vec<Vec<f64>>,
+    pinned_total: f64,
+}
+
+impl PinPhase {
+    /// Overlay the phase-2 allocation of the unpinned demands.
+    fn merge(mut self, problem: &TeProblem, alloc: TeAllocation) -> TeAllocation {
+        for (k, paths) in problem.paths.iter().enumerate() {
+            for (p, _) in paths.iter().enumerate() {
+                if !self.pinned[k] {
+                    self.flows[k][p] = alloc.flows[k][p];
+                }
+            }
+        }
+        TeAllocation {
+            total: self.pinned_total + alloc.total,
+            flows: self.flows,
+        }
     }
 }
 

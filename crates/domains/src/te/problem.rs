@@ -4,7 +4,7 @@
 use crate::te::paths::{k_shortest_paths, Path};
 use crate::te::topology::Topology;
 use serde::{Deserialize, Serialize};
-use xplain_lp::{Cmp, LinExpr, LpError, Model, Sense, SessionPool, VarType};
+use xplain_lp::{Cmp, LinExpr, LpError, Model, Prepared, Sense, SessionPool, SolverStats, VarType};
 
 /// A demand endpoint pair (amounts are supplied separately — they are the
 /// *input space* the analyzer searches).
@@ -261,6 +261,39 @@ impl TeProblem {
         })
     }
 
+    /// Build a [`TeLexSolver`]: both lexicographic stage LPs standardized
+    /// once, so sweeps over demand vectors (the analyzer's probe fan-out)
+    /// re-solve through rhs deltas with no per-evaluation model build.
+    pub fn lex_solver(&self) -> Result<TeLexSolver, LpError> {
+        let zeros = vec![0.0; self.num_demands()];
+        let stage1 = Prepared::new(&self.max_flow_model(&zeros, None, &[]))?;
+        // Stage 2 mirrors `solve_max_flow_lex_pooled` exactly: same model,
+        // plus the `lex_total` pin row (rhs set per solve) and the negated
+        // shortest-path objective.
+        let mut m2 = self.max_flow_model(&zeros, None, &[]);
+        let objective = m2.objective().clone();
+        m2.add_constr("lex_total", objective, Cmp::Ge, 0.0);
+        let mut secondary = LinExpr::new();
+        let mut var_ix = 0usize;
+        for paths in &self.paths {
+            for pp in 0..paths.len() {
+                if pp == 0 {
+                    secondary.add_term(xplain_lp::VarId::from_index(var_ix), 1.0);
+                }
+                var_ix += 1;
+            }
+        }
+        m2.set_objective(-secondary);
+        let stage2 = Prepared::new(&m2)?;
+        Ok(TeLexSolver {
+            stage1,
+            stage2,
+            path_counts: self.paths.iter().map(|ps| ps.len()).collect(),
+            link_caps: self.topology.links.iter().map(|l| l.capacity).collect(),
+            pool: SessionPool::new(),
+        })
+    }
+
     /// Total link load of an allocation, per link.
     pub fn link_loads(&self, alloc: &TeAllocation) -> Vec<f64> {
         let mut loads = vec![0.0; self.topology.num_links()];
@@ -307,12 +340,183 @@ impl TeProblem {
     }
 }
 
+/// Prepared lexicographic max-flow solver for one [`TeProblem`].
+///
+/// Holds both stage LPs pre-standardized plus a warm-start [`SessionPool`];
+/// [`TeLexSolver::solve_max_flow_lex`] only writes rhs values (demand
+/// volumes, residual capacities, the stage-2 total pin) before re-solving.
+/// The rhs computation mirrors [`TeProblem::max_flow_model`] bit for bit
+/// and both paths funnel into the same solver entry point, so a prepared
+/// solve returns *byte-identical* solutions to building the model afresh —
+/// pinned by `te_lex_solver_matches_model_path` below and the analyzer's
+/// replay suite.
+pub struct TeLexSolver {
+    stage1: Prepared,
+    stage2: Prepared,
+    /// Paths per demand, for flow extraction (demand rows are `0..n`).
+    path_counts: Vec<usize>,
+    /// Topology link capacities — the per-solve default (cap rows follow
+    /// the demand rows).
+    link_caps: Vec<f64>,
+    pool: SessionPool,
+}
+
+impl TeLexSolver {
+    /// Lexicographic max-flow (see [`TeProblem::solve_max_flow_lex`]) via
+    /// rhs deltas on the prepared stage LPs.
+    pub fn solve_max_flow_lex(
+        &mut self,
+        volumes: &[f64],
+        capacities: Option<&[f64]>,
+        skip_demand: &[bool],
+    ) -> Result<TeAllocation, LpError> {
+        let n = self.path_counts.len();
+        for k in 0..n {
+            let vol = if skip_demand.get(k).copied().unwrap_or(false) {
+                0.0
+            } else {
+                volumes.get(k).copied().unwrap_or(0.0)
+            };
+            let rhs = vol.max(0.0);
+            self.stage1.set_rhs(k, rhs);
+            self.stage2.set_rhs(k, rhs);
+        }
+        for (l, &link_cap) in self.link_caps.iter().enumerate() {
+            let cap = capacities.map(|c| c[l]).unwrap_or(link_cap).max(0.0);
+            self.stage1.set_rhs(n + l, cap);
+            self.stage2.set_rhs(n + l, cap);
+        }
+        let sol = self.pool.solve_prepared(&self.stage1)?;
+        let total = sol.objective;
+
+        let slack = 1e-9 * total.abs().max(1.0);
+        self.stage2.set_rhs(n + self.link_caps.len(), total - slack);
+        let sol2 = self.pool.solve_prepared(&self.stage2)?;
+
+        let mut flows = Vec::with_capacity(n);
+        let mut var_ix = 0usize;
+        let mut routed = 0.0;
+        for &count in &self.path_counts {
+            let mut row = Vec::with_capacity(count);
+            for _ in 0..count {
+                let f = sol2.values[var_ix].max(0.0);
+                routed += f;
+                row.push(f);
+                var_ix += 1;
+            }
+            flows.push(row);
+        }
+        Ok(TeAllocation {
+            flows,
+            total: routed,
+        })
+    }
+
+    /// The benchmark (see [`TeProblem::optimal`]) through the prepared LPs.
+    pub fn optimal(&mut self, volumes: &[f64]) -> Result<TeAllocation, LpError> {
+        self.solve_max_flow_lex(volumes, None, &[])
+    }
+
+    /// The maximum total flow alone — stage 1's objective, skipping the
+    /// vertex-refinement stage entirely.
+    ///
+    /// Stage 2 only decides *which* optimal allocation to report; the
+    /// total is fixed by stage 1 (the objective is the plain sum of path
+    /// flows). Callers that consume nothing but the value — the gap
+    /// oracle's `OPT − DP`, evaluated tens of thousands of times per
+    /// analysis — halve their LP count by calling this instead of
+    /// [`TeLexSolver::solve_max_flow_lex`].
+    pub fn total_flow(
+        &mut self,
+        volumes: &[f64],
+        capacities: Option<&[f64]>,
+        skip_demand: &[bool],
+    ) -> Result<f64, LpError> {
+        let n = self.path_counts.len();
+        for k in 0..n {
+            let vol = if skip_demand.get(k).copied().unwrap_or(false) {
+                0.0
+            } else {
+                volumes.get(k).copied().unwrap_or(0.0)
+            };
+            self.stage1.set_rhs(k, vol.max(0.0));
+        }
+        for (l, &link_cap) in self.link_caps.iter().enumerate() {
+            let cap = capacities.map(|c| c[l]).unwrap_or(link_cap).max(0.0);
+            self.stage1.set_rhs(n + l, cap);
+        }
+        Ok(self.pool.solve_prepared(&self.stage1)?.objective)
+    }
+
+    /// Clone the prepared stage LPs with a *fresh* session pool.
+    ///
+    /// Every solve through the clone starts cold, so the returned vertex
+    /// depends only on the input — exactly the model-building path's
+    /// behavior, minus the per-call model build and standardization. This
+    /// is what callers that need vertex determinism across threads (the
+    /// explainer's DSL mappers) use: one prototype, one cheap cold clone
+    /// per evaluation.
+    pub fn cold_clone(&self) -> TeLexSolver {
+        TeLexSolver {
+            stage1: self.stage1.clone(),
+            stage2: self.stage2.clone(),
+            path_counts: self.path_counts.clone(),
+            link_caps: self.link_caps.clone(),
+            pool: SessionPool::new(),
+        }
+    }
+
+    /// Aggregate solver statistics of the internal pool.
+    pub fn stats(&self) -> SolverStats {
+        self.pool.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    /// A prepared solver and the model-building path must return
+    /// byte-identical allocations across a sweep (they feed the replay
+    /// pins, which compare serialized output exactly).
+    #[test]
+    fn te_lex_solver_matches_model_path() {
+        let p = TeProblem::fig1a();
+        let mut solver = p.lex_solver().unwrap();
+        let mut pool = SessionPool::new();
+        let sweeps: &[[f64; 3]] = &[
+            [50.0, 100.0, 100.0],
+            [0.0, 0.0, 0.0],
+            [10.0, 90.0, 20.0],
+            [100.0, 100.0, 100.0],
+            [-5.0, 10.0, 10.0],
+        ];
+        for volumes in sweeps {
+            let a = solver.solve_max_flow_lex(volumes, None, &[]).unwrap();
+            let b = p
+                .solve_max_flow_lex_pooled(volumes, None, &[], &mut pool)
+                .unwrap();
+            assert_eq!(a.total.to_bits(), b.total.to_bits());
+            for (ra, rb) in a.flows.iter().zip(&b.flows) {
+                for (fa, fb) in ra.iter().zip(rb) {
+                    assert_eq!(fa.to_bits(), fb.to_bits());
+                }
+            }
+        }
+        // Residual-capacity + skip route (the DP phase-2 shape).
+        let caps = vec![50.0, 50.0, 50.0, 50.0, 50.0];
+        let skips = [true, false, false];
+        let a = solver
+            .solve_max_flow_lex(&[100.0, 100.0, 100.0], Some(&caps), &skips)
+            .unwrap();
+        let b = p
+            .solve_max_flow_lex_pooled(&[100.0, 100.0, 100.0], Some(&caps), &skips, &mut pool)
+            .unwrap();
+        assert_eq!(a.total.to_bits(), b.total.to_bits());
     }
 
     #[test]

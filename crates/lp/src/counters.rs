@@ -11,10 +11,21 @@
 //! and a superset otherwise — the runtime's batch executor therefore
 //! normalizes the counters embedded in stored results and keeps measured
 //! deltas on the per-job outcome, exactly like `wall_time_ms`.
+//!
+//! **Consistency:** updates and snapshots go through a seqlock, so a
+//! [`SolverCounters::snapshot`] is always a consistent cut of *complete*
+//! `record` calls — a reader can never observe half of a solve's update
+//! (e.g. `lp_solves` bumped but `lp_warm_hits` not yet). Cross-field
+//! invariants such as `lp_solves == lp_warm_hits + lp_cold_starts`
+//! therefore hold in every snapshot and every delta between snapshots,
+//! even while other threads solve concurrently. (Earlier versions read
+//! each field independently; a racing delta could tear and silently
+//! under-report via `saturating_sub`.)
 
 use crate::revised::SolverStats;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 static LP_SOLVES: AtomicU64 = AtomicU64::new(0);
 static LP_ITERATIONS: AtomicU64 = AtomicU64::new(0);
@@ -24,19 +35,38 @@ static LP_WARM_HITS: AtomicU64 = AtomicU64::new(0);
 static LP_COLD_STARTS: AtomicU64 = AtomicU64::new(0);
 static BB_NODES: AtomicU64 = AtomicU64::new(0);
 
+/// Seqlock version: odd while a writer is mid-update, even otherwise.
+static VERSION: AtomicU64 = AtomicU64::new(0);
+/// Serializes writers (readers never take it).
+static WRITER: Mutex<()> = Mutex::new(());
+
+/// Run `f` as one atomic counter update: bump the version to odd (Acquire
+/// keeps the field writes after it), apply, bump back to even (Release
+/// keeps them before it).
+fn write_locked(f: impl FnOnce()) {
+    let _guard = WRITER.lock().unwrap_or_else(|e| e.into_inner());
+    VERSION.fetch_add(1, Ordering::Acquire);
+    f();
+    VERSION.fetch_add(1, Ordering::Release);
+}
+
 /// Fold one solve's statistics into the global counters.
 pub(crate) fn record(stats: &SolverStats) {
-    LP_SOLVES.fetch_add(stats.solves, Ordering::Relaxed);
-    LP_ITERATIONS.fetch_add(stats.iterations, Ordering::Relaxed);
-    LP_DUAL_ITERATIONS.fetch_add(stats.dual_iterations, Ordering::Relaxed);
-    LP_REFACTORIZATIONS.fetch_add(stats.refactorizations, Ordering::Relaxed);
-    LP_WARM_HITS.fetch_add(stats.warm_hits, Ordering::Relaxed);
-    LP_COLD_STARTS.fetch_add(stats.cold_starts, Ordering::Relaxed);
+    write_locked(|| {
+        LP_SOLVES.fetch_add(stats.solves, Ordering::Relaxed);
+        LP_ITERATIONS.fetch_add(stats.iterations, Ordering::Relaxed);
+        LP_DUAL_ITERATIONS.fetch_add(stats.dual_iterations, Ordering::Relaxed);
+        LP_REFACTORIZATIONS.fetch_add(stats.refactorizations, Ordering::Relaxed);
+        LP_WARM_HITS.fetch_add(stats.warm_hits, Ordering::Relaxed);
+        LP_COLD_STARTS.fetch_add(stats.cold_starts, Ordering::Relaxed);
+    });
 }
 
 /// One branch-and-bound node explored.
 pub(crate) fn record_bb_node() {
-    BB_NODES.fetch_add(1, Ordering::Relaxed);
+    write_locked(|| {
+        BB_NODES.fetch_add(1, Ordering::Relaxed);
+    });
 }
 
 /// A snapshot of (or delta between) the process-wide solver counters.
@@ -62,21 +92,35 @@ pub struct SolverCounters {
 }
 
 impl SolverCounters {
-    /// Read the current process-wide totals.
+    /// Read the current process-wide totals as one consistent cut: the
+    /// seqlock retry loop guarantees no `record` call overlapped the field
+    /// reads, so every snapshot reflects a whole number of solves.
     pub fn snapshot() -> Self {
-        SolverCounters {
-            lp_solves: LP_SOLVES.load(Ordering::Relaxed),
-            lp_iterations: LP_ITERATIONS.load(Ordering::Relaxed),
-            lp_dual_iterations: LP_DUAL_ITERATIONS.load(Ordering::Relaxed),
-            lp_refactorizations: LP_REFACTORIZATIONS.load(Ordering::Relaxed),
-            lp_warm_hits: LP_WARM_HITS.load(Ordering::Relaxed),
-            lp_cold_starts: LP_COLD_STARTS.load(Ordering::Relaxed),
-            bb_nodes: BB_NODES.load(Ordering::Relaxed),
+        loop {
+            let v1 = VERSION.load(Ordering::Acquire);
+            if v1 & 1 == 0 {
+                let snap = SolverCounters {
+                    lp_solves: LP_SOLVES.load(Ordering::Relaxed),
+                    lp_iterations: LP_ITERATIONS.load(Ordering::Relaxed),
+                    lp_dual_iterations: LP_DUAL_ITERATIONS.load(Ordering::Relaxed),
+                    lp_refactorizations: LP_REFACTORIZATIONS.load(Ordering::Relaxed),
+                    lp_warm_hits: LP_WARM_HITS.load(Ordering::Relaxed),
+                    lp_cold_starts: LP_COLD_STARTS.load(Ordering::Relaxed),
+                    bb_nodes: BB_NODES.load(Ordering::Relaxed),
+                };
+                // Keep the field loads before the version re-check.
+                fence(Ordering::Acquire);
+                if VERSION.load(Ordering::Relaxed) == v1 {
+                    return snap;
+                }
+            }
+            std::hint::spin_loop();
         }
     }
 
-    /// Counters accumulated since `earlier` (saturating, in case the
-    /// caller mixes snapshots up).
+    /// Counters accumulated since `earlier`. Both endpoints being seqlock
+    /// cuts, a well-ordered pair never underflows; `saturating_sub` only
+    /// guards callers that mix snapshots up.
     pub fn since(&self, earlier: &SolverCounters) -> SolverCounters {
         SolverCounters {
             lp_solves: self.lp_solves.saturating_sub(earlier.lp_solves),
@@ -126,6 +170,56 @@ mod tests {
         let delta = SolverCounters::snapshot().since(&before);
         assert!(delta.lp_solves >= 1, "{delta:?}");
         assert!(delta.lp_cold_starts >= 1, "{delta:?}");
+    }
+
+    #[test]
+    fn concurrent_deltas_never_tear() {
+        // Writers fold in bundles that each satisfy the solver invariant
+        // `solves == warm_hits + cold_starts`; every snapshot a racing
+        // reader takes — and every delta between two of its snapshots —
+        // must satisfy it too. (Other tests solving LPs in this process
+        // only add more invariant-preserving records.) Before the seqlock,
+        // readers could observe half a record and `since` would silently
+        // saturate the torn fields to zero.
+        use std::thread;
+        let bundle = SolverStats {
+            solves: 3,
+            iterations: 17,
+            dual_iterations: 5,
+            refactorizations: 2,
+            warm_hits: 2,
+            cold_starts: 1,
+        };
+        thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..2_000 {
+                        record(&bundle);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let mut prev = SolverCounters::snapshot();
+                    for _ in 0..10_000 {
+                        let now = SolverCounters::snapshot();
+                        assert_eq!(
+                            now.lp_solves,
+                            now.lp_warm_hits + now.lp_cold_starts,
+                            "torn snapshot: {now:?}"
+                        );
+                        let d = now.since(&prev);
+                        assert_eq!(
+                            d.lp_solves,
+                            d.lp_warm_hits + d.lp_cold_starts,
+                            "torn delta: {d:?}"
+                        );
+                        assert!(now.lp_solves >= prev.lp_solves, "non-monotone");
+                        prev = now;
+                    }
+                });
+            }
+        });
     }
 
     #[test]

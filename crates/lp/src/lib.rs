@@ -38,6 +38,7 @@
 pub mod counters;
 pub mod error;
 pub mod expr;
+mod factor;
 pub mod milp;
 pub mod model;
 pub mod revised;
@@ -49,4 +50,4 @@ pub use error::LpError;
 pub use expr::{LinExpr, VarId};
 pub use milp::{Backend, MilpStats};
 pub use model::{Cmp, Constraint, Model, Sense, Solution, SolveOptions, VarType};
-pub use revised::{SessionPool, SolverSession, SolverStats};
+pub use revised::{Prepared, Probe, SessionPool, SolverSession, SolverStats};

@@ -4,12 +4,13 @@
 //! most fractional integer variable. Two things make it fast enough for
 //! the MetaOpt-style encodings XPlain generates:
 //!
-//! * **One scratch model.** Each node stores only its bound overrides;
-//!   they are applied to a single scratch model before the node's LP and
-//!   undone after — no per-node `clone_from` of the whole model.
+//! * **One prepared LP.** The root relaxation is standardized once into a
+//!   [`Prepared`]; each node stores only its bound overrides, applied as
+//!   deltas before the node's LP and undone after — no per-node model
+//!   clone and no per-node re-standardization.
 //! * **Warm starts.** All nodes share one [`SolverSession`]: a child's LP
 //!   differs from its parent's only in one variable bound, so the cached
-//!   basis stays dual feasible and a few dual simplex steps replace a
+//!   factorization stays valid and a few dual simplex steps replace a
 //!   cold phase-1 solve.
 //!
 //! [`Backend::Reference`] swaps the per-node LP for the reference tableau
@@ -19,7 +20,7 @@
 use crate::counters;
 use crate::error::LpError;
 use crate::model::{Model, Sense, Solution, VarType};
-use crate::revised::{SolverSession, SolverStats};
+use crate::revised::{Prepared, SolverSession, SolverStats};
 use crate::simplex;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -128,6 +129,38 @@ fn restore_bounds(scratch: &mut Model, undo: &mut Vec<(usize, f64, f64)>) {
     }
 }
 
+/// [`apply_bounds`], but as deltas on the prepared (already standardized)
+/// root relaxation — the hot path of [`Backend::Revised`]. Must mirror the
+/// model-space version exactly: same intersection, same empty-domain check,
+/// same undo discipline (pinned by `delta_and_clone_node_orders_match`).
+fn apply_bounds_prepared(
+    prep: &mut Prepared,
+    bounds: &[(usize, f64, f64)],
+    undo: &mut Vec<(usize, f64, f64)>,
+) -> bool {
+    undo.clear();
+    for &(ix, lo, hi) in bounds {
+        let v = crate::VarId::from_index(ix);
+        let (cur_lo, cur_hi) = prep.var_bounds(v);
+        undo.push((ix, cur_lo, cur_hi));
+        let nlo = cur_lo.max(lo);
+        let nhi = cur_hi.min(hi);
+        if nlo > nhi {
+            restore_bounds_prepared(prep, undo);
+            return false;
+        }
+        prep.set_var_bounds(v, nlo, nhi);
+    }
+    true
+}
+
+/// Undo [`apply_bounds_prepared`] (reverse order).
+fn restore_bounds_prepared(prep: &mut Prepared, undo: &mut Vec<(usize, f64, f64)>) {
+    while let Some((ix, lo, hi)) = undo.pop() {
+        prep.set_var_bounds(crate::VarId::from_index(ix), lo, hi);
+    }
+}
+
 /// Solve a mixed-integer model exactly by branch and bound.
 pub fn solve(model: &Model) -> Result<Solution, LpError> {
     solve_with(model, Backend::Revised).map(|(sol, _)| sol)
@@ -211,7 +244,20 @@ fn solve_inner(
 
     let mut stats = MilpStats::default();
     let lp_before = session.stats;
-    let mut scratch = model.clone();
+    // Hot path: the root relaxation is standardized exactly once and every
+    // node re-solves it through bound deltas. The reference backend and the
+    // legacy clone-per-node test mode still route through a scratch `Model`.
+    let use_prepared = backend == Backend::Revised && !clone_per_node;
+    let mut prep = if use_prepared {
+        Some(Prepared::new(model)?)
+    } else {
+        None
+    };
+    let mut scratch = if use_prepared {
+        None
+    } else {
+        Some(model.clone())
+    };
     let mut undo: Vec<(usize, f64, f64)> = Vec::new();
 
     let record = |trace: &mut Option<&mut Vec<NodeTrace>>, node: &Node, event: NodeEvent| {
@@ -239,27 +285,39 @@ fn solve_inner(
             continue;
         }
 
-        // Apply the branch bounds to the scratch model (delta + undo), or —
-        // in the legacy test mode — rebuild the scratch from the original.
-        if clone_per_node {
-            scratch.clone_from(model);
-        }
-        if !apply_bounds(&mut scratch, &node.bounds, &mut undo) {
-            record(&mut trace, &node, NodeEvent::EmptyDomain);
-            continue;
-        }
-
-        let relax = match backend {
-            Backend::Revised => session.solve_unchecked(&scratch),
-            Backend::Reference => {
-                stats.lp.solves += 1;
-                stats.lp.cold_starts += 1;
-                simplex::reference::solve(&scratch)
+        // Apply the branch bounds as deltas (prepared LP or scratch model),
+        // or — in the legacy test mode — rebuild the scratch from the
+        // original; then solve the node relaxation.
+        let relax = if let Some(prep) = prep.as_mut() {
+            if !apply_bounds_prepared(prep, &node.bounds, &mut undo) {
+                record(&mut trace, &node, NodeEvent::EmptyDomain);
+                continue;
             }
+            let r = session.solve_prepared(prep);
+            restore_bounds_prepared(prep, &mut undo);
+            r
+        } else {
+            let scratch = scratch.as_mut().expect("scratch exists when not prepared");
+            if clone_per_node {
+                scratch.clone_from(model);
+            }
+            if !apply_bounds(scratch, &node.bounds, &mut undo) {
+                record(&mut trace, &node, NodeEvent::EmptyDomain);
+                continue;
+            }
+            let r = match backend {
+                Backend::Revised => session.solve_unchecked(scratch),
+                Backend::Reference => {
+                    stats.lp.solves += 1;
+                    stats.lp.cold_starts += 1;
+                    simplex::reference::solve(scratch)
+                }
+            };
+            if !clone_per_node {
+                restore_bounds(scratch, &mut undo);
+            }
+            r
         };
-        if !clone_per_node {
-            restore_bounds(&mut scratch, &mut undo);
-        }
         let relax = match relax {
             Ok(s) => s,
             Err(LpError::Infeasible) => {

@@ -1,4 +1,5 @@
-//! Revised simplex with native bounded variables and warm starts.
+//! Revised simplex with native bounded variables, a product-form sparse
+//! basis factorization, and warm starts.
 //!
 //! The production LP hot path. Differences from the reference tableau
 //! solver ([`crate::simplex::reference`]) that matter at XPlain's scale:
@@ -9,29 +10,57 @@
 //!   The reference solver instead emits a `y <= hi - lo` constraint row
 //!   per two-sided variable — on the binary-heavy MetaOpt MILPs that
 //!   doubles the row count before phase 1 even starts.
-//! * **Basis factorization.** The solver maintains a dense basis inverse,
-//!   updated per pivot in `O(m^2)` and rebuilt from the basis columns
-//!   every `REFACTOR_EVERY` pivots (and on warm starts) to bound
-//!   numerical drift.
-//! * **Warm starts.** A [`SolverSession`] caches the final basis. When the
-//!   next model has the same shape, the solve resumes from that basis:
+//! * **Basis factorization.** The basis is held as a sparse product-form
+//!   factorization (`factor::Factorization`): base etas from a sparse
+//!   Gauss–Jordan pass, one update eta appended per pivot in `O(nnz)`,
+//!   rebuilt on an adaptive cadence (`refactor_cadence`) to bound drift.
+//!   `ftran`/`btran` are linear scans over one contiguous eta arena and
+//!   skip etas wholesale when the running vector is zero at their pivot
+//!   row — the previous engine's dense `O(m²)` inverse updates and
+//!   `O(m³)` rebuilds are gone.
+//! * **Pricing.** Devex (reference-framework weights, maintained across
+//!   pivots) over *incrementally maintained* reduced costs: each pivot
+//!   updates `d` via the pivot row instead of recomputing duals from
+//!   scratch every iteration. Apparent optimality is always confirmed
+//!   against freshly computed reduced costs before the solver returns,
+//!   so maintenance drift can cost extra pivots but never correctness.
+//!   A degenerate streak switches to Bland's rule (anti-cycling) and —
+//!   unlike the previous engine — switches *back* on the first
+//!   non-degenerate step, so one degenerate patch no longer condemns the
+//!   rest of a long solve to Bland crawling.
+//! * **Warm starts.** A [`SolverSession`] caches the final basis *and its
+//!   factorization*. When the next model has the same shape and constraint
+//!   matrix fingerprint, the solve reuses the factorization outright —
 //!   bound changes (branch-and-bound children) and rhs changes (gap-oracle
-//!   sweeps) leave the cached basis dual feasible, so a handful of dual
-//!   simplex steps replace a full phase-1 + phase-2 cold solve.
+//!   sweeps) cost a handful of dual simplex steps with zero refactoring.
 //!   [`SessionPool`] keys sessions by model shape for call sites that
-//!   alternate between a few fixed shapes (e.g. lexicographic two-stage
-//!   max-flow).
-//!
-//! Pricing is Dantzig (most negative reduced cost) until a degenerate
-//! streak is detected, then Bland's rule — the same anti-cycling contract
-//! as the reference solver.
+//!   alternate between a few fixed shapes.
+//! * **Prepared re-solves.** [`Prepared`] standardizes a model once;
+//!   [`SolverSession::solve_prepared`] then re-solves after in-place
+//!   bound/rhs edits without touching the `Model` at all, and
+//!   [`SolverSession::solve_batch`] amortizes one warm factorization
+//!   across a whole probe batch. The contract: a prepared solve is
+//!   *byte-for-byte identical* to materializing the edited model and
+//!   calling [`SolverSession::solve_unchecked`] — same standardized data,
+//!   same pivots, same bits out.
 
 use crate::counters;
 use crate::error::LpError;
+use crate::expr::{LinExpr, VarId};
+use crate::factor::Factorization;
 use crate::model::{Cmp, Model, Sense, Solution};
 
-/// Rebuild the basis inverse from scratch every this many pivots.
+/// Upper bound on the refactorization cadence (pivots between rebuilds).
 const REFACTOR_EVERY: usize = 64;
+
+/// Pivots between factorization rebuilds: roughly one basis dimension's
+/// worth of update etas, clamped to `[8, REFACTOR_EVERY]`. On small LPs a
+/// long eta chain costs more per ftran/btran than the rebuild it defers —
+/// the warm sweep loses to the cold tableau past ~2m etas — while on large
+/// bases the 64 cap bounds drift exactly as before.
+fn refactor_cadence(m: usize) -> usize {
+    m.clamp(8, REFACTOR_EVERY)
+}
 /// Consecutive degenerate steps before switching to Bland's rule.
 const DEGENERATE_STREAK_LIMIT: usize = 64;
 /// Smallest pivot element magnitude accepted during elimination.
@@ -48,7 +77,7 @@ pub struct SolverStats {
     pub iterations: u64,
     /// Dual simplex pivots (warm-start repair).
     pub dual_iterations: u64,
-    /// Basis-inverse rebuilds.
+    /// Basis-factorization rebuilds.
     pub refactorizations: u64,
     /// Solves that resumed from a cached basis.
     pub warm_hits: u64,
@@ -96,7 +125,8 @@ enum Status {
 /// structural variables (bounds as declared) followed by one slack per
 /// row (`Le`: `s in [0, inf)`, `Ge`: `s in (-inf, 0]`, `Eq`: `s = 0`).
 /// The matrix never depends on variable bounds — that is what makes
-/// bound-delta warm starts cheap.
+/// bound-delta warm starts (and [`Prepared`] in-place edits) cheap.
+#[derive(Debug, Clone)]
 struct StdLp {
     n_struct: usize,
     m: usize,
@@ -111,9 +141,9 @@ struct StdLp {
     b: Vec<f64>,
     /// FNV-1a over the sparse matrix (columns only — not bounds, costs,
     /// or rhs). Two standardized LPs with equal shape and fingerprint
-    /// share basis inverses: a cached `Binv` from one is valid for the
-    /// other, which is what lets bound-delta and rhs-delta warm starts
-    /// skip refactorization entirely.
+    /// share basis factorizations: a cached one from one solve is valid
+    /// for the other, which is what lets bound-delta and rhs-delta warm
+    /// starts skip refactorization entirely.
     matrix_fp: u64,
 }
 
@@ -179,6 +209,116 @@ fn standardize(model: &Model) -> StdLp {
     }
 }
 
+/// The column of standardized/artificial index `j` as a sparse slice.
+/// A free function (not a `Core` method) so hot loops can hold it while
+/// mutating disjoint `Core` fields.
+#[inline]
+fn column<'c>(lp: &'c StdLp, art: &'c [(usize, f64)], j: usize) -> &'c [(usize, f64)] {
+    if j < lp.ncols {
+        &lp.cols[j]
+    } else {
+        std::slice::from_ref(&art[j - lp.ncols])
+    }
+}
+
+/// A model standardized once for repeated in-place re-solving.
+///
+/// `Prepared::new` pays validation, standardization, and matrix
+/// fingerprinting a single time; after that, [`Prepared::set_rhs`] and
+/// [`Prepared::set_var_bounds`] edit the standardized arrays directly and
+/// a [`SolverSession::solve_prepared`] call runs the solver core with no
+/// per-solve model build at all. Because the constraint *matrix* (and its
+/// fingerprint) never changes, every re-solve through one session reuses
+/// the cached basis factorization.
+///
+/// Equivalence contract (pinned by `lp/tests/differential.rs`): a
+/// prepared solve is byte-for-byte identical to building a fresh `Model`
+/// with the same bounds/rhs and calling [`SolverSession::solve_unchecked`]
+/// on it through the same session.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    lp: StdLp,
+    objective: LinExpr,
+    /// Constant part of each row's expression: `b[r] = rhs[r] - shift[r]`.
+    shift: Vec<f64>,
+    max_iterations: usize,
+    feas_tol: f64,
+    opt_tol: f64,
+}
+
+impl Prepared {
+    /// Validate and standardize `model` for repeated re-solving.
+    pub fn new(model: &Model) -> Result<Self, LpError> {
+        model.validate()?;
+        let lp = standardize(model);
+        let shift = model
+            .constraints
+            .iter()
+            .map(|c| c.expr.constant_part())
+            .collect();
+        Ok(Prepared {
+            lp,
+            objective: model.objective.clone(),
+            shift,
+            max_iterations: model.options().max_iterations,
+            feas_tol: model.options().feas_tol,
+            opt_tol: model.options().opt_tol,
+        })
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.lp.n_struct
+    }
+
+    pub fn num_constraints(&self) -> usize {
+        self.lp.m
+    }
+
+    /// Set constraint `row`'s right-hand side (model-space, i.e. the value
+    /// that `Model::add_constr` would have taken).
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) {
+        self.lp.b[row] = rhs - self.shift[row];
+    }
+
+    /// Constraint `row`'s current right-hand side (model-space).
+    pub fn rhs(&self, row: usize) -> f64 {
+        self.lp.b[row] + self.shift[row]
+    }
+
+    /// Set a structural variable's bounds in place.
+    pub fn set_var_bounds(&mut self, v: VarId, lo: f64, hi: f64) {
+        let ix = v.index();
+        debug_assert!(ix < self.lp.n_struct, "not a structural variable");
+        debug_assert!(lo <= hi, "empty bound interval [{lo}, {hi}]");
+        self.lp.lo[ix] = lo;
+        self.lp.hi[ix] = hi;
+    }
+
+    /// A structural variable's current bounds.
+    pub fn var_bounds(&self, v: VarId) -> (f64, f64) {
+        let ix = v.index();
+        (self.lp.lo[ix], self.lp.hi[ix])
+    }
+
+    /// The session-pool shape key — identical to the one a `Model` with
+    /// this shape resolves to, so prepared and model-based solves share
+    /// warm state.
+    fn shape_key(&self) -> (usize, usize) {
+        (self.lp.n_struct, self.lp.m)
+    }
+}
+
+/// One bound/rhs perturbation of a [`Prepared`] base model, for
+/// [`SolverSession::solve_batch`]. Each probe is applied *relative to the
+/// base* (not cumulatively) and reverted after its solve.
+#[derive(Debug, Clone, Default)]
+pub struct Probe {
+    /// `(var, lo, hi)` bound overrides.
+    pub bounds: Vec<(VarId, f64, f64)>,
+    /// `(row, rhs)` right-hand-side overrides (model-space).
+    pub rhs: Vec<(usize, f64)>,
+}
+
 /// The cached end state of a solve, reusable when the next model has the
 /// same `(vars, constraints)` shape.
 #[derive(Debug, Clone)]
@@ -187,13 +327,11 @@ struct WarmBasis {
     m: usize,
     status: Vec<Status>,
     basis: Vec<usize>,
-    /// Basis inverse at the end of the donor solve, valid only while the
-    /// constraint matrix fingerprint matches.
-    binv: Vec<f64>,
+    /// Basis factorization at the end of the donor solve, valid only while
+    /// the constraint matrix fingerprint matches. Carries its own update
+    /// count, so the refactorization cadence holds session-wide.
+    lu: Factorization,
     matrix_fp: u64,
-    /// Pivot-update age of `binv`, carried across solves so the
-    /// refactorization cadence holds session-wide, not per solve.
-    pivots_since_refactor: usize,
 }
 
 /// A warm-startable solver handle.
@@ -225,16 +363,85 @@ impl SolverSession {
     /// mutate only bounds/rhs of an already-validated model).
     pub fn solve_unchecked(&mut self, model: &Model) -> Result<Solution, LpError> {
         let lp = standardize(model);
+        self.solve_std(
+            &lp,
+            &model.objective,
+            model.options().max_iterations,
+            model.options().feas_tol,
+            model.options().opt_tol,
+        )
+    }
+
+    /// Re-solve a [`Prepared`] model. No model build, no standardization,
+    /// no fingerprint hashing — just the solver core against the prepared
+    /// arrays, warm-starting exactly like [`SolverSession::solve`] would.
+    pub fn solve_prepared(&mut self, prep: &Prepared) -> Result<Solution, LpError> {
+        self.solve_std(
+            &prep.lp,
+            &prep.objective,
+            prep.max_iterations,
+            prep.feas_tol,
+            prep.opt_tol,
+        )
+    }
+
+    /// Solve a batch of probes against `prep`'s base state, amortizing one
+    /// warm factorization across the whole batch.
+    ///
+    /// Each probe's edits are applied to the base, solved, and reverted,
+    /// so probes are independent perturbations (not a cumulative chain).
+    /// Result `i` is byte-for-byte what `solve_prepared` would return had
+    /// probe `i`'s edits been applied by hand at that point in this
+    /// session's history.
+    pub fn solve_batch(
+        &mut self,
+        prep: &mut Prepared,
+        probes: &[Probe],
+    ) -> Vec<Result<Solution, LpError>> {
+        let mut out = Vec::with_capacity(probes.len());
+        let mut bound_undo: Vec<(usize, f64, f64)> = Vec::new();
+        let mut rhs_undo: Vec<(usize, f64)> = Vec::new();
+        for probe in probes {
+            bound_undo.clear();
+            rhs_undo.clear();
+            for &(v, lo, hi) in &probe.bounds {
+                let ix = v.index();
+                bound_undo.push((ix, prep.lp.lo[ix], prep.lp.hi[ix]));
+                prep.set_var_bounds(v, lo, hi);
+            }
+            for &(row, rhs) in &probe.rhs {
+                rhs_undo.push((row, prep.lp.b[row]));
+                prep.set_rhs(row, rhs);
+            }
+            out.push(self.solve_prepared(prep));
+            for &(row, b) in rhs_undo.iter().rev() {
+                prep.lp.b[row] = b;
+            }
+            for &(ix, lo, hi) in bound_undo.iter().rev() {
+                prep.lp.lo[ix] = lo;
+                prep.lp.hi[ix] = hi;
+            }
+        }
+        out
+    }
+
+    /// The shared solve path: every route into the core — model-based or
+    /// prepared — funnels through here, which is what makes the two
+    /// byte-for-byte identical on identical standardized data.
+    fn solve_std(
+        &mut self,
+        lp: &StdLp,
+        objective: &LinExpr,
+        max_iterations: usize,
+        feas_tol: f64,
+        opt_tol: f64,
+    ) -> Result<Solution, LpError> {
         let warm = self
             .warm
             .take()
             .filter(|w| w.n_struct == lp.n_struct && w.m == lp.m);
-        let mut core = Core::new(
-            &lp,
-            model.options().max_iterations,
-            model.options().feas_tol,
-        );
-        let out = core.run(warm, model.options().opt_tol);
+        let mut core = Core::new(lp, max_iterations, feas_tol);
+        let out = core.run(warm, opt_tol);
         // Cache the basis even on Infeasible (a later bound relaxation can
         // still warm-start from it); drop it on numerical trouble.
         match &out {
@@ -248,9 +455,8 @@ impl SolverSession {
                     m: lp.m,
                     status,
                     basis: std::mem::take(&mut core.basis),
-                    binv: std::mem::take(&mut core.binv),
+                    lu: std::mem::take(&mut core.lu),
                     matrix_fp: lp.matrix_fp,
-                    pivots_since_refactor: core.pivots_since_refactor,
                 });
             }
             Err(_) => self.warm = None,
@@ -258,7 +464,7 @@ impl SolverSession {
         self.stats.absorb(&core.stats);
         counters::record(&core.stats);
         let values = out?;
-        let objective = model.objective.eval(&values);
+        let objective = objective.eval(&values);
         if !objective.is_finite() {
             return Err(LpError::Numerical("objective evaluated non-finite".into()));
         }
@@ -281,7 +487,9 @@ impl SolverSession {
 /// Call sites like the lexicographic max-flow (stage-1 and stage-2 models
 /// of different shapes, alternating) or an analyzer's iterate-and-exclude
 /// loop (shape grows with each exclusion) keep one pool and let each
-/// shape warm-start against its own history.
+/// shape warm-start against its own history. [`Prepared`] models route to
+/// the same per-shape sessions, so prepared and model-based solves of one
+/// shape share warm state.
 #[derive(Debug, Default)]
 pub struct SessionPool {
     entries: Vec<((usize, usize), SolverSession)>,
@@ -292,9 +500,7 @@ impl SessionPool {
         Self::default()
     }
 
-    /// The session for this model shape (created on first use).
-    pub fn session_for(&mut self, model: &Model) -> &mut SolverSession {
-        let key = (model.num_vars(), model.num_constraints());
+    fn session_for_shape(&mut self, key: (usize, usize)) -> &mut SolverSession {
         let pos = self.entries.iter().position(|(k, _)| *k == key);
         let ix = match pos {
             Some(ix) => ix,
@@ -306,9 +512,30 @@ impl SessionPool {
         &mut self.entries[ix].1
     }
 
+    /// The session for this model shape (created on first use).
+    pub fn session_for(&mut self, model: &Model) -> &mut SolverSession {
+        self.session_for_shape((model.num_vars(), model.num_constraints()))
+    }
+
     /// Solve through the shape-matched session.
     pub fn solve(&mut self, model: &Model) -> Result<Solution, LpError> {
         self.session_for(model).solve(model)
+    }
+
+    /// [`SolverSession::solve_prepared`] through the shape-matched session.
+    pub fn solve_prepared(&mut self, prep: &Prepared) -> Result<Solution, LpError> {
+        self.session_for_shape(prep.shape_key())
+            .solve_prepared(prep)
+    }
+
+    /// [`SolverSession::solve_batch`] through the shape-matched session.
+    pub fn solve_batch(
+        &mut self,
+        prep: &mut Prepared,
+        probes: &[Probe],
+    ) -> Vec<Result<Solution, LpError>> {
+        let key = prep.shape_key();
+        self.session_for_shape(key).solve_batch(prep, probes)
     }
 
     /// Aggregate statistics across every session in the pool.
@@ -349,25 +576,52 @@ struct Core<'a> {
     art: Vec<(usize, f64)>,
     art_hi: Vec<f64>,
     status: Vec<Status>,
-    /// Basic column per row.
+    /// Basic column per basis position.
     basis: Vec<usize>,
-    /// Dense basis inverse, row-major `m x m`.
-    binv: Vec<f64>,
-    /// Values of the basic variables, per row.
+    /// Sparse product-form factorization of the basis.
+    lu: Factorization,
+    /// Values of the basic variables, per basis position.
     xb: Vec<f64>,
     m: usize,
-    pivots_since_refactor: usize,
     iters_left: usize,
     feas_tol: f64,
     stats: SolverStats,
+    /// Reduced costs, maintained incrementally across pivots (confirmed
+    /// fresh before any optimality claim).
+    d: Vec<f64>,
+    /// Devex reference-framework weights.
+    devex: Vec<f64>,
+    /// Row-space scratch (ftran input/output).
+    work: Vec<f64>,
+    /// Position-space image of the entering column.
+    w_pos: Vec<f64>,
+    /// Row-space scratch for btran (duals, pivot rows).
+    rho: Vec<f64>,
+    /// Pivot-row alphas (`ρ·a_j` per nonbasic column), cached so the dual
+    /// candidate scan and the price maintenance of the same pivot share
+    /// one btran + one matrix sweep instead of doing each twice.
+    alpha: Vec<f64>,
 }
 
 /// What a primal phase should minimize.
+#[derive(Clone, Copy)]
 enum Objective {
     /// The model's own costs.
     Real,
     /// Sum of artificial variables.
     Phase1,
+}
+
+/// How trustworthy `Core::d` is on entry to a primal phase.
+#[derive(Clone, Copy, PartialEq)]
+enum DState {
+    /// `d` holds exact reduced costs for this objective.
+    Fresh,
+    /// `d` was maintained across pivots — usable for pricing, but any
+    /// optimality claim must be confirmed on recomputed values.
+    Maintained,
+    /// `d` is for a different objective/basis; recompute before pricing.
+    Stale,
 }
 
 impl<'a> Core<'a> {
@@ -378,28 +632,24 @@ impl<'a> Core<'a> {
             art_hi: Vec::new(),
             status: vec![Status::AtLower; lp.ncols],
             basis: Vec::new(),
-            binv: Vec::new(),
+            lu: Factorization::default(),
             xb: Vec::new(),
             m: lp.m,
-            pivots_since_refactor: 0,
             iters_left: max_iterations,
             feas_tol,
             stats: SolverStats::default(),
+            d: Vec::new(),
+            devex: Vec::new(),
+            work: vec![0.0; lp.m],
+            w_pos: vec![0.0; lp.m],
+            rho: vec![0.0; lp.m],
+            alpha: Vec::new(),
         }
     }
 
     #[inline]
     fn ncols_total(&self) -> usize {
         self.lp.ncols + self.art.len()
-    }
-
-    #[inline]
-    fn col(&self, j: usize) -> &[(usize, f64)] {
-        if j < self.lp.ncols {
-            &self.lp.cols[j]
-        } else {
-            std::slice::from_ref(&self.art[j - self.lp.ncols])
-        }
     }
 
     #[inline]
@@ -420,7 +670,7 @@ impl<'a> Core<'a> {
         }
     }
 
-    fn cost(&self, j: usize, obj: &Objective) -> f64 {
+    fn cost(&self, j: usize, obj: Objective) -> f64 {
         match obj {
             Objective::Real => {
                 if j < self.lp.ncols {
@@ -449,153 +699,112 @@ impl<'a> Core<'a> {
         }
     }
 
-    /// `w = Binv * A_j`.
-    fn ftran(&self, j: usize) -> Vec<f64> {
-        let mut w = vec![0.0; self.m];
-        for &(r, v) in self.col(j) {
-            // binv is row-major: walk column r with stride m.
-            for (i, wi) in w.iter_mut().enumerate() {
-                *wi += v * self.binv[i * self.m + r];
+    /// `work = B⁻¹ a_j` (row space) and `w_pos` (position space).
+    fn ftran_col(&mut self, j: usize) {
+        for x in self.work.iter_mut() {
+            *x = 0.0;
+        }
+        {
+            let (lp, art, work) = (self.lp, &self.art, &mut self.work);
+            for &(r, v) in column(lp, art, j) {
+                work[r] += v;
             }
         }
-        w
+        self.lu.apply(&mut self.work);
+        let (lu, work, w_pos) = (&self.lu, &self.work, &mut self.w_pos);
+        for (k, w) in w_pos.iter_mut().enumerate() {
+            *w = work[lu.row_of_pos(k)];
+        }
     }
 
-    /// `y = c_B' * Binv` for the given objective.
-    fn duals(&self, obj: &Objective) -> Vec<f64> {
-        let mut y = vec![0.0; self.m];
-        for (i, &bj) in self.basis.iter().enumerate() {
-            let cb = self.cost(bj, obj);
+    /// Exact reduced costs for every column under `obj` (one btran + one
+    /// sparse matrix sweep).
+    fn compute_reduced_costs(&mut self, obj: Objective) {
+        let nt = self.ncols_total();
+        self.d.clear();
+        self.d.resize(nt, 0.0);
+        for x in self.rho.iter_mut() {
+            *x = 0.0;
+        }
+        let mut any = false;
+        for k in 0..self.m {
+            let cb = self.cost(self.basis[k], obj);
             if cb != 0.0 {
-                let row = &self.binv[i * self.m..(i + 1) * self.m];
-                for (k, yk) in y.iter_mut().enumerate() {
-                    *yk += cb * row[k];
-                }
+                self.rho[self.lu.row_of_pos(k)] = cb;
+                any = true;
             }
         }
-        y
+        if any {
+            self.lu.apply_transposed(&mut self.rho);
+        }
+        for j in 0..nt {
+            if self.status[j] == Status::Basic {
+                continue;
+            }
+            let mut dj = self.cost(j, obj);
+            if any {
+                for &(r, v) in column(self.lp, &self.art, j) {
+                    dj -= self.rho[r] * v;
+                }
+            }
+            self.d[j] = dj;
+        }
     }
 
-    #[inline]
-    fn reduced_cost(&self, j: usize, y: &[f64], obj: &Objective) -> f64 {
-        let mut d = self.cost(j, obj);
-        for &(r, v) in self.col(j) {
-            d -= y[r] * v;
-        }
-        d
-    }
-
-    /// Rebuild `binv` from the basis columns and recompute `xb`.
-    /// `false` if the basis matrix is singular.
-    fn refactor(&mut self) -> bool {
-        self.stats.refactorizations += 1;
-        self.pivots_since_refactor = 0;
-        let m = self.m;
-        // [B | I] Gauss-Jordan with partial pivoting.
-        let mut a = vec![0.0; m * 2 * m];
-        for (i, &j) in self.basis.iter().enumerate() {
-            for &(r, v) in self.col(j) {
-                a[r * 2 * m + i] = v;
-            }
-        }
-        for i in 0..m {
-            a[i * 2 * m + m + i] = 1.0;
-        }
-        for c in 0..m {
-            let piv_row = (c..m)
-                .max_by(|&x, &y| {
-                    a[x * 2 * m + c]
-                        .abs()
-                        .partial_cmp(&a[y * 2 * m + c].abs())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .unwrap();
-            let p = a[piv_row * 2 * m + c];
-            if p.abs() < PIVOT_TOL {
-                return false;
-            }
-            if piv_row != c {
-                for k in 0..2 * m {
-                    a.swap(c * 2 * m + k, piv_row * 2 * m + k);
-                }
-            }
-            let inv = 1.0 / a[c * 2 * m + c];
-            for k in 0..2 * m {
-                a[c * 2 * m + k] *= inv;
-            }
-            for r in 0..m {
-                if r == c {
-                    continue;
-                }
-                let f = a[r * 2 * m + c];
-                if f != 0.0 {
-                    for k in 0..2 * m {
-                        a[r * 2 * m + k] -= f * a[c * 2 * m + k];
-                    }
-                }
-            }
-        }
-        for r in 0..m {
-            for k in 0..m {
-                self.binv[r * m + k] = a[r * 2 * m + m + k];
-            }
+    /// Rebuild the factorization from the basis columns, resync `xb` and
+    /// the reduced costs. `Err` when the basis matrix is singular — the
+    /// product form had drifted beyond repair, surface it rather than
+    /// iterating on garbage.
+    fn refactor(&mut self, obj: Objective) -> Result<(), LpError> {
+        if !self.refactor_basis() {
+            return Err(LpError::Numerical(
+                "basis became singular at refactorization".into(),
+            ));
         }
         self.recompute_xb();
-        true
+        self.compute_reduced_costs(obj);
+        Ok(())
     }
 
-    /// `xb = Binv * (b - N x_N)` from statuses.
+    /// The factorization rebuild alone; `false` on a singular basis.
+    fn refactor_basis(&mut self) -> bool {
+        self.stats.refactorizations += 1;
+        let cols: Vec<&[(usize, f64)]> = self
+            .basis
+            .iter()
+            .map(|&j| column(self.lp, &self.art, j))
+            .collect();
+        match Factorization::build(self.m, &cols) {
+            Some(f) => {
+                drop(cols);
+                self.lu = f;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `xb = B⁻¹ (b - N x_N)` from statuses.
     fn recompute_xb(&mut self) {
-        let m = self.m;
-        let mut rhs = self.lp.b.clone();
-        for j in 0..self.ncols_total() {
+        self.work.copy_from_slice(&self.lp.b);
+        let nt = self.ncols_total();
+        for j in 0..nt {
             if self.status[j] == Status::Basic {
                 continue;
             }
             let v = self.nonbasic_value(j);
             if v != 0.0 {
-                for &(r, a) in self.col(j) {
-                    rhs[r] -= a * v;
+                let (lp, art, work) = (self.lp, &self.art, &mut self.work);
+                for &(r, a) in column(lp, art, j) {
+                    work[r] -= a * v;
                 }
             }
         }
-        for i in 0..m {
-            let row = &self.binv[i * m..(i + 1) * m];
-            self.xb[i] = row.iter().zip(&rhs).map(|(x, y)| x * y).sum();
+        self.lu.apply(&mut self.work);
+        let (lu, work, xb) = (&self.lu, &self.work, &mut self.xb);
+        for (k, x) in xb.iter_mut().enumerate() {
+            *x = work[lu.row_of_pos(k)];
         }
-    }
-
-    /// Pivot: row `r` leaves, column `j` (with ftran image `w`) enters.
-    /// Statuses/basis must already be updated by the caller.
-    fn update_binv(&mut self, r: usize, w: &[f64]) -> Result<(), LpError> {
-        let m = self.m;
-        let inv = 1.0 / w[r];
-        for k in 0..m {
-            self.binv[r * m + k] *= inv;
-        }
-        for i in 0..m {
-            if i == r {
-                continue;
-            }
-            let f = w[i];
-            if f != 0.0 {
-                for k in 0..m {
-                    self.binv[i * m + k] -= f * self.binv[r * m + k];
-                }
-            }
-        }
-        self.pivots_since_refactor += 1;
-        if self.pivots_since_refactor >= REFACTOR_EVERY {
-            // A mid-flight refactorization also resyncs xb. A singular
-            // rebuild means the product-form inverse had drifted beyond
-            // repair — surface it instead of iterating on garbage.
-            if !self.refactor() {
-                return Err(LpError::Numerical(
-                    "basis became singular at refactorization".into(),
-                ));
-            }
-        }
-        Ok(())
     }
 
     fn charge_iteration(&mut self) -> Result<(), LpError> {
@@ -608,44 +817,168 @@ impl<'a> Core<'a> {
         Ok(())
     }
 
+    /// Maintain reduced costs and devex weights across the pivot at
+    /// position `k` entering column `q`. Must run *before* statuses,
+    /// basis, and factorization change; `w_pos` must hold the entering
+    /// column's image. When `alphas_cached`, `self.alpha` already holds
+    /// the pivot-row alphas for every nonbasic column (the dual candidate
+    /// scan computed them against the same basis, so the values are
+    /// bit-identical) and the btran + matrix sweep are skipped.
+    fn maintain_prices(&mut self, k: usize, q: usize, alphas_cached: bool) {
+        if !alphas_cached {
+            let r_star = self.lu.row_of_pos(k);
+            for x in self.rho.iter_mut() {
+                *x = 0.0;
+            }
+            self.rho[r_star] = 1.0;
+            self.lu.apply_transposed(&mut self.rho);
+            let nt = self.ncols_total();
+            self.alpha.clear();
+            self.alpha.resize(nt, 0.0);
+            let lp = self.lp;
+            let art = &self.art;
+            let status = &self.status;
+            let rho = &self.rho;
+            let alpha = &mut self.alpha;
+            for (j, slot) in alpha.iter_mut().enumerate() {
+                if status[j] == Status::Basic {
+                    continue;
+                }
+                let mut a = 0.0;
+                for &(r, v) in column(lp, art, j) {
+                    a += rho[r] * v;
+                }
+                *slot = a;
+            }
+        }
+
+        let alpha_q = self.w_pos[k];
+        let theta_d = self.d[q] / alpha_q;
+        let gamma_q = self.devex[q].max(1.0);
+        let leaving = self.basis[k];
+        {
+            let status = &self.status;
+            let alpha = &self.alpha;
+            let d = &mut self.d;
+            let devex = &mut self.devex;
+            let nt = self.lp.ncols + self.art.len();
+            for j in 0..nt {
+                if j == q || status[j] == Status::Basic {
+                    continue;
+                }
+                let a = alpha[j];
+                if a != 0.0 {
+                    d[j] -= theta_d * a;
+                    let ratio = a / alpha_q;
+                    let w = ratio * ratio * gamma_q;
+                    if w > devex[j] {
+                        devex[j] = w;
+                    }
+                }
+            }
+        }
+        // The leaving variable re-enters the nonbasic set with the pivot
+        // row's own alpha of 1.
+        self.d[leaving] = -theta_d;
+        self.devex[leaving] = (gamma_q / (alpha_q * alpha_q)).max(1.0);
+        self.d[q] = 0.0;
+        self.devex[q] = 1.0;
+    }
+
+    /// Execute the pivot: column `q` enters at position `k` moving `t` in
+    /// direction `dir`; the leaving variable parks at `leaving_status`.
+    /// Returns `true` if the reduced costs were recomputed exactly (a
+    /// refactorization fired).
+    fn pivot(
+        &mut self,
+        k: usize,
+        q: usize,
+        dir: f64,
+        t: f64,
+        leaving_status: Status,
+        obj: Objective,
+        alphas_cached: bool,
+    ) -> Result<bool, LpError> {
+        self.maintain_prices(k, q, alphas_cached);
+        let entering_value = self.nonbasic_value(q) + dir * t;
+        for i in 0..self.m {
+            self.xb[i] -= dir * t * self.w_pos[i];
+        }
+        let leaving = self.basis[k];
+        self.status[leaving] = leaving_status;
+        self.status[q] = Status::Basic;
+        self.basis[k] = q;
+        self.xb[k] = entering_value;
+        self.lu.push_update(&self.w_pos, k);
+        if self.lu.updates() >= refactor_cadence(self.m) {
+            self.refactor(obj)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Devex pricing over the maintained reduced costs; Bland's rule when
+    /// `bland` (first eligible index).
+    fn price(&self, opt_tol: f64, bland: bool) -> Option<(usize, f64)> {
+        let mut pick: Option<(usize, f64)> = None;
+        let mut best_score = 0.0f64;
+        for j in 0..self.lp.ncols {
+            // Artificials never re-enter; fixed columns cannot move.
+            match self.status[j] {
+                Status::Basic => continue,
+                _ if self.lo(j) == self.hi(j) => continue,
+                _ => {}
+            }
+            let dj = self.d[j];
+            let (viol, dir) = match self.status[j] {
+                Status::AtLower => (-dj, 1.0),
+                Status::AtUpper => (dj, -1.0),
+                Status::Free => (dj.abs(), if dj < 0.0 { 1.0 } else { -1.0 }),
+                Status::Basic => unreachable!(),
+            };
+            if viol <= opt_tol {
+                continue;
+            }
+            if bland {
+                return Some((j, dir));
+            }
+            let score = viol * viol / self.devex[j];
+            if score > best_score {
+                best_score = score;
+                pick = Some((j, dir));
+            }
+        }
+        pick
+    }
+
     /// Primal simplex on the current basis until optimal or unbounded.
-    fn primal(&mut self, obj: Objective, opt_tol: f64) -> Result<(), LpError> {
+    /// `d0` says whether `self.d` can be trusted on entry.
+    fn primal(&mut self, obj: Objective, opt_tol: f64, d0: DState) -> Result<(), LpError> {
+        if d0 == DState::Stale {
+            self.compute_reduced_costs(obj);
+        }
+        let mut fresh = d0 != DState::Maintained;
+        let nt = self.ncols_total();
+        self.devex.clear();
+        self.devex.resize(nt, 1.0);
         let mut bland = false;
         let mut degenerate_streak = 0usize;
         loop {
             self.charge_iteration()?;
-            let y = self.duals(&obj);
 
-            // Pricing.
-            let mut enter: Option<(usize, f64)> = None; // (col, direction)
-            let mut best = opt_tol;
-            for j in 0..self.lp.ncols {
-                // Artificials never re-enter; fixed columns cannot move.
-                match self.status[j] {
-                    Status::Basic => continue,
-                    _ if self.lo(j) == self.hi(j) => continue,
-                    _ => {}
-                }
-                let d = self.reduced_cost(j, &y, &obj);
-                let (viol, dir) = match self.status[j] {
-                    Status::AtLower => (-d, 1.0),
-                    Status::AtUpper => (d, -1.0),
-                    Status::Free => (d.abs(), if d < 0.0 { 1.0 } else { -1.0 }),
-                    Status::Basic => unreachable!(),
-                };
-                if viol > best {
-                    enter = Some((j, dir));
-                    if bland {
-                        break; // first improving column (Bland)
-                    }
-                    best = viol;
-                }
+            let mut picked = self.price(opt_tol, bland);
+            if picked.is_none() && !fresh {
+                // Maintained costs say optimal — confirm on exact values
+                // before believing it.
+                self.compute_reduced_costs(obj);
+                fresh = true;
+                picked = self.price(opt_tol, bland);
             }
-            let Some((j, dir)) = enter else {
+            let Some((j, dir)) = picked else {
                 return Ok(()); // optimal for this objective
             };
 
-            let w = self.ftran(j);
+            self.ftran_col(j);
 
             // Ratio test: how far can x_j move by `t >= 0` in direction
             // `dir` before a basic variable (or x_j's own far bound)
@@ -659,7 +992,7 @@ impl<'a> Core<'a> {
             };
             let mut leave: Option<usize> = None;
             for i in 0..self.m {
-                let delta = -dir * w[i]; // d x_Bi / d t
+                let delta = -dir * self.w_pos[i]; // d x_Bi / d t
                 let bj = self.basis[i];
                 let limit = if delta < -PIVOT_TOL {
                     let lo = self.lo(bj);
@@ -688,6 +1021,13 @@ impl<'a> Core<'a> {
             }
 
             if !best_t.is_finite() {
+                if !fresh {
+                    // The unbounded ray was selected off maintained costs;
+                    // re-verify against exact ones before declaring.
+                    self.compute_reduced_costs(obj);
+                    fresh = true;
+                    continue;
+                }
                 return Err(LpError::Unbounded);
             }
 
@@ -697,15 +1037,19 @@ impl<'a> Core<'a> {
                     bland = true;
                 }
             } else {
+                // The streak cleared: drop back to devex pricing instead
+                // of crawling on Bland for the rest of the solve.
                 degenerate_streak = 0;
+                bland = false;
             }
 
             self.stats.iterations += 1;
             match leave {
                 None => {
-                    // Bound flip: x_j travels to its opposite bound.
+                    // Bound flip: x_j travels to its opposite bound. No
+                    // basis change, so maintained costs stay valid.
                     for i in 0..self.m {
-                        self.xb[i] -= dir * best_t * w[i];
+                        self.xb[i] -= dir * best_t * self.w_pos[i];
                     }
                     self.status[j] = match self.status[j] {
                         Status::AtLower => Status::AtUpper,
@@ -714,22 +1058,14 @@ impl<'a> Core<'a> {
                     };
                 }
                 Some(r) => {
-                    let entering_value = self.nonbasic_value(j) + dir * best_t;
-                    for i in 0..self.m {
-                        self.xb[i] -= dir * best_t * w[i];
-                    }
-                    let bj = self.basis[r];
                     // The leaving variable parks at whichever bound blocked.
-                    let delta = -dir * w[r];
-                    self.status[bj] = if delta < 0.0 {
+                    let delta = -dir * self.w_pos[r];
+                    let leaving_status = if delta < 0.0 {
                         Status::AtLower
                     } else {
                         Status::AtUpper
                     };
-                    self.status[j] = Status::Basic;
-                    self.basis[r] = j;
-                    self.xb[r] = entering_value;
-                    self.update_binv(r, &w)?;
+                    fresh = self.pivot(r, j, dir, best_t, leaving_status, obj, false)?;
                 }
             }
         }
@@ -740,13 +1076,16 @@ impl<'a> Core<'a> {
     /// `Err(Infeasible)` when a violated row has no entering candidate.
     fn dual(&mut self) -> Result<(), LpError> {
         let obj = Objective::Real;
+        let nt = self.ncols_total();
+        self.devex.clear();
+        self.devex.resize(nt, 1.0);
         let mut bland = false;
         let mut degenerate_streak = 0usize;
         loop {
             self.charge_iteration()?;
 
-            // Leaving row: the worst bound violation among basic vars.
-            let mut leave: Option<(usize, f64)> = None; // (row, violation signed)
+            // Leaving position: the worst bound violation among basic vars.
+            let mut leave: Option<(usize, f64)> = None; // (pos, violation signed)
             let mut worst = self.feas_tol;
             for i in 0..self.m {
                 let bj = self.basis[i];
@@ -769,22 +1108,36 @@ impl<'a> Core<'a> {
                 return Ok(()); // primal feasible
             };
 
-            let y = self.duals(&obj);
-            let rho = &self.binv[r * self.m..(r + 1) * self.m];
+            // Pivot row ρ = (B⁻¹)' e_{r*}.
+            for x in self.rho.iter_mut() {
+                *x = 0.0;
+            }
+            self.rho[self.lu.row_of_pos(r)] = 1.0;
+            self.lu.apply_transposed(&mut self.rho);
+
             // Entering candidate minimizing |d_j| / |alpha_j| among columns
             // whose movement repairs the violation without breaking their
-            // own status direction.
+            // own status direction. The scan caches every nonbasic alpha
+            // (fixed and artificial columns included) so the price
+            // maintenance of the chosen pivot reuses them instead of
+            // redoing the btran + matrix sweep.
             let below = signed_viol < 0.0; // x_Br below its lower bound
             let mut best: Option<(usize, f64, f64)> = None; // (col, ratio, alpha)
-            for j in 0..self.lp.ncols {
-                match self.status[j] {
-                    Status::Basic => continue,
-                    _ if self.lo(j) == self.hi(j) => continue,
-                    _ => {}
+            let nt_scan = self.ncols_total();
+            self.alpha.clear();
+            self.alpha.resize(nt_scan, 0.0);
+            for j in 0..nt_scan {
+                if self.status[j] == Status::Basic {
+                    continue;
                 }
                 let mut alpha = 0.0;
-                for &(row, v) in self.col(j) {
-                    alpha += rho[row] * v;
+                for &(row, v) in column(self.lp, &self.art, j) {
+                    alpha += self.rho[row] * v;
+                }
+                self.alpha[j] = alpha;
+                // Artificials never re-enter; fixed columns cannot move.
+                if j >= self.lp.ncols || self.lo(j) == self.hi(j) {
+                    continue;
                 }
                 if alpha.abs() <= PIVOT_TOL {
                     continue;
@@ -814,8 +1167,7 @@ impl<'a> Core<'a> {
                 if !usable {
                     continue;
                 }
-                let d = self.reduced_cost(j, &y, &obj);
-                let ratio = (d.abs() / alpha.abs()).max(0.0);
+                let ratio = (self.d[j].abs() / alpha.abs()).max(0.0);
                 // Scanning j ascending means ties already resolve to the
                 // smallest column index: only strictly better ratios win.
                 let better = match &best {
@@ -845,23 +1197,17 @@ impl<'a> Core<'a> {
                 }
             } else {
                 degenerate_streak = 0;
+                bland = false;
             }
 
-            let w = self.ftran(j);
-            let entering_value = self.nonbasic_value(j) + dir * t;
-            for i in 0..self.m {
-                self.xb[i] -= dir * t * w[i];
-            }
-            self.status[bj] = if below {
+            self.ftran_col(j);
+            self.stats.dual_iterations += 1;
+            let leaving_status = if below {
                 Status::AtLower
             } else {
                 Status::AtUpper
             };
-            self.status[j] = Status::Basic;
-            self.basis[r] = j;
-            self.xb[r] = entering_value;
-            self.stats.dual_iterations += 1;
-            self.update_binv(r, &w)?;
+            self.pivot(r, j, dir, t, leaving_status, obj, true)?;
         }
     }
 
@@ -920,21 +1266,14 @@ impl<'a> Core<'a> {
                 self.xb[r] = art_v.abs();
             }
         }
-        // The starting basis matrix is diagonal (slack +1 / artificial ±1),
-        // so its inverse is the diagonal of reciprocals.
-        self.binv = vec![0.0; self.m * self.m];
-        for i in 0..self.m {
-            let bj = self.basis[i];
-            let coeff = if bj < lp.ncols {
-                1.0
-            } else {
-                self.art[bj - lp.ncols].1
-            };
-            self.binv[i * self.m + i] = 1.0 / coeff;
+        // The starting basis matrix is diagonal (slack +1 / artificial ±1):
+        // its factorization is m trivial single-entry etas.
+        if !self.refactor_basis() {
+            return Err(LpError::Numerical("singular initial basis".into()));
         }
 
         if !self.art.is_empty() {
-            self.primal(Objective::Phase1, opt_tol)?;
+            self.primal(Objective::Phase1, opt_tol, DState::Stale)?;
             let infeas: f64 = (0..self.m)
                 .filter(|&i| self.basis[i] >= lp.ncols)
                 .map(|i| self.xb[i])
@@ -948,20 +1287,26 @@ impl<'a> Core<'a> {
                 *h = 0.0;
             }
             // Where possible, swap a still-basic artificial for any
-            // structural/slack column with a nonzero row entry.
+            // structural/slack column with a nonzero pivot-row entry. The
+            // swaps are degenerate (t = 0): values are unchanged, and the
+            // reduced costs are recomputed at the next phase start anyway.
             for r in 0..self.m {
                 if self.basis[r] < lp.ncols {
                     continue;
                 }
-                let rho: Vec<f64> = self.binv[r * self.m..(r + 1) * self.m].to_vec();
+                for x in self.rho.iter_mut() {
+                    *x = 0.0;
+                }
+                self.rho[self.lu.row_of_pos(r)] = 1.0;
+                self.lu.apply_transposed(&mut self.rho);
                 let mut candidate = None;
                 for j in 0..lp.ncols {
                     if self.status[j] == Status::Basic {
                         continue;
                     }
                     let mut alpha = 0.0;
-                    for &(row, v) in self.col(j) {
-                        alpha += rho[row] * v;
+                    for &(row, v) in column(lp, &self.art, j) {
+                        alpha += self.rho[row] * v;
                     }
                     if alpha.abs() > 1e-7 {
                         candidate = Some(j);
@@ -969,13 +1314,15 @@ impl<'a> Core<'a> {
                     }
                 }
                 if let Some(j) = candidate {
-                    // Degenerate swap (t = 0): values are unchanged.
-                    let w = self.ftran(j);
+                    self.ftran_col(j);
                     let old = self.basis[r];
                     self.status[old] = Status::AtLower; // value 0, bounds [0,0]
                     self.status[j] = Status::Basic;
                     self.basis[r] = j;
-                    self.update_binv(r, &w)?;
+                    self.lu.push_update(&self.w_pos, r);
+                    if self.lu.updates() >= refactor_cadence(self.m) {
+                        self.refactor(Objective::Real)?;
+                    }
                     self.recompute_xb();
                 }
             }
@@ -993,7 +1340,7 @@ impl<'a> Core<'a> {
         }
         if !warmed {
             self.cold_start(opt_tol)?;
-            self.primal(Objective::Real, opt_tol)?;
+            self.primal(Objective::Real, opt_tol, DState::Stale)?;
         }
         self.extract()
     }
@@ -1029,18 +1376,24 @@ impl<'a> Core<'a> {
             };
         }
         self.xb = vec![0.0; self.m];
-        if w.matrix_fp == self.lp.matrix_fp && w.binv.len() == self.m * self.m {
-            // Same constraint matrix: the donor's basis inverse is still
-            // exact for this model — only bounds/rhs/costs moved. Recompute
-            // the basic values and keep the donor's refactor cadence.
-            self.binv = w.binv;
-            self.pivots_since_refactor = w.pivots_since_refactor;
+        if w.matrix_fp == lp.matrix_fp
+            && w.lu.dim() == self.m
+            && w.lu.updates() < refactor_cadence(self.m)
+        {
+            // Same constraint matrix: the donor's factorization is still
+            // exact for this model — only bounds/rhs moved. Reuse it as-is
+            // (no refactorization) and keep its update-count cadence. A
+            // donor at or past the refactor cadence rebuilds instead: its
+            // eta chain would tax every ftran/btran of this solve.
+            self.lu = w.lu;
             self.recompute_xb();
         } else {
-            self.binv = vec![0.0; self.m * self.m];
-            if !self.refactor() {
+            // Different matrix (or incompatible factorization): rebuild
+            // from the basis columns; a singular basis falls back cold.
+            if !self.refactor_basis() {
                 return Ok(false);
             }
+            self.recompute_xb();
         }
 
         // Dual feasibility of the cached basis under the new costs/bounds.
@@ -1049,14 +1402,14 @@ impl<'a> Core<'a> {
         // flip) makes the sign correct. Best-first branch-and-bound hops
         // between subtrees, un-fixing variables the donor basis had fixed —
         // flips are what keep those hops warm.
-        let y = self.duals(&Objective::Real);
+        self.compute_reduced_costs(Objective::Real);
         let mut dual_ok = true;
         let mut flips: Vec<usize> = Vec::new();
         for j in 0..lp.ncols {
             if self.status[j] == Status::Basic || lp.lo[j] == lp.hi[j] {
                 continue;
             }
-            let d = self.reduced_cost(j, &y, &Objective::Real);
+            let d = self.d[j];
             match self.status[j] {
                 Status::AtLower if d < -DUAL_TOL => {
                     if lp.hi[j].is_finite() {
@@ -1099,16 +1452,19 @@ impl<'a> Core<'a> {
                         other => other,
                     };
                 }
+                // Flips move nonbasic resting values, not the basis: the
+                // reduced costs stay exact.
                 self.recompute_xb();
             }
             self.stats.warm_hits += 1;
-            if !primal_feasible(self) {
+            if primal_feasible(self) {
+                // Already feasible: the exact costs we just computed feed
+                // straight into the (usually zero-pivot) certifying pass.
+                self.primal(Objective::Real, opt_tol, DState::Fresh)?;
+            } else {
                 self.dual()?;
+                self.primal(Objective::Real, opt_tol, DState::Maintained)?;
             }
-            // Either already primal feasible, or the dual pass restored
-            // it; a primal cleanup certifies optimality (usually zero
-            // pivots).
-            self.primal(Objective::Real, opt_tol)?;
             return Ok(true);
         }
 
@@ -1116,7 +1472,7 @@ impl<'a> Core<'a> {
         // itself is feasible — plain primal simplex finishes the job.
         if primal_feasible(self) {
             self.stats.warm_hits += 1;
-            self.primal(Objective::Real, opt_tol)?;
+            self.primal(Objective::Real, opt_tol, DState::Fresh)?;
             return Ok(true);
         }
         Ok(false)
@@ -1438,5 +1794,102 @@ mod tests {
         let s = solve(&m).unwrap();
         assert_close(s.value(x), 1.5);
         assert_close(s.value(y), 0.5);
+    }
+
+    /// One production-shaped model used by the prepared-API tests.
+    fn flow_model(d1: f64, d2: f64, cap: f64) -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let f1 = m.add_nonneg("f1");
+        let f2 = m.add_nonneg("f2");
+        m.add_constr("dem1", f1 + 0.0, Cmp::Le, d1);
+        m.add_constr("dem2", f2 + 0.0, Cmp::Le, d2);
+        m.add_constr("cap", f1 + f2, Cmp::Le, cap);
+        m.set_objective(f1 + f2);
+        m
+    }
+
+    #[test]
+    fn prepared_matches_model_path_bitwise() {
+        // The byte-for-byte contract: a prepared re-solve must equal the
+        // materialize-and-solve path through an identically warmed session.
+        let mut prep = Prepared::new(&flow_model(50.0, 100.0, 120.0)).unwrap();
+        let mut s_prep = SolverSession::new();
+        let mut s_model = SolverSession::new();
+        let sweeps = [(50.0, 100.0), (30.0, 60.0), (90.0, 10.0), (0.0, 200.0)];
+        for &(d1, d2) in &sweeps {
+            prep.set_rhs(0, d1);
+            prep.set_rhs(1, d2);
+            let a = s_prep.solve_prepared(&prep).unwrap();
+            let b = s_model.solve_unchecked(&flow_model(d1, d2, 120.0)).unwrap();
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+            assert_eq!(a.values.len(), b.values.len());
+            for (x, y) in a.values.iter().zip(&b.values) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(s_prep.stats, s_model.stats);
+        assert_eq!(s_prep.stats.cold_starts, 1);
+        assert_eq!(s_prep.stats.warm_hits, 3);
+    }
+
+    #[test]
+    fn prepared_rhs_roundtrip_and_bounds() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 4.0);
+        m.add_constr("c", x + 1.5, Cmp::Le, 10.0); // constant part 1.5
+        m.set_objective(x + 0.0);
+        let mut prep = Prepared::new(&m).unwrap();
+        assert_eq!(prep.num_vars(), 1);
+        assert_eq!(prep.num_constraints(), 1);
+        assert_close(prep.rhs(0), 10.0);
+        prep.set_rhs(0, 3.0);
+        assert_close(prep.rhs(0), 3.0);
+        // The constant part must still be honored: x <= 3 - 1.5.
+        let s = SolverSession::new().solve_prepared(&prep).unwrap();
+        assert_close(s.objective, 1.5);
+        prep.set_var_bounds(x, 0.0, 1.0);
+        assert_eq!(prep.var_bounds(x), (0.0, 1.0));
+        let s2 = SolverSession::new().solve_prepared(&prep).unwrap();
+        assert_close(s2.objective, 1.0);
+    }
+
+    #[test]
+    fn batch_probes_are_independent_and_restore_base() {
+        let base = flow_model(50.0, 100.0, 120.0);
+        let mut prep = Prepared::new(&base).unwrap();
+        let mut session = SolverSession::new();
+        let probes = vec![
+            Probe {
+                rhs: vec![(0, 10.0)],
+                ..Probe::default()
+            },
+            Probe {
+                rhs: vec![(1, 20.0)],
+                ..Probe::default()
+            },
+            Probe::default(), // the base itself
+        ];
+        let out = session.solve_batch(&mut prep, &probes);
+        assert_close(out[0].as_ref().unwrap().objective, 110.0); // 10 + 100
+        assert_close(out[1].as_ref().unwrap().objective, 70.0); // 50 + 20
+        assert_close(out[2].as_ref().unwrap().objective, 120.0); // base
+                                                                 // Base state restored after the batch.
+        assert_close(prep.rhs(0), 50.0);
+        assert_close(prep.rhs(1), 100.0);
+        // One factorization amortized across the batch.
+        assert_eq!(session.stats.cold_starts, 1);
+        assert_eq!(session.stats.warm_hits, 2);
+    }
+
+    #[test]
+    fn pool_routes_prepared_and_model_solves_to_one_session() {
+        let mut pool = SessionPool::new();
+        let model = flow_model(50.0, 100.0, 120.0);
+        pool.solve(&model).unwrap();
+        let prep = Prepared::new(&model).unwrap();
+        pool.solve_prepared(&prep).unwrap();
+        assert_eq!(pool.len(), 1, "prepared solve must reuse the shape session");
+        assert_eq!(pool.stats().cold_starts, 1);
+        assert_eq!(pool.stats().warm_hits, 1);
     }
 }

@@ -316,3 +316,187 @@ proptest! {
         }
     }
 }
+
+/// Tiny deterministic LCG so the 256-case chains below are reproducible
+/// without pulling proptest's shrinking into a *sequential* scenario
+/// (each step's warm state depends on every step before it).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// The fingerprint-guarded warm-start bugfix: a 256-step bound-delta chain
+/// re-solved through one session (matrix fingerprint identical at every
+/// step, so after the first solve every re-solve reuses the cached
+/// factorization) must agree with a cold reference solve on status and
+/// objective at every step.
+#[test]
+fn warm_equals_cold_across_256_bound_deltas() {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..6)
+        .map(|i| m.add_var(format!("v{i}"), VarType::Continuous, 0.0, 4.0))
+        .collect();
+    let coefs = [
+        [1.0, 2.0, 0.0, 1.0, 3.0, 1.0],
+        [2.0, 0.0, 1.0, 1.0, 0.0, 2.0],
+        [0.0, 1.0, 2.0, 0.0, 1.0, 1.0],
+        [1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+    ];
+    for (r, row) in coefs.iter().enumerate() {
+        let mut e = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            if row[i] != 0.0 {
+                e.add_term(v, row[i]);
+            }
+        }
+        m.add_constr(format!("c{r}"), e, Cmp::Le, 9.0 + r as f64);
+    }
+    let mut o = LinExpr::new();
+    for (i, &v) in vars.iter().enumerate() {
+        o.add_term(v, 1.0 + (i % 3) as f64);
+    }
+    m.set_objective(o);
+
+    let mut session = SolverSession::new();
+    let mut rng = Lcg(0x9e3779b97f4a7c15);
+    for step in 0..256 {
+        // One bound delta per step; every shape of tightening/relaxing.
+        let v = vars[rng.pick(6)];
+        let (nlo, nhi) = match rng.pick(4) {
+            0 => (rng.pick(4) as f64 * 0.5, 4.0),       // raise lower
+            1 => (0.0, 1.0 + rng.pick(6) as f64 * 0.5), // drop upper
+            2 => (0.0, 4.0),                            // relax back
+            _ => {
+                let x = rng.pick(8) as f64 * 0.5;
+                (x, x) // fix
+            }
+        };
+        if nlo > nhi {
+            continue;
+        }
+        m.set_var_bounds(v, nlo, nhi);
+
+        let warm = session.solve(&m);
+        let cold = simplex::reference::solve(&m);
+        let ws = classify("warm", &m, &warm);
+        let cs = classify("reference", &m, &cold);
+        assert_eq!(ws, cs, "status diverged at step {step}\nmodel:\n{m}");
+        if let (Ok(a), Ok(b)) = (&warm, &cold) {
+            assert!(
+                close(a.objective, b.objective),
+                "objective diverged at step {step}: warm {} vs cold {}\nmodel:\n{}",
+                a.objective,
+                b.objective,
+                m
+            );
+            assert!(m.check_feasible(&a.values, 1e-6).is_none());
+        }
+    }
+    // The whole chain re-solves one matrix: exactly one cold start, and
+    // with the fingerprint guard no warm re-solve pays a refactorization
+    // beyond the periodic cadence refreshes inside long solves.
+    assert_eq!(session.stats.cold_starts, 1, "{:?}", session.stats);
+    assert_eq!(
+        session.stats.warm_hits,
+        session.stats.solves - 1,
+        "{:?}",
+        session.stats
+    );
+}
+
+/// The batched re-solve contract: `solve_batch` over N probes returns
+/// bit-identical solutions to applying each probe by hand and issuing N
+/// separate `solve_prepared` calls through an identically warmed session —
+/// the batch API amortizes, it never diverges.
+#[test]
+fn batched_resolves_match_independent_solves_bitwise() {
+    use xplain_lp::{Prepared, Probe, VarId};
+
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..5)
+        .map(|i| m.add_var(format!("v{i}"), VarType::Continuous, 0.0, 6.0))
+        .collect();
+    let coefs = [
+        [1.0, 1.0, 2.0, 0.0, 1.0],
+        [2.0, 1.0, 0.0, 1.0, 1.0],
+        [1.0, 0.0, 1.0, 2.0, 0.0],
+    ];
+    for (r, row) in coefs.iter().enumerate() {
+        let mut e = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            if row[i] != 0.0 {
+                e.add_term(v, row[i]);
+            }
+        }
+        m.add_constr(format!("c{r}"), e, Cmp::Le, 10.0);
+    }
+    let mut o = LinExpr::new();
+    for (i, &v) in vars.iter().enumerate() {
+        o.add_term(v, 1.0 + i as f64 * 0.5);
+    }
+    m.set_objective(o);
+
+    let mut rng = Lcg(0x2545f4914f6cdd1d);
+    let probes: Vec<Probe> = (0..32)
+        .map(|_| {
+            let mut p = Probe::default();
+            for _ in 0..rng.pick(3) {
+                let ix = rng.pick(5);
+                let lo = rng.pick(5) as f64 * 0.5;
+                p.bounds.push((VarId::from_index(ix), lo, lo + 2.0));
+            }
+            for _ in 0..rng.pick(3) {
+                p.rhs.push((rng.pick(3), 4.0 + rng.pick(12) as f64));
+            }
+            p
+        })
+        .collect();
+
+    // Path A: the batch API.
+    let mut prep_a = Prepared::new(&m).unwrap();
+    let mut session_a = SolverSession::new();
+    let batch = session_a.solve_batch(&mut prep_a, &probes);
+
+    // Path B: by-hand probe application, one solve_prepared per probe.
+    let base = Prepared::new(&m).unwrap();
+    let mut session_b = SolverSession::new();
+    for (probe, from_batch) in probes.iter().zip(&batch) {
+        let mut prep = base.clone();
+        for &(v, lo, hi) in &probe.bounds {
+            prep.set_var_bounds(v, lo, hi);
+        }
+        for &(row, rhs) in &probe.rhs {
+            prep.set_rhs(row, rhs);
+        }
+        let single = session_b.solve_prepared(&prep);
+        match (from_batch, &single) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+                assert_eq!(a.values.len(), b.values.len());
+                for (x, y) in a.values.iter().zip(&b.values) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("batch {a:?} diverged from independent {b:?}"),
+        }
+    }
+    assert_eq!(session_a.stats, session_b.stats);
+    // The base prepared LP must come back untouched from the batch.
+    for (i, &v) in vars.iter().enumerate() {
+        assert_eq!(prep_a.var_bounds(v), base.var_bounds(vars[i]));
+    }
+    for r in 0..3 {
+        assert_eq!(prep_a.rhs(r).to_bits(), base.rhs(r).to_bits());
+    }
+}

@@ -12,32 +12,42 @@ use xplain_analyzer::oracle::{DpOracle, GapOracle};
 use xplain_analyzer::search::dp_seeds;
 use xplain_core::explainer::DslMapper;
 use xplain_core::generalizer::Observation;
-use xplain_domains::te::{DemandPair, DemandPinning, TeDsl, TeProblem, Topology};
+use xplain_domains::te::{DemandPair, DemandPinning, TeDsl, TeLexSolver, TeProblem, Topology};
 use xplain_flownet::FlowNet;
 
 /// DSL mapper for Demand Pinning on a TE problem (Fig. 4a).
 ///
-/// Deliberately *not* session-pooled, unlike [`DpOracle`]: the explainer
+/// Deliberately *cold per evaluation*, unlike [`DpOracle`]: the explainer
 /// fans `heuristic_flows`/`benchmark_flows` across sample threads, and a
 /// shared warm basis would make the returned *vertex* (the flow split
 /// among equally-optimal allocations) depend on thread scheduling —
 /// breaking the runtime's byte-for-byte determinism guarantee. Cold
 /// solves are vertex-deterministic per input and embarrassingly
-/// parallel; the oracle's pooled path stays warm because every pipeline
-/// stage calls it sequentially.
+/// parallel. What the mapper does *not* pay is the per-call model build:
+/// it holds a prototype [`TeLexSolver`] (both lexicographic stage LPs
+/// standardized once) and takes a [`TeLexSolver::cold_clone`] — prepared
+/// rhs deltas, fresh sessions — for every evaluation. The clone's cold
+/// solves are byte-identical to building the model afresh (the prepared
+/// and model paths funnel into one solver entry point; pinned by
+/// `te_lex_solver_matches_model_path` and the replay suite).
 pub struct DpDslMapper {
     pub problem: TeProblem,
     pub heuristic: DemandPinning,
     pub dsl: TeDsl,
+    solver: TeLexSolver,
 }
 
 impl DpDslMapper {
     pub fn new(problem: TeProblem, threshold: f64) -> Self {
         let dsl = TeDsl::build(&problem);
+        let solver = problem
+            .lex_solver()
+            .expect("max-flow LP of a validated TeProblem is well-formed");
         DpDslMapper {
             heuristic: DemandPinning::new(threshold),
             problem,
             dsl,
+            solver,
         }
     }
 }
@@ -48,12 +58,17 @@ impl DslMapper for DpDslMapper {
     }
 
     fn heuristic_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
-        let alloc = self.heuristic.solve(&self.problem, x).ok()?;
+        let mut solver = self.solver.cold_clone();
+        let alloc = self
+            .heuristic
+            .solve_prepared(&self.problem, x, &mut solver)
+            .ok()?;
         Some(self.dsl.assignment(x, &alloc))
     }
 
     fn benchmark_flows(&self, x: &[f64]) -> Option<Vec<f64>> {
-        let alloc = self.problem.optimal(x).ok()?;
+        let mut solver = self.solver.cold_clone();
+        let alloc = solver.optimal(x).ok()?;
         Some(self.dsl.assignment(x, &alloc))
     }
 }
