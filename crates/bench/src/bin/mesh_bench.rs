@@ -1,0 +1,38 @@
+//! `mesh-bench` — the sharded-tier scaling benchmark, emitting
+//! `BENCH_7.json`.
+//!
+//! ```text
+//! mesh-bench [--quick] [--out PATH]
+//!
+//! --quick   CI-sized job counts
+//! --out     output path (default BENCH_7.json in the working directory)
+//! ```
+//!
+//! Stands up the 1-shard and 4-shard topologies (in-process shards +
+//! stealers + gateway, real loopback HTTP end to end), measures cold-job
+//! throughput through the gateway for each, prints a human summary, and
+//! writes the machine-readable report; exits nonzero if the emitted JSON
+//! fails to parse back (the CI gate relies on this).
+
+use xplain_bench::mesh_load;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
+
+    let report = mesh_load::run(quick);
+    print!("{}", mesh_load::render(&report));
+    match mesh_load::emit(&report, &out_path) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => {
+            eprintln!("mesh-bench emission failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -34,7 +34,10 @@
 //! xplain-bench --release --bin serve-bench` runs the serving-layer load
 //! generator ([`serve_load`]) and emits `BENCH_5.json` (cold vs
 //! cache-hit vs streaming requests/sec and p50/p99 latency over
-//! loopback HTTP).
+//! loopback HTTP); `cargo run -p xplain-bench --release --bin
+//! mesh-bench` runs the sharded-tier scaling benchmark ([`mesh_load`])
+//! and emits `BENCH_7.json` (cold-job throughput at 1 vs 4 shards
+//! through the gateway).
 
 pub mod ablations;
 pub mod appendix_a;
@@ -42,6 +45,7 @@ pub mod fig1;
 pub mod fig4;
 pub mod fig5;
 pub mod generalize;
+pub mod mesh_load;
 pub mod pipeline_time;
 pub mod serve_load;
 pub mod solver_bench;

@@ -157,6 +157,7 @@ pub fn run(quick: bool) -> ServeBenchReport {
         store_dir: Some(store_dir.clone()),
         read_timeout: Duration::from_secs(120),
         retain_done: 1024,
+        ..ServerConfig::default()
     })
     .expect("ephemeral bind");
     let handle = server.handle();

@@ -8,7 +8,11 @@
 //! runner --smoke [--watch] [--workers N] [--store DIR]
 //! runner --list-domains | --emit-manifest | --version
 //! runner serve [--addr HOST:PORT] [--workers N] [--http-threads N]
-//!              [--capacity N] [--store DIR]
+//!              [--capacity N] [--store DIR] [--shard-id ID]
+//!              [--pace-ms N] [--peers HOST:PORT,...]
+//! runner mesh --shards N [--base-port P] [--addr HOST:PORT]
+//!             [--store DIR] [--workers N] [--pace-ms N] [--capacity N]
+//! runner mesh --peers HOST:PORT,... [--addr HOST:PORT]
 //! runner gc --store DIR
 //!
 //!   --manifest PATH   JSONL manifest: one {"domain", "config", "seed"}
@@ -54,7 +58,19 @@
 //! the admission cap (submissions beyond it get 429 + Retry-After), and
 //! --store enables result caching, dedup and checkpoint/resume. Stop it
 //! with `POST /v1/shutdown` — in-flight sessions checkpoint and resume
-//! on resubmit.
+//! on resubmit. The mesh flags turn the server into one shard of a
+//! distributed tier (DESIGN.md §9): --shard-id stamps store entries and
+//! the metrics mesh block, --pace-ms sets a per-worker minimum service
+//! time for freshly executed jobs (rate limiting), and --peers names
+//! the full shard seed list — it starts the membership heartbeat and
+//! the work-stealing loop against those peers.
+//!
+//! `runner mesh` runs the distributed tier itself. With `--shards N` it
+//! spawns N local `runner serve` shard processes (ports `--base-port`
+//! upward, shared `--store`, stealing enabled) and fronts them with the
+//! gateway on --addr; `POST /v1/shutdown` on the gateway drains the
+//! shards too. With `--peers` it only runs the gateway over shards that
+//! are already running (started however the operator likes).
 //!
 //! `runner gc --store DIR` deletes orphaned checkpoints (a `{key}.ckpt`
 //! whose `{key}.json` result exists — what a killed `--resume` run
@@ -72,11 +88,16 @@
 
 use xplain_core::pipeline::PipelineConfig;
 use xplain_core::{ExplainerParams, SignificanceParams};
+use xplain_mesh::{parse_peers, Gateway, GatewayConfig, Membership, Stealer, StealerConfig};
 use xplain_runtime::{
     manifest_to_jsonl, parse_manifest, run_manifest_opts, watch_line, DomainRegistry, JobOutcome,
     JobSpec, ResultStore, RunOptions, SessionBudgets, SessionEvent, WatchLine,
 };
-use xplain_serve::{Server, ServerConfig};
+use xplain_serve::{MeshStatus, Server, ServerConfig};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 #[derive(Default)]
 struct Args {
@@ -163,7 +184,11 @@ usage:
   runner --smoke [--watch] [--workers N] [--store DIR]
   runner --list-domains | --emit-manifest | --version
   runner serve [--addr HOST:PORT] [--workers N] [--http-threads N]
-               [--capacity N] [--store DIR]
+               [--capacity N] [--store DIR] [--shard-id ID]
+               [--pace-ms N] [--peers HOST:PORT,...]
+  runner mesh --shards N [--base-port P] [--addr HOST:PORT]
+              [--store DIR] [--workers N] [--pace-ms N] [--capacity N]
+  runner mesh --peers HOST:PORT,... [--addr HOST:PORT]
   runner gc --store DIR
 ";
 
@@ -186,6 +211,7 @@ fn main() {
     }
     match argv.first().map(String::as_str) {
         Some("serve") => std::process::exit(serve_main(&argv[1..])),
+        Some("mesh") => std::process::exit(mesh_main(&argv[1..])),
         Some("gc") => std::process::exit(gc_main(&argv[1..])),
         _ => {}
     }
@@ -250,6 +276,7 @@ fn main() {
         budgets_override: budgets_override(&args),
         resume: args.resume,
         sink: args.watch.then_some(&sink),
+        origin: None,
     };
     let outcomes = run_manifest_opts(&registry, &jobs, store.as_ref(), args.workers, opts);
 
@@ -273,6 +300,7 @@ fn main() {
 /// `POST /v1/shutdown` lands.
 fn serve_main(argv: &[String]) -> i32 {
     let mut config = ServerConfig::default();
+    let mut peers_csv: Option<String> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let take = |it: &mut std::slice::Iter<'_, String>, what: &str| {
@@ -296,6 +324,13 @@ fn serve_main(argv: &[String]) -> i32 {
                     .map_err(|e| format!("--capacity: {e}"))
             }),
             "--store" => take(&mut it, "--store").map(|v| config.store_dir = Some(v.into())),
+            "--shard-id" => take(&mut it, "--shard-id").map(|v| config.shard_id = Some(v)),
+            "--pace-ms" => take(&mut it, "--pace-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| config.pace_ms = n)
+                    .map_err(|e| format!("--pace-ms: {e}"))
+            }),
+            "--peers" => take(&mut it, "--peers").map(|v| peers_csv = Some(v)),
             "--help" | "-h" => {
                 print!("{}", USAGE);
                 return 0;
@@ -307,6 +342,25 @@ fn serve_main(argv: &[String]) -> i32 {
             return 2;
         }
     }
+    let peers = match peers_csv.as_deref().map(parse_peers).transpose() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("runner serve: --peers: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    // Mesh gauges exist whenever this server is a shard of a tier; the
+    // membership heartbeat and the stealer keep them current, and
+    // `GET /v1/metrics` reports them.
+    let mesh = peers.as_ref().map(|_| {
+        Arc::new(MeshStatus::new(
+            config
+                .shard_id
+                .clone()
+                .unwrap_or_else(|| config.addr.clone()),
+        ))
+    });
+    config.mesh = mesh.clone();
     let registry = DomainRegistry::builtin();
     let server = match Server::bind(config.clone()) {
         Ok(s) => s,
@@ -315,9 +369,10 @@ fn serve_main(argv: &[String]) -> i32 {
             return 2;
         }
     };
+    let self_addr = server.local_addr();
     println!(
         "runner serve: listening on http://{} ({} domains: {}; store: {})",
-        server.local_addr(),
+        self_addr,
         registry.len(),
         registry.ids().join(", "),
         config
@@ -327,7 +382,32 @@ fn serve_main(argv: &[String]) -> i32 {
             .unwrap_or_else(|| "disabled".into()),
     );
     println!("runner serve: POST /v1/shutdown for graceful shutdown");
-    match server.run(&registry) {
+
+    // Shard mode: membership heartbeat + work-stealing loop alongside
+    // the server, torn down after it drains.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut mesh_threads = Vec::new();
+    if let (Some(peers), Some(mesh)) = (peers, mesh) {
+        println!(
+            "runner serve: shard '{}' of a {}-peer mesh (heartbeat + stealer running)",
+            mesh.shard_id(),
+            peers.len()
+        );
+        let membership =
+            Membership::bootstrap(peers, Duration::from_millis(250), Some(Arc::clone(&mesh)));
+        mesh_threads.push(
+            Arc::clone(&membership).start_heartbeat(Duration::from_millis(500), Arc::clone(&stop)),
+        );
+        let stealer = Stealer::new(self_addr, membership, mesh, StealerConfig::default());
+        mesh_threads.push(stealer.start(Arc::clone(&stop)));
+    }
+
+    let outcome = server.run(&registry);
+    stop.store(true, Ordering::Relaxed);
+    for thread in mesh_threads {
+        let _ = thread.join();
+    }
+    match outcome {
         Ok(()) => {
             println!("runner serve: drained and stopped");
             0
@@ -337,6 +417,186 @@ fn serve_main(argv: &[String]) -> i32 {
             1
         }
     }
+}
+
+/// `runner mesh` — run the distributed tier: spawn local shard
+/// processes (`--shards`) or front already-running ones (`--peers`),
+/// then block in the gateway until `POST /v1/shutdown`.
+fn mesh_main(argv: &[String]) -> i32 {
+    let mut gateway_addr = "127.0.0.1:7080".to_string();
+    let mut peers_csv: Option<String> = None;
+    let mut shards: usize = 0;
+    let mut base_port: u16 = 7101;
+    let mut store: Option<String> = None;
+    let mut workers: usize = 0;
+    let mut pace_ms: u64 = 0;
+    let mut capacity: usize = 64;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let take = |it: &mut std::slice::Iter<'_, String>, what: &str| {
+            it.next().cloned().ok_or(format!("{what} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--addr" => take(&mut it, "--addr").map(|v| gateway_addr = v),
+            "--peers" => take(&mut it, "--peers").map(|v| peers_csv = Some(v)),
+            "--shards" => take(&mut it, "--shards").and_then(|v| {
+                v.parse()
+                    .map(|n| shards = n)
+                    .map_err(|e| format!("--shards: {e}"))
+            }),
+            "--base-port" => take(&mut it, "--base-port").and_then(|v| {
+                v.parse()
+                    .map(|n| base_port = n)
+                    .map_err(|e| format!("--base-port: {e}"))
+            }),
+            "--store" => take(&mut it, "--store").map(|v| store = Some(v)),
+            "--workers" => take(&mut it, "--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| workers = n)
+                    .map_err(|e| format!("--workers: {e}"))
+            }),
+            "--pace-ms" => take(&mut it, "--pace-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| pace_ms = n)
+                    .map_err(|e| format!("--pace-ms: {e}"))
+            }),
+            "--capacity" => take(&mut it, "--capacity").and_then(|v| {
+                v.parse()
+                    .map(|n| capacity = n)
+                    .map_err(|e| format!("--capacity: {e}"))
+            }),
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                return 0;
+            }
+            other => Err(format!("unknown mesh argument '{other}'")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("runner mesh: {e}\n{USAGE}");
+            return 2;
+        }
+    }
+    if peers_csv.is_some() == (shards > 0) {
+        eprintln!("runner mesh: exactly one of --peers or --shards is required\n{USAGE}");
+        return 2;
+    }
+
+    // --shards: spawn the shard processes (this same binary, `serve`
+    // mode) on consecutive ports over one shared store.
+    let mut children: Vec<(std::process::Child, std::net::SocketAddr)> = Vec::new();
+    let peers_arg = if shards > 0 {
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("runner mesh: cannot locate own binary: {e}");
+                return 1;
+            }
+        };
+        let store_dir = store.clone().unwrap_or_else(|| "mesh-store".into());
+        let addrs: Vec<String> = (0..shards)
+            .map(|i| format!("127.0.0.1:{}", base_port + i as u16))
+            .collect();
+        let all = addrs.join(",");
+        for (i, addr) in addrs.iter().enumerate() {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("serve")
+                .arg("--addr")
+                .arg(addr)
+                .arg("--store")
+                .arg(&store_dir)
+                .arg("--shard-id")
+                .arg(format!("shard-{i}"))
+                .arg("--peers")
+                .arg(&all)
+                .arg("--capacity")
+                .arg(capacity.to_string());
+            if workers > 0 {
+                cmd.arg("--workers").arg(workers.to_string());
+            }
+            if pace_ms > 0 {
+                cmd.arg("--pace-ms").arg(pace_ms.to_string());
+            }
+            match cmd.spawn() {
+                Ok(child) => children.push((child, addr.parse().expect("shard addr parses"))),
+                Err(e) => {
+                    eprintln!("runner mesh: cannot spawn shard {i}: {e}");
+                    shutdown_children(&mut children);
+                    return 1;
+                }
+            }
+        }
+        all
+    } else {
+        peers_csv.expect("checked above")
+    };
+    let peers = match parse_peers(&peers_arg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("runner mesh: --peers: {e}\n{USAGE}");
+            shutdown_children(&mut children);
+            return 2;
+        }
+    };
+
+    // Wait for spawned shards to start listening (bounded).
+    for (_, addr) in &children {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::net::TcpStream::connect_timeout(addr, Duration::from_millis(200)).is_err() {
+            if std::time::Instant::now() > deadline {
+                eprintln!("runner mesh: shard {addr} never came up");
+                shutdown_children(&mut children);
+                return 1;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    let config = GatewayConfig {
+        addr: gateway_addr.clone(),
+        peers,
+        ..GatewayConfig::default()
+    };
+    let gateway = match Gateway::bind(config) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("runner mesh: cannot bind '{gateway_addr}': {e}");
+            shutdown_children(&mut children);
+            return 2;
+        }
+    };
+    println!(
+        "runner mesh: gateway on http://{} over {} shard(s): {}",
+        gateway.local_addr(),
+        peers_arg.split(',').count(),
+        peers_arg
+    );
+    println!("runner mesh: POST /v1/shutdown (on the gateway) drains the tier");
+    let code = match gateway.run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("runner mesh: {e}");
+            1
+        }
+    };
+    shutdown_children(&mut children);
+    println!("runner mesh: drained and stopped");
+    code
+}
+
+/// Gracefully stop spawned shard processes: ask each over HTTP, then
+/// wait (kill only if the socket is already gone).
+fn shutdown_children(children: &mut Vec<(std::process::Child, std::net::SocketAddr)>) {
+    for (child, addr) in children.iter_mut() {
+        let asked = xplain_serve::Client::new(*addr)
+            .with_timeout(Duration::from_secs(5))
+            .post("/v1/shutdown", "")
+            .is_ok();
+        if !asked {
+            let _ = child.kill();
+        }
+        let _ = child.wait();
+    }
+    children.clear();
 }
 
 /// `runner gc` — sweep orphaned checkpoints from a store.
@@ -591,6 +851,7 @@ fn run_streaming_smoke(
         budgets_override: None,
         resume: false,
         sink: Some(&sink),
+        origin: None,
     };
     let streamed = run_manifest_opts(registry, jobs, None, 1, opts);
 

@@ -1,0 +1,455 @@
+//! The mesh gateway: one HTTP front that makes N `xplain-serve` shards
+//! look like a single logical explanation server.
+//!
+//! The gateway terminates the same API the shards speak (same routes,
+//! same JSON, same NDJSON event stream) and *proxies* rather than
+//! reimplements: a submitted `JobSpec` is hashed exactly the way every
+//! shard hashes it (`JobQueue::job_key`, index 0), the rendezvous ring
+//! picks the owning shard under the current membership view, and the
+//! request is forwarded verbatim. Because content keys — not queue
+//! state — decide placement, a resubmit of the same spec always lands on
+//! the same shard and hits its cache or resumes its checkpoint, and any
+//! two gateways (or a gateway and a stealing shard) agree on ownership
+//! without talking to each other.
+//!
+//! Failure handling per request, in preference order of the ring:
+//! unreachable shards are skipped; 429s are waited out per shard
+//! ([`xplain_serve::Client::post_retry`]) before failing over; 404s on
+//! id-routed requests fall through to the next shard (the job may have
+//! been computed elsewhere — the store is shared, so a resubmit
+//! anywhere answers from cache). Only when *no* healthy shard remains
+//! does the gateway answer 503.
+//!
+//! Event streams are proxied chunk-for-chunk, live. Upstream truncation
+//! (a shard dying mid-stream) is propagated as transport-level
+//! truncation — the gateway never fabricates a clean terminator for a
+//! stream it did not see end.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use xplain_runtime::{JobQueue, JobSpec};
+use xplain_serve::http::{
+    finish_chunked, read_request, start_chunked, write_chunk, HttpError, Request, Response,
+};
+use xplain_serve::router::{route, Route, RouteError};
+use xplain_serve::{Client, MeshReport, MeshStatus};
+
+use crate::membership::{Membership, Peer, PeerState};
+use crate::ring;
+
+/// Gateway tunables.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// The shard seed list (static membership).
+    pub peers: Vec<Peer>,
+    /// Connection handler threads; a streaming watcher occupies one for
+    /// the life of its job.
+    pub http_threads: usize,
+    /// Client-facing socket read timeout.
+    pub read_timeout: Duration,
+    /// Upstream timeout for unary proxy calls.
+    pub upstream_timeout: Duration,
+    /// Upstream read timeout while proxying an event stream (streams
+    /// idle between events; this bounds how long a stalled shard can
+    /// hold a watcher).
+    pub stream_timeout: Duration,
+    /// TCP connect budget for one health probe.
+    pub probe_timeout: Duration,
+    /// Heartbeat period.
+    pub heartbeat: Duration,
+    /// `POST` attempts per shard (429 + Retry-After waits) before
+    /// failing over to the next peer in the ring.
+    pub upstream_attempts: u32,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:7080".into(),
+            peers: Vec::new(),
+            http_threads: 8,
+            read_timeout: Duration::from_secs(5),
+            upstream_timeout: Duration::from_secs(30),
+            stream_timeout: Duration::from_secs(120),
+            probe_timeout: Duration::from_millis(250),
+            heartbeat: Duration::from_millis(500),
+            upstream_attempts: 3,
+        }
+    }
+}
+
+/// A bound-but-not-yet-running gateway.
+pub struct Gateway {
+    listener: TcpListener,
+    config: GatewayConfig,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Remote control for a running [`Gateway`] (cloneable, thread-safe).
+#[derive(Clone)]
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl GatewayHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request graceful shutdown (idempotent).
+    pub fn shutdown(&self) {
+        request_shutdown(&self.shutdown, self.addr);
+    }
+}
+
+/// Flag shutdown and poke the blocking accept loop awake with one
+/// throwaway loopback connection (same idiom as the serve layer).
+fn request_shutdown(flag: &AtomicBool, addr: SocketAddr) {
+    flag.store(true, Ordering::Relaxed);
+    for timeout_ms in [200, 1000] {
+        if TcpStream::connect_timeout(&addr, Duration::from_millis(timeout_ms)).is_ok() {
+            break;
+        }
+    }
+}
+
+impl Gateway {
+    /// Bind the listening socket (fails fast on bad addresses or an
+    /// empty peer list).
+    pub fn bind(config: GatewayConfig) -> io::Result<Gateway> {
+        if config.peers.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "gateway needs at least one peer",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Gateway {
+            listener,
+            config,
+            local_addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    pub fn handle(&self) -> GatewayHandle {
+        GatewayHandle {
+            addr: self.local_addr,
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Serve until shutdown, then stop the heartbeat and return. Blocks
+    /// the calling thread.
+    pub fn run(self) -> io::Result<()> {
+        let mesh = Arc::new(MeshStatus::new("gateway"));
+        let membership = Membership::bootstrap(
+            self.config.peers.clone(),
+            self.config.probe_timeout,
+            Some(Arc::clone(&mesh)),
+        );
+        let hb_stop = Arc::new(AtomicBool::new(false));
+        let heartbeat =
+            Arc::clone(&membership).start_heartbeat(self.config.heartbeat, Arc::clone(&hb_stop));
+
+        let ctx = GatewayCtx {
+            membership: &membership,
+            mesh: &mesh,
+            config: &self.config,
+            shutdown: &self.shutdown,
+            addr: self.local_addr,
+            started: Instant::now(),
+        };
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Mutex::new(conn_rx);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.http_threads.max(1) {
+                scope.spawn(|| loop {
+                    let next = conn_rx
+                        .lock()
+                        .expect("connection channel")
+                        .recv_timeout(Duration::from_millis(100));
+                    match next {
+                        Ok(stream) => handle_connection(stream, &ctx),
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                });
+            }
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if self.shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let _ = conn_tx.send(stream);
+                    }
+                    Err(_) => {
+                        if self.shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+            drop(conn_tx);
+        });
+        hb_stop.store(true, Ordering::Relaxed);
+        heartbeat.join().expect("heartbeat thread joins");
+        Ok(())
+    }
+}
+
+struct GatewayCtx<'a> {
+    membership: &'a Arc<Membership>,
+    mesh: &'a MeshStatus,
+    config: &'a GatewayConfig,
+    shutdown: &'a AtomicBool,
+    addr: SocketAddr,
+    started: Instant,
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &GatewayCtx<'_>) {
+    let _ = stream.set_read_timeout(Some(ctx.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(HttpError::Closed) => return,
+        Err(HttpError::TooLarge) => {
+            let _ = Response::error(413, "request exceeds size caps").write_to(&mut stream);
+            return;
+        }
+        Err(HttpError::BadRequest(m)) => {
+            let _ = Response::error(400, &m).write_to(&mut stream);
+            return;
+        }
+        Err(HttpError::Io(_)) => {
+            let _ = Response::error(408, "timed out reading request").write_to(&mut stream);
+            return;
+        }
+    };
+    match route(&request.method, &request.path) {
+        Ok(Route::JobEvents(id)) => proxy_events(&mut stream, ctx, &id),
+        Ok(r) => {
+            let response = dispatch(ctx, r, &request);
+            let _ = response.write_to(&mut stream);
+        }
+        Err(RouteError::NotFound) => {
+            let _ = Response::error(404, "no such resource").write_to(&mut stream);
+        }
+        Err(RouteError::MethodNotAllowed { allowed }) => {
+            let _ = Response::error(405, "method not allowed")
+                .with_header("Allow", allowed)
+                .write_to(&mut stream);
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct ShutdownBody {
+    shutting_down: bool,
+}
+
+/// The gateway's own `GET /v1/metrics` body: it holds no queue, so the
+/// report is uptime plus the mesh block (shard metrics live on the
+/// shards; aggregate by polling each).
+#[derive(Debug, Serialize)]
+struct GatewayMetrics {
+    uptime_ms: u64,
+    mesh: MeshReport,
+}
+
+fn dispatch(ctx: &GatewayCtx<'_>, route: Route, request: &Request) -> Response {
+    match route {
+        Route::SubmitJob => submit(ctx, request),
+        Route::JobStatus(id) => forward_by_id(ctx, &id, "GET", &format!("/v1/jobs/{id}")),
+        Route::CancelJob(id) => forward_by_id(ctx, &id, "POST", &format!("/v1/jobs/{id}/cancel")),
+        Route::Domains => forward_any(ctx, "/v1/domains"),
+        Route::Metrics => {
+            let body = GatewayMetrics {
+                uptime_ms: ctx.started.elapsed().as_millis() as u64,
+                mesh: ctx.mesh.report(0),
+            };
+            Response::json(200, serde_json::to_string(&body).expect("body serializes"))
+        }
+        Route::Shutdown => {
+            request_shutdown(ctx.shutdown, ctx.addr);
+            Response::json(
+                200,
+                serde_json::to_string(&ShutdownBody {
+                    shutting_down: true,
+                })
+                .expect("body serializes"),
+            )
+        }
+        // The gateway holds no queue of its own; peers steal from
+        // shards directly.
+        Route::QueueInfo | Route::Steal => {
+            Response::error(404, "the gateway holds no queue; address a shard directly")
+        }
+        // Streamed separately in `handle_connection`.
+        Route::JobEvents(_) => Response::error(500, "events route must stream"),
+    }
+}
+
+/// Rebuild an upstream response for the client (body + status carried
+/// verbatim; `Retry-After` preserved so backpressure propagates through
+/// the gateway).
+fn relay(upstream: xplain_serve::HttpResponse) -> Response {
+    let mut response = Response::json(upstream.status, upstream.body.clone());
+    if let Some(retry) = upstream.header("retry-after") {
+        response = response.with_header("Retry-After", retry);
+    }
+    response
+}
+
+fn no_healthy() -> Response {
+    Response::error(503, "no healthy shard in the mesh")
+}
+
+/// `POST /v1/jobs`: hash the spec exactly as every shard does, forward
+/// to the ring owner, fail over down the preference list.
+fn submit(ctx: &GatewayCtx<'_>, request: &Request) -> Response {
+    let body = match request.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let spec: JobSpec = match serde_json::from_str(body) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &format!("malformed JobSpec: {e:?}")),
+    };
+    let key = JobQueue::job_key(&spec, 0);
+    let view = ctx.membership.view();
+    let mut last: Option<Response> = None;
+    for peer in ring::preference(key, &view)
+        .into_iter()
+        .filter(|p| p.healthy)
+    {
+        let client = upstream_client(ctx, peer);
+        match client.post_retry("/v1/jobs", body, ctx.config.upstream_attempts) {
+            // Still 429 after the retry budget, or shard-side failure:
+            // fail over (another shard computes the same bytes; the
+            // shared store deduplicates).
+            Ok(r) if r.status == 429 || r.status >= 500 => last = Some(relay(r)),
+            Ok(r) => return relay(r),
+            Err(_) => {} // unreachable mid-epoch; skip
+        }
+    }
+    last.unwrap_or_else(no_healthy)
+}
+
+/// Id-routed GET/POST (`/v1/jobs/{id}`, `/v1/jobs/{id}/cancel`): try the
+/// ring owner first, then the rest of the preference list — after a
+/// steal or a failover the job may live (or have completed into the
+/// shared store via) another shard. 404 only once every healthy shard
+/// said 404.
+fn forward_by_id(ctx: &GatewayCtx<'_>, id: &str, method: &str, path: &str) -> Response {
+    let Some(key) = JobQueue::parse_id(id) else {
+        return Response::error(404, &format!("no job '{id}'"));
+    };
+    let view = ctx.membership.view();
+    let mut last: Option<Response> = None;
+    for peer in ring::preference(key, &view)
+        .into_iter()
+        .filter(|p| p.healthy)
+    {
+        let client = upstream_client(ctx, peer);
+        let result = match method {
+            "POST" => client.post(path, ""),
+            _ => client.get(path),
+        };
+        match result {
+            Ok(r) if r.status == 404 => last = Some(relay(r)),
+            Ok(r) => return relay(r),
+            Err(_) => {}
+        }
+    }
+    last.unwrap_or_else(no_healthy)
+}
+
+/// Key-independent GET (`/v1/domains`): any healthy shard can answer.
+fn forward_any(ctx: &GatewayCtx<'_>, path: &str) -> Response {
+    let view = ctx.membership.view();
+    for peer in view.healthy() {
+        if let Ok(r) = upstream_client(ctx, peer).get(path) {
+            return relay(r);
+        }
+    }
+    no_healthy()
+}
+
+fn upstream_client(ctx: &GatewayCtx<'_>, peer: &PeerState) -> Client {
+    Client::new(peer.peer.addr).with_timeout(ctx.config.upstream_timeout)
+}
+
+/// `GET /v1/jobs/{id}/events`: open the upstream stream on the owning
+/// shard (failing over like any id-routed request), then relay NDJSON
+/// lines chunk-for-chunk as they arrive. A clean upstream end gets a
+/// clean chunked terminator; an upstream error mid-stream aborts the
+/// client connection *without* one, so truncation stays visible as
+/// truncation.
+fn proxy_events(stream: &mut TcpStream, ctx: &GatewayCtx<'_>, id: &str) {
+    let Some(key) = JobQueue::parse_id(id) else {
+        let _ = Response::error(404, &format!("no job '{id}'")).write_to(stream);
+        return;
+    };
+    let view = ctx.membership.view();
+    let mut saw_404 = false;
+    for peer in ring::preference(key, &view)
+        .into_iter()
+        .filter(|p| p.healthy)
+    {
+        let client = Client::new(peer.peer.addr).with_timeout(ctx.config.stream_timeout);
+        let path = format!("/v1/jobs/{id}/events");
+        match client.stream(&path) {
+            Ok((200, mut events)) => {
+                if start_chunked(stream, 200, "application/x-ndjson").is_err() {
+                    return;
+                }
+                loop {
+                    match events.next_line() {
+                        Ok(Some(line)) => {
+                            let mut payload = Vec::with_capacity(line.len() + 1);
+                            payload.extend_from_slice(line.as_bytes());
+                            payload.push(b'\n');
+                            if write_chunk(stream, &payload).is_err() {
+                                return; // watcher went away
+                            }
+                        }
+                        Ok(None) => {
+                            let _ = finish_chunked(stream);
+                            return;
+                        }
+                        // Upstream truncated (shard died mid-stream):
+                        // propagate by closing without a terminator.
+                        Err(_) => return,
+                    }
+                }
+            }
+            Ok((404, _)) => saw_404 = true,
+            Ok((_, _)) | Err(_) => {}
+        }
+    }
+    let response = if saw_404 {
+        Response::error(404, &format!("no job '{id}'"))
+    } else {
+        no_healthy()
+    };
+    let _ = response.write_to(stream);
+}

@@ -1,0 +1,308 @@
+//! Membership: who is in the mesh, and who is alive right now.
+//!
+//! Deliberately the simplest protocol that serves the tier: a *static
+//! seed list* (the operator names every shard up front — no gossip, no
+//! joins) plus a TCP heartbeat that probes each peer and publishes an
+//! epoch-numbered [`View`]. Routers hold an `Arc<View>` for the duration
+//! of one request, so a heartbeat landing mid-request can never make the
+//! preference order flip-flop under a router's feet; the epoch bumps
+//! *only when health actually changes*, which also makes "did anything
+//! move?" a single integer comparison.
+//!
+//! A one-peer seed list is the honest single-node fallback: the view has
+//! one member, every key hashes to it, and the gateway degrades to a
+//! plain reverse proxy.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use xplain_serve::MeshStatus;
+
+/// One configured member of the mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Peer {
+    /// Stable identity the ring hashes — the canonical `host:port`
+    /// string, so every process derives identical placement from the
+    /// same seed list.
+    pub id: String,
+    pub addr: SocketAddr,
+}
+
+/// A peer plus its last probed health.
+#[derive(Debug, Clone)]
+pub struct PeerState {
+    pub peer: Peer,
+    pub healthy: bool,
+}
+
+/// An immutable snapshot of the mesh. Routers capture one `Arc<View>`
+/// per request and never observe a mid-request change.
+#[derive(Debug, Clone)]
+pub struct View {
+    /// Monotonic; bumps only when some peer's health flips.
+    pub epoch: u64,
+    pub peers: Vec<PeerState>,
+}
+
+impl View {
+    pub fn healthy_count(&self) -> usize {
+        self.peers.iter().filter(|p| p.healthy).count()
+    }
+
+    pub fn healthy(&self) -> impl Iterator<Item = &PeerState> {
+        self.peers.iter().filter(|p| p.healthy)
+    }
+}
+
+/// Parse a `host:port,host:port,...` seed list (the `--peers` flag).
+pub fn parse_peers(csv: &str) -> Result<Vec<Peer>, String> {
+    let mut peers = Vec::new();
+    for part in csv.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let addr: SocketAddr = part
+            .parse()
+            .map_err(|e| format!("bad peer address '{part}': {e}"))?;
+        let peer = Peer {
+            id: part.to_string(),
+            addr,
+        };
+        if peers.contains(&peer) {
+            return Err(format!("duplicate peer '{part}'"));
+        }
+        peers.push(peer);
+    }
+    if peers.is_empty() {
+        return Err("peer list is empty".into());
+    }
+    Ok(peers)
+}
+
+/// The live membership tracker: seed list + heartbeat + published view.
+pub struct Membership {
+    probe_timeout: Duration,
+    view: RwLock<Arc<View>>,
+    /// Mesh gauges to keep in sync with the view (`GET /v1/metrics`).
+    mesh: Option<Arc<MeshStatus>>,
+}
+
+impl Membership {
+    /// Probe every seed synchronously and publish epoch 1. Bootstrap
+    /// blocks for at most `peers.len() * probe_timeout`, so callers get
+    /// an honest initial view before serving their first request.
+    pub fn bootstrap(
+        peers: Vec<Peer>,
+        probe_timeout: Duration,
+        mesh: Option<Arc<MeshStatus>>,
+    ) -> Arc<Membership> {
+        let states: Vec<PeerState> = peers
+            .into_iter()
+            .map(|peer| {
+                let healthy = probe(&peer.addr, probe_timeout);
+                PeerState { peer, healthy }
+            })
+            .collect();
+        let view = View {
+            epoch: 1,
+            peers: states,
+        };
+        if let Some(m) = &mesh {
+            m.set_view(view.epoch, view.peers.len(), view.healthy_count());
+        }
+        Arc::new(Membership {
+            probe_timeout,
+            view: RwLock::new(Arc::new(view)),
+            mesh,
+        })
+    }
+
+    /// The current snapshot (cheap: one `Arc` clone).
+    pub fn view(&self) -> Arc<View> {
+        Arc::clone(&self.view.read().expect("membership view"))
+    }
+
+    /// Re-probe every peer; publish a new view (epoch + 1) only if some
+    /// health bit flipped. Returns whether it did.
+    pub fn probe_once(&self) -> bool {
+        let current = self.view();
+        let fresh: Vec<bool> = current
+            .peers
+            .iter()
+            .map(|p| probe(&p.peer.addr, self.probe_timeout))
+            .collect();
+        let changed = current
+            .peers
+            .iter()
+            .zip(&fresh)
+            .any(|(p, &h)| p.healthy != h);
+        if !changed {
+            return false;
+        }
+        let next = View {
+            epoch: current.epoch + 1,
+            peers: current
+                .peers
+                .iter()
+                .zip(&fresh)
+                .map(|(p, &healthy)| PeerState {
+                    peer: p.peer.clone(),
+                    healthy,
+                })
+                .collect(),
+        };
+        if let Some(m) = &self.mesh {
+            m.set_view(next.epoch, next.peers.len(), next.healthy_count());
+        }
+        *self.view.write().expect("membership view") = Arc::new(next);
+        true
+    }
+
+    /// Spawn the heartbeat thread: probe every `interval` until `stop`
+    /// is raised. Join the handle after raising the flag — the sleep is
+    /// chunked, so shutdown latency is bounded by ~50ms, not `interval`.
+    pub fn start_heartbeat(
+        self: Arc<Self>,
+        interval: Duration,
+        stop: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                sleep_until(interval, &stop);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                self.probe_once();
+            }
+        })
+    }
+}
+
+/// A peer is healthy iff its listener accepts a TCP connection within
+/// the timeout. The connection is dropped immediately; the serve side
+/// treats connect-then-close as normal churn and sends no response.
+fn probe(addr: &SocketAddr, timeout: Duration) -> bool {
+    TcpStream::connect_timeout(addr, timeout).is_ok()
+}
+
+/// Sleep `total` in ~50ms steps, returning early when `stop` raises.
+pub(crate) fn sleep_until(total: Duration, stop: &AtomicBool) {
+    let step = Duration::from_millis(50);
+    let mut slept = Duration::ZERO;
+    while slept < total && !stop.load(Ordering::Relaxed) {
+        let next = step.min(total - slept);
+        std::thread::sleep(next);
+        slept += next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn quick(ms: u64) -> Duration {
+        Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn parse_peers_accepts_lists_and_rejects_garbage() {
+        let peers = parse_peers("127.0.0.1:7101, 127.0.0.1:7102").unwrap();
+        assert_eq!(peers.len(), 2);
+        assert_eq!(peers[0].id, "127.0.0.1:7101");
+        assert_eq!(peers[1].addr.port(), 7102);
+        assert!(parse_peers("").is_err());
+        assert!(parse_peers("not-an-addr").is_err());
+        assert!(
+            parse_peers("127.0.0.1:1,127.0.0.1:1").is_err(),
+            "duplicates"
+        );
+    }
+
+    #[test]
+    fn bootstrap_probes_and_epoch_bumps_only_on_change() {
+        // One live listener, one address nothing listens on.
+        let live = TcpListener::bind("127.0.0.1:0").unwrap();
+        let live_addr = live.local_addr().unwrap();
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead); // port now closed
+
+        let peers = vec![
+            Peer {
+                id: live_addr.to_string(),
+                addr: live_addr,
+            },
+            Peer {
+                id: dead_addr.to_string(),
+                addr: dead_addr,
+            },
+        ];
+        let membership = Membership::bootstrap(peers, quick(200), None);
+        let v1 = membership.view();
+        assert_eq!(v1.epoch, 1);
+        assert_eq!(v1.peers.len(), 2);
+        assert!(v1.peers[0].healthy, "live listener probes healthy");
+        assert!(!v1.peers[1].healthy, "closed port probes unhealthy");
+        assert_eq!(v1.healthy_count(), 1);
+
+        // Nothing changed: no new epoch, view pointer still equal.
+        assert!(!membership.probe_once());
+        assert_eq!(membership.view().epoch, 1);
+
+        // Kill the live listener: exactly one epoch bump.
+        drop(live);
+        assert!(membership.probe_once());
+        let v2 = membership.view();
+        assert_eq!(v2.epoch, 2);
+        assert_eq!(v2.healthy_count(), 0);
+    }
+
+    #[test]
+    fn single_node_fallback_is_a_working_one_peer_view() {
+        let live = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = live.local_addr().unwrap();
+        let membership = Membership::bootstrap(
+            vec![Peer {
+                id: addr.to_string(),
+                addr,
+            }],
+            quick(200),
+            None,
+        );
+        let view = membership.view();
+        assert_eq!(view.peers.len(), 1);
+        assert_eq!(view.healthy_count(), 1);
+        // Every key lands on the one peer.
+        for key in [0u64, 1, 0xdead_beef] {
+            assert_eq!(crate::ring::owner(key, &view).unwrap().peer.addr, addr);
+        }
+    }
+
+    #[test]
+    fn heartbeat_thread_observes_changes_and_stops() {
+        let live = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = live.local_addr().unwrap();
+        let membership = Membership::bootstrap(
+            vec![Peer {
+                id: addr.to_string(),
+                addr,
+            }],
+            quick(200),
+            None,
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let hb = Arc::clone(&membership).start_heartbeat(quick(20), Arc::clone(&stop));
+        drop(live);
+        // The heartbeat must notice the death within a generous bound.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while membership.view().healthy_count() != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "heartbeat never noticed the dead peer"
+            );
+            std::thread::sleep(quick(10));
+        }
+        stop.store(true, Ordering::Relaxed);
+        hb.join().expect("heartbeat joins after stop");
+    }
+}

@@ -1,0 +1,177 @@
+//! Work stealing: idle shards pull *queued* (never in-flight) jobs from
+//! the busiest peer.
+//!
+//! The stealer is deliberately an HTTP client of its own shard rather
+//! than a thread with queue access: it polls `GET /v1/queue` on itself
+//! to decide whether it is idle, polls the same endpoint on every
+//! healthy peer to find the deepest backlog, asks the victim to donate
+//! with `POST /v1/queue/steal`, and resubmits the donated specs to its
+//! own `POST /v1/jobs`. Everything it does is observable (and testable)
+//! at the API surface, and a donated spec travels as plain JSON — the
+//! thief derives the *same* content key the victim had, so the job id a
+//! client polls keeps working no matter which shard computes it.
+//!
+//! Safety over cleverness in the race window: the victim keeps donated
+//! jobs at the back of its own queue as a safety net. If the thief dies
+//! after stealing, the victim still executes the job; if both execute,
+//! the second writer commits identical bytes to the shared store (or
+//! answers straight from it as a cache hit). Stealing can duplicate
+//! work; it can never lose it.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::Deserialize;
+use xplain_runtime::JobSpec;
+use xplain_serve::{Client, MeshStatus};
+
+use crate::membership::{sleep_until, Membership};
+
+/// Stealer tunables.
+#[derive(Debug, Clone)]
+pub struct StealerConfig {
+    /// Poll period while idle.
+    pub interval: Duration,
+    /// Most jobs to pull in one round (small batches keep placement
+    /// close to the ring and limit the duplicated-work window).
+    pub batch_max: usize,
+    /// Per-request timeout against self and peers.
+    pub timeout: Duration,
+}
+
+impl Default for StealerConfig {
+    fn default() -> Self {
+        StealerConfig {
+            interval: Duration::from_millis(200),
+            batch_max: 2,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The subset of `GET /v1/queue` a stealing decision needs (extra
+/// fields in the body are ignored by deserialization).
+#[derive(Debug, Deserialize)]
+struct QueueSnapshot {
+    depth: usize,
+    active: usize,
+    stealable: usize,
+}
+
+/// `POST /v1/queue/steal` response body.
+#[derive(Debug, Deserialize)]
+struct StealBody {
+    jobs: Vec<JobSpec>,
+}
+
+/// One shard's stealing loop.
+pub struct Stealer {
+    /// This shard's own serve address (jobs are resubmitted here).
+    self_addr: SocketAddr,
+    membership: Arc<Membership>,
+    mesh: Arc<MeshStatus>,
+    config: StealerConfig,
+}
+
+impl Stealer {
+    pub fn new(
+        self_addr: SocketAddr,
+        membership: Arc<Membership>,
+        mesh: Arc<MeshStatus>,
+        config: StealerConfig,
+    ) -> Stealer {
+        Stealer {
+            self_addr,
+            membership,
+            mesh,
+            config,
+        }
+    }
+
+    /// Spawn the polling thread; raises nothing itself — raise `stop`
+    /// and join the handle to end it (shutdown latency ~50ms).
+    pub fn start(self, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                sleep_until(self.config.interval, &stop);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                self.tick();
+            }
+        })
+    }
+
+    /// One stealing round. Public so tests (and operators embedding the
+    /// tier) can drive it deterministically without the thread. Returns
+    /// the number of jobs successfully pulled and resubmitted locally.
+    pub fn tick(&self) -> usize {
+        // Idle check against our own shard: anything waiting or running
+        // means local capacity is spoken for.
+        let own = match self.snapshot(self.self_addr) {
+            Some(s) => s,
+            None => return 0, // own server unreachable; nothing to do
+        };
+        if own.depth > 0 || own.active > 0 {
+            return 0;
+        }
+
+        // Busiest healthy peer by stealable backlog (never ourselves).
+        let view = self.membership.view();
+        let victim = view
+            .healthy()
+            .filter(|p| p.peer.addr != self.self_addr)
+            .filter_map(|p| {
+                let snap = self.snapshot(p.peer.addr)?;
+                (snap.stealable > 0).then_some((p.peer.addr, snap.stealable))
+            })
+            .max_by_key(|&(_, stealable)| stealable);
+        let Some((victim_addr, stealable)) = victim else {
+            return 0;
+        };
+
+        let max = stealable.min(self.config.batch_max.max(1));
+        let request = format!("{{\"max\":{max}}}");
+        let Ok(response) = self.client(victim_addr).post("/v1/queue/steal", &request) else {
+            return 0;
+        };
+        if response.status != 200 {
+            return 0;
+        }
+        let Ok(donated) = serde_json::from_str::<StealBody>(&response.body) else {
+            return 0;
+        };
+
+        let mut pulled = 0usize;
+        for spec in &donated.jobs {
+            let body = serde_json::to_string(spec).expect("spec serializes");
+            // Plain post, no retry: if our shard is suddenly busy the
+            // victim's safety-net copy still runs the job.
+            let accepted = self
+                .client(self.self_addr)
+                .post("/v1/jobs", &body)
+                .map(|r| r.status == 200 || r.status == 202)
+                .unwrap_or(false);
+            if accepted {
+                pulled += 1;
+            }
+        }
+        if pulled > 0 {
+            self.mesh.add_stolen(pulled as u64);
+        }
+        pulled
+    }
+
+    fn snapshot(&self, addr: SocketAddr) -> Option<QueueSnapshot> {
+        let response = self.client(addr).get("/v1/queue").ok()?;
+        (response.status == 200)
+            .then(|| serde_json::from_str(&response.body).ok())
+            .flatten()
+    }
+
+    fn client(&self, addr: SocketAddr) -> Client {
+        Client::new(addr).with_timeout(self.config.timeout)
+    }
+}

@@ -246,6 +246,10 @@ pub struct RunOptions<'s> {
     pub resume: bool,
     /// Forward every session event as it happens.
     pub sink: Option<EventSink<'s>>,
+    /// Origin tag stamped into store entries this run commits (the mesh
+    /// sets it to the computing shard's id). `None` (the default) stores
+    /// entries untagged.
+    pub origin: Option<&'s str>,
 }
 
 /// Execute a manifest against a registry, optionally through a result
@@ -286,6 +290,7 @@ pub fn run_manifest_opts(
             budgets_override: opts.budgets_override,
             record_events: false, // the global sink already observes
             retain_done: 0,       // into_outcomes needs every slot
+            pace_ms: 0,           // batch runs flat out
         },
         opts.sink,
     );
@@ -414,7 +419,7 @@ pub(crate) fn run_job(
         if natural {
             // Failing to persist is not failing the job (e.g. read-only
             // dir); the next run simply recomputes.
-            let _ = store.insert(&job.domain, &config, &result);
+            let _ = store.insert_with_origin(&job.domain, &config, &result, opts.origin);
             if opts.resume {
                 store.clear_checkpoint(&job.domain, &config);
             }

@@ -45,8 +45,8 @@ pub use executor::{
     EventSink, JobOutcome, JobSpec, RunOptions, SessionFinish,
 };
 pub use queue::{
-    Disposition, EventsChunk, JobPhase, JobQueue, JobView, QueueCounters, QueueFull, QueueOptions,
-    Submitted,
+    Disposition, EventsChunk, JobPhase, JobQueue, JobView, PendingJob, QueueCounters, QueueFull,
+    QueueOptions, Submitted,
 };
 pub use store::{GcReport, ResultStore};
 pub use watch::{watch_line, WatchLine};

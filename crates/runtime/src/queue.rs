@@ -73,6 +73,16 @@ pub struct QueueOptions {
     /// served from the store (cache hit) or recomputed. `0` = never
     /// evict (the batch default — `into_outcomes` needs every slot).
     pub retain_done: usize,
+    /// Minimum per-worker service time in milliseconds for *executed*
+    /// (non-cache-hit) jobs — a serve worker that finishes a job faster
+    /// sleeps out the remainder before taking the next one. `0` (the
+    /// default) disables pacing. This is per-worker rate limiting /
+    /// overload protection: it caps a shard's job throughput at
+    /// `workers × 1000/pace_ms` regardless of how cheap individual jobs
+    /// are, which also makes per-shard capacity machine-independent —
+    /// the property the mesh scaling bench (`mesh-bench`) relies on.
+    /// Batch workers ([`JobQueue::drain_worker`]) never pace.
+    pub pace_ms: u64,
 }
 
 /// A submission was rejected because the queue's waiting line is at
@@ -168,6 +178,16 @@ pub struct JobView {
     pub events_logged: usize,
 }
 
+/// Summary of one waiting job — the `GET /v1/queue` surface a peer
+/// inspects before stealing.
+#[derive(Debug, Clone)]
+pub struct PendingJob {
+    pub id: String,
+    pub domain: String,
+    /// Already offered to a peer via [`JobQueue::donate`].
+    pub donated: bool,
+}
+
 /// One batch of tailed events.
 #[derive(Debug, Clone)]
 pub struct EventsChunk {
@@ -192,6 +212,11 @@ pub struct QueueCounters {
     pub cancelled: u64,
     /// Submissions rejected with [`QueueFull`].
     pub rejected_full: u64,
+    /// Pending jobs handed to a peer via [`JobQueue::donate`] (the
+    /// work-stealing surface — a donated job stays queued here too; the
+    /// count is jobs *offered*, not jobs whose local execution was
+    /// skipped).
+    pub donated: u64,
 }
 
 enum SlotState {
@@ -228,6 +253,10 @@ struct JobSlot {
     events: Vec<String>,
     /// No further events will be appended.
     events_done: bool,
+    /// Handed to a peer via [`JobQueue::donate`]. The slot stays
+    /// pending (the local execution is the safety net if the thief
+    /// dies), but it is never offered twice.
+    donated: bool,
 }
 
 struct QueueState {
@@ -245,6 +274,10 @@ pub struct JobQueue<'a> {
     registry: &'a DomainRegistry,
     store: Option<&'a ResultStore>,
     opts: QueueOptions,
+    /// Stamped into store entries this queue commits (the mesh sets it
+    /// to the shard id, so `origin` metadata records which process
+    /// computed each result).
+    origin: Option<String>,
     /// Global observer (the batch `--watch` sink); per-job event logs are
     /// separate and gated on `record_events`.
     sink: Option<EventSink<'a>>,
@@ -260,6 +293,7 @@ pub struct JobQueue<'a> {
     cache_hits: AtomicU64,
     cancelled: AtomicU64,
     rejected_full: AtomicU64,
+    donated: AtomicU64,
 }
 
 impl<'a> JobQueue<'a> {
@@ -273,6 +307,7 @@ impl<'a> JobQueue<'a> {
             registry,
             store,
             opts,
+            origin: None,
             sink,
             state: Mutex::new(QueueState {
                 slots: Vec::new(),
@@ -289,7 +324,16 @@ impl<'a> JobQueue<'a> {
             cache_hits: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
+            donated: AtomicU64::new(0),
         }
+    }
+
+    /// Stamp every store entry this queue commits with an origin tag
+    /// (typically the mesh shard id) — see [`ResultStore`] origin
+    /// metadata.
+    pub fn with_origin(mut self, origin: Option<String>) -> Self {
+        self.origin = origin;
+        self
     }
 
     /// Content-addressed identity of a spec at a manifest position: the
@@ -334,6 +378,7 @@ impl<'a> JobQueue<'a> {
             cancel: CancelToken::new(),
             events: Vec::new(),
             events_done: false,
+            donated: false,
         }
     }
 
@@ -705,6 +750,76 @@ impl<'a> JobQueue<'a> {
         self.state.lock().expect("queue state").pending.len()
     }
 
+    /// Snapshot the waiting line in execution order.
+    pub fn pending_jobs(&self) -> Vec<PendingJob> {
+        let state = self.state.lock().expect("queue state");
+        state
+            .pending
+            .iter()
+            .map(|&i| {
+                let slot = &state.slots[i];
+                PendingJob {
+                    id: Self::format_id(slot.key),
+                    domain: slot.domain.clone(),
+                    donated: slot.donated,
+                }
+            })
+            .collect()
+    }
+
+    /// Number of waiting jobs not yet offered to a peer — what an idle
+    /// peer stands to gain by calling [`JobQueue::donate`].
+    pub fn stealable(&self) -> usize {
+        let state = self.state.lock().expect("queue state");
+        state
+            .pending
+            .iter()
+            .filter(|&&i| !state.slots[i].donated && state.slots[i].index == 0)
+            .count()
+    }
+
+    /// The work-stealing victim side: hand up to `max` waiting jobs to
+    /// a peer. Each donated job is returned as its [`JobSpec`] (the
+    /// thief resubmits it to its own queue — specs are content-keyed at
+    /// index 0, so both sides derive the same id and the same store
+    /// entry), marked so it is never offered twice, and rotated to the
+    /// *back* of the local waiting line rather than removed: the local
+    /// execution is the safety net. If the thief finishes first, this
+    /// queue's eventual execution answers from the store (cache hit);
+    /// if the thief dies, the job simply runs here — a steal can
+    /// duplicate work, never lose it. Only deduplicated (index-0)
+    /// submissions are donated: batch jobs are positional and would
+    /// derive a different seed on the thief.
+    pub fn donate(&self, max: usize) -> Vec<JobSpec> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let mut state = self.state.lock().expect("queue state");
+        let picked: Vec<usize> = state
+            .pending
+            .iter()
+            .copied()
+            .filter(|&i| !state.slots[i].donated && state.slots[i].index == 0)
+            .take(max)
+            .collect();
+        if picked.is_empty() {
+            return Vec::new();
+        }
+        let mut specs = Vec::with_capacity(picked.len());
+        for &slot_idx in &picked {
+            let slot = &mut state.slots[slot_idx];
+            slot.donated = true;
+            specs.push(slot.spec.clone());
+        }
+        state.pending.retain(|i| !picked.contains(i));
+        for slot_idx in picked {
+            state.pending.push_back(slot_idx);
+        }
+        self.donated
+            .fetch_add(specs.len() as u64, Ordering::Relaxed);
+        specs
+    }
+
     /// Number of jobs currently executing.
     pub fn active(&self) -> usize {
         self.active.load(Ordering::Relaxed)
@@ -717,6 +832,7 @@ impl<'a> JobQueue<'a> {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            donated: self.donated.load(Ordering::Relaxed),
         }
     }
 
@@ -763,7 +879,9 @@ impl<'a> JobQueue<'a> {
     }
 
     /// Server worker: block for work until [`JobQueue::shutdown`], then
-    /// return once the queue is drained.
+    /// return once the queue is drained. With [`QueueOptions::pace_ms`],
+    /// each freshly executed (non-cache-hit) job occupies the worker for
+    /// at least that long — per-worker rate limiting.
     pub fn serve_worker(&self) {
         loop {
             let slot_idx = {
@@ -783,11 +901,20 @@ impl<'a> JobQueue<'a> {
                         .0;
                 }
             };
-            self.execute(slot_idx);
+            let started = std::time::Instant::now();
+            let cache_hit = self.execute(slot_idx);
+            if self.opts.pace_ms > 0 && !cache_hit && !self.is_shutting_down() {
+                let floor = Duration::from_millis(self.opts.pace_ms);
+                if let Some(rest) = floor.checked_sub(started.elapsed()) {
+                    std::thread::sleep(rest);
+                }
+            }
         }
     }
 
-    fn execute(&self, slot_idx: usize) {
+    /// Run one slot to completion. Returns whether the outcome was a
+    /// cache hit (pacing exempts those — they cost no compute).
+    fn execute(&self, slot_idx: usize) -> bool {
         self.active.fetch_add(1, Ordering::Relaxed);
         let (spec, index, domain, cancel) = {
             let state = self.state.lock().expect("queue state");
@@ -816,6 +943,7 @@ impl<'a> JobQueue<'a> {
             budgets_override: self.opts.budgets_override,
             resume: self.opts.resume,
             sink: Some(&sink),
+            origin: self.origin.as_deref(),
         };
         // A panicking job must not take a long-lived worker down with it
         // (the slot would stay Running forever and every poller and
@@ -844,7 +972,8 @@ impl<'a> JobQueue<'a> {
             }
         });
 
-        if outcome.cache_hit {
+        let cache_hit = outcome.cache_hit;
+        if cache_hit {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
         if outcome
@@ -864,6 +993,7 @@ impl<'a> JobQueue<'a> {
         drop(state);
         self.active.fetch_sub(1, Ordering::Relaxed);
         self.event_cv.notify_all();
+        cache_hit
     }
 
     /// Consume the queue, returning every outcome in submission order.
@@ -1017,6 +1147,133 @@ mod tests {
         // Resubmitting the evicted spec schedules a fresh execution.
         let again = queue.submit_deduped(spec("no-such", 1)).unwrap();
         assert_eq!(again.disposition, Disposition::Enqueued);
+    }
+
+    #[test]
+    fn donate_offers_each_pending_job_once_and_keeps_it_queued() {
+        let registry = DomainRegistry::builtin();
+        let queue = JobQueue::new(&registry, None, QueueOptions::default(), None);
+        let a = queue.submit_deduped(spec("dp", 1)).unwrap();
+        let b = queue.submit_deduped(spec("ff", 2)).unwrap();
+        assert_eq!(queue.stealable(), 2);
+        let stolen = queue.donate(1);
+        assert_eq!(stolen.len(), 1);
+        assert_eq!(stolen[0].domain, "dp");
+        // The donated job stays queued (the local safety net) but is
+        // never offered twice, and rotates to the back of the line.
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.stealable(), 1);
+        let pending = queue.pending_jobs();
+        assert_eq!(pending[0].id, JobQueue::format_id(b.key));
+        assert!(!pending[0].donated);
+        assert_eq!(pending[1].id, JobQueue::format_id(a.key));
+        assert!(pending[1].donated);
+        // A thief submitting the donated spec derives the same id.
+        assert_eq!(JobQueue::job_key(&stolen[0], 0), a.key);
+        let rest = queue.donate(10);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].domain, "ff");
+        assert!(queue.donate(10).is_empty());
+        assert_eq!(queue.counters().donated, 2);
+        assert_eq!(queue.donate(0).len(), 0);
+        // Batch (positional) jobs are never donated: the thief would
+        // derive a different seed at index 0.
+        queue.submit(spec("sched", 3), 5).unwrap();
+        assert_eq!(queue.stealable(), 0);
+        assert!(queue.donate(10).is_empty());
+    }
+
+    /// The satellite gate for `retain_done`: eviction of the oldest
+    /// completions must stay consistent while submitters, pollers, and
+    /// event subscribers hammer the queue concurrently with the workers
+    /// draining it.
+    #[test]
+    fn retain_done_eviction_survives_concurrent_hammering() {
+        use std::sync::atomic::AtomicUsize;
+
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 40;
+        const RETAIN: usize = 4;
+
+        let registry = DomainRegistry::builtin();
+        let queue = JobQueue::new(
+            &registry,
+            None,
+            QueueOptions {
+                record_events: true,
+                retain_done: RETAIN,
+                ..Default::default()
+            },
+            None,
+        );
+        let keys = Mutex::new(Vec::<u64>::new());
+        let done_seen = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| queue.serve_worker());
+            }
+            let mut hammers = Vec::new();
+            for t in 0..THREADS {
+                let (queue, keys, done_seen) = (&queue, &keys, &done_seen);
+                hammers.push(scope.spawn(move || {
+                    // Unknown-domain specs complete instantly with an
+                    // error outcome — cheap Done slots, maximum
+                    // eviction churn.
+                    let mut mine = Vec::new();
+                    for i in 0..PER_THREAD {
+                        let sub = queue.submit_deduped(spec("no-such", t * 1000 + i)).unwrap();
+                        mine.push(sub);
+                        // Re-poll everything this thread submitted while
+                        // evictions race: every answer must be a clean
+                        // miss or a coherent view, never a panic.
+                        for prev in &mine {
+                            match queue.poll(prev.key) {
+                                None => {} // evicted
+                                Some(view) if view.phase == JobPhase::Done => {
+                                    done_seen.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Some(_) => {}
+                            }
+                            // Event reads on evicted slots answer None
+                            // (truncation), never a bogus "complete".
+                            if let Some(chunk) =
+                                queue.wait_events(prev.slot, 0, Duration::from_millis(1))
+                            {
+                                assert!(chunk.lines.len() <= 64);
+                            }
+                        }
+                    }
+                    let mut keys = keys.lock().unwrap();
+                    keys.extend(mine.iter().map(|s| s.key));
+                }));
+            }
+            for h in hammers {
+                h.join().unwrap();
+            }
+            queue.shutdown();
+        });
+
+        let keys = keys.into_inner().unwrap();
+        assert_eq!(keys.len(), (THREADS * PER_THREAD) as usize);
+        let counters = queue.counters();
+        assert_eq!(counters.submitted, THREADS * PER_THREAD);
+        // Every submission either ran to an error outcome or was
+        // cancelled by shutdown — nothing lost, nothing double-counted.
+        assert_eq!(counters.completed, THREADS * PER_THREAD);
+        assert!(done_seen.load(Ordering::Relaxed) > 0, "pollers saw work");
+        // Eviction kept its bound: at most `retain_done` completions
+        // still resolve, the rest answer like unknown jobs.
+        let resolvable = keys.iter().filter(|&&k| queue.poll(k).is_some()).count();
+        assert!(
+            resolvable <= RETAIN,
+            "{resolvable} completions retained, expected <= {RETAIN}"
+        );
+        for key in keys {
+            if let Some(view) = queue.poll(key) {
+                assert_eq!(view.phase, JobPhase::Done);
+                assert!(view.outcome.is_some());
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,14 @@ struct StoreEntry {
     domain: String,
     config: PipelineConfig,
     result: PipelineResult,
+    /// Ownership metadata: which process computed this entry (the mesh
+    /// stamps the shard id, so a shared store records who did the work
+    /// — steals included). Not part of the content key and not verified
+    /// on lookup: results are pure functions of `(domain, config)`, so
+    /// the same bytes land regardless of who computed them. Entries
+    /// from before this field read back as `None`.
+    #[serde(default)]
+    origin: Option<String>,
 }
 
 /// One persisted session checkpoint, with the same key-echo defense as
@@ -111,11 +119,24 @@ impl ResultStore {
         config: &PipelineConfig,
         result: &PipelineResult,
     ) -> io::Result<()> {
+        self.insert_with_origin(domain, config, result, None)
+    }
+
+    /// [`ResultStore::insert`] with an origin tag (ownership metadata —
+    /// the mesh passes the computing shard's id).
+    pub fn insert_with_origin(
+        &self,
+        domain: &str,
+        config: &PipelineConfig,
+        result: &PipelineResult,
+        origin: Option<&str>,
+    ) -> io::Result<()> {
         fs::create_dir_all(&self.dir)?;
         let entry = StoreEntry {
             domain: domain.to_string(),
             config: config.clone(),
             result: result.clone(),
+            origin: origin.map(str::to_string),
         };
         let json = serde_json::to_string(&entry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
@@ -128,6 +149,14 @@ impl ResultStore {
         ));
         fs::write(&tmp_path, json)?;
         fs::rename(&tmp_path, final_path)
+    }
+
+    /// Read back the origin tag of a committed entry (`None` for
+    /// misses, untagged entries, and anything `lookup` would reject).
+    pub fn origin(&self, domain: &str, config: &PipelineConfig) -> Option<String> {
+        let text = fs::read_to_string(self.entry_path(domain, config)).ok()?;
+        let entry: StoreEntry = serde_json::from_str(&text).ok()?;
+        (entry.domain == domain).then_some(entry.origin)?
     }
 
     /// On-disk path of a job's session checkpoint (`.ckpt`, deliberately
@@ -454,6 +483,22 @@ mod tests {
         assert_eq!(store.gc(), GcReport::default());
         // Missing directory: zero report, no panic.
         assert_eq!(ResultStore::new("/no/such/dir").gc(), GcReport::default());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn origin_metadata_roundtrips_and_defaults() {
+        let store = ResultStore::new(scratch_dir("origin"));
+        let config = PipelineConfig::default();
+        assert!(store.origin("dp", &config).is_none(), "miss has no origin");
+        store.insert("dp", &config, &dummy_result(1)).unwrap();
+        assert!(store.origin("dp", &config).is_none(), "untagged insert");
+        store
+            .insert_with_origin("dp", &config, &dummy_result(1), Some("shard-2"))
+            .unwrap();
+        assert_eq!(store.origin("dp", &config).as_deref(), Some("shard-2"));
+        // Origin is metadata, not content: lookups are unaffected.
+        assert_eq!(store.lookup("dp", &config).unwrap().rejected, 1);
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -78,6 +78,7 @@ fn event_sink_sees_the_whole_stream_in_order() {
         budgets_override: None,
         resume: false,
         sink: Some(&sink),
+        origin: None,
     };
     let outcomes = run_manifest_opts(&registry, &jobs, None, 1, opts);
     assert!(outcomes[0].error.is_none());
@@ -140,6 +141,7 @@ fn analyzer_budget_stops_job_then_resume_completes_identically() {
         budgets_override: None,
         resume: true,
         sink: None,
+        origin: None,
     };
     let stopped = run_manifest_opts(
         &registry,
@@ -222,6 +224,7 @@ fn deadline_zero_override_interrupts_every_job() {
         }),
         resume: false,
         sink: None,
+        origin: None,
     };
     let outcomes = run_manifest_opts(&registry, &jobs, None, 2, opts);
     for o in &outcomes {

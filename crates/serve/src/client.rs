@@ -12,6 +12,14 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// First wait between [`Client::post_retry`] attempts when the server
+/// sends no `Retry-After` hint; doubles per retry up to the cap.
+pub const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(25);
+/// Longest a single [`Client::post_retry`] wait can be, hinted or not —
+/// `Retry-After` is an estimate, and a gateway blocked for tens of
+/// seconds on one shard serves its tenant worse than failing over.
+pub const RETRY_WAIT_CAP: Duration = Duration::from_secs(2);
+
 /// A buffered response (fixed-length or fully-drained chunked body).
 #[derive(Debug, Clone)]
 pub struct HttpResponse {
@@ -59,6 +67,39 @@ impl Client {
 
     pub fn post(&self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
         self.request("POST", path, Some(body))
+    }
+
+    /// POST that honors `429 Too Many Requests` instead of surfacing it:
+    /// waits out the server's `Retry-After` hint (clamped between the
+    /// current backoff step and [`RETRY_WAIT_CAP`]) and retries, with
+    /// exponential backoff when the server sends no hint. Bounded: at
+    /// most `max_attempts` requests total — if the last one still
+    /// answers 429, that response is returned and the caller decides
+    /// (the mesh gateway fails over to another shard at that point).
+    /// Non-429 responses, including other errors, return immediately.
+    pub fn post_retry(
+        &self,
+        path: &str,
+        body: &str,
+        max_attempts: u32,
+    ) -> std::io::Result<HttpResponse> {
+        let mut backoff = RETRY_BACKOFF_BASE;
+        let mut response = self.post(path, body)?;
+        let mut attempts = 1;
+        while response.status == 429 && attempts < max_attempts.max(1) {
+            let hinted = response
+                .header("retry-after")
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(Duration::from_secs);
+            let wait = hinted
+                .unwrap_or(backoff)
+                .clamp(backoff, RETRY_WAIT_CAP.max(backoff));
+            std::thread::sleep(wait);
+            backoff = (backoff * 2).min(RETRY_WAIT_CAP);
+            response = self.post(path, body)?;
+            attempts += 1;
+        }
+        Ok(response)
     }
 
     /// Open a streaming GET (the events endpoint); returns the response
@@ -248,5 +289,77 @@ impl EventStream {
             lines.push(line);
         }
         Ok(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Drain one request (head + the tiny `{}` body the tests send) so
+    /// the client never hits a broken pipe mid-write.
+    fn read_full_request(stream: &mut TcpStream) {
+        let mut data = Vec::new();
+        let mut buf = [0u8; 1024];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    data.extend_from_slice(&buf[..n]);
+                    if data.windows(4).any(|w| w == b"\r\n\r\n") && data.ends_with(b"{}") {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn fake_server(responses: Vec<&'static str>) -> (SocketAddr, std::thread::JoinHandle<usize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = std::thread::spawn(move || {
+            let mut served = 0;
+            for response in responses {
+                let (mut stream, _) = listener.accept().unwrap();
+                read_full_request(&mut stream);
+                stream.write_all(response.as_bytes()).unwrap();
+                served += 1;
+            }
+            served
+        });
+        (addr, join)
+    }
+
+    const BUSY: &str = "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 0\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbusy";
+    const OK: &str = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok";
+
+    #[test]
+    fn post_retry_waits_out_429s_until_success() {
+        let (addr, server) = fake_server(vec![BUSY, BUSY, OK]);
+        let client = Client::new(addr).with_timeout(Duration::from_secs(5));
+        let response = client.post_retry("/v1/jobs", "{}", 5).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, "ok");
+        assert_eq!(server.join().unwrap(), 3, "exactly two retries");
+    }
+
+    #[test]
+    fn post_retry_is_bounded_and_surfaces_the_final_429() {
+        let (addr, server) = fake_server(vec![BUSY, BUSY, BUSY]);
+        let client = Client::new(addr).with_timeout(Duration::from_secs(5));
+        let response = client.post_retry("/v1/jobs", "{}", 3).unwrap();
+        assert_eq!(response.status, 429, "caller still sees the final 429");
+        assert_eq!(response.header("retry-after"), Some("0"));
+        assert_eq!(server.join().unwrap(), 3, "no more than max_attempts");
+    }
+
+    #[test]
+    fn post_retry_returns_non_429_immediately() {
+        let (addr, server) = fake_server(vec![OK]);
+        let client = Client::new(addr).with_timeout(Duration::from_secs(5));
+        let response = client.post_retry("/v1/jobs", "{}", 5).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(server.join().unwrap(), 1, "no retry on success");
     }
 }

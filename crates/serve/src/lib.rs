@@ -17,19 +17,24 @@
 //! | `GET /v1/jobs/{id}/events` | Chunked NDJSON stream of session events — the `runner --watch` wire format, byte-identical |
 //! | `POST /v1/jobs/{id}/cancel` | Cooperative cancel; the session checkpoints, a later resubmit resumes |
 //! | `GET /v1/domains` | Registered domain ids |
-//! | `GET /v1/metrics` | Queue depth, active sessions, cache hit rate, solver counters, per-route latency histograms |
+//! | `GET /v1/queue` | Waiting line (depth / active / stealable + pending jobs), as a peer deciding whether to steal sees it |
+//! | `POST /v1/queue/steal` | Donate up to `max` queued jobs to the calling peer (the mesh work stealer's pull endpoint) |
+//! | `GET /v1/metrics` | Queue depth, active sessions, cache hit rate, mesh gauges, solver counters, per-route latency histograms (full schema in DESIGN.md §9) |
 //! | `POST /v1/shutdown` | Graceful shutdown (in-flight sessions checkpoint through the store) |
 //!
 //! Module map: [`http`] (hand-rolled HTTP/1.1 parsing + chunked
 //! responses), [`router`] (typed routes), [`admission`] (429 +
 //! `Retry-After` policy), [`metrics`] (latency histograms via
-//! `xplain-stats`), [`server`] (accept loop, connection pool, handlers
+//! `xplain-stats`, plus the [`metrics::MeshStatus`] gauges the mesh
+//! layer feeds), [`server`] (accept loop, connection pool, handlers
 //! over the shared `xplain_runtime::JobQueue`), [`client`] (the minimal
-//! blocking client the tests and load generator drive).
+//! blocking client the gateway, stealer, tests, and load generators
+//! drive).
 //!
-//! The `runner` binary lives here too — it stacks the `serve` and `gc`
-//! subcommands on top of the batch CLI (this crate depends on the
-//! runtime, so the binary moved up a layer with it).
+//! `serve/tests/conformance.rs` pins this wire format exactly — status
+//! codes, JSON key order, NDJSON chunk framing — because the mesh tier
+//! (`xplain-mesh`, which also hosts the `runner` binary now) builds on
+//! it process-to-process.
 
 pub mod admission;
 pub mod client;
@@ -40,6 +45,6 @@ pub mod server;
 
 pub use admission::AdmissionPolicy;
 pub use client::{Client, EventStream, HttpResponse};
-pub use metrics::{MetricsReport, ServerMetrics};
+pub use metrics::{MeshReport, MeshStatus, MetricsReport, ServerMetrics};
 pub use router::{route, Route, RouteError};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -7,6 +7,7 @@
 //! each behind its own mutex: recording is a few comparisons, so the
 //! lock is never the bottleneck next to socket I/O.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -16,6 +17,77 @@ use xplain_runtime::{JobQueue, ResultStore};
 use xplain_stats::Histogram;
 
 use crate::router::ROUTE_TAGS;
+
+/// Live mesh gauges for one shard (or gateway). Owned by the mesh layer
+/// — the membership heartbeat and the steal loop update it — and shared
+/// with the server (via `ServerConfig::mesh`) so `GET /v1/metrics`
+/// reports it. All atomics: writers never block the metrics endpoint.
+pub struct MeshStatus {
+    /// This process's stable shard id (the gateway uses `"gateway"`).
+    shard_id: String,
+    ring_epoch: AtomicU64,
+    peers_total: AtomicUsize,
+    peers_healthy: AtomicUsize,
+    jobs_stolen: AtomicU64,
+}
+
+impl MeshStatus {
+    pub fn new(shard_id: impl Into<String>) -> Self {
+        MeshStatus {
+            shard_id: shard_id.into(),
+            ring_epoch: AtomicU64::new(0),
+            peers_total: AtomicUsize::new(0),
+            peers_healthy: AtomicUsize::new(0),
+            jobs_stolen: AtomicU64::new(0),
+        }
+    }
+
+    pub fn shard_id(&self) -> &str {
+        &self.shard_id
+    }
+
+    /// Record a membership view change (epoch + health counts).
+    pub fn set_view(&self, epoch: u64, peers_total: usize, peers_healthy: usize) {
+        self.ring_epoch.store(epoch, Ordering::Relaxed);
+        self.peers_total.store(peers_total, Ordering::Relaxed);
+        self.peers_healthy.store(peers_healthy, Ordering::Relaxed);
+    }
+
+    /// Count jobs this process pulled from peers' queues.
+    pub fn add_stolen(&self, n: u64) {
+        self.jobs_stolen.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn jobs_stolen(&self) -> u64 {
+        self.jobs_stolen.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for the metrics report (`jobs_donated` comes from the
+    /// queue's counters, not this struct — donation happens inside the
+    /// victim's queue).
+    pub fn report(&self, jobs_donated: u64) -> MeshReport {
+        MeshReport {
+            shard_id: self.shard_id.clone(),
+            ring_epoch: self.ring_epoch.load(Ordering::Relaxed),
+            peers_total: self.peers_total.load(Ordering::Relaxed),
+            peers_healthy: self.peers_healthy.load(Ordering::Relaxed),
+            jobs_stolen: self.jobs_stolen.load(Ordering::Relaxed),
+            jobs_donated,
+        }
+    }
+}
+
+impl std::fmt::Debug for MeshStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeshStatus")
+            .field("shard_id", &self.shard_id)
+            .field("ring_epoch", &self.ring_epoch.load(Ordering::Relaxed))
+            .field("peers_total", &self.peers_total.load(Ordering::Relaxed))
+            .field("peers_healthy", &self.peers_healthy.load(Ordering::Relaxed))
+            .field("jobs_stolen", &self.jobs_stolen.load(Ordering::Relaxed))
+            .finish()
+    }
+}
 
 /// Live metric collectors for one server.
 pub struct ServerMetrics {
@@ -48,6 +120,17 @@ impl ServerMetrics {
     /// Assemble the report against the live queue (and store, when one is
     /// attached).
     pub fn report(&self, queue: &JobQueue<'_>, store: Option<&ResultStore>) -> MetricsReport {
+        self.report_with_mesh(queue, store, None)
+    }
+
+    /// [`ServerMetrics::report`] with the mesh gauges attached (shards
+    /// and gateways running under `xplain-mesh`).
+    pub fn report_with_mesh(
+        &self,
+        queue: &JobQueue<'_>,
+        store: Option<&ResultStore>,
+        mesh: Option<&MeshStatus>,
+    ) -> MetricsReport {
         let counters = queue.counters();
         MetricsReport {
             uptime_ms: self.started.elapsed().as_millis() as u64,
@@ -64,8 +147,10 @@ impl ServerMetrics {
                 } else {
                     0.0
                 },
+                donated: counters.donated,
             },
             store_entries: store.map(|s| s.len()),
+            mesh: mesh.map(|m| m.report(counters.donated)),
             solver: SolverCounters::snapshot().since(&self.solver_at_start),
             routes: self
                 .routes
@@ -100,6 +185,8 @@ pub struct MetricsReport {
     pub queue: QueueReport,
     /// Committed results on disk (`null` when the server runs storeless).
     pub store_entries: Option<usize>,
+    /// Mesh gauges (`null` on a standalone server).
+    pub mesh: Option<MeshReport>,
     /// Solver work since this server started (process-wide counters; a
     /// superset of served work if something else solves in-process).
     pub solver: SolverCounters,
@@ -122,6 +209,24 @@ pub struct QueueReport {
     /// `cache_hits / submitted` — the fraction of accepted submissions
     /// answered from cache (0 before any traffic).
     pub cache_hit_rate: f64,
+    /// Waiting jobs handed to mesh peers (0 on a standalone server).
+    pub donated: u64,
+}
+
+/// The `mesh` block of the metrics report — one shard's view of the
+/// distributed tier.
+#[derive(Debug, Clone, Serialize)]
+pub struct MeshReport {
+    pub shard_id: String,
+    /// Monotonic membership-view epoch (bumps only when peer health
+    /// actually changes — routers never flip-flop within an epoch).
+    pub ring_epoch: u64,
+    pub peers_total: usize,
+    pub peers_healthy: usize,
+    /// Jobs this process pulled from busy peers.
+    pub jobs_stolen: u64,
+    /// Jobs this process's queue handed to idle peers.
+    pub jobs_donated: u64,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -165,5 +270,32 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"cache_hit_rate\""), "{json}");
         assert!(json.contains("GET /v1/metrics"), "{json}");
+        // Standalone servers report no mesh block.
+        assert!(report.mesh.is_none());
+        assert!(json.contains("\"mesh\":null"), "{json}");
+    }
+
+    #[test]
+    fn mesh_gauges_ride_the_metrics_surface() {
+        let registry = DomainRegistry::builtin();
+        let queue = JobQueue::new(&registry, None, QueueOptions::default(), None);
+        let metrics = ServerMetrics::new();
+        let mesh = MeshStatus::new("shard-1");
+        mesh.set_view(3, 4, 2);
+        mesh.add_stolen(5);
+        assert_eq!(mesh.jobs_stolen(), 5);
+        assert_eq!(mesh.shard_id(), "shard-1");
+
+        let report = metrics.report_with_mesh(&queue, None, Some(&mesh));
+        let m = report.mesh.as_ref().expect("mesh block present");
+        assert_eq!(m.shard_id, "shard-1");
+        assert_eq!(m.ring_epoch, 3);
+        assert_eq!(m.peers_total, 4);
+        assert_eq!(m.peers_healthy, 2);
+        assert_eq!(m.jobs_stolen, 5);
+        assert_eq!(m.jobs_donated, 0);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"jobs_stolen\":5"), "{json}");
+        assert!(json.contains("\"shard_id\":\"shard-1\""), "{json}");
     }
 }

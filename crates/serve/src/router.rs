@@ -18,6 +18,13 @@ pub enum Route {
     CancelJob(String),
     /// `GET /v1/domains` — registered domain ids.
     Domains,
+    /// `GET /v1/queue` — waiting-line depth + per-job summaries (the
+    /// surface an idle mesh peer polls before stealing).
+    QueueInfo,
+    /// `POST /v1/queue/steal` — donate up to `{"max": N}` waiting jobs
+    /// to the calling peer (work stealing; donated jobs stay queued
+    /// locally as the safety net).
+    Steal,
     /// `GET /v1/metrics` — queue/cache/solver/latency metrics.
     Metrics,
     /// `POST /v1/shutdown` — graceful shutdown (checkpoints in-flight
@@ -34,6 +41,8 @@ impl Route {
             Route::JobEvents(_) => "GET /v1/jobs/{id}/events",
             Route::CancelJob(_) => "POST /v1/jobs/{id}/cancel",
             Route::Domains => "GET /v1/domains",
+            Route::QueueInfo => "GET /v1/queue",
+            Route::Steal => "POST /v1/queue/steal",
             Route::Metrics => "GET /v1/metrics",
             Route::Shutdown => "POST /v1/shutdown",
         }
@@ -41,12 +50,14 @@ impl Route {
 }
 
 /// Every route tag, in display order (the metrics report iterates this).
-pub const ROUTE_TAGS: [&str; 7] = [
+pub const ROUTE_TAGS: [&str; 9] = [
     "POST /v1/jobs",
     "GET /v1/jobs/{id}",
     "GET /v1/jobs/{id}/events",
     "POST /v1/jobs/{id}/cancel",
     "GET /v1/domains",
+    "GET /v1/queue",
+    "POST /v1/queue/steal",
     "GET /v1/metrics",
     "POST /v1/shutdown",
 ];
@@ -85,6 +96,14 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
             "GET" => Ok(Route::Domains),
             _ => Err(RouteError::MethodNotAllowed { allowed: "GET" }),
         },
+        ["v1", "queue"] => match method {
+            "GET" => Ok(Route::QueueInfo),
+            _ => Err(RouteError::MethodNotAllowed { allowed: "GET" }),
+        },
+        ["v1", "queue", "steal"] => match method {
+            "POST" => Ok(Route::Steal),
+            _ => Err(RouteError::MethodNotAllowed { allowed: "POST" }),
+        },
         ["v1", "metrics"] => match method {
             "GET" => Ok(Route::Metrics),
             _ => Err(RouteError::MethodNotAllowed { allowed: "GET" }),
@@ -117,6 +136,8 @@ mod tests {
             Ok(Route::CancelJob("abc".into()))
         );
         assert_eq!(route("GET", "/v1/domains"), Ok(Route::Domains));
+        assert_eq!(route("GET", "/v1/queue"), Ok(Route::QueueInfo));
+        assert_eq!(route("POST", "/v1/queue/steal"), Ok(Route::Steal));
         assert_eq!(route("GET", "/v1/metrics"), Ok(Route::Metrics));
         assert_eq!(route("POST", "/v1/shutdown"), Ok(Route::Shutdown));
         // Trailing slashes are tolerated (empty segments filtered).
@@ -137,6 +158,14 @@ mod tests {
             route("POST", "/v1/jobs/x/events"),
             Err(RouteError::MethodNotAllowed { allowed: "GET" })
         );
+        assert_eq!(
+            route("POST", "/v1/queue"),
+            Err(RouteError::MethodNotAllowed { allowed: "GET" })
+        );
+        assert_eq!(
+            route("GET", "/v1/queue/steal"),
+            Err(RouteError::MethodNotAllowed { allowed: "POST" })
+        );
     }
 
     #[test]
@@ -154,6 +183,8 @@ mod tests {
             Route::JobEvents("x".into()),
             Route::CancelJob("x".into()),
             Route::Domains,
+            Route::QueueInfo,
+            Route::Steal,
             Route::Metrics,
             Route::Shutdown,
         ] {

@@ -64,6 +64,18 @@ pub struct ServerConfig {
     /// oldest are evicted — bounds a long-lived server's footprint.
     /// Evicted ids read as unknown; resubmits hit the store instead.
     pub retain_done: usize,
+    /// Mesh identity: stamped into store entries this server commits
+    /// (ownership metadata) and echoed in the metrics mesh block. `None`
+    /// for a standalone server.
+    pub shard_id: Option<String>,
+    /// Minimum per-worker service time (ms) for freshly executed jobs —
+    /// per-worker rate limiting / overload protection
+    /// ([`xplain_runtime::QueueOptions::pace_ms`]). `0` disables.
+    pub pace_ms: u64,
+    /// Shared mesh gauges (`GET /v1/metrics` reports them). The mesh
+    /// layer creates this and keeps updating it from the membership
+    /// heartbeat and steal loop.
+    pub mesh: Option<Arc<crate::metrics::MeshStatus>>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +88,9 @@ impl Default for ServerConfig {
             store_dir: None,
             read_timeout: Duration::from_secs(5),
             retain_done: 1024,
+            shard_id: None,
+            pace_ms: 0,
+            mesh: None,
         }
     }
 }
@@ -177,9 +192,11 @@ impl Server {
                 budgets_override: None,
                 record_events: true,
                 retain_done: self.config.retain_done,
+                pace_ms: self.config.pace_ms,
             },
             None,
-        );
+        )
+        .with_origin(self.config.shard_id.clone());
         let metrics = ServerMetrics::new();
         let queue_workers = auto_workers(self.config.queue_workers);
         let ctx = Ctx {
@@ -192,6 +209,7 @@ impl Server {
             addr: self.local_addr,
             queue_workers,
             read_timeout: self.config.read_timeout,
+            mesh: self.config.mesh.clone(),
         };
 
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
@@ -254,6 +272,7 @@ struct Ctx<'a> {
     addr: SocketAddr,
     queue_workers: usize,
     read_timeout: Duration,
+    mesh: Option<Arc<crate::metrics::MeshStatus>>,
 }
 
 fn handle_connection(mut stream: TcpStream, ctx: &Ctx<'_>) {
@@ -347,12 +366,49 @@ struct ShutdownBody {
     shutting_down: bool,
 }
 
+/// `GET /v1/queue` body: the waiting line, as a peer deciding whether
+/// to steal sees it.
+#[derive(Debug, Serialize)]
+struct QueueInfoBody {
+    /// Jobs waiting for a worker.
+    depth: usize,
+    /// Sessions executing right now.
+    active: usize,
+    /// Waiting jobs not yet offered to any peer.
+    stealable: usize,
+    pending: Vec<PendingJobBody>,
+}
+
+#[derive(Debug, Serialize)]
+struct PendingJobBody {
+    id: String,
+    domain: String,
+    donated: bool,
+}
+
+/// `POST /v1/queue/steal` request body.
+#[derive(Debug, serde::Deserialize)]
+struct StealRequest {
+    /// Maximum jobs to donate.
+    max: usize,
+}
+
+/// `POST /v1/queue/steal` response: the donated specs, ready for the
+/// thief to resubmit verbatim (content keys are identical on both
+/// sides, so the ids and store entries line up).
+#[derive(Debug, Serialize)]
+struct StealBody {
+    jobs: Vec<JobSpec>,
+}
+
 fn dispatch(ctx: &Ctx<'_>, route: Route, request: &Request) -> Response {
     match route {
         Route::SubmitJob => submit_job(ctx, request),
         Route::JobStatus(id) => job_status(ctx, &id),
         Route::CancelJob(id) => cancel_job(ctx, &id),
         Route::Domains => domains(ctx),
+        Route::QueueInfo => queue_info(ctx),
+        Route::Steal => steal(ctx, request),
         Route::Metrics => metrics(ctx),
         Route::Shutdown => {
             request_shutdown(ctx.shutdown, ctx.addr);
@@ -461,8 +517,49 @@ fn domains(ctx: &Ctx<'_>) -> Response {
     Response::json(200, serde_json::to_string(&list).expect("body serializes"))
 }
 
+fn queue_info(ctx: &Ctx<'_>) -> Response {
+    let pending: Vec<PendingJobBody> = ctx
+        .queue
+        .pending_jobs()
+        .into_iter()
+        .map(|p| PendingJobBody {
+            id: p.id,
+            domain: p.domain,
+            donated: p.donated,
+        })
+        .collect();
+    Response::json(
+        200,
+        serde_json::to_string(&QueueInfoBody {
+            depth: pending.len(),
+            active: ctx.queue.active(),
+            stealable: ctx.queue.stealable(),
+            pending,
+        })
+        .expect("body serializes"),
+    )
+}
+
+fn steal(ctx: &Ctx<'_>, request: &Request) -> Response {
+    let body = match request.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let req: StealRequest = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &format!("malformed steal request: {e:?}")),
+    };
+    let jobs = ctx.queue.donate(req.max);
+    Response::json(
+        200,
+        serde_json::to_string(&StealBody { jobs }).expect("body serializes"),
+    )
+}
+
 fn metrics(ctx: &Ctx<'_>) -> Response {
-    let report = ctx.metrics.report(ctx.queue, ctx.store);
+    let report = ctx
+        .metrics
+        .report_with_mesh(ctx.queue, ctx.store, ctx.mesh.as_deref());
     Response::json(
         200,
         serde_json::to_string(&report).expect("body serializes"),

@@ -1,0 +1,423 @@
+//! Wire-format conformance: pins the HTTP surface other processes
+//! build against — the mesh gateway, the work stealer, `mesh-bench`,
+//! and any out-of-tree client.
+//!
+//! Everything here is intentionally brittle: exact status codes, exact
+//! JSON key lists **in serialization order**, exact NDJSON chunked
+//! framing. Renaming a field or reordering a struct is a wire-format
+//! break for every deployed peer, so it must show up as a test diff,
+//! not as a silent drift the gateway discovers in production.
+//!
+//! Solver counters are process-global; tests that execute jobs hold the
+//! usual file-wide mutex.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use xplain_core::pipeline::PipelineConfig;
+use xplain_core::subspace::SubspaceParams;
+use xplain_core::{ExplainerParams, SignificanceParams};
+use xplain_runtime::{DomainRegistry, JobSpec, SessionBudgets};
+use xplain_serve::{Client, Server, ServerConfig, ServerHandle};
+
+fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn tiny_config() -> PipelineConfig {
+    PipelineConfig {
+        max_subspaces: 2,
+        subspace: SubspaceParams {
+            dkw_eps: 0.25,
+            dkw_delta: 0.25,
+            max_expansions: 6,
+            tree_sample_factor: 3,
+            ..Default::default()
+        },
+        significance: SignificanceParams {
+            pairs: 40,
+            ..Default::default()
+        },
+        explainer: ExplainerParams {
+            samples: 80,
+            threads: 1,
+            ..Default::default()
+        },
+        coverage_samples: 200,
+        ..Default::default()
+    }
+}
+
+fn spec_json(domain: &str, seed: u64) -> String {
+    serde_json::to_string(&JobSpec {
+        domain: domain.into(),
+        config: tiny_config(),
+        seed,
+        budgets: SessionBudgets::unlimited(),
+    })
+    .expect("spec serializes")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xplain-conformance-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(
+    store: Option<PathBuf>,
+    capacity: usize,
+    pace_ms: u64,
+) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_workers: 1,
+        http_threads: 4,
+        capacity,
+        store_dir: store,
+        read_timeout: Duration::from_secs(120),
+        retain_done: 1024,
+        pace_ms,
+        ..ServerConfig::default()
+    })
+    .expect("ephemeral bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        let registry = DomainRegistry::builtin();
+        server.run(&registry).expect("server runs");
+    });
+    (handle, join)
+}
+
+fn client(handle: &ServerHandle) -> Client {
+    Client::new(handle.addr()).with_timeout(Duration::from_secs(120))
+}
+
+/// The top-level keys of a JSON object, in serialization order.
+fn keys(body: &str) -> Vec<String> {
+    let value: serde::Value = serde_json::from_str(body).expect("body is JSON");
+    object_keys(&value)
+}
+
+fn object_keys(value: &serde::Value) -> Vec<String> {
+    value
+        .as_map()
+        .expect("value is a JSON object")
+        .iter()
+        .map(|(k, _)| k.clone())
+        .collect()
+}
+
+fn get_field<'v>(value: &'v serde::Value, key: &str) -> &'v serde::Value {
+    serde::map_get(value.as_map().expect("object"), key)
+        .unwrap_or_else(|| panic!("missing field '{key}'"))
+}
+
+fn wait_done(api: &Client, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let resp = api.get(&format!("/v1/jobs/{id}")).unwrap();
+        if resp.status == 200 && resp.body.contains("\"status\":\"done\"") {
+            return;
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Every success body's field names and every route's status code, in
+/// one sweep over a live server.
+#[test]
+fn success_bodies_and_status_codes_are_pinned() {
+    let _guard = test_lock();
+    let store_dir = scratch_dir("shapes");
+    let (handle, join) = start_server(Some(store_dir.clone()), 16, 0);
+    let api = client(&handle);
+
+    // GET /v1/domains → 200, a bare array of {id, description}.
+    let resp = api.get("/v1/domains").unwrap();
+    assert_eq!(resp.status, 200);
+    let listing: serde::Value = serde_json::from_str(&resp.body).unwrap();
+    let entries = listing.as_seq().expect("domains is a JSON array");
+    assert!(!entries.is_empty());
+    for entry in entries {
+        assert_eq!(object_keys(entry), ["id", "description"]);
+    }
+
+    // POST /v1/jobs (fresh) → 202 {id, status, disposition, cache_hit};
+    // ids are exactly 16 lowercase hex digits (the content key).
+    let resp = api.post("/v1/jobs", &spec_json("dp", 0xC0FF)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    assert_eq!(
+        keys(&resp.body),
+        ["id", "status", "disposition", "cache_hit"]
+    );
+    let submit: serde::Value = serde_json::from_str(&resp.body).unwrap();
+    let id = get_field(&submit, "id").as_str().unwrap().to_string();
+    assert_eq!(id.len(), 16, "id {id:?}");
+    assert!(
+        id.chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()),
+        "id {id:?} is not lowercase hex"
+    );
+    wait_done(&api, &id);
+
+    // GET /v1/jobs/{id} → 200 {id, domain, status, events, outcome}.
+    let resp = api.get(&format!("/v1/jobs/{id}")).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        keys(&resp.body),
+        ["id", "domain", "status", "events", "outcome"]
+    );
+
+    // POST /v1/jobs (repeat) → 200, same shape, cache_hit true.
+    let resp = api.post("/v1/jobs", &spec_json("dp", 0xC0FF)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(
+        keys(&resp.body),
+        ["id", "status", "disposition", "cache_hit"]
+    );
+    assert!(resp.body.contains("\"cache_hit\":true"), "{}", resp.body);
+
+    // POST /v1/jobs/{id}/cancel on a done job → 200 {id, was, cancelled},
+    // honest about being too late.
+    let resp = api.post(&format!("/v1/jobs/{id}/cancel"), "").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(keys(&resp.body), ["id", "was", "cancelled"]);
+    let cancel: serde::Value = serde_json::from_str(&resp.body).unwrap();
+    assert_eq!(get_field(&cancel, "was").as_str(), Some("done"));
+    assert_eq!(get_field(&cancel, "cancelled").as_bool(), Some(false));
+
+    // GET /v1/queue → 200 {depth, active, stealable, pending}; pending
+    // entries (none right now) are {id, domain, donated}.
+    let resp = api.get("/v1/queue").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        keys(&resp.body),
+        ["depth", "active", "stealable", "pending"]
+    );
+
+    // POST /v1/queue/steal → 200 {jobs}; an idle queue donates nothing.
+    let resp = api.post("/v1/queue/steal", r#"{"max":2}"#).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(keys(&resp.body), ["jobs"]);
+    assert_eq!(resp.body, r#"{"jobs":[]}"#);
+
+    // GET /v1/metrics → 200; the full report schema documented in
+    // DESIGN.md §"Metrics schema". `mesh` is null on a standalone
+    // server; `store_entries` is a number because a store is attached.
+    let resp = api.get("/v1/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        keys(&resp.body),
+        [
+            "uptime_ms",
+            "queue",
+            "store_entries",
+            "mesh",
+            "solver",
+            "routes"
+        ]
+    );
+    let metrics: serde::Value = serde_json::from_str(&resp.body).unwrap();
+    assert_eq!(
+        object_keys(get_field(&metrics, "queue")),
+        [
+            "depth",
+            "active_sessions",
+            "submitted",
+            "completed",
+            "cancelled",
+            "rejected_busy",
+            "cache_hits",
+            "cache_hit_rate",
+            "donated"
+        ]
+    );
+    assert!(
+        matches!(get_field(&metrics, "mesh"), serde::Value::Null),
+        "standalone server must report mesh:null, got {}",
+        resp.body
+    );
+    assert!(get_field(&metrics, "store_entries").as_f64().is_some());
+    for route in get_field(&metrics, "routes").as_seq().unwrap() {
+        assert_eq!(
+            object_keys(route),
+            ["route", "count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"]
+        );
+    }
+
+    // POST /v1/shutdown → 200 {shutting_down}.
+    let resp = api.post("/v1/shutdown", "").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(keys(&resp.body), ["shutting_down"]);
+    join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+/// Every failure path: envelope shape, code, and the headers clients
+/// key off (`Allow`, `Retry-After`).
+#[test]
+fn error_envelopes_codes_and_headers_are_pinned() {
+    let _guard = test_lock();
+    // capacity 1 + a paced worker makes the 429 deterministic: one job
+    // runs (held ≥300ms), one waits, the next submission overflows.
+    let (handle, join) = start_server(None, 1, 300);
+    let api = client(&handle);
+
+    // 404: unknown path, and a well-formed id nobody submitted.
+    let resp = api.get("/no/such/path").unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(keys(&resp.body), ["error"]);
+    assert_eq!(api.get("/v1/jobs/0123456789abcdef").unwrap().status, 404);
+    assert_eq!(
+        api.get("/v1/jobs/0123456789abcdef/events").unwrap().status,
+        404
+    );
+
+    // 405: wrong method, with the allowed one named in `Allow`.
+    let resp = api.get("/v1/jobs").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("POST"));
+    assert_eq!(keys(&resp.body), ["error"]);
+    let resp = api.post("/v1/domains", "").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("GET"));
+    let resp = api.post("/v1/queue", "").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("GET"));
+    let resp = api.get("/v1/queue/steal").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("POST"));
+
+    // 400: unparseable body, then a parseable spec for a domain that
+    // does not exist (the message points at the discovery route).
+    let resp = api.post("/v1/jobs", "{not json").unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(keys(&resp.body), ["error"]);
+    let resp = api
+        .post("/v1/jobs", &spec_json("no-such-domain", 1))
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("/v1/domains"), "{}", resp.body);
+    let resp = api.post("/v1/queue/steal", "{not json").unwrap();
+    assert_eq!(resp.status, 400);
+
+    // 413: a declared body over the 1 MiB cap is refused from the
+    // headers alone — the server never reads (or waits for) the body.
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(
+        raw,
+        "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+        1024 * 1024 + 1
+    )
+    .unwrap();
+    let mut head = String::new();
+    raw.read_to_string(&mut head).unwrap();
+    assert!(
+        head.starts_with("HTTP/1.1 413 "),
+        "oversized body got: {head}"
+    );
+    drop(raw);
+
+    // 429: fill the paced server, overflow, and read Retry-After.
+    let resp = api.post("/v1/jobs", &spec_json("dp", 1)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let first: serde::Value = serde_json::from_str(&resp.body).unwrap();
+    let first_id = get_field(&first, "id").as_str().unwrap().to_string();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = api.get(&format!("/v1/jobs/{first_id}")).unwrap();
+        if status.body.contains("\"status\":\"running\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "first job never started");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        api.post("/v1/jobs", &spec_json("dp", 2)).unwrap().status,
+        202
+    );
+    let resp = api.post("/v1/jobs", &spec_json("dp", 3)).unwrap();
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    assert_eq!(keys(&resp.body), ["error"]);
+    let retry_after: u64 = resp
+        .header("retry-after")
+        .expect("429 must carry Retry-After")
+        .parse()
+        .expect("Retry-After is integral seconds");
+    assert!(retry_after >= 1);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// The event stream on the wire: chunked transfer encoding, NDJSON
+/// content type, one event line (newline-terminated) per chunk, and the
+/// zero-length terminator chunk that distinguishes a complete stream
+/// from a truncated one.
+#[test]
+fn event_stream_framing_is_one_ndjson_line_per_chunk() {
+    let _guard = test_lock();
+    let (handle, join) = start_server(None, 16, 0);
+    let api = client(&handle);
+
+    let resp = api.post("/v1/jobs", &spec_json("dp", 0xF4A)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let submit: serde::Value = serde_json::from_str(&resp.body).unwrap();
+    let id = get_field(&submit, "id").as_str().unwrap().to_string();
+    wait_done(&api, &id);
+
+    // Raw socket: no client-side dechunking between us and the bytes.
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(raw, "GET /v1/jobs/{id}/events HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut wire = Vec::new();
+    raw.read_to_end(&mut wire).unwrap();
+    let wire = String::from_utf8(wire).expect("stream is UTF-8");
+
+    let (head, body) = wire
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
+    let header_lines: Vec<&str> = head.split("\r\n").skip(1).collect();
+    let has = |needle: &str| header_lines.iter().any(|l| l.eq_ignore_ascii_case(needle));
+    assert!(has("transfer-encoding: chunked"), "{head}");
+    assert!(has("content-type: application/x-ndjson"), "{head}");
+    assert!(has("connection: close"), "{head}");
+
+    // Walk the chunks by hand: `<hex size>\r\n<payload>\r\n`, each
+    // payload exactly one JSON event line ending in '\n', then `0\r\n\r\n`.
+    let mut rest = body;
+    let mut lines = 0usize;
+    loop {
+        let (size_hex, after) = rest.split_once("\r\n").expect("chunk size line");
+        let size = usize::from_str_radix(size_hex, 16).expect("chunk size is hex");
+        if size == 0 {
+            assert_eq!(after, "\r\n", "terminator chunk must end the stream");
+            break;
+        }
+        let payload = &after[..size];
+        assert!(
+            payload.ends_with('\n') && !payload[..size - 1].contains('\n'),
+            "chunk is not exactly one NDJSON line: {payload:?}"
+        );
+        let parsed: serde::Value =
+            serde_json::from_str(payload.trim_end()).expect("chunk payload is JSON");
+        assert!(parsed.as_map().is_some());
+        lines += 1;
+        rest = after[size..].strip_prefix("\r\n").expect("chunk CRLF");
+    }
+    assert!(lines >= 2, "expected a multi-event stream, saw {lines}");
+
+    handle.shutdown();
+    join.join().unwrap();
+}

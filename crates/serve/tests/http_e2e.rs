@@ -99,6 +99,7 @@ fn start_server(
         store_dir,
         read_timeout: Duration::from_secs(120),
         retain_done: 1024,
+        ..ServerConfig::default()
     })
     .expect("ephemeral bind");
     let handle = server.handle();
@@ -129,6 +130,7 @@ fn reference_lines(job: &JobSpec) -> (Vec<String>, JobOutcome) {
         budgets_override: None,
         resume: false,
         sink: Some(&sink),
+        origin: None,
     };
     let outcomes = run_manifest_opts(&registry, &jobs, None, 1, opts);
     (

@@ -71,13 +71,17 @@
 //! `bin_packing`, `lp_to_flow`, `full_pipeline`, and
 //! `streaming_session`. To run all of this as a long-lived HTTP
 //! service (submit/stream/cancel/resume over the wire), see
-//! [`serve`] and the README's "Explanation server" quickstart.
+//! [`serve`] and the README's "Explanation server" quickstart; to run
+//! *several* of those servers as one sharded tier with consistent-hash
+//! routing and work stealing, see [`mesh`] and the README's
+//! "Mesh" quickstart (`runner mesh --shards N`).
 
 pub use xplain_analyzer as analyzer;
 pub use xplain_core as core;
 pub use xplain_domains as domains;
 pub use xplain_flownet as flownet;
 pub use xplain_lp as lp;
+pub use xplain_mesh as mesh;
 pub use xplain_runtime as runtime;
 pub use xplain_serve as serve;
 pub use xplain_stats as stats;
