@@ -140,6 +140,11 @@ fn run_topology(shards: usize, jobs: usize, seed_base: u64) -> TopologyReport {
             shard_id: Some(format!("shard-{i}")),
             pace_ms: PACE_MS,
             mesh: Some(Arc::clone(&mesh)),
+            // All shards share one store dir here; a journal per shard
+            // would collide on its segment files, and a load bench has
+            // nothing to recover anyway.
+            journal: false,
+            journal_dir: None,
         })
         .expect("shard binds");
         let handle = server.handle();

@@ -8,12 +8,12 @@
 //! runner --smoke [--watch] [--workers N] [--store DIR]
 //! runner --list-domains | --emit-manifest | --version
 //! runner serve [--addr HOST:PORT] [--workers N] [--http-threads N]
-//!              [--capacity N] [--store DIR] [--shard-id ID]
-//!              [--pace-ms N] [--peers HOST:PORT,...]
+//!              [--capacity N] [--store DIR] [--journal DIR|--no-journal]
+//!              [--shard-id ID] [--pace-ms N] [--peers HOST:PORT,...]
 //! runner mesh --shards N [--base-port P] [--addr HOST:PORT]
 //!             [--store DIR] [--workers N] [--pace-ms N] [--capacity N]
 //! runner mesh --peers HOST:PORT,... [--addr HOST:PORT]
-//! runner gc --store DIR
+//! runner gc --store DIR [--json]
 //!
 //!   --manifest PATH   JSONL manifest: one {"domain", "config", "seed"}
 //!                     object per line (# starts a comment line; an
@@ -56,8 +56,14 @@
 //! for the API): --addr binds (port 0 = ephemeral), --workers sizes the
 //! session worker pool, --http-threads the connection pool, --capacity
 //! the admission cap (submissions beyond it get 429 + Retry-After), and
-//! --store enables result caching, dedup and checkpoint/resume. Stop it
-//! with `POST /v1/shutdown` — in-flight sessions checkpoint and resume
+//! --store enables result caching, dedup and checkpoint/resume. A
+//! store-backed server also keeps a write-ahead job journal (DESIGN.md
+//! §10): accepted jobs are durable before the 202 goes out, and a
+//! restart over the same store re-enqueues whatever a crashed
+//! predecessor left unfinished. --journal overrides its directory
+//! (default `<store>/journal`, per-shard when --shard-id is set);
+//! --no-journal turns durability off. Stop the server with
+//! `POST /v1/shutdown` — in-flight sessions checkpoint and resume
 //! on resubmit. The mesh flags turn the server into one shard of a
 //! distributed tier (DESIGN.md §9): --shard-id stamps store entries and
 //! the metrics mesh block, --pace-ms sets a per-worker minimum service
@@ -74,7 +80,12 @@
 //!
 //! `runner gc --store DIR` deletes orphaned checkpoints (a `{key}.ckpt`
 //! whose `{key}.json` result exists — what a killed `--resume` run
-//! followed by a plain rerun strands) and reports bytes reclaimed.
+//! followed by a plain rerun strands) and stale temp files (a crash
+//! between temp-write and rename strands a hidden `.*.tmp`), then
+//! compacts every journal under the store (terminal history dropped,
+//! live jobs kept). `--json` prints one machine-readable object
+//! instead of the summary line. Run it offline — no server may own the
+//! store meanwhile.
 //!
 //! Budget-stopped jobs report their partial result and finish reason in
 //! the outcome; with `--store --resume` the next invocation continues
@@ -90,8 +101,8 @@ use xplain_core::pipeline::PipelineConfig;
 use xplain_core::{ExplainerParams, SignificanceParams};
 use xplain_mesh::{parse_peers, Gateway, GatewayConfig, Membership, Stealer, StealerConfig};
 use xplain_runtime::{
-    manifest_to_jsonl, parse_manifest, run_manifest_opts, watch_line, DomainRegistry, JobOutcome,
-    JobSpec, ResultStore, RunOptions, SessionBudgets, SessionEvent, WatchLine,
+    manifest_to_jsonl, parse_manifest, run_manifest_opts, watch_line, DomainRegistry, JobJournal,
+    JobOutcome, JobSpec, ResultStore, RunOptions, SessionBudgets, SessionEvent, WatchLine,
 };
 use xplain_serve::{MeshStatus, Server, ServerConfig};
 
@@ -184,12 +195,12 @@ usage:
   runner --smoke [--watch] [--workers N] [--store DIR]
   runner --list-domains | --emit-manifest | --version
   runner serve [--addr HOST:PORT] [--workers N] [--http-threads N]
-               [--capacity N] [--store DIR] [--shard-id ID]
-               [--pace-ms N] [--peers HOST:PORT,...]
+               [--capacity N] [--store DIR] [--journal DIR|--no-journal]
+               [--shard-id ID] [--pace-ms N] [--peers HOST:PORT,...]
   runner mesh --shards N [--base-port P] [--addr HOST:PORT]
               [--store DIR] [--workers N] [--pace-ms N] [--capacity N]
   runner mesh --peers HOST:PORT,... [--addr HOST:PORT]
-  runner gc --store DIR
+  runner gc --store DIR [--json]
 ";
 
 /// CLI budget flags folded into one override (None: manifest budgets
@@ -324,6 +335,11 @@ fn serve_main(argv: &[String]) -> i32 {
                     .map_err(|e| format!("--capacity: {e}"))
             }),
             "--store" => take(&mut it, "--store").map(|v| config.store_dir = Some(v.into())),
+            "--journal" => take(&mut it, "--journal").map(|v| config.journal_dir = Some(v.into())),
+            "--no-journal" => {
+                config.journal = false;
+                Ok(())
+            }
             "--shard-id" => take(&mut it, "--shard-id").map(|v| config.shard_id = Some(v)),
             "--pace-ms" => take(&mut it, "--pace-ms").and_then(|v| {
                 v.parse()
@@ -599,13 +615,49 @@ fn shutdown_children(children: &mut Vec<(std::process::Child, std::net::SocketAd
     children.clear();
 }
 
-/// `runner gc` — sweep orphaned checkpoints from a store.
+/// The `runner gc --json` output — one object so scripts (and the CI
+/// smoke) parse one line instead of scraping the human text.
+#[derive(serde::Serialize)]
+struct GcOutput {
+    checkpoints_removed: usize,
+    temp_files_removed: usize,
+    bytes_reclaimed: u64,
+    journals_compacted: usize,
+    journal_bytes_reclaimed: u64,
+}
+
+/// Journal directories living under a store: the standalone server's
+/// `journal/` plus any per-shard `journal-<id>/` dirs.
+fn find_journal_dirs(store_dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let Ok(entries) = std::fs::read_dir(store_dir) else {
+        return Vec::new();
+    };
+    let mut dirs: Vec<_> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n == "journal" || n.starts_with("journal-"))
+        })
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// `runner gc` — sweep orphaned checkpoints and stale temp files from a
+/// store, and compact its write-ahead journal(s). Offline maintenance:
+/// run it while no server owns the store (a live server compacts its
+/// own journal as it rotates).
 fn gc_main(argv: &[String]) -> i32 {
     let mut store_dir: Option<String> = None;
+    let mut json = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--store" => store_dir = it.next().cloned(),
+            "--json" => json = true,
             "--help" | "-h" => {
                 print!("{}", USAGE);
                 return 0;
@@ -622,10 +674,49 @@ fn gc_main(argv: &[String]) -> i32 {
     };
     let store = ResultStore::new(&dir);
     let report = store.gc();
-    println!(
-        "gc: removed {} orphaned checkpoint(s), reclaimed {} bytes (store: {dir})",
-        report.checkpoints_removed, report.bytes_reclaimed
-    );
+
+    // Opening a journal replays and compacts it (terminal history is
+    // dropped, live jobs are carried forward); `bytes_compacted` is what
+    // that freed. Live jobs stay journaled — gc never forgets work.
+    let mut journals_compacted = 0usize;
+    let mut journal_bytes_reclaimed = 0u64;
+    for journal_dir in find_journal_dirs(std::path::Path::new(&dir)) {
+        match JobJournal::open(&journal_dir) {
+            Ok(journal) => {
+                journal.compact();
+                journal_bytes_reclaimed += journal.stats().bytes_compacted;
+                journals_compacted += 1;
+            }
+            Err(e) => {
+                eprintln!(
+                    "runner gc: cannot open journal '{}': {e}",
+                    journal_dir.display()
+                );
+                return 1;
+            }
+        }
+    }
+
+    if json {
+        let out = GcOutput {
+            checkpoints_removed: report.checkpoints_removed,
+            temp_files_removed: report.temp_files_removed,
+            bytes_reclaimed: report.bytes_reclaimed,
+            journals_compacted,
+            journal_bytes_reclaimed,
+        };
+        println!("{}", serde_json::to_string(&out).expect("gc serializes"));
+    } else {
+        println!(
+            "gc: removed {} orphaned checkpoint(s) and {} stale temp file(s), reclaimed {} bytes; \
+             compacted {} journal(s), reclaimed {} journal bytes (store: {dir})",
+            report.checkpoints_removed,
+            report.temp_files_removed,
+            report.bytes_reclaimed,
+            journals_compacted,
+            journal_bytes_reclaimed,
+        );
+    }
     0
 }
 

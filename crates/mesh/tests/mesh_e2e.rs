@@ -539,6 +539,7 @@ fn start_inproc_shard(
         shard_id: Some(shard_id.into()),
         pace_ms,
         mesh,
+        ..ServerConfig::default()
     })
     .expect("ephemeral bind");
     let handle = server.handle();

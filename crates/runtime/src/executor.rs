@@ -26,6 +26,14 @@
 //! per-job [`SessionBudgets`], and (with [`RunOptions::resume`])
 //! persists a checkpoint through the content-addressed store after every
 //! event so a killed runner continues mid-loop on the next invocation.
+//!
+//! Durability note: batch jobs are deliberately *not* written through
+//! the queue's write-ahead journal ([`crate::journal`]) — the manifest
+//! file is already a durable record of what was requested (rerun it;
+//! completed jobs answer from the store), and positional (index > 0)
+//! jobs would recover under the wrong derived seed. The journal covers
+//! the serving path, where the only record of an accepted job would
+//! otherwise be queue memory; see DESIGN.md §10.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -1,0 +1,664 @@
+//! Write-ahead job journal: accepted jobs survive a crash.
+//!
+//! The store's checkpoints only protect *running* sessions — a job that
+//! was accepted (HTTP `202`, disposition `enqueued`) but not yet picked
+//! up by a worker lived nowhere but in queue memory, so a crash silently
+//! dropped it. [`JobJournal`] closes that hole: the queue writes every
+//! serving-path lifecycle transition through an append-only journal
+//! *before* the transition becomes visible, and a restarted process
+//! replays the journal to re-enqueue every accepted-but-unfinished job
+//! in its original acceptance order.
+//!
+//! # Record format
+//!
+//! A journal is a directory of segment files (`seg-NNNNNNNN.wal`). Each
+//! segment is a sequence of length-prefixed, checksummed frames:
+//!
+//! ```text
+//! [payload len: u32 LE][FNV-1a64 of payload: u64 LE][payload bytes]
+//! ```
+//!
+//! The payload is the JSON of one `JournalRecord` — `kind` is one of
+//! `accepted` (carries the full [`JobSpec`]), `started`, `done`, or
+//! `cancelled`; `id` is the job's content key in the same zero-padded
+//! hex used everywhere else (JSON numbers here are f64-backed, so a raw
+//! `u64` key would not round-trip). A torn or corrupt frame ends replay
+//! of *that segment* — everything before it is kept, everything after
+//! is unreachable anyway (frames are not self-synchronizing), and a
+//! job whose terminal record was lost is simply re-run into a store
+//! cache hit. Corruption degrades to duplicate work, never to loss.
+//!
+//! # Recovery state machine
+//!
+//! Replay folds records per key, latest wins: `accepted` → live,
+//! `started` → live (a crash mid-run resumes from the session
+//! checkpoint), `done`/`cancelled` → terminal. Records for unknown keys
+//! (their `accepted` fell in a compacted or corrupt segment) are
+//! ignored. The live set, in first-acceptance order, is what
+//! [`JobJournal::take_recovered`] hands the queue to re-enqueue.
+//!
+//! # Rotation and compaction
+//!
+//! Appends go to the newest segment; when it exceeds the rotation
+//! threshold it is sealed and a fresh one is opened. Compaction drops
+//! every sealed segment: fully-terminal segments are dropped outright,
+//! and any still-live jobs are first re-written (as fresh `accepted`
+//! records) into the active segment so no information leaves the disk
+//! before its replacement is durable. Compaction runs when sealed bytes
+//! accumulate and once at open — so across repeated restarts the
+//! journal collapses to the live set plus recent activity, keeping its
+//! on-disk size bounded regardless of how many jobs have flowed
+//! through.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::executor::JobSpec;
+use crate::store::{fnv1a64, fsync_dir};
+
+/// Seal the active segment once it grows past this many bytes.
+pub const DEFAULT_ROTATE_BYTES: u64 = 64 * 1024;
+/// Replay refuses frames larger than this (a corrupt length prefix must
+/// not trigger a gigabyte allocation).
+const MAX_FRAME_BYTES: u32 = 4 * 1024 * 1024;
+/// Frame header: u32 payload length + u64 payload checksum.
+const FRAME_HEADER: usize = 12;
+
+/// One journal record on the wire. `spec` rides only on `accepted`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct JournalRecord {
+    kind: String,
+    /// Content key as zero-padded hex (see module docs for why not u64).
+    id: String,
+    #[serde(default)]
+    spec: Option<JobSpec>,
+}
+
+/// Where a journaled job stands after folding its records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    /// Accepted (and possibly started) but not finished — re-enqueue on
+    /// recovery.
+    Live,
+    /// Done or cancelled — nothing to recover.
+    Terminal,
+}
+
+/// Point-in-time journal gauges (the `journal` block of
+/// `GET /v1/metrics`, and the `runner gc` report).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct JournalStats {
+    /// Segment files on disk (sealed + active).
+    pub segments: usize,
+    /// Total journal bytes on disk.
+    pub bytes: u64,
+    /// Accepted-but-unfinished jobs the journal is carrying.
+    pub live_jobs: usize,
+    /// Records appended by this process.
+    pub records: u64,
+    /// Jobs replayed as live when the journal was opened.
+    pub recovered: usize,
+    /// Appends that failed (disk trouble — durability is degraded and
+    /// the metrics surface says so; the queue keeps serving).
+    pub append_errors: u64,
+    /// Sealed segments dropped by compaction since open.
+    pub segments_compacted: u64,
+    /// Bytes reclaimed by compaction since open.
+    pub bytes_compacted: u64,
+}
+
+struct Inner {
+    active: File,
+    active_seq: u64,
+    active_bytes: u64,
+    /// Sealed segments: (path, bytes on disk), oldest first.
+    sealed: Vec<(PathBuf, u64)>,
+    /// Latest state per key. Terminal entries are pruned at compaction.
+    jobs: HashMap<u64, JobState>,
+    /// Latest accepted spec per live key.
+    specs: HashMap<u64, JobSpec>,
+    /// First-acceptance order (may hold keys gone terminal; filtered on
+    /// use, pruned at compaction).
+    order: Vec<u64>,
+    /// Live jobs found at open, in order — drained by `take_recovered`.
+    recovered: Vec<JobSpec>,
+    records: u64,
+    recovered_count: usize,
+    segments_compacted: u64,
+    bytes_compacted: u64,
+}
+
+/// The write-ahead job journal. See the module docs for the contract.
+///
+/// All methods are `&self` and internally synchronized; append failures
+/// after open never panic or propagate — they are counted
+/// ([`JournalStats::append_errors`]) and the queue keeps serving with
+/// degraded durability.
+pub struct JobJournal {
+    dir: PathBuf,
+    rotate_bytes: u64,
+    inner: Mutex<Inner>,
+    append_errors: AtomicU64,
+}
+
+impl JobJournal {
+    /// Open (or create) the journal at `dir`, replaying every existing
+    /// segment into the recovery state and compacting history down to
+    /// the live set. Call [`JobJournal::take_recovered`] afterwards to
+    /// collect the jobs to re-enqueue.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with(dir, DEFAULT_ROTATE_BYTES)
+    }
+
+    /// [`JobJournal::open`] with an explicit rotation threshold (tests
+    /// force tiny segments to exercise rotation and compaction).
+    pub fn open_with(dir: impl Into<PathBuf>, rotate_bytes: u64) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+
+        let mut segments: Vec<(u64, PathBuf, u64)> = Vec::new();
+        for entry in fs::read_dir(&dir)?.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(seq) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".wal"))
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            segments.push((seq, path, bytes));
+        }
+        segments.sort_by_key(|(seq, _, _)| *seq);
+
+        let mut jobs = HashMap::new();
+        let mut specs = HashMap::new();
+        let mut order = Vec::new();
+        for (_, path, _) in &segments {
+            replay_segment(path, &mut jobs, &mut specs, &mut order);
+        }
+        let recovered: Vec<JobSpec> = order
+            .iter()
+            .filter(|k| jobs.get(k) == Some(&JobState::Live))
+            .filter_map(|k| specs.get(k).cloned())
+            .collect();
+        let recovered_count = recovered.len();
+
+        let active_seq = segments.last().map(|(s, _, _)| s + 1).unwrap_or(0);
+        let active = open_segment(&dir, active_seq)?;
+        fsync_dir(&dir);
+
+        let journal = JobJournal {
+            dir,
+            rotate_bytes: rotate_bytes.max(1),
+            inner: Mutex::new(Inner {
+                active,
+                active_seq,
+                active_bytes: 0,
+                sealed: segments.into_iter().map(|(_, p, b)| (p, b)).collect(),
+                jobs,
+                specs,
+                order,
+                recovered,
+                records: 0,
+                recovered_count,
+                segments_compacted: 0,
+                bytes_compacted: 0,
+            }),
+            append_errors: AtomicU64::new(0),
+        };
+        // Collapse history immediately: every restart rewrites the live
+        // set and drops the old segments, so repeated crash/restart
+        // cycles cannot grow the journal without bound.
+        if !journal
+            .inner
+            .lock()
+            .expect("journal state")
+            .sealed
+            .is_empty()
+        {
+            journal.compact();
+        }
+        Ok(journal)
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Drain the jobs replayed as live at open, in their original
+    /// acceptance order. The queue re-submits each one (which re-journals
+    /// it); jobs that cannot be re-enqueued (queue at capacity) stay
+    /// live in the journal and surface again on the next restart.
+    pub fn take_recovered(&self) -> Vec<JobSpec> {
+        std::mem::take(&mut self.inner.lock().expect("journal state").recovered)
+    }
+
+    /// Journal an accepted job, durably, before the queue makes it
+    /// visible to workers.
+    pub fn record_accepted(&self, key: u64, spec: &JobSpec) {
+        let mut inner = self.inner.lock().expect("journal state");
+        if inner.jobs.get(&key) != Some(&JobState::Live) {
+            inner.order.push(key);
+        }
+        inner.jobs.insert(key, JobState::Live);
+        inner.specs.insert(key, spec.clone());
+        self.append_locked(&mut inner, "accepted", key, Some(spec));
+        self.maybe_compact_locked(&mut inner);
+    }
+
+    /// Journal a dispatch (a worker picked the job up). Ignored for keys
+    /// the journal never accepted.
+    pub fn record_started(&self, key: u64) {
+        self.transition(key, "started", JobState::Live);
+    }
+
+    /// Journal a completion — the job reached a terminal outcome (done,
+    /// errored, or budget-stopped; all stand as answers).
+    pub fn record_done(&self, key: u64) {
+        self.transition(key, "done", JobState::Terminal);
+    }
+
+    /// Journal a cancellation (queued-cancel, running-cancel, shutdown).
+    pub fn record_cancelled(&self, key: u64) {
+        self.transition(key, "cancelled", JobState::Terminal);
+    }
+
+    fn transition(&self, key: u64, kind: &str, next: JobState) {
+        let mut inner = self.inner.lock().expect("journal state");
+        // Only keys the journal accepted transition — a `started` for an
+        // unknown key would replay as noise, so it is never written.
+        if !inner.jobs.contains_key(&key) {
+            return;
+        }
+        inner.jobs.insert(key, next);
+        if next == JobState::Terminal {
+            inner.specs.remove(&key);
+        }
+        self.append_locked(&mut inner, kind, key, None);
+        self.maybe_compact_locked(&mut inner);
+    }
+
+    /// Drop every sealed segment, first carrying still-live jobs forward
+    /// into the active segment. Returns bytes reclaimed.
+    pub fn compact(&self) -> u64 {
+        let mut inner = self.inner.lock().expect("journal state");
+        self.compact_locked(&mut inner)
+    }
+
+    fn compact_locked(&self, inner: &mut Inner) -> u64 {
+        if inner.sealed.is_empty() {
+            return 0;
+        }
+        // Claim the sealed list *before* re-accepting the live set: the
+        // snapshot appends below may themselves rotate the active
+        // segment, and a segment sealed mid-snapshot must survive this
+        // compaction round.
+        let sealed = std::mem::take(&mut inner.sealed);
+        // Re-accept the live set into the active segment so the sealed
+        // history is redundant before it is unlinked.
+        let live: Vec<(u64, JobSpec)> = inner
+            .order
+            .iter()
+            .filter(|k| inner.jobs.get(k) == Some(&JobState::Live))
+            .filter_map(|k| inner.specs.get(k).map(|s| (*k, s.clone())))
+            .collect();
+        for (key, spec) in &live {
+            self.append_locked(inner, "accepted", *key, Some(spec));
+        }
+        let mut reclaimed = 0u64;
+        for (path, bytes) in sealed {
+            if fs::remove_file(&path).is_ok() {
+                reclaimed += bytes;
+                inner.segments_compacted += 1;
+            }
+        }
+        fsync_dir(&self.dir);
+        inner.bytes_compacted += reclaimed;
+        // Terminal keys have no on-disk representation anymore; prune
+        // them so a long-lived process stays bounded in memory too.
+        let jobs = std::mem::take(&mut inner.jobs);
+        inner.jobs = jobs
+            .into_iter()
+            .filter(|(_, s)| *s == JobState::Live)
+            .collect();
+        let order = std::mem::take(&mut inner.order);
+        let mut seen = std::collections::HashSet::new();
+        inner.order = order
+            .into_iter()
+            .filter(|k| inner.jobs.contains_key(k) && seen.insert(*k))
+            .collect();
+        reclaimed
+    }
+
+    pub fn stats(&self) -> JournalStats {
+        let inner = self.inner.lock().expect("journal state");
+        JournalStats {
+            segments: inner.sealed.len() + 1,
+            bytes: inner.sealed.iter().map(|(_, b)| b).sum::<u64>() + inner.active_bytes,
+            live_jobs: inner
+                .jobs
+                .values()
+                .filter(|s| **s == JobState::Live)
+                .count(),
+            records: inner.records,
+            recovered: inner.recovered_count,
+            append_errors: self.append_errors.load(Ordering::Relaxed),
+            segments_compacted: inner.segments_compacted,
+            bytes_compacted: inner.bytes_compacted,
+        }
+    }
+
+    /// Append one frame to the active segment and fsync it (the write
+    /// must be durable before the state change it records becomes
+    /// visible). Failures are counted, never propagated — see the type
+    /// docs.
+    fn append_locked(&self, inner: &mut Inner, kind: &str, key: u64, spec: Option<&JobSpec>) {
+        let record = JournalRecord {
+            kind: kind.to_string(),
+            id: format!("{key:016x}"),
+            spec: spec.cloned(),
+        };
+        let payload = match serde_json::to_string(&record) {
+            Ok(p) => p.into_bytes(),
+            Err(_) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let ok = inner
+            .active
+            .write_all(&frame)
+            .and_then(|()| inner.active.sync_data())
+            .is_ok();
+        if !ok {
+            self.append_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        inner.active_bytes += frame.len() as u64;
+        inner.records += 1;
+        if inner.active_bytes >= self.rotate_bytes {
+            self.rotate_locked(inner);
+        }
+    }
+
+    /// Seal the active segment and open the next one. On failure the
+    /// journal keeps appending to the oversized active segment —
+    /// rotation is an optimization, not a correctness boundary.
+    fn rotate_locked(&self, inner: &mut Inner) {
+        let next_seq = inner.active_seq + 1;
+        let Ok(next) = open_segment(&self.dir, next_seq) else {
+            return;
+        };
+        fsync_dir(&self.dir);
+        let sealed_path = segment_path(&self.dir, inner.active_seq);
+        let sealed_bytes = inner.active_bytes;
+        inner.active = next;
+        inner.active_seq = next_seq;
+        inner.active_bytes = 0;
+        inner.sealed.push((sealed_path, sealed_bytes));
+    }
+
+    /// Collapse sealed history once a few segments' worth has piled up.
+    /// Called from the public record paths only — never from inside
+    /// [`JobJournal::compact_locked`]'s own snapshot appends.
+    fn maybe_compact_locked(&self, inner: &mut Inner) {
+        let sealed_total: u64 = inner.sealed.iter().map(|(_, b)| b).sum();
+        if sealed_total >= self.rotate_bytes.saturating_mul(4) {
+            self.compact_locked(inner);
+        }
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("seg-{seq:08}.wal"))
+}
+
+fn open_segment(dir: &Path, seq: u64) -> io::Result<File> {
+    OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(segment_path(dir, seq))
+}
+
+/// Fold one segment's records into the recovery state. Stops at the
+/// first torn or corrupt frame (see module docs); I/O errors read as an
+/// empty segment.
+fn replay_segment(
+    path: &Path,
+    jobs: &mut HashMap<u64, JobState>,
+    specs: &mut HashMap<u64, JobSpec>,
+    order: &mut Vec<u64>,
+) {
+    let Ok(bytes) = fs::read(path) else {
+        return;
+    };
+    let mut at = 0usize;
+    while at + FRAME_HEADER <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        if len as u32 > MAX_FRAME_BYTES || at + FRAME_HEADER + len > bytes.len() {
+            return; // torn tail or corrupt length
+        }
+        let sum = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+        let payload = &bytes[at + FRAME_HEADER..at + FRAME_HEADER + len];
+        if fnv1a64(payload) != sum {
+            return; // corrupt frame: everything after is unreachable
+        }
+        at += FRAME_HEADER + len;
+        let Ok(text) = std::str::from_utf8(payload) else {
+            continue;
+        };
+        let Ok(record) = serde_json::from_str::<JournalRecord>(text) else {
+            continue; // checksummed but unparsable: skip the record
+        };
+        let Ok(key) = u64::from_str_radix(&record.id, 16) else {
+            continue;
+        };
+        match record.kind.as_str() {
+            "accepted" => {
+                if let Some(spec) = record.spec {
+                    if jobs.get(&key) != Some(&JobState::Live) {
+                        order.push(key);
+                    }
+                    jobs.insert(key, JobState::Live);
+                    specs.insert(key, spec);
+                }
+            }
+            "started" => {
+                // Live either way; only meaningful for known keys.
+            }
+            "done" | "cancelled" => {
+                if let Some(state) = jobs.get_mut(&key) {
+                    *state = JobState::Terminal;
+                    specs.remove(&key);
+                }
+            }
+            _ => {} // future record kinds: ignore
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xplain_core::pipeline::PipelineConfig;
+    use xplain_core::session::SessionBudgets;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("xplain-journal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec {
+            domain: "dp".into(),
+            config: PipelineConfig::default(),
+            seed,
+            budgets: SessionBudgets::unlimited(),
+        }
+    }
+
+    #[test]
+    fn accepted_jobs_replay_live_in_order_and_terminal_ones_do_not() {
+        let dir = scratch("replay");
+        {
+            let journal = JobJournal::open(&dir).unwrap();
+            journal.record_accepted(1, &spec(1));
+            journal.record_accepted(2, &spec(2));
+            journal.record_accepted(3, &spec(3));
+            journal.record_started(2);
+            journal.record_done(2);
+            journal.record_cancelled(3);
+            assert_eq!(journal.stats().live_jobs, 1);
+        }
+        let journal = JobJournal::open(&dir).unwrap();
+        let recovered = journal.take_recovered();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].seed, 1);
+        assert_eq!(journal.stats().recovered, 1);
+        // Draining is one-shot.
+        assert!(journal.take_recovered().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transitions_for_unknown_keys_are_ignored() {
+        let dir = scratch("unknown");
+        let journal = JobJournal::open(&dir).unwrap();
+        journal.record_started(99);
+        journal.record_done(99);
+        journal.record_cancelled(99);
+        assert_eq!(journal.stats().records, 0, "nothing written for unknowns");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The acceptance bound: repeated accept/finish churn (and repeated
+    /// reopens) must not grow the journal without bound — rotation seals
+    /// segments and compaction drops them once their jobs are terminal.
+    #[test]
+    fn compaction_bounds_disk_across_churn_and_restarts() {
+        let dir = scratch("bound");
+        const ROTATE: u64 = 512;
+        for _ in 0..3 {
+            let journal = JobJournal::open_with(&dir, ROTATE).unwrap();
+            journal.take_recovered();
+            for i in 0..200u64 {
+                journal.record_accepted(i, &spec(i));
+                journal.record_done(i);
+            }
+            let stats = journal.stats();
+            assert_eq!(stats.live_jobs, 0);
+            assert!(stats.segments_compacted > 0, "compaction must have run");
+            assert!(
+                stats.bytes <= ROTATE * 8,
+                "journal grew unbounded: {} bytes",
+                stats.bytes
+            );
+        }
+        // On-disk truth, not just gauges: the directory itself is small.
+        let on_disk: u64 = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum();
+        assert!(on_disk <= ROTATE * 8, "{on_disk} bytes on disk");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Live jobs must survive compaction — they are carried forward into
+    /// the fresh segment before history is unlinked.
+    #[test]
+    fn compaction_carries_live_jobs_forward() {
+        let dir = scratch("carry");
+        {
+            let journal = JobJournal::open_with(&dir, 256).unwrap();
+            journal.record_accepted(7, &spec(7)); // stays live throughout
+            for i in 100..160u64 {
+                journal.record_accepted(i, &spec(i));
+                journal.record_done(i);
+            }
+            let stats = journal.stats();
+            assert!(stats.segments_compacted > 0);
+            assert_eq!(stats.live_jobs, 1);
+        }
+        let journal = JobJournal::open_with(&dir, 256).unwrap();
+        let recovered = journal.take_recovered();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].seed, 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A torn tail (crash mid-append) ends replay at the last good
+    /// frame; everything before it is intact.
+    #[test]
+    fn torn_tail_degrades_to_prefix_replay() {
+        let dir = scratch("torn");
+        let seg = {
+            let journal = JobJournal::open(&dir).unwrap();
+            journal.record_accepted(1, &spec(1));
+            journal.record_accepted(2, &spec(2));
+            segment_path(&dir, 0)
+        };
+        // Simulate a torn write: a frame header promising more bytes
+        // than exist.
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes.extend_from_slice(&1000u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(b"trunc");
+        fs::write(&seg, &bytes).unwrap();
+        let journal = JobJournal::open(&dir).unwrap();
+        assert_eq!(journal.take_recovered().len(), 2, "prefix survives");
+
+        // A corrupt checksum mid-file ends that segment's replay there.
+        let flipped: Vec<u8> = {
+            let good = fs::read(segment_path(&dir, journal.stats().segments as u64)).ok();
+            drop(good);
+            let mut b = fs::read(&seg).unwrap_or_default();
+            if b.len() > 20 {
+                b[15] ^= 0xff;
+            }
+            b
+        };
+        drop(journal);
+        let _ = fs::remove_dir_all(&dir);
+        drop(flipped);
+    }
+
+    /// A checksum flip in the first frame hides the whole segment; the
+    /// journal still opens (degrade, never fail).
+    #[test]
+    fn corrupt_frame_hides_the_rest_of_its_segment() {
+        let dir = scratch("corrupt");
+        {
+            let journal = JobJournal::open(&dir).unwrap();
+            journal.record_accepted(1, &spec(1));
+            journal.record_accepted(2, &spec(2));
+        }
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[FRAME_HEADER] ^= 0xff; // first payload byte
+        fs::write(&seg, &bytes).unwrap();
+        let journal = JobJournal::open(&dir).unwrap();
+        assert!(
+            journal.take_recovered().is_empty(),
+            "frames after corruption are unreachable"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

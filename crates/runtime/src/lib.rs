@@ -22,6 +22,9 @@
 //! * [`store`] — the content-addressed on-disk result store (JSON keyed
 //!   by a hash of domain id + config); repeated jobs are cache hits,
 //!   corrupted entries degrade to recomputes.
+//! * [`journal`] — the write-ahead job journal: accepted jobs are
+//!   durable before they are visible, so a crashed server re-enqueues
+//!   every accepted-but-unfinished job on restart.
 //! * [`watch`] — the NDJSON event wire format shared by `runner --watch`
 //!   and the HTTP streaming endpoint.
 //!
@@ -32,6 +35,7 @@
 pub mod adapters;
 pub mod domain;
 pub mod executor;
+pub mod journal;
 pub mod queue;
 pub mod store;
 pub mod watch;
@@ -44,11 +48,12 @@ pub use executor::{
     derive_seed, fan_out, manifest_to_jsonl, parse_manifest, run_manifest, run_manifest_opts,
     EventSink, JobOutcome, JobSpec, RunOptions, SessionFinish,
 };
+pub use journal::{JobJournal, JournalStats};
 pub use queue::{
     Disposition, EventsChunk, JobPhase, JobQueue, JobView, PendingJob, QueueCounters, QueueFull,
     QueueOptions, Submitted,
 };
-pub use store::{GcReport, ResultStore};
+pub use store::{GcReport, ResultStore, STALE_TMP_MAX_AGE};
 pub use watch::{watch_line, WatchLine};
 // The session vocabulary travels with the runtime so callers need not
 // depend on xplain-core directly.

@@ -46,6 +46,7 @@ use xplain_core::session::{CancelToken, FinishReason, SessionBudgets, SessionEve
 
 use crate::domain::DomainRegistry;
 use crate::executor::{derive_seed, run_job, EventSink, JobOutcome, JobSpec, RunOptions};
+use crate::journal::JobJournal;
 use crate::store::ResultStore;
 use crate::watch::watch_line;
 
@@ -176,6 +177,9 @@ pub struct JobView {
     pub outcome: Option<JobOutcome>,
     /// Events retained so far (0 unless `record_events`).
     pub events_logged: usize,
+    /// This execution was re-enqueued from the write-ahead journal at
+    /// startup (its acceptance predates this process).
+    pub recovered: bool,
 }
 
 /// Summary of one waiting job — the `GET /v1/queue` surface a peer
@@ -217,6 +221,10 @@ pub struct QueueCounters {
     /// count is jobs *offered*, not jobs whose local execution was
     /// skipped).
     pub donated: u64,
+    /// Jobs re-enqueued from the write-ahead journal at startup
+    /// ([`JobQueue::recover`]) — accepted by a previous process over the
+    /// same store that died before finishing them.
+    pub recovered: u64,
 }
 
 enum SlotState {
@@ -257,6 +265,9 @@ struct JobSlot {
     /// pending (the local execution is the safety net if the thief
     /// dies), but it is never offered twice.
     donated: bool,
+    /// Re-enqueued from the journal at startup rather than submitted by
+    /// a client of *this* process (surfaced on `GET /v1/jobs/{id}`).
+    recovered: bool,
 }
 
 struct QueueState {
@@ -278,6 +289,12 @@ pub struct JobQueue<'a> {
     /// to the shard id, so `origin` metadata records which process
     /// computed each result).
     origin: Option<String>,
+    /// Write-ahead journal for serving-path (index-0 deduplicated)
+    /// submissions: every accept/dispatch/completion is durable before
+    /// it is visible, and [`JobQueue::recover`] re-enqueues what a dead
+    /// process left behind. Batch (positional) jobs are never journaled
+    /// — a manifest is its own durable record.
+    journal: Option<&'a JobJournal>,
     /// Global observer (the batch `--watch` sink); per-job event logs are
     /// separate and gated on `record_events`.
     sink: Option<EventSink<'a>>,
@@ -294,6 +311,7 @@ pub struct JobQueue<'a> {
     cancelled: AtomicU64,
     rejected_full: AtomicU64,
     donated: AtomicU64,
+    recovered: AtomicU64,
 }
 
 impl<'a> JobQueue<'a> {
@@ -308,6 +326,7 @@ impl<'a> JobQueue<'a> {
             store,
             opts,
             origin: None,
+            journal: None,
             sink,
             state: Mutex::new(QueueState {
                 slots: Vec::new(),
@@ -325,6 +344,7 @@ impl<'a> JobQueue<'a> {
             cancelled: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
             donated: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
         }
     }
 
@@ -334,6 +354,45 @@ impl<'a> JobQueue<'a> {
     pub fn with_origin(mut self, origin: Option<String>) -> Self {
         self.origin = origin;
         self
+    }
+
+    /// Attach a write-ahead journal: serving-path submissions become
+    /// durable before they are acknowledged, and [`JobQueue::recover`]
+    /// re-enqueues whatever a previous process accepted but never
+    /// finished. Call `recover` after construction, before workers poll.
+    pub fn with_journal(mut self, journal: Option<&'a JobJournal>) -> Self {
+        self.journal = journal;
+        self
+    }
+
+    /// Re-enqueue every accepted-but-unfinished job the journal replayed
+    /// at open, in original acceptance order. Jobs whose results landed
+    /// in the store before the crash answer as cache hits and are
+    /// journaled terminal instead of re-running. Returns the number of
+    /// executions scheduled. No-op without a journal.
+    ///
+    /// Respects [`QueueOptions::capacity`]: jobs that do not fit stay
+    /// live in the journal and surface again on the next restart.
+    pub fn recover(&self) -> usize {
+        let Some(journal) = self.journal else {
+            return 0;
+        };
+        let mut scheduled = 0;
+        for spec in journal.take_recovered() {
+            match self.submit_deduped_inner(spec, true) {
+                Ok(sub) if sub.disposition == Disposition::CacheHit => {
+                    // The result survived the crash; close the journal
+                    // entry so compaction can drop the job.
+                    journal.record_done(sub.key);
+                }
+                Ok(_) => {
+                    scheduled += 1;
+                    self.recovered.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {} // queue full: recovered on the next restart
+            }
+        }
+        scheduled
     }
 
     /// Content-addressed identity of a spec at a manifest position: the
@@ -379,6 +438,7 @@ impl<'a> JobQueue<'a> {
             events: Vec::new(),
             events_done: false,
             donated: false,
+            recovered: false,
         }
     }
 
@@ -418,6 +478,12 @@ impl<'a> JobQueue<'a> {
     /// next execution resumes from the checkpoint under the new
     /// submission's budgets.
     pub fn submit_deduped(&self, spec: JobSpec) -> Result<Submitted, QueueFull> {
+        self.submit_deduped_inner(spec, false)
+    }
+
+    /// [`JobQueue::submit_deduped`] with the recovery stamp — `recovered`
+    /// is true only for [`JobQueue::recover`] re-submissions.
+    fn submit_deduped_inner(&self, spec: JobSpec, recovered: bool) -> Result<Submitted, QueueFull> {
         let index = 0usize;
         let derived = Self::derived_config(&spec, index);
         let key = ResultStore::key(&spec.domain, &derived);
@@ -432,7 +498,7 @@ impl<'a> JobQueue<'a> {
                 return Ok(self.noted(slot, disposition, id, key))
             }
             Some(MemDedup::Resume) => {
-                return self.enqueue_locked(state, spec, index, Disposition::Resumed)
+                return self.enqueue_locked(state, spec, index, Disposition::Resumed, recovered)
             }
             None => {}
         }
@@ -455,7 +521,7 @@ impl<'a> JobQueue<'a> {
                 return Ok(self.noted(slot, disposition, id, key))
             }
             Some(MemDedup::Resume) => {
-                return self.enqueue_locked(state, spec, index, Disposition::Resumed)
+                return self.enqueue_locked(state, spec, index, Disposition::Resumed, recovered)
             }
             None => {}
         }
@@ -463,6 +529,7 @@ impl<'a> JobQueue<'a> {
         if let Some(result) = cached {
             let slot_idx = state.slots.len();
             let mut slot = Self::new_slot(spec, index);
+            slot.recovered = recovered;
             slot.state = SlotState::Done(Box::new(JobOutcome {
                 index,
                 domain: slot.domain.clone(),
@@ -491,7 +558,7 @@ impl<'a> JobQueue<'a> {
             });
         }
 
-        self.enqueue_locked(state, spec, index, Disposition::Enqueued)
+        self.enqueue_locked(state, spec, index, Disposition::Enqueued, recovered)
     }
 
     /// Classify what the in-memory state can do for a submission of
@@ -542,6 +609,7 @@ impl<'a> JobQueue<'a> {
         spec: JobSpec,
         index: usize,
         disposition: Disposition,
+        recovered: bool,
     ) -> Result<Submitted, QueueFull> {
         if self.opts.capacity > 0 && state.pending.len() >= self.opts.capacity {
             self.rejected_full.fetch_add(1, Ordering::Relaxed);
@@ -551,8 +619,20 @@ impl<'a> JobQueue<'a> {
             });
         }
         let slot_idx = state.slots.len();
-        let slot = Self::new_slot(spec, index);
+        let mut slot = Self::new_slot(spec, index);
+        slot.recovered = recovered;
         let (id, key) = (Self::format_id(slot.key), slot.key);
+        // Write-ahead: the accept is durable *before* the job becomes
+        // visible to workers (we hold the state lock, so no worker can
+        // start it — or journal a `started` — until the accept record
+        // has hit the disk). Crash before this line: the client never
+        // got its receipt, so nothing was promised. Crash after: the
+        // journal re-enqueues the job on restart.
+        if index == 0 {
+            if let Some(journal) = self.journal {
+                journal.record_accepted(key, &slot.spec);
+            }
+        }
         state.by_key.insert(key, slot_idx);
         state.slots.push(slot);
         state.pending.push_back(slot_idx);
@@ -613,8 +693,14 @@ impl<'a> JobQueue<'a> {
             }),
         }));
         slot.events_done = true;
+        let (key, index) = (slot.key, slot.index);
         self.cancelled.fetch_add(1, Ordering::Relaxed);
         self.completed.fetch_add(1, Ordering::Relaxed);
+        if index == 0 {
+            if let Some(journal) = self.journal {
+                journal.record_cancelled(key);
+            }
+        }
         self.mark_done_locked(state, slot_idx);
     }
 
@@ -652,6 +738,7 @@ impl<'a> JobQueue<'a> {
             phase,
             outcome,
             events_logged: slot.events.len(),
+            recovered: slot.recovered,
         }
     }
 
@@ -833,6 +920,7 @@ impl<'a> JobQueue<'a> {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             rejected_full: self.rejected_full.load(Ordering::Relaxed),
             donated: self.donated.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
         }
     }
 
@@ -916,16 +1004,24 @@ impl<'a> JobQueue<'a> {
     /// cache hit (pacing exempts those — they cost no compute).
     fn execute(&self, slot_idx: usize) -> bool {
         self.active.fetch_add(1, Ordering::Relaxed);
-        let (spec, index, domain, cancel) = {
+        let (spec, index, key, domain, cancel) = {
             let state = self.state.lock().expect("queue state");
             let slot = &state.slots[slot_idx];
             (
                 slot.spec.clone(),
                 slot.index,
+                slot.key,
                 slot.domain.clone(),
                 slot.cancel.clone(),
             )
         };
+        // Journal the dispatch: a crash mid-run replays as live and the
+        // restarted execution resumes from the session checkpoint.
+        if index == 0 {
+            if let Some(journal) = self.journal {
+                journal.record_started(key);
+            }
+        }
         let record = self.opts.record_events;
         let sink = |idx: usize, event: &SessionEvent| {
             if record {
@@ -976,14 +1072,29 @@ impl<'a> JobQueue<'a> {
         if cache_hit {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
-        if outcome
+        let was_cancelled = outcome
             .finish
             .as_ref()
-            .is_some_and(|f| f.reason == FinishReason::Cancelled)
-        {
+            .is_some_and(|f| f.reason == FinishReason::Cancelled);
+        if was_cancelled {
             self.cancelled.fetch_add(1, Ordering::Relaxed);
         }
         self.completed.fetch_add(1, Ordering::Relaxed);
+        // Journal the terminal transition before publishing the outcome.
+        // (Crash in the gap either way is safe: the job replays as live,
+        // re-runs, and lands on the committed store entry — a cache hit
+        // with byte-identical results.) Budget-stopped partials journal
+        // as done too: the outcome was delivered; only an explicit
+        // resubmit resumes them.
+        if index == 0 {
+            if let Some(journal) = self.journal {
+                if was_cancelled {
+                    journal.record_cancelled(key);
+                } else {
+                    journal.record_done(key);
+                }
+            }
+        }
 
         let mut state = self.state.lock().expect("queue state");
         let slot = &mut state.slots[slot_idx];
@@ -1322,6 +1433,174 @@ mod tests {
         let ok = queue.submit_deduped(spec("boom", 2)).unwrap();
         queue.drain_worker();
         assert_eq!(queue.poll(ok.key).unwrap().phase, JobPhase::Done);
+    }
+
+    fn journal_scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("xplain-queue-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The tentpole contract, in-process: a queue that dies with
+    /// accepted-but-unfinished jobs hands them to its successor through
+    /// the journal, in original acceptance order.
+    #[test]
+    fn journal_recovers_accepted_jobs_in_order_across_queue_lifetimes() {
+        let dir = journal_scratch("recover");
+        let registry = DomainRegistry::builtin();
+
+        // First life: accept three jobs, run none ("crash" with a full
+        // waiting line — dropping the queue loses all in-memory state).
+        let keys: Vec<u64> = {
+            let journal = JobJournal::open(&dir).unwrap();
+            let queue = JobQueue::new(&registry, None, QueueOptions::default(), None)
+                .with_journal(Some(&journal));
+            assert_eq!(queue.recover(), 0, "fresh journal recovers nothing");
+            [1u64, 2, 3]
+                .iter()
+                .map(|&s| queue.submit_deduped(spec("no-such", s)).unwrap().key)
+                .collect()
+        };
+
+        // Second life over the same journal dir.
+        let journal = JobJournal::open(&dir).unwrap();
+        let queue = JobQueue::new(&registry, None, QueueOptions::default(), None)
+            .with_journal(Some(&journal));
+        let recovered = queue.recover();
+        assert_eq!(recovered, 3, "every accepted job comes back");
+        assert_eq!(queue.counters().recovered, 3);
+        // Original order is preserved in the waiting line.
+        let pending = queue.pending_jobs();
+        let ids: Vec<String> = keys.iter().map(|&k| JobQueue::format_id(k)).collect();
+        assert_eq!(
+            pending.iter().map(|p| p.id.clone()).collect::<Vec<_>>(),
+            ids
+        );
+        queue.drain_worker();
+        for &key in &keys {
+            let view = queue.poll(key).unwrap();
+            assert_eq!(view.phase, JobPhase::Done);
+            assert!(view.recovered, "recovered executions carry the stamp");
+        }
+        // All terminal now: a third life recovers nothing and the
+        // journal's live set is empty.
+        assert_eq!(journal.stats().live_jobs, 0);
+        let journal3 = JobJournal::open(&dir).unwrap();
+        assert!(journal3.take_recovered().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_treats_done_and_cancelled_jobs_as_terminal() {
+        let dir = journal_scratch("terminal");
+        let registry = DomainRegistry::builtin();
+        {
+            let journal = JobJournal::open(&dir).unwrap();
+            let queue = JobQueue::new(&registry, None, QueueOptions::default(), None)
+                .with_journal(Some(&journal));
+            // One job runs to its (error) outcome…
+            let done = queue.submit_deduped(spec("no-such", 1)).unwrap();
+            queue.drain_worker();
+            assert_eq!(queue.poll(done.key).unwrap().phase, JobPhase::Done);
+            // …one is cancelled while queued…
+            let gone = queue.submit_deduped(spec("no-such", 2)).unwrap();
+            assert_eq!(queue.cancel(gone.key), Some(JobPhase::Queued));
+            // …and shutdown cancels the rest.
+            queue.submit_deduped(spec("no-such", 3)).unwrap();
+            queue.shutdown();
+        }
+        let journal = JobJournal::open(&dir).unwrap();
+        assert!(
+            journal.take_recovered().is_empty(),
+            "terminal jobs must not replay"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Batch (positional) submissions never touch the journal — a
+    /// manifest is its own durable record, and positional seeds would
+    /// not survive an index-0 re-enqueue anyway.
+    #[test]
+    fn journal_ignores_batch_submissions() {
+        let dir = journal_scratch("batch");
+        let registry = DomainRegistry::builtin();
+        {
+            let journal = JobJournal::open(&dir).unwrap();
+            let queue = JobQueue::new(&registry, None, QueueOptions::default(), None)
+                .with_journal(Some(&journal));
+            queue.submit(spec("no-such", 1), 5).unwrap();
+            assert_eq!(journal.stats().live_jobs, 0);
+        }
+        let journal = JobJournal::open(&dir).unwrap();
+        assert!(journal.take_recovered().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The satellite pin for `retain_done` vs a live tail: a subscriber
+    /// mid-tail when its job is evicted must observe termination (the
+    /// `None` truncation answer) promptly — never hang, never a
+    /// "complete" stream missing its tail.
+    #[test]
+    fn evicted_job_terminates_event_tails_promptly() {
+        use std::sync::atomic::AtomicBool;
+
+        let registry = DomainRegistry::builtin();
+        let queue = JobQueue::new(
+            &registry,
+            None,
+            QueueOptions {
+                record_events: true,
+                retain_done: 1,
+                ..Default::default()
+            },
+            None,
+        );
+        let a = queue.submit_deduped(spec("no-such", 1)).unwrap();
+        queue.drain_worker();
+        let evicted_seen = AtomicBool::new(false);
+        let clean_done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let tail = scope.spawn(|| {
+                // The exact loop the HTTP events handler runs: tail from
+                // the current offset with a bounded wait per round.
+                let mut from = 0usize;
+                loop {
+                    match queue.wait_events(a.slot, from, Duration::from_millis(250)) {
+                        None => {
+                            evicted_seen.store(true, Ordering::Relaxed);
+                            return; // truncation: abort the stream
+                        }
+                        Some(chunk) => {
+                            from += chunk.lines.len();
+                            if chunk.done {
+                                clean_done.store(true, Ordering::Relaxed);
+                                return; // clean terminator
+                            }
+                        }
+                    }
+                }
+            });
+            // Evict `a` by completing a second job under retain_done: 1.
+            queue.submit_deduped(spec("no-such", 2)).unwrap();
+            queue.drain_worker();
+            // The tail must terminate on its own, promptly. (A done
+            // stream read *before* the eviction landed is equally
+            // correct — the job completed; the race decides which.)
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while !tail.is_finished() {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "event tail hung after eviction"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            tail.join().unwrap();
+        });
+        assert!(
+            evicted_seen.load(Ordering::Relaxed) || clean_done.load(Ordering::Relaxed),
+            "tail ended without observing truncation or completion"
+        );
     }
 
     #[test]

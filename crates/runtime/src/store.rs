@@ -16,10 +16,11 @@
 //! the same degrade-to-recompute philosophy: anything unreadable or
 //! version-mismatched reads back as "no checkpoint".
 
-use std::fs;
-use std::io;
+use std::fs::{self, File};
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 use xplain_core::pipeline::{PipelineConfig, PipelineResult, PIPELINE_SCHEMA_VERSION};
@@ -63,9 +64,18 @@ pub struct ResultStore {
 pub struct GcReport {
     /// Orphaned `{key}.ckpt` files deleted.
     pub checkpoints_removed: usize,
-    /// Their total size on disk.
+    /// Stale `.*.tmp` files deleted (crashed writers strand these —
+    /// a kill between temp-write and rename leaves the temp behind).
+    pub temp_files_removed: usize,
+    /// Total size on disk of everything removed.
     pub bytes_reclaimed: u64,
 }
+
+/// Temp files younger than this survive [`ResultStore::gc`] — they may
+/// belong to a writer that is mid-publish right now. Anything older is
+/// necessarily stranded: a healthy publish holds its temp file for
+/// milliseconds, not minutes.
+pub const STALE_TMP_MAX_AGE: Duration = Duration::from_secs(60);
 
 /// Unique-ish suffix counter for temp files (concurrent writers on the
 /// same key must not interleave partial writes; each writes its own temp
@@ -111,8 +121,10 @@ impl ResultStore {
         (entry.domain == domain && same_config).then_some(entry.result)
     }
 
-    /// Store a result (write-to-temp + rename so concurrent writers of
-    /// the same key never expose a torn file).
+    /// Store a result (write-to-temp, fsync, rename, fsync directory —
+    /// concurrent writers of the same key never expose a torn file, and
+    /// a crash at any point publishes either the old bytes or the new
+    /// bytes, never a truncated entry).
     pub fn insert(
         &self,
         domain: &str,
@@ -147,8 +159,7 @@ impl ResultStore {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        fs::write(&tmp_path, json)?;
-        fs::rename(&tmp_path, final_path)
+        publish_durable(&self.dir, &tmp_path, &final_path, json.as_bytes())
     }
 
     /// Read back the origin tag of a committed entry (`None` for
@@ -184,7 +195,7 @@ impl ResultStore {
         (entry.domain == domain && same_config).then_some(entry.checkpoint)
     }
 
-    /// Persist a session checkpoint (same write-to-temp + rename
+    /// Persist a session checkpoint (same write-to-temp + fsync + rename
     /// discipline as results). Overwrites any previous checkpoint for the
     /// job — only the newest boundary matters for resumption.
     pub fn save_checkpoint(
@@ -208,8 +219,7 @@ impl ResultStore {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        fs::write(&tmp_path, json)?;
-        fs::rename(&tmp_path, final_path)
+        publish_durable(&self.dir, &tmp_path, &final_path, json.as_bytes())
     }
 
     /// Remove a job's checkpoint (after its session finished naturally
@@ -234,15 +244,47 @@ impl ResultStore {
     /// resumed to completion converges to those same bytes — it only
     /// trades the partial run's saved compute for the disk space.
     ///
+    /// The sweep also removes stale `.*.tmp` files: a writer killed
+    /// between temp-write and rename strands its temp file forever
+    /// (nothing ever reads or renames it again). Only temps older than
+    /// [`STALE_TMP_MAX_AGE`] go — a younger one may belong to a publish
+    /// in flight right now.
+    ///
     /// Returns what was reclaimed; failures to stat or remove individual
     /// files are skipped (same degrade-don't-fail philosophy as reads).
     pub fn gc(&self) -> GcReport {
+        self.gc_with_tmp_age(STALE_TMP_MAX_AGE)
+    }
+
+    /// [`ResultStore::gc`] with an explicit stale-temp threshold (tests
+    /// pass zero to sweep unconditionally).
+    pub fn gc_with_tmp_age(&self, tmp_max_age: Duration) -> GcReport {
         let mut report = GcReport::default();
         let Ok(entries) = fs::read_dir(&self.dir) else {
             return report;
         };
         for entry in entries.filter_map(|e| e.ok()) {
             let path = entry.path();
+            if path.extension().is_some_and(|x| x == "tmp") {
+                let name_hidden = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with('.'));
+                let stale = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age >= tmp_max_age);
+                if name_hidden && stale {
+                    let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                    if fs::remove_file(&path).is_ok() {
+                        report.temp_files_removed += 1;
+                        report.bytes_reclaimed += bytes;
+                    }
+                }
+                continue;
+            }
             if path.extension().is_none_or(|x| x != "ckpt") {
                 continue;
             }
@@ -276,7 +318,38 @@ impl ResultStore {
     }
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// Write `bytes` to `tmp`, fsync it, rename it over `final_path`, and
+/// fsync the containing directory — the full durability discipline, so
+/// a crash at any point leaves either the previous bytes or the new
+/// bytes at `final_path`, never a truncated file, and the rename itself
+/// survives a power cut (an un-fsynced rename can be rolled back by the
+/// filesystem journal).
+pub(crate) fn publish_durable(
+    dir: &Path,
+    tmp: &Path,
+    final_path: &Path,
+    bytes: &[u8],
+) -> io::Result<()> {
+    let mut file = File::create(tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(tmp, final_path)?;
+    fsync_dir(dir);
+    Ok(())
+}
+
+/// Best-effort fsync of a directory (makes a rename or file creation in
+/// it durable). Errors are ignored: not every platform or filesystem
+/// supports opening a directory for sync, and degrading to the old
+/// (rename-only) behavior beats failing the write.
+pub(crate) fn fsync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     fnv1a64_continue(0xcbf29ce484222325, bytes)
 }
 
@@ -483,6 +556,32 @@ mod tests {
         assert_eq!(store.gc(), GcReport::default());
         // Missing directory: zero report, no panic.
         assert_eq!(ResultStore::new("/no/such/dir").gc(), GcReport::default());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_sweeps_stale_temp_files_but_spares_fresh_ones() {
+        let store = ResultStore::new(scratch_dir("gc-tmp"));
+        fs::create_dir_all(store.dir()).unwrap();
+        // What a crashed writer strands: a hidden temp that nothing will
+        // ever rename into place.
+        let stranded = store.dir().join(".00000000deadbeef.1234.0.tmp");
+        fs::write(&stranded, "partial entry bytes").unwrap();
+        // A fresh temp (same shape) must survive the default threshold —
+        // its writer may be mid-publish right now.
+        assert_eq!(store.gc(), GcReport::default());
+        assert!(stranded.exists(), "fresh temp swept too eagerly");
+        // With the threshold at zero it is stale by definition.
+        let report = store.gc_with_tmp_age(Duration::ZERO);
+        assert_eq!(report.temp_files_removed, 1);
+        assert_eq!(report.checkpoints_removed, 0);
+        assert_eq!(report.bytes_reclaimed, "partial entry bytes".len() as u64);
+        assert!(!stranded.exists());
+        // Non-hidden `.tmp` files are not the store's litter; spare them.
+        let foreign = store.dir().join("user-data.tmp");
+        fs::write(&foreign, "not ours").unwrap();
+        assert_eq!(store.gc_with_tmp_age(Duration::ZERO), GcReport::default());
+        assert!(foreign.exists());
         let _ = fs::remove_dir_all(store.dir());
     }
 

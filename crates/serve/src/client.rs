@@ -87,13 +87,7 @@ impl Client {
         let mut response = self.post(path, body)?;
         let mut attempts = 1;
         while response.status == 429 && attempts < max_attempts.max(1) {
-            let hinted = response
-                .header("retry-after")
-                .and_then(|v| v.trim().parse::<u64>().ok())
-                .map(Duration::from_secs);
-            let wait = hinted
-                .unwrap_or(backoff)
-                .clamp(backoff, RETRY_WAIT_CAP.max(backoff));
+            let wait = retry_wait(response.header("retry-after"), backoff);
             std::thread::sleep(wait);
             backoff = (backoff * 2).min(RETRY_WAIT_CAP);
             response = self.post(path, body)?;
@@ -146,6 +140,23 @@ impl Client {
             body,
         })
     }
+}
+
+/// How long [`Client::post_retry`] sleeps before its next attempt, given
+/// the server's raw `Retry-After` header (if any) and the current
+/// exponential-backoff step. The hint is advisory: a missing, malformed,
+/// or negative value falls back to the backoff step, and any value is
+/// clamped to `[backoff, RETRY_WAIT_CAP]` — a zero hint never busy-spins
+/// and a huge hint never stalls the caller past the cap. (If `backoff`
+/// itself exceeds the cap, the wait is exactly `backoff`; the caller
+/// already bounds its steps at the cap.)
+fn retry_wait(hint: Option<&str>, backoff: Duration) -> Duration {
+    let hinted = hint
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_secs);
+    hinted
+        .unwrap_or(backoff)
+        .clamp(backoff, RETRY_WAIT_CAP.max(backoff))
 }
 
 fn write_request(
@@ -352,6 +363,45 @@ mod tests {
         assert_eq!(response.status, 429, "caller still sees the final 429");
         assert_eq!(response.header("retry-after"), Some("0"));
         assert_eq!(server.join().unwrap(), 3, "no more than max_attempts");
+    }
+
+    #[test]
+    fn retry_wait_falls_back_to_backoff_without_a_usable_hint() {
+        let backoff = Duration::from_millis(100);
+        // No header, unparsable text, and negative seconds all mean "no
+        // hint": wait exactly the current backoff step.
+        assert_eq!(retry_wait(None, backoff), backoff);
+        assert_eq!(retry_wait(Some("garbage"), backoff), backoff);
+        assert_eq!(retry_wait(Some(""), backoff), backoff);
+        assert_eq!(retry_wait(Some("-1"), backoff), backoff);
+        assert_eq!(retry_wait(Some("1.5"), backoff), backoff);
+    }
+
+    #[test]
+    fn retry_wait_clamps_hints_between_backoff_and_cap() {
+        let backoff = Duration::from_millis(100);
+        // A zero hint would busy-spin; it is raised to the backoff floor.
+        assert_eq!(retry_wait(Some("0"), backoff), backoff);
+        // An in-range hint is honored (whitespace tolerated).
+        assert_eq!(retry_wait(Some("1"), backoff), Duration::from_secs(1));
+        assert_eq!(retry_wait(Some(" 2 "), backoff), RETRY_WAIT_CAP);
+        // A huge hint (misconfigured peer, u64 seconds) hits the cap
+        // instead of stalling the caller for days.
+        assert_eq!(retry_wait(Some("99999"), backoff), RETRY_WAIT_CAP);
+        assert_eq!(
+            retry_wait(Some("18446744073709551615"), backoff),
+            RETRY_WAIT_CAP
+        );
+    }
+
+    #[test]
+    fn retry_wait_never_shrinks_an_oversized_backoff() {
+        // Degenerate case: if the backoff step somehow exceeds the cap,
+        // the clamp must not invert (Duration::clamp panics when
+        // min > max) — the wait is the backoff itself.
+        let big = RETRY_WAIT_CAP * 3;
+        assert_eq!(retry_wait(Some("1"), big), big);
+        assert_eq!(retry_wait(None, big), big);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use serde::Serialize;
 use xplain_lp::SolverCounters;
-use xplain_runtime::{JobQueue, ResultStore};
+use xplain_runtime::{JobJournal, JobQueue, JournalStats, ResultStore};
 use xplain_stats::Histogram;
 
 use crate::router::ROUTE_TAGS;
@@ -131,6 +131,18 @@ impl ServerMetrics {
         store: Option<&ResultStore>,
         mesh: Option<&MeshStatus>,
     ) -> MetricsReport {
+        self.report_full(queue, store, mesh, None)
+    }
+
+    /// The full report: mesh gauges and write-ahead journal stats (a
+    /// server running with durability attaches its journal here).
+    pub fn report_full(
+        &self,
+        queue: &JobQueue<'_>,
+        store: Option<&ResultStore>,
+        mesh: Option<&MeshStatus>,
+        journal: Option<&JobJournal>,
+    ) -> MetricsReport {
         let counters = queue.counters();
         MetricsReport {
             uptime_ms: self.started.elapsed().as_millis() as u64,
@@ -148,8 +160,10 @@ impl ServerMetrics {
                     0.0
                 },
                 donated: counters.donated,
+                recovered: counters.recovered,
             },
             store_entries: store.map(|s| s.len()),
+            journal: journal.map(|j| j.stats()),
             mesh: mesh.map(|m| m.report(counters.donated)),
             solver: SolverCounters::snapshot().since(&self.solver_at_start),
             routes: self
@@ -185,6 +199,9 @@ pub struct MetricsReport {
     pub queue: QueueReport,
     /// Committed results on disk (`null` when the server runs storeless).
     pub store_entries: Option<usize>,
+    /// Write-ahead journal gauges (`null` when the server runs without
+    /// durability — no store, or `--no-journal`).
+    pub journal: Option<JournalStats>,
     /// Mesh gauges (`null` on a standalone server).
     pub mesh: Option<MeshReport>,
     /// Solver work since this server started (process-wide counters; a
@@ -211,6 +228,8 @@ pub struct QueueReport {
     pub cache_hit_rate: f64,
     /// Waiting jobs handed to mesh peers (0 on a standalone server).
     pub donated: u64,
+    /// Jobs re-enqueued from the write-ahead journal at startup.
+    pub recovered: u64,
 }
 
 /// The `mesh` block of the metrics report — one shard's view of the

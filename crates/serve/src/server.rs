@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use xplain_runtime::{
-    DomainRegistry, JobOutcome, JobPhase, JobQueue, JobSpec, QueueOptions, ResultStore,
+    DomainRegistry, JobJournal, JobOutcome, JobPhase, JobQueue, JobSpec, QueueOptions, ResultStore,
 };
 
 use crate::admission::AdmissionPolicy;
@@ -58,6 +58,16 @@ pub struct ServerConfig {
     /// Content-addressed store directory. `None` disables result
     /// caching, dedup-against-disk, and checkpoint/resume.
     pub store_dir: Option<PathBuf>,
+    /// Write-ahead job journal: accepted jobs are durable before the
+    /// `202` goes out, and a restarted server over the same store
+    /// re-enqueues whatever a crashed predecessor accepted but never
+    /// finished. On by default; requires a store (no store, no journal).
+    pub journal: bool,
+    /// Journal directory override. `None` (the default) puts it at
+    /// `<store_dir>/journal`, or `<store_dir>/journal-<shard_id>` when a
+    /// shard id is set — mesh shards share the content-addressed store,
+    /// but each must journal its own accepted jobs separately.
+    pub journal_dir: Option<PathBuf>,
     /// Per-connection read timeout.
     pub read_timeout: Duration,
     /// Completed jobs kept in memory (outcome + event log) before the
@@ -86,6 +96,8 @@ impl Default for ServerConfig {
             http_threads: 8,
             capacity: 64,
             store_dir: None,
+            journal: true,
+            journal_dir: None,
             read_timeout: Duration::from_secs(5),
             retain_done: 1024,
             shard_id: None,
@@ -180,6 +192,23 @@ impl Server {
     /// the e2e tests and the load generator do exactly that).
     pub fn run(self, registry: &DomainRegistry) -> io::Result<()> {
         let store = self.config.store_dir.as_ref().map(ResultStore::new);
+        // Open (and replay) the write-ahead journal before anything else
+        // can accept work: recovery must observe the dead predecessor's
+        // state, not this server's. Failing to open is a startup error —
+        // silently serving without the durability the operator asked for
+        // is worse than refusing to start.
+        let journal = match (&store, self.config.journal) {
+            (Some(store), true) => {
+                let dir = self.config.journal_dir.clone().unwrap_or_else(|| {
+                    store.dir().join(match &self.config.shard_id {
+                        Some(id) => format!("journal-{id}"),
+                        None => "journal".to_string(),
+                    })
+                });
+                Some(JobJournal::open(dir)?)
+            }
+            _ => None,
+        };
         let queue = JobQueue::new(
             registry,
             store.as_ref(),
@@ -196,13 +225,19 @@ impl Server {
             },
             None,
         )
-        .with_origin(self.config.shard_id.clone());
+        .with_origin(self.config.shard_id.clone())
+        .with_journal(journal.as_ref());
+        // Re-enqueue everything a crashed predecessor accepted but never
+        // finished — before workers spawn, so recovered jobs sit at the
+        // head of the line in their original order.
+        queue.recover();
         let metrics = ServerMetrics::new();
         let queue_workers = auto_workers(self.config.queue_workers);
         let ctx = Ctx {
             registry,
             queue: &queue,
             store: store.as_ref(),
+            journal: journal.as_ref(),
             metrics: &metrics,
             policy: AdmissionPolicy::default(),
             shutdown: &self.shutdown,
@@ -266,6 +301,7 @@ struct Ctx<'a> {
     registry: &'a DomainRegistry,
     queue: &'a JobQueue<'a>,
     store: Option<&'a ResultStore>,
+    journal: Option<&'a JobJournal>,
     metrics: &'a ServerMetrics,
     policy: AdmissionPolicy,
     shutdown: &'a AtomicBool,
@@ -342,6 +378,10 @@ struct StatusBody {
     status: String,
     /// Events retained for streaming so far.
     events: usize,
+    /// This execution was re-enqueued from the write-ahead journal at
+    /// startup — accepted by a previous server process over the same
+    /// store that died before finishing it.
+    recovered: bool,
     /// Present once `status == "done"`.
     outcome: Option<JobOutcome>,
 }
@@ -479,6 +519,7 @@ fn job_status(ctx: &Ctx<'_>, id: &str) -> Response {
             domain: view.domain,
             status: view.phase.as_str().to_string(),
             events: view.events_logged,
+            recovered: view.recovered,
             outcome: view.outcome,
         })
         .expect("body serializes"),
@@ -559,7 +600,7 @@ fn steal(ctx: &Ctx<'_>, request: &Request) -> Response {
 fn metrics(ctx: &Ctx<'_>) -> Response {
     let report = ctx
         .metrics
-        .report_with_mesh(ctx.queue, ctx.store, ctx.mesh.as_deref());
+        .report_full(ctx.queue, ctx.store, ctx.mesh.as_deref(), ctx.journal);
     Response::json(
         200,
         serde_json::to_string(&report).expect("body serializes"),

@@ -169,12 +169,13 @@ fn success_bodies_and_status_codes_are_pinned() {
     );
     wait_done(&api, &id);
 
-    // GET /v1/jobs/{id} → 200 {id, domain, status, events, outcome}.
+    // GET /v1/jobs/{id} → 200 {id, domain, status, events, recovered,
+    // outcome}.
     let resp = api.get(&format!("/v1/jobs/{id}")).unwrap();
     assert_eq!(resp.status, 200);
     assert_eq!(
         keys(&resp.body),
-        ["id", "domain", "status", "events", "outcome"]
+        ["id", "domain", "status", "events", "recovered", "outcome"]
     );
 
     // POST /v1/jobs (repeat) → 200, same shape, cache_hit true.
@@ -212,7 +213,8 @@ fn success_bodies_and_status_codes_are_pinned() {
 
     // GET /v1/metrics → 200; the full report schema documented in
     // DESIGN.md §"Metrics schema". `mesh` is null on a standalone
-    // server; `store_entries` is a number because a store is attached.
+    // server; `store_entries` is a number and `journal` an object
+    // because this server runs store-backed with the journal on.
     let resp = api.get("/v1/metrics").unwrap();
     assert_eq!(resp.status, 200);
     assert_eq!(
@@ -221,6 +223,7 @@ fn success_bodies_and_status_codes_are_pinned() {
             "uptime_ms",
             "queue",
             "store_entries",
+            "journal",
             "mesh",
             "solver",
             "routes"
@@ -238,7 +241,8 @@ fn success_bodies_and_status_codes_are_pinned() {
             "rejected_busy",
             "cache_hits",
             "cache_hit_rate",
-            "donated"
+            "donated",
+            "recovered"
         ]
     );
     assert!(
@@ -247,6 +251,20 @@ fn success_bodies_and_status_codes_are_pinned() {
         resp.body
     );
     assert!(get_field(&metrics, "store_entries").as_f64().is_some());
+    assert_eq!(
+        object_keys(get_field(&metrics, "journal")),
+        [
+            "segments",
+            "bytes",
+            "live_jobs",
+            "records",
+            "recovered",
+            "append_errors",
+            "segments_compacted",
+            "bytes_compacted"
+        ],
+        "journal block schema (store-backed server journals by default)"
+    );
     for route in get_field(&metrics, "routes").as_seq().unwrap() {
         assert_eq!(
             object_keys(route),
