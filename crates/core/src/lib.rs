@@ -39,7 +39,7 @@ pub use explainer::{explain, DslMapper, EdgeScore, ExplainerParams, Explanation}
 pub use features::{FeatureMap, LinearFeature};
 pub use generalizer::{generalize, Finding, GeneralizerParams, Observation, Trend};
 pub use pipeline::{
-    run_pipeline, PipelineConfig, PipelineResult, SubspaceFinding, PIPELINE_SCHEMA_VERSION,
+    run_pipeline, PipelineConfig, PipelineResult, SubspaceFinding, Witness, PIPELINE_SCHEMA_VERSION,
 };
 pub use session::{
     AnalysisSession, CancelToken, FinishReason, SessionBudgets, SessionBuilder, SessionCheckpoint,

@@ -70,6 +70,22 @@ pub struct SubspaceFinding {
     pub subspace: Subspace,
     pub significance: Option<SignificanceReport>,
     pub explanation: Option<Explanation>,
+    /// The concrete adversarial instance that triggered significance —
+    /// the analyzer's seed point and its measured gap. Optional with a
+    /// serde default so results stored before this field existed remain
+    /// readable (they read back as `None`). This is what the regression
+    /// bank persists: the polytope describes *where* the heuristic
+    /// underperforms, the witness is a replayable *proof*.
+    #[serde(default)]
+    pub witness: Option<Witness>,
+}
+
+/// A replayable adversarial input: the point the analyzer surfaced and
+/// the gap it exhibited at discovery time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Witness {
+    pub input: Vec<f64>,
+    pub gap: f64,
 }
 
 /// Full pipeline output.

@@ -856,10 +856,17 @@ impl<'a> AnalysisSession<'a> {
         if let Some(e) = &explanation {
             self.state.oracle_evaluations += e.samples_used * 2;
         }
+        // The subspace's seed is the analyzer point that triggered this
+        // finding — capture it as a replayable witness before the move.
+        let witness = Some(crate::pipeline::Witness {
+            input: subspace.seed.clone(),
+            gap: subspace.seed_gap,
+        });
         let finding = SubspaceFinding {
             subspace,
             significance,
             explanation,
+            witness,
         };
         self.state.findings.push(finding.clone());
         let event = SessionEvent::ExplanationReady {

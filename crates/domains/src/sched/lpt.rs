@@ -23,6 +23,49 @@ pub fn lpt(inst: &SchedInstance) -> Schedule {
     list_schedule(inst, &order)
 }
 
+/// LPT with a MULTIFIT-style capacity cap: jobs are taken longest-first
+/// and placed on the first machine (lowest index) whose load stays within
+/// `cap_factor × lower_bound` — falling back to the least-loaded machine
+/// when no machine has room. `cap_factor = 0.0` caps nothing under the
+/// bound, so every job takes the fallback and the result is exactly
+/// [`lpt`] — the identity default the tuner starts from. `cap_factor`
+/// near 1 bin-packs jobs against the makespan lower bound, which pairs
+/// the long jobs of the Graham-tight family the way the optimum does.
+pub fn lpt_capped(inst: &SchedInstance, cap_factor: f64) -> Schedule {
+    let cap = cap_factor * inst.lower_bound();
+    let mut order: Vec<usize> = (0..inst.num_jobs()).collect();
+    order.sort_by(|&a, &b| {
+        inst.jobs[b]
+            .partial_cmp(&inst.jobs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut loads = vec![0.0f64; inst.machines];
+    let mut assignment = vec![0usize; inst.num_jobs()];
+    for &i in &order {
+        let p = inst.jobs[i];
+        // A non-positive factor disables the cap entirely (rather than
+        // letting zero-length jobs sneak under it), so the fallback —
+        // least-loaded, lowest index — handles every job: exactly `lpt`.
+        let capped = if cap_factor > 0.0 {
+            loads.iter().position(|&l| l + p <= cap + 1e-9)
+        } else {
+            None
+        };
+        let target = capped.unwrap_or_else(|| {
+            loads
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(j, _)| j)
+                .unwrap_or(0)
+        });
+        assignment[i] = target;
+        loads[target] += p;
+    }
+    Schedule::from_assignment(inst, assignment)
+}
+
 /// List scheduling in the given job order: each job goes to the machine
 /// with the smallest current load (lowest index on ties).
 pub fn list_schedule(inst: &SchedInstance, order: &[usize]) -> Schedule {
@@ -80,6 +123,42 @@ mod tests {
         assert_eq!(lpt(&empty).makespan, 0.0);
         let one = SchedInstance::new(3, vec![2.5]);
         assert!((lpt(&one).makespan - 2.5).abs() < 1e-9);
+    }
+
+    /// `cap_factor = 0` must be *exactly* LPT: the tuner's default
+    /// candidate may not change behavior.
+    #[test]
+    fn capped_zero_is_lpt() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for _ in 0..40 {
+            let m = rng.gen_range(1..4);
+            let n = rng.gen_range(0..10);
+            let jobs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..3.0)).collect();
+            let inst = SchedInstance::new(m, jobs);
+            let a = lpt(&inst);
+            let b = lpt_capped(&inst, 0.0);
+            assert_eq!(a.assignment, b.assignment);
+            assert!((a.makespan - b.makespan).abs() < 1e-12);
+        }
+    }
+
+    /// At `cap_factor = 1` the cap equals the makespan lower bound and
+    /// the Graham-tight family is scheduled optimally: the long jobs
+    /// pair up instead of splitting, closing LPT's `m − 1` gap.
+    #[test]
+    fn capped_repairs_graham_tight_family() {
+        for m in 2..=5 {
+            let inst = SchedInstance::lpt_tight(m);
+            let s = lpt_capped(&inst, 1.0);
+            assert!(s.check(&inst, 1e-9).is_none());
+            assert!(
+                (s.makespan - (3 * m) as f64).abs() < 1e-9,
+                "m = {m}: capped makespan {} != optimal {}",
+                s.makespan,
+                3 * m
+            );
+        }
     }
 
     #[test]

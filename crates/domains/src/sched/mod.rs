@@ -21,4 +21,4 @@ pub mod lpt;
 pub use dsl::{canonical_machine_slots, SchedDsl};
 pub use exact::{optimal, optimal_milp, optimal_milp_stats};
 pub use instance::{SchedInstance, Schedule};
-pub use lpt::{list_schedule, lpt};
+pub use lpt::{list_schedule, lpt, lpt_capped};

@@ -44,6 +44,21 @@ pub fn first_fit_decreasing(inst: &VbpInstance) -> Packing {
     place_in_order(inst, &order, BinChoice::First)
 }
 
+/// First-fit with deferred small balls: balls of total size at least
+/// `defer_below` are placed first (in input order), then the deferred
+/// small ones (also in input order). `defer_below = 0.0` defers nothing
+/// and is exactly [`first_fit`] — the identity default the tuner starts
+/// from. A positive threshold repairs §2's pathology: small fillers no
+/// longer claim early bins that over-half balls can then not join.
+pub fn first_fit_deferred(inst: &VbpInstance, defer_below: f64) -> Packing {
+    let size = |i: usize| -> f64 { inst.balls[i].iter().sum() };
+    let mut order: Vec<usize> = (0..inst.num_balls())
+        .filter(|&i| size(i) >= defer_below)
+        .collect();
+    order.extend((0..inst.num_balls()).filter(|&i| size(i) < defer_below));
+    place_in_order(inst, &order, BinChoice::First)
+}
+
 enum BinChoice {
     First,
     Best,
@@ -157,6 +172,33 @@ mod tests {
         let ff2 = first_fit(&inst2);
         assert_eq!(ff2.assignment[3], 0, "first bin also fits here");
         assert!(bf.check(&inst, 1e-9).is_none());
+    }
+
+    /// `defer_below = 0` must be *exactly* first-fit: the tuner's default
+    /// candidate may not change behavior.
+    #[test]
+    fn deferred_zero_is_first_fit() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..12);
+            let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..1.0)).collect();
+            let inst = VbpInstance::one_dim(&sizes);
+            let ff = first_fit(&inst);
+            let fd = first_fit_deferred(&inst, 0.0);
+            assert_eq!(ff.bins_used, fd.bins_used);
+            assert_eq!(ff.assignment, fd.assignment);
+        }
+    }
+
+    /// §2's adversarial sizes (1%, 49%, 51%, 51%): deferring the small
+    /// filler recovers the optimal 2 bins where FF burns 3.
+    #[test]
+    fn deferred_repairs_sec2() {
+        let inst = VbpInstance::sec2_example();
+        let p = first_fit_deferred(&inst, 0.1);
+        assert_eq!(p.bins_used, 2);
+        assert!(p.check(&inst, 1e-9).is_none());
     }
 
     #[test]

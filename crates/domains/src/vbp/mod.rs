@@ -7,5 +7,5 @@ pub mod instance;
 
 pub use dsl::VbpDsl;
 pub use exact::{optimal, optimal_milp, optimal_milp_stats};
-pub use heuristics::{best_fit, first_fit, first_fit_decreasing};
+pub use heuristics::{best_fit, first_fit, first_fit_decreasing, first_fit_deferred};
 pub use instance::{Packing, VbpInstance};

@@ -13,6 +13,9 @@
 //! runner mesh --shards N [--base-port P] [--addr HOST:PORT]
 //!             [--store DIR] [--workers N] [--pace-ms N] [--capacity N]
 //! runner mesh --peers HOST:PORT,... [--addr HOST:PORT]
+//! runner tune --domain ID --store DIR [--generations N] [--population N]
+//!             [--seed N] [--workers N] [--quick] [--watch] [--json]
+//! runner bank replay --store DIR [--json]
 //! runner gc --store DIR [--json]
 //!
 //!   --manifest PATH   JSONL manifest: one {"domain", "config", "seed"}
@@ -78,14 +81,33 @@
 //! shards too. With `--peers` it only runs the gateway over shards that
 //! are already running (started however the operator likes).
 //!
+//! `runner tune` closes the repair loop (DESIGN.md §11): it scores the
+//! named domain's shipped heuristic against every banked adversarial
+//! instance (plus fresh probes), then searches the domain's parameter
+//! space for a candidate whose *worst-case* gap over that corpus is
+//! strictly lower. `--quick` uses the CI-sized preset, `--watch`
+//! streams one `{"generation":…}` NDJSON line per generation and a
+//! terminal `{"report":…}` line (byte-identical to `POST /v1/tune`),
+//! `--json` prints the bare report object. The tuner is deterministic:
+//! `--workers N` changes wall-clock only, never a byte of output.
+//!
+//! `runner bank replay` is the regression gate: it recomputes every
+//! banked instance's gap with the current oracle and fails (exit 1) if
+//! any instance stopped exhibiting at least its recorded gap — either
+//! the heuristic changed behavior or the oracle regressed. Entries no
+//! current code can interpret (unknown schema version, unregistered
+//! domain) are *skipped*, not failed; dropping them is `runner gc`'s
+//! job.
+//!
 //! `runner gc --store DIR` deletes orphaned checkpoints (a `{key}.ckpt`
 //! whose `{key}.json` result exists — what a killed `--resume` run
 //! followed by a plain rerun strands) and stale temp files (a crash
 //! between temp-write and rename strands a hidden `.*.tmp`), then
 //! compacts every journal under the store (terminal history dropped,
-//! live jobs kept). `--json` prints one machine-readable object
-//! instead of the summary line. Run it offline — no server may own the
-//! store meanwhile.
+//! live jobs kept) and sweeps the regression bank (entries with an
+//! unknown schema version or an unregistered domain are removed).
+//! `--json` prints one machine-readable object instead of the summary
+//! line. Run it offline — no server may own the store meanwhile.
 //!
 //! Budget-stopped jobs report their partial result and finish reason in
 //! the outcome; with `--store --resume` the next invocation continues
@@ -105,6 +127,7 @@ use xplain_runtime::{
     JobOutcome, JobSpec, ResultStore, RunOptions, SessionBudgets, SessionEvent, WatchLine,
 };
 use xplain_serve::{MeshStatus, Server, ServerConfig};
+use xplain_tune::{generation_line, replay_bank, report_line, tune_with, TuneOptions};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -200,6 +223,9 @@ usage:
   runner mesh --shards N [--base-port P] [--addr HOST:PORT]
               [--store DIR] [--workers N] [--pace-ms N] [--capacity N]
   runner mesh --peers HOST:PORT,... [--addr HOST:PORT]
+  runner tune --domain ID --store DIR [--generations N] [--population N]
+              [--seed N] [--workers N] [--quick] [--watch] [--json]
+  runner bank replay --store DIR [--json]
   runner gc --store DIR [--json]
 ";
 
@@ -223,6 +249,8 @@ fn main() {
     match argv.first().map(String::as_str) {
         Some("serve") => std::process::exit(serve_main(&argv[1..])),
         Some("mesh") => std::process::exit(mesh_main(&argv[1..])),
+        Some("tune") => std::process::exit(tune_main(&argv[1..])),
+        Some("bank") => std::process::exit(bank_main(&argv[1..])),
         Some("gc") => std::process::exit(gc_main(&argv[1..])),
         _ => {}
     }
@@ -615,6 +643,223 @@ fn shutdown_children(children: &mut Vec<(std::process::Child, std::net::SocketAd
     children.clear();
 }
 
+/// `runner tune` — search the domain's parameter space for a repair
+/// whose worst-case gap over the regression bank (plus fresh probes)
+/// strictly beats the shipped heuristic's.
+fn tune_main(argv: &[String]) -> i32 {
+    let mut domain_id: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let mut opts = TuneOptions::default();
+    let mut quick = false;
+    let mut watch = false;
+    let mut json = false;
+    let mut generations: Option<usize> = None;
+    let mut population: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut workers: Option<usize> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let take = |it: &mut std::slice::Iter<'_, String>, what: &str| {
+            it.next().cloned().ok_or(format!("{what} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--domain" => take(&mut it, "--domain").map(|v| domain_id = Some(v)),
+            "--store" => take(&mut it, "--store").map(|v| store_dir = Some(v)),
+            "--generations" => take(&mut it, "--generations").and_then(|v| {
+                v.parse()
+                    .map(|n| generations = Some(n))
+                    .map_err(|e| format!("--generations: {e}"))
+            }),
+            "--population" => take(&mut it, "--population").and_then(|v| {
+                v.parse()
+                    .map(|n| population = Some(n))
+                    .map_err(|e| format!("--population: {e}"))
+            }),
+            "--seed" => take(&mut it, "--seed").and_then(|v| {
+                v.parse()
+                    .map(|n| seed = Some(n))
+                    .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--workers" => take(&mut it, "--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| workers = Some(n))
+                    .map_err(|e| format!("--workers: {e}"))
+            }),
+            "--quick" => {
+                quick = true;
+                Ok(())
+            }
+            "--watch" => {
+                watch = true;
+                Ok(())
+            }
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                return 0;
+            }
+            other => Err(format!("unknown tune argument '{other}'")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("runner tune: {e}\n{USAGE}");
+            return 2;
+        }
+    }
+    let (Some(domain_id), Some(dir)) = (domain_id, store_dir) else {
+        eprintln!("runner tune: --domain ID and --store DIR required\n{USAGE}");
+        return 2;
+    };
+    let registry = DomainRegistry::builtin();
+    let Some(domain) = registry.get(&domain_id) else {
+        eprintln!("runner tune: unknown domain '{domain_id}' (try --list-domains)\n{USAGE}");
+        return 2;
+    };
+    if quick {
+        opts = TuneOptions::quick();
+    }
+    if let Some(n) = generations {
+        opts.generations = n.max(1);
+    }
+    if let Some(n) = population {
+        opts.population = n.max(2);
+    }
+    if let Some(s) = seed {
+        opts.seed = s;
+    }
+    if let Some(w) = workers {
+        opts.workers = w.max(1);
+    }
+
+    let records = ResultStore::new(&dir).bank().entries();
+    let on_generation = |stat: &xplain_tune::GenerationStat| {
+        if watch {
+            println!("{}", generation_line(stat));
+        }
+    };
+    let report = match tune_with(domain, &records, &opts, on_generation) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("runner tune: {e}");
+            return 1;
+        }
+    };
+
+    if watch {
+        println!("{}", report_line(&report));
+    } else if json {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("report serializes")
+        );
+    } else {
+        let pairs: Vec<String> = report
+            .param_names
+            .iter()
+            .zip(&report.best.params)
+            .map(|(name, v)| format!("{name}={v}"))
+            .collect();
+        println!(
+            "tune: domain '{}' — {} bank instance(s), {} probe(s), {} skipped",
+            report.domain, report.bank_instances, report.probe_points, report.skipped_instances
+        );
+        println!(
+            "tune: worst-case gap {:.6} (shipped) → {:.6} (best candidate): {}",
+            report.default_fitness,
+            report.best.fitness,
+            if report.improved {
+                "improved"
+            } else {
+                "no strict improvement"
+            }
+        );
+        println!("tune: best params: {}", pairs.join(", "));
+        if report.still_defeated.is_empty() {
+            println!("tune: no banked instance defeats the best candidate");
+        } else {
+            println!(
+                "tune: {} banked instance(s) still defeat it: {}",
+                report.still_defeated.len(),
+                report.still_defeated.join(", ")
+            );
+        }
+    }
+    0
+}
+
+/// `runner bank replay` — the regression gate: recompute every banked
+/// instance's gap with the current oracle; exit 1 on any regression.
+fn bank_main(argv: &[String]) -> i32 {
+    let Some(("replay", rest)) = argv
+        .split_first()
+        .map(|(first, rest)| (first.as_str(), rest))
+    else {
+        eprintln!("runner bank: expected a 'replay' subcommand\n{USAGE}");
+        return 2;
+    };
+    let mut store_dir: Option<String> = None;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => store_dir = it.next().cloned(),
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                return 0;
+            }
+            other => {
+                eprintln!("runner bank replay: unknown argument '{other}'\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(dir) = store_dir else {
+        eprintln!("runner bank replay: --store DIR required\n{USAGE}");
+        return 2;
+    };
+    let registry = DomainRegistry::builtin();
+    let bank = ResultStore::new(&dir).bank();
+    let report = replay_bank(&registry, &bank);
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("replay report serializes")
+        );
+    } else {
+        for entry in &report.entries {
+            if entry.status == "fail" {
+                eprintln!(
+                    "bank replay FAIL: {} ({}): recorded gap {:.6}, recomputed {}",
+                    entry.id,
+                    entry.domain,
+                    entry.recorded_gap,
+                    entry
+                        .recomputed_gap
+                        .map(|g| format!("{g:.6}"))
+                        .unwrap_or_else(|| "non-finite".into()),
+                );
+            }
+        }
+        println!(
+            "bank replay: {}/{} passed, {} failed, {} skipped (store: {dir}) — {}",
+            report.passed,
+            report.total,
+            report.failed,
+            report.skipped,
+            if report.pass { "PASS" } else { "FAIL" },
+        );
+    }
+    if report.pass {
+        0
+    } else {
+        1
+    }
+}
+
 /// The `runner gc --json` output — one object so scripts (and the CI
 /// smoke) parse one line instead of scraping the human text.
 #[derive(serde::Serialize)]
@@ -624,6 +869,8 @@ struct GcOutput {
     bytes_reclaimed: u64,
     journals_compacted: usize,
     journal_bytes_reclaimed: u64,
+    bank_entries_removed: usize,
+    bank_bytes_reclaimed: u64,
 }
 
 /// Journal directories living under a store: the standalone server's
@@ -697,6 +944,11 @@ fn gc_main(argv: &[String]) -> i32 {
         }
     }
 
+    // Bank hygiene rides the same offline pass: entries no current
+    // deployment can interpret (unknown schema version, unregistered
+    // domain) would sit as permanent replay `skipped` noise otherwise.
+    let swept = store.bank().sweep(&DomainRegistry::builtin().ids());
+
     if json {
         let out = GcOutput {
             checkpoints_removed: report.checkpoints_removed,
@@ -704,17 +956,22 @@ fn gc_main(argv: &[String]) -> i32 {
             bytes_reclaimed: report.bytes_reclaimed,
             journals_compacted,
             journal_bytes_reclaimed,
+            bank_entries_removed: swept.entries_removed,
+            bank_bytes_reclaimed: swept.bytes_reclaimed,
         };
         println!("{}", serde_json::to_string(&out).expect("gc serializes"));
     } else {
         println!(
             "gc: removed {} orphaned checkpoint(s) and {} stale temp file(s), reclaimed {} bytes; \
-             compacted {} journal(s), reclaimed {} journal bytes (store: {dir})",
+             compacted {} journal(s), reclaimed {} journal bytes; \
+             swept {} uninterpretable bank entr(ies), reclaimed {} bank bytes (store: {dir})",
             report.checkpoints_removed,
             report.temp_files_removed,
             report.bytes_reclaimed,
             journals_compacted,
             journal_bytes_reclaimed,
+            swept.entries_removed,
+            swept.bytes_reclaimed,
         );
     }
     0

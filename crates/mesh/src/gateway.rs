@@ -246,6 +246,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &GatewayCtx<'_>) {
     };
     match route(&request.method, &request.path) {
         Ok(Route::JobEvents(id)) => proxy_events(&mut stream, ctx, &id),
+        Ok(Route::Tune) => proxy_tune(&mut stream, ctx, &request),
         Ok(r) => {
             let response = dispatch(ctx, r, &request);
             let _ = response.write_to(&mut stream);
@@ -281,6 +282,16 @@ fn dispatch(ctx: &GatewayCtx<'_>, route: Route, request: &Request) -> Response {
         Route::JobStatus(id) => forward_by_id(ctx, &id, "GET", &format!("/v1/jobs/{id}")),
         Route::CancelJob(id) => forward_by_id(ctx, &id, "POST", &format!("/v1/jobs/{id}/cancel")),
         Route::Domains => forward_any(ctx, "/v1/domains"),
+        // The bank lives in the shared store, so any healthy shard
+        // answers identically; the query string rides along verbatim.
+        Route::Regressions => {
+            let target = if request.query.is_empty() {
+                "/v1/regressions".to_string()
+            } else {
+                format!("/v1/regressions?{}", request.query)
+            };
+            forward_any(ctx, &target)
+        }
         Route::Metrics => {
             let body = GatewayMetrics {
                 uptime_ms: ctx.started.elapsed().as_millis() as u64,
@@ -305,6 +316,7 @@ fn dispatch(ctx: &GatewayCtx<'_>, route: Route, request: &Request) -> Response {
         }
         // Streamed separately in `handle_connection`.
         Route::JobEvents(_) => Response::error(500, "events route must stream"),
+        Route::Tune => Response::error(500, "tune route must stream"),
     }
 }
 
@@ -396,6 +408,76 @@ fn forward_any(ctx: &GatewayCtx<'_>, path: &str) -> Response {
 
 fn upstream_client(ctx: &GatewayCtx<'_>, peer: &PeerState) -> Client {
     Client::new(peer.peer.addr).with_timeout(ctx.config.upstream_timeout)
+}
+
+/// `POST /v1/tune`: open the upstream tuning stream on any healthy
+/// shard (the bank lives in the shared store, so each shard sees the
+/// same corpus and — tuning being deterministic — produces the same
+/// NDJSON bytes), then relay generation lines chunk-for-chunk.
+/// Buffered upstream errors are relayed with their status; 429/5xx
+/// fail over to the next shard, and `Retry-After` is preserved so
+/// backpressure propagates.
+fn proxy_tune(stream: &mut TcpStream, ctx: &GatewayCtx<'_>, request: &Request) {
+    let body = match request.body_str() {
+        Ok(b) => b,
+        Err(e) => {
+            let _ = Response::error(400, &e.to_string()).write_to(stream);
+            return;
+        }
+    };
+    let view = ctx.membership.view();
+    let mut last: Option<Response> = None;
+    for peer in view.healthy() {
+        let client = Client::new(peer.peer.addr).with_timeout(ctx.config.stream_timeout);
+        match client.stream_post("/v1/tune", body) {
+            Ok((200, _headers, mut lines)) => {
+                if start_chunked(stream, 200, "application/x-ndjson").is_err() {
+                    return;
+                }
+                loop {
+                    match lines.next_line() {
+                        Ok(Some(line)) => {
+                            let mut payload = Vec::with_capacity(line.len() + 1);
+                            payload.extend_from_slice(line.as_bytes());
+                            payload.push(b'\n');
+                            if write_chunk(stream, &payload).is_err() {
+                                return; // client went away
+                            }
+                        }
+                        Ok(None) => {
+                            let _ = finish_chunked(stream);
+                            return;
+                        }
+                        // Upstream truncated mid-tune: propagate by
+                        // closing without a terminator.
+                        Err(_) => return,
+                    }
+                }
+            }
+            Ok((status, headers, mut rest)) => {
+                let upstream_body = rest
+                    .collect_lines()
+                    .map(|ls| ls.join("\n"))
+                    .unwrap_or_default();
+                let mut response = Response::json(status, upstream_body);
+                if let Some(retry) = headers
+                    .iter()
+                    .find(|(k, _)| k == "retry-after")
+                    .map(|(_, v)| v.as_str())
+                {
+                    response = response.with_header("Retry-After", retry);
+                }
+                if status == 429 || status >= 500 {
+                    last = Some(response); // fail over
+                } else {
+                    let _ = response.write_to(stream);
+                    return;
+                }
+            }
+            Err(_) => {} // unreachable mid-epoch; skip
+        }
+    }
+    let _ = last.unwrap_or_else(no_healthy).write_to(stream);
 }
 
 /// `GET /v1/jobs/{id}/events`: open the upstream stream on the owning

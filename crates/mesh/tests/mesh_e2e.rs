@@ -754,3 +754,74 @@ fn idle_shard_steals_queued_work_from_a_busy_peer() {
     b_join.join().unwrap();
     let _ = std::fs::remove_dir_all(&store_dir);
 }
+
+/// Property 5: the repair-loop surface proxies transparently. The
+/// regression listing (including its query string) is byte-identical
+/// through the gateway and against the shard directly, and a tuning
+/// stream relayed by the gateway matches the shard's NDJSON line for
+/// line (same store ⇒ same corpus ⇒ deterministic tuner).
+#[test]
+fn regressions_and_tune_are_identical_through_gateway_and_shard() {
+    let _guard = test_lock();
+    let store_dir = scratch_dir("tune-proxy");
+
+    let (shard, shard_join) = start_inproc_shard(Some(store_dir.clone()), "t0", 0, None);
+    let (gw, gw_join) = start_gateway(peers_of(&[shard.addr()]));
+    let direct = client_at(shard.addr());
+    let proxied = client_at(gw.addr());
+
+    // Seed the bank: one finished dp session, submitted via the gateway.
+    let resp = proxied
+        .post("/v1/jobs", &spec_json(&spec("dp", 0x5EED)))
+        .unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let submit: SubmitResp = serde_json::from_str(&resp.body).unwrap();
+    wait_done(&proxied, &submit.id);
+
+    // Listing: byte-identical with and without a query string.
+    for path in ["/v1/regressions", "/v1/regressions?offset=0&limit=2"] {
+        let a = direct.get(path).unwrap();
+        let b = proxied.get(path).unwrap();
+        assert_eq!(a.status, 200, "{path}: {}", a.body);
+        assert_eq!(b.status, 200, "{path}: {}", b.body);
+        assert_eq!(a.body, b.body, "{path} differs through the gateway");
+    }
+    let listing: serde::Value =
+        serde_json::from_str(&direct.get("/v1/regressions").unwrap().body).unwrap();
+    let total = serde::map_get(listing.as_map().unwrap(), "total")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(total >= 1.0, "dp session seeded no regressions");
+
+    // Tuning: the relayed stream is the shard's stream, line for line.
+    let body = r#"{"domain":"dp","quick":true,"seed":11}"#;
+    let (status, _, mut stream) = direct.stream_post("/v1/tune", body).unwrap();
+    assert_eq!(status, 200);
+    let direct_lines = stream.collect_lines().unwrap();
+    let (status, headers, mut stream) = proxied.stream_post("/v1/tune", body).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        headers
+            .iter()
+            .any(|(k, v)| k.eq_ignore_ascii_case("content-type") && v == "application/x-ndjson"),
+        "gateway must relay the NDJSON content type: {headers:?}"
+    );
+    let proxied_lines = stream.collect_lines().unwrap();
+    assert_eq!(
+        direct_lines, proxied_lines,
+        "tune stream differs through the gateway"
+    );
+    assert!(
+        proxied_lines
+            .last()
+            .is_some_and(|l| l.starts_with("{\"report\":")),
+        "stream must close with the report line: {proxied_lines:?}"
+    );
+
+    gw.shutdown();
+    gw_join.join().unwrap();
+    shard.shutdown();
+    shard_join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

@@ -5,7 +5,7 @@
 //! [`generate_dp_instances`] realize §5.4's instance generator for the
 //! Type-3 trends (chains of growing pinned-path length).
 
-use crate::domain::Domain;
+use crate::domain::{Domain, ParamDescriptor, ParamSpace};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use xplain_analyzer::oracle::{DpOracle, GapOracle};
@@ -230,6 +230,23 @@ impl Domain for DpDomain {
             .into_iter()
             .map(|i| i.observation)
             .collect()
+    }
+
+    fn param_space(&self) -> Option<ParamSpace> {
+        Some(ParamSpace {
+            domain: "dp".to_string(),
+            params: vec![ParamDescriptor {
+                name: "pin_threshold".to_string(),
+                lo: 0.0,
+                hi: self.problem.demand_cap,
+                default: self.threshold,
+            }],
+        })
+    }
+
+    fn tuned_oracle(&self, params: &[f64]) -> Option<Box<dyn GapOracle>> {
+        let &[threshold] = params else { return None };
+        Some(Box::new(DpOracle::new(self.problem.clone(), threshold)))
     }
 }
 

@@ -7,14 +7,14 @@
 //! generate the Graham-tight family whose gap grows as `m − 1` — the
 //! Type-3 trend `increasing(num_machines)`.
 
-use crate::domain::Domain;
+use crate::domain::{Domain, ParamDescriptor, ParamSpace};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use xplain_analyzer::oracle::{GapOracle, SchedOracle};
 use xplain_analyzer::search::sched_seeds;
 use xplain_core::explainer::DslMapper;
 use xplain_core::generalizer::Observation;
-use xplain_domains::sched::{lpt, optimal, SchedDsl, SchedInstance};
+use xplain_domains::sched::{lpt, lpt_capped, optimal, SchedDsl, SchedInstance};
 use xplain_flownet::FlowNet;
 
 /// DSL mapper for LPT makespan scheduling.
@@ -119,6 +119,41 @@ pub fn generate_sched_instances(
     out
 }
 
+/// [`SchedOracle`] with the LPT tie-break parameterized: the heuristic
+/// side runs [`lpt_capped`] at the given MULTIFIT-style `cap_factor`
+/// (0.0 ≡ plain LPT), the benchmark side stays the exact optimum.
+pub struct SchedTunedOracle {
+    pub base: SchedOracle,
+    pub cap_factor: f64,
+}
+
+impl GapOracle for SchedTunedOracle {
+    fn dims(&self) -> usize {
+        self.base.dims()
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        self.base.bounds()
+    }
+
+    fn gap(&self, x: &[f64]) -> f64 {
+        if x.len() != self.base.n_jobs
+            || x.iter()
+                .any(|&p| !p.is_finite() || p < 0.0 || p > self.base.p_max + 1e-12)
+        {
+            return f64::NEG_INFINITY;
+        }
+        let inst = SchedInstance::new(self.base.n_machines, x.to_vec());
+        let h = lpt_capped(&inst, self.cap_factor).makespan;
+        let b = optimal(&inst).makespan;
+        h - b
+    }
+
+    fn dim_names(&self) -> Vec<String> {
+        self.base.dim_names()
+    }
+}
+
 /// The makespan-scheduling domain: a registry entry around one
 /// `n_jobs × n_machines` setting.
 pub struct SchedDomain {
@@ -179,6 +214,26 @@ impl Domain for SchedDomain {
             .into_iter()
             .map(|i| i.observation)
             .collect()
+    }
+
+    fn param_space(&self) -> Option<ParamSpace> {
+        Some(ParamSpace {
+            domain: "sched".to_string(),
+            params: vec![ParamDescriptor {
+                name: "cap_factor".to_string(),
+                lo: 0.0,
+                hi: 2.0,
+                default: 0.0,
+            }],
+        })
+    }
+
+    fn tuned_oracle(&self, params: &[f64]) -> Option<Box<dyn GapOracle>> {
+        let &[cap_factor] = params else { return None };
+        Some(Box::new(SchedTunedOracle {
+            base: SchedOracle::new(self.n_jobs, self.n_machines),
+            cap_factor,
+        }))
     }
 }
 

@@ -24,6 +24,42 @@ use xplain_core::session::{
     AnalysisSession, CancelToken, SessionBudgets, SessionBuilder, SessionCheckpoint, SessionError,
 };
 
+/// One tunable heuristic parameter: a name, its admissible `[lo, hi]`
+/// interval, and the value the shipped heuristic uses today.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamDescriptor {
+    pub name: String,
+    pub lo: f64,
+    pub hi: f64,
+    /// The current (untuned) value — candidate zero of every tuning run,
+    /// and the baseline a repaired heuristic must strictly beat.
+    pub default: f64,
+}
+
+/// The tunable-parameter space a domain's heuristic exposes to the
+/// repair loop (`xplain-tune`): an ordered list of [`ParamDescriptor`]s.
+/// Candidates are plain `Vec<f64>` in this order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamSpace {
+    /// The owning domain id (matches [`Domain::id`]).
+    pub domain: String,
+    pub params: Vec<ParamDescriptor>,
+}
+
+impl ParamSpace {
+    /// The default candidate: every parameter at its shipped value.
+    pub fn defaults(&self) -> Vec<f64> {
+        self.params.iter().map(|p| p.default).collect()
+    }
+
+    /// Clamp a candidate into the admissible box, dimension by dimension.
+    pub fn clamp(&self, params: &mut [f64]) {
+        for (v, d) in params.iter_mut().zip(&self.params) {
+            *v = v.clamp(d.lo, d.hi);
+        }
+    }
+}
+
 /// A problem domain the runtime can analyze end to end.
 ///
 /// Object-safe on purpose: registries hold `Box<dyn Domain>`, and the
@@ -57,6 +93,22 @@ pub trait Domain: Send + Sync {
     fn feature_schema(&self) -> FeatureMap {
         let oracle = self.oracle();
         FeatureMap::identity_with_sum(oracle.dims(), &oracle.dim_names())
+    }
+
+    /// The heuristic's tunable-parameter space, if it exposes one to the
+    /// repair loop (`None` means the domain is not tunable — `runner
+    /// tune` and `POST /v1/tune` reject it).
+    fn param_space(&self) -> Option<ParamSpace> {
+        None
+    }
+
+    /// A gap oracle whose *heuristic side* runs with the given parameter
+    /// vector (ordered per [`Domain::param_space`]); the benchmark side
+    /// is unchanged. Evaluating the default vector must reproduce
+    /// [`Domain::oracle`] exactly — the tuner pins that contract.
+    fn tuned_oracle(&self, params: &[f64]) -> Option<Box<dyn GapOracle>> {
+        let _ = params;
+        None
     }
 
     /// Search configuration for the analyzer stage (defaults to the

@@ -428,6 +428,22 @@ pub(crate) fn run_job(
             // Failing to persist is not failing the job (e.g. read-only
             // dir); the next run simply recomputes.
             let _ = store.insert_with_origin(&job.domain, &config, &result, opts.origin);
+            // Write-through to the regression bank: every significant
+            // finding's witness permanently hardens the corpus. Same
+            // best-effort discipline as the store insert, and idempotent
+            // by content key — re-running a job re-inserts nothing.
+            let bank = store.bank();
+            let job_key = format!("{:016x}", ResultStore::key(&job.domain, &config));
+            for finding in &result.findings {
+                if let Some(record) = crate::bank::BankRecord::from_finding(
+                    &job.domain,
+                    finding,
+                    &job_key,
+                    config.seed,
+                ) {
+                    let _ = bank.insert(&record);
+                }
+            }
             if opts.resume {
                 store.clear_checkpoint(&job.domain, &config);
             }

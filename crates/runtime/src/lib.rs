@@ -25,6 +25,10 @@
 //! * [`journal`] — the write-ahead job journal: accepted jobs are
 //!   durable before they are visible, so a crashed server re-enqueues
 //!   every accepted-but-unfinished job on restart.
+//! * [`bank`] — the adversarial regression bank: every naturally
+//!   finished session writes its findings' witnesses through to a
+//!   content-addressed corpus under the store, which `runner bank
+//!   replay` gates on and `xplain-tune` repairs against.
 //! * [`watch`] — the NDJSON event wire format shared by `runner --watch`
 //!   and the HTTP streaming endpoint.
 //!
@@ -33,6 +37,7 @@
 //! line; see the README's batch-runner quickstart.
 
 pub mod adapters;
+pub mod bank;
 pub mod domain;
 pub mod executor;
 pub mod journal;
@@ -41,8 +46,10 @@ pub mod store;
 pub mod watch;
 
 pub use adapters::{DpDomain, DpDslMapper, FfDomain, FfDslMapper, SchedDomain, SchedDslMapper};
+pub use bank::{BankInfo, BankRecord, BankSweep, RegressionBank, BANK_SCHEMA_VERSION};
 pub use domain::{
     build_session, run_domain, run_domain_full, Domain, DomainAnalysis, DomainRegistry,
+    ParamDescriptor, ParamSpace,
 };
 pub use executor::{
     derive_seed, fan_out, manifest_to_jsonl, parse_manifest, run_manifest, run_manifest_opts,

@@ -69,6 +69,21 @@ pub struct GcReport {
     pub temp_files_removed: usize,
     /// Total size on disk of everything removed.
     pub bytes_reclaimed: u64,
+    /// Regression-bank entries dropped (unknown schema version or
+    /// unregistered domain). Zero unless the caller also ran
+    /// [`crate::bank::RegressionBank::sweep`] — the store itself cannot
+    /// know which domains are registered.
+    pub bank_entries_removed: usize,
+    /// Bytes those bank entries occupied.
+    pub bank_bytes_reclaimed: u64,
+}
+
+impl GcReport {
+    /// Merge a bank sweep's counts into this report.
+    pub fn absorb_bank(&mut self, swept: crate::bank::BankSweep) {
+        self.bank_entries_removed += swept.entries_removed;
+        self.bank_bytes_reclaimed += swept.bytes_reclaimed;
+    }
 }
 
 /// Temp files younger than this survive [`ResultStore::gc`] — they may
@@ -89,6 +104,12 @@ impl ResultStore {
 
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The regression bank living under this store
+    /// (`<dir>/bank/` — see [`crate::bank`]).
+    pub fn bank(&self) -> crate::bank::RegressionBank {
+        crate::bank::RegressionBank::new(&self.dir)
     }
 
     /// The content-addressed key of a job.
@@ -353,7 +374,7 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     fnv1a64_continue(0xcbf29ce484222325, bytes)
 }
 
-fn fnv1a64_continue(mut hash: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64_continue(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= b as u64;
         hash = hash.wrapping_mul(0x100000001b3);

@@ -86,10 +86,15 @@ fn legacy_run_pipeline(
             if let Some(e) = &explanation {
                 oracle_evaluations += e.samples_used * 2;
             }
+            let witness = Some(xplain_core::pipeline::Witness {
+                input: subspace.seed.clone(),
+                gap: subspace.seed_gap,
+            });
             findings.push(SubspaceFinding {
                 subspace,
                 significance,
                 explanation,
+                witness,
             });
         } else {
             rejected += 1;

@@ -99,21 +99,40 @@ impl Client {
     /// Open a streaming GET (the events endpoint); returns the response
     /// head and a line-by-line reader over the chunked NDJSON body.
     pub fn stream(&self, path: &str) -> std::io::Result<(u16, EventStream)> {
+        let (status, _headers, events) = self.stream_request("GET", path, None)?;
+        Ok((status, events))
+    }
+
+    /// Open a streaming POST (the tune endpoint); like [`Client::stream`]
+    /// but carrying a request body, and returning the response headers so
+    /// a proxy can relay `Retry-After` on buffered error responses.
+    pub fn stream_post(
+        &self,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, Vec<(String, String)>, EventStream)> {
+        self.stream_request("POST", path, Some(body))
+    }
+
+    fn stream_request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, Vec<(String, String)>, EventStream)> {
         let mut stream = self.connect()?;
-        write_request(&mut stream, "GET", path, None)?;
+        write_request(&mut stream, method, path, body)?;
         let mut reader = BufReader::new(stream);
         let (status, headers) = read_head(&mut reader)?;
         let chunked = header_value(&headers, "transfer-encoding")
             .is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
-        Ok((
-            status,
-            EventStream {
-                reader,
-                chunked,
-                buffer: Vec::new(),
-                done: false,
-            },
-        ))
+        let events = EventStream {
+            reader,
+            chunked,
+            buffer: Vec::new(),
+            done: false,
+        };
+        Ok((status, headers, events))
     }
 
     fn connect(&self) -> std::io::Result<TcpStream> {
@@ -274,7 +293,15 @@ impl EventStream {
                 return Ok(Some(line));
             }
             if self.done {
-                return Ok(None);
+                // Flush a trailing line that ended at EOF without a
+                // newline (fixed-length error bodies relayed through a
+                // streaming call).
+                if self.buffer.is_empty() {
+                    return Ok(None);
+                }
+                let line = String::from_utf8(std::mem::take(&mut self.buffer))
+                    .map_err(|_| bad_data("stream line is not UTF-8"))?;
+                return Ok(Some(line));
             }
             if self.chunked {
                 match read_chunk(&mut self.reader)? {

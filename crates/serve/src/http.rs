@@ -22,9 +22,11 @@ pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 #[derive(Debug, Clone)]
 pub struct Request {
     pub method: String,
-    /// Path only (no query strings in this API; anything after `?` is
-    /// dropped).
+    /// Path only — routing never sees query strings.
     pub path: String,
+    /// Raw query string (everything after the first `?`, no leading
+    /// `?`); empty when the target had none.
+    pub query: String,
     /// Header names lowercased.
     pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
@@ -37,6 +39,15 @@ impl Request {
             .iter()
             .find(|(k, _)| *k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of one `key=value` query parameter (first occurrence;
+    /// no percent-decoding — this API's parameters are plain integers).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
     }
 
     pub fn body_str(&self) -> Result<&str, HttpError> {
@@ -123,7 +134,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             "unsupported protocol '{version}'"
         )));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -155,6 +169,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     Ok(Request {
         method,
         path,
+        query,
         headers,
         body,
     })
@@ -313,9 +328,21 @@ mod tests {
     }
 
     #[test]
-    fn strips_query_strings() {
+    fn splits_query_strings_off_the_path() {
         let req = parse_raw(b"GET /v1/metrics?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(req.path, "/v1/metrics");
+        assert_eq!(req.query, "verbose=1");
+        assert_eq!(req.query_param("verbose"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
+
+        let req = parse_raw(b"GET /v1/regressions?offset=10&limit=5 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/v1/regressions");
+        assert_eq!(req.query_param("offset"), Some("10"));
+        assert_eq!(req.query_param("limit"), Some("5"));
+
+        let req = parse_raw(b"GET /v1/health HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query, "");
+        assert_eq!(req.query_param("anything"), None);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use serde::Serialize;
 use xplain_lp::SolverCounters;
-use xplain_runtime::{JobJournal, JobQueue, JournalStats, ResultStore};
+use xplain_runtime::{BankInfo, JobJournal, JobQueue, JournalStats, ResultStore};
 use xplain_stats::Histogram;
 
 use crate::router::ROUTE_TAGS;
@@ -163,6 +163,7 @@ impl ServerMetrics {
                 recovered: counters.recovered,
             },
             store_entries: store.map(|s| s.len()),
+            bank: store.map(|s| s.bank().info()),
             journal: journal.map(|j| j.stats()),
             mesh: mesh.map(|m| m.report(counters.donated)),
             solver: SolverCounters::snapshot().since(&self.solver_at_start),
@@ -199,6 +200,9 @@ pub struct MetricsReport {
     pub queue: QueueReport,
     /// Committed results on disk (`null` when the server runs storeless).
     pub store_entries: Option<usize>,
+    /// Regression-bank gauges — entry count, bytes on disk, and the last
+    /// replay-gate verdict (`null` when the server runs storeless).
+    pub bank: Option<BankInfo>,
     /// Write-ahead journal gauges (`null` when the server runs without
     /// durability — no store, or `--no-journal`).
     pub journal: Option<JournalStats>,
@@ -289,9 +293,28 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"cache_hit_rate\""), "{json}");
         assert!(json.contains("GET /v1/metrics"), "{json}");
-        // Standalone servers report no mesh block.
+        // Standalone servers report no mesh block; storeless servers no
+        // bank block.
         assert!(report.mesh.is_none());
         assert!(json.contains("\"mesh\":null"), "{json}");
+        assert!(report.bank.is_none());
+        assert!(json.contains("\"bank\":null"), "{json}");
+    }
+
+    #[test]
+    fn bank_gauges_ride_the_metrics_surface() {
+        let registry = DomainRegistry::builtin();
+        let dir = std::env::temp_dir().join(format!("xplain-metrics-bank-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = xplain_runtime::ResultStore::new(&dir);
+        let queue = JobQueue::new(&registry, Some(&store), QueueOptions::default(), None);
+        let metrics = ServerMetrics::new();
+        let report = metrics.report(&queue, Some(&store));
+        let bank = report.bank.as_ref().expect("bank block present");
+        assert_eq!(bank.entries, 0);
+        assert_eq!(bank.last_replay_pass, None);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"bank\":{\"entries\":0"), "{json}");
     }
 
     #[test]

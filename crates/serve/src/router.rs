@@ -27,6 +27,12 @@ pub enum Route {
     Steal,
     /// `GET /v1/metrics` — queue/cache/solver/latency metrics.
     Metrics,
+    /// `GET /v1/regressions` — paginated regression-bank listing
+    /// (`?offset=&limit=`).
+    Regressions,
+    /// `POST /v1/tune` — run the repair loop, streaming one NDJSON line
+    /// per generation plus a terminal report line.
+    Tune,
     /// `POST /v1/shutdown` — graceful shutdown (checkpoints in-flight
     /// sessions).
     Shutdown,
@@ -44,13 +50,15 @@ impl Route {
             Route::QueueInfo => "GET /v1/queue",
             Route::Steal => "POST /v1/queue/steal",
             Route::Metrics => "GET /v1/metrics",
+            Route::Regressions => "GET /v1/regressions",
+            Route::Tune => "POST /v1/tune",
             Route::Shutdown => "POST /v1/shutdown",
         }
     }
 }
 
 /// Every route tag, in display order (the metrics report iterates this).
-pub const ROUTE_TAGS: [&str; 9] = [
+pub const ROUTE_TAGS: [&str; 11] = [
     "POST /v1/jobs",
     "GET /v1/jobs/{id}",
     "GET /v1/jobs/{id}/events",
@@ -59,6 +67,8 @@ pub const ROUTE_TAGS: [&str; 9] = [
     "GET /v1/queue",
     "POST /v1/queue/steal",
     "GET /v1/metrics",
+    "GET /v1/regressions",
+    "POST /v1/tune",
     "POST /v1/shutdown",
 ];
 
@@ -108,6 +118,14 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
             "GET" => Ok(Route::Metrics),
             _ => Err(RouteError::MethodNotAllowed { allowed: "GET" }),
         },
+        ["v1", "regressions"] => match method {
+            "GET" => Ok(Route::Regressions),
+            _ => Err(RouteError::MethodNotAllowed { allowed: "GET" }),
+        },
+        ["v1", "tune"] => match method {
+            "POST" => Ok(Route::Tune),
+            _ => Err(RouteError::MethodNotAllowed { allowed: "POST" }),
+        },
         ["v1", "shutdown"] => match method {
             "POST" => Ok(Route::Shutdown),
             _ => Err(RouteError::MethodNotAllowed { allowed: "POST" }),
@@ -139,6 +157,8 @@ mod tests {
         assert_eq!(route("GET", "/v1/queue"), Ok(Route::QueueInfo));
         assert_eq!(route("POST", "/v1/queue/steal"), Ok(Route::Steal));
         assert_eq!(route("GET", "/v1/metrics"), Ok(Route::Metrics));
+        assert_eq!(route("GET", "/v1/regressions"), Ok(Route::Regressions));
+        assert_eq!(route("POST", "/v1/tune"), Ok(Route::Tune));
         assert_eq!(route("POST", "/v1/shutdown"), Ok(Route::Shutdown));
         // Trailing slashes are tolerated (empty segments filtered).
         assert_eq!(route("GET", "/v1/domains/"), Ok(Route::Domains));
@@ -166,6 +186,14 @@ mod tests {
             route("GET", "/v1/queue/steal"),
             Err(RouteError::MethodNotAllowed { allowed: "POST" })
         );
+        assert_eq!(
+            route("POST", "/v1/regressions"),
+            Err(RouteError::MethodNotAllowed { allowed: "GET" })
+        );
+        assert_eq!(
+            route("GET", "/v1/tune"),
+            Err(RouteError::MethodNotAllowed { allowed: "POST" })
+        );
     }
 
     #[test]
@@ -186,6 +214,8 @@ mod tests {
             Route::QueueInfo,
             Route::Steal,
             Route::Metrics,
+            Route::Regressions,
+            Route::Tune,
             Route::Shutdown,
         ] {
             assert!(ROUTE_TAGS.contains(&r.tag()), "{} missing", r.tag());

@@ -29,8 +29,10 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use xplain_runtime::{
-    DomainRegistry, JobJournal, JobOutcome, JobPhase, JobQueue, JobSpec, QueueOptions, ResultStore,
+    DomainRegistry, JobJournal, JobOutcome, JobPhase, JobQueue, JobSpec, QueueFull, QueueOptions,
+    RegressionBank, ResultStore,
 };
+use xplain_tune::{generation_line, report_line, tune_with, TuneOptions};
 
 use crate::admission::AdmissionPolicy;
 use crate::http::{
@@ -243,6 +245,7 @@ impl Server {
             shutdown: &self.shutdown,
             addr: self.local_addr,
             queue_workers,
+            capacity: self.config.capacity,
             read_timeout: self.config.read_timeout,
             mesh: self.config.mesh.clone(),
         };
@@ -307,6 +310,7 @@ struct Ctx<'a> {
     shutdown: &'a AtomicBool,
     addr: SocketAddr,
     queue_workers: usize,
+    capacity: usize,
     read_timeout: Duration,
     mesh: Option<Arc<crate::metrics::MeshStatus>>,
 }
@@ -335,6 +339,12 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx<'_>) {
         Ok(Route::JobEvents(id)) => {
             let tag = Route::JobEvents(String::new()).tag();
             handle_events(&mut stream, ctx, &id);
+            ctx.metrics
+                .observe(tag, started.elapsed().as_secs_f64() * 1000.0);
+        }
+        Ok(Route::Tune) => {
+            let tag = Route::Tune.tag();
+            handle_tune(&mut stream, ctx, &request);
             ctx.metrics
                 .observe(tag, started.elapsed().as_secs_f64() * 1000.0);
         }
@@ -450,6 +460,7 @@ fn dispatch(ctx: &Ctx<'_>, route: Route, request: &Request) -> Response {
         Route::QueueInfo => queue_info(ctx),
         Route::Steal => steal(ctx, request),
         Route::Metrics => metrics(ctx),
+        Route::Regressions => regressions(ctx, request),
         Route::Shutdown => {
             request_shutdown(ctx.shutdown, ctx.addr);
             Response::json(
@@ -462,6 +473,7 @@ fn dispatch(ctx: &Ctx<'_>, route: Route, request: &Request) -> Response {
         }
         // Streamed separately in `handle_connection`.
         Route::JobEvents(_) => Response::error(500, "events route must stream"),
+        Route::Tune => Response::error(500, "tune route must stream"),
     }
 }
 
@@ -605,6 +617,213 @@ fn metrics(ctx: &Ctx<'_>) -> Response {
         200,
         serde_json::to_string(&report).expect("body serializes"),
     )
+}
+
+/// `GET /v1/regressions` body: one page of the bank, in content-key
+/// order (stable across calls — the bank is append-only).
+#[derive(Debug, Serialize)]
+struct RegressionsBody {
+    /// Bank size (not the page size).
+    total: usize,
+    offset: usize,
+    entries: Vec<RegressionEntryBody>,
+}
+
+#[derive(Debug, Serialize)]
+struct RegressionEntryBody {
+    id: String,
+    domain: String,
+    gap: f64,
+    instance: Vec<f64>,
+    job_key: String,
+    session_seed: u64,
+}
+
+/// One `key=value` query parameter as usize, or a 400.
+fn usize_param(request: &Request, key: &str, default: usize) -> Result<usize, Box<Response>> {
+    match request.query_param(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| {
+            Box::new(Response::error(
+                400,
+                &format!("query parameter '{key}' must be a non-negative integer, got '{v}'"),
+            ))
+        }),
+    }
+}
+
+fn regressions(ctx: &Ctx<'_>, request: &Request) -> Response {
+    let Some(store) = ctx.store else {
+        return Response::error(404, "server runs storeless; no regression bank");
+    };
+    let offset = match usize_param(request, "offset", 0) {
+        Ok(v) => v,
+        Err(r) => return *r,
+    };
+    let limit = match usize_param(request, "limit", 50) {
+        Ok(v) => v,
+        Err(r) => return *r,
+    };
+    let all = store.bank().entries();
+    let total = all.len();
+    let entries: Vec<RegressionEntryBody> = all
+        .into_iter()
+        .skip(offset)
+        .take(limit)
+        .map(|(key, r)| RegressionEntryBody {
+            id: RegressionBank::format_id(key),
+            domain: r.domain,
+            gap: r.gap,
+            instance: r.instance,
+            job_key: r.job_key,
+            session_seed: r.session_seed,
+        })
+        .collect();
+    Response::json(
+        200,
+        serde_json::to_string(&RegressionsBody {
+            total,
+            offset,
+            entries,
+        })
+        .expect("body serializes"),
+    )
+}
+
+/// `POST /v1/tune` request body. Absent knobs take [`TuneOptions`]
+/// defaults (or the quick preset when `"quick": true`).
+#[derive(Debug, serde::Deserialize)]
+struct TuneRequestBody {
+    domain: String,
+    #[serde(default)]
+    quick: bool,
+    #[serde(default)]
+    generations: Option<usize>,
+    #[serde(default)]
+    population: Option<usize>,
+    #[serde(default)]
+    seed: Option<u64>,
+    #[serde(default)]
+    workers: Option<usize>,
+}
+
+/// `POST /v1/tune`: run the repair loop on this connection's thread,
+/// streaming chunked NDJSON — one `{"generation":{...}}` line per
+/// generation, then a terminal `{"report":{...}}` line. The lines are
+/// byte-identical to `runner tune --watch` for the same bank, options,
+/// and seed.
+///
+/// Tuning is real work, so it is admission-checked like job
+/// submissions: while the session queue is saturated the server answers
+/// 429 with the policy's `Retry-After` instead of piling tuning runs on
+/// top of a full box.
+fn handle_tune(stream: &mut TcpStream, ctx: &Ctx<'_>, request: &Request) {
+    let Some(store) = ctx.store else {
+        let _ = Response::error(
+            404,
+            "server runs storeless; no regression bank to tune against",
+        )
+        .write_to(stream);
+        return;
+    };
+    let body = match request.body_str() {
+        Ok(b) => b,
+        Err(e) => {
+            let _ = Response::error(400, &e.to_string()).write_to(stream);
+            return;
+        }
+    };
+    let req: TuneRequestBody = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ =
+                Response::error(400, &format!("malformed tune request: {e:?}")).write_to(stream);
+            return;
+        }
+    };
+    let Some(domain) = ctx.registry.get(&req.domain) else {
+        let _ = Response::error(
+            400,
+            &format!(
+                "unknown domain id '{}' (GET /v1/domains lists them)",
+                req.domain
+            ),
+        )
+        .write_to(stream);
+        return;
+    };
+    let depth = ctx.queue.depth();
+    if depth >= ctx.capacity {
+        let retry = ctx.policy.retry_after_secs(
+            QueueFull {
+                depth,
+                capacity: ctx.capacity,
+            },
+            ctx.queue_workers,
+        );
+        let _ = Response::error(429, "session queue is saturated; retry tuning later")
+            .with_header("Retry-After", &retry.to_string())
+            .write_to(stream);
+        return;
+    }
+
+    let mut opts = if req.quick {
+        TuneOptions::quick()
+    } else {
+        TuneOptions::default()
+    };
+    if let Some(g) = req.generations {
+        opts.generations = g.clamp(1, 256);
+    }
+    if let Some(p) = req.population {
+        opts.population = p.clamp(2, 256);
+    }
+    if let Some(s) = req.seed {
+        opts.seed = s;
+    }
+    opts.workers = req.workers.unwrap_or(1).clamp(1, 8);
+
+    let records = store.bank().entries();
+    // The chunked 200 head goes out lazily, right before the first
+    // generation line — so pre-stream failures (untunable domain, empty
+    // corpus) still get a proper JSON error status.
+    let mut streaming = false;
+    let mut broken = false;
+    let result = tune_with(domain, &records, &opts, |stat| {
+        if broken {
+            return;
+        }
+        if !streaming {
+            if start_chunked(stream, 200, "application/x-ndjson").is_err() {
+                broken = true;
+                return;
+            }
+            streaming = true;
+        }
+        let mut payload = generation_line(stat).into_bytes();
+        payload.push(b'\n');
+        if write_chunk(stream, &payload).is_err() {
+            broken = true;
+        }
+    });
+    match result {
+        Err(e) => {
+            if !streaming {
+                let _ = Response::error(400, &e.to_string()).write_to(stream);
+            }
+            // Streaming already started: the client sees truncation.
+        }
+        Ok(report) => {
+            if broken || !streaming {
+                return; // subscriber went away mid-run
+            }
+            let mut payload = report_line(&report).into_bytes();
+            payload.push(b'\n');
+            if write_chunk(stream, &payload).is_ok() {
+                let _ = finish_chunked(stream);
+            }
+        }
+    }
 }
 
 /// `GET /v1/jobs/{id}/events`: chunked NDJSON, one watch line per

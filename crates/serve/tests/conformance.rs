@@ -223,6 +223,7 @@ fn success_bodies_and_status_codes_are_pinned() {
             "uptime_ms",
             "queue",
             "store_entries",
+            "bank",
             "journal",
             "mesh",
             "solver",
@@ -251,6 +252,11 @@ fn success_bodies_and_status_codes_are_pinned() {
         resp.body
     );
     assert!(get_field(&metrics, "store_entries").as_f64().is_some());
+    assert_eq!(
+        object_keys(get_field(&metrics, "bank")),
+        ["entries", "bytes", "last_replay_pass"],
+        "bank gauge block schema (store-backed server exposes the bank)"
+    );
     assert_eq!(
         object_keys(get_field(&metrics, "journal")),
         [
@@ -314,6 +320,19 @@ fn error_envelopes_codes_and_headers_are_pinned() {
     let resp = api.get("/v1/queue/steal").unwrap();
     assert_eq!(resp.status, 405);
     assert_eq!(resp.header("allow"), Some("POST"));
+    let resp = api.post("/v1/regressions", "").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("GET"));
+    let resp = api.get("/v1/tune").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("POST"));
+
+    // 404: the regression bank and the tuner live in the store; a
+    // storeless server has neither.
+    assert_eq!(api.get("/v1/regressions").unwrap().status, 404);
+    let resp = api.post("/v1/tune", r#"{"domain":"dp"}"#).unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(keys(&resp.body), ["error"]);
 
     // 400: unparseable body, then a parseable spec for a domain that
     // does not exist (the message points at the discovery route).
@@ -438,4 +457,154 @@ fn event_stream_framing_is_one_ndjson_line_per_chunk() {
 
     handle.shutdown();
     join.join().unwrap();
+}
+
+/// The repair-loop surface: `GET /v1/regressions` paging and entry
+/// shape, `POST /v1/tune` NDJSON framing (`{"generation":…}` lines
+/// closed by one `{"report":…}` line), and both routes' error codes on
+/// a store-backed server.
+#[test]
+fn regression_and_tune_surfaces_are_pinned() {
+    let _guard = test_lock();
+    let store_dir = scratch_dir("tune");
+    let (handle, join) = start_server(Some(store_dir.clone()), 16, 0);
+    let api = client(&handle);
+
+    // A finished dp session writes its findings' witnesses through to
+    // the bank — the corpus both routes below serve.
+    let resp = api.post("/v1/jobs", &spec_json("dp", 0x5EED)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let submit: serde::Value = serde_json::from_str(&resp.body).unwrap();
+    let id = get_field(&submit, "id").as_str().unwrap().to_string();
+    wait_done(&api, &id);
+
+    // GET /v1/regressions → 200 {total, offset, entries}; entries are
+    // {id, domain, gap, instance, job_key, session_seed} with 16-hex ids.
+    let resp = api.get("/v1/regressions").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(keys(&resp.body), ["total", "offset", "entries"]);
+    let listing: serde::Value = serde_json::from_str(&resp.body).unwrap();
+    let total = get_field(&listing, "total").as_f64().unwrap() as usize;
+    assert!(
+        total >= 1,
+        "dp session seeded no regressions: {}",
+        resp.body
+    );
+    let entries = get_field(&listing, "entries").as_seq().unwrap();
+    assert_eq!(entries.len(), total.min(50), "default limit is 50");
+    for entry in entries {
+        assert_eq!(
+            object_keys(entry),
+            ["id", "domain", "gap", "instance", "job_key", "session_seed"]
+        );
+        let entry_id = get_field(entry, "id").as_str().unwrap();
+        assert_eq!(entry_id.len(), 16, "id {entry_id:?}");
+    }
+
+    // Paging: an offset past the end yields an empty page with the same
+    // total; a malformed offset is a 400, not a silent default.
+    let resp = api
+        .get(&format!("/v1/regressions?offset={total}&limit=5"))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let page: serde::Value = serde_json::from_str(&resp.body).unwrap();
+    assert_eq!(get_field(&page, "offset").as_f64(), Some(total as f64));
+    assert!(get_field(&page, "entries").as_seq().unwrap().is_empty());
+    assert_eq!(api.get("/v1/regressions?offset=nope").unwrap().status, 400);
+
+    // POST /v1/tune error paths answer plain (unchunked) statuses.
+    let resp = api.post("/v1/tune", "{not json").unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(keys(&resp.body), ["error"]);
+    let resp = api
+        .post("/v1/tune", r#"{"domain":"no-such-domain"}"#)
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("/v1/domains"), "{}", resp.body);
+
+    // POST /v1/tune on the wire: chunked NDJSON, one line per chunk,
+    // every line but the last `{"generation":{…}}`, the last
+    // `{"report":{…}}` with the full TuneReport schema.
+    let body = r#"{"domain":"dp","quick":true,"seed":7}"#;
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        raw,
+        "POST /v1/tune HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .unwrap();
+    let mut wire = Vec::new();
+    raw.read_to_end(&mut wire).unwrap();
+    let wire = String::from_utf8(wire).expect("stream is UTF-8");
+    let (head, chunks) = wire
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
+    let header_lines: Vec<&str> = head.split("\r\n").skip(1).collect();
+    let has = |needle: &str| header_lines.iter().any(|l| l.eq_ignore_ascii_case(needle));
+    assert!(has("transfer-encoding: chunked"), "{head}");
+    assert!(has("content-type: application/x-ndjson"), "{head}");
+
+    let mut rest = chunks;
+    let mut lines: Vec<String> = Vec::new();
+    loop {
+        let (size_hex, after) = rest.split_once("\r\n").expect("chunk size line");
+        let size = usize::from_str_radix(size_hex, 16).expect("chunk size is hex");
+        if size == 0 {
+            assert_eq!(after, "\r\n", "terminator chunk must end the stream");
+            break;
+        }
+        let payload = &after[..size];
+        assert!(
+            payload.ends_with('\n') && !payload[..size - 1].contains('\n'),
+            "chunk is not exactly one NDJSON line: {payload:?}"
+        );
+        lines.push(payload.trim_end().to_string());
+        rest = after[size..].strip_prefix("\r\n").expect("chunk CRLF");
+    }
+    assert!(
+        lines.len() >= 2,
+        "expected generations + report, saw {lines:?}"
+    );
+    let (report_line, generation_lines) = lines.split_last().unwrap();
+    for line in generation_lines {
+        let parsed: serde::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(object_keys(&parsed), ["generation"]);
+        assert_eq!(
+            object_keys(get_field(&parsed, "generation")),
+            ["generation", "evaluated", "best_fitness", "best_params"]
+        );
+    }
+    let parsed: serde::Value = serde_json::from_str(report_line).unwrap();
+    assert_eq!(object_keys(&parsed), ["report"]);
+    let report = get_field(&parsed, "report");
+    assert_eq!(
+        object_keys(report),
+        [
+            "schema_version",
+            "domain",
+            "param_names",
+            "default_params",
+            "default_fitness",
+            "best",
+            "improved",
+            "trajectory",
+            "bank_instances",
+            "skipped_instances",
+            "probe_points",
+            "still_defeated"
+        ]
+    );
+    assert_eq!(
+        object_keys(get_field(report, "best")),
+        ["params", "fitness", "failures"]
+    );
+    assert_eq!(get_field(report, "domain").as_str(), Some("dp"));
+
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&store_dir);
 }

@@ -1,0 +1,46 @@
+//! # xplain-tune — the repair loop
+//!
+//! XPlain's pipeline *finds* inputs where a heuristic underperforms;
+//! this crate closes the loop by *repairing* the heuristic against
+//! them. Two pieces:
+//!
+//! - [`engine`] — candidate-based parameter search over a domain's
+//!   [`ParamSpace`](xplain_runtime::ParamSpace), scored by worst-case
+//!   gap over the adversarial regression bank plus fresh probes around
+//!   each banked instance. The search is elitist with mutation and an
+//!   exploration probability, failure-penalized, and deterministic:
+//!   one worker and N workers produce byte-identical
+//!   [`TuneReport`]s.
+//! - [`replay`] — the regression gate: recompute every banked
+//!   instance's gap with the current oracle and fail if any entry
+//!   stopped exhibiting its recorded gap.
+//!
+//! The bank itself (content-addressed, append-only, write-through from
+//! the runtime's executor) lives in `xplain-runtime`; its types are
+//! re-exported here so callers of the repair loop need only this crate.
+//!
+//! ```no_run
+//! use xplain_tune::{tune, TuneOptions};
+//! use xplain_runtime::{DomainRegistry, RegressionBank};
+//!
+//! let registry = DomainRegistry::builtin();
+//! let bank = RegressionBank::new(std::path::Path::new("store"));
+//! let domain = registry.get("dp").unwrap();
+//! let report = tune(domain, &bank.entries(), &TuneOptions::default()).unwrap();
+//! assert!(report.best.fitness <= report.default_fitness);
+//! ```
+
+pub mod engine;
+pub mod replay;
+
+pub use engine::{
+    generation_line, report_line, tune, tune_with, Candidate, GenerationStat, TuneError,
+    TuneOptions, TuneReport, FAILURE_FITNESS, TUNE_SCHEMA_VERSION,
+};
+pub use replay::{replay_bank, replay_records, ReplayEntry, ReplayReport, REPLAY_TOL};
+// Bank types live in the runtime (the executor writes through to the
+// bank as sessions finish); re-exported so the repair loop is
+// self-contained for callers.
+pub use xplain_runtime::bank::{
+    BankInfo, BankRecord, BankSweep, RegressionBank, BANK_SCHEMA_VERSION,
+};

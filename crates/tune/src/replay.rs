@@ -1,0 +1,112 @@
+//! The bank **replay gate**: recompute every regression-bank entry's gap
+//! with the current oracle and fail if an instance stopped exhibiting
+//! its recorded gap.
+//!
+//! An entry passes when the recomputed gap is at least the recorded gap
+//! (minus a float tolerance): the instance is still *at least as
+//! adversarial* as when it was banked. A smaller recomputed gap means
+//! either the heuristic silently changed behavior on a known-bad input
+//! or the oracle regressed — exactly what a CI gate must catch. Entries
+//! with an unknown schema version or an unregistered domain are
+//! *skipped*, not failed: dropping them is `runner gc`'s job, and a gate
+//! that fails on stale corpus would block every deliberate domain
+//! retirement.
+//!
+//! Replay is order-independent: entries are processed and reported in
+//! content-key order regardless of the order supplied.
+
+use serde::{Deserialize, Serialize};
+use xplain_runtime::bank::{BankRecord, BANK_SCHEMA_VERSION};
+use xplain_runtime::{DomainRegistry, RegressionBank};
+
+/// Recomputed gaps may differ from recorded ones by float noise (the
+/// oracle's LP path is deterministic, but recorded gaps travelled
+/// through JSON); anything beyond this is a behavioral change.
+pub const REPLAY_TOL: f64 = 1e-6;
+
+/// One entry's replay verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayEntry {
+    /// Bank id (16 hex digits).
+    pub id: String,
+    pub domain: String,
+    pub recorded_gap: f64,
+    /// `None` when the entry was skipped or the oracle returned a
+    /// non-finite gap (JSON carries no infinities).
+    pub recomputed_gap: Option<f64>,
+    /// `"pass"`, `"fail"`, or `"skipped"`.
+    pub status: String,
+}
+
+/// The gate's verdict over a whole bank.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayReport {
+    pub total: usize,
+    pub passed: usize,
+    pub failed: usize,
+    pub skipped: usize,
+    /// `failed == 0` — skipped entries do not block the gate.
+    pub pass: bool,
+    /// Per-entry verdicts in content-key order.
+    pub entries: Vec<ReplayEntry>,
+}
+
+/// Replay a set of records against the registry's current oracles.
+/// The input order is irrelevant: records are sorted by content key
+/// before processing, so two banks holding the same entries produce the
+/// same report regardless of enumeration order.
+pub fn replay_records(registry: &DomainRegistry, records: &[(u64, BankRecord)]) -> ReplayReport {
+    let mut sorted: Vec<&(u64, BankRecord)> = records.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+
+    let mut report = ReplayReport {
+        total: sorted.len(),
+        passed: 0,
+        failed: 0,
+        skipped: 0,
+        pass: true,
+        entries: Vec::with_capacity(sorted.len()),
+    };
+    for (key, record) in sorted {
+        let id = RegressionBank::format_id(*key);
+        let domain = registry.get(&record.domain);
+        let usable = record.schema_version == BANK_SCHEMA_VERSION && domain.is_some();
+        let mut entry = ReplayEntry {
+            id,
+            domain: record.domain.clone(),
+            recorded_gap: record.gap,
+            recomputed_gap: None,
+            status: "skipped".to_string(),
+        };
+        if !usable {
+            report.skipped += 1;
+            report.entries.push(entry);
+            continue;
+        }
+        let gap = domain
+            .expect("usable implies registered")
+            .oracle()
+            .gap(&record.instance);
+        if gap.is_finite() {
+            entry.recomputed_gap = Some(gap);
+        }
+        if gap.is_finite() && gap + REPLAY_TOL >= record.gap {
+            entry.status = "pass".to_string();
+            report.passed += 1;
+        } else {
+            entry.status = "fail".to_string();
+            report.failed += 1;
+        }
+        report.entries.push(entry);
+    }
+    report.pass = report.failed == 0;
+    report
+}
+
+/// Replay a whole on-disk bank and durably record the verdict (the
+/// marker `/v1/metrics` reports as `bank.last_replay_pass`).
+pub fn replay_bank(registry: &DomainRegistry, bank: &RegressionBank) -> ReplayReport {
+    let report = replay_records(registry, &bank.entries());
+    let _ = bank.record_replay(report.pass, report.total);
+    report
+}

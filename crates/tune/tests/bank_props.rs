@@ -1,0 +1,119 @@
+//! Satellite property tests for the regression bank: insertion is
+//! idempotent by content key (provenance does not create duplicates),
+//! and the replay gate is order-independent (any enumeration order of
+//! the same records yields a byte-identical report).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use xplain_core::pipeline::{SubspaceFinding, Witness};
+use xplain_core::subspace::Subspace;
+use xplain_runtime::DomainRegistry;
+use xplain_tune::{replay_records, BankRecord, RegressionBank};
+
+/// A bank record around a synthetic witnessed finding.
+fn record(domain: &str, instance: Vec<f64>, gap: f64, job_key: &str, seed: u64) -> BankRecord {
+    let dims = instance.len();
+    let subspace =
+        Subspace::from_rough_box(vec![0.0; dims], vec![1000.0; dims], instance.clone(), gap);
+    let finding = SubspaceFinding {
+        subspace,
+        significance: None,
+        explanation: None,
+        witness: Some(Witness {
+            input: instance,
+            gap,
+        }),
+    };
+    BankRecord::from_finding(domain, &finding, job_key, seed).expect("witnessed finding banks")
+}
+
+static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_bank() -> RegressionBank {
+    let dir = std::env::temp_dir().join(format!(
+        "xplain-tune-bank-props-{}-{}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    RegressionBank::new(&dir)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Inserting the same (domain, instance) content twice — even with
+    /// different provenance (job key, session seed, gap) — is a no-op:
+    /// the bank holds exactly one entry per distinct content key.
+    #[test]
+    fn insert_is_idempotent_by_content_key(
+        instances in proptest::collection::vec(
+            proptest::collection::vec(0.25f64..100.0, 1..6),
+            1..8,
+        ),
+    ) {
+        let bank = scratch_bank();
+        let domains = ["dp", "ff", "sched"];
+        let mut distinct = std::collections::BTreeSet::new();
+        for (i, instance) in instances.iter().enumerate() {
+            let domain = domains[i % domains.len()];
+            let fresh = distinct.insert(RegressionBank::key(domain, instance));
+            let first = bank
+                .insert(&record(domain, instance.clone(), 1.0, "job-a", 1))
+                .expect("insert succeeds");
+            prop_assert_eq!(first, fresh, "insert reports new iff key unseen");
+            // Same content, different provenance: must dedupe.
+            let again = bank
+                .insert(&record(domain, instance.clone(), 2.0, "job-b", 99))
+                .expect("re-insert succeeds");
+            prop_assert!(!again, "identical content with new provenance deduped");
+        }
+        prop_assert_eq!(bank.len(), distinct.len());
+        // entries() enumerates exactly the distinct keys, sorted.
+        let keys: Vec<u64> = bank.entries().iter().map(|(k, _)| *k).collect();
+        let expected: Vec<u64> = distinct.into_iter().collect();
+        prop_assert_eq!(keys, expected);
+    }
+
+    /// Replaying the same records in any order produces a byte-identical
+    /// report: the gate sorts by content key internally.
+    #[test]
+    fn replay_is_order_independent(rot in 0usize..7, gap_scale in 0.1f64..2.0) {
+        let registry = DomainRegistry::builtin();
+        let mut records = Vec::new();
+        for id in registry.ids() {
+            let domain = registry.get(&id).expect("registered");
+            let oracle = domain.oracle();
+            let instance: Vec<f64> = oracle
+                .bounds()
+                .iter()
+                .map(|(lo, hi)| lo + 0.5 * (hi - lo))
+                .collect();
+            let key = RegressionBank::key(&id, &instance);
+            records.push((key, record(&id, instance, gap_scale, "job", 7)));
+        }
+        // A record the gate must skip (unregistered domain), plus one
+        // with a foreign schema version.
+        let ghost = record("ghost", vec![1.0, 2.0], 0.5, "job", 7);
+        records.push((RegressionBank::key("ghost", &ghost.instance), ghost));
+        let mut stale = record("dp", vec![3.0], 0.5, "job", 7);
+        stale.schema_version = 999;
+        records.push((RegressionBank::key("dp-stale", &stale.instance), stale));
+
+        let baseline = replay_records(&registry, &records);
+        let mut shuffled = records.clone();
+        let pivot = rot % shuffled.len();
+        shuffled.rotate_left(pivot);
+        shuffled.reverse();
+        let report = replay_records(&registry, &shuffled);
+
+        prop_assert_eq!(
+            serde_json::to_string(&baseline).expect("report serializes"),
+            serde_json::to_string(&report).expect("report serializes"),
+            "replay must not depend on record order"
+        );
+        prop_assert_eq!(report.skipped, 2, "ghost domain and stale schema skipped");
+        prop_assert_eq!(report.total, records.len());
+    }
+}

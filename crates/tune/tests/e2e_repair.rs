@@ -1,0 +1,117 @@
+//! The acceptance scenario end to end: a real `dp` analysis session
+//! populates the regression bank (write-through from the executor), the
+//! tuner repairs the heuristic against it, and the tuned parameters
+//! strictly reduce the worst-case gap over the banked instances.
+
+use xplain_core::pipeline::PipelineConfig;
+use xplain_core::subspace::SubspaceParams;
+use xplain_core::{ExplainerParams, SignificanceParams};
+use xplain_runtime::{run_manifest, DomainRegistry, JobSpec, ResultStore};
+use xplain_tune::{replay_bank, tune, TuneOptions};
+
+fn session_config() -> PipelineConfig {
+    PipelineConfig {
+        max_subspaces: 2,
+        subspace: SubspaceParams {
+            dkw_eps: 0.25,
+            dkw_delta: 0.25,
+            max_expansions: 6,
+            tree_sample_factor: 3,
+            ..Default::default()
+        },
+        significance: SignificanceParams {
+            pairs: 40,
+            ..Default::default()
+        },
+        explainer: ExplainerParams {
+            samples: 80,
+            threads: 1,
+            ..Default::default()
+        },
+        coverage_samples: 100,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn dp_session_seeds_bank_and_tune_repairs_it() {
+    let registry = DomainRegistry::builtin();
+    let store = {
+        let dir = std::env::temp_dir().join(format!("xplain-e2e-repair-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultStore::new(dir)
+    };
+
+    // 1. Real analysis session: the executor writes every witnessed
+    //    significant finding through to the bank.
+    let jobs = vec![JobSpec {
+        domain: "dp".into(),
+        config: session_config(),
+        seed: 0x5EED,
+        budgets: Default::default(),
+    }];
+    let outcomes = run_manifest(&registry, &jobs, Some(&store), 1);
+    assert_eq!(outcomes.len(), 1);
+    let findings = &outcomes[0].result.as_ref().expect("job ran").findings;
+    assert!(
+        !findings.is_empty(),
+        "dp session must surface at least one finding"
+    );
+    assert!(
+        findings.iter().all(|f| f.witness.is_some()),
+        "every finding carries its adversarial witness"
+    );
+
+    let bank = store.bank();
+    assert!(!bank.is_empty(), "session findings must reach the bank");
+    let records = bank.entries();
+    assert!(records.iter().all(|(_, r)| r.domain == "dp"));
+
+    // 2. Freshly banked instances replay clean against the oracle that
+    //    produced them.
+    let replay = replay_bank(&registry, &bank);
+    assert!(replay.pass, "fresh bank must replay clean: {replay:?}");
+    assert_eq!(bank.info().last_replay_pass, Some(true));
+
+    // 3. Repair: the tuned pin threshold must strictly beat the shipped
+    //    default on the banked worst case.
+    let domain = registry.get("dp").expect("dp registered");
+    let report = tune(domain, &records, &TuneOptions::quick()).expect("tune runs");
+    assert!(report.default_fitness > 0.0, "bank holds real adversaries");
+    assert!(
+        report.improved,
+        "repair must strictly beat the default (default {}, best {})",
+        report.default_fitness, report.best.fitness
+    );
+    assert!(report.best.fitness < report.default_fitness);
+    assert_eq!(report.best.failures, 0);
+
+    // 4. Independently recompute the worst-case gap over the *banked
+    //    instances only* — the tuned parameters must strictly reduce it.
+    let worst = |params: &[f64]| {
+        let oracle = domain.tuned_oracle(params).expect("dp is tunable");
+        records
+            .iter()
+            .map(|(_, r)| oracle.gap(&r.instance))
+            .fold(0.0_f64, f64::max)
+    };
+    let default_worst = worst(&report.default_params);
+    let tuned_worst = worst(&report.best.params);
+    assert!(
+        tuned_worst < default_worst,
+        "tuned params must strictly reduce the banked worst-case gap \
+         ({default_worst} -> {tuned_worst})"
+    );
+
+    // 5. Idempotence at the system level: re-running the same job is a
+    //    cache hit and must not grow the bank.
+    let before = bank.len();
+    let jobs2 = vec![JobSpec {
+        domain: "dp".into(),
+        config: session_config(),
+        seed: 0x5EED,
+        budgets: Default::default(),
+    }];
+    run_manifest(&registry, &jobs2, Some(&store), 1);
+    assert_eq!(bank.len(), before, "replayed session must dedupe");
+}

@@ -27,7 +27,11 @@
 //!   batch executor over JSONL manifests (whose jobs run sessions, with
 //!   per-job budgets and event sinks), the content-addressed result
 //!   store (results + session checkpoints), and the `runner` CLI
-//!   (`--watch` NDJSON streaming, `--resume`, budget flags).
+//!   (`--watch` NDJSON streaming, `--resume`, budget flags);
+//! * [`tune`] — the repair loop over the adversarial regression bank:
+//!   replay gating (`runner bank replay`) and candidate-based parameter
+//!   search (`runner tune`, `POST /v1/tune`) that shrinks a heuristic's
+//!   worst-case gap over every banked instance.
 //!
 //! ## Quickstart
 //!
@@ -85,3 +89,4 @@ pub use xplain_mesh as mesh;
 pub use xplain_runtime as runtime;
 pub use xplain_serve as serve;
 pub use xplain_stats as stats;
+pub use xplain_tune as tune;
