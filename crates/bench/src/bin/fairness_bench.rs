@@ -1,0 +1,38 @@
+//! `fairness-bench` — the multi-tenant fairness benchmark, emitting
+//! `BENCH_10.json`.
+//!
+//! ```text
+//! fairness-bench [--quick] [--out PATH]
+//!
+//! --quick   CI-sized job counts
+//! --out     output path (default BENCH_10.json in the working directory)
+//! ```
+//!
+//! Stands up an enforcing single-worker server (real loopback HTTP,
+//! bearer-key auth), measures the light tenant's submit→done latency
+//! p99 alone and under a 10:1 heavy-tenant flood, prints a human
+//! summary, and writes the machine-readable report; exits nonzero if
+//! the emitted JSON fails to parse back (the CI gate relies on this).
+
+use xplain_bench::fairness_load;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
+
+    let report = fairness_load::run(quick);
+    print!("{}", fairness_load::render(&report));
+    match fairness_load::emit(&report, &out_path) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => {
+            eprintln!("fairness-bench emission failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Multi-tenant fairness benchmark — emits `BENCH_10.json`: the light
+//! tenant's completion-latency p99 with and without a 10:1 heavy-tenant
+//! flood, driven end-to-end over real loopback HTTP with bearer keys.
+//!
+//! ## What the ratio means
+//!
+//! A shared queue without fair-share dispatch makes a latency-sensitive
+//! tenant wait behind whatever a bulk tenant dumped before it: under a
+//! 10:1 flood, FIFO would put every light job behind ~10x its own
+//! backlog and its p99 would blow up ~10x. Weighted deficit-round-robin
+//! (DESIGN.md §12) bounds the damage to the tenants' weight ratio
+//! instead: with the light tenant at weight 3 and the flooder at
+//! weight 1, the light lane keeps 3/4 of the service rate and its p99
+//! should sit near 4/3 of its isolation value — the CI gate demands
+//! ≤ 3.0x (quick) and the committed full-mode snapshot ≤ 2.0x.
+//!
+//! ## Why pacing makes this honest on any machine
+//!
+//! Same discipline as `mesh_load`: one worker paced at `PACE_MS` per
+//! executed job makes service time — not the shared CI core — the
+//! resource being divided, so the measured ratio is a property of the
+//! scheduler, not of the box. Job compute is kept a small fraction of
+//! the pace.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use xplain_core::pipeline::PipelineConfig;
+use xplain_core::subspace::SubspaceParams;
+use xplain_core::{ExplainerParams, SignificanceParams};
+use xplain_runtime::{DomainRegistry, JobSpec, SessionBudgets, TenantRegistry};
+use xplain_serve::{Client, Server, ServerConfig};
+use xplain_stats::percentile_exact;
+
+/// Schema marker for the emitted file.
+pub const SCHEMA: &str = "xplain-bench-10/v1";
+
+/// Per-worker minimum service time for executed jobs (ms) — large
+/// relative to per-job compute so lane scheduling, not the shared
+/// core, decides completion times.
+const PACE_MS: u64 = 150;
+const LIGHT_WEIGHT: u64 = 3;
+const HEAVY_WEIGHT: u64 = 1;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// `isolation` (light alone) or `contended` (10:1 heavy flood).
+    pub scenario: String,
+    pub light_jobs: usize,
+    pub heavy_jobs: usize,
+    pub light_p50_ms: f64,
+    pub light_p99_ms: f64,
+    pub light_max_ms: f64,
+    pub elapsed_ms: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FairnessBenchReport {
+    pub schema: String,
+    /// `quick` (CI) or `full` (the committed snapshot).
+    pub mode: String,
+    pub pace_ms: u64,
+    pub light_weight: u64,
+    pub heavy_weight: u64,
+    pub scenarios: Vec<ScenarioReport>,
+    /// `light p99 (contended) / light p99 (isolation)` — the headline
+    /// number; CI gates on it.
+    pub light_p99_contended_over_isolation: f64,
+}
+
+/// Deliberately tiny pipeline work (compute ≪ `PACE_MS`) that still
+/// exercises the full authenticated submit→lane→compute path.
+fn bench_config() -> PipelineConfig {
+    PipelineConfig {
+        max_subspaces: 1,
+        subspace: SubspaceParams {
+            dkw_eps: 0.25,
+            dkw_delta: 0.25,
+            max_expansions: 3,
+            tree_sample_factor: 3,
+            ..Default::default()
+        },
+        significance: SignificanceParams {
+            pairs: 30,
+            ..Default::default()
+        },
+        explainer: ExplainerParams {
+            samples: 40,
+            threads: 1,
+            ..Default::default()
+        },
+        coverage_samples: 0,
+        ..Default::default()
+    }
+}
+
+fn spec_json(seed: u64) -> String {
+    serde_json::to_string(&JobSpec {
+        domain: "sched".into(),
+        config: bench_config(),
+        seed,
+        budgets: SessionBudgets::unlimited(),
+    })
+    .expect("spec serializes")
+}
+
+fn extract_id(body: &str) -> String {
+    body.split("\"id\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("submit receipt carries an id")
+        .to_string()
+}
+
+/// Write the two-tenant registry the benchmark servers load.
+fn write_tenants_file(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "xplain-fairness-tenants-{tag}-{}.json",
+        std::process::id()
+    ));
+    std::fs::write(
+        &path,
+        format!(
+            r#"{{"tenants": [
+                {{"id": "heavy", "key_fnv": "{}", "weight": {HEAVY_WEIGHT}}},
+                {{"id": "light", "key_fnv": "{}", "weight": {LIGHT_WEIGHT}}}
+            ]}}"#,
+            TenantRegistry::hash_api_key("heavy-key"),
+            TenantRegistry::hash_api_key("light-key"),
+        ),
+    )
+    .expect("tenant config writes");
+    path
+}
+
+/// Stand up one enforcing single-worker server, flood it with
+/// `heavy_jobs` from the heavy tenant, then submit `light_jobs` from
+/// the light tenant and measure each light job's submit→done latency.
+fn run_scenario(
+    scenario: &str,
+    heavy_jobs: usize,
+    light_jobs: usize,
+    seed_base: u64,
+) -> ScenarioReport {
+    let tenants_file = write_tenants_file(scenario);
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_workers: 1,
+        http_threads: 4,
+        capacity: 4096,
+        store_dir: None,
+        read_timeout: Duration::from_secs(120),
+        retain_done: 8192,
+        shard_id: None,
+        pace_ms: PACE_MS,
+        mesh: None,
+        journal: false,
+        journal_dir: None,
+        tenants: Some(tenants_file.clone()),
+    })
+    .expect("server binds");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        let registry = DomainRegistry::builtin();
+        server.run(&registry).expect("server runs");
+    });
+    let heavy = Client::new(handle.addr())
+        .with_timeout(Duration::from_secs(120))
+        .with_bearer("heavy-key");
+    let light = Client::new(handle.addr())
+        .with_timeout(Duration::from_secs(120))
+        .with_bearer("light-key");
+
+    let t0 = Instant::now();
+    let mut heavy_ids = Vec::with_capacity(heavy_jobs);
+    for i in 0..heavy_jobs {
+        let resp = heavy
+            .post("/v1/jobs", &spec_json(seed_base + i as u64))
+            .expect("heavy submit");
+        assert!(
+            resp.status == 200 || resp.status == 202,
+            "heavy submit failed: {} {}",
+            resp.status,
+            resp.body
+        );
+        heavy_ids.push(extract_id(&resp.body));
+    }
+    let mut light_pending: Vec<(String, Instant)> = Vec::with_capacity(light_jobs);
+    for i in 0..light_jobs {
+        let resp = light
+            .post("/v1/jobs", &spec_json(seed_base + 0x1000 + i as u64))
+            .expect("light submit");
+        assert!(
+            resp.status == 200 || resp.status == 202,
+            "light submit failed: {} {}",
+            resp.status,
+            resp.body
+        );
+        light_pending.push((extract_id(&resp.body), Instant::now()));
+    }
+
+    // Poll every outstanding light job each cycle so observation lag is
+    // bounded by one cycle, not by per-job serial waits.
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(light_jobs);
+    while !light_pending.is_empty() {
+        light_pending.retain(|(id, submitted)| {
+            let status = light.get(&format!("/v1/jobs/{id}")).expect("poll");
+            if status.body.contains("\"status\":\"done\"") {
+                latencies_ms.push(submitted.elapsed().as_secs_f64() * 1000.0);
+                false
+            } else {
+                true
+            }
+        });
+        if !light_pending.is_empty() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    // The flood served its purpose; cancel what is still queued so
+    // shutdown drains in seconds, not `heavy_jobs x pace`.
+    for id in &heavy_ids {
+        let _ = heavy.post(&format!("/v1/jobs/{id}/cancel"), "");
+    }
+    handle.shutdown();
+    join.join().expect("server thread");
+    let _ = std::fs::remove_file(&tenants_file);
+
+    ScenarioReport {
+        scenario: scenario.to_string(),
+        light_jobs,
+        heavy_jobs,
+        light_p50_ms: percentile_exact(&latencies_ms, 0.50).unwrap_or(0.0),
+        light_p99_ms: percentile_exact(&latencies_ms, 0.99).unwrap_or(0.0),
+        light_max_ms: percentile_exact(&latencies_ms, 1.0).unwrap_or(0.0),
+        elapsed_ms,
+    }
+}
+
+/// Run both scenarios and assemble the report.
+pub fn run(quick: bool) -> FairnessBenchReport {
+    let light_jobs = if quick { 6 } else { 10 };
+    let heavy_jobs = light_jobs * 10;
+    // Distinct seed ranges per scenario: neither may inherit warmth.
+    let isolation = run_scenario("isolation", 0, light_jobs, 0xFA_0000);
+    let contended = run_scenario("contended", heavy_jobs, light_jobs, 0xFB_0000);
+    let ratio = if isolation.light_p99_ms > 0.0 {
+        contended.light_p99_ms / isolation.light_p99_ms
+    } else {
+        f64::INFINITY
+    };
+    FairnessBenchReport {
+        schema: SCHEMA.to_string(),
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        pace_ms: PACE_MS,
+        light_weight: LIGHT_WEIGHT,
+        heavy_weight: HEAVY_WEIGHT,
+        scenarios: vec![isolation, contended],
+        light_p99_contended_over_isolation: ratio,
+    }
+}
+
+/// Human-readable summary.
+pub fn render(r: &FairnessBenchReport) -> String {
+    let mut out = format!(
+        "fairness bench ({} mode): light weight {}, heavy weight {}, pace {} ms\n",
+        r.mode, r.light_weight, r.heavy_weight, r.pace_ms
+    );
+    for s in &r.scenarios {
+        out.push_str(&format!(
+            "  {:<10} {:>3} light vs {:>3} heavy: light p50 {:>7.1} ms  p99 {:>7.1} ms  max {:>7.1} ms\n",
+            s.scenario, s.light_jobs, s.heavy_jobs, s.light_p50_ms, s.light_p99_ms, s.light_max_ms
+        ));
+    }
+    out.push_str(&format!(
+        "  light p99 contended / isolation: {:.2}x\n",
+        r.light_p99_contended_over_isolation
+    ));
+    out
+}
+
+/// Write the report to `path` and verify the emission parses back.
+pub fn emit(r: &FairnessBenchReport, path: &str) -> Result<(), String> {
+    let json = serde_json::to_string(r).map_err(|e| format!("serialize: {e:?}"))?;
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    let back = std::fs::read_to_string(path).map_err(|e| format!("re-read {path}: {e}"))?;
+    let parsed: FairnessBenchReport =
+        serde_json::from_str(&back).map_err(|e| format!("re-parse {path}: {e:?}"))?;
+    if parsed.schema != SCHEMA {
+        return Err(format!(
+            "schema drift in {path}: {} != {SCHEMA}",
+            parsed.schema
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fairness_run_isolates_the_light_tenant_and_emits_valid_json() {
+        let report = run(true);
+        assert_eq!(report.scenarios.len(), 2);
+        assert_eq!(report.scenarios[0].scenario, "isolation");
+        assert_eq!(report.scenarios[1].scenario, "contended");
+        assert!(report.scenarios[1].heavy_jobs == report.scenarios[1].light_jobs * 10);
+        for s in &report.scenarios {
+            assert!(s.light_p99_ms > 0.0, "{s:?}");
+        }
+        // The CI gate on a dedicated run demands <= 3.0 (quick) / the
+        // committed full snapshot <= 2.0; under `cargo test`
+        // parallelism we only insist the flood visibly fails to starve
+        // the light tenant (FIFO would sit near 10x).
+        assert!(
+            report.light_p99_contended_over_isolation < 4.0,
+            "light tenant starved by the flood: {report:?}"
+        );
+        let path = std::env::temp_dir().join(format!("bench10-test-{}.json", std::process::id()));
+        let path = path.to_string_lossy().to_string();
+        emit(&report, &path).expect("emission round-trips");
+        let _ = std::fs::remove_file(&path);
+    }
+}

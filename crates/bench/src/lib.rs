@@ -37,10 +37,15 @@
 //! loopback HTTP); `cargo run -p xplain-bench --release --bin
 //! mesh-bench` runs the sharded-tier scaling benchmark ([`mesh_load`])
 //! and emits `BENCH_7.json` (cold-job throughput at 1 vs 4 shards
-//! through the gateway).
+//! through the gateway); `cargo run -p xplain-bench --release --bin
+//! fairness-bench` runs the multi-tenant fairness benchmark
+//! ([`fairness_load`]) and emits `BENCH_10.json` (the light tenant's
+//! completion-latency p99 under a 10:1 heavy-tenant flood vs
+//! isolation).
 
 pub mod ablations;
 pub mod appendix_a;
+pub mod fairness_load;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;

@@ -145,6 +145,7 @@ fn run_topology(shards: usize, jobs: usize, seed_base: u64) -> TopologyReport {
             // nothing to recover anyway.
             journal: false,
             journal_dir: None,
+            tenants: None,
         })
         .expect("shard binds");
         let handle = server.handle();

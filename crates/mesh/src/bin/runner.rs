@@ -10,9 +10,11 @@
 //! runner serve [--addr HOST:PORT] [--workers N] [--http-threads N]
 //!              [--capacity N] [--store DIR] [--journal DIR|--no-journal]
 //!              [--shard-id ID] [--pace-ms N] [--peers HOST:PORT,...]
+//!              [--tenants FILE]
 //! runner mesh --shards N [--base-port P] [--addr HOST:PORT]
 //!             [--store DIR] [--workers N] [--pace-ms N] [--capacity N]
-//! runner mesh --peers HOST:PORT,... [--addr HOST:PORT]
+//!             [--tenants FILE]
+//! runner mesh --peers HOST:PORT,... [--addr HOST:PORT] [--tenants FILE]
 //! runner tune --domain ID --store DIR [--generations N] [--population N]
 //!             [--seed N] [--workers N] [--quick] [--watch] [--json]
 //! runner bank replay --store DIR [--json]
@@ -72,14 +74,24 @@
 //! the metrics mesh block, --pace-ms sets a per-worker minimum service
 //! time for freshly executed jobs (rate limiting), and --peers names
 //! the full shard seed list — it starts the membership heartbeat and
-//! the work-stealing loop against those peers.
+//! the work-stealing loop against those peers. --tenants FILE loads a
+//! tenant registry (DESIGN.md §12): submits then require
+//! `Authorization: Bearer <api-key>`, each tenant gets a weighted
+//! fair-share lane plus its configured caps and submit rate, and
+//! `/v1/metrics` grows a per-tenant block. Without the flag the server
+//! runs open (single anonymous tenant, pre-tenancy behavior).
 //!
 //! `runner mesh` runs the distributed tier itself. With `--shards N` it
 //! spawns N local `runner serve` shard processes (ports `--base-port`
 //! upward, shared `--store`, stealing enabled) and fronts them with the
 //! gateway on --addr; `POST /v1/shutdown` on the gateway drains the
 //! shards too. With `--peers` it only runs the gateway over shards that
-//! are already running (started however the operator likes).
+//! are already running (started however the operator likes). --tenants
+//! FILE makes the gateway the tier's authentication edge (and, with
+//! `--shards`, hands the same registry to every spawned shard):
+//! bearer keys are checked once at the gateway and the tenant id is
+//! forwarded to the owning shard, which enforces that tenant's lane
+//! weight, caps, and submit rate.
 //!
 //! `runner tune` closes the repair loop (DESIGN.md §11): it scores the
 //! named domain's shipped heuristic against every banked adversarial
@@ -220,9 +232,11 @@ usage:
   runner serve [--addr HOST:PORT] [--workers N] [--http-threads N]
                [--capacity N] [--store DIR] [--journal DIR|--no-journal]
                [--shard-id ID] [--pace-ms N] [--peers HOST:PORT,...]
+               [--tenants FILE]
   runner mesh --shards N [--base-port P] [--addr HOST:PORT]
               [--store DIR] [--workers N] [--pace-ms N] [--capacity N]
-  runner mesh --peers HOST:PORT,... [--addr HOST:PORT]
+              [--tenants FILE]
+  runner mesh --peers HOST:PORT,... [--addr HOST:PORT] [--tenants FILE]
   runner tune --domain ID --store DIR [--generations N] [--population N]
               [--seed N] [--workers N] [--quick] [--watch] [--json]
   runner bank replay --store DIR [--json]
@@ -375,6 +389,7 @@ fn serve_main(argv: &[String]) -> i32 {
                     .map_err(|e| format!("--pace-ms: {e}"))
             }),
             "--peers" => take(&mut it, "--peers").map(|v| peers_csv = Some(v)),
+            "--tenants" => take(&mut it, "--tenants").map(|v| config.tenants = Some(v.into())),
             "--help" | "-h" => {
                 print!("{}", USAGE);
                 return 0;
@@ -475,6 +490,7 @@ fn mesh_main(argv: &[String]) -> i32 {
     let mut workers: usize = 0;
     let mut pace_ms: u64 = 0;
     let mut capacity: usize = 64;
+    let mut tenants: Option<String> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let take = |it: &mut std::slice::Iter<'_, String>, what: &str| {
@@ -509,6 +525,7 @@ fn mesh_main(argv: &[String]) -> i32 {
                     .map(|n| capacity = n)
                     .map_err(|e| format!("--capacity: {e}"))
             }),
+            "--tenants" => take(&mut it, "--tenants").map(|v| tenants = Some(v)),
             "--help" | "-h" => {
                 print!("{}", USAGE);
                 return 0;
@@ -560,6 +577,11 @@ fn mesh_main(argv: &[String]) -> i32 {
             if pace_ms > 0 {
                 cmd.arg("--pace-ms").arg(pace_ms.to_string());
             }
+            // Shards enforce quotas, so they need the same registry the
+            // gateway authenticates against.
+            if let Some(file) = &tenants {
+                cmd.arg("--tenants").arg(file);
+            }
             match cmd.spawn() {
                 Ok(child) => children.push((child, addr.parse().expect("shard addr parses"))),
                 Err(e) => {
@@ -598,6 +620,7 @@ fn mesh_main(argv: &[String]) -> i32 {
     let config = GatewayConfig {
         addr: gateway_addr.clone(),
         peers,
+        tenants: tenants.clone().map(Into::into),
         ..GatewayConfig::default()
     };
     let gateway = match Gateway::bind(config) {

@@ -24,16 +24,28 @@
 //! (a shard dying mid-stream) is propagated as transport-level
 //! truncation — the gateway never fabricates a clean terminator for a
 //! stream it did not see end.
+//!
+//! With a tenant registry configured ([`GatewayConfig::tenants`]) the
+//! gateway is the tier's *authentication edge*: it terminates
+//! `Authorization: Bearer` exactly like a standalone shard (401
+//! malformed/missing, 403 unknown), forwards the authenticated tenant
+//! id upstream via the trusted `X-Xplain-Tenant` header, and reports
+//! per-tenant edge counters in its own `/v1/metrics`. Shards are
+//! assumed to sit on a private network behind the gateway (DESIGN.md
+//! §12's trust model); quota enforcement itself lives on the shards,
+//! whose tenant-scoped 429s relay through unchanged.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
-use xplain_runtime::{JobQueue, JobSpec};
+use xplain_runtime::{JobQueue, JobSpec, TenantRegistry};
 use xplain_serve::http::{
     finish_chunked, read_request, start_chunked, write_chunk, HttpError, Request, Response,
 };
@@ -68,6 +80,10 @@ pub struct GatewayConfig {
     /// `POST` attempts per shard (429 + Retry-After waits) before
     /// failing over to the next peer in the ring.
     pub upstream_attempts: u32,
+    /// Tenant registry config path (DESIGN.md §12). `None` (the
+    /// default) runs the gateway open — no authentication, every
+    /// request anonymous, byte-for-byte the pre-tenancy behavior.
+    pub tenants: Option<PathBuf>,
 }
 
 impl Default for GatewayConfig {
@@ -82,6 +98,7 @@ impl Default for GatewayConfig {
             probe_timeout: Duration::from_millis(250),
             heartbeat: Duration::from_millis(500),
             upstream_attempts: 3,
+            tenants: None,
         }
     }
 }
@@ -157,6 +174,10 @@ impl Gateway {
     /// Serve until shutdown, then stop the heartbeat and return. Blocks
     /// the calling thread.
     pub fn run(self) -> io::Result<()> {
+        let tenants = match &self.config.tenants {
+            Some(path) => TenantRegistry::load(path)?,
+            None => TenantRegistry::open(),
+        };
         let mesh = Arc::new(MeshStatus::new("gateway"));
         let membership = Membership::bootstrap(
             self.config.peers.clone(),
@@ -167,10 +188,13 @@ impl Gateway {
         let heartbeat =
             Arc::clone(&membership).start_heartbeat(self.config.heartbeat, Arc::clone(&hb_stop));
 
+        let tenant_stats = Mutex::new(BTreeMap::new());
         let ctx = GatewayCtx {
             membership: &membership,
             mesh: &mesh,
             config: &self.config,
+            tenants: &tenants,
+            tenant_stats: &tenant_stats,
             shutdown: &self.shutdown,
             addr: self.local_addr,
             started: Instant::now(),
@@ -220,9 +244,58 @@ struct GatewayCtx<'a> {
     membership: &'a Arc<Membership>,
     mesh: &'a MeshStatus,
     config: &'a GatewayConfig,
+    tenants: &'a TenantRegistry,
+    /// Per-tenant edge counters (submits relayed/rejected *through this
+    /// gateway* — shard metrics count the authoritative queue view).
+    tenant_stats: &'a Mutex<BTreeMap<String, GatewayTenantStats>>,
     shutdown: &'a AtomicBool,
     addr: SocketAddr,
     started: Instant,
+}
+
+#[derive(Debug, Default, Clone)]
+struct GatewayTenantStats {
+    submitted: u64,
+    rejected: u64,
+}
+
+/// Resolve the caller's tenant identity — the same contract as the
+/// serve layer's `authenticate` so a client cannot tell whether it hit
+/// a shard or the gateway. Open mode: `Ok(None)`, headers ignored.
+/// Enforcing: `Bearer` keys checked against the registry (401
+/// malformed, 403 unknown — on every route); `X-Xplain-Tenant` is
+/// honored as trusted forwarding (another gateway in front of this
+/// one); neither header is `Ok(None)`, and attribution-requiring
+/// routes (submit, tune) answer 401 downstream.
+fn authenticate(ctx: &GatewayCtx<'_>, request: &Request) -> Result<Option<String>, Box<Response>> {
+    if !ctx.tenants.enforcing() {
+        return Ok(None);
+    }
+    if let Some(value) = request.header("authorization") {
+        let key = match value.split_once(' ') {
+            Some((scheme, rest)) if scheme.eq_ignore_ascii_case("bearer") => rest.trim(),
+            _ => {
+                return Err(Box::new(Response::error(
+                    401,
+                    "malformed Authorization header (expected 'Bearer <api-key>')",
+                )))
+            }
+        };
+        return match ctx.tenants.authenticate(key) {
+            Some(tenant) => Ok(Some(tenant.id.clone())),
+            None => Err(Box::new(Response::error(403, "unknown API key"))),
+        };
+    }
+    if let Some(id) = request.header("x-xplain-tenant") {
+        return match ctx.tenants.lookup(id) {
+            Some(tenant) => Ok(Some(tenant.id.clone())),
+            None => Err(Box::new(Response::error(
+                403,
+                &format!("unknown tenant id '{id}'"),
+            ))),
+        };
+    }
+    Ok(None)
 }
 
 fn handle_connection(mut stream: TcpStream, ctx: &GatewayCtx<'_>) {
@@ -244,11 +317,18 @@ fn handle_connection(mut stream: TcpStream, ctx: &GatewayCtx<'_>) {
             return;
         }
     };
+    let tenant = match authenticate(ctx, &request) {
+        Ok(tenant) => tenant,
+        Err(response) => {
+            let _ = response.write_to(&mut stream);
+            return;
+        }
+    };
     match route(&request.method, &request.path) {
         Ok(Route::JobEvents(id)) => proxy_events(&mut stream, ctx, &id),
-        Ok(Route::Tune) => proxy_tune(&mut stream, ctx, &request),
+        Ok(Route::Tune) => proxy_tune(&mut stream, ctx, &request, tenant.as_deref()),
         Ok(r) => {
-            let response = dispatch(ctx, r, &request);
+            let response = dispatch(ctx, r, &request, tenant.as_deref());
             let _ = response.write_to(&mut stream);
         }
         Err(RouteError::NotFound) => {
@@ -269,16 +349,83 @@ struct ShutdownBody {
 
 /// The gateway's own `GET /v1/metrics` body: it holds no queue, so the
 /// report is uptime plus the mesh block (shard metrics live on the
-/// shards; aggregate by polling each).
-#[derive(Debug, Serialize)]
+/// shards; aggregate by polling each). When the gateway enforces
+/// tenancy a `tenants` block of edge counters is appended; in open
+/// mode the key is absent and the body is byte-for-byte pre-tenancy.
+#[derive(Debug)]
 struct GatewayMetrics {
     uptime_ms: u64,
     mesh: MeshReport,
+    tenants: Option<Vec<GatewayTenantReport>>,
 }
 
-fn dispatch(ctx: &GatewayCtx<'_>, route: Route, request: &Request) -> Response {
+// Hand-written: the vendored serde has no `skip_serializing_if`, and
+// the open-mode body must not grow a `"tenants":null` key.
+impl Serialize for GatewayMetrics {
+    fn to_value(&self) -> serde::Value {
+        let mut map: Vec<(String, serde::Value)> = vec![
+            ("uptime_ms".into(), self.uptime_ms.to_value()),
+            ("mesh".into(), self.mesh.to_value()),
+        ];
+        if let Some(tenants) = &self.tenants {
+            map.push(("tenants".into(), tenants.to_value()));
+        }
+        serde::Value::Map(map)
+    }
+}
+
+/// One tenant's edge counters, sorted by id in the report.
+#[derive(Debug, Serialize)]
+struct GatewayTenantReport {
+    tenant: String,
+    weight: u64,
+    submitted: u64,
+    rejected: u64,
+}
+
+/// Snapshot the per-tenant edge counters: every registered tenant
+/// appears (zeroed if it never submitted here), sorted by id — the
+/// same discipline as the shard-side `tenants` block.
+fn tenant_reports(ctx: &GatewayCtx<'_>) -> Vec<GatewayTenantReport> {
+    let stats = ctx.tenant_stats.lock().expect("tenant stats");
+    let mut reports: Vec<GatewayTenantReport> = ctx
+        .tenants
+        .tenants()
+        .iter()
+        .map(|t| {
+            let s = stats.get(&t.id).cloned().unwrap_or_default();
+            GatewayTenantReport {
+                tenant: t.id.clone(),
+                weight: t.weight,
+                submitted: s.submitted,
+                rejected: s.rejected,
+            }
+        })
+        .collect();
+    reports.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    reports
+}
+
+/// Bump a tenant's edge counter for one settled submit.
+fn record_submit(ctx: &GatewayCtx<'_>, tenant: Option<&str>, accepted: bool) {
+    let Some(id) = tenant else { return };
+    let mut stats = ctx.tenant_stats.lock().expect("tenant stats");
+    let entry = stats.entry(id.to_string()).or_default();
+    if accepted {
+        entry.submitted += 1;
+    } else {
+        entry.rejected += 1;
+    }
+}
+
+fn dispatch(
+    ctx: &GatewayCtx<'_>,
+    route: Route,
+    request: &Request,
+    tenant: Option<&str>,
+) -> Response {
     match route {
-        Route::SubmitJob => submit(ctx, request),
+        Route::SubmitJob => submit(ctx, request, tenant),
         Route::JobStatus(id) => forward_by_id(ctx, &id, "GET", &format!("/v1/jobs/{id}")),
         Route::CancelJob(id) => forward_by_id(ctx, &id, "POST", &format!("/v1/jobs/{id}/cancel")),
         Route::Domains => forward_any(ctx, "/v1/domains"),
@@ -296,6 +443,7 @@ fn dispatch(ctx: &GatewayCtx<'_>, route: Route, request: &Request) -> Response {
             let body = GatewayMetrics {
                 uptime_ms: ctx.started.elapsed().as_millis() as u64,
                 mesh: ctx.mesh.report(0),
+                tenants: ctx.tenants.enforcing().then(|| tenant_reports(ctx)),
             };
             Response::json(200, serde_json::to_string(&body).expect("body serializes"))
         }
@@ -336,8 +484,19 @@ fn no_healthy() -> Response {
 }
 
 /// `POST /v1/jobs`: hash the spec exactly as every shard does, forward
-/// to the ring owner, fail over down the preference list.
-fn submit(ctx: &GatewayCtx<'_>, request: &Request) -> Response {
+/// to the ring owner, fail over down the preference list. When
+/// enforcing, an anonymous submit is refused at the edge (401) and an
+/// authenticated one carries its tenant id upstream, so the owning
+/// shard applies that tenant's lane, caps, and submit rate — a
+/// tenant-scoped 429 (Retry-After computed from *that tenant's*
+/// backlog) relays through unchanged.
+fn submit(ctx: &GatewayCtx<'_>, request: &Request, tenant: Option<&str>) -> Response {
+    if ctx.tenants.enforcing() && tenant.is_none() {
+        return Response::error(
+            401,
+            "missing API key (send 'Authorization: Bearer <api-key>')",
+        );
+    }
     let body = match request.body_str() {
         Ok(b) => b,
         Err(e) => return Response::error(400, &e.to_string()),
@@ -348,22 +507,27 @@ fn submit(ctx: &GatewayCtx<'_>, request: &Request) -> Response {
     };
     let key = JobQueue::job_key(&spec, 0);
     let view = ctx.membership.view();
-    let mut last: Option<Response> = None;
+    let mut settled: Option<Response> = None;
     for peer in ring::preference(key, &view)
         .into_iter()
         .filter(|p| p.healthy)
     {
-        let client = upstream_client(ctx, peer);
+        let client = upstream_client(ctx, peer, tenant);
         match client.post_retry("/v1/jobs", body, ctx.config.upstream_attempts) {
             // Still 429 after the retry budget, or shard-side failure:
             // fail over (another shard computes the same bytes; the
             // shared store deduplicates).
-            Ok(r) if r.status == 429 || r.status >= 500 => last = Some(relay(r)),
-            Ok(r) => return relay(r),
+            Ok(r) if r.status == 429 || r.status >= 500 => settled = Some(relay(r)),
+            Ok(r) => {
+                settled = Some(relay(r));
+                break;
+            }
             Err(_) => {} // unreachable mid-epoch; skip
         }
     }
-    last.unwrap_or_else(no_healthy)
+    let response = settled.unwrap_or_else(no_healthy);
+    record_submit(ctx, tenant, matches!(response.status, 200 | 202));
+    response
 }
 
 /// Id-routed GET/POST (`/v1/jobs/{id}`, `/v1/jobs/{id}/cancel`): try the
@@ -381,7 +545,7 @@ fn forward_by_id(ctx: &GatewayCtx<'_>, id: &str, method: &str, path: &str) -> Re
         .into_iter()
         .filter(|p| p.healthy)
     {
-        let client = upstream_client(ctx, peer);
+        let client = upstream_client(ctx, peer, None);
         let result = match method {
             "POST" => client.post(path, ""),
             _ => client.get(path),
@@ -399,15 +563,21 @@ fn forward_by_id(ctx: &GatewayCtx<'_>, id: &str, method: &str, path: &str) -> Re
 fn forward_any(ctx: &GatewayCtx<'_>, path: &str) -> Response {
     let view = ctx.membership.view();
     for peer in view.healthy() {
-        if let Ok(r) = upstream_client(ctx, peer).get(path) {
+        if let Ok(r) = upstream_client(ctx, peer, None).get(path) {
             return relay(r);
         }
     }
     no_healthy()
 }
 
-fn upstream_client(ctx: &GatewayCtx<'_>, peer: &PeerState) -> Client {
-    Client::new(peer.peer.addr).with_timeout(ctx.config.upstream_timeout)
+/// A unary upstream client; an authenticated tenant rides along as the
+/// trusted `X-Xplain-Tenant` forwarding header.
+fn upstream_client(ctx: &GatewayCtx<'_>, peer: &PeerState, tenant: Option<&str>) -> Client {
+    let client = Client::new(peer.peer.addr).with_timeout(ctx.config.upstream_timeout);
+    match tenant {
+        Some(id) => client.with_tenant(id),
+        None => client,
+    }
 }
 
 /// `POST /v1/tune`: open the upstream tuning stream on any healthy
@@ -417,7 +587,22 @@ fn upstream_client(ctx: &GatewayCtx<'_>, peer: &PeerState) -> Client {
 /// Buffered upstream errors are relayed with their status; 429/5xx
 /// fail over to the next shard, and `Retry-After` is preserved so
 /// backpressure propagates.
-fn proxy_tune(stream: &mut TcpStream, ctx: &GatewayCtx<'_>, request: &Request) {
+fn proxy_tune(
+    stream: &mut TcpStream,
+    ctx: &GatewayCtx<'_>,
+    request: &Request,
+    tenant: Option<&str>,
+) {
+    // Tuning mutates the shipped heuristic corpus — it attributes work
+    // just like a submit, so the edge demands identity too.
+    if ctx.tenants.enforcing() && tenant.is_none() {
+        let _ = Response::error(
+            401,
+            "missing API key (send 'Authorization: Bearer <api-key>')",
+        )
+        .write_to(stream);
+        return;
+    }
     let body = match request.body_str() {
         Ok(b) => b,
         Err(e) => {
@@ -428,7 +613,10 @@ fn proxy_tune(stream: &mut TcpStream, ctx: &GatewayCtx<'_>, request: &Request) {
     let view = ctx.membership.view();
     let mut last: Option<Response> = None;
     for peer in view.healthy() {
-        let client = Client::new(peer.peer.addr).with_timeout(ctx.config.stream_timeout);
+        let mut client = Client::new(peer.peer.addr).with_timeout(ctx.config.stream_timeout);
+        if let Some(id) = tenant {
+            client = client.with_tenant(id);
+        }
         match client.stream_post("/v1/tune", body) {
             Ok((200, _headers, mut lines)) => {
                 if start_chunked(stream, 200, "application/x-ndjson").is_err() {

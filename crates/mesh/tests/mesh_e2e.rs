@@ -45,7 +45,7 @@ use xplain_mesh::{
 };
 use xplain_runtime::{
     run_manifest_opts, watch_line, DomainRegistry, JobOutcome, JobQueue, JobSpec, RunOptions,
-    SessionBudgets, SessionEvent, WatchLine,
+    SessionBudgets, SessionEvent, TenantRegistry, WatchLine,
 };
 use xplain_serve::{Client, MeshStatus, Server, ServerConfig, ServerHandle};
 
@@ -824,4 +824,137 @@ fn regressions_and_tune_are_identical_through_gateway_and_shard() {
     shard.shutdown();
     shard_join.join().unwrap();
     let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+/// Tenancy at the edge (DESIGN.md §12): the gateway authenticates
+/// bearer keys exactly like a shard (401 missing/malformed on submit,
+/// 403 unknown on every route), forwards the authenticated tenant id
+/// upstream so the shard enforces that tenant's lane and quotas,
+/// relays tenant-scoped 429s with Retry-After intact, and both tiers
+/// report per-tenant metrics blocks.
+#[test]
+fn gateway_authenticates_tenants_at_the_edge_and_forwards_attribution() {
+    let _guard = test_lock();
+    let tenants_file =
+        std::env::temp_dir().join(format!("xplain-mesh-tenants-{}.json", std::process::id()));
+    std::fs::write(
+        &tenants_file,
+        format!(
+            r#"{{"tenants": [
+                {{"id": "heavy", "key_fnv": "{}", "weight": 3}},
+                {{"id": "light", "key_fnv": "{}", "weight": 1,
+                  "submit_rate": 0.25, "submit_burst": 1}}
+            ]}}"#,
+            TenantRegistry::hash_api_key("heavy-key"),
+            TenantRegistry::hash_api_key("light-key"),
+        ),
+    )
+    .expect("tenant config writes");
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_workers: 1,
+        http_threads: 4,
+        capacity: 32,
+        store_dir: None,
+        read_timeout: Duration::from_secs(120),
+        retain_done: 1024,
+        shard_id: Some("t0".into()),
+        pace_ms: 0,
+        mesh: None,
+        tenants: Some(tenants_file.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("shard binds");
+    let shard = server.handle();
+    let shard_join = std::thread::spawn(move || {
+        let registry = DomainRegistry::builtin();
+        server.run(&registry).expect("server runs");
+    });
+
+    let gateway = Gateway::bind(GatewayConfig {
+        addr: "127.0.0.1:0".into(),
+        peers: peers_of(&[shard.addr()]),
+        heartbeat: Duration::from_millis(100),
+        // One attempt per shard: a tenant-scoped 429 must surface to
+        // the caller (Retry-After intact), not be waited out upstream.
+        upstream_attempts: 1,
+        tenants: Some(tenants_file.clone()),
+        ..GatewayConfig::default()
+    })
+    .expect("gateway binds");
+    let gw = gateway.handle();
+    let gw_join = std::thread::spawn(move || gateway.run().expect("gateway runs"));
+
+    // The edge refuses anonymous and bad credentials before anything
+    // is forwarded: 401 missing/malformed, 403 unknown — the same
+    // answers a standalone shard gives.
+    let anon = client_at(gw.addr());
+    let resp = anon.post("/v1/jobs", &spec_json(&spec("dp", 1))).unwrap();
+    assert_eq!(resp.status, 401, "{}", resp.body);
+    let resp = client_at(gw.addr())
+        .with_header("Authorization", "Basic dXNlcjpwdw==")
+        .post("/v1/jobs", &spec_json(&spec("dp", 1)))
+        .unwrap();
+    assert_eq!(resp.status, 401, "{}", resp.body);
+    let resp = client_at(gw.addr())
+        .with_bearer("no-such-key")
+        .get("/v1/domains")
+        .unwrap();
+    assert_eq!(resp.status, 403, "{}", resp.body);
+    let resp = client_at(gw.addr())
+        .with_tenant("nobody")
+        .get("/v1/domains")
+        .unwrap();
+    assert_eq!(resp.status, 403, "{}", resp.body);
+
+    // Authenticated submits route through; the light tenant's second
+    // immediate submit trips its own token bucket on the shard and the
+    // 429 relays back out with the tenant-scoped Retry-After.
+    let heavy = client_at(gw.addr()).with_bearer("heavy-key");
+    let light = client_at(gw.addr()).with_bearer("light-key");
+    let resp = heavy.post("/v1/jobs", &spec_json(&spec("dp", 7))).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let heavy_id = serde_json::from_str::<SubmitResp>(&resp.body).unwrap().id;
+    let resp = light.post("/v1/jobs", &spec_json(&spec("ff", 8))).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let light_id = serde_json::from_str::<SubmitResp>(&resp.body).unwrap().id;
+    let resp = light.post("/v1/jobs", &spec_json(&spec("ff", 9))).unwrap();
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    assert!(
+        resp.body.contains("tenant 'light'"),
+        "429 must be tenant-scoped: {}",
+        resp.body
+    );
+    assert!(
+        resp.header("retry-after").is_some(),
+        "gateway must relay Retry-After"
+    );
+
+    // Per-tenant metrics on both tiers: the gateway's edge counters and
+    // the shard's authoritative queue view, both sorted by tenant id.
+    let gw_metrics = anon.get("/v1/metrics").unwrap().body;
+    assert!(
+        gw_metrics.contains(
+            "\"tenants\":[\
+             {\"tenant\":\"heavy\",\"weight\":3,\"submitted\":1,\"rejected\":0},\
+             {\"tenant\":\"light\",\"weight\":1,\"submitted\":1,\"rejected\":1}]"
+        ),
+        "gateway edge counters wrong: {gw_metrics}"
+    );
+    let shard_metrics = client_at(shard.addr()).get("/v1/metrics").unwrap().body;
+    assert!(
+        shard_metrics.contains("\"tenant\":\"heavy\",\"weight\":3,")
+            && shard_metrics.contains("\"tenant\":\"light\",\"weight\":1,"),
+        "shard lost forwarded attribution: {shard_metrics}"
+    );
+
+    wait_done(&heavy, &heavy_id);
+    wait_done(&light, &light_id);
+
+    gw.shutdown();
+    gw_join.join().unwrap();
+    shard.shutdown();
+    shard_join.join().unwrap();
+    let _ = std::fs::remove_file(&tenants_file);
 }

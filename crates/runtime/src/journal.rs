@@ -70,7 +70,8 @@ const MAX_FRAME_BYTES: u32 = 4 * 1024 * 1024;
 /// Frame header: u32 payload length + u64 payload checksum.
 const FRAME_HEADER: usize = 12;
 
-/// One journal record on the wire. `spec` rides only on `accepted`.
+/// One journal record on the wire. `spec` and `tenant` ride only on
+/// `accepted`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct JournalRecord {
     kind: String,
@@ -78,6 +79,11 @@ struct JournalRecord {
     id: String,
     #[serde(default)]
     spec: Option<JobSpec>,
+    /// Tenant attribution (`None` for anonymous / open-mode
+    /// submissions, and absent in journals written before tenancy —
+    /// `default` keeps old segments replayable).
+    #[serde(default)]
+    tenant: Option<String>,
 }
 
 /// Where a journaled job stands after folding its records.
@@ -123,11 +129,13 @@ struct Inner {
     jobs: HashMap<u64, JobState>,
     /// Latest accepted spec per live key.
     specs: HashMap<u64, JobSpec>,
+    /// Tenant attribution per live key (absent = anonymous).
+    tenants: HashMap<u64, String>,
     /// First-acceptance order (may hold keys gone terminal; filtered on
     /// use, pruned at compaction).
     order: Vec<u64>,
     /// Live jobs found at open, in order — drained by `take_recovered`.
-    recovered: Vec<JobSpec>,
+    recovered: Vec<(JobSpec, Option<String>)>,
     records: u64,
     recovered_count: usize,
     segments_compacted: u64,
@@ -182,14 +190,15 @@ impl JobJournal {
 
         let mut jobs = HashMap::new();
         let mut specs = HashMap::new();
+        let mut tenants = HashMap::new();
         let mut order = Vec::new();
         for (_, path, _) in &segments {
-            replay_segment(path, &mut jobs, &mut specs, &mut order);
+            replay_segment(path, &mut jobs, &mut specs, &mut tenants, &mut order);
         }
-        let recovered: Vec<JobSpec> = order
+        let recovered: Vec<(JobSpec, Option<String>)> = order
             .iter()
             .filter(|k| jobs.get(k) == Some(&JobState::Live))
-            .filter_map(|k| specs.get(k).cloned())
+            .filter_map(|k| specs.get(k).map(|s| (s.clone(), tenants.get(k).cloned())))
             .collect();
         let recovered_count = recovered.len();
 
@@ -207,6 +216,7 @@ impl JobJournal {
                 sealed: segments.into_iter().map(|(_, p, b)| (p, b)).collect(),
                 jobs,
                 specs,
+                tenants,
                 order,
                 recovered,
                 records: 0,
@@ -235,24 +245,35 @@ impl JobJournal {
         &self.dir
     }
 
-    /// Drain the jobs replayed as live at open, in their original
-    /// acceptance order. The queue re-submits each one (which re-journals
-    /// it); jobs that cannot be re-enqueued (queue at capacity) stay
-    /// live in the journal and surface again on the next restart.
-    pub fn take_recovered(&self) -> Vec<JobSpec> {
+    /// Drain the jobs replayed as live at open — `(spec, tenant)` in
+    /// original acceptance order. The queue re-submits each one (which
+    /// re-journals it, attribution included, so fairness state survives
+    /// repeated crashes); jobs that cannot be re-enqueued (queue at
+    /// capacity) stay live in the journal and surface again on the next
+    /// restart.
+    pub fn take_recovered(&self) -> Vec<(JobSpec, Option<String>)> {
         std::mem::take(&mut self.inner.lock().expect("journal state").recovered)
     }
 
     /// Journal an accepted job, durably, before the queue makes it
-    /// visible to workers.
-    pub fn record_accepted(&self, key: u64, spec: &JobSpec) {
+    /// visible to workers. `tenant` is the submission's attribution
+    /// (`None` for anonymous / open mode).
+    pub fn record_accepted(&self, key: u64, spec: &JobSpec, tenant: Option<&str>) {
         let mut inner = self.inner.lock().expect("journal state");
         if inner.jobs.get(&key) != Some(&JobState::Live) {
             inner.order.push(key);
         }
         inner.jobs.insert(key, JobState::Live);
         inner.specs.insert(key, spec.clone());
-        self.append_locked(&mut inner, "accepted", key, Some(spec));
+        match tenant {
+            Some(t) => {
+                inner.tenants.insert(key, t.to_string());
+            }
+            None => {
+                inner.tenants.remove(&key);
+            }
+        }
+        self.append_locked(&mut inner, "accepted", key, Some(spec), tenant);
         self.maybe_compact_locked(&mut inner);
     }
 
@@ -283,8 +304,9 @@ impl JobJournal {
         inner.jobs.insert(key, next);
         if next == JobState::Terminal {
             inner.specs.remove(&key);
+            inner.tenants.remove(&key);
         }
-        self.append_locked(&mut inner, kind, key, None);
+        self.append_locked(&mut inner, kind, key, None, None);
         self.maybe_compact_locked(&mut inner);
     }
 
@@ -306,14 +328,19 @@ impl JobJournal {
         let sealed = std::mem::take(&mut inner.sealed);
         // Re-accept the live set into the active segment so the sealed
         // history is redundant before it is unlinked.
-        let live: Vec<(u64, JobSpec)> = inner
+        let live: Vec<(u64, JobSpec, Option<String>)> = inner
             .order
             .iter()
             .filter(|k| inner.jobs.get(k) == Some(&JobState::Live))
-            .filter_map(|k| inner.specs.get(k).map(|s| (*k, s.clone())))
+            .filter_map(|k| {
+                inner
+                    .specs
+                    .get(k)
+                    .map(|s| (*k, s.clone(), inner.tenants.get(k).cloned()))
+            })
             .collect();
-        for (key, spec) in &live {
-            self.append_locked(inner, "accepted", *key, Some(spec));
+        for (key, spec, tenant) in &live {
+            self.append_locked(inner, "accepted", *key, Some(spec), tenant.as_deref());
         }
         let mut reclaimed = 0u64;
         for (path, bytes) in sealed {
@@ -362,11 +389,19 @@ impl JobJournal {
     /// must be durable before the state change it records becomes
     /// visible). Failures are counted, never propagated — see the type
     /// docs.
-    fn append_locked(&self, inner: &mut Inner, kind: &str, key: u64, spec: Option<&JobSpec>) {
+    fn append_locked(
+        &self,
+        inner: &mut Inner,
+        kind: &str,
+        key: u64,
+        spec: Option<&JobSpec>,
+        tenant: Option<&str>,
+    ) {
         let record = JournalRecord {
             kind: kind.to_string(),
             id: format!("{key:016x}"),
             spec: spec.cloned(),
+            tenant: tenant.map(|t| t.to_string()),
         };
         let payload = match serde_json::to_string(&record) {
             Ok(p) => p.into_bytes(),
@@ -441,6 +476,7 @@ fn replay_segment(
     path: &Path,
     jobs: &mut HashMap<u64, JobState>,
     specs: &mut HashMap<u64, JobSpec>,
+    tenants: &mut HashMap<u64, String>,
     order: &mut Vec<u64>,
 ) {
     let Ok(bytes) = fs::read(path) else {
@@ -475,6 +511,14 @@ fn replay_segment(
                     }
                     jobs.insert(key, JobState::Live);
                     specs.insert(key, spec);
+                    match record.tenant {
+                        Some(t) => {
+                            tenants.insert(key, t);
+                        }
+                        None => {
+                            tenants.remove(&key);
+                        }
+                    }
                 }
             }
             "started" => {
@@ -484,6 +528,7 @@ fn replay_segment(
                 if let Some(state) = jobs.get_mut(&key) {
                     *state = JobState::Terminal;
                     specs.remove(&key);
+                    tenants.remove(&key);
                 }
             }
             _ => {} // future record kinds: ignore
@@ -518,9 +563,9 @@ mod tests {
         let dir = scratch("replay");
         {
             let journal = JobJournal::open(&dir).unwrap();
-            journal.record_accepted(1, &spec(1));
-            journal.record_accepted(2, &spec(2));
-            journal.record_accepted(3, &spec(3));
+            journal.record_accepted(1, &spec(1), None);
+            journal.record_accepted(2, &spec(2), None);
+            journal.record_accepted(3, &spec(3), None);
             journal.record_started(2);
             journal.record_done(2);
             journal.record_cancelled(3);
@@ -529,7 +574,8 @@ mod tests {
         let journal = JobJournal::open(&dir).unwrap();
         let recovered = journal.take_recovered();
         assert_eq!(recovered.len(), 1);
-        assert_eq!(recovered[0].seed, 1);
+        assert_eq!(recovered[0].0.seed, 1);
+        assert_eq!(recovered[0].1, None);
         assert_eq!(journal.stats().recovered, 1);
         // Draining is one-shot.
         assert!(journal.take_recovered().is_empty());
@@ -558,7 +604,7 @@ mod tests {
             let journal = JobJournal::open_with(&dir, ROTATE).unwrap();
             journal.take_recovered();
             for i in 0..200u64 {
-                journal.record_accepted(i, &spec(i));
+                journal.record_accepted(i, &spec(i), Some("tenant-a"));
                 journal.record_done(i);
             }
             let stats = journal.stats();
@@ -588,9 +634,9 @@ mod tests {
         let dir = scratch("carry");
         {
             let journal = JobJournal::open_with(&dir, 256).unwrap();
-            journal.record_accepted(7, &spec(7)); // stays live throughout
+            journal.record_accepted(7, &spec(7), Some("light")); // stays live throughout
             for i in 100..160u64 {
-                journal.record_accepted(i, &spec(i));
+                journal.record_accepted(i, &spec(i), None);
                 journal.record_done(i);
             }
             let stats = journal.stats();
@@ -600,7 +646,32 @@ mod tests {
         let journal = JobJournal::open_with(&dir, 256).unwrap();
         let recovered = journal.take_recovered();
         assert_eq!(recovered.len(), 1);
-        assert_eq!(recovered[0].seed, 7);
+        assert_eq!(recovered[0].0.seed, 7);
+        // Attribution survives compaction: the carried-forward accepted
+        // record re-writes the tenant too.
+        assert_eq!(recovered[0].1.as_deref(), Some("light"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Tenant attribution rides the accepted record and replays with
+    /// it; journals written before tenancy (no `tenant` field) replay
+    /// as anonymous.
+    #[test]
+    fn tenant_attribution_replays_in_acceptance_order() {
+        let dir = scratch("tenant");
+        {
+            let journal = JobJournal::open(&dir).unwrap();
+            journal.record_accepted(1, &spec(1), Some("heavy"));
+            journal.record_accepted(2, &spec(2), None);
+            journal.record_accepted(3, &spec(3), Some("light"));
+        }
+        let journal = JobJournal::open(&dir).unwrap();
+        let recovered = journal.take_recovered();
+        let got: Vec<(u64, Option<&str>)> = recovered
+            .iter()
+            .map(|(s, t)| (s.seed, t.as_deref()))
+            .collect();
+        assert_eq!(got, vec![(1, Some("heavy")), (2, None), (3, Some("light"))]);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -611,8 +682,8 @@ mod tests {
         let dir = scratch("torn");
         let seg = {
             let journal = JobJournal::open(&dir).unwrap();
-            journal.record_accepted(1, &spec(1));
-            journal.record_accepted(2, &spec(2));
+            journal.record_accepted(1, &spec(1), None);
+            journal.record_accepted(2, &spec(2), None);
             segment_path(&dir, 0)
         };
         // Simulate a torn write: a frame header promising more bytes
@@ -647,8 +718,8 @@ mod tests {
         let dir = scratch("corrupt");
         {
             let journal = JobJournal::open(&dir).unwrap();
-            journal.record_accepted(1, &spec(1));
-            journal.record_accepted(2, &spec(2));
+            journal.record_accepted(1, &spec(1), None);
+            journal.record_accepted(2, &spec(2), None);
         }
         let seg = segment_path(&dir, 0);
         let mut bytes = fs::read(&seg).unwrap();

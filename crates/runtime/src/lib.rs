@@ -25,6 +25,12 @@
 //! * [`journal`] — the write-ahead job journal: accepted jobs are
 //!   durable before they are visible, so a crashed server re-enqueues
 //!   every accepted-but-unfinished job on restart.
+//! * [`tenant`] — the multi-tenancy layer: [`tenant::TenantRegistry`]
+//!   (API keys, weights, quotas, loaded from JSON config), the
+//!   deficit-round-robin [`tenant::DrrScheduler`] the queue dispatches
+//!   through, and token-bucket submit rates. With no config the queue
+//!   runs in "open mode": one anonymous lane, byte-identical to the
+//!   pre-tenancy FIFO.
 //! * [`bank`] — the adversarial regression bank: every naturally
 //!   finished session writes its findings' witnesses through to a
 //!   content-addressed corpus under the store, which `runner bank
@@ -43,6 +49,7 @@ pub mod executor;
 pub mod journal;
 pub mod queue;
 pub mod store;
+pub mod tenant;
 pub mod watch;
 
 pub use adapters::{DpDomain, DpDslMapper, FfDomain, FfDslMapper, SchedDomain, SchedDslMapper};
@@ -58,9 +65,10 @@ pub use executor::{
 pub use journal::{JobJournal, JournalStats};
 pub use queue::{
     Disposition, EventsChunk, JobPhase, JobQueue, JobView, PendingJob, QueueCounters, QueueFull,
-    QueueOptions, Submitted,
+    QueueOptions, Submitted, TenantCounters, TenantRejection,
 };
 pub use store::{GcReport, ResultStore, STALE_TMP_MAX_AGE};
+pub use tenant::{DrrScheduler, Tenant, TenantQuota, TenantRegistry, TokenBucket};
 pub use watch::{watch_line, WatchLine};
 // The session vocabulary travels with the runtime so callers need not
 // depend on xplain-core directly.

@@ -36,7 +36,7 @@
 //! a checkpoint (when a store is attached), and emit their terminal
 //! event; workers then drain and return.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
@@ -48,6 +48,7 @@ use crate::domain::DomainRegistry;
 use crate::executor::{derive_seed, run_job, EventSink, JobOutcome, JobSpec, RunOptions};
 use crate::journal::JobJournal;
 use crate::store::ResultStore;
+use crate::tenant::{DrrScheduler, TenantRegistry, TokenBucket};
 use crate::watch::watch_line;
 
 /// Queue-wide execution policy.
@@ -86,22 +87,59 @@ pub struct QueueOptions {
     pub pace_ms: u64,
 }
 
-/// A submission was rejected because the queue's waiting line is at
-/// capacity. Carries the depth observed at rejection time so admission
-/// layers can derive a `Retry-After`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A submission was rejected — the global waiting line is at capacity,
+/// or (with a [`TenantRegistry`] attached) the submitting tenant hit
+/// its own quota. Carries the depth observed at rejection time so
+/// admission layers can derive a `Retry-After`, plus tenant-scoped
+/// context when the submission carried an identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueueFull {
     pub depth: usize,
     pub capacity: usize,
+    /// Tenant-scoped rejection context (`None` for anonymous
+    /// submissions — the pre-tenancy global estimate applies).
+    pub tenant: Option<TenantRejection>,
+}
+
+/// Why and for whom a tenant-attributed submission was rejected — the
+/// inputs an admission layer needs to compute a *tenant-scoped*
+/// `Retry-After` (the tenant's own backlog over the tenant's own drain
+/// share) instead of the global backlog estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantRejection {
+    /// The submitting tenant's id.
+    pub tenant: String,
+    /// The tenant's queued backlog at rejection time.
+    pub backlog: usize,
+    /// The tenant's fair-share weight.
+    pub weight: u64,
+    /// Sum of weights over tenants with backlog (the share
+    /// denominator; >= `weight` whenever `backlog > 0`).
+    pub active_weight: u64,
+    /// Exact wait reported by a token-bucket rejection, in whole
+    /// seconds (0 when the rejection was depth-based, not rate-based).
+    pub retry_secs: u64,
 }
 
 impl std::fmt::Display for QueueFull {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "job queue is full ({} waiting, capacity {})",
-            self.depth, self.capacity
-        )
+        match &self.tenant {
+            Some(t) if t.retry_secs > 0 => write!(
+                f,
+                "tenant '{}' is over its submit rate (retry in {}s)",
+                t.tenant, t.retry_secs
+            ),
+            Some(t) => write!(
+                f,
+                "tenant '{}' is at capacity ({} waiting of {} total, capacity {})",
+                t.tenant, t.backlog, self.depth, self.capacity
+            ),
+            None => write!(
+                f,
+                "job queue is full ({} waiting, capacity {})",
+                self.depth, self.capacity
+            ),
+        }
     }
 }
 
@@ -190,6 +228,8 @@ pub struct PendingJob {
     pub domain: String,
     /// Already offered to a peer via [`JobQueue::donate`].
     pub donated: bool,
+    /// Tenant attribution (`None` for anonymous submissions).
+    pub tenant: Option<String>,
 }
 
 /// One batch of tailed events.
@@ -225,6 +265,37 @@ pub struct QueueCounters {
     /// ([`JobQueue::recover`]) — accepted by a previous process over the
     /// same store that died before finishing them.
     pub recovered: u64,
+}
+
+/// Point-in-time per-tenant gauges and counters (the `tenants` block of
+/// `GET /v1/metrics` when tenancy is configured).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    pub tenant: String,
+    /// Fair-share weight.
+    pub weight: u64,
+    /// Jobs waiting in this tenant's lane.
+    pub pending: usize,
+    /// Jobs currently executing for this tenant.
+    pub running: usize,
+    /// Accepted submissions, every disposition.
+    pub submitted: u64,
+    /// Executions (and inline cache answers) that reached `Done`.
+    pub completed: u64,
+    /// Submissions rejected — global capacity, in-flight cap, or
+    /// submit rate.
+    pub rejected: u64,
+}
+
+/// Mutable per-tenant accounting, keyed by tenant id under the queue
+/// mutex.
+#[derive(Debug, Default)]
+struct TenantStats {
+    running: usize,
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    bucket: Option<TokenBucket>,
 }
 
 enum SlotState {
@@ -268,11 +339,21 @@ struct JobSlot {
     /// Re-enqueued from the journal at startup rather than submitted by
     /// a client of *this* process (surfaced on `GET /v1/jobs/{id}`).
     recovered: bool,
+    /// Tenant attribution of the first submitter (`None` for anonymous
+    /// / batch submissions). Joins from other tenants do not re-home a
+    /// job — the content key, not the identity, names the work.
+    tenant: Option<String>,
 }
 
 struct QueueState {
     slots: Vec<JobSlot>,
-    pending: VecDeque<usize>,
+    /// The waiting line: per-tenant FIFO lanes drained by weighted
+    /// deficit round robin. With no tenancy configured every job lands
+    /// in the single anonymous lane and this is exactly the old global
+    /// FIFO.
+    sched: DrrScheduler,
+    /// Per-tenant accounting (named tenants only).
+    tenant_stats: HashMap<String, TenantStats>,
     /// Content key → newest slot (deduplicated submissions only).
     by_key: HashMap<u64, usize>,
     /// Completion order, oldest first — the eviction queue when
@@ -295,6 +376,10 @@ pub struct JobQueue<'a> {
     /// process left behind. Batch (positional) jobs are never journaled
     /// — a manifest is its own durable record.
     journal: Option<&'a JobJournal>,
+    /// Tenant directory for weights and quotas. `None` (and open-mode
+    /// registries) schedule everything in the anonymous lane with no
+    /// quota checks — the pre-tenancy behavior, byte for byte.
+    tenants: Option<&'a TenantRegistry>,
     /// Global observer (the batch `--watch` sink); per-job event logs are
     /// separate and gated on `record_events`.
     sink: Option<EventSink<'a>>,
@@ -327,10 +412,12 @@ impl<'a> JobQueue<'a> {
             opts,
             origin: None,
             journal: None,
+            tenants: None,
             sink,
             state: Mutex::new(QueueState {
                 slots: Vec::new(),
-                pending: VecDeque::new(),
+                sched: DrrScheduler::new(),
+                tenant_stats: HashMap::new(),
                 by_key: HashMap::new(),
                 done_order: VecDeque::new(),
             }),
@@ -365,6 +452,17 @@ impl<'a> JobQueue<'a> {
         self
     }
 
+    /// Attach a tenant directory: submissions via
+    /// [`JobQueue::submit_deduped_as`] are scheduled in per-tenant
+    /// lanes weighted by the registry, and per-tenant quotas (in-flight
+    /// cap, submit rate) reject with tenant-scoped [`QueueFull`]
+    /// context. Without one — or with an open-mode registry — every
+    /// submission is anonymous and nothing changes.
+    pub fn with_tenants(mut self, tenants: Option<&'a TenantRegistry>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
     /// Re-enqueue every accepted-but-unfinished job the journal replayed
     /// at open, in original acceptance order. Jobs whose results landed
     /// in the store before the crash answer as cache hits and are
@@ -378,8 +476,8 @@ impl<'a> JobQueue<'a> {
             return 0;
         };
         let mut scheduled = 0;
-        for spec in journal.take_recovered() {
-            match self.submit_deduped_inner(spec, true) {
+        for (spec, tenant) in journal.take_recovered() {
+            match self.submit_deduped_inner(spec, tenant.as_deref(), true) {
                 Ok(sub) if sub.disposition == Disposition::CacheHit => {
                     // The result survived the crash; close the journal
                     // entry so compaction can drop the job.
@@ -439,7 +537,14 @@ impl<'a> JobQueue<'a> {
             events_done: false,
             donated: false,
             recovered: false,
+            tenant: None,
         }
+    }
+
+    /// The scheduling weight of a tenant id (anonymous and unknown ids
+    /// weigh 1).
+    fn tenant_weight(&self, tenant: Option<&str>) -> u64 {
+        self.tenants.map(|r| r.weight_of(tenant)).unwrap_or(1)
     }
 
     /// Append an indexed job (the batch path — no deduplication; a
@@ -447,18 +552,19 @@ impl<'a> JobQueue<'a> {
     /// Returns the slot handle.
     pub fn submit(&self, spec: JobSpec, index: usize) -> Result<usize, QueueFull> {
         let mut state = self.state.lock().expect("queue state");
-        if self.opts.capacity > 0 && state.pending.len() >= self.opts.capacity {
+        if self.opts.capacity > 0 && state.sched.len() >= self.opts.capacity {
             self.rejected_full.fetch_add(1, Ordering::Relaxed);
             return Err(QueueFull {
-                depth: state.pending.len(),
+                depth: state.sched.len(),
                 capacity: self.opts.capacity,
+                tenant: None,
             });
         }
         let slot_idx = state.slots.len();
         let slot = Self::new_slot(spec, index);
         state.by_key.insert(slot.key, slot_idx);
         state.slots.push(slot);
-        state.pending.push_back(slot_idx);
+        state.sched.push(None, 1, slot_idx);
         self.submitted.fetch_add(1, Ordering::Relaxed);
         drop(state);
         self.work_cv.notify_one();
@@ -478,12 +584,32 @@ impl<'a> JobQueue<'a> {
     /// next execution resumes from the checkpoint under the new
     /// submission's budgets.
     pub fn submit_deduped(&self, spec: JobSpec) -> Result<Submitted, QueueFull> {
-        self.submit_deduped_inner(spec, false)
+        self.submit_deduped_inner(spec, None, false)
     }
 
-    /// [`JobQueue::submit_deduped`] with the recovery stamp — `recovered`
-    /// is true only for [`JobQueue::recover`] re-submissions.
-    fn submit_deduped_inner(&self, spec: JobSpec, recovered: bool) -> Result<Submitted, QueueFull> {
+    /// [`JobQueue::submit_deduped`] with a tenant attribution: the job
+    /// is scheduled in the tenant's weighted lane, counted against the
+    /// tenant's quotas, and journaled with the attribution so recovery
+    /// preserves fairness state. `None` is the anonymous tenant (open
+    /// mode).
+    pub fn submit_deduped_as(
+        &self,
+        spec: JobSpec,
+        tenant: Option<&str>,
+    ) -> Result<Submitted, QueueFull> {
+        self.submit_deduped_inner(spec, tenant, false)
+    }
+
+    /// [`JobQueue::submit_deduped_as`] with the recovery stamp —
+    /// `recovered` is true only for [`JobQueue::recover`]
+    /// re-submissions (which bypass the submit-rate bucket: recovery is
+    /// not a client burst).
+    fn submit_deduped_inner(
+        &self,
+        spec: JobSpec,
+        tenant: Option<&str>,
+        recovered: bool,
+    ) -> Result<Submitted, QueueFull> {
         let index = 0usize;
         let derived = Self::derived_config(&spec, index);
         let key = ResultStore::key(&spec.domain, &derived);
@@ -492,13 +618,31 @@ impl<'a> JobQueue<'a> {
 
         // Fast path: answer from in-memory state alone — the hot route
         // for repeat queries, no disk touched.
-        let state = self.state.lock().expect("queue state");
+        let mut state = self.state.lock().expect("queue state");
+        if !recovered {
+            if let Err(retry_secs) = self.rate_check_locked(&mut state, tenant) {
+                let rejection = QueueFull {
+                    depth: state.sched.len(),
+                    capacity: self.opts.capacity,
+                    tenant: self.tenant_context(&state, tenant, retry_secs),
+                };
+                self.note_rejected(&mut state, tenant);
+                return Err(rejection);
+            }
+        }
         match Self::dedup_in_memory(&state, key) {
             Some(MemDedup::Answer(slot, disposition)) => {
-                return Ok(self.noted(slot, disposition, id, key))
+                return Ok(self.noted(&mut state, tenant, slot, disposition, id, key))
             }
             Some(MemDedup::Resume) => {
-                return self.enqueue_locked(state, spec, index, Disposition::Resumed, recovered)
+                return self.enqueue_locked(
+                    state,
+                    spec,
+                    tenant,
+                    index,
+                    Disposition::Resumed,
+                    recovered,
+                )
             }
             None => {}
         }
@@ -518,10 +662,17 @@ impl<'a> JobQueue<'a> {
         let mut state = self.state.lock().expect("queue state");
         match Self::dedup_in_memory(&state, key) {
             Some(MemDedup::Answer(slot, disposition)) => {
-                return Ok(self.noted(slot, disposition, id, key))
+                return Ok(self.noted(&mut state, tenant, slot, disposition, id, key))
             }
             Some(MemDedup::Resume) => {
-                return self.enqueue_locked(state, spec, index, Disposition::Resumed, recovered)
+                return self.enqueue_locked(
+                    state,
+                    spec,
+                    tenant,
+                    index,
+                    Disposition::Resumed,
+                    recovered,
+                )
             }
             None => {}
         }
@@ -530,6 +681,7 @@ impl<'a> JobQueue<'a> {
             let slot_idx = state.slots.len();
             let mut slot = Self::new_slot(spec, index);
             slot.recovered = recovered;
+            slot.tenant = tenant.map(|t| t.to_string());
             slot.state = SlotState::Done(Box::new(JobOutcome {
                 index,
                 domain: slot.domain.clone(),
@@ -547,6 +699,11 @@ impl<'a> JobQueue<'a> {
             self.submitted.fetch_add(1, Ordering::Relaxed);
             self.completed.fetch_add(1, Ordering::Relaxed);
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(id) = tenant {
+                let stats = state.tenant_stats.entry(id.to_string()).or_default();
+                stats.submitted += 1;
+                stats.completed += 1;
+            }
             self.mark_done_locked(&mut state, slot_idx);
             drop(state);
             self.event_cv.notify_all();
@@ -558,7 +715,55 @@ impl<'a> JobQueue<'a> {
             });
         }
 
-        self.enqueue_locked(state, spec, index, Disposition::Enqueued, recovered)
+        self.enqueue_locked(state, spec, tenant, index, Disposition::Enqueued, recovered)
+    }
+
+    /// Take one submit-rate token for the tenant (if it has a rate
+    /// quota); `Err` carries the whole seconds until a token refills.
+    fn rate_check_locked(&self, state: &mut QueueState, tenant: Option<&str>) -> Result<(), u64> {
+        let (Some(registry), Some(id)) = (self.tenants, tenant) else {
+            return Ok(());
+        };
+        let Some((rate, burst)) = registry.quota_of(Some(id)).rate else {
+            return Ok(());
+        };
+        let now = std::time::Instant::now();
+        let stats = state.tenant_stats.entry(id.to_string()).or_default();
+        let bucket = stats
+            .bucket
+            .get_or_insert_with(|| TokenBucket::new(rate, burst, now));
+        bucket.try_take(now)
+    }
+
+    /// Tenant-scoped rejection context for a submission from `tenant`
+    /// (`None` for anonymous ones).
+    fn tenant_context(
+        &self,
+        state: &QueueState,
+        tenant: Option<&str>,
+        retry_secs: u64,
+    ) -> Option<TenantRejection> {
+        let id = tenant?;
+        let weight = self.tenant_weight(Some(id));
+        Some(TenantRejection {
+            tenant: id.to_string(),
+            backlog: state.sched.lane_depth(Some(id)),
+            weight,
+            active_weight: state.sched.active_weight().max(weight),
+            retry_secs,
+        })
+    }
+
+    /// Count one rejection, globally and against the tenant.
+    fn note_rejected(&self, state: &mut QueueState, tenant: Option<&str>) {
+        self.rejected_full.fetch_add(1, Ordering::Relaxed);
+        if let Some(id) = tenant {
+            state
+                .tenant_stats
+                .entry(id.to_string())
+                .or_default()
+                .rejected += 1;
+        }
     }
 
     /// Classify what the in-memory state can do for a submission of
@@ -590,10 +795,25 @@ impl<'a> JobQueue<'a> {
     }
 
     /// Count and package an in-memory dedup answer.
-    fn noted(&self, slot: usize, disposition: Disposition, id: String, key: u64) -> Submitted {
+    fn noted(
+        &self,
+        state: &mut QueueState,
+        tenant: Option<&str>,
+        slot: usize,
+        disposition: Disposition,
+        id: String,
+        key: u64,
+    ) -> Submitted {
         self.submitted.fetch_add(1, Ordering::Relaxed);
         if disposition == Disposition::CacheHit {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(tid) = tenant {
+            state
+                .tenant_stats
+                .entry(tid.to_string())
+                .or_default()
+                .submitted += 1;
         }
         Submitted {
             id,
@@ -607,36 +827,69 @@ impl<'a> JobQueue<'a> {
         &self,
         mut state: std::sync::MutexGuard<'_, QueueState>,
         spec: JobSpec,
+        tenant: Option<&str>,
         index: usize,
         disposition: Disposition,
         recovered: bool,
     ) -> Result<Submitted, QueueFull> {
-        if self.opts.capacity > 0 && state.pending.len() >= self.opts.capacity {
-            self.rejected_full.fetch_add(1, Ordering::Relaxed);
-            return Err(QueueFull {
-                depth: state.pending.len(),
+        // Tenant in-flight cap first (the tenant-scoped answer beats
+        // the global one), then global capacity — which still carries
+        // the tenant context so the admission layer can scope its
+        // `Retry-After` to the tenant's own backlog and drain share.
+        if let Some(registry) = self.tenants {
+            if let Some(cap) = registry.quota_of(tenant).max_in_flight {
+                let id = tenant.expect("quota implies a tenant id");
+                let in_flight = state.sched.lane_depth(tenant)
+                    + state.tenant_stats.get(id).map_or(0, |s| s.running);
+                if in_flight >= cap {
+                    let rejection = QueueFull {
+                        depth: state.sched.len(),
+                        capacity: self.opts.capacity,
+                        tenant: self.tenant_context(&state, tenant, 0),
+                    };
+                    self.note_rejected(&mut state, tenant);
+                    return Err(rejection);
+                }
+            }
+        }
+        if self.opts.capacity > 0 && state.sched.len() >= self.opts.capacity {
+            let rejection = QueueFull {
+                depth: state.sched.len(),
                 capacity: self.opts.capacity,
-            });
+                tenant: self.tenant_context(&state, tenant, 0),
+            };
+            self.note_rejected(&mut state, tenant);
+            return Err(rejection);
         }
         let slot_idx = state.slots.len();
         let mut slot = Self::new_slot(spec, index);
         slot.recovered = recovered;
+        slot.tenant = tenant.map(|t| t.to_string());
         let (id, key) = (Self::format_id(slot.key), slot.key);
         // Write-ahead: the accept is durable *before* the job becomes
         // visible to workers (we hold the state lock, so no worker can
         // start it — or journal a `started` — until the accept record
         // has hit the disk). Crash before this line: the client never
         // got its receipt, so nothing was promised. Crash after: the
-        // journal re-enqueues the job on restart.
+        // journal re-enqueues the job on restart, tenant attribution
+        // included.
         if index == 0 {
             if let Some(journal) = self.journal {
-                journal.record_accepted(key, &slot.spec);
+                journal.record_accepted(key, &slot.spec, tenant);
             }
         }
         state.by_key.insert(key, slot_idx);
         state.slots.push(slot);
-        state.pending.push_back(slot_idx);
+        let weight = self.tenant_weight(tenant);
+        state.sched.push(tenant, weight, slot_idx);
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(tid) = tenant {
+            state
+                .tenant_stats
+                .entry(tid.to_string())
+                .or_default()
+                .submitted += 1;
+        }
         drop(state);
         self.work_cv.notify_one();
         Ok(Submitted {
@@ -694,8 +947,12 @@ impl<'a> JobQueue<'a> {
         }));
         slot.events_done = true;
         let (key, index) = (slot.key, slot.index);
+        let tenant = slot.tenant.clone();
         self.cancelled.fetch_add(1, Ordering::Relaxed);
         self.completed.fetch_add(1, Ordering::Relaxed);
+        if let Some(tid) = tenant {
+            state.tenant_stats.entry(tid).or_default().completed += 1;
+        }
         if index == 0 {
             if let Some(journal) = self.journal {
                 journal.record_cancelled(key);
@@ -752,7 +1009,7 @@ impl<'a> JobQueue<'a> {
         let &slot_idx = state.by_key.get(&key)?;
         let phase = match &state.slots[slot_idx].state {
             SlotState::Queued => {
-                state.pending.retain(|&i| i != slot_idx);
+                state.sched.remove(|i| i != slot_idx);
                 self.complete_cancelled_locked(&mut state, slot_idx);
                 JobPhase::Queued
             }
@@ -834,21 +1091,25 @@ impl<'a> JobQueue<'a> {
 
     /// Number of jobs waiting to run.
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue state").pending.len()
+        self.state.lock().expect("queue state").sched.len()
     }
 
-    /// Snapshot the waiting line in execution order.
+    /// Snapshot the waiting line in projected execution order (the DRR
+    /// dispatch order if nothing else arrived — with a single anonymous
+    /// lane, exactly the FIFO order this surface always showed).
     pub fn pending_jobs(&self) -> Vec<PendingJob> {
         let state = self.state.lock().expect("queue state");
         state
-            .pending
-            .iter()
-            .map(|&i| {
+            .sched
+            .projected_order()
+            .into_iter()
+            .map(|i| {
                 let slot = &state.slots[i];
                 PendingJob {
                     id: Self::format_id(slot.key),
                     domain: slot.domain.clone(),
                     donated: slot.donated,
+                    tenant: slot.tenant.clone(),
                 }
             })
             .collect()
@@ -859,9 +1120,10 @@ impl<'a> JobQueue<'a> {
     pub fn stealable(&self) -> usize {
         let state = self.state.lock().expect("queue state");
         state
-            .pending
-            .iter()
-            .filter(|&&i| !state.slots[i].donated && state.slots[i].index == 0)
+            .sched
+            .projected_order()
+            .into_iter()
+            .filter(|&i| !state.slots[i].donated && state.slots[i].index == 0)
             .count()
     }
 
@@ -883,9 +1145,9 @@ impl<'a> JobQueue<'a> {
         }
         let mut state = self.state.lock().expect("queue state");
         let picked: Vec<usize> = state
-            .pending
-            .iter()
-            .copied()
+            .sched
+            .projected_order()
+            .into_iter()
             .filter(|&i| !state.slots[i].donated && state.slots[i].index == 0)
             .take(max)
             .collect();
@@ -898,9 +1160,11 @@ impl<'a> JobQueue<'a> {
             slot.donated = true;
             specs.push(slot.spec.clone());
         }
-        state.pending.retain(|i| !picked.contains(i));
+        // A donated job stays queued (the local safety net) but yields
+        // to the rest of its own tenant's line — rotation never crosses
+        // lanes, so one tenant's donations cannot reorder another's.
         for slot_idx in picked {
-            state.pending.push_back(slot_idx);
+            state.sched.rotate_to_back(slot_idx);
         }
         self.donated
             .fetch_add(specs.len() as u64, Ordering::Relaxed);
@@ -924,6 +1188,50 @@ impl<'a> JobQueue<'a> {
         }
     }
 
+    /// Per-tenant accounting snapshot, sorted by tenant id. Registered
+    /// tenants always appear (zeroed if idle); tenants only observed via
+    /// forwarded attribution (e.g. recovered journals) appear once they
+    /// have any recorded activity. The anonymous lane is excluded — its
+    /// traffic is the open-mode aggregate already covered by `counters`.
+    pub fn tenant_counters(&self) -> Vec<TenantCounters> {
+        let state = self.state.lock().expect("queue state");
+        let mut merged: BTreeMap<String, TenantCounters> = BTreeMap::new();
+        if let Some(registry) = self.tenants {
+            for tenant in registry.tenants() {
+                merged.insert(
+                    tenant.id.clone(),
+                    TenantCounters {
+                        tenant: tenant.id.clone(),
+                        weight: tenant.weight,
+                        ..TenantCounters::default()
+                    },
+                );
+            }
+        }
+        for (id, stats) in &state.tenant_stats {
+            let entry = merged.entry(id.clone()).or_insert_with(|| TenantCounters {
+                tenant: id.clone(),
+                weight: 1,
+                ..TenantCounters::default()
+            });
+            entry.running = stats.running;
+            entry.submitted = stats.submitted;
+            entry.completed = stats.completed;
+            entry.rejected = stats.rejected;
+        }
+        for (tenant, weight, depth) in state.sched.lanes() {
+            if let Some(id) = tenant {
+                let entry = merged.entry(id.clone()).or_insert_with(|| TenantCounters {
+                    tenant: id,
+                    weight,
+                    ..TenantCounters::default()
+                });
+                entry.pending = depth;
+            }
+        }
+        merged.into_values().collect()
+    }
+
     pub fn is_shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::Relaxed)
     }
@@ -935,7 +1243,7 @@ impl<'a> JobQueue<'a> {
     pub fn shutdown(&self) {
         self.shutting_down.store(true, Ordering::Relaxed);
         let mut state = self.state.lock().expect("queue state");
-        let waiting: Vec<usize> = state.pending.drain(..).collect();
+        let waiting: Vec<usize> = state.sched.drain();
         for slot_idx in waiting {
             self.complete_cancelled_locked(&mut state, slot_idx);
         }
@@ -949,16 +1257,25 @@ impl<'a> JobQueue<'a> {
         self.event_cv.notify_all();
     }
 
+    /// Release the next job under the scheduler and mark it running.
+    /// The DRR state lives entirely under the mutex, so the dispatch
+    /// sequence is identical however many workers call this.
+    fn take_next_locked(&self, state: &mut QueueState) -> Option<usize> {
+        let slot_idx = state.sched.pop()?;
+        state.slots[slot_idx].state = SlotState::Running;
+        if let Some(tid) = state.slots[slot_idx].tenant.clone() {
+            state.tenant_stats.entry(tid).or_default().running += 1;
+        }
+        Some(slot_idx)
+    }
+
     /// Batch worker: run jobs until the queue is empty, then return.
     pub fn drain_worker(&self) {
         loop {
             let slot_idx = {
                 let mut state = self.state.lock().expect("queue state");
-                match state.pending.pop_front() {
-                    Some(i) => {
-                        state.slots[i].state = SlotState::Running;
-                        i
-                    }
+                match self.take_next_locked(&mut state) {
+                    Some(i) => i,
                     None => return,
                 }
             };
@@ -975,8 +1292,7 @@ impl<'a> JobQueue<'a> {
             let slot_idx = {
                 let mut state = self.state.lock().expect("queue state");
                 loop {
-                    if let Some(i) = state.pending.pop_front() {
-                        state.slots[i].state = SlotState::Running;
+                    if let Some(i) = self.take_next_locked(&mut state) {
                         break i;
                     }
                     if self.is_shutting_down() {
@@ -1100,6 +1416,11 @@ impl<'a> JobQueue<'a> {
         let slot = &mut state.slots[slot_idx];
         slot.state = SlotState::Done(Box::new(outcome));
         slot.events_done = true;
+        if let Some(tid) = slot.tenant.clone() {
+            let stats = state.tenant_stats.entry(tid).or_default();
+            stats.running = stats.running.saturating_sub(1);
+            stats.completed += 1;
+        }
         self.mark_done_locked(&mut state, slot_idx);
         drop(state);
         self.active.fetch_sub(1, Ordering::Relaxed);

@@ -1,0 +1,625 @@
+//! Multi-tenancy: identities, quotas, and weighted fair-share
+//! scheduling.
+//!
+//! The serving layer is multi-tenant in name only without this module —
+//! every submission lands in one FIFO line, so a single heavy client
+//! starves everyone else. XPlain's pitch is an *interactive* tool
+//! heuristic designers iterate against; interactivity dies the moment
+//! one tenant's flood queues ahead of another tenant's three probes.
+//! This module supplies the three pieces the queue, the HTTP layer, and
+//! the mesh gateway share:
+//!
+//! * [`TenantRegistry`] — tenant identities loaded from a JSON config
+//!   file. API keys are stored as FNV-1a64 hashes (the same hash the
+//!   store keys use), never in plaintext; `Authorization: Bearer`
+//!   values are hashed and looked up. With no config the registry is in
+//!   **open mode**: authentication is off, every submission is the
+//!   single anonymous tenant, and every byte of existing behavior is
+//!   preserved — open mode is the back-compat contract, not a fallback.
+//! * [`TenantQuota`] — per-tenant admission limits: an in-flight cap
+//!   (queued + running executions) and a token-bucket submit rate.
+//!   Either limit rejects with a *tenant-scoped* `Retry-After` instead
+//!   of the global backlog estimate.
+//! * [`DrrScheduler`] — deficit-round-robin dispatch over per-tenant
+//!   FIFO lanes, weighted by tenant weight. Jobs are unit-cost (the
+//!   queue paces per job, not per byte), so each round a lane earns
+//!   `weight` credits and releases up to that many jobs. The scheduler
+//!   is a plain data structure mutated only under the queue mutex, so
+//!   the dispatch order is a pure function of the arrival order — one
+//!   worker and N workers drain tenants in the same sequence, the same
+//!   positional-determinism contract the executor pins.
+//!
+//! # Config schema
+//!
+//! ```json
+//! {
+//!   "tenants": [
+//!     {
+//!       "id": "acme",
+//!       "key_fnv": "b3c1a09e77d01f22",
+//!       "weight": 4,
+//!       "max_in_flight": 8,
+//!       "submit_rate": 5.0,
+//!       "submit_burst": 10
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `key_fnv` is the zero-padded hex FNV-1a64 of the tenant's API key
+//! ([`TenantRegistry::hash_api_key`] computes it). `weight` defaults to
+//! 1 (0 is treated as 1 — a configured tenant is never starved
+//! outright). `max_in_flight` and `submit_rate` default to 0 =
+//! unlimited; `submit_burst` defaults to the ceiling of `submit_rate`
+//! (at least 1) when a rate is set.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::store::fnv1a64;
+
+/// One tenant entry as it appears in the config file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantEntry {
+    pub id: String,
+    /// FNV-1a64 of the API key, zero-padded hex (never the plaintext).
+    pub key_fnv: String,
+    /// Fair-share weight (default 1; 0 is clamped to 1).
+    #[serde(default)]
+    pub weight: u64,
+    /// Max queued + running executions (0 = unlimited).
+    #[serde(default)]
+    pub max_in_flight: u64,
+    /// Sustained submissions per second (0 = unlimited).
+    #[serde(default)]
+    pub submit_rate: f64,
+    /// Token-bucket burst size (0 = derived from `submit_rate`).
+    #[serde(default)]
+    pub submit_burst: u64,
+}
+
+/// Wrapper for the config file's top level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TenantFile {
+    tenants: Vec<TenantEntry>,
+}
+
+/// Admission limits for one tenant. `None` fields are unlimited.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQuota {
+    /// Max queued + running executions.
+    pub max_in_flight: Option<usize>,
+    /// Token-bucket refill rate (submissions per second) and burst.
+    pub rate: Option<(f64, f64)>,
+}
+
+impl TenantQuota {
+    pub const UNLIMITED: TenantQuota = TenantQuota {
+        max_in_flight: None,
+        rate: None,
+    };
+}
+
+/// One resolved tenant.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    pub id: String,
+    /// Fair-share weight, already clamped to >= 1.
+    pub weight: u64,
+    pub quota: TenantQuota,
+}
+
+/// The tenant directory: API-key authentication plus per-tenant weight
+/// and quota lookup. See the module docs for open mode.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    tenants: Vec<Tenant>,
+    by_key: HashMap<u64, usize>,
+    by_id: HashMap<String, usize>,
+    enforcing: bool,
+}
+
+impl Default for TenantRegistry {
+    fn default() -> Self {
+        Self::open()
+    }
+}
+
+impl TenantRegistry {
+    /// Open mode: no identities, no auth, one anonymous tenant. Every
+    /// existing caller that never heard of tenancy gets exactly the old
+    /// behavior.
+    pub fn open() -> Self {
+        TenantRegistry {
+            tenants: Vec::new(),
+            by_key: HashMap::new(),
+            by_id: HashMap::new(),
+            enforcing: false,
+        }
+    }
+
+    /// Load a registry from a JSON config file (enforcing mode).
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path.as_ref())?;
+        Self::from_json(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.as_ref().display()),
+            )
+        })
+    }
+
+    /// Parse a registry from config JSON (enforcing mode).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let file: TenantFile =
+            serde_json::from_str(text).map_err(|e| format!("bad tenant config: {e}"))?;
+        if file.tenants.is_empty() {
+            return Err("tenant config lists no tenants".to_string());
+        }
+        let mut tenants = Vec::with_capacity(file.tenants.len());
+        let mut by_key = HashMap::new();
+        let mut by_id = HashMap::new();
+        for entry in file.tenants {
+            if entry.id.is_empty() {
+                return Err("tenant with empty id".to_string());
+            }
+            let key = u64::from_str_radix(&entry.key_fnv, 16)
+                .map_err(|_| format!("tenant '{}': key_fnv is not 16-hex", entry.id))?;
+            let idx = tenants.len();
+            if by_id.insert(entry.id.clone(), idx).is_some() {
+                return Err(format!("duplicate tenant id '{}'", entry.id));
+            }
+            if by_key.insert(key, idx).is_some() {
+                return Err(format!("tenant '{}': key_fnv collides", entry.id));
+            }
+            let rate = (entry.submit_rate > 0.0).then(|| {
+                let burst = if entry.submit_burst > 0 {
+                    entry.submit_burst as f64
+                } else {
+                    entry.submit_rate.ceil().max(1.0)
+                };
+                (entry.submit_rate, burst)
+            });
+            tenants.push(Tenant {
+                id: entry.id,
+                weight: entry.weight.max(1),
+                quota: TenantQuota {
+                    max_in_flight: (entry.max_in_flight > 0)
+                        .then_some(entry.max_in_flight as usize),
+                    rate,
+                },
+            });
+        }
+        Ok(TenantRegistry {
+            tenants,
+            by_key,
+            by_id,
+            enforcing: true,
+        })
+    }
+
+    /// The zero-padded hex FNV-1a64 of an API key — what `key_fnv`
+    /// holds in the config file.
+    pub fn hash_api_key(api_key: &str) -> String {
+        format!("{:016x}", fnv1a64(api_key.as_bytes()))
+    }
+
+    /// Whether authentication is on (a config was loaded). Open mode
+    /// answers false and every lookup below answers `None`.
+    pub fn enforcing(&self) -> bool {
+        self.enforcing
+    }
+
+    /// Resolve a presented API key (the `Bearer` value) to its tenant.
+    pub fn authenticate(&self, api_key: &str) -> Option<&Tenant> {
+        let key = fnv1a64(api_key.as_bytes());
+        self.by_key.get(&key).map(|&i| &self.tenants[i])
+    }
+
+    /// Resolve a tenant id (the mesh gateway forwards ids, not keys).
+    pub fn lookup(&self, id: &str) -> Option<&Tenant> {
+        self.by_id.get(id).map(|&i| &self.tenants[i])
+    }
+
+    /// All configured tenants (empty in open mode).
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Weight for a tenant id; unknown ids (and the anonymous tenant)
+    /// weigh 1 so an attribution surviving a config change still
+    /// schedules.
+    pub fn weight_of(&self, id: Option<&str>) -> u64 {
+        id.and_then(|id| self.lookup(id))
+            .map(|t| t.weight)
+            .unwrap_or(1)
+    }
+
+    /// Quota for a tenant id; unknown ids are unlimited.
+    pub fn quota_of(&self, id: Option<&str>) -> TenantQuota {
+        id.and_then(|id| self.lookup(id))
+            .map(|t| t.quota)
+            .unwrap_or(TenantQuota::UNLIMITED)
+    }
+}
+
+/// A token bucket: `rate` tokens/sec refill up to `burst`; each
+/// submission takes one. [`TokenBucket::try_take`] answers how long
+/// until the next token when empty — the tenant-scoped `Retry-After`.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    pub fn new(rate: f64, burst: f64, now: Instant) -> Self {
+        TokenBucket {
+            rate: rate.max(f64::MIN_POSITIVE),
+            burst: burst.max(1.0),
+            tokens: burst.max(1.0),
+            last: now,
+        }
+    }
+
+    /// Take one token, or answer the whole seconds until one refills.
+    pub fn try_take(&mut self, now: Instant) -> Result<(), u64> {
+        let elapsed = now.saturating_duration_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            let wait = (1.0 - self.tokens) / self.rate;
+            Err(wait.ceil().max(1.0) as u64)
+        }
+    }
+}
+
+/// Deficit round robin over per-tenant FIFO lanes.
+///
+/// Items are opaque (the queue stores slot indices). Lanes are created
+/// on first arrival in arrival order; each lane is strict FIFO. A
+/// dispatch round walks the lanes in creation order: a lane with
+/// backlog earns `weight` credits when its turn starts and releases one
+/// item per credit before the cursor moves on. Unit-cost DRR like this
+/// is exactly weighted round robin, and with a single lane it
+/// degenerates to the plain FIFO the queue shipped with — the open-mode
+/// back-compat contract.
+///
+/// All mutation happens under the owning queue's mutex, so the pop
+/// sequence is a pure function of the arrival sequence — worker count
+/// never changes which tenant's job dispatches next.
+#[derive(Debug, Clone, Default)]
+pub struct DrrScheduler {
+    lanes: Vec<DrrLane>,
+    by_tenant: HashMap<Option<String>, usize>,
+    cursor: usize,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct DrrLane {
+    tenant: Option<String>,
+    weight: u64,
+    deficit: u64,
+    queue: std::collections::VecDeque<usize>,
+}
+
+impl DrrScheduler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total queued items across all lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queued items in one tenant's lane (the tenant-scoped backlog an
+    /// admission layer reports).
+    pub fn lane_depth(&self, tenant: Option<&str>) -> usize {
+        self.lane_index(tenant)
+            .map(|i| self.lanes[i].queue.len())
+            .unwrap_or(0)
+    }
+
+    /// Sum of weights over lanes with backlog — the denominator of a
+    /// tenant's drain share.
+    pub fn active_weight(&self) -> u64 {
+        self.lanes
+            .iter()
+            .filter(|l| !l.queue.is_empty())
+            .map(|l| l.weight)
+            .sum()
+    }
+
+    fn lane_index(&self, tenant: Option<&str>) -> Option<usize> {
+        // HashMap<Option<String>> cannot be probed with Option<&str>
+        // directly; two probes avoid allocating on the hot anonymous
+        // path.
+        match tenant {
+            None => self.by_tenant.get(&None).copied(),
+            Some(id) => self.by_tenant.get(&Some(id.to_string())).copied(),
+        }
+    }
+
+    /// Append an item to its tenant's lane, creating the lane (with the
+    /// given weight, clamped to >= 1) on first arrival.
+    pub fn push(&mut self, tenant: Option<&str>, weight: u64, item: usize) {
+        let lane = match self.lane_index(tenant) {
+            Some(i) => i,
+            None => {
+                let i = self.lanes.len();
+                let tenant_owned = tenant.map(|t| t.to_string());
+                self.lanes.push(DrrLane {
+                    tenant: tenant_owned.clone(),
+                    weight: weight.max(1),
+                    deficit: 0,
+                    queue: std::collections::VecDeque::new(),
+                });
+                self.by_tenant.insert(tenant_owned, i);
+                i
+            }
+        };
+        self.lanes[lane].queue.push_back(item);
+        self.len += 1;
+    }
+
+    /// Release the next item under DRR. `None` only when empty.
+    pub fn pop(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.lanes.len();
+        loop {
+            let lane = &mut self.lanes[self.cursor % n];
+            if lane.queue.is_empty() {
+                // An empty lane forfeits its credits — deficits never
+                // accumulate across idle periods, so a returning tenant
+                // cannot burst past its weight.
+                lane.deficit = 0;
+                self.cursor = (self.cursor + 1) % n;
+                continue;
+            }
+            if lane.deficit == 0 {
+                lane.deficit = lane.weight;
+            }
+            let item = lane.queue.pop_front().expect("non-empty lane");
+            lane.deficit -= 1;
+            if lane.deficit == 0 || lane.queue.is_empty() {
+                lane.deficit = 0;
+                self.cursor = (self.cursor + 1) % n;
+            }
+            self.len -= 1;
+            return Some(item);
+        }
+    }
+
+    /// Remove specific items wherever they sit (cancellation).
+    pub fn remove(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        for lane in &mut self.lanes {
+            let before = lane.queue.len();
+            lane.queue.retain(|&i| keep(i));
+            self.len -= before - lane.queue.len();
+        }
+    }
+
+    /// Drain every lane, in projected dispatch order.
+    pub fn drain(&mut self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(i) = self.pop() {
+            out.push(i);
+        }
+        out
+    }
+
+    /// Rotate an item to the back of its own lane (a donated job stays
+    /// queued as the safety net, but yields to the rest of its tenant's
+    /// line).
+    pub fn rotate_to_back(&mut self, item: usize) {
+        for lane in &mut self.lanes {
+            if let Some(pos) = lane.queue.iter().position(|&i| i == item) {
+                lane.queue.remove(pos);
+                lane.queue.push_back(item);
+                return;
+            }
+        }
+    }
+
+    /// The order items would dispatch in if no more arrived — a pure
+    /// projection (clones the lane state; lanes are few and shallow).
+    /// With one lane this is the lane itself: the FIFO snapshot the
+    /// open-mode `/v1/queue` surface always showed.
+    pub fn projected_order(&self) -> Vec<usize> {
+        let mut copy = self.clone();
+        copy.drain()
+    }
+
+    /// Per-lane snapshot: (tenant, weight, depth), lanes in creation
+    /// order.
+    pub fn lanes(&self) -> Vec<(Option<String>, u64, usize)> {
+        self.lanes
+            .iter()
+            .map(|l| (l.tenant.clone(), l.weight, l.queue.len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn registry_json() -> String {
+        format!(
+            r#"{{"tenants": [
+                {{"id": "heavy", "key_fnv": "{}", "weight": 3, "max_in_flight": 8, "submit_rate": 5.0, "submit_burst": 10}},
+                {{"id": "light", "key_fnv": "{}", "weight": 1}}
+            ]}}"#,
+            TenantRegistry::hash_api_key("heavy-key"),
+            TenantRegistry::hash_api_key("light-key"),
+        )
+    }
+
+    #[test]
+    fn registry_authenticates_by_key_hash_and_looks_up_by_id() {
+        let reg = TenantRegistry::from_json(&registry_json()).unwrap();
+        assert!(reg.enforcing());
+        assert_eq!(reg.tenants().len(), 2);
+        let heavy = reg.authenticate("heavy-key").unwrap();
+        assert_eq!(heavy.id, "heavy");
+        assert_eq!(heavy.weight, 3);
+        assert_eq!(heavy.quota.max_in_flight, Some(8));
+        assert_eq!(heavy.quota.rate, Some((5.0, 10.0)));
+        // Unknown key, unknown id.
+        assert!(reg.authenticate("wrong-key").is_none());
+        assert!(reg.lookup("nobody").is_none());
+        // Defaults: weight clamps to 1, quotas unlimited.
+        let light = reg.lookup("light").unwrap();
+        assert_eq!(light.weight, 1);
+        assert_eq!(light.quota, TenantQuota::UNLIMITED);
+        assert_eq!(reg.weight_of(Some("heavy")), 3);
+        assert_eq!(reg.weight_of(Some("gone")), 1);
+        assert_eq!(reg.weight_of(None), 1);
+    }
+
+    #[test]
+    fn registry_rejects_malformed_configs() {
+        assert!(TenantRegistry::from_json("{}").is_err());
+        assert!(TenantRegistry::from_json(r#"{"tenants": []}"#).is_err());
+        assert!(TenantRegistry::from_json(
+            r#"{"tenants": [{"id": "", "key_fnv": "00000000000000aa"}]}"#
+        )
+        .is_err());
+        assert!(
+            TenantRegistry::from_json(r#"{"tenants": [{"id": "a", "key_fnv": "zz"}]}"#).is_err()
+        );
+        let dup_id = r#"{"tenants": [
+            {"id": "a", "key_fnv": "00000000000000aa"},
+            {"id": "a", "key_fnv": "00000000000000ab"}
+        ]}"#;
+        assert!(TenantRegistry::from_json(dup_id).is_err());
+        let dup_key = r#"{"tenants": [
+            {"id": "a", "key_fnv": "00000000000000aa"},
+            {"id": "b", "key_fnv": "00000000000000aa"}
+        ]}"#;
+        assert!(TenantRegistry::from_json(dup_key).is_err());
+    }
+
+    #[test]
+    fn open_mode_registry_authenticates_nothing() {
+        let reg = TenantRegistry::open();
+        assert!(!reg.enforcing());
+        assert!(reg.authenticate("anything").is_none());
+        assert!(reg.tenants().is_empty());
+        assert_eq!(reg.weight_of(None), 1);
+        assert_eq!(reg.quota_of(None), TenantQuota::UNLIMITED);
+    }
+
+    #[test]
+    fn token_bucket_refills_at_rate_and_reports_whole_second_waits() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(2.0, 2.0, t0);
+        assert!(bucket.try_take(t0).is_ok());
+        assert!(bucket.try_take(t0).is_ok());
+        // Empty: the wait is the time to one token, ceiled, >= 1.
+        let wait = bucket.try_take(t0).unwrap_err();
+        assert_eq!(wait, 1);
+        // Half a second refills one token at 2/sec.
+        assert!(bucket.try_take(t0 + Duration::from_millis(600)).is_ok());
+        // Burst caps accumulation: a long idle refills to burst, no more.
+        let mut bucket = TokenBucket::new(1.0, 2.0, t0);
+        let later = t0 + Duration::from_secs(60);
+        assert!(bucket.try_take(later).is_ok());
+        assert!(bucket.try_take(later).is_ok());
+        assert!(bucket.try_take(later).is_err());
+    }
+
+    #[test]
+    fn single_lane_drr_is_plain_fifo() {
+        let mut s = DrrScheduler::new();
+        for i in 0..5 {
+            s.push(None, 1, i);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.projected_order(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.drain(), vec![0, 1, 2, 3, 4]);
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn weighted_lanes_interleave_by_weight() {
+        let mut s = DrrScheduler::new();
+        // heavy (weight 3) arrives first with 6 jobs, light (weight 1)
+        // with 2. One round: 3 heavy, 1 light; next round: 3 heavy, 1
+        // light.
+        for i in 0..6 {
+            s.push(Some("heavy"), 3, i);
+        }
+        for i in 10..12 {
+            s.push(Some("light"), 1, i);
+        }
+        assert_eq!(s.drain(), vec![0, 1, 2, 10, 3, 4, 5, 11]);
+    }
+
+    #[test]
+    fn empty_lane_forfeits_credit_and_rotation_stays_in_lane() {
+        let mut s = DrrScheduler::new();
+        s.push(Some("a"), 2, 0);
+        s.push(Some("b"), 1, 10);
+        // Drain a entirely; later arrivals must not inherit stale
+        // deficit.
+        assert_eq!(s.pop(), Some(0));
+        assert_eq!(s.pop(), Some(10));
+        s.push(Some("a"), 2, 1);
+        s.push(Some("a"), 2, 2);
+        s.push(Some("b"), 1, 11);
+        let order = s.projected_order();
+        assert_eq!(order, vec![1, 2, 11]);
+        // rotate_to_back moves within the lane only.
+        s.rotate_to_back(1);
+        assert_eq!(s.drain(), vec![2, 1, 11]);
+    }
+
+    #[test]
+    fn remove_filters_across_lanes() {
+        let mut s = DrrScheduler::new();
+        s.push(Some("a"), 1, 0);
+        s.push(Some("b"), 1, 1);
+        s.push(Some("a"), 1, 2);
+        s.remove(|i| i != 1 && i != 2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.drain(), vec![0]);
+    }
+
+    #[test]
+    fn lane_depth_and_active_weight_track_backlog() {
+        let mut s = DrrScheduler::new();
+        s.push(Some("a"), 3, 0);
+        s.push(Some("a"), 3, 1);
+        s.push(Some("b"), 1, 2);
+        assert_eq!(s.lane_depth(Some("a")), 2);
+        assert_eq!(s.lane_depth(Some("b")), 1);
+        assert_eq!(s.lane_depth(Some("zzz")), 0);
+        assert_eq!(s.active_weight(), 4);
+        s.pop();
+        s.pop();
+        s.pop();
+        // Drained lanes stop counting toward the share denominator.
+        s.push(Some("b"), 1, 3);
+        assert_eq!(s.active_weight(), 1);
+    }
+}

@@ -1,20 +1,28 @@
 //! Admission control: what happens when work arrives faster than the
 //! session workers drain it.
 //!
-//! The queue itself enforces the hard cap ([`xplain_runtime::QueueFull`]
-//! on submissions beyond [`xplain_runtime::QueueOptions::capacity`]);
-//! this module owns the *client-facing semantics* of that rejection —
-//! HTTP 429 with a `Retry-After` estimate — so the policy is testable
-//! without sockets and documented in one place (DESIGN.md §8):
+//! The queue itself enforces the hard caps ([`xplain_runtime::QueueFull`]
+//! on submissions beyond [`xplain_runtime::QueueOptions::capacity`], plus
+//! per-tenant in-flight caps and submit rates when a tenant registry is
+//! attached); this module owns the *client-facing semantics* of those
+//! rejections — HTTP 429 with a `Retry-After` estimate — so the policy is
+//! testable without sockets and documented in one place (DESIGN.md §8,
+//! §12):
 //!
 //! * the cap bounds **waiting** jobs; running sessions are bounded by
 //!   the worker count, so total in-flight work is `capacity + workers`;
 //! * rejected submissions are never queued partially — the client owns
 //!   the retry, and identical specs resubmitted later still dedupe;
-//! * `Retry-After` scales with the backlog: observed depth divided by
-//!   the worker count, times a nominal per-job service time, floored at
-//!   one second. It is an estimate, not a promise — clients that retry
-//!   earlier simply risk another 429.
+//! * `Retry-After` scales with the backlog the *rejected tenant* must
+//!   drain, not the whole queue's. A rejection carrying tenant context
+//!   ([`xplain_runtime::TenantRejection`]) is estimated from that
+//!   tenant's lane depth divided by its weighted share of the workers;
+//!   rate-limit rejections carry the token bucket's own exact refill
+//!   time and that wins outright. Rejections without tenant context
+//!   (open mode) keep the global estimate: observed depth divided by
+//!   the worker count, times a nominal per-job service time. Everything
+//!   is floored at one second and is an estimate, not a promise —
+//!   clients that retry earlier simply risk another 429.
 
 use xplain_runtime::QueueFull;
 
@@ -38,8 +46,28 @@ impl Default for AdmissionPolicy {
 
 impl AdmissionPolicy {
     /// The `Retry-After` seconds to attach to a 429 for this rejection.
-    pub fn retry_after_secs(&self, rejection: QueueFull, workers: usize) -> u64 {
-        let rounds = (rejection.depth as u64).div_ceil(workers.max(1) as u64);
+    pub fn retry_after_secs(&self, rejection: &QueueFull, workers: usize) -> u64 {
+        let Some(tenant) = &rejection.tenant else {
+            return self.global_estimate(rejection.depth, workers);
+        };
+        // Token-bucket rejections know exactly when the next token
+        // arrives; an estimate would only be worse.
+        if tenant.retry_secs > 0 {
+            return tenant.retry_secs.max(self.floor_secs);
+        }
+        // DRR grants this tenant `weight / active_weight` of every
+        // dispatch round, so its effective drain rate is that share of
+        // the workers (at least one: a lone tenant owns the whole pool,
+        // and integer truncation must never zero out a real share).
+        let weight = tenant.weight.max(1);
+        let active = tenant.active_weight.max(weight);
+        let share = ((workers.max(1) as u64) * weight / active).max(1);
+        let rounds = (tenant.backlog as u64).div_ceil(share);
+        (rounds * self.nominal_job_secs).max(self.floor_secs)
+    }
+
+    fn global_estimate(&self, depth: usize, workers: usize) -> u64 {
+        let rounds = (depth as u64).div_ceil(workers.max(1) as u64);
         (rounds * self.nominal_job_secs).max(self.floor_secs)
     }
 }
@@ -47,21 +75,84 @@ impl AdmissionPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xplain_runtime::TenantRejection;
+
+    fn full(depth: usize) -> QueueFull {
+        QueueFull {
+            depth,
+            capacity: 64,
+            tenant: None,
+        }
+    }
+
+    fn tenant_full(backlog: usize, weight: u64, active_weight: u64, retry_secs: u64) -> QueueFull {
+        QueueFull {
+            depth: 64,
+            capacity: 64,
+            tenant: Some(TenantRejection {
+                tenant: "t".into(),
+                backlog,
+                weight,
+                active_weight,
+                retry_secs,
+            }),
+        }
+    }
 
     #[test]
     fn retry_after_scales_with_backlog_per_worker() {
         let policy = AdmissionPolicy::default();
-        let full = |depth| QueueFull {
-            depth,
-            capacity: 64,
-        };
         // 8 waiting, 4 workers → 2 drain rounds → 4s.
-        assert_eq!(policy.retry_after_secs(full(8), 4), 4);
+        assert_eq!(policy.retry_after_secs(&full(8), 4), 4);
         // Same backlog, one worker → 16s.
-        assert_eq!(policy.retry_after_secs(full(8), 1), 16);
+        assert_eq!(policy.retry_after_secs(&full(8), 1), 16);
         // Tiny backlog never goes below the floor.
-        assert_eq!(policy.retry_after_secs(full(0), 4), 1);
+        assert_eq!(policy.retry_after_secs(&full(0), 4), 1);
         // Zero workers is treated as one (no division by zero).
-        assert_eq!(policy.retry_after_secs(full(2), 0), 4);
+        assert_eq!(policy.retry_after_secs(&full(2), 0), 4);
+    }
+
+    #[test]
+    fn tenant_rejection_scopes_retry_to_the_tenant_backlog() {
+        let policy = AdmissionPolicy::default();
+        // 6 jobs in this tenant's lane, weight 1 of 4 active, 4 workers
+        // → 1 effective worker → 6 rounds → 12s. The global depth (64)
+        // must NOT drive the estimate.
+        assert_eq!(policy.retry_after_secs(&tenant_full(6, 1, 4, 0), 4), 12);
+        // The same tenant owning 3 of 4 weight units drains 3× faster.
+        assert_eq!(policy.retry_after_secs(&tenant_full(6, 3, 4, 0), 4), 4);
+    }
+
+    #[test]
+    fn tenant_retry_degenerate_cases() {
+        let policy = AdmissionPolicy::default();
+        // Rate-limit rejection: the bucket's exact refill time wins.
+        assert_eq!(policy.retry_after_secs(&tenant_full(50, 1, 4, 7), 4), 7);
+        // Rate hint below the floor is floored.
+        let low = QueueFull {
+            depth: 0,
+            capacity: 64,
+            tenant: Some(TenantRejection {
+                tenant: "t".into(),
+                backlog: 0,
+                weight: 1,
+                active_weight: 1,
+                retry_secs: 0,
+            }),
+        };
+        assert_eq!(policy.retry_after_secs(&low, 8), 1);
+        // Zero backlog (in-flight cap hit with an empty lane) floors.
+        assert_eq!(policy.retry_after_secs(&tenant_full(0, 2, 2, 0), 4), 1);
+        // Zero/absurd weights never divide by zero: weight clamps to 1,
+        // active_weight clamps to at least the tenant's own weight.
+        assert_eq!(policy.retry_after_secs(&tenant_full(4, 0, 0, 0), 2), 4);
+        // A lone tenant (weight == active_weight) gets the whole pool —
+        // identical to the global estimate over its own lane.
+        assert_eq!(
+            policy.retry_after_secs(&tenant_full(8, 5, 5, 0), 4),
+            policy.retry_after_secs(&full(8), 4)
+        );
+        // Tiny share of a big pool still drains at ≥1 worker.
+        assert_eq!(policy.retry_after_secs(&tenant_full(3, 1, 100, 0), 2), 6);
     }
 }

@@ -40,10 +40,12 @@ impl HttpResponse {
 }
 
 /// Client for one server address.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    /// Extra headers sent with every request (auth, forwarded tenant).
+    headers: Vec<(String, String)>,
 }
 
 impl Client {
@@ -51,6 +53,7 @@ impl Client {
         Client {
             addr,
             timeout: Duration::from_secs(30),
+            headers: Vec::new(),
         }
     }
 
@@ -59,6 +62,26 @@ impl Client {
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
         self
+    }
+
+    /// Attach a header to every request this client sends.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Authenticate every request with `Authorization: Bearer <key>`
+    /// (a server running with a tenant registry requires it on
+    /// submission routes).
+    pub fn with_bearer(self, api_key: &str) -> Self {
+        self.with_header("Authorization", &format!("Bearer {api_key}"))
+    }
+
+    /// Forward an already-authenticated tenant identity
+    /// (`X-Xplain-Tenant`) — what the mesh gateway attaches when
+    /// relaying to shards behind it.
+    pub fn with_tenant(self, tenant_id: &str) -> Self {
+        self.with_header("X-Xplain-Tenant", tenant_id)
     }
 
     pub fn get(&self, path: &str) -> std::io::Result<HttpResponse> {
@@ -121,7 +144,7 @@ impl Client {
         body: Option<&str>,
     ) -> std::io::Result<(u16, Vec<(String, String)>, EventStream)> {
         let mut stream = self.connect()?;
-        write_request(&mut stream, method, path, body)?;
+        write_request(&mut stream, method, path, body, &self.headers)?;
         let mut reader = BufReader::new(stream);
         let (status, headers) = read_head(&mut reader)?;
         let chunked = header_value(&headers, "transfer-encoding")
@@ -149,7 +172,7 @@ impl Client {
         body: Option<&str>,
     ) -> std::io::Result<HttpResponse> {
         let mut stream = self.connect()?;
-        write_request(&mut stream, method, path, body)?;
+        write_request(&mut stream, method, path, body, &self.headers)?;
         let mut reader = BufReader::new(stream);
         let (status, headers) = read_head(&mut reader)?;
         let body = read_body(&mut reader, &headers)?;
@@ -183,12 +206,20 @@ fn write_request(
     method: &str,
     path: &str,
     body: Option<&str>,
+    extra_headers: &[(String, String)],
 ) -> std::io::Result<()> {
     let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: xplain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: xplain\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

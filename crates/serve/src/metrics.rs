@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use serde::Serialize;
 use xplain_lp::SolverCounters;
-use xplain_runtime::{BankInfo, JobJournal, JobQueue, JournalStats, ResultStore};
+use xplain_runtime::{BankInfo, JobJournal, JobQueue, JournalStats, ResultStore, TenantCounters};
 use xplain_stats::Histogram;
 
 use crate::router::ROUTE_TAGS;
@@ -131,17 +131,19 @@ impl ServerMetrics {
         store: Option<&ResultStore>,
         mesh: Option<&MeshStatus>,
     ) -> MetricsReport {
-        self.report_full(queue, store, mesh, None)
+        self.report_full(queue, store, mesh, None, None)
     }
 
-    /// The full report: mesh gauges and write-ahead journal stats (a
-    /// server running with durability attaches its journal here).
+    /// The full report: mesh gauges, write-ahead journal stats (a
+    /// server running with durability attaches its journal here), and —
+    /// when tenancy is enforcing — the per-tenant `tenants` block.
     pub fn report_full(
         &self,
         queue: &JobQueue<'_>,
         store: Option<&ResultStore>,
         mesh: Option<&MeshStatus>,
         journal: Option<&JobJournal>,
+        tenants: Option<Vec<TenantCounters>>,
     ) -> MetricsReport {
         let counters = queue.counters();
         MetricsReport {
@@ -162,6 +164,7 @@ impl ServerMetrics {
                 donated: counters.donated,
                 recovered: counters.recovered,
             },
+            tenants: tenants.map(|list| list.into_iter().map(TenantReport::from).collect()),
             store_entries: store.map(|s| s.len()),
             bank: store.map(|s| s.bank().info()),
             journal: journal.map(|j| j.stats()),
@@ -194,10 +197,20 @@ impl Default for ServerMetrics {
 }
 
 /// The `GET /v1/metrics` response body.
-#[derive(Debug, Clone, Serialize)]
+///
+/// `Serialize` is written by hand (not derived) for one reason: the
+/// `tenants` block must be *absent* in open mode, not `null`. The
+/// conformance suite pins the exact top-level key list, and the
+/// open-mode contract (DESIGN.md §12) is byte-for-byte compatibility
+/// with the pre-tenancy wire format — a derived `Option` field would
+/// emit `"tenants":null` unconditionally.
+#[derive(Debug, Clone)]
 pub struct MetricsReport {
     pub uptime_ms: u64,
     pub queue: QueueReport,
+    /// Per-tenant gauges, sorted by tenant id. `None` (key absent on the
+    /// wire) when the server runs in open mode.
+    pub tenants: Option<Vec<TenantReport>>,
     /// Committed results on disk (`null` when the server runs storeless).
     pub store_entries: Option<usize>,
     /// Regression-bank gauges — entry count, bytes on disk, and the last
@@ -213,6 +226,58 @@ pub struct MetricsReport {
     pub solver: SolverCounters,
     /// Per-route latency, routes with traffic only.
     pub routes: Vec<RouteLatency>,
+}
+
+impl Serialize for MetricsReport {
+    fn to_value(&self) -> serde::Value {
+        let mut map: Vec<(String, serde::Value)> = vec![
+            ("uptime_ms".into(), self.uptime_ms.to_value()),
+            ("queue".into(), self.queue.to_value()),
+        ];
+        if let Some(tenants) = &self.tenants {
+            map.push(("tenants".into(), tenants.to_value()));
+        }
+        map.push(("store_entries".into(), self.store_entries.to_value()));
+        map.push(("bank".into(), self.bank.to_value()));
+        map.push(("journal".into(), self.journal.to_value()));
+        map.push(("mesh".into(), self.mesh.to_value()));
+        map.push(("solver".into(), self.solver.to_value()));
+        map.push(("routes".into(), self.routes.to_value()));
+        serde::Value::Map(map)
+    }
+}
+
+/// One tenant's entry in the metrics `tenants` block. Field order is the
+/// wire key order and is pinned by the conformance suite.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantReport {
+    pub tenant: String,
+    /// Fair-share weight (DRR grants `weight / active_weight` of every
+    /// dispatch round).
+    pub weight: u64,
+    /// Jobs waiting in this tenant's lane.
+    pub pending: usize,
+    /// Sessions executing for this tenant right now.
+    pub running: usize,
+    pub submitted: u64,
+    pub completed: u64,
+    /// Submissions answered 429 — global capacity, in-flight cap, or
+    /// submit rate.
+    pub rejected: u64,
+}
+
+impl From<TenantCounters> for TenantReport {
+    fn from(c: TenantCounters) -> Self {
+        TenantReport {
+            tenant: c.tenant,
+            weight: c.weight,
+            pending: c.pending,
+            running: c.running,
+            submitted: c.submitted,
+            completed: c.completed,
+            rejected: c.rejected,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -339,5 +404,47 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"jobs_stolen\":5"), "{json}");
         assert!(json.contains("\"shard_id\":\"shard-1\""), "{json}");
+    }
+
+    #[test]
+    fn tenants_block_absent_in_open_mode_present_when_enforcing() {
+        let registry = DomainRegistry::builtin();
+        let queue = JobQueue::new(&registry, None, QueueOptions::default(), None);
+        let metrics = ServerMetrics::new();
+
+        // Open mode: the key must be ABSENT, not null — byte-for-byte
+        // compatibility with the pre-tenancy wire format.
+        let open = metrics.report_full(&queue, None, None, None, None);
+        let json = serde_json::to_string(&open).unwrap();
+        assert!(!json.contains("\"tenants\""), "{json}");
+
+        let report = metrics.report_full(
+            &queue,
+            None,
+            None,
+            None,
+            Some(vec![TenantCounters {
+                tenant: "acme".into(),
+                weight: 3,
+                pending: 2,
+                running: 1,
+                submitted: 9,
+                completed: 6,
+                rejected: 1,
+            }]),
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(
+            json.contains(
+                "\"tenants\":[{\"tenant\":\"acme\",\"weight\":3,\"pending\":2,\
+                 \"running\":1,\"submitted\":9,\"completed\":6,\"rejected\":1}]"
+            ),
+            "{json}"
+        );
+        // The block rides between `queue` and `store_entries`.
+        let qpos = json.find("\"queue\"").unwrap();
+        let tpos = json.find("\"tenants\"").unwrap();
+        let spos = json.find("\"store_entries\"").unwrap();
+        assert!(qpos < tpos && tpos < spos, "{json}");
     }
 }

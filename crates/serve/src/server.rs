@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 use serde::Serialize;
 use xplain_runtime::{
     DomainRegistry, JobJournal, JobOutcome, JobPhase, JobQueue, JobSpec, QueueFull, QueueOptions,
-    RegressionBank, ResultStore,
+    RegressionBank, ResultStore, TenantRegistry,
 };
 use xplain_tune::{generation_line, report_line, tune_with, TuneOptions};
 
@@ -88,6 +88,13 @@ pub struct ServerConfig {
     /// layer creates this and keeps updating it from the membership
     /// heartbeat and steal loop.
     pub mesh: Option<Arc<crate::metrics::MeshStatus>>,
+    /// Tenant registry config (JSON; see DESIGN.md §12). `None` runs the
+    /// server in open mode: no auth, one anonymous queue lane,
+    /// byte-for-byte the pre-tenancy wire format. `Some` turns on
+    /// `Authorization: Bearer` enforcement on submission routes,
+    /// weighted fair-share dispatch, per-tenant quotas, and the
+    /// `tenants` metrics block.
+    pub tenants: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +112,7 @@ impl Default for ServerConfig {
             shard_id: None,
             pace_ms: 0,
             mesh: None,
+            tenants: None,
         }
     }
 }
@@ -193,6 +201,13 @@ impl Server {
     /// the calling thread (spawn it if you need the handle elsewhere —
     /// the e2e tests and the load generator do exactly that).
     pub fn run(self, registry: &DomainRegistry) -> io::Result<()> {
+        // Load the tenant registry first: a malformed config is a
+        // startup error (serving with the wrong quota table is worse
+        // than refusing to start). No config → open mode.
+        let tenants = match &self.config.tenants {
+            Some(path) => TenantRegistry::load(path)?,
+            None => TenantRegistry::open(),
+        };
         let store = self.config.store_dir.as_ref().map(ResultStore::new);
         // Open (and replay) the write-ahead journal before anything else
         // can accept work: recovery must observe the dead predecessor's
@@ -228,7 +243,8 @@ impl Server {
             None,
         )
         .with_origin(self.config.shard_id.clone())
-        .with_journal(journal.as_ref());
+        .with_journal(journal.as_ref())
+        .with_tenants(Some(&tenants));
         // Re-enqueue everything a crashed predecessor accepted but never
         // finished — before workers spawn, so recovered jobs sit at the
         // head of the line in their original order.
@@ -248,6 +264,7 @@ impl Server {
             capacity: self.config.capacity,
             read_timeout: self.config.read_timeout,
             mesh: self.config.mesh.clone(),
+            tenants: &tenants,
         };
 
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
@@ -313,6 +330,53 @@ struct Ctx<'a> {
     capacity: usize,
     read_timeout: Duration,
     mesh: Option<Arc<crate::metrics::MeshStatus>>,
+    tenants: &'a TenantRegistry,
+}
+
+/// Resolve the caller's tenant identity, or the error response that ends
+/// the request.
+///
+/// Open mode: every request is the anonymous tenant (`Ok(None)`), headers
+/// ignored. Enforcing mode:
+///
+/// * `Authorization: Bearer <key>` — authenticated against the registry's
+///   FNV-hashed key table; unknown keys are 403 on every route.
+/// * `X-Xplain-Tenant: <id>` — trusted forwarding from a mesh gateway
+///   that already authenticated the bearer at the edge (shards sit on a
+///   private network behind it; see DESIGN.md §12's trust model).
+///   Unknown ids are 403.
+/// * Neither header → `Ok(None)`. Routes that *attribute* work (submit,
+///   tune) then answer 401; read/ops routes stay open so liveness
+///   probes, mesh heartbeats, and work stealing keep working.
+fn authenticate(ctx: &Ctx<'_>, request: &Request) -> Result<Option<String>, Box<Response>> {
+    if !ctx.tenants.enforcing() {
+        return Ok(None);
+    }
+    if let Some(value) = request.header("authorization") {
+        let key = match value.split_once(' ') {
+            Some((scheme, rest)) if scheme.eq_ignore_ascii_case("bearer") => rest.trim(),
+            _ => {
+                return Err(Box::new(Response::error(
+                    401,
+                    "malformed Authorization header (expected 'Bearer <api-key>')",
+                )))
+            }
+        };
+        return match ctx.tenants.authenticate(key) {
+            Some(tenant) => Ok(Some(tenant.id.clone())),
+            None => Err(Box::new(Response::error(403, "unknown API key"))),
+        };
+    }
+    if let Some(id) = request.header("x-xplain-tenant") {
+        return match ctx.tenants.lookup(id) {
+            Some(tenant) => Ok(Some(tenant.id.clone())),
+            None => Err(Box::new(Response::error(
+                403,
+                &format!("unknown tenant id '{id}'"),
+            ))),
+        };
+    }
+    Ok(None)
 }
 
 fn handle_connection(mut stream: TcpStream, ctx: &Ctx<'_>) {
@@ -335,6 +399,13 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx<'_>) {
         }
     };
     let started = Instant::now();
+    let tenant = match authenticate(ctx, &request) {
+        Ok(t) => t,
+        Err(response) => {
+            let _ = response.write_to(&mut stream);
+            return;
+        }
+    };
     match route(&request.method, &request.path) {
         Ok(Route::JobEvents(id)) => {
             let tag = Route::JobEvents(String::new()).tag();
@@ -344,13 +415,13 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx<'_>) {
         }
         Ok(Route::Tune) => {
             let tag = Route::Tune.tag();
-            handle_tune(&mut stream, ctx, &request);
+            handle_tune(&mut stream, ctx, &request, tenant.as_deref());
             ctx.metrics
                 .observe(tag, started.elapsed().as_secs_f64() * 1000.0);
         }
         Ok(r) => {
             let tag = r.tag();
-            let response = dispatch(ctx, r, &request);
+            let response = dispatch(ctx, r, &request, tenant.as_deref());
             let _ = response.write_to(&mut stream);
             ctx.metrics
                 .observe(tag, started.elapsed().as_secs_f64() * 1000.0);
@@ -429,11 +500,30 @@ struct QueueInfoBody {
     pending: Vec<PendingJobBody>,
 }
 
-#[derive(Debug, Serialize)]
+/// One waiting job in the `GET /v1/queue` listing. `Serialize` is hand
+/// written so the `tenant` key only appears for attributed jobs — in
+/// open mode every job is anonymous and the wire format stays
+/// byte-identical to the pre-tenancy surface.
+#[derive(Debug)]
 struct PendingJobBody {
     id: String,
     domain: String,
     donated: bool,
+    tenant: Option<String>,
+}
+
+impl Serialize for PendingJobBody {
+    fn to_value(&self) -> serde::Value {
+        let mut map: Vec<(String, serde::Value)> = vec![
+            ("id".into(), self.id.to_value()),
+            ("domain".into(), self.domain.to_value()),
+            ("donated".into(), self.donated.to_value()),
+        ];
+        if let Some(tenant) = &self.tenant {
+            map.push(("tenant".into(), tenant.to_value()));
+        }
+        serde::Value::Map(map)
+    }
 }
 
 /// `POST /v1/queue/steal` request body.
@@ -451,9 +541,9 @@ struct StealBody {
     jobs: Vec<JobSpec>,
 }
 
-fn dispatch(ctx: &Ctx<'_>, route: Route, request: &Request) -> Response {
+fn dispatch(ctx: &Ctx<'_>, route: Route, request: &Request, tenant: Option<&str>) -> Response {
     match route {
-        Route::SubmitJob => submit_job(ctx, request),
+        Route::SubmitJob => submit_job(ctx, request, tenant),
         Route::JobStatus(id) => job_status(ctx, &id),
         Route::CancelJob(id) => cancel_job(ctx, &id),
         Route::Domains => domains(ctx),
@@ -477,7 +567,13 @@ fn dispatch(ctx: &Ctx<'_>, route: Route, request: &Request) -> Response {
     }
 }
 
-fn submit_job(ctx: &Ctx<'_>, request: &Request) -> Response {
+fn submit_job(ctx: &Ctx<'_>, request: &Request, tenant: Option<&str>) -> Response {
+    if ctx.tenants.enforcing() && tenant.is_none() {
+        return Response::error(
+            401,
+            "missing API key (send 'Authorization: Bearer <api-key>')",
+        );
+    }
     let body = match request.body_str() {
         Ok(b) => b,
         Err(e) => return Response::error(400, &e.to_string()),
@@ -495,7 +591,7 @@ fn submit_job(ctx: &Ctx<'_>, request: &Request) -> Response {
             ),
         );
     }
-    match ctx.queue.submit_deduped(spec) {
+    match ctx.queue.submit_deduped_as(spec, tenant) {
         Ok(sub) => {
             // `phase`, not `poll`: the hot cache-hit route must not
             // deep-clone a full outcome just to read one word.
@@ -514,7 +610,7 @@ fn submit_job(ctx: &Ctx<'_>, request: &Request) -> Response {
             )
         }
         Err(full) => {
-            let retry = ctx.policy.retry_after_secs(full, ctx.queue_workers);
+            let retry = ctx.policy.retry_after_secs(&full, ctx.queue_workers);
             Response::error(429, &full.to_string()).with_header("Retry-After", &retry.to_string())
         }
     }
@@ -579,6 +675,7 @@ fn queue_info(ctx: &Ctx<'_>) -> Response {
             id: p.id,
             domain: p.domain,
             donated: p.donated,
+            tenant: p.tenant,
         })
         .collect();
     Response::json(
@@ -610,9 +707,14 @@ fn steal(ctx: &Ctx<'_>, request: &Request) -> Response {
 }
 
 fn metrics(ctx: &Ctx<'_>) -> Response {
-    let report = ctx
-        .metrics
-        .report_full(ctx.queue, ctx.store, ctx.mesh.as_deref(), ctx.journal);
+    let tenants = ctx.tenants.enforcing().then(|| ctx.queue.tenant_counters());
+    let report = ctx.metrics.report_full(
+        ctx.queue,
+        ctx.store,
+        ctx.mesh.as_deref(),
+        ctx.journal,
+        tenants,
+    );
     Response::json(
         200,
         serde_json::to_string(&report).expect("body serializes"),
@@ -717,7 +819,15 @@ struct TuneRequestBody {
 /// submissions: while the session queue is saturated the server answers
 /// 429 with the policy's `Retry-After` instead of piling tuning runs on
 /// top of a full box.
-fn handle_tune(stream: &mut TcpStream, ctx: &Ctx<'_>, request: &Request) {
+fn handle_tune(stream: &mut TcpStream, ctx: &Ctx<'_>, request: &Request, tenant: Option<&str>) {
+    if ctx.tenants.enforcing() && tenant.is_none() {
+        let _ = Response::error(
+            401,
+            "missing API key (send 'Authorization: Bearer <api-key>')",
+        )
+        .write_to(stream);
+        return;
+    }
     let Some(store) = ctx.store else {
         let _ = Response::error(
             404,
@@ -755,9 +865,10 @@ fn handle_tune(stream: &mut TcpStream, ctx: &Ctx<'_>, request: &Request) {
     let depth = ctx.queue.depth();
     if depth >= ctx.capacity {
         let retry = ctx.policy.retry_after_secs(
-            QueueFull {
+            &QueueFull {
                 depth,
                 capacity: ctx.capacity,
+                tenant: None,
             },
             ctx.queue_workers,
         );

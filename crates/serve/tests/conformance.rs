@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use xplain_core::pipeline::PipelineConfig;
 use xplain_core::subspace::SubspaceParams;
 use xplain_core::{ExplainerParams, SignificanceParams};
-use xplain_runtime::{DomainRegistry, JobSpec, SessionBudgets};
+use xplain_runtime::{DomainRegistry, JobSpec, SessionBudgets, TenantRegistry};
 use xplain_serve::{Client, Server, ServerConfig, ServerHandle};
 
 fn test_lock() -> MutexGuard<'static, ()> {
@@ -85,6 +85,32 @@ fn start_server(
         read_timeout: Duration::from_secs(120),
         retain_done: 1024,
         pace_ms,
+        ..ServerConfig::default()
+    })
+    .expect("ephemeral bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        let registry = DomainRegistry::builtin();
+        server.run(&registry).expect("server runs");
+    });
+    (handle, join)
+}
+
+fn start_server_with_tenants(
+    capacity: usize,
+    pace_ms: u64,
+    tenants: PathBuf,
+) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_workers: 1,
+        http_threads: 4,
+        capacity,
+        store_dir: None,
+        read_timeout: Duration::from_secs(120),
+        retain_done: 1024,
+        pace_ms,
+        tenants: Some(tenants),
         ..ServerConfig::default()
     })
     .expect("ephemeral bind");
@@ -395,6 +421,159 @@ fn error_envelopes_codes_and_headers_are_pinned() {
 
     handle.shutdown();
     join.join().unwrap();
+}
+
+/// The tenancy wire surface: 401 on missing/malformed credentials, 403
+/// on unknown ones, the tenant-scoped 429 `Retry-After`, tenant
+/// attribution in `/v1/queue`, and the exact key order of the
+/// `tenants` block in `/v1/metrics`. Read/ops routes stay open even
+/// when enforcing (liveness probes and mesh internals rely on it).
+#[test]
+fn tenancy_auth_quota_and_metrics_surfaces_are_pinned() {
+    let _guard = test_lock();
+    let dir = scratch_dir("tenancy");
+    std::fs::create_dir_all(&dir).unwrap();
+    let config_path = dir.join("tenants.json");
+    let config = format!(
+        concat!(
+            r#"{{"tenants":["#,
+            r#"{{"id":"light","key_fnv":"{}","weight":1,"submit_rate":0.25,"submit_burst":1}},"#,
+            r#"{{"id":"heavy","key_fnv":"{}","weight":3}}"#,
+            r#"]}}"#
+        ),
+        TenantRegistry::hash_api_key("light-key"),
+        TenantRegistry::hash_api_key("heavy-key"),
+    );
+    std::fs::write(&config_path, config).unwrap();
+    // pace 300ms keeps later submissions visibly queued for the
+    // attribution check.
+    let (handle, join) = start_server_with_tenants(16, 300, config_path);
+    let api = client(&handle);
+
+    // 401: submission without credentials, and with a malformed
+    // Authorization header (scheme must be Bearer).
+    let resp = api.post("/v1/jobs", &spec_json("dp", 1)).unwrap();
+    assert_eq!(resp.status, 401, "{}", resp.body);
+    assert_eq!(keys(&resp.body), ["error"]);
+    let resp = client(&handle)
+        .with_header("Authorization", "Basic bGlnaHQ=")
+        .post("/v1/jobs", &spec_json("dp", 1))
+        .unwrap();
+    assert_eq!(resp.status, 401, "{}", resp.body);
+
+    // 403: well-formed but unknown API key — on every route, not just
+    // submissions. Same for an unknown forwarded tenant id.
+    let resp = client(&handle)
+        .with_bearer("no-such-key")
+        .post("/v1/jobs", &spec_json("dp", 1))
+        .unwrap();
+    assert_eq!(resp.status, 403, "{}", resp.body);
+    assert_eq!(keys(&resp.body), ["error"]);
+    let resp = client(&handle)
+        .with_bearer("no-such-key")
+        .get("/v1/domains")
+        .unwrap();
+    assert_eq!(resp.status, 403, "{}", resp.body);
+    let resp = client(&handle)
+        .with_tenant("nobody")
+        .post("/v1/jobs", &spec_json("dp", 1))
+        .unwrap();
+    assert_eq!(resp.status, 403, "{}", resp.body);
+
+    // Read/ops routes answer without credentials (DESIGN.md §12's trust
+    // model: auth gates work attribution, not liveness).
+    assert_eq!(api.get("/v1/domains").unwrap().status, 200);
+    assert_eq!(api.get("/v1/queue").unwrap().status, 200);
+
+    // An authenticated submission is accepted; an immediate second one
+    // overruns light's 0.25/s single-token bucket and gets the
+    // tenant-scoped 429: Retry-After is the bucket's own refill time
+    // (~4s), NOT the global backlog estimate (empty queue → 1s).
+    let light = client(&handle).with_bearer("light-key");
+    let resp = light.post("/v1/jobs", &spec_json("dp", 0xA11CE)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let resp = light.post("/v1/jobs", &spec_json("dp", 0xA11CF)).unwrap();
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    assert_eq!(keys(&resp.body), ["error"]);
+    assert!(
+        resp.body.contains("tenant 'light'") && resp.body.contains("submit rate"),
+        "{}",
+        resp.body
+    );
+    let retry_after: u64 = resp
+        .header("retry-after")
+        .expect("tenant 429 must carry Retry-After")
+        .parse()
+        .expect("Retry-After is integral seconds");
+    assert!(
+        (2..=4).contains(&retry_after),
+        "expected the bucket refill time, got {retry_after}"
+    );
+
+    // The gateway forwarding path: X-Xplain-Tenant attributes without a
+    // bearer key. Two heavy jobs guarantee at least one is still
+    // waiting, so /v1/queue shows the attributed `tenant` key.
+    let forwarded = client(&handle).with_tenant("heavy");
+    let resp = forwarded.post("/v1/jobs", &spec_json("dp", 2)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let heavy = client(&handle).with_bearer("heavy-key");
+    let resp = heavy.post("/v1/jobs", &spec_json("dp", 3)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+
+    let resp = api.get("/v1/queue").unwrap();
+    assert_eq!(resp.status, 200);
+    let queue: serde::Value = serde_json::from_str(&resp.body).unwrap();
+    let pending = get_field(&queue, "pending").as_seq().unwrap();
+    assert!(!pending.is_empty(), "{}", resp.body);
+    for entry in pending {
+        assert_eq!(object_keys(entry), ["id", "domain", "donated", "tenant"]);
+    }
+
+    // GET /v1/metrics grows the `tenants` block between `queue` and
+    // `store_entries`, sorted by tenant id, with this exact key order.
+    let resp = api.get("/v1/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        keys(&resp.body),
+        [
+            "uptime_ms",
+            "queue",
+            "tenants",
+            "store_entries",
+            "bank",
+            "journal",
+            "mesh",
+            "solver",
+            "routes"
+        ]
+    );
+    let metrics: serde::Value = serde_json::from_str(&resp.body).unwrap();
+    let tenants = get_field(&metrics, "tenants").as_seq().unwrap();
+    assert_eq!(tenants.len(), 2, "{}", resp.body);
+    for entry in tenants {
+        assert_eq!(
+            object_keys(entry),
+            [
+                "tenant",
+                "weight",
+                "pending",
+                "running",
+                "submitted",
+                "completed",
+                "rejected"
+            ]
+        );
+    }
+    assert_eq!(get_field(&tenants[0], "tenant").as_str(), Some("heavy"));
+    assert_eq!(get_field(&tenants[0], "weight").as_f64(), Some(3.0));
+    assert_eq!(get_field(&tenants[0], "submitted").as_f64(), Some(2.0));
+    assert_eq!(get_field(&tenants[1], "tenant").as_str(), Some("light"));
+    assert_eq!(get_field(&tenants[1], "submitted").as_f64(), Some(1.0));
+    assert_eq!(get_field(&tenants[1], "rejected").as_f64(), Some(1.0));
+
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The event stream on the wire: chunked transfer encoding, NDJSON
